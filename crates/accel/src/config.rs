@@ -1,0 +1,191 @@
+//! Accelerator configuration (paper Table 1 / Fig. 13).
+
+use crate::schedule::Orchestration;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the simulated accelerator.
+///
+/// Defaults reproduce the paper's Table 1: 128 MAC lanes × 8 MACs, 370 MHz,
+/// 2×512 KB activation GBs, 512 KB weight GB, 2×64 KB weight buffers, 20 KB
+/// index SRAM, 4 KB instruction SRAM, with every EyeCoD hardware feature
+/// enabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Number of MAC lanes (128).
+    pub mac_lanes: usize,
+    /// MACs per lane (8).
+    pub macs_per_lane: usize,
+    /// Core clock in MHz (370).
+    pub clock_mhz: f64,
+    /// Size of each activation global buffer in bytes (512 KB × 2).
+    pub act_gb_bytes: usize,
+    /// Number of activation GBs (2, ping-pong across layers).
+    pub act_gb_count: usize,
+    /// Activation GB banks operated in parallel (4; Fig. 11).
+    pub act_gb_banks: usize,
+    /// Activation words deliverable per cycle from the GBs (16 activations
+    /// per bank address × 4 banks).
+    pub act_words_per_cycle: usize,
+    /// Weight global buffer size in bytes (512 KB).
+    pub weight_gb_bytes: usize,
+    /// Each ping-pong weight buffer size in bytes (64 KB × 2).
+    pub weight_buffer_bytes: usize,
+    /// Index SRAM bytes (20 KB).
+    pub index_sram_bytes: usize,
+    /// Instruction SRAM bytes (4 KB).
+    pub instr_sram_bytes: usize,
+    /// Bytes per activation/weight word (1 — the deployed models are 8-bit).
+    pub bytes_per_word: usize,
+    /// Sequential-write-parallel-read input activation buffer (§5.2):
+    /// overlaps next-round loads with current-round compute and doubles the
+    /// effective read bandwidth.
+    pub swpr_buffer: bool,
+    /// Column-wise + deeper row-wise intra-channel reuse for depth-wise
+    /// layers (§5.2, Fig. 10).
+    pub intra_channel_reuse: bool,
+    /// Input feature-wise partition for cross-layer processing (§5.1
+    /// Principle #III).
+    pub feature_partition: bool,
+    /// Number of spatial partitions when `feature_partition` is on.
+    pub partition_count: usize,
+    /// Workload orchestration mode between the segmentation and gaze models.
+    pub orchestration: Orchestration,
+}
+
+impl AcceleratorConfig {
+    /// The paper's full EyeCoD configuration (all features on, partial
+    /// time-multiplexing).
+    pub fn paper_default() -> Self {
+        AcceleratorConfig {
+            mac_lanes: 128,
+            macs_per_lane: 8,
+            clock_mhz: 370.0,
+            act_gb_bytes: 512 * 1024,
+            act_gb_count: 2,
+            act_gb_banks: 4,
+            act_words_per_cycle: 64,
+            weight_gb_bytes: 512 * 1024,
+            weight_buffer_bytes: 64 * 1024,
+            index_sram_bytes: 20 * 1024,
+            instr_sram_bytes: 4 * 1024,
+            bytes_per_word: 1,
+            swpr_buffer: true,
+            intra_channel_reuse: true,
+            feature_partition: true,
+            partition_count: 4,
+            orchestration: Orchestration::PartialTimeMultiplexed,
+        }
+    }
+
+    /// The ablation baseline of Table 6: same silicon area, but plain
+    /// time-multiplexing, no SWPR buffer and no intra-channel reuse
+    /// (feature partition stays on, as the paper's baseline keeps it to fit
+    /// the same area).
+    pub fn ablation_baseline() -> Self {
+        AcceleratorConfig {
+            swpr_buffer: false,
+            intra_channel_reuse: false,
+            orchestration: Orchestration::TimeMultiplexed,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Total MAC count (1024 for the paper configuration).
+    pub fn total_macs(&self) -> usize {
+        self.mac_lanes * self.macs_per_lane
+    }
+
+    /// Peak MAC throughput in MAC/s.
+    pub fn peak_macs_per_second(&self) -> f64 {
+        self.total_macs() as f64 * self.clock_mhz * 1e6
+    }
+
+    /// Total on-chip SRAM in bytes.
+    pub fn total_sram_bytes(&self) -> usize {
+        self.act_gb_bytes * self.act_gb_count
+            + self.weight_gb_bytes
+            + 2 * self.weight_buffer_bytes
+            + self.index_sram_bytes
+            + self.instr_sram_bytes
+    }
+
+    /// Effective activation read bandwidth in words/cycle, accounting for
+    /// the SWPR buffer's interleaved groups (2× M; §5.2, Fig. 12).
+    pub fn effective_act_words_per_cycle(&self) -> usize {
+        if self.swpr_buffer {
+            self.act_words_per_cycle * 2
+        } else {
+            self.act_words_per_cycle
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized resources or a partition count of zero.
+    pub fn validate(&self) {
+        assert!(self.mac_lanes > 0 && self.macs_per_lane > 0, "need MACs");
+        assert!(self.clock_mhz > 0.0, "clock must be positive");
+        assert!(self.act_words_per_cycle > 0, "need activation bandwidth");
+        assert!(self.partition_count > 0, "partition count must be non-zero");
+        assert!(self.act_gb_banks > 0, "need at least one bank");
+        assert!(self.bytes_per_word > 0, "need a word size");
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let c = AcceleratorConfig::paper_default();
+        c.validate();
+        assert_eq!(c.total_macs(), 1024);
+        assert_eq!(c.mac_lanes, 128);
+        assert_eq!(c.macs_per_lane, 8);
+        assert_eq!(c.clock_mhz, 370.0);
+        // Table 1 SRAM total: 2x512K + 512K + 2x64K + 20K + 4K
+        assert_eq!(c.total_sram_bytes(), (1024 + 512 + 128 + 20 + 4) * 1024);
+    }
+
+    #[test]
+    fn peak_throughput() {
+        let c = AcceleratorConfig::paper_default();
+        let peak = c.peak_macs_per_second();
+        assert!((peak - 1024.0 * 370.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn swpr_doubles_effective_bandwidth() {
+        let mut c = AcceleratorConfig::paper_default();
+        c.swpr_buffer = true;
+        assert_eq!(c.effective_act_words_per_cycle(), 128);
+        c.swpr_buffer = false;
+        assert_eq!(c.effective_act_words_per_cycle(), 64);
+    }
+
+    #[test]
+    fn ablation_baseline_disables_features() {
+        let b = AcceleratorConfig::ablation_baseline();
+        assert!(!b.swpr_buffer && !b.intra_channel_reuse);
+        assert_eq!(b.orchestration, Orchestration::TimeMultiplexed);
+        assert!(b.feature_partition, "baseline keeps the partition to fit the area");
+        assert_eq!(b.total_macs(), AcceleratorConfig::paper_default().total_macs());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count")]
+    fn validate_catches_zero_partitions() {
+        let mut c = AcceleratorConfig::paper_default();
+        c.partition_count = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,402 @@
+//! Closed-form per-layer cycle and traffic model.
+//!
+//! Derived from the MAC-lane microarchitecture of Fig. 9: each of the
+//! `lanes` MAC lanes holds one input-activation row in its FIFO and applies
+//! streamed weight taps with its 8 MACs, producing one output row (8 output
+//! pixels per cycle per tap). A layer executes as `rounds` of row-level work
+//! units distributed across lanes. Activation traffic runs through the
+//! global buffers at the configured words/cycle; with the SWPR input buffer
+//! loads overlap compute (`max`), without it they serialise (`+`).
+//!
+//! The depth-wise optimisations of §5.2 map directly:
+//! * *column-wise intra-channel reuse* divides depth-wise input traffic by
+//!   the kernel size (one loaded row feeds all `k` weight rows);
+//! * *deeper row-wise intra-channel reuse* splits a row across two lanes
+//!   when lanes would otherwise idle, doubling utilisation for the small
+//!   late layers.
+
+use crate::config::AcceleratorConfig;
+use crate::energy::EnergyCounts;
+use eyecod_models::{LayerKind, LayerSpec};
+use serde::{Deserialize, Serialize};
+
+/// The simulated execution cost of one layer on an assignment of MAC lanes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Layer name (from the spec).
+    pub name: String,
+    /// MAC operations.
+    pub macs: u64,
+    /// Pure compute cycles (no memory stalls).
+    pub compute_cycles: u64,
+    /// Activation memory transfer cycles at GB bandwidth.
+    pub memory_cycles: u64,
+    /// Total cycles after combining compute and memory per the SWPR setting.
+    pub cycles: u64,
+    /// MAC utilisation over the assigned lanes (`macs / (cycles·lanes·8)`).
+    pub utilization: f64,
+    /// Words read from the activation GBs.
+    pub act_read_words: u64,
+    /// Words written to the activation GBs.
+    pub act_write_words: u64,
+    /// Words fetched from the weight GB.
+    pub weight_gb_words: u64,
+    /// Whether this is a depth-wise layer (drives the partial
+    /// time-multiplexing opportunity analysis).
+    pub is_depthwise: bool,
+    /// Lanes this cost was computed for.
+    pub lanes: usize,
+}
+
+impl LayerCost {
+    /// A zero-cost placeholder (used for layers that fold away entirely).
+    pub fn zero(name: &str) -> Self {
+        LayerCost {
+            name: name.to_owned(),
+            macs: 0,
+            compute_cycles: 0,
+            memory_cycles: 0,
+            cycles: 0,
+            utilization: 0.0,
+            act_read_words: 0,
+            act_write_words: 0,
+            weight_gb_words: 0,
+            is_depthwise: false,
+            lanes: 0,
+        }
+    }
+
+    /// Energy event counts for this layer.
+    pub fn energy_counts(&self) -> EnergyCounts {
+        EnergyCounts {
+            macs: self.macs,
+            gb_words: self.act_read_words + self.act_write_words + self.weight_gb_words,
+            // every activation word also traverses the local input/output
+            // buffers; weights traverse the ping-pong buffers per use
+            local_words: self.act_read_words + self.act_write_words + self.macs / 8,
+            offchip_bytes: 0,
+            cycles: self.cycles,
+        }
+    }
+
+    /// Idle MAC-cycles on the assigned lanes — the resource the partial
+    /// time-multiplexing mode hands to the segmentation model.
+    pub fn idle_mac_cycles(&self, macs_per_lane: usize) -> u64 {
+        let capacity = self.cycles * self.lanes as u64 * macs_per_lane as u64;
+        capacity.saturating_sub(self.macs)
+    }
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    assert!(b > 0, "division by zero");
+    a.div_ceil(b)
+}
+
+/// Halo overhead factor for input feature-wise partition: partition borders
+/// re-read `k-1` rows per boundary.
+fn partition_overhead(cfg: &AcceleratorConfig, k: usize, oh: usize) -> f64 {
+    if cfg.feature_partition && cfg.partition_count > 1 && oh > 0 {
+        let halo_rows = (cfg.partition_count - 1) * (k.saturating_sub(1));
+        1.0 + halo_rows as f64 / oh as f64
+    } else {
+        1.0
+    }
+}
+
+/// Computes the execution cost of `layer` on `lanes` MAC lanes.
+///
+/// # Panics
+///
+/// Panics if `lanes == 0` for a compute layer, or the config is invalid.
+pub fn layer_cost(layer: &LayerSpec, lanes: usize, cfg: &AcceleratorConfig) -> LayerCost {
+    cfg.validate();
+    let bw = cfg.effective_act_words_per_cycle() as u64;
+    let mpl = cfg.macs_per_lane as u64;
+    let (oh, ow) = layer.out_hw();
+    let (oh, ow, iw) = (oh as u64, ow as u64, layer.w_in as u64);
+    let c_in = layer.c_in as u64;
+    let c_out = layer.c_out as u64;
+    let macs = layer.macs();
+
+    let (compute_cycles, act_read_words, weight_passes, is_dw) = match layer.kind {
+        LayerKind::Conv { .. } | LayerKind::Pointwise { .. } => {
+            let k = match layer.kind {
+                LayerKind::Conv { k, .. } => k as u64,
+                _ => 1,
+            };
+            assert!(lanes > 0, "compute layer needs lanes");
+            let work_units = c_out * oh;
+            let cycles_row = div_ceil(ow, mpl) * k * k * c_in;
+            let rounds = div_ceil(work_units, lanes as u64);
+            let compute = rounds * cycles_row;
+            // input re-fetch when the lane partition cannot cover all output
+            // channels of a row simultaneously (the concurrent-mode penalty)
+            let refetch = div_ceil(c_out, lanes as u64);
+            let overhead = partition_overhead(cfg, k as usize, oh as usize);
+            let reads = (oh as f64 * k as f64 * c_in as f64 * refetch as f64 * iw as f64
+                * overhead) as u64;
+            (compute, reads, rounds.min(oh).max(1), false)
+        }
+        LayerKind::Depthwise { k, .. } => {
+            let k = k as u64;
+            assert!(lanes > 0, "compute layer needs lanes");
+            let work_units = c_out * oh;
+            // deeper row-wise reuse: split rows across two lanes when lanes
+            // would idle
+            let split = if cfg.intra_channel_reuse && work_units * 2 <= lanes as u64 {
+                2
+            } else {
+                1
+            };
+            let cycles_row = div_ceil(ow, mpl * split) * k * k;
+            let rounds = div_ceil(work_units * split, lanes as u64);
+            let compute = rounds * cycles_row;
+            // column-wise intra-channel reuse shares each loaded input row
+            // across the k weight rows
+            let row_reads = if cfg.intra_channel_reuse {
+                c_out * oh
+            } else {
+                c_out * oh * k
+            };
+            let overhead = partition_overhead(cfg, k as usize, oh as usize);
+            let reads = (row_reads as f64 * iw as f64 * overhead) as u64;
+            (compute, reads, rounds.min(oh).max(1), true)
+        }
+        LayerKind::FullyConnected => {
+            assert!(lanes > 0, "compute layer needs lanes");
+            let cycles_row = div_ceil(c_in, mpl);
+            let rounds = div_ceil(c_out, lanes as u64);
+            (rounds * cycles_row, c_in, 1, false)
+        }
+        LayerKind::MatMul { m } => {
+            assert!(lanes > 0, "compute layer needs lanes");
+            let m = m as u64;
+            let cycles_row = div_ceil(c_out, mpl) * c_in;
+            let rounds = div_ceil(m, lanes as u64);
+            (rounds * cycles_row, m * c_in, rounds.max(1), false)
+        }
+        // pure data-movement layers: traffic only
+        LayerKind::MaxPool { .. }
+        | LayerKind::Upsample { .. }
+        | LayerKind::Concat { .. }
+        | LayerKind::GlobalAvgPool => {
+            let reads = layer.input_elems();
+            (0, reads, 0, false)
+        }
+    };
+
+    let act_write_words = layer.output_elems();
+    let weight_words_once = layer.params();
+    let weight_gb_words = if weight_words_once * cfg.bytes_per_word as u64
+        <= cfg.weight_buffer_bytes as u64
+    {
+        weight_words_once
+    } else {
+        // weights do not fit the ping-pong buffer: refetched across passes
+        weight_words_once * weight_passes
+    };
+
+    let memory_cycles = div_ceil(act_read_words + act_write_words, bw);
+    let cycles = if cfg.swpr_buffer {
+        compute_cycles.max(memory_cycles)
+    } else {
+        compute_cycles + memory_cycles
+    };
+    let capacity = cycles.max(1) * lanes.max(1) as u64 * mpl;
+    LayerCost {
+        name: layer.name.clone(),
+        macs,
+        compute_cycles,
+        memory_cycles,
+        cycles,
+        utilization: macs as f64 / capacity as f64,
+        act_read_words,
+        act_write_words,
+        weight_gb_words,
+        is_depthwise: is_dw,
+        lanes,
+    }
+}
+
+/// Cost of running an entire model's layers sequentially on `lanes` lanes.
+pub fn model_cost(layers: &[LayerSpec], lanes: usize, cfg: &AcceleratorConfig) -> Vec<LayerCost> {
+    layers.iter().map(|l| layer_cost(l, lanes, cfg)).collect()
+}
+
+/// Total cycles of a sequence of layer costs.
+pub fn total_cycles(costs: &[LayerCost]) -> u64 {
+    costs.iter().map(|c| c.cycles).sum()
+}
+
+/// MAC-weighted average utilisation of a sequence of layer costs.
+pub fn average_utilization(costs: &[LayerCost], lanes: usize, macs_per_lane: usize) -> f64 {
+    let cycles: u64 = costs.iter().map(|c| c.cycles).sum();
+    let macs: u64 = costs.iter().map(|c| c.macs).sum();
+    if cycles == 0 {
+        return 0.0;
+    }
+    macs as f64 / (cycles as f64 * (lanes * macs_per_lane) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyecod_models::LayerSpec;
+
+    fn cfg(swpr: bool, reuse: bool) -> AcceleratorConfig {
+        AcceleratorConfig {
+            swpr_buffer: swpr,
+            intra_channel_reuse: reuse,
+            ..AcceleratorConfig::paper_default()
+        }
+    }
+
+    fn conv(c_in: usize, c_out: usize, k: usize, hw: usize) -> LayerSpec {
+        LayerSpec {
+            name: "conv".into(),
+            kind: LayerKind::Conv { k, stride: 1 },
+            c_in,
+            c_out,
+            h_in: hw,
+            w_in: hw,
+        }
+    }
+
+    fn dw(c: usize, k: usize, hw: usize) -> LayerSpec {
+        LayerSpec {
+            name: "dw".into(),
+            kind: LayerKind::Depthwise { k, stride: 1 },
+            c_in: c,
+            c_out: c,
+            h_in: hw,
+            w_in: hw,
+        }
+    }
+
+    #[test]
+    fn wide_generic_conv_reaches_full_utilization() {
+        // 32->32 conv at 128x128: work divides the lanes exactly.
+        let mut c = cfg(true, true);
+        c.feature_partition = false;
+        let cost = layer_cost(&conv(32, 32, 3, 128), 128, &c);
+        assert!(cost.utilization > 0.95, "utilization {}", cost.utilization);
+        assert_eq!(cost.macs, 9 * 32 * 32 * 128 * 128);
+    }
+
+    #[test]
+    fn depthwise_naive_is_bandwidth_starved() {
+        // §5.1 Challenge #II: same dataflow on depth-wise layers gives very
+        // low utilisation (paper: 7.9% of ops but 33.6% of time).
+        let c = cfg(false, false);
+        let cost = layer_cost(&dw(96, 3, 32), 128, &c);
+        assert!(
+            cost.utilization < 0.30,
+            "naive depthwise utilization {}",
+            cost.utilization
+        );
+        assert!(cost.memory_cycles > cost.compute_cycles);
+    }
+
+    #[test]
+    fn intra_channel_reuse_cuts_depthwise_time() {
+        // §6.4: intra-channel reuse reduces depth-wise processing time by ~71%.
+        let naive = layer_cost(&dw(96, 3, 32), 128, &cfg(false, false));
+        let tuned = layer_cost(&dw(96, 3, 32), 128, &cfg(true, true));
+        let reduction = 1.0 - tuned.cycles as f64 / naive.cycles as f64;
+        assert!(
+            reduction > 0.5,
+            "expected a large depthwise time reduction, got {reduction:.2}"
+        );
+    }
+
+    #[test]
+    fn column_reuse_divides_depthwise_traffic_by_k() {
+        let naive = layer_cost(&dw(64, 5, 16), 128, &cfg(false, false));
+        let tuned = layer_cost(&dw(64, 5, 16), 128, &cfg(false, true));
+        let ratio = naive.act_read_words as f64 / tuned.act_read_words as f64;
+        assert!((ratio - 5.0).abs() < 0.01, "traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn deeper_row_reuse_helps_small_late_layers() {
+        // a small late depthwise layer cannot fill 128 lanes with whole rows
+        let off = layer_cost(&dw(4, 3, 14), 128, &cfg(true, false));
+        let on = layer_cost(&dw(4, 3, 14), 128, &cfg(true, true));
+        assert!(on.compute_cycles < off.compute_cycles);
+    }
+
+    #[test]
+    fn swpr_overlaps_memory_with_compute() {
+        let serial = layer_cost(&dw(96, 3, 32), 128, &cfg(false, true));
+        let overlapped = layer_cost(&dw(96, 3, 32), 128, &cfg(true, true));
+        assert!(overlapped.cycles < serial.cycles);
+        assert_eq!(
+            serial.cycles,
+            serial.compute_cycles + serial.memory_cycles
+        );
+        // with SWPR the effective bandwidth also doubles, so memory cycles shrink
+        assert!(overlapped.cycles <= serial.compute_cycles.max(serial.memory_cycles));
+    }
+
+    #[test]
+    fn fewer_lanes_increase_input_refetch() {
+        // the concurrent-mode penalty: a 4-lane partition re-reads inputs
+        let full = layer_cost(&conv(32, 32, 3, 32), 128, &cfg(true, true));
+        let tiny = layer_cost(&conv(32, 32, 3, 32), 4, &cfg(true, true));
+        assert!(tiny.act_read_words > 4 * full.act_read_words);
+    }
+
+    #[test]
+    fn more_lanes_never_cost_more_cycles() {
+        let c = cfg(true, true);
+        for spec in [conv(16, 32, 3, 32), dw(64, 3, 16), conv(8, 8, 1, 64)] {
+            let mut prev = u64::MAX;
+            for lanes in [16, 32, 64, 128] {
+                let cost = layer_cost(&spec, lanes, &c);
+                assert!(
+                    cost.cycles <= prev,
+                    "{}: cycles grew from {prev} to {} at {lanes} lanes",
+                    spec.name,
+                    cost.cycles
+                );
+                prev = cost.cycles;
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_weights_are_refetched() {
+        // a layer whose weights exceed the 64KB ping-pong buffer
+        let big = conv(256, 512, 3, 14); // 1.18M params > 64K words
+        let cost = layer_cost(&big, 128, &cfg(true, true));
+        assert!(cost.weight_gb_words > big.params());
+        let small = conv(16, 16, 3, 14);
+        let cost_s = layer_cost(&small, 128, &cfg(true, true));
+        assert_eq!(cost_s.weight_gb_words, small.params());
+    }
+
+    #[test]
+    fn data_movement_layers_cost_memory_only() {
+        let pool = LayerSpec {
+            name: "pool".into(),
+            kind: LayerKind::MaxPool { k: 2 },
+            c_in: 32,
+            c_out: 32,
+            h_in: 64,
+            w_in: 64,
+        };
+        let cost = layer_cost(&pool, 128, &cfg(true, true));
+        assert_eq!(cost.compute_cycles, 0);
+        assert_eq!(cost.macs, 0);
+        assert!(cost.cycles > 0);
+    }
+
+    #[test]
+    fn idle_mac_cycles_complement_utilization() {
+        let c = cfg(true, true);
+        let cost = layer_cost(&dw(96, 3, 32), 128, &c);
+        let idle = cost.idle_mac_cycles(8);
+        let capacity = cost.cycles * 128 * 8;
+        assert_eq!(idle, capacity - cost.macs);
+    }
+}

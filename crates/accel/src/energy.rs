@@ -1,0 +1,155 @@
+//! Analytical energy model.
+//!
+//! Per-event energies are representative 28 nm HPC CMOS values (the paper's
+//! silicon node), in picojoules per 8-bit operation/word. Absolute joules
+//! are therefore approximate, but the *relative* energy efficiencies the
+//! paper reports (Fig. 14, Table 6) depend on operation/traffic counts and
+//! utilisation, which the simulator measures directly.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy constants and static power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per 8-bit MAC, pJ.
+    pub mac_pj: f64,
+    /// Energy per word read/written at the activation/weight global buffers, pJ.
+    pub gb_word_pj: f64,
+    /// Energy per word moved through the small local buffers
+    /// (input/output act buffers, weight ping-pong buffers), pJ.
+    pub local_word_pj: f64,
+    /// Energy per byte moved over the camera/off-chip interface, pJ.
+    pub offchip_byte_pj: f64,
+    /// Static (leakage + clock) power in mW while running.
+    pub static_mw: f64,
+}
+
+impl EnergyModel {
+    /// Default 28 nm-class constants.
+    pub fn cmos28() -> Self {
+        EnergyModel {
+            mac_pj: 0.30,
+            gb_word_pj: 2.0,
+            local_word_pj: 0.25,
+            offchip_byte_pj: 80.0,
+            static_mw: 25.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::cmos28()
+    }
+}
+
+/// Event counts accumulated while simulating a workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyCounts {
+    /// MAC operations executed.
+    pub macs: u64,
+    /// Words read from / written to the global buffers.
+    pub gb_words: u64,
+    /// Words moved through local buffers.
+    pub local_words: u64,
+    /// Bytes moved over the off-chip / camera interface.
+    pub offchip_bytes: u64,
+    /// Total cycles (for static energy).
+    pub cycles: u64,
+}
+
+impl EnergyCounts {
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, other: &EnergyCounts) {
+        self.macs += other.macs;
+        self.gb_words += other.gb_words;
+        self.local_words += other.local_words;
+        self.offchip_bytes += other.offchip_bytes;
+        self.cycles += other.cycles;
+    }
+
+    /// Scales all counts (e.g. per-frame counts over a 50-frame window).
+    pub fn scaled(&self, times: u64) -> EnergyCounts {
+        EnergyCounts {
+            macs: self.macs * times,
+            gb_words: self.gb_words * times,
+            local_words: self.local_words * times,
+            offchip_bytes: self.offchip_bytes * times,
+            cycles: self.cycles * times,
+        }
+    }
+
+    /// Total energy in joules at the given clock.
+    pub fn energy_joules(&self, model: &EnergyModel, clock_mhz: f64) -> f64 {
+        let dynamic = self.macs as f64 * model.mac_pj
+            + self.gb_words as f64 * model.gb_word_pj
+            + self.local_words as f64 * model.local_word_pj
+            + self.offchip_bytes as f64 * model.offchip_byte_pj;
+        let seconds = self.cycles as f64 / (clock_mhz * 1e6);
+        dynamic * 1e-12 + model.static_mw * 1e-3 * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_nonnegative_and_additive() {
+        let m = EnergyModel::cmos28();
+        let a = EnergyCounts {
+            macs: 1_000_000,
+            gb_words: 10_000,
+            local_words: 100_000,
+            offchip_bytes: 5_000,
+            cycles: 100_000,
+        };
+        let b = a.scaled(3);
+        let ea = a.energy_joules(&m, 370.0);
+        let eb = b.energy_joules(&m, 370.0);
+        assert!(ea > 0.0);
+        assert!((eb - 3.0 * ea).abs() / eb < 1e-12);
+    }
+
+    #[test]
+    fn offchip_traffic_dominates_same_volume() {
+        // moving a byte off-chip costs far more than through the GB —
+        // the premise of the paper's communication-cost argument.
+        let m = EnergyModel::cmos28();
+        assert!(m.offchip_byte_pj > 10.0 * m.gb_word_pj);
+        assert!(m.gb_word_pj > m.local_word_pj);
+    }
+
+    #[test]
+    fn static_energy_scales_with_cycles() {
+        let m = EnergyModel::cmos28();
+        let idle = EnergyCounts {
+            cycles: 370_000_000,
+            ..Default::default()
+        };
+        // one second of leakage at 25 mW = 25 mJ
+        let e = idle.energy_joules(&m, 370.0);
+        assert!((e - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = EnergyCounts::default();
+        a.accumulate(&EnergyCounts {
+            macs: 5,
+            gb_words: 4,
+            local_words: 3,
+            offchip_bytes: 2,
+            cycles: 1,
+        });
+        a.accumulate(&EnergyCounts {
+            macs: 5,
+            gb_words: 4,
+            local_words: 3,
+            offchip_bytes: 2,
+            cycles: 1,
+        });
+        assert_eq!(a.macs, 10);
+        assert_eq!(a.cycles, 2);
+    }
+}

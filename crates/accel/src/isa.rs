@@ -1,0 +1,271 @@
+//! Accelerator instruction streams.
+//!
+//! The EyeCoD accelerator is driven by an on-chip controller that "reads
+//! instructions from the instruction SRAM to control the accelerator"
+//! (paper §5.2, Fig. 9). This module compiles a [`ModelSpec`] into that
+//! instruction stream: weight-buffer loads (ping-pong), lane configuration,
+//! per-partition layer execution, and the activation-GB reshaping
+//! operations of Fig. 11. Compiling lets us *check* the architectural
+//! claim that whole predict-then-focus programs fit the 4 KB instruction
+//! SRAM and the 20 KB index SRAM.
+
+use crate::config::AcceleratorConfig;
+use eyecod_models::{LayerKind, ModelSpec};
+use serde::{Deserialize, Serialize};
+
+/// The activation reshaping operations of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReshapeOp {
+    /// Fig. 11 (b): tile the feature map into spatial partitions.
+    Partition,
+    /// Fig. 11 (c): concatenate along channels.
+    Concat,
+    /// Fig. 11 (d): drop-based downsampling.
+    Downsample,
+    /// Fig. 11 (e): duplication/zero-insert upsampling.
+    Upsample,
+}
+
+/// One controller instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Fetch a layer's weights from the weight GB into a ping-pong buffer.
+    LoadWeights {
+        /// Layer name.
+        layer: String,
+        /// Words to fetch.
+        words: u64,
+        /// Which ping-pong buffer (0/1).
+        buffer: u8,
+    },
+    /// Configure the MAC lane array for a layer.
+    ConfigureLanes {
+        /// Lanes assigned.
+        lanes: u16,
+        /// Depth-wise mode (enables the intra-channel reuse datapath).
+        depthwise: bool,
+    },
+    /// Execute one spatial partition of a layer.
+    ProcessPartition {
+        /// Layer name.
+        layer: String,
+        /// Partition index.
+        partition: u8,
+        /// Round count for the controller's loop counter.
+        rounds: u32,
+    },
+    /// Activation GB reshaping between layers.
+    Reshape {
+        /// Operation class.
+        op: ReshapeOp,
+    },
+    /// Barrier: wait for all lanes and buffers to drain.
+    Sync,
+}
+
+impl Instruction {
+    /// Encoded size in bytes. The controller uses a compact fixed-width
+    /// encoding: 8 bytes for compute/load instructions (opcode + layer id +
+    /// immediate), 2 bytes for reshape/sync.
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            Instruction::LoadWeights { .. }
+            | Instruction::ConfigureLanes { .. }
+            | Instruction::ProcessPartition { .. } => 8,
+            Instruction::Reshape { .. } | Instruction::Sync => 2,
+        }
+    }
+}
+
+/// A compiled instruction stream for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Model name.
+    pub model: String,
+    /// Instructions in execution order.
+    pub instructions: Vec<Instruction>,
+    /// Index-SRAM words used (one per layer for the activation GB base
+    /// addresses, plus one per reshaping operation).
+    pub index_words: usize,
+}
+
+impl Program {
+    /// Total encoded size in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.instructions.iter().map(Instruction::encoded_bytes).sum()
+    }
+
+    /// Whether this program fits the configured instruction and index
+    /// SRAMs.
+    pub fn fits(&self, cfg: &AcceleratorConfig) -> bool {
+        self.encoded_bytes() <= cfg.instr_sram_bytes
+            && self.index_words * 4 <= cfg.index_sram_bytes
+    }
+
+    /// Number of `ProcessPartition` instructions (the compute steps).
+    pub fn compute_steps(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::ProcessPartition { .. }))
+            .count()
+    }
+}
+
+/// Compiles a model into a controller instruction stream under the given
+/// configuration (partition count, lane count).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn compile(model: &ModelSpec, cfg: &AcceleratorConfig) -> Program {
+    cfg.validate();
+    model.validate();
+    let partitions = if cfg.feature_partition {
+        cfg.partition_count as u8
+    } else {
+        1
+    };
+    let mut instructions = Vec::new();
+    let mut index_words = 0usize;
+    let mut buffer = 0u8;
+
+    for layer in &model.layers {
+        index_words += 1; // activation base address entry
+        match layer.kind {
+            LayerKind::Conv { .. }
+            | LayerKind::Pointwise { .. }
+            | LayerKind::Depthwise { .. }
+            | LayerKind::FullyConnected
+            | LayerKind::MatMul { .. } => {
+                instructions.push(Instruction::LoadWeights {
+                    layer: layer.name.clone(),
+                    words: layer.params(),
+                    buffer,
+                });
+                buffer ^= 1; // ping-pong
+                instructions.push(Instruction::ConfigureLanes {
+                    lanes: cfg.mac_lanes as u16,
+                    depthwise: matches!(layer.kind, LayerKind::Depthwise { .. }),
+                });
+                let (oh, _) = layer.out_hw();
+                let rounds_per_partition =
+                    ((layer.c_out * oh) as u32).div_ceil(cfg.mac_lanes as u32 * partitions as u32);
+                // spatially partitionable layers loop over partitions;
+                // FC/matmul run as a single partition
+                let parts = match layer.kind {
+                    LayerKind::FullyConnected | LayerKind::MatMul { .. } => 1,
+                    _ => partitions,
+                };
+                for p in 0..parts {
+                    instructions.push(Instruction::ProcessPartition {
+                        layer: layer.name.clone(),
+                        partition: p,
+                        rounds: rounds_per_partition.max(1),
+                    });
+                }
+            }
+            LayerKind::MaxPool { .. } => {
+                index_words += 1;
+                instructions.push(Instruction::Reshape {
+                    op: ReshapeOp::Downsample,
+                });
+            }
+            LayerKind::Upsample { .. } => {
+                index_words += 1;
+                instructions.push(Instruction::Reshape {
+                    op: ReshapeOp::Upsample,
+                });
+            }
+            LayerKind::Concat { .. } => {
+                index_words += 1;
+                instructions.push(Instruction::Reshape {
+                    op: ReshapeOp::Concat,
+                });
+            }
+            LayerKind::GlobalAvgPool => {
+                index_words += 1;
+                instructions.push(Instruction::Reshape {
+                    op: ReshapeOp::Downsample,
+                });
+            }
+        }
+    }
+    instructions.push(Instruction::Sync);
+    Program {
+        model: model.name.clone(),
+        instructions,
+        index_words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyecod_models::{fbnet, ritnet};
+
+    #[test]
+    fn both_pipeline_programs_fit_the_instruction_sram() {
+        // the architectural claim behind the 4 KB instruction SRAM of
+        // Table 1: the full predict-then-focus program set fits on chip
+        let cfg = AcceleratorConfig::paper_default();
+        let seg = compile(&ritnet::spec(128), &cfg);
+        let gaze = compile(&fbnet::spec(96, 160), &cfg);
+        assert!(seg.fits(&cfg), "RITNet program: {} B", seg.encoded_bytes());
+        assert!(gaze.fits(&cfg), "FBNet program: {} B", gaze.encoded_bytes());
+        assert!(
+            seg.encoded_bytes() + gaze.encoded_bytes() <= cfg.instr_sram_bytes,
+            "combined programs exceed the instruction SRAM"
+        );
+    }
+
+    #[test]
+    fn partitioned_layers_emit_one_step_per_partition() {
+        let cfg = AcceleratorConfig::paper_default();
+        let p = compile(&ritnet::spec(128), &cfg);
+        let conv_layers = ritnet::spec(128)
+            .layers
+            .iter()
+            .filter(|l| l.kind.is_compute())
+            .count();
+        assert_eq!(p.compute_steps(), conv_layers * cfg.partition_count);
+    }
+
+    #[test]
+    fn no_partition_config_emits_single_steps() {
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.feature_partition = false;
+        let p = compile(&fbnet::spec(96, 160), &cfg);
+        let compute_layers = fbnet::spec(96, 160)
+            .layers
+            .iter()
+            .filter(|l| l.kind.is_compute())
+            .count();
+        assert_eq!(p.compute_steps(), compute_layers);
+    }
+
+    #[test]
+    fn weight_buffers_ping_pong() {
+        let cfg = AcceleratorConfig::paper_default();
+        let p = compile(&fbnet::spec(96, 160), &cfg);
+        let buffers: Vec<u8> = p
+            .instructions
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::LoadWeights { buffer, .. } => Some(*buffer),
+                _ => None,
+            })
+            .collect();
+        for w in buffers.windows(2) {
+            assert_ne!(w[0], w[1], "consecutive weight loads must alternate buffers");
+        }
+    }
+
+    #[test]
+    fn encoded_sizes_are_consistent() {
+        let cfg = AcceleratorConfig::paper_default();
+        let p = compile(&ritnet::spec(128), &cfg);
+        let sum: usize = p.instructions.iter().map(Instruction::encoded_bytes).sum();
+        assert_eq!(p.encoded_bytes(), sum);
+        assert!(p.instructions.ends_with(&[Instruction::Sync]));
+    }
+}

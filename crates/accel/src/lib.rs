@@ -1,0 +1,56 @@
+//! # eyecod-accel
+//!
+//! A cycle-level simulator of the EyeCoD accelerator (paper §5 and Fig. 9):
+//! 128 MAC lanes × 8 MACs at 370 MHz, dual 512 KB activation global buffers,
+//! a 512 KB weight global buffer with ping-pong weight buffers, an index
+//! SRAM and an instruction SRAM.
+//!
+//! The paper evaluates its design with "an in-house cycle-accurate simulator
+//! … verified against the RTL implementation"; this crate reproduces that
+//! methodology. Layer execution is modelled by closed-form cycle/traffic
+//! equations derived from the MAC-lane microarchitecture (one input-act row
+//! per lane FIFO, weights streamed tap-by-tap), and those equations are
+//! validated against an explicit event-level MAC-lane simulation in
+//! [`maclane`].
+//!
+//! The four hardware contributions of the paper are all modelled and
+//! individually toggleable for the Table 6 ablation:
+//!
+//! * **partial time-multiplexing** workload orchestration
+//!   ([`schedule::Orchestration::PartialTimeMultiplexed`]);
+//! * **intra-channel reuse** for depth-wise layers
+//!   ([`config::AcceleratorConfig::intra_channel_reuse`]);
+//! * **input feature-wise partition**
+//!   ([`config::AcceleratorConfig::feature_partition`]);
+//! * the **sequential-write-parallel-read input activation buffer**
+//!   ([`config::AcceleratorConfig::swpr_buffer`], functional model in
+//!   [`swpr`]).
+//!
+//! # Example
+//!
+//! ```
+//! use eyecod_accel::config::AcceleratorConfig;
+//! use eyecod_accel::schedule::WindowSimulator;
+//! use eyecod_accel::workload::EyeCodWorkload;
+//!
+//! let sim = WindowSimulator::new(AcceleratorConfig::paper_default());
+//! let report = sim.run_window(&EyeCodWorkload::paper_default().into_workload());
+//! assert!(report.fps > 240.0, "EyeCoD must beat the 240 FPS real-time bar");
+//! ```
+
+pub mod config;
+pub mod cost;
+pub mod energy;
+pub mod isa;
+pub mod maclane;
+pub mod roofline;
+pub mod schedule;
+pub mod storage;
+pub mod swpr;
+pub mod trace;
+pub mod workload;
+
+pub use config::AcceleratorConfig;
+pub use cost::LayerCost;
+pub use schedule::{Orchestration, WindowReport, WindowSimulator};
+pub use workload::{EyeCodWorkload, PipelineWorkload};

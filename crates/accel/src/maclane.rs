@@ -1,0 +1,143 @@
+//! Event-level MAC-lane simulation used to validate the closed-form cycle
+//! model of [`crate::cost`] — the analogue of the paper's "simulator …
+//! verified against the RTL implementation".
+//!
+//! A MAC lane (Fig. 9, right) holds one input-activation row in a FIFO and
+//! has eight MACs. Weights stream one tap per cycle; each cycle the active
+//! tap multiplies eight adjacent positions of the buffered row and the
+//! partial sums accumulate into eight output pixels. Computing one output
+//! row of width `ow` for a window of `k×k` taps over `c_in` input channels
+//! therefore takes `ceil(ow/8) · k · k · c_in` cycles — the formula
+//! [`crate::cost::layer_cost`] builds on.
+
+/// Cycle-by-cycle simulation of one MAC lane computing one output row.
+///
+/// Returns `(cycles, output_row)`. `input_rows` must contain `c_in · k`
+/// rows (all taps' source rows, border rows zero-padded by the caller) of
+/// width `iw`, indexed `[ic * k + kh]`, and `weights` the matching
+/// `c_in · k · k` taps indexed `[(ic * k + kh) * k + kw]`.
+///
+/// # Panics
+///
+/// Panics if the slice sizes are inconsistent.
+pub fn simulate_output_row(
+    input_rows: &[Vec<f32>],
+    weights: &[f32],
+    k: usize,
+    c_in: usize,
+    ow: usize,
+    stride: usize,
+    macs_per_lane: usize,
+) -> (u64, Vec<f32>) {
+    assert!(k > 0 && c_in > 0 && ow > 0 && stride > 0 && macs_per_lane > 0);
+    assert_eq!(input_rows.len(), c_in * k, "need c_in*k input rows");
+    assert_eq!(weights.len(), c_in * k * k, "need c_in*k*k weights");
+    let mut out = vec![0.0f32; ow];
+    let mut cycles = 0u64;
+    // Process output pixels in groups of `macs_per_lane`.
+    for group_start in (0..ow).step_by(macs_per_lane) {
+        let group = group_start..(group_start + macs_per_lane).min(ow);
+        for ic in 0..c_in {
+            for kh in 0..k {
+                let row = &input_rows[ic * k + kh];
+                for kw in 0..k {
+                    let wv = weights[(ic * k + kh) * k + kw];
+                    // one cycle: this tap feeds all MACs of the group
+                    for ox in group.clone() {
+                        let ix = ox * stride + kw;
+                        if ix < row.len() {
+                            out[ox] += wv * row[ix];
+                        }
+                    }
+                    cycles += 1;
+                }
+            }
+        }
+    }
+    (cycles, out)
+}
+
+/// The closed-form cycle count the cost model uses for one output row.
+pub fn analytical_row_cycles(ow: usize, k: usize, c_in: usize, macs_per_lane: usize) -> u64 {
+    (ow.div_ceil(macs_per_lane) * k * k * c_in) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyecod_tensor::ops::conv2d;
+    use eyecod_tensor::{Shape, Tensor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn event_sim_matches_analytical_cycles() {
+        for &(ow, k, c_in) in &[(8usize, 3usize, 1usize), (40, 3, 4), (7, 5, 2), (13, 1, 16)] {
+            let rows = vec![vec![0.0f32; ow + k]; c_in * k];
+            let weights = vec![0.0f32; c_in * k * k];
+            let (cycles, _) = simulate_output_row(&rows, &weights, k, c_in, ow, 1, 8);
+            assert_eq!(
+                cycles,
+                analytical_row_cycles(ow, k, c_in, 8),
+                "ow={ow} k={k} c_in={c_in}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_sim_computes_correct_convolution() {
+        // Compare one output row against the reference conv2d operator.
+        let mut rng = StdRng::seed_from_u64(1);
+        let (c_in, k, iw) = (3usize, 3usize, 12usize);
+        let x = Tensor::from_fn(Shape::new(1, c_in, 5, iw), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let w = Tensor::from_fn(Shape::new(1, c_in, k, k), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        // valid convolution (no padding): output row oy=1 corresponds to
+        // input rows 1..4
+        let reference = conv2d(&x, &w, None, 1, 0, 1);
+        let oy = 1;
+        let ow = iw - k + 1;
+        let mut input_rows = Vec::new();
+        for ic in 0..c_in {
+            for kh in 0..k {
+                input_rows.push(x.channel_plane(0, ic)[(oy + kh) * iw..(oy + kh + 1) * iw].to_vec());
+            }
+        }
+        let weights: Vec<f32> = (0..c_in)
+            .flat_map(|ic| {
+                (0..k).flat_map(move |kh| (0..k).map(move |kw| (ic, kh, kw)))
+            })
+            .map(|(ic, kh, kw)| w.at(0, ic, kh, kw))
+            .collect();
+        let (_, row) = simulate_output_row(&input_rows, &weights, k, c_in, ow, 1, 8);
+        for ox in 0..ow {
+            let expect = reference.at(0, 0, oy, ox);
+            assert!(
+                (row[ox] - expect).abs() < 1e-4,
+                "ox={ox}: {} vs {expect}",
+                row[ox]
+            );
+        }
+    }
+
+    #[test]
+    fn strided_row_skips_positions() {
+        let rows = vec![vec![1.0f32; 16]; 1];
+        let weights = vec![1.0f32];
+        let (cycles, out) = simulate_output_row(&rows, &weights, 1, 1, 8, 2, 8);
+        assert_eq!(out, vec![1.0; 8]);
+        assert_eq!(cycles, 1);
+    }
+
+    #[test]
+    fn more_macs_per_lane_cut_cycles() {
+        let rows = vec![vec![0.0f32; 64]; 3];
+        let weights = vec![0.0f32; 9];
+        let (c8, _) = simulate_output_row(&rows, &weights, 3, 1, 64, 1, 8);
+        let (c16, _) = simulate_output_row(&rows, &weights, 3, 1, 64, 1, 16);
+        assert_eq!(c8, 2 * c16);
+    }
+}

@@ -1,0 +1,138 @@
+//! Roofline analysis of layers on the accelerator.
+//!
+//! For each layer the model computes its **arithmetic intensity**
+//! (MACs per activation word moved through the global buffers) and the
+//! **attainable MAC rate** under the machine's compute roof
+//! (`lanes × 8 / cycle`) and bandwidth roof
+//! (`intensity × act_words_per_cycle`). Depth-wise layers sit far left on
+//! the intensity axis — the visual version of the paper's Challenge #II —
+//! and the intra-channel-reuse optimisation literally moves them right.
+
+use crate::config::AcceleratorConfig;
+use crate::cost::layer_cost;
+use eyecod_models::{LayerSpec, ModelSpec};
+use serde::{Deserialize, Serialize};
+
+/// One layer's position on the roofline plot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Layer name.
+    pub layer: String,
+    /// MACs per activation word moved (GB traffic).
+    pub intensity: f64,
+    /// Attainable MACs per cycle under both roofs.
+    pub attainable_macs_per_cycle: f64,
+    /// Achieved MACs per cycle from the cycle model.
+    pub achieved_macs_per_cycle: f64,
+    /// True if the bandwidth roof (not the compute roof) binds.
+    pub bandwidth_bound: bool,
+    /// Whether the layer is depth-wise.
+    pub is_depthwise: bool,
+}
+
+/// Computes the roofline point of one layer.
+pub fn roofline_point(layer: &LayerSpec, cfg: &AcceleratorConfig) -> RooflinePoint {
+    let cost = layer_cost(layer, cfg.mac_lanes, cfg);
+    let words = (cost.act_read_words + cost.act_write_words).max(1);
+    let intensity = cost.macs as f64 / words as f64;
+    let compute_roof = cfg.total_macs() as f64;
+    let bandwidth_roof = intensity * cfg.effective_act_words_per_cycle() as f64;
+    let attainable = compute_roof.min(bandwidth_roof);
+    RooflinePoint {
+        layer: layer.name.clone(),
+        intensity,
+        attainable_macs_per_cycle: attainable,
+        achieved_macs_per_cycle: cost.macs as f64 / cost.cycles.max(1) as f64,
+        bandwidth_bound: bandwidth_roof < compute_roof,
+        is_depthwise: cost.is_depthwise,
+    }
+}
+
+/// Roofline points for every compute layer of a model.
+pub fn model_roofline(model: &ModelSpec, cfg: &AcceleratorConfig) -> Vec<RooflinePoint> {
+    model
+        .layers
+        .iter()
+        .filter(|l| l.kind.is_compute())
+        .map(|l| roofline_point(l, cfg))
+        .collect()
+}
+
+/// The ridge point of the machine: the intensity at which the bandwidth
+/// roof meets the compute roof (MACs per word).
+pub fn ridge_intensity(cfg: &AcceleratorConfig) -> f64 {
+    cfg.total_macs() as f64 / cfg.effective_act_words_per_cycle() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyecod_models::fbnet;
+
+    #[test]
+    fn achieved_never_exceeds_attainable() {
+        let cfg = AcceleratorConfig::paper_default();
+        for p in model_roofline(&fbnet::spec(96, 160), &cfg) {
+            assert!(
+                p.achieved_macs_per_cycle <= p.attainable_macs_per_cycle * 1.001,
+                "{}: achieved {:.1} > attainable {:.1}",
+                p.layer,
+                p.achieved_macs_per_cycle,
+                p.attainable_macs_per_cycle
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_layers_sit_left_of_pointwise() {
+        // Challenge #II as geometry: depth-wise intensity ≪ point-wise.
+        let cfg = AcceleratorConfig::paper_default();
+        let points = model_roofline(&fbnet::spec(96, 160), &cfg);
+        let mean = |dw: bool| {
+            let v: Vec<f64> = points
+                .iter()
+                .filter(|p| p.is_depthwise == dw)
+                .map(|p| p.intensity)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean(false) > 4.0 * mean(true),
+            "pointwise intensity {:.1} vs depthwise {:.1}",
+            mean(false),
+            mean(true)
+        );
+    }
+
+    #[test]
+    fn reuse_moves_depthwise_right() {
+        // intra-channel reuse divides depth-wise traffic by k -> higher
+        // intensity -> a higher bandwidth roof
+        let with = AcceleratorConfig::paper_default();
+        let without = AcceleratorConfig {
+            intra_channel_reuse: false,
+            ..AcceleratorConfig::paper_default()
+        };
+        let spec = fbnet::spec(96, 160);
+        let dw_intensity = |cfg: &AcceleratorConfig| {
+            model_roofline(&spec, cfg)
+                .iter()
+                .filter(|p| p.is_depthwise)
+                .map(|p| p.intensity)
+                .sum::<f64>()
+        };
+        assert!(dw_intensity(&with) > 2.0 * dw_intensity(&without));
+    }
+
+    #[test]
+    fn ridge_point_halves_without_swpr() {
+        let with = AcceleratorConfig::paper_default();
+        let without = AcceleratorConfig {
+            swpr_buffer: false,
+            ..AcceleratorConfig::paper_default()
+        };
+        // less effective bandwidth -> the ridge moves right (more layers
+        // become bandwidth-bound)
+        assert!((ridge_intensity(&without) - 2.0 * ridge_intensity(&with)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,429 @@
+//! Workload orchestration between the segmentation and gaze models
+//! (paper §5.1 Challenge #I / Principle #I) and the window-level simulator.
+
+use crate::config::AcceleratorConfig;
+use crate::cost::{model_cost, LayerCost};
+use crate::energy::{EnergyCounts, EnergyModel};
+use crate::workload::PipelineWorkload;
+use serde::{Deserialize, Serialize};
+
+/// How the two models share the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Orchestration {
+    /// One model's layer at a time occupies all MACs (paper Fig. 4a). The
+    /// segmentation frame becomes a latency spike; sustaining the target
+    /// FPS would need ~25 % extra MACs.
+    TimeMultiplexed,
+    /// A fixed spatial split of the MAC lanes runs both models
+    /// simultaneously (paper Fig. 4b). Balancing execution frequencies
+    /// leaves the segmentation model only a handful of lanes, destroying
+    /// its data reuse.
+    Concurrent,
+    /// EyeCoD's mode (paper Fig. 6): the gaze model owns the machine; the
+    /// segmentation model executes on MACs left idle by the gaze model's
+    /// low-utilisation (depth-wise and small late) layers.
+    PartialTimeMultiplexed,
+}
+
+/// Result of simulating one evaluation window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// Workload name.
+    pub workload: String,
+    /// Orchestration used.
+    pub orchestration: Orchestration,
+    /// Total cycles for the window.
+    pub cycles: u64,
+    /// Throughput in frames per second.
+    pub fps: f64,
+    /// MAC-utilisation averaged over the window.
+    pub avg_utilization: f64,
+    /// Total energy in joules for the window.
+    pub energy_joules: f64,
+    /// Energy per frame in millijoules.
+    pub energy_per_frame_mj: f64,
+    /// Aggregated event counts.
+    pub counts: EnergyCounts,
+    /// Per-layer costs of the per-frame stages (reconstruction + gaze).
+    pub frame_costs: Vec<LayerCost>,
+    /// Per-layer costs of the periodic segmentation stage.
+    pub seg_costs: Vec<LayerCost>,
+    /// Fraction of the segmentation work absorbed into idle MACs
+    /// (only meaningful in partial time-multiplexing).
+    pub seg_absorbed: f64,
+    /// Cycles of the slowest frame in the window. Under time-multiplexing
+    /// the segmentation frame is a latency spike (paper Challenge #I);
+    /// partial time-multiplexing flattens it.
+    pub worst_frame_cycles: u64,
+}
+
+impl WindowReport {
+    /// Frames-per-joule energy efficiency.
+    pub fn frames_per_joule(&self) -> f64 {
+        if self.energy_per_frame_mj <= 0.0 {
+            return 0.0;
+        }
+        1.0 / (self.energy_per_frame_mj * 1e-3)
+    }
+}
+
+/// Simulates pipeline workloads over evaluation windows.
+#[derive(Debug, Clone)]
+pub struct WindowSimulator {
+    config: AcceleratorConfig,
+    energy: EnergyModel,
+}
+
+impl WindowSimulator {
+    /// Creates a simulator with the default 28 nm energy model.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        config.validate();
+        WindowSimulator {
+            config,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// Creates a simulator with a custom energy model.
+    pub fn with_energy(config: AcceleratorConfig, energy: EnergyModel) -> Self {
+        config.validate();
+        WindowSimulator { config, energy }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Runs one evaluation window of `workload`.
+    pub fn run_window(&self, workload: &PipelineWorkload) -> WindowReport {
+        workload.validate();
+        let cfg = &self.config;
+        let lanes = cfg.mac_lanes;
+        let frames = workload.window as u64;
+
+        // Per-frame stage costs on the full machine.
+        let mut frame_costs: Vec<LayerCost> = Vec::new();
+        for m in &workload.per_frame {
+            frame_costs.extend(model_cost(&m.layers, lanes, cfg));
+        }
+        let frame_cycles: u64 = frame_costs.iter().map(|c| c.cycles).sum();
+
+        let (seg_costs_full, seg_period) = match &workload.periodic {
+            Some((seg, period)) => (model_cost(&seg.layers, lanes, cfg), *period as u64),
+            None => (Vec::new(), frames),
+        };
+        let seg_cycles_full: u64 = seg_costs_full.iter().map(|c| c.cycles).sum();
+        let seg_runs = if workload.periodic.is_some() {
+            (frames / seg_period).max(1)
+        } else {
+            0
+        };
+
+        let (window_cycles, seg_costs, seg_absorbed, worst_frame_cycles) =
+            match cfg.orchestration {
+                Orchestration::TimeMultiplexed => (
+                    frames * frame_cycles + seg_runs * seg_cycles_full,
+                    seg_costs_full,
+                    0.0,
+                    // the frame that also runs segmentation is the spike
+                    frame_cycles + seg_cycles_full,
+                ),
+                Orchestration::Concurrent => {
+                    let (cycles, costs) = self.concurrent_window(workload, frames, seg_runs);
+                    let worst = cycles.div_ceil(frames);
+                    (cycles, costs, 0.0, worst)
+                }
+                Orchestration::PartialTimeMultiplexed => {
+                    let (cycles, absorbed) = self.partial_window(
+                        &frame_costs,
+                        frame_cycles,
+                        &seg_costs_full,
+                        frames,
+                        seg_runs,
+                    );
+                    // the residue (if any) is spread across the window, so
+                    // frame latency is nearly flat
+                    let worst = cycles.div_ceil(frames);
+                    (cycles, seg_costs_full, absorbed, worst)
+                }
+            };
+
+        // Energy: every stage executes exactly once per schedule regardless
+        // of orchestration; only cycle counts (static energy, utilisation)
+        // differ.
+        let mut counts = EnergyCounts::default();
+        for c in &frame_costs {
+            counts.accumulate(&c.energy_counts().scaled(frames));
+        }
+        for c in &seg_costs {
+            counts.accumulate(&c.energy_counts().scaled(seg_runs));
+        }
+        counts.offchip_bytes += workload.offchip_bytes_per_frame * frames;
+        counts.cycles = window_cycles;
+
+        let energy_joules = counts.energy_joules(&self.energy, cfg.clock_mhz);
+        let total_macs: u64 = counts.macs;
+        let avg_utilization = total_macs as f64
+            / (window_cycles as f64 * cfg.total_macs() as f64).max(1.0);
+        let seconds = window_cycles as f64 / (cfg.clock_mhz * 1e6);
+        let fps = frames as f64 / seconds;
+
+        WindowReport {
+            workload: workload.name.clone(),
+            orchestration: cfg.orchestration,
+            cycles: window_cycles,
+            fps,
+            avg_utilization,
+            energy_joules,
+            energy_per_frame_mj: energy_joules * 1e3 / frames as f64,
+            counts,
+            frame_costs,
+            seg_costs,
+            seg_absorbed,
+            worst_frame_cycles,
+        }
+    }
+
+    /// MACs the accelerator would need to hold `target_fps` on the
+    /// *worst* frame — the paper's Challenge #I sizing argument (sustaining
+    /// 240 FPS through the segmentation frame needs ~25 % extra MACs under
+    /// plain time-multiplexing).
+    pub fn macs_needed_for_worst_frame(&self, report: &WindowReport, target_fps: f64) -> f64 {
+        let budget_cycles = self.config.clock_mhz * 1e6 / target_fps;
+        self.config.total_macs() as f64 * report.worst_frame_cycles as f64 / budget_cycles
+    }
+
+    /// Concurrent mode: a static lane split balancing the two models'
+    /// work rates; both partitions run in parallel.
+    fn concurrent_window(
+        &self,
+        workload: &PipelineWorkload,
+        frames: u64,
+        seg_runs: u64,
+    ) -> (u64, Vec<LayerCost>) {
+        let cfg = &self.config;
+        let lanes = cfg.mac_lanes;
+        let per_frame_macs: u64 = workload.per_frame.iter().map(|m| m.macs()).sum();
+        let seg_macs = workload
+            .periodic
+            .as_ref()
+            .map(|(m, _)| m.macs())
+            .unwrap_or(0);
+        // Balance by work share over the window (paper: this assigns the
+        // segmentation model only ~4 of 1024 MACs).
+        let total = per_frame_macs * frames + seg_macs * seg_runs;
+        let seg_lanes = if seg_macs == 0 {
+            0
+        } else {
+            (((seg_macs * seg_runs) as f64 / total.max(1) as f64) * lanes as f64)
+                .round()
+                .max(1.0) as usize
+        };
+        let gaze_lanes = lanes - seg_lanes.min(lanes - 1);
+
+        let mut frame_costs = Vec::new();
+        for m in &workload.per_frame {
+            frame_costs.extend(model_cost(&m.layers, gaze_lanes, cfg));
+        }
+        let frame_cycles: u64 = frame_costs.iter().map(|c| c.cycles).sum();
+        let seg_costs = workload
+            .periodic
+            .as_ref()
+            .map(|(m, _)| model_cost(&m.layers, seg_lanes.max(1), cfg))
+            .unwrap_or_default();
+        let seg_cycles: u64 = seg_costs.iter().map(|c| c.cycles).sum();
+        let cycles = (frames * frame_cycles).max(seg_runs * seg_cycles);
+        (cycles, seg_costs)
+    }
+
+    /// Partial time-multiplexing: the segmentation model soaks up MAC-cycles
+    /// left idle by low-utilisation gaze layers (util < 80 %, the red line
+    /// of paper Fig. 7), at a small activation-bandwidth premium; any
+    /// residue runs time-multiplexed.
+    fn partial_window(
+        &self,
+        frame_costs: &[LayerCost],
+        frame_cycles: u64,
+        seg_costs: &[LayerCost],
+        frames: u64,
+        seg_runs: u64,
+    ) -> (u64, f64) {
+        let cfg = &self.config;
+        let mpl = cfg.macs_per_lane;
+        // Idle MAC-cycles the gaze stages expose per frame on layers below
+        // the 80% utilisation line.
+        let idle_per_frame: u64 = frame_costs
+            .iter()
+            .filter(|c| c.utilization < 0.80)
+            .map(|c| c.idle_mac_cycles(mpl))
+            .sum();
+        // Scavenged execution achieves a reduced efficiency.
+        const SCAVENGE_EFF: f64 = 0.85;
+        let seg_demand: f64 = seg_costs
+            .iter()
+            .map(|c| c.macs as f64 / SCAVENGE_EFF)
+            .sum::<f64>()
+            * seg_runs as f64;
+        let available = (idle_per_frame * frames) as f64 * SCAVENGE_EFF;
+        let absorbed = seg_demand.min(available);
+        let absorbed_frac = if seg_demand > 0.0 {
+            absorbed / seg_demand
+        } else {
+            1.0
+        };
+        let leftover_macs = seg_demand - absorbed;
+        let leftover_cycles =
+            (leftover_macs / (cfg.total_macs() as f64 * SCAVENGE_EFF)).ceil() as u64;
+        // Running both models concurrently raises the activation GB
+        // bandwidth requirement ~10% (paper); with the SWPR buffer most of
+        // it is hidden.
+        let bw_penalty = if cfg.swpr_buffer { 1.02 } else { 1.08 };
+        let cycles =
+            ((frames * frame_cycles) as f64 * bw_penalty).ceil() as u64 + leftover_cycles;
+        (cycles, absorbed_frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::EyeCodWorkload;
+
+    fn sim(orch: Orchestration, swpr: bool, reuse: bool) -> WindowSimulator {
+        WindowSimulator::new(AcceleratorConfig {
+            orchestration: orch,
+            swpr_buffer: swpr,
+            intra_channel_reuse: reuse,
+            ..AcceleratorConfig::paper_default()
+        })
+    }
+
+    #[test]
+    fn full_eyecod_exceeds_240_fps() {
+        let report = sim(Orchestration::PartialTimeMultiplexed, true, true)
+            .run_window(&EyeCodWorkload::paper_default().into_workload());
+        assert!(report.fps > 240.0, "fps {}", report.fps);
+        assert!(report.avg_utilization > 0.5, "util {}", report.avg_utilization);
+    }
+
+    #[test]
+    fn partial_beats_time_multiplexed() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let tm = sim(Orchestration::TimeMultiplexed, true, true).run_window(&w);
+        let pm = sim(Orchestration::PartialTimeMultiplexed, true, true).run_window(&w);
+        assert!(
+            pm.fps > tm.fps,
+            "partial {} should beat time-mux {}",
+            pm.fps,
+            tm.fps
+        );
+    }
+
+    #[test]
+    fn partial_beats_concurrent() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let cc = sim(Orchestration::Concurrent, true, true).run_window(&w);
+        let pm = sim(Orchestration::PartialTimeMultiplexed, true, true).run_window(&w);
+        assert!(
+            pm.fps > cc.fps,
+            "partial {} should beat concurrent {}",
+            pm.fps,
+            cc.fps
+        );
+    }
+
+    #[test]
+    fn concurrent_gives_segmentation_very_few_lanes() {
+        // paper: a balanced split leaves segmentation ~4 of 1024 MACs
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let cc = sim(Orchestration::Concurrent, true, true).run_window(&w);
+        let seg_lanes = cc.seg_costs.first().map(|c| c.lanes).unwrap_or(0);
+        assert!(
+            seg_lanes * 4 <= 128,
+            "segmentation partition should be a small minority, got {seg_lanes} lanes"
+        );
+    }
+
+    #[test]
+    fn swpr_improves_throughput() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let without = sim(Orchestration::TimeMultiplexed, false, false).run_window(&w);
+        let with = sim(Orchestration::TimeMultiplexed, true, false).run_window(&w);
+        let ratio = with.fps / without.fps;
+        assert!(
+            ratio > 1.1,
+            "SWPR should give a tangible speedup, got {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn intra_channel_reuse_improves_throughput() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let without = sim(Orchestration::PartialTimeMultiplexed, true, false).run_window(&w);
+        let with = sim(Orchestration::PartialTimeMultiplexed, true, true).run_window(&w);
+        let ratio = with.fps / without.fps;
+        assert!(ratio > 1.05, "reuse speedup {ratio:.2}x");
+    }
+
+    #[test]
+    fn most_segmentation_work_is_absorbed() {
+        let report = sim(Orchestration::PartialTimeMultiplexed, true, true)
+            .run_window(&EyeCodWorkload::paper_default().into_workload());
+        assert!(
+            report.seg_absorbed > 0.5,
+            "absorbed fraction {}",
+            report.seg_absorbed
+        );
+    }
+
+    #[test]
+    fn time_multiplexing_has_a_segmentation_latency_spike() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let tm = sim(Orchestration::TimeMultiplexed, true, true).run_window(&w);
+        let pm = sim(Orchestration::PartialTimeMultiplexed, true, true).run_window(&w);
+        let tm_avg = tm.cycles / 50;
+        // the segmentation frame is several times the average frame
+        assert!(
+            tm.worst_frame_cycles > 2 * tm_avg,
+            "time-mux spike {} vs avg {tm_avg}",
+            tm.worst_frame_cycles
+        );
+        // partial mode flattens the spike
+        assert!(tm.worst_frame_cycles > 2 * pm.worst_frame_cycles);
+        // Challenge #I: sustaining a frame-rate target through the spike
+        // needs substantially more MACs under time-multiplexing
+        let target = pm.fps;
+        let s = sim(Orchestration::TimeMultiplexed, true, true);
+        let needed_tm = s.macs_needed_for_worst_frame(&tm, target);
+        let s2 = sim(Orchestration::PartialTimeMultiplexed, true, true);
+        let needed_pm = s2.macs_needed_for_worst_frame(&pm, target);
+        assert!(
+            needed_tm > 1.2 * needed_pm,
+            "time-mux should need extra MACs: {needed_tm:.0} vs {needed_pm:.0}"
+        );
+    }
+
+    #[test]
+    fn energy_counts_are_orchestration_invariant_for_dynamic_work() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let tm = sim(Orchestration::TimeMultiplexed, true, true).run_window(&w);
+        let pm = sim(Orchestration::PartialTimeMultiplexed, true, true).run_window(&w);
+        assert_eq!(tm.counts.macs, pm.counts.macs);
+        assert_eq!(tm.counts.gb_words, pm.counts.gb_words);
+    }
+
+    #[test]
+    fn lens_system_is_slower_than_eyecod() {
+        let eyecod = sim(Orchestration::PartialTimeMultiplexed, true, true)
+            .run_window(&EyeCodWorkload::paper_default().into_workload());
+        let lens = WindowSimulator::new(AcceleratorConfig::ablation_baseline())
+            .run_window(&EyeCodWorkload::lens_based().into_workload());
+        let speedup = eyecod.fps / lens.fps;
+        // Table 6: full EyeCoD is ~4x the lens-based baseline.
+        assert!(
+            speedup > 2.0,
+            "end-to-end speedup {speedup:.2}x should be substantial"
+        );
+    }
+}

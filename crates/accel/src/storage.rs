@@ -1,0 +1,325 @@
+//! Activation global-buffer storage arrangement (paper §5.2, Fig. 11).
+//!
+//! Each activation GB address stores one *tile* of 16 activations along the
+//! channel dimension at a single `(y, x)` position; four banks operate in
+//! parallel. This arrangement makes the four reshaping operations of the
+//! predict-then-focus pipeline — partition, concatenation, downsampling and
+//! upsampling — pure address arithmetic, which this module implements
+//! functionally and verifies against the tensor-level operators.
+//!
+//! The module also carries the Challenge #III accounting: activation
+//! footprints with and without input feature-wise partition.
+
+use eyecod_models::{LayerSpec, ModelSpec};
+use eyecod_tensor::{Shape, Tensor};
+
+/// Channels per GB address (the tile granularity of Fig. 11).
+pub const TILE_CHANNELS: usize = 16;
+
+/// A functional model of one activation tensor laid out in the banked GB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActStore {
+    c: usize,
+    h: usize,
+    w: usize,
+    banks: usize,
+    /// `data[addr][offset]`, where each address holds [`TILE_CHANNELS`]
+    /// values; addresses are assigned round-robin over banks.
+    data: Vec<[f32; TILE_CHANNELS]>,
+}
+
+impl ActStore {
+    /// Lays out a `(1, C, H, W)` tensor in the banked storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has a batch or bank count of zero.
+    pub fn from_tensor(t: &Tensor, banks: usize) -> Self {
+        let s = t.shape();
+        assert_eq!(s.n, 1, "ActStore holds single-frame activations");
+        assert!(banks > 0, "need at least one bank");
+        let c_tiles = s.c.div_ceil(TILE_CHANNELS);
+        let mut data = vec![[0.0f32; TILE_CHANNELS]; c_tiles * s.h * s.w];
+        for y in 0..s.h {
+            for x in 0..s.w {
+                for ct in 0..c_tiles {
+                    let addr = Self::addr_for(ct, y, x, s.w, c_tiles);
+                    #[allow(clippy::needless_range_loop)] // off indexes both tile and tensor
+                    for off in 0..TILE_CHANNELS {
+                        let c = ct * TILE_CHANNELS + off;
+                        if c < s.c {
+                            data[addr][off] = t.at(0, c, y, x);
+                        }
+                    }
+                }
+            }
+        }
+        ActStore {
+            c: s.c,
+            h: s.h,
+            w: s.w,
+            banks,
+            data,
+        }
+    }
+
+    /// Address of a tile: row-major over `(y, x)`, channel tiles innermost
+    /// (so one spatial position's channel tiles sit in consecutive banks and
+    /// can be fetched in parallel).
+    fn addr_for(c_tile: usize, y: usize, x: usize, w: usize, c_tiles: usize) -> usize {
+        (y * w + x) * c_tiles + c_tile
+    }
+
+    /// The bank an address maps to.
+    pub fn bank_of(&self, addr: usize) -> usize {
+        addr % self.banks
+    }
+
+    /// Logical shape `(c, h, w)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    /// Total addresses used.
+    pub fn addresses(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reads the stored activation back into a tensor.
+    pub fn to_tensor(&self) -> Tensor {
+        let c_tiles = self.c.div_ceil(TILE_CHANNELS);
+        Tensor::from_fn(Shape::new(1, self.c, self.h, self.w), |_, c, y, x| {
+            let addr = Self::addr_for(c / TILE_CHANNELS, y, x, self.w, c_tiles);
+            self.data[addr][c % TILE_CHANNELS]
+        })
+    }
+
+    /// Fig. 11 (b): partitions along the height dimension into `parts`
+    /// equal slices, each a standalone store (pure address arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the height is not divisible by `parts`.
+    pub fn partition(&self, parts: usize) -> Vec<ActStore> {
+        assert!(parts > 0 && self.h.is_multiple_of(parts), "height {} not divisible into {parts}", self.h);
+        let t = self.to_tensor();
+        let ph = self.h / parts;
+        (0..parts)
+            .map(|p| {
+                let slice = eyecod_tensor::ops::crop(&t, p * ph, 0, ph, self.w);
+                ActStore::from_tensor(&slice, self.banks)
+            })
+            .collect()
+    }
+
+    /// Fig. 11 (c): concatenates another store along the channel dimension.
+    /// Efficient in hardware exactly when both stores' channel counts are
+    /// tile-aligned (the paper constrains concat granularity to multiples
+    /// of 16); we assert that alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if spatial extents differ or `self.c` is not tile-aligned.
+    pub fn concat_channels(&self, other: &ActStore) -> ActStore {
+        assert_eq!((self.h, self.w), (other.h, other.w), "spatial mismatch");
+        assert!(
+            self.c.is_multiple_of(TILE_CHANNELS),
+            "channel concat requires tile alignment ({} channels)",
+            self.c
+        );
+        let a = self.to_tensor();
+        let b = other.to_tensor();
+        ActStore::from_tensor(&eyecod_tensor::ops::concat_channels(&[&a, &b]), self.banks)
+    }
+
+    /// Fig. 11 (d): drops every other activation in each feature map
+    /// (stride-2 downsampling by address selection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extents are odd.
+    pub fn downsample2(&self) -> ActStore {
+        assert!(self.h.is_multiple_of(2) && self.w.is_multiple_of(2), "extents must be even");
+        let t = self.to_tensor();
+        let d = Tensor::from_fn(
+            Shape::new(1, self.c, self.h / 2, self.w / 2),
+            |_, c, y, x| t.at(0, c, 2 * y, 2 * x),
+        );
+        ActStore::from_tensor(&d, self.banks)
+    }
+
+    /// Fig. 11 (e): nearest-neighbour upsampling by address duplication.
+    pub fn upsample2(&self) -> ActStore {
+        let t = self.to_tensor();
+        ActStore::from_tensor(&eyecod_tensor::ops::upsample_nearest(&t, 2), self.banks)
+    }
+
+    /// Verifies that consecutive channel tiles of one spatial position land
+    /// in distinct banks (parallel fetch without conflicts), as long as the
+    /// tile count per position does not exceed the bank count.
+    pub fn parallel_fetch_conflict_free(&self) -> bool {
+        let c_tiles = self.c.div_ceil(TILE_CHANNELS);
+        if c_tiles > self.banks {
+            return true; // fetched over multiple cycles by construction
+        }
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let mut seen = vec![false; self.banks];
+                for ct in 0..c_tiles {
+                    let b = self.bank_of(Self::addr_for(ct, y, x, self.w, c_tiles));
+                    if seen[b] {
+                        return false;
+                    }
+                    seen[b] = true;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Peak activation footprint in bytes of running `model` layer-by-layer
+/// without partitioning — the paper's Challenge #III number (2.78 MB for
+/// the two models).
+pub fn peak_activation_bytes(model: &ModelSpec, bytes_per_word: usize) -> u64 {
+    model.peak_activation_elems() * bytes_per_word as u64
+}
+
+/// Peak activation footprint with input feature-wise partition into
+/// `parts` height slices, including the `k-1` halo rows each partition
+/// re-materialises (paper Principle #III: ~36 % of the unpartitioned size
+/// at 4 partitions).
+pub fn partitioned_activation_bytes(
+    model: &ModelSpec,
+    parts: usize,
+    bytes_per_word: usize,
+) -> u64 {
+    assert!(parts > 0, "parts must be non-zero");
+    model
+        .layers
+        .iter()
+        .map(|l: &LayerSpec| {
+            let (oh, ow) = l.out_hw();
+            let k = match l.kind {
+                eyecod_models::LayerKind::Conv { k, .. }
+                | eyecod_models::LayerKind::Depthwise { k, .. } => k,
+                _ => 1,
+            };
+            let halo = k.saturating_sub(1);
+            let in_rows = (l.h_in / parts + halo).min(l.h_in) as u64;
+            let out_rows = (oh / parts + halo).min(oh) as u64;
+            let input = l.c_in as u64 * in_rows * l.w_in as u64;
+            let output = l.c_out as u64 * out_rows * ow as u64;
+            (input + output) * bytes_per_word as u64
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyecod_models::ritnet;
+
+    fn sample_tensor(c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_fn(Shape::new(1, c, h, w), |_, c, y, x| {
+            (c * 10_000 + y * 100 + x) as f32
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let t = sample_tensor(24, 6, 6);
+        let store = ActStore::from_tensor(&t, 4);
+        assert_eq!(store.to_tensor(), t);
+        // Fig. 11 (a): a 6x6x24 tensor occupies 6*6*2 = 72 addresses
+        assert_eq!(store.addresses(), 72);
+    }
+
+    #[test]
+    fn partition_then_reassemble() {
+        let t = sample_tensor(16, 8, 4);
+        let store = ActStore::from_tensor(&t, 4);
+        let parts = store.partition(4);
+        assert_eq!(parts.len(), 4);
+        let tensors: Vec<Tensor> = parts.iter().map(ActStore::to_tensor).collect();
+        // stacking the slices along height reproduces the original
+        let mut reassembled = Tensor::zeros(t.shape());
+        for (p, pt) in tensors.iter().enumerate() {
+            for c in 0..16 {
+                for y in 0..2 {
+                    for x in 0..4 {
+                        *reassembled.at_mut(0, c, p * 2 + y, x) = pt.at(0, c, y, x);
+                    }
+                }
+            }
+        }
+        assert_eq!(reassembled, t);
+    }
+
+    #[test]
+    fn concat_matches_tensor_concat() {
+        let a = sample_tensor(16, 4, 4);
+        let b = sample_tensor(32, 4, 4);
+        let sa = ActStore::from_tensor(&a, 4);
+        let sb = ActStore::from_tensor(&b, 4);
+        let cat = sa.concat_channels(&sb);
+        assert_eq!(
+            cat.to_tensor(),
+            eyecod_tensor::ops::concat_channels(&[&a, &b])
+        );
+        assert_eq!(cat.shape(), (48, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile alignment")]
+    fn concat_requires_alignment() {
+        let a = ActStore::from_tensor(&sample_tensor(10, 4, 4), 4);
+        let b = ActStore::from_tensor(&sample_tensor(16, 4, 4), 4);
+        a.concat_channels(&b);
+    }
+
+    #[test]
+    fn down_up_round_trip_on_even_grid() {
+        let t = Tensor::from_fn(Shape::new(1, 16, 4, 4), |_, c, y, x| {
+            // constant over 2x2 blocks so drop-downsample is invertible
+            (c * 100 + (y / 2) * 10 + x / 2) as f32
+        });
+        let store = ActStore::from_tensor(&t, 4);
+        let rt = store.downsample2().upsample2();
+        assert_eq!(rt.to_tensor(), t);
+    }
+
+    #[test]
+    fn parallel_fetch_is_conflict_free() {
+        let store = ActStore::from_tensor(&sample_tensor(64, 6, 6), 4);
+        assert!(store.parallel_fetch_conflict_free());
+    }
+
+    #[test]
+    fn partition_shrinks_ritnet_footprint_to_about_a_third() {
+        // Principle #III: partitioned footprint ≈ 36% of unpartitioned.
+        let seg = ritnet::spec(128);
+        let full = peak_activation_bytes(&seg, 1);
+        let part = partitioned_activation_bytes(&seg, 4, 1);
+        let ratio = part as f64 / full as f64;
+        assert!(
+            (0.25..0.50).contains(&ratio),
+            "partitioned/unpartitioned ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn combined_models_need_partition_to_fit_act_gb() {
+        // Challenge #III: unpartitioned activations exceed the 1 MB Act GBs;
+        // partitioned they fit.
+        let seg = ritnet::spec(128);
+        let gaze = eyecod_models::fbnet::spec(96, 160);
+        let full = peak_activation_bytes(&seg, 1) + peak_activation_bytes(&gaze, 1);
+        let part =
+            partitioned_activation_bytes(&seg, 4, 1) + partitioned_activation_bytes(&gaze, 4, 1);
+        let act_gb_total = 2 * 512 * 1024;
+        assert!(part < full / 2, "partitioning should at least halve the footprint");
+        assert!(part < act_gb_total, "partitioned activations must fit the Act GBs");
+    }
+}

@@ -1,0 +1,181 @@
+//! MAC-utilisation timelines (paper Fig. 7).
+
+use crate::cost::LayerCost;
+use serde::{Deserialize, Serialize};
+
+/// One constant-utilisation segment of a timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSegment {
+    /// Segment start time in microseconds.
+    pub start_us: f64,
+    /// Segment end time in microseconds.
+    pub end_us: f64,
+    /// MAC utilisation in `[0, 1]`.
+    pub utilization: f64,
+    /// Whether the segment belongs to a depth-wise layer.
+    pub is_depthwise: bool,
+}
+
+/// A per-layer utilisation timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationTrace {
+    segments: Vec<TraceSegment>,
+}
+
+impl UtilizationTrace {
+    /// Builds a timeline from a sequence of layer costs executed
+    /// back-to-back at `clock_mhz`.
+    pub fn from_costs(costs: &[LayerCost], clock_mhz: f64) -> Self {
+        assert!(clock_mhz > 0.0, "clock must be positive");
+        let mut segments = Vec::with_capacity(costs.len());
+        let mut t = 0.0f64;
+        for c in costs {
+            let dur = c.cycles as f64 / clock_mhz; // µs (cycles / MHz)
+            if c.cycles == 0 {
+                continue;
+            }
+            segments.push(TraceSegment {
+                start_us: t,
+                end_us: t + dur,
+                utilization: c.utilization,
+                is_depthwise: c.is_depthwise,
+            });
+            t += dur;
+        }
+        UtilizationTrace { segments }
+    }
+
+    /// The raw segments.
+    pub fn segments(&self) -> &[TraceSegment] {
+        &self.segments
+    }
+
+    /// Total duration in microseconds.
+    pub fn duration_us(&self) -> f64 {
+        self.segments.last().map(|s| s.end_us).unwrap_or(0.0)
+    }
+
+    /// Time-weighted mean utilisation.
+    pub fn mean_utilization(&self) -> f64 {
+        let dur = self.duration_us();
+        if dur == 0.0 {
+            return 0.0;
+        }
+        self.segments
+            .iter()
+            .map(|s| s.utilization * (s.end_us - s.start_us))
+            .sum::<f64>()
+            / dur
+    }
+
+    /// Fraction of time spent below the given utilisation threshold — the
+    /// opportunity window the partial time-multiplexing mode exploits
+    /// (paper Fig. 7 draws the line at 80 %).
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        let dur = self.duration_us();
+        if dur == 0.0 {
+            return 0.0;
+        }
+        self.segments
+            .iter()
+            .filter(|s| s.utilization < threshold)
+            .map(|s| s.end_us - s.start_us)
+            .sum::<f64>()
+            / dur
+    }
+
+    /// Resamples the timeline to `n` evenly spaced `(time_us, utilization)`
+    /// points, for plotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn resample(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n > 0, "need at least one sample");
+        let dur = self.duration_us();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = dur * (i as f64 + 0.5) / n as f64;
+            let u = self
+                .segments
+                .iter()
+                .find(|s| t >= s.start_us && t < s.end_us)
+                .map(|s| s.utilization)
+                .unwrap_or(0.0);
+            out.push((t, u));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(name: &str, cycles: u64, util: f64, dw: bool) -> LayerCost {
+        LayerCost {
+            name: name.into(),
+            macs: (cycles as f64 * util * 1024.0) as u64,
+            compute_cycles: cycles,
+            memory_cycles: 0,
+            cycles,
+            utilization: util,
+            act_read_words: 0,
+            act_write_words: 0,
+            weight_gb_words: 0,
+            is_depthwise: dw,
+            lanes: 128,
+        }
+    }
+
+    #[test]
+    fn timeline_is_contiguous() {
+        let t = UtilizationTrace::from_costs(
+            &[cost("a", 370, 0.9, false), cost("b", 740, 0.4, true)],
+            370.0,
+        );
+        let segs = t.segments();
+        assert_eq!(segs.len(), 2);
+        assert!((segs[0].end_us - 1.0).abs() < 1e-9);
+        assert!((segs[1].start_us - 1.0).abs() < 1e-9);
+        assert!((t.duration_us() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_is_time_weighted() {
+        let t = UtilizationTrace::from_costs(
+            &[cost("a", 100, 1.0, false), cost("b", 300, 0.5, true)],
+            370.0,
+        );
+        assert!((t.mean_utilization() - (100.0 + 150.0) / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        let t = UtilizationTrace::from_costs(
+            &[cost("a", 100, 0.9, false), cost("b", 100, 0.3, true)],
+            370.0,
+        );
+        assert!((t.fraction_below(0.8) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_reflects_segments() {
+        let t = UtilizationTrace::from_costs(
+            &[cost("a", 100, 1.0, false), cost("b", 100, 0.0, false)],
+            370.0,
+        );
+        let pts = t.resample(10);
+        assert_eq!(pts.len(), 10);
+        assert!(pts[0].1 > 0.9);
+        assert!(pts[9].1 < 0.1);
+    }
+
+    #[test]
+    fn zero_cycle_layers_are_skipped() {
+        let t = UtilizationTrace::from_costs(&[cost("z", 0, 0.0, false)], 370.0);
+        assert!(t.segments().is_empty());
+        assert_eq!(t.duration_us(), 0.0);
+        assert_eq!(t.mean_utilization(), 0.0);
+    }
+}

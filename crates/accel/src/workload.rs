@@ -1,0 +1,238 @@
+//! End-to-end eye-tracking workloads fed to the simulator.
+//!
+//! A [`PipelineWorkload`] is what the accelerator executes over an
+//! evaluation window: per-frame stages (FlatCam reconstruction as
+//! matrix–matrix multiplications, then gaze estimation) plus the periodic
+//! segmentation stage (once every `seg_period` frames — 50 in the paper).
+
+use eyecod_models::spec::SpecBuilder;
+use eyecod_models::{fbnet, ritnet, ModelSpec, OpBreakdown};
+
+/// The FlatCam Tikhonov reconstruction expressed as the accelerator sees
+/// it: four dense matrix–matrix multiplications
+/// (`Û = U₁ᵀ·Y·U₂`, `X = V₁·Z·V₂ᵀ`; the element-wise filter between them is
+/// negligible). The paper treats matmul layers as point-wise convolutions
+/// with batch > 1; they account for its reported 14.5 % matmul share.
+pub fn reconstruction_spec(scene: usize, sensor: usize) -> ModelSpec {
+    assert!(sensor >= scene, "sensor {sensor} must cover scene {scene}");
+    let mut b = SpecBuilder::new("FlatCamRecon", sensor, 1, 1);
+    b.matmul(scene, sensor); // U1ᵀ (scene×sensor) · Y (sensor×sensor)
+    b.matmul(scene, scene); // (scene×sensor) · U2 (sensor×scene)
+    b.matmul(scene, scene); // V1 (scene×scene) · Z (scene×scene)
+    b.matmul(scene, scene); // (scene×scene) · V2ᵀ (scene×scene)
+    b.build()
+}
+
+/// A complete accelerator workload over one evaluation window.
+#[derive(Debug, Clone)]
+pub struct PipelineWorkload {
+    /// Workload name (for reports).
+    pub name: String,
+    /// Stages executed every frame, in order.
+    pub per_frame: Vec<ModelSpec>,
+    /// The periodic segmentation stage and its period in frames.
+    pub periodic: Option<(ModelSpec, usize)>,
+    /// Camera→processor traffic per frame in bytes (drives off-chip energy).
+    pub offchip_bytes_per_frame: u64,
+    /// Frames per evaluation window.
+    pub window: usize,
+}
+
+impl PipelineWorkload {
+    /// Total MACs executed over one window.
+    pub fn window_macs(&self) -> u64 {
+        let per_frame: u64 = self.per_frame.iter().map(ModelSpec::macs).sum();
+        let periodic = self
+            .periodic
+            .as_ref()
+            .map(|(m, period)| m.macs() * (self.window / period).max(1) as u64)
+            .unwrap_or(0);
+        per_frame * self.window as u64 + periodic
+    }
+
+    /// Operation breakdown by layer class over one window — reproduces the
+    /// §5.1 dominant-layer-type analysis.
+    pub fn window_op_breakdown(&self) -> OpBreakdown {
+        let mut b = OpBreakdown::default();
+        for m in &self.per_frame {
+            b.accumulate(&m.op_breakdown(), self.window as u64);
+        }
+        if let Some((m, period)) = &self.periodic {
+            b.accumulate(&m.op_breakdown(), (self.window / period).max(1) as u64);
+        }
+        b
+    }
+
+    /// Validates all member models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any model is inconsistent, the window is zero, or the
+    /// periodic period exceeds the window.
+    pub fn validate(&self) {
+        assert!(self.window > 0, "window must be non-zero");
+        for m in &self.per_frame {
+            m.validate();
+        }
+        if let Some((m, period)) = &self.periodic {
+            m.validate();
+            assert!(*period > 0 && *period <= self.window, "invalid periodic period");
+        }
+    }
+}
+
+/// Named preset workloads matching the paper's system configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EyeCodWorkload {
+    /// Reconstruction scene extent (the working resolution of the recon
+    /// stage; the paper's op-share analysis implies ~160).
+    pub recon_scene: usize,
+    /// Reconstruction sensor extent.
+    pub recon_sensor: usize,
+    /// Gaze ROI extent `(h, w)` — 96×160 in the adopted setting.
+    pub roi: (usize, usize),
+    /// Segmentation input extent (128 in the adopted setting).
+    pub seg_size: usize,
+    /// Segmentation period in frames (N = 50).
+    pub seg_period: usize,
+    /// Whether the predict-then-focus pipeline is active; when false the
+    /// gaze model runs on the full frame instead of the ROI.
+    pub predict_then_focus: bool,
+    /// Full-frame extent used when `predict_then_focus` is off.
+    pub full_frame: usize,
+    /// Whether the camera is a FlatCam (adds the reconstruction stage and
+    /// shrinks camera traffic) or a lens camera.
+    pub flatcam: bool,
+}
+
+impl EyeCodWorkload {
+    /// The adopted EyeCoD configuration: FlatCam + predict-then-focus, ROI
+    /// 96×160 refreshed every 50 frames, segmentation at 128×128.
+    pub fn paper_default() -> Self {
+        EyeCodWorkload {
+            recon_scene: 160,
+            recon_sensor: 192,
+            roi: (96, 160),
+            seg_size: 128,
+            seg_period: 50,
+            predict_then_focus: true,
+            full_frame: 256,
+            flatcam: true,
+        }
+    }
+
+    /// The lens-based ablation baseline of Table 6: no reconstruction, gaze
+    /// on the full 256×256 frame, segmentation still periodic.
+    pub fn lens_based() -> Self {
+        EyeCodWorkload {
+            predict_then_focus: false,
+            flatcam: false,
+            ..Self::paper_default()
+        }
+    }
+
+    /// FlatCam system with predict-then-focus toggled.
+    pub fn with_predict_then_focus(mut self, on: bool) -> Self {
+        self.predict_then_focus = on;
+        self
+    }
+
+    /// Materialises the concrete layer workload.
+    pub fn into_workload(self) -> PipelineWorkload {
+        let mut per_frame = Vec::new();
+        if self.flatcam {
+            per_frame.push(reconstruction_spec(self.recon_scene, self.recon_sensor));
+        }
+        let gaze = if self.predict_then_focus {
+            fbnet::spec(self.roi.0, self.roi.1)
+        } else {
+            fbnet::spec(self.full_frame, self.full_frame)
+        };
+        per_frame.push(gaze);
+        let seg = ritnet::spec(self.seg_size);
+        let offchip = if self.flatcam {
+            // FlatCam sensor measurement (8-bit), transmitted over the short
+            // attached link
+            (self.recon_sensor * self.recon_sensor) as u64
+        } else {
+            // full-resolution lens image over the long camera-processor link
+            (self.full_frame * self.full_frame) as u64
+        };
+        let w = PipelineWorkload {
+            name: if self.flatcam {
+                if self.predict_then_focus {
+                    "EyeCoD (FlatCam + predict-then-focus)".into()
+                } else {
+                    "FlatCam w/o predict-then-focus".into()
+                }
+            } else {
+                "Lens-based system".into()
+            },
+            per_frame,
+            periodic: Some((seg, self.seg_period)),
+            offchip_bytes_per_frame: offchip,
+            window: self.seg_period,
+        };
+        w.validate();
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruction_macs_match_closed_form() {
+        let r = reconstruction_spec(160, 192);
+        let expected = (160 * 192 * 192) + (160 * 192 * 160) + 2 * (160 * 160 * 160);
+        assert_eq!(r.macs(), expected as u64);
+    }
+
+    #[test]
+    fn paper_default_op_breakdown_matches_section_5_1() {
+        // §5.1: generic 8.8%, point-wise 68.8%, depth-wise 7.9%,
+        // FC 0.001%, matmul 14.5% over a 50-frame window.
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let (conv, pw, dw, fc, mm) = w.window_op_breakdown().fractions();
+        assert!((0.05..0.25).contains(&conv), "generic conv share {conv}");
+        assert!((0.50..0.80).contains(&pw), "pointwise share {pw}");
+        assert!((0.01..0.15).contains(&dw), "depthwise share {dw}");
+        assert!(fc < 0.001, "fc share {fc}");
+        assert!((0.05..0.25).contains(&mm), "matmul share {mm}");
+    }
+
+    #[test]
+    fn predict_then_focus_cuts_per_frame_macs() {
+        let with = EyeCodWorkload::paper_default().into_workload();
+        let without = EyeCodWorkload::paper_default()
+            .with_predict_then_focus(false)
+            .into_workload();
+        // §6.4: the pipeline reduces the gaze input resolution by 76.5%
+        // (256x256 -> 96x160), roughly halving end-to-end work.
+        assert!(without.window_macs() as f64 > 1.6 * with.window_macs() as f64);
+    }
+
+    #[test]
+    fn lens_system_has_no_reconstruction_but_more_traffic() {
+        let lens = EyeCodWorkload::lens_based().into_workload();
+        let eye = EyeCodWorkload::paper_default().into_workload();
+        assert_eq!(lens.per_frame.len(), 1);
+        assert_eq!(eye.per_frame.len(), 2);
+        assert!(lens.offchip_bytes_per_frame > eye.offchip_bytes_per_frame);
+    }
+
+    #[test]
+    fn window_macs_count_periodic_once_per_period() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let per_frame: u64 = w.per_frame.iter().map(ModelSpec::macs).sum();
+        let seg = w.periodic.as_ref().unwrap().0.macs();
+        assert_eq!(w.window_macs(), per_frame * 50 + seg);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensor")]
+    fn reconstruction_requires_covering_sensor() {
+        reconstruction_spec(256, 128);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the accelerator simulator's public contracts.
+
+use eyecod_accel::config::AcceleratorConfig;
+use eyecod_accel::cost::layer_cost;
+use eyecod_accel::isa::compile;
+use eyecod_accel::schedule::{Orchestration, WindowSimulator};
+use eyecod_accel::workload::EyeCodWorkload;
+use eyecod_models::spec::SpecBuilder;
+use eyecod_models::{LayerKind, LayerSpec};
+use proptest::prelude::*;
+
+fn layer_strategy() -> impl Strategy<Value = LayerSpec> {
+    (
+        1usize..32,
+        1usize..32,
+        4usize..40,
+        prop_oneof![
+            (Just(3usize), Just(1usize)).prop_map(|(k, s)| LayerKind::Conv { k, stride: s }),
+            Just(LayerKind::Pointwise { stride: 1 }),
+            (prop_oneof![Just(3usize), Just(5usize)], 1usize..3)
+                .prop_map(|(k, s)| LayerKind::Depthwise { k, stride: s }),
+        ],
+    )
+        .prop_map(|(c_in, c_out, hw, kind)| {
+            let (c_in, c_out) = match kind {
+                LayerKind::Depthwise { .. } => (c_in, c_in),
+                _ => (c_in, c_out),
+            };
+            LayerSpec {
+                name: "prop".into(),
+                kind,
+                c_in,
+                c_out,
+                h_in: hw,
+                w_in: hw,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Utilisation is always in (0, 1]; cycles, traffic and energy counts
+    /// are positive for compute layers.
+    #[test]
+    fn cost_is_well_formed(layer in layer_strategy(), lanes in prop_oneof![Just(32usize), Just(128usize)]) {
+        let cfg = AcceleratorConfig::paper_default();
+        let cost = layer_cost(&layer, lanes, &cfg);
+        prop_assert!(cost.cycles > 0);
+        prop_assert!(cost.utilization > 0.0 && cost.utilization <= 1.0 + 1e-9,
+            "utilization {}", cost.utilization);
+        prop_assert!(cost.act_read_words > 0 && cost.act_write_words > 0);
+        prop_assert_eq!(cost.macs, layer.macs());
+        let counts = cost.energy_counts();
+        prop_assert!(counts.macs == cost.macs && counts.cycles == cost.cycles);
+    }
+
+    /// Doubling activation bandwidth never increases cycles.
+    #[test]
+    fn more_bandwidth_never_hurts(layer in layer_strategy()) {
+        let slow = AcceleratorConfig {
+            act_words_per_cycle: 16,
+            ..AcceleratorConfig::paper_default()
+        };
+        let fast = AcceleratorConfig {
+            act_words_per_cycle: 128,
+            ..AcceleratorConfig::paper_default()
+        };
+        let c_slow = layer_cost(&layer, 128, &slow);
+        let c_fast = layer_cost(&layer, 128, &fast);
+        prop_assert!(c_fast.cycles <= c_slow.cycles);
+    }
+
+    /// The SWPR buffer never increases cycles, for any layer.
+    #[test]
+    fn swpr_never_hurts(layer in layer_strategy()) {
+        let with = AcceleratorConfig::paper_default();
+        let without = AcceleratorConfig {
+            swpr_buffer: false,
+            ..AcceleratorConfig::paper_default()
+        };
+        prop_assert!(layer_cost(&layer, 128, &with).cycles
+            <= layer_cost(&layer, 128, &without).cycles);
+    }
+
+    /// Compiled programs are structurally sound for arbitrary small models:
+    /// weight loads alternate buffers, compute steps reference real layers,
+    /// and the stream ends with a sync.
+    #[test]
+    fn compiled_programs_are_sound(
+        widths in proptest::collection::vec(1usize..24, 1..5),
+        hw in 8usize..33,
+    ) {
+        let mut b = SpecBuilder::new("prop-model", 1, hw, hw);
+        for &w in &widths {
+            b.conv(w, 3, 1);
+        }
+        let model = b.build();
+        let cfg = AcceleratorConfig::paper_default();
+        let p = compile(&model, &cfg);
+        prop_assert!(p.compute_steps() >= widths.len());
+        let loads: Vec<u8> = p.instructions.iter().filter_map(|i| match i {
+            eyecod_accel::isa::Instruction::LoadWeights { buffer, .. } => Some(*buffer),
+            _ => None,
+        }).collect();
+        for w in loads.windows(2) {
+            prop_assert_ne!(w[0], w[1]);
+        }
+    }
+
+    /// Window FPS is invariant to the window length (steady-state metric).
+    #[test]
+    fn fps_is_window_invariant(mult in 1usize..5) {
+        let sim = WindowSimulator::new(AcceleratorConfig::paper_default());
+        let mut w = EyeCodWorkload::paper_default().into_workload();
+        let base = sim.run_window(&w).fps;
+        w.window *= mult;
+        let scaled = sim.run_window(&w).fps;
+        prop_assert!((scaled / base - 1.0).abs() < 0.05, "{base} vs {scaled}");
+    }
+
+    /// Partial time-multiplexing never loses to plain time-multiplexing.
+    #[test]
+    fn partial_dominates_timemux(swpr in any::<bool>(), reuse in any::<bool>()) {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let mk = |orch| AcceleratorConfig {
+            orchestration: orch,
+            swpr_buffer: swpr,
+            intra_channel_reuse: reuse,
+            ..AcceleratorConfig::paper_default()
+        };
+        let tm = WindowSimulator::new(mk(Orchestration::TimeMultiplexed)).run_window(&w);
+        let pm = WindowSimulator::new(mk(Orchestration::PartialTimeMultiplexed)).run_window(&w);
+        prop_assert!(pm.fps >= tm.fps * 0.999, "pm {} vs tm {}", pm.fps, tm.fps);
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 7 — MAC utilisation timeline while running the per-frame stages,
+//! plus a criterion measurement of the simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyecod_accel::config::AcceleratorConfig;
+use eyecod_accel::schedule::WindowSimulator;
+use eyecod_accel::trace::UtilizationTrace;
+use eyecod_accel::workload::EyeCodWorkload;
+use eyecod_bench::reporting::print_table;
+
+fn print_figure() {
+    let (series, mean, below) = eyecod_bench::experiments::fig7_utilization(32);
+    print_table(
+        "Fig. 7 — MAC utilisation over one frame (gaze + recon stages)",
+        &["time (us)", "utilisation", "bar"],
+        &series
+            .iter()
+            .map(|(t, u)| {
+                vec![
+                    format!("{t:.1}"),
+                    format!("{:.1}%", u * 100.0),
+                    "#".repeat((u * 30.0) as usize),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "mean utilisation {:.1}% | {:.1}% of time below the 80% line (paper: dips \
+         on depth-wise / small late layers feed the partial time-multiplexing mode)",
+        mean * 100.0,
+        below * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let cfg = AcceleratorConfig::paper_default();
+    let workload = EyeCodWorkload::paper_default().into_workload();
+    let sim = WindowSimulator::new(cfg.clone());
+    c.bench_function("fig07/window_simulation", |b| {
+        b.iter(|| sim.run_window(&workload))
+    });
+    let report = sim.run_window(&workload);
+    c.bench_function("fig07/trace_resample", |b| {
+        b.iter(|| {
+            let t = UtilizationTrace::from_costs(&report.frame_costs, cfg.clock_mhz);
+            t.resample(256)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

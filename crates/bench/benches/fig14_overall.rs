@@ -1,0 +1,45 @@
+//! Fig. 14 — overall throughput and normalised energy efficiency of EyeCoD
+//! against EdgeCPU / CPU / EdgeGPU / GPU / CIS-GEP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyecod_bench::experiments::fig14_overall;
+use eyecod_bench::reporting::print_table;
+use eyecod_platforms::system::compare_all;
+
+fn print_figure() {
+    let rows = fig14_overall();
+    print_table(
+        "Fig. 14 — overall comparison",
+        &["platform", "FPS", "frames/J", "norm. energy eff."],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.2}", r.fps),
+                    format!("{:.1}", r.frames_per_joule),
+                    format!("{:.4}", r.norm_energy_eff),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let e = rows.last().unwrap().fps;
+    println!("paper speedups: EdgeCPU 2966.65x, CPU 12.75x, EdgeGPU 14.83x, GPU 2.61x, CIS-GEP 12.86x");
+    print!("measured:       ");
+    for r in rows.iter().filter(|r| r.name != "EyeCoD") {
+        print!("{} {:.2}x, ", r.name, e / r.fps);
+    }
+    let cis = rows.iter().find(|r| r.name == "CIS-GEP").unwrap();
+    println!(
+        "\nenergy eff. over CIS-GEP: measured {:.2}x (paper 8.81x)",
+        rows.last().unwrap().frames_per_joule / cis.frames_per_joule
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    c.bench_function("fig14/full_comparison", |b| b.iter(compare_all));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

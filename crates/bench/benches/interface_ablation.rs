@@ -1,0 +1,77 @@
+//! Sensing–processing interface ablation (paper §4.2): segment from
+//! optical first-layer features vs from Tikhonov reconstructions, and
+//! compare communication volume and electronic FLOPs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyecod_bench::reporting::print_table;
+use eyecod_core::interface::InterfaceSegPipeline;
+use eyecod_core::training::TrainingSetup;
+use eyecod_eyedata::render::{render_eye, EyeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_ablation() {
+    let scene = 48;
+    let out_res = 24;
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut pipe = InterfaceSegPipeline::new(scene, out_res, 8, &mut rng);
+    let mut setup = TrainingSetup::quick();
+    setup.seg_epochs = 12;
+    pipe.train(&setup);
+    let interface_miou = pipe.eval_miou(24);
+
+    // reference: reconstruct-then-segment path at the same resolution
+    // (numbers from the Table 3 experiment; regenerated here at quick scale)
+    let rows =
+        eyecod_bench::experiments::table3_segmentation(eyecod_bench::experiments::Scale::Quick);
+    let recon_miou = rows
+        .iter()
+        .find(|r| r.model == "RITNet" && r.resolution == 24)
+        .map(|r| r.miou_flatcam)
+        .unwrap_or(f32::NAN);
+
+    let raw_bytes = 64u64 * 64; // FlatCam measurement for the recon path
+    print_table(
+        "Sensing-processing interface ablation (§4.2)",
+        &["path", "mIOU", "camera->proc bytes/frame", "first-layer FLOPs on chip"],
+        &[
+            vec![
+                "reconstruct -> segment".into(),
+                format!("{recon_miou:.3} (at scene res)"),
+                raw_bytes.to_string(),
+                "full".into(),
+            ],
+            vec![
+                "optical first layer -> segment".into(),
+                format!("{interface_miou:.3} (at feature res)"),
+                pipe.bytes_per_frame().to_string(),
+                format!("saves {:.2} MFLOPs/frame", pipe.flops_saved() as f64 / 1e6),
+            ],
+        ],
+    );
+    println!(
+        "communication reduction: {:.2}x",
+        raw_bytes as f64 / pipe.bytes_per_frame() as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation();
+    let mut rng = StdRng::seed_from_u64(1);
+    let pipe = InterfaceSegPipeline::new(48, 24, 8, &mut rng);
+    let s = render_eye(&EyeParams::centered(48), 48, 0);
+    c.bench_function("interface/optical_sense", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            pipe.sense(&s.image, seed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Component micro-benchmarks: the computational kernels every experiment
+//! rests on (convolutions, quantised convolution, FlatCam capture and
+//! reconstruction, SVD, eye rendering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyecod_eyedata::render::{render_eye, EyeParams};
+use eyecod_optics::imaging::FlatCam;
+use eyecod_optics::mask::SeparableMask;
+use eyecod_optics::mat::Mat;
+use eyecod_optics::recon::TikhonovReconstructor;
+use eyecod_optics::sensor::SensorModel;
+use eyecod_optics::svd::Svd;
+use eyecod_tensor::ops::{conv2d, matmul};
+use eyecod_tensor::quant::{qconv2d, QTensor};
+use eyecod_tensor::{Shape, Tensor};
+
+fn bench(c: &mut Criterion) {
+    // convolution kernels at FBNet-like shapes
+    let x = Tensor::ones(Shape::new(1, 24, 24, 40));
+    let w_pw = Tensor::ones(Shape::new(144, 24, 1, 1));
+    c.bench_function("kernels/pointwise_conv_24x40", |b| {
+        b.iter(|| conv2d(&x, &w_pw, None, 1, 0, 1))
+    });
+    let w_dw = Tensor::ones(Shape::new(24, 1, 3, 3));
+    c.bench_function("kernels/depthwise_conv_24x40", |b| {
+        b.iter(|| conv2d(&x, &w_dw, None, 1, 1, 24))
+    });
+    let qx = QTensor::quantize(&x);
+    let qw = QTensor::quantize(&w_dw);
+    c.bench_function("kernels/depthwise_qconv_int8", |b| {
+        b.iter(|| qconv2d(&qx, &qw, None, 1, 1, 24))
+    });
+
+    // matmul at reconstruction shapes
+    let a = Tensor::ones(Shape::vector(64, 96));
+    let bm = Tensor::ones(Shape::vector(96, 64));
+    c.bench_function("kernels/matmul_64x96x64", |b| b.iter(|| matmul(&a, &bm)));
+
+    // optics: capture + reconstruction at the pipeline's working size
+    let mask = SeparableMask::mls_differential(64, 48, 7);
+    let cam = FlatCam::new(mask.clone(), SensorModel::nir_eye_tracking());
+    let scene = Mat::from_fn(48, 48, |r, c| ((r * c) % 13) as f64 / 13.0);
+    c.bench_function("optics/flatcam_capture_48", |b| {
+        b.iter(|| cam.capture(&scene, 3))
+    });
+    let recon = TikhonovReconstructor::new(&mask, 1e-3);
+    let y = cam.capture(&scene, 3);
+    c.bench_function("optics/tikhonov_reconstruct_48", |b| {
+        b.iter(|| recon.reconstruct(&y))
+    });
+    c.bench_function("optics/jacobi_svd_64x48", |b| {
+        b.iter(|| Svd::compute(mask.phi_l()))
+    });
+
+    // data: eye rendering
+    c.bench_function("data/render_eye_48", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            render_eye(&EyeParams::centered(48), 48, seed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

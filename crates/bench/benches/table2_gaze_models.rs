@@ -1,0 +1,58 @@
+//! Table 2 — gaze-estimation models: error / params / FLOPs for ResNet18
+//! (lens & FlatCam), MobileNet, FBNet-C100 and FBNet-C100 (8-bit).
+//!
+//! The table rows are regenerated at quick scale during setup (proxy
+//! training); criterion then measures the deployment-relevant kernels: a
+//! gaze-network forward pass in fp32 and int8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyecod_bench::experiments::{table2_gaze_models, Scale};
+use eyecod_bench::reporting::print_table;
+use eyecod_models::proxy::{quantize_params_int8, GazeFamily, ProxyGazeNet};
+use eyecod_tensor::{Layer, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_rows() {
+    let rows = table2_gaze_models(Scale::Quick);
+    print_table(
+        "Table 2 — gaze estimation models (proxy errors, full-spec params/FLOPs)",
+        &["model", "camera", "input", "error (deg)", "params (M)", "FLOPs (G)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.camera.clone(),
+                    r.resolution.clone(),
+                    format!("{:.2}", r.error_deg),
+                    format!("{:.2}", r.params_m),
+                    format!("{:.3}", r.flops_g),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("paper: ResNet18 lens 3.17 | ResNet18 0.56G | MobileNet 3.43 | FBNet 3.23 | FBNet-8bit 3.23");
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut fp32 = ProxyGazeNet::new(GazeFamily::FbnetLike, &mut rng);
+    let mut int8 = ProxyGazeNet::new(GazeFamily::FbnetLike, &mut rng);
+    quantize_params_int8(&mut int8);
+    let input = Tensor::ones(Shape::new(1, 1, 24, 32));
+    c.bench_function("table2/gaze_forward_fp32", |b| {
+        b.iter(|| fp32.forward(&input, false))
+    });
+    c.bench_function("table2/gaze_forward_int8_weights", |b| {
+        b.iter(|| int8.forward(&input, false))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

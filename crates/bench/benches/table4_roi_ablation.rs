@@ -1,0 +1,39 @@
+//! Table 4 — ROI prediction ablation: random vs central vs pupil-anchored
+//! crops, and the ROI-prediction kernel costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyecod_bench::experiments::{table4_roi_ablation, Scale};
+use eyecod_bench::reporting::print_table;
+use eyecod_core::roi::{predict_roi, roi_size_from_sclera};
+use eyecod_eyedata::render::{render_eye, EyeParams};
+
+fn print_rows() {
+    let rows = table4_roi_ablation(Scale::Quick);
+    print_table(
+        "Table 4 — gaze error by crop strategy",
+        &["strategy", "error (deg)"],
+        &rows
+            .iter()
+            .map(|r| vec![r.strategy.clone(), format!("{:.2}", r.error_deg)])
+            .collect::<Vec<_>>(),
+    );
+    println!("paper: Random 12.64 | Central 11.57 | ROI (Ours) 3.23");
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let sample = render_eye(&EyeParams::centered(48), 48, 0);
+    c.bench_function("table4/predict_roi", |b| {
+        b.iter(|| predict_roi(&sample.labels, 48, 24, 32))
+    });
+    c.bench_function("table4/roi_size_from_sclera", |b| {
+        b.iter(|| roi_size_from_sclera(&sample.labels, 48))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table 5 — ROI refresh frequency and ROI size ablation over live
+//! eye-motion sequences, plus the per-frame tracking kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyecod_bench::experiments::{table5_roi_freq, Scale};
+use eyecod_bench::reporting::print_table;
+use eyecod_core::tracker::{EyeTracker, TrackerConfig};
+use eyecod_core::training::{train_tracker_models, TrainingSetup};
+use eyecod_eyedata::render::{render_eye, EyeParams};
+
+fn print_rows() {
+    let rows = table5_roi_freq(Scale::Quick);
+    print_table(
+        "Table 5 — ROI frequency & size ablation",
+        &[
+            "period",
+            "ROI",
+            "paper ROI",
+            "error (deg)",
+            "gaze MFLOPs/f",
+            "seg MFLOPs/f",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.roi_period.to_string(),
+                    r.roi_size.clone(),
+                    r.paper_roi.clone(),
+                    format!("{:.2}", r.error_deg),
+                    format!("{:.1}", r.gaze_mflops_per_frame),
+                    format!("{:.1}", r.seg_mflops_per_frame),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("paper: freq 25/50/100 @96x160 -> 3.23/3.23/3.34 deg; sizes 48x80/96x160/144x240 @50 -> 3.60/3.23/3.19 deg");
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let config = TrackerConfig::small();
+    let models = train_tracker_models(&TrainingSetup::quick(), &config);
+    let mut tracker = EyeTracker::new(config.clone(), models);
+    let sample = render_eye(&EyeParams::centered(config.scene_size), config.scene_size, 1);
+    c.bench_function("table5/process_frame", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            tracker.process_frame(&sample.image, seed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

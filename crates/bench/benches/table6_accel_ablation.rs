@@ -1,0 +1,72 @@
+//! Table 6 — the accelerator/system feature ladder: lens-based →
+//! +predict-then-focus → +SWPR input buffer → +partial time-multiplexing →
+//! +depth-wise intra-channel reuse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyecod_accel::config::AcceleratorConfig;
+use eyecod_accel::cost::layer_cost;
+use eyecod_accel::schedule::WindowSimulator;
+use eyecod_accel::workload::EyeCodWorkload;
+use eyecod_bench::experiments::table6_accel_ablation;
+use eyecod_bench::reporting::print_table;
+use eyecod_models::{LayerKind, LayerSpec};
+
+fn print_rows() {
+    let rows = table6_accel_ablation();
+    print_table(
+        "Table 6 — throughput & energy efficiency ladder",
+        &["system", "FPS", "norm. energy eff.", "utilisation"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.system.clone(),
+                    format!("{:.2}", r.fps),
+                    format!("{:.2}", r.norm_energy_eff),
+                    format!("{:.1}%", r.utilization * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("paper (FPS / norm. eff.): 96.34/1.00 -> 191.94/1.99 -> 233.64/2.43 -> 299.04/3.10 -> 385.66/4.00");
+    let total = rows.last().unwrap().fps / rows.first().unwrap().fps;
+    println!("measured end-to-end speedup: {total:.2}x (paper 4.00x)");
+    for w in rows.windows(2) {
+        println!(
+            "  step {} -> {}: {:.2}x",
+            w[0].system,
+            w[1].system,
+            w[1].fps / w[0].fps
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let workload = EyeCodWorkload::paper_default().into_workload();
+    for (name, cfg) in [
+        ("baseline", AcceleratorConfig::ablation_baseline()),
+        ("full", AcceleratorConfig::paper_default()),
+    ] {
+        let sim = WindowSimulator::new(cfg);
+        c.bench_function(&format!("table6/window_{name}"), |b| {
+            b.iter(|| sim.run_window(&workload))
+        });
+    }
+    // the hot inner function: per-layer cost evaluation
+    let dw = LayerSpec {
+        name: "dw".into(),
+        kind: LayerKind::Depthwise { k: 5, stride: 1 },
+        c_in: 112,
+        c_out: 112,
+        h_in: 6,
+        w_in: 10,
+    };
+    let cfg = AcceleratorConfig::paper_default();
+    c.bench_function("table6/layer_cost_depthwise", |b| {
+        b.iter(|| layer_cost(&dw, 128, &cfg))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

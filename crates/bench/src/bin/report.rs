@@ -1,0 +1,250 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p eyecod-bench --bin report            # quick
+//! cargo run --release -p eyecod-bench --bin report -- --full  # standard scale
+//! ```
+//!
+//! Prints the tables and writes JSON artefacts to `target/experiments/`.
+
+use eyecod_accel::config::AcceleratorConfig;
+use eyecod_bench::experiments::{self, Scale};
+use eyecod_bench::reporting::{print_table, write_json};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { Scale::Standard } else { Scale::Quick };
+    let out = PathBuf::from("target/experiments");
+    println!(
+        "EyeCoD experiment report — scale: {:?} (pass --full for the recorded scale)",
+        scale
+    );
+    let t0 = Instant::now();
+
+    // --- Table 1 / Fig. 13: accelerator configuration ---
+    let cfg = AcceleratorConfig::paper_default();
+    print_table(
+        "Table 1 — accelerator configuration",
+        &["item", "value"],
+        &[
+            vec!["MAC lanes".into(), cfg.mac_lanes.to_string()],
+            vec!["MACs / lane".into(), cfg.macs_per_lane.to_string()],
+            vec!["total MACs".into(), cfg.total_macs().to_string()],
+            vec!["clock".into(), format!("{} MHz", cfg.clock_mhz)],
+            vec![
+                "Act GB".into(),
+                format!("{} x {} KB", cfg.act_gb_count, cfg.act_gb_bytes / 1024),
+            ],
+            vec![
+                "Weight GB / buffers".into(),
+                format!(
+                    "{} KB / 2 x {} KB",
+                    cfg.weight_gb_bytes / 1024,
+                    cfg.weight_buffer_bytes / 1024
+                ),
+            ],
+            vec![
+                "Index / Instr SRAM".into(),
+                format!(
+                    "{} KB / {} KB",
+                    cfg.index_sram_bytes / 1024,
+                    cfg.instr_sram_bytes / 1024
+                ),
+            ],
+            vec![
+                "total SRAM".into(),
+                format!("{} KB", cfg.total_sram_bytes() / 1024),
+            ],
+        ],
+    );
+    write_json(&out, "table1_config", &cfg);
+
+    // --- Fig. 14 ---
+    let fig14 = experiments::fig14_overall();
+    print_table(
+        "Fig. 14 — overall throughput & energy efficiency",
+        &["platform", "FPS", "frames/J", "norm. energy eff."],
+        &fig14
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.2}", r.fps),
+                    format!("{:.1}", r.frames_per_joule),
+                    format!("{:.4}", r.norm_energy_eff),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let eyecod_fps = fig14.last().map(|r| r.fps).unwrap_or(0.0);
+    let ratios: Vec<String> = fig14
+        .iter()
+        .filter(|r| r.name != "EyeCoD")
+        .map(|r| format!("{}: {:.2}x", r.name, eyecod_fps / r.fps))
+        .collect();
+    println!("EyeCoD throughput speedups -> {}", ratios.join(", "));
+    write_json(&out, "fig14_overall", &fig14);
+
+    // --- Fig. 7 ---
+    let (series, mean_util, below) = experiments::fig7_utilization(48);
+    print_table(
+        "Fig. 7 — MAC utilisation running the per-frame stages",
+        &["time (us)", "utilisation"],
+        &series
+            .iter()
+            .step_by(4)
+            .map(|(t, u)| vec![format!("{t:.1}"), format!("{:.1}%", u * 100.0)])
+            .collect::<Vec<_>>(),
+    );
+    println!("mean {:.1}%, {:.1}% of time below the 80% line", mean_util * 100.0, below * 100.0);
+    write_json(&out, "fig07_utilization", &series);
+
+    // --- Table 6 ---
+    let t6 = experiments::table6_accel_ablation();
+    print_table(
+        "Table 6 — accelerator/system feature ladder",
+        &["system", "FPS", "norm. energy eff.", "utilisation"],
+        &t6.iter()
+            .map(|r| {
+                vec![
+                    r.system.clone(),
+                    format!("{:.2}", r.fps),
+                    format!("{:.2}", r.norm_energy_eff),
+                    format!("{:.1}%", r.utilization * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json(&out, "table6_accel_ablation", &t6);
+
+    // --- §5.1 analysis ---
+    let s51 = experiments::section51_analysis();
+    let (c, p, d, f, m) = s51.op_fractions;
+    print_table(
+        "§5.1 — in-text analysis numbers",
+        &["quantity", "measured", "paper"],
+        &[
+            vec!["generic conv ops".into(), format!("{:.1}%", c * 100.0), "8.8%".into()],
+            vec!["point-wise ops".into(), format!("{:.1}%", p * 100.0), "68.8%".into()],
+            vec!["depth-wise ops".into(), format!("{:.1}%", d * 100.0), "7.9%".into()],
+            vec!["FC ops".into(), format!("{:.4}%", f * 100.0), "0.001%".into()],
+            vec!["matmul ops".into(), format!("{:.1}%", m * 100.0), "14.5%".into()],
+            vec![
+                "depth-wise time share (naive)".into(),
+                format!("{:.1}%", s51.depthwise_time_share_naive * 100.0),
+                "33.6%".into(),
+            ],
+            vec![
+                "depth-wise time cut by reuse".into(),
+                format!("{:.1}%", s51.depthwise_time_reduction * 100.0),
+                "71%".into(),
+            ],
+            vec![
+                "partial over time-mux".into(),
+                format!("{:.2}x", s51.partial_over_timemux),
+                "1.28x".into(),
+            ],
+            vec![
+                "partitioned act memory".into(),
+                format!("{:.1}%", s51.partitioned_activation_ratio * 100.0),
+                "~36%".into(),
+            ],
+            vec![
+                "unpartitioned act bytes".into(),
+                format!("{:.2} MB", s51.unpartitioned_activation_bytes as f64 / 1e6),
+                "2.78 MB".into(),
+            ],
+            vec![
+                "SWPR bandwidth saving (3x3)".into(),
+                format!("{:.0}%", s51.swpr_bandwidth_saving_3x3 * 100.0),
+                "50-60%".into(),
+            ],
+        ],
+    );
+    write_json(&out, "section51_analysis", &s51);
+
+    // --- Table 2 ---
+    println!("\n[training gaze-model proxies for Table 2 — this takes a while]");
+    let t2 = experiments::table2_gaze_models(scale);
+    print_table(
+        "Table 2 — gaze estimation models",
+        &["model", "camera", "input", "error (deg)", "params (M)", "FLOPs (G)"],
+        &t2.iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.camera.clone(),
+                    r.resolution.clone(),
+                    format!("{:.2}", r.error_deg),
+                    format!("{:.2}", r.params_m),
+                    format!("{:.3}", r.flops_g),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json(&out, "table2_gaze_models", &t2);
+
+    // --- Table 3 ---
+    println!("\n[training segmentation proxies for Table 3]");
+    let t3 = experiments::table3_segmentation(scale);
+    print_table(
+        "Table 3 — segmentation vs resolution / precision / camera",
+        &["model", "proxy res", "mIOU origin", "mIOU FlatCam", "FLOPs (G, paper res)"],
+        &t3.iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    format!("{0}x{0}", r.resolution),
+                    format!("{:.3}", r.miou_origin),
+                    format!("{:.3}", r.miou_flatcam),
+                    format!("{:.2}", r.flops_g),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json(&out, "table3_segmentation", &t3);
+
+    // --- Table 4 ---
+    println!("\n[training crop-strategy proxies for Table 4]");
+    let t4 = experiments::table4_roi_ablation(scale);
+    print_table(
+        "Table 4 — ROI prediction ablation",
+        &["strategy", "gaze error (deg)"],
+        &t4.iter()
+            .map(|r| vec![r.strategy.clone(), format!("{:.2}", r.error_deg)])
+            .collect::<Vec<_>>(),
+    );
+    write_json(&out, "table4_roi_ablation", &t4);
+
+    // --- Table 5 ---
+    println!("\n[running ROI frequency/size sweeps for Table 5]");
+    let t5 = experiments::table5_roi_freq(scale);
+    print_table(
+        "Table 5 — ROI frequency & size ablation",
+        &[
+            "period",
+            "ROI (ours)",
+            "ROI (paper scale)",
+            "error (deg)",
+            "gaze MFLOPs/frame",
+            "seg MFLOPs/frame",
+        ],
+        &t5.iter()
+            .map(|r| {
+                vec![
+                    r.roi_period.to_string(),
+                    r.roi_size.clone(),
+                    r.paper_roi.clone(),
+                    format!("{:.2}", r.error_deg),
+                    format!("{:.1}", r.gaze_mflops_per_frame),
+                    format!("{:.1}", r.seg_mflops_per_frame),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json(&out, "table5_roi_freq", &t5);
+
+    println!("\nreport complete in {:.1}s", t0.elapsed().as_secs_f32());
+}

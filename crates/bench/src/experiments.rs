@@ -1,0 +1,756 @@
+//! Experiment implementations, one per paper table/figure.
+//!
+//! Every function returns typed, serialisable rows; the criterion benches
+//! and the `report` binary print them. `Scale::Quick` keeps each experiment
+//! in seconds (CI-friendly); `Scale::Standard` uses larger training/eval
+//! budgets for the recorded EXPERIMENTS.md numbers.
+//!
+//! Accuracy numbers come from proxy networks trained on the synthetic eye
+//! dataset (see DESIGN.md §2 for why, and what is preserved); FLOPs/params
+//! columns come from the exact full-size model specs; throughput/energy
+//! come from the cycle-level accelerator simulator and platform models.
+
+use eyecod_accel::config::AcceleratorConfig;
+use eyecod_accel::schedule::{Orchestration, WindowSimulator};
+use eyecod_accel::storage::{partitioned_activation_bytes, peak_activation_bytes};
+use eyecod_accel::swpr::peak_bandwidth_rows_per_cycle;
+use eyecod_accel::trace::UtilizationTrace;
+use eyecod_accel::workload::EyeCodWorkload;
+use eyecod_core::acquisition::Acquisition;
+use eyecod_core::roi::{crop_by_strategy, predict_roi, CropStrategy};
+use eyecod_core::tracker::{EyeTracker, TrackerConfig};
+use eyecod_core::training::{downsample_labels, train_tracker_models, TrainingSetup};
+use eyecod_eyedata::labels::mean_iou;
+use eyecod_eyedata::render::{render_eye, EyeParams};
+use eyecod_eyedata::{EyeMotionGenerator, GazeVector};
+use eyecod_models::proxy::{
+    eval_gaze, predict_seg, quantize_params_int8, train_gaze, train_seg, GazeFamily,
+    ProxyGazeNet, ProxySegNet, TrainConfig,
+};
+use eyecod_models::{fbnet, mobilenet, resnet, ritnet, unet};
+use eyecod_platforms::system::{compare_all, PlatformResult};
+use eyecod_tensor::ops::{downsample_avg, resize_bilinear};
+use eyecod_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Experiment budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per experiment (tests, criterion setup).
+    Quick,
+    /// Minutes per experiment (recorded EXPERIMENTS.md numbers).
+    Standard,
+}
+
+impl Scale {
+    fn training(self) -> TrainingSetup {
+        match self {
+            Scale::Quick => TrainingSetup::quick(),
+            Scale::Standard => TrainingSetup::standard(),
+        }
+    }
+
+    fn eval_samples(self) -> usize {
+        match self {
+            Scale::Quick => 24,
+            Scale::Standard => 96,
+        }
+    }
+
+    fn seq_frames(self) -> usize {
+        match self {
+            Scale::Quick => 60,
+            Scale::Standard => 300,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — gaze estimation models
+// ---------------------------------------------------------------------------
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct GazeModelRow {
+    /// Model label.
+    pub model: String,
+    /// Camera ("Lens" / "FlatCam").
+    pub camera: String,
+    /// Input described as in the paper (full frame vs ROI).
+    pub resolution: String,
+    /// Measured proxy gaze error in degrees.
+    pub error_deg: f32,
+    /// Full-size model parameters (from the exact spec).
+    pub params_m: f64,
+    /// Full-size model FLOPs in G (paper convention, at the paper's input).
+    pub flops_g: f64,
+}
+
+fn eval_gaze_setup(
+    family: GazeFamily,
+    flatcam: bool,
+    use_roi: bool,
+    int8: bool,
+    scale: Scale,
+) -> f32 {
+    let config = if flatcam {
+        TrackerConfig::small()
+    } else {
+        TrackerConfig::small_lens()
+    };
+    let setup = scale.training().with_gaze_family(family);
+    let scene = config.scene_size;
+    let factor = scene / config.seg_size;
+
+    // Train on the configured acquisition. For the no-ROI setting the gaze
+    // network sees the resized full frame instead of the crop.
+    let mut gaze = if use_roi {
+        train_tracker_models(&setup, &config).gaze
+    } else {
+        let acquisition = acquisition_for(&config);
+        let mut rng = StdRng::seed_from_u64(setup.seed);
+        let mut images = Vec::new();
+        let mut gazes = Vec::new();
+        for i in 0..setup.n_samples {
+            let p = EyeParams::random(&mut rng);
+            let s = render_eye(&p, scene, i as u64);
+            let img = acquisition.acquire(&s.image, i as u64 + 1);
+            images.push(resize_bilinear(&img, config.gaze_input.0, config.gaze_input.1));
+            gazes.push(GazeVector::batch_to_tensor(&[s.gaze]));
+        }
+        let images = Tensor::stack(&images);
+        let gazes = Tensor::stack(&gazes);
+        let mut net = ProxyGazeNet::new(family, &mut rng);
+        train_gaze(
+            &mut net,
+            &images,
+            &gazes,
+            &TrainConfig {
+                epochs: setup.gaze_epochs,
+                batch: setup.batch,
+                lr: setup.gaze_lr,
+                seed: setup.seed,
+            },
+        );
+        net
+    };
+    if int8 {
+        quantize_params_int8(&mut gaze);
+    }
+
+    // Held-out evaluation with ground-truth-anchored ROIs (isolates the
+    // gaze model, as Table 2 does).
+    let acquisition = acquisition_for(&config);
+    let mut rng = StdRng::seed_from_u64(777);
+    let mut crops = Vec::new();
+    let mut gazes = Vec::new();
+    for i in 0..scale.eval_samples() {
+        let p = EyeParams::random(&mut rng);
+        let s = render_eye(&p, scene, 50_000 + i as u64);
+        let img = acquisition.acquire(&s.image, 60_000 + i as u64);
+        let input = if use_roi {
+            let labels_seg = downsample_labels(&s.labels, scene, factor);
+            let mut roi = predict_roi(
+                &labels_seg,
+                config.seg_size,
+                (config.roi.0 / factor).max(2),
+                (config.roi.1 / factor).max(2),
+            )
+            .rescale(config.seg_size, scene);
+            roi.h = config.roi.0;
+            roi.w = config.roi.1;
+            roi.y0 = roi.y0.min(scene - roi.h);
+            roi.x0 = roi.x0.min(scene - roi.w);
+            roi.crop(&img)
+        } else {
+            img
+        };
+        crops.push(resize_bilinear(&input, config.gaze_input.0, config.gaze_input.1));
+        gazes.push(GazeVector::batch_to_tensor(&[s.gaze]));
+    }
+    eval_gaze(&mut gaze, &Tensor::stack(&crops), &Tensor::stack(&gazes))
+}
+
+fn acquisition_for(config: &TrackerConfig) -> Acquisition {
+    if config.flatcam {
+        Acquisition::flatcam(
+            config.scene_size,
+            config.sensor_size,
+            config.epsilon,
+            config.mask_seed,
+        )
+    } else {
+        Acquisition::lens()
+    }
+}
+
+/// Regenerates Table 2: gaze models on lens full-frame vs FlatCam ROI.
+pub fn table2_gaze_models(scale: Scale) -> Vec<GazeModelRow> {
+    let mut rows = Vec::new();
+    // ResNet18 on the lens camera, full frame (the OpenEDS2020 winner row)
+    rows.push(GazeModelRow {
+        model: "ResNet18".into(),
+        camera: "Lens".into(),
+        resolution: "full frame".into(),
+        error_deg: eval_gaze_setup(GazeFamily::ResNetLike, false, false, false, scale),
+        params_m: resnet::spec(224, 224).params() as f64 / 1e6,
+        flops_g: resnet::spec(224, 224).flops() as f64 / 1e9,
+    });
+    // Lens + ROI control: isolates the FlatCam-optics effect (the paper's
+    // claim that the FlatCam system does not degrade accuracy is the small
+    // gap between this row and the FlatCam ResNet18 row)
+    rows.push(GazeModelRow {
+        model: "ResNet18".into(),
+        camera: "Lens".into(),
+        resolution: "ROI".into(),
+        error_deg: eval_gaze_setup(GazeFamily::ResNetLike, false, true, false, scale),
+        params_m: resnet::spec(96, 160).params() as f64 / 1e6,
+        flops_g: resnet::spec(96, 160).flops() as f64 / 1e9,
+    });
+    // FlatCam + ROI rows
+    for (label, family, spec_params, spec_flops) in [
+        (
+            "ResNet18",
+            GazeFamily::ResNetLike,
+            resnet::spec(96, 160).params(),
+            resnet::spec(96, 160).flops(),
+        ),
+        (
+            "MobileNet",
+            GazeFamily::MobileNetLike,
+            mobilenet::spec(96, 160).params(),
+            mobilenet::spec(96, 160).flops(),
+        ),
+        (
+            "FBNet-C100",
+            GazeFamily::FbnetLike,
+            fbnet::spec(96, 160).params(),
+            fbnet::spec(96, 160).flops(),
+        ),
+    ] {
+        rows.push(GazeModelRow {
+            model: label.into(),
+            camera: "FlatCam".into(),
+            resolution: "ROI".into(),
+            error_deg: eval_gaze_setup(family, true, true, false, scale),
+            params_m: spec_params as f64 / 1e6,
+            flops_g: spec_flops as f64 / 1e9,
+        });
+    }
+    // 8-bit FBNet
+    rows.push(GazeModelRow {
+        model: "FBNet-C100 (8-bit)".into(),
+        camera: "FlatCam".into(),
+        resolution: "ROI".into(),
+        error_deg: eval_gaze_setup(GazeFamily::FbnetLike, true, true, true, scale),
+        params_m: fbnet::spec(96, 160).params() as f64 / 1e6,
+        flops_g: fbnet::spec(96, 160).effective_flops(8) as f64 / 1e9,
+    });
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — segmentation vs resolution / precision / camera
+// ---------------------------------------------------------------------------
+
+/// One Table 3 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct SegmentationRow {
+    /// Model label.
+    pub model: String,
+    /// Proxy input resolution (scene-relative; the paper's 512/256/128
+    /// ladder maps to 48/24/12 at our scene scale).
+    pub resolution: usize,
+    /// Whether parameters were quantised to int8.
+    pub int8: bool,
+    /// mIOU on lens ("origin") images.
+    pub miou_origin: f32,
+    /// mIOU on FlatCam reconstructions.
+    pub miou_flatcam: f32,
+    /// Full-size model FLOPs in G at the corresponding paper resolution.
+    pub flops_g: f64,
+}
+
+/// Trains segmentation proxies of the given width at the given proxy
+/// resolution and evaluates mIOU **at the scene resolution** (predictions
+/// are upsampled back, so dropping small structures at low resolution is
+/// penalised exactly as it would be in deployment). Averages over a couple
+/// of training seeds to tame small-budget variance. Returns
+/// `(fp32_miou, int8_miou)`.
+fn train_eval_seg_width(res: usize, flatcam: bool, width: usize, scale: Scale) -> (f32, f32) {
+    let config = TrackerConfig::small();
+    let scene = config.scene_size;
+    let acquisition = if flatcam {
+        acquisition_for(&config)
+    } else {
+        Acquisition::lens()
+    };
+    let setup = scale.training();
+    let factor = scene / res;
+    let seeds: &[u64] = match scale {
+        Scale::Quick => &[1, 2],
+        Scale::Standard => &[1, 2, 3],
+    };
+
+    let mut fp32_sum = 0.0f32;
+    let mut int8_sum = 0.0f32;
+    for &seed in seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        for i in 0..setup.n_samples {
+            let p = EyeParams::random(&mut rng);
+            let s = render_eye(&p, scene, i as u64);
+            let img = acquisition.acquire(&s.image, i as u64 + 7);
+            images.push(downsample_avg(&img, factor));
+            labels.extend(
+                downsample_labels(&s.labels, scene, factor)
+                    .into_iter()
+                    .map(|v| v as usize),
+            );
+        }
+        let images = Tensor::stack(&images);
+        let mut net = ProxySegNet::new(width, &mut rng);
+        train_seg(
+            &mut net,
+            &images,
+            &labels,
+            &TrainConfig {
+                epochs: setup.seg_epochs * 2,
+                batch: setup.batch,
+                lr: setup.seg_lr,
+                seed,
+            },
+        );
+
+        // held-out eval at scene resolution (upsampled predictions)
+        let eval = |net: &mut ProxySegNet| {
+            let mut rng = StdRng::seed_from_u64(4242);
+            let mut miou_sum = 0.0f32;
+            let n_eval = scale.eval_samples();
+            for i in 0..n_eval {
+                let p = EyeParams::random(&mut rng);
+                let s = render_eye(&p, scene, 90_000 + i as u64);
+                let img = acquisition.acquire(&s.image, 91_000 + i as u64);
+                let pred = predict_seg(net, &downsample_avg(&img, factor));
+                // nearest-neighbour upsample of the label map back to scene res
+                let mut pred_full = vec![0u8; scene * scene];
+                for y in 0..scene {
+                    for x in 0..scene {
+                        pred_full[y * scene + x] = pred[(y / factor) * res + x / factor];
+                    }
+                }
+                miou_sum += mean_iou(&pred_full, &s.labels);
+            }
+            miou_sum / n_eval as f32
+        };
+        fp32_sum += eval(&mut net);
+        quantize_params_int8(&mut net);
+        int8_sum += eval(&mut net);
+    }
+    (fp32_sum / seeds.len() as f32, int8_sum / seeds.len() as f32)
+}
+
+/// Regenerates Table 3: segmentation mIOU across resolution, precision and
+/// camera. Our scene scale is 48, so the paper's 512/256/128 ladder maps to
+/// proxy resolutions 48/24/12 with the full-spec FLOPs column carrying the
+/// paper-scale numbers.
+pub fn table3_segmentation(scale: Scale) -> Vec<SegmentationRow> {
+    let mut rows = Vec::new();
+    // U-Net baseline at full resolution (a slimmer member of the family)
+    let (unet_origin, _) = train_eval_seg_width(48, false, 6, scale);
+    let (unet_flat, _) = train_eval_seg_width(48, true, 6, scale);
+    rows.push(SegmentationRow {
+        model: "U-Net".into(),
+        resolution: 48,
+        int8: false,
+        miou_origin: unet_origin,
+        miou_flatcam: unet_flat,
+        flops_g: unet::spec(512).flops() as f64 / 1e9,
+    });
+    for (res, paper_res) in [(48usize, 512usize), (24, 256), (12, 128)] {
+        let (origin_fp32, origin_int8) = train_eval_seg_width(res, false, 8, scale);
+        let (flat_fp32, flat_int8) = train_eval_seg_width(res, true, 8, scale);
+        rows.push(SegmentationRow {
+            model: "RITNet".into(),
+            resolution: res,
+            int8: false,
+            miou_origin: origin_fp32,
+            miou_flatcam: flat_fp32,
+            flops_g: ritnet::spec(paper_res).flops() as f64 / 1e9,
+        });
+        // the paper reports the 8-bit rows at 256/128 only
+        if res != 48 {
+            rows.push(SegmentationRow {
+                model: "RITNet (8-bit)".into(),
+                resolution: res,
+                int8: true,
+                miou_origin: origin_int8,
+                miou_flatcam: flat_int8,
+                flops_g: ritnet::spec(paper_res).effective_flops(8) as f64 / 1e9,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — crop strategy ablation
+// ---------------------------------------------------------------------------
+
+/// One Table 4 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct CropRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Measured gaze error in degrees.
+    pub error_deg: f32,
+}
+
+/// Regenerates Table 4: gaze error when the gaze model consumes random,
+/// central, or pupil-anchored crops (trained and evaluated consistently per
+/// strategy).
+pub fn table4_roi_ablation(scale: Scale) -> Vec<CropRow> {
+    let config = TrackerConfig::small();
+    let scene = config.scene_size;
+    let factor = scene / config.seg_size;
+    let setup = scale.training();
+    let acquisition = acquisition_for(&config);
+    let strategies = [
+        ("Random Crop", CropStrategy::Random),
+        ("Central Crop", CropStrategy::Central),
+        ("ROI (Ours)", CropStrategy::PupilAnchored),
+    ];
+    strategies
+        .iter()
+        .map(|(label, strategy)| {
+            let mut rng = StdRng::seed_from_u64(setup.seed);
+            let mut crop_rng = StdRng::seed_from_u64(31);
+            let mut crops = Vec::new();
+            let mut gazes = Vec::new();
+            let make_input = |s: &eyecod_eyedata::Sample, img: &Tensor, crop_rng: &mut StdRng| {
+                let labels_seg = downsample_labels(&s.labels, scene, factor);
+                let mut roi = crop_by_strategy(
+                    *strategy,
+                    &labels_seg,
+                    config.seg_size,
+                    (config.roi.0 / factor).max(2),
+                    (config.roi.1 / factor).max(2),
+                    crop_rng,
+                )
+                .rescale(config.seg_size, scene);
+                roi.h = config.roi.0;
+                roi.w = config.roi.1;
+                roi.y0 = roi.y0.min(scene - roi.h);
+                roi.x0 = roi.x0.min(scene - roi.w);
+                resize_bilinear(&roi.crop(img), config.gaze_input.0, config.gaze_input.1)
+            };
+            for i in 0..setup.n_samples {
+                let p = EyeParams::random(&mut rng);
+                let s = render_eye(&p, scene, i as u64);
+                let img = acquisition.acquire(&s.image, i as u64 + 3);
+                crops.push(make_input(&s, &img, &mut crop_rng));
+                gazes.push(GazeVector::batch_to_tensor(&[s.gaze]));
+            }
+            let mut net = ProxyGazeNet::new(setup.gaze_family, &mut rng);
+            train_gaze(
+                &mut net,
+                &Tensor::stack(&crops),
+                &Tensor::stack(&gazes),
+                &TrainConfig {
+                    epochs: setup.gaze_epochs,
+                    batch: setup.batch,
+                    lr: setup.gaze_lr,
+                    seed: setup.seed,
+                },
+            );
+            // held-out eval with the same strategy
+            let mut rng = StdRng::seed_from_u64(555);
+            let mut crops = Vec::new();
+            let mut gazes = Vec::new();
+            for i in 0..scale.eval_samples() {
+                let p = EyeParams::random(&mut rng);
+                let s = render_eye(&p, scene, 70_000 + i as u64);
+                let img = acquisition.acquire(&s.image, 71_000 + i as u64);
+                crops.push(make_input(&s, &img, &mut crop_rng));
+                gazes.push(GazeVector::batch_to_tensor(&[s.gaze]));
+            }
+            CropRow {
+                strategy: (*label).into(),
+                error_deg: eval_gaze(&mut net, &Tensor::stack(&crops), &Tensor::stack(&gazes)),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 — ROI frequency and size ablation
+// ---------------------------------------------------------------------------
+
+/// One Table 5 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct RoiFreqRow {
+    /// Frames between ROI refreshes.
+    pub roi_period: usize,
+    /// ROI size at our scene scale.
+    pub roi_size: String,
+    /// The corresponding paper-scale ROI.
+    pub paper_roi: String,
+    /// Measured tracking error over a motion sequence (degrees).
+    pub error_deg: f32,
+    /// Gaze FLOPs per frame (full-size FBNet spec at the paper ROI), M.
+    pub gaze_mflops_per_frame: f64,
+    /// Segmentation FLOPs per frame (full-size RITNet spec amortised), M.
+    pub seg_mflops_per_frame: f64,
+}
+
+/// Regenerates Table 5: sweep the ROI refresh period and the ROI size over
+/// a live eye-motion sequence. (Our sequences drift faster than OpenEDS
+/// footage, so the period ladder 5/10/20 plays the role of the paper's
+/// 25/50/100.)
+pub fn table5_roi_freq(scale: Scale) -> Vec<RoiFreqRow> {
+    let mut rows = Vec::new();
+    // size sweep at the default period, then period sweep at default size
+    let size_cases = [
+        ((16usize, 24usize), (48usize, 80usize)),
+        ((24, 32), (96, 160)),
+        ((32, 40), (144, 240)),
+    ];
+    let period_cases = [5usize, 10, 20];
+    let default_size = ((24usize, 32usize), (96usize, 160usize));
+    let default_period = 10usize;
+
+    let run_case = |period: usize, (roi, paper_roi): ((usize, usize), (usize, usize))| {
+        let mut config = TrackerConfig::small();
+        config.roi = roi;
+        config.roi_period = period;
+        let models = train_tracker_models(&scale.training(), &config);
+        let mut tracker = EyeTracker::new(config, models);
+        // blink-free sequences (the paper's gaze evaluation uses valid
+        // eye-open frames), averaged over several motion seeds — a single
+        // trajectory's difficulty varies a lot at this scene scale
+        let mut stats = eyecod_core::metrics::TrackingStats::new();
+        for motion_seed in [2024u64, 31, 77, 113] {
+            let motion_config = eyecod_eyedata::sequence::MotionConfig {
+                blink_prob: 0.0,
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(motion_seed ^ 0x00EE_C0D0);
+            let mut motion = EyeMotionGenerator::new(
+                EyeParams::random(&mut rng),
+                motion_config,
+                motion_seed,
+            );
+            stats.merge(&tracker.run_sequence(&mut motion, scale.seq_frames()));
+        }
+        let gaze_flops = fbnet::spec(paper_roi.0, paper_roi.1).flops() as f64 / 1e6;
+        let seg_flops = ritnet::spec(128).flops() as f64 / 1e6
+            / (period as f64 * 5.0); // scaled to the paper's 25/50/100 ladder
+        RoiFreqRow {
+            roi_period: period,
+            roi_size: format!("{}x{}", roi.0, roi.1),
+            paper_roi: format!("{}x{}", paper_roi.0, paper_roi.1),
+            error_deg: stats.mean_error_deg(),
+            gaze_mflops_per_frame: gaze_flops,
+            seg_mflops_per_frame: seg_flops,
+        }
+    };
+
+    for period in period_cases {
+        if period != default_period {
+            rows.push(run_case(period, default_size));
+        }
+    }
+    for size in size_cases {
+        rows.push(run_case(default_period, size));
+    }
+    rows.sort_by_key(|r| (r.roi_period, r.roi_size.clone()));
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 — accelerator feature ladder
+// ---------------------------------------------------------------------------
+
+/// One Table 6 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccelAblationRow {
+    /// System label.
+    pub system: String,
+    /// Simulated throughput in FPS.
+    pub fps: f64,
+    /// Energy efficiency normalised to the lens-based baseline.
+    pub norm_energy_eff: f64,
+    /// Average MAC utilisation.
+    pub utilization: f64,
+}
+
+/// Regenerates Table 6: lens-based baseline → +predict-then-focus →
+/// +SWPR input buffer → +partial time-multiplexing → +depth-wise reuse.
+pub fn table6_accel_ablation() -> Vec<AccelAblationRow> {
+    let base = AcceleratorConfig::ablation_baseline();
+    let steps: Vec<(&str, bool, AcceleratorConfig)> = vec![
+        ("Lens-based System", false, base.clone()),
+        ("EyeCoD w/ P.F.", true, base.clone()),
+        (
+            "EyeCoD w/ P.F. & Input.",
+            true,
+            AcceleratorConfig {
+                swpr_buffer: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "EyeCoD w/ P.F. & Input. & Partial.",
+            true,
+            AcceleratorConfig {
+                swpr_buffer: true,
+                orchestration: Orchestration::PartialTimeMultiplexed,
+                ..base.clone()
+            },
+        ),
+        (
+            "EyeCoD w/ P.F. & Input. & Partial. & Depth.",
+            true,
+            AcceleratorConfig::paper_default(),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut base_energy = None;
+    for (label, pf, cfg) in steps {
+        let workload = if pf {
+            EyeCodWorkload::paper_default().into_workload()
+        } else {
+            EyeCodWorkload::lens_based().into_workload()
+        };
+        let r = WindowSimulator::new(cfg).run_window(&workload);
+        let e = r.energy_per_frame_mj;
+        let base_e = *base_energy.get_or_insert(e);
+        rows.push(AccelAblationRow {
+            system: label.into(),
+            fps: r.fps,
+            norm_energy_eff: base_e / e,
+            utilization: r.avg_utilization,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — utilisation timeline; Fig. 14 — overall comparison
+// ---------------------------------------------------------------------------
+
+/// Regenerates the Fig. 7 series: `(time_us, utilization)` samples of one
+/// frame's per-layer execution, plus summary statistics.
+pub fn fig7_utilization(samples: usize) -> (Vec<(f64, f64)>, f64, f64) {
+    let cfg = AcceleratorConfig::paper_default();
+    let sim = WindowSimulator::new(cfg.clone());
+    let r = sim.run_window(&EyeCodWorkload::paper_default().into_workload());
+    let trace = UtilizationTrace::from_costs(&r.frame_costs, cfg.clock_mhz);
+    (
+        trace.resample(samples),
+        trace.mean_utilization(),
+        trace.fraction_below(0.8),
+    )
+}
+
+/// Regenerates Fig. 14 (throughput + normalised energy efficiency).
+pub fn fig14_overall() -> Vec<PlatformResult> {
+    compare_all()
+}
+
+// ---------------------------------------------------------------------------
+// §5.1 in-text analysis numbers
+// ---------------------------------------------------------------------------
+
+/// The §5.1 analysis bundle.
+#[derive(Debug, Clone, Serialize)]
+pub struct Section51Analysis {
+    /// MAC share per layer class over a 50-frame window
+    /// `(conv, pointwise, depthwise, fc, matmul)`.
+    pub op_fractions: (f64, f64, f64, f64, f64),
+    /// Depth-wise share of MACs (paper: 7.9 %).
+    pub depthwise_op_share: f64,
+    /// Depth-wise share of *time* without intra-channel reuse
+    /// (paper: 33.6 %).
+    pub depthwise_time_share_naive: f64,
+    /// Depth-wise processing-time reduction from intra-channel reuse
+    /// (paper: 71 %).
+    pub depthwise_time_reduction: f64,
+    /// Partial time-multiplexing speedup over plain time-multiplexing
+    /// (paper: 1.28× overall / 2.31× peak).
+    pub partial_over_timemux: f64,
+    /// Activation memory with partition ÷ without (paper: ~36 %).
+    pub partitioned_activation_ratio: f64,
+    /// Peak activation bytes without partition (paper: 2.78 MB).
+    pub unpartitioned_activation_bytes: u64,
+    /// SWPR bandwidth saving for a 3×3 kernel (paper: 50–60 %).
+    pub swpr_bandwidth_saving_3x3: f64,
+}
+
+/// Computes every in-text §5.1 number from the simulator and specs.
+pub fn section51_analysis() -> Section51Analysis {
+    let workload = EyeCodWorkload::paper_default().into_workload();
+    let frac = workload.window_op_breakdown().fractions();
+
+    // depth-wise time share without optimisations
+    let naive = AcceleratorConfig {
+        swpr_buffer: false,
+        intra_channel_reuse: false,
+        orchestration: Orchestration::TimeMultiplexed,
+        ..AcceleratorConfig::paper_default()
+    };
+    let rep_naive = WindowSimulator::new(naive.clone()).run_window(&workload);
+    let dw_cycles: u64 = rep_naive
+        .frame_costs
+        .iter()
+        .filter(|c| c.is_depthwise)
+        .map(|c| c.cycles)
+        .sum();
+    let total_frame: u64 = rep_naive.frame_costs.iter().map(|c| c.cycles).sum();
+    let depthwise_time_share_naive = dw_cycles as f64 / total_frame as f64;
+
+    // intra-channel reuse reduction on the depth-wise cycles
+    let tuned = AcceleratorConfig {
+        intra_channel_reuse: true,
+        ..naive.clone()
+    };
+    let rep_tuned = WindowSimulator::new(tuned).run_window(&workload);
+    let dw_tuned: u64 = rep_tuned
+        .frame_costs
+        .iter()
+        .filter(|c| c.is_depthwise)
+        .map(|c| c.cycles)
+        .sum();
+    let depthwise_time_reduction = 1.0 - dw_tuned as f64 / dw_cycles.max(1) as f64;
+
+    // partial vs time-multiplexed orchestration (all else at full config)
+    let tm = WindowSimulator::new(AcceleratorConfig {
+        orchestration: Orchestration::TimeMultiplexed,
+        ..AcceleratorConfig::paper_default()
+    })
+    .run_window(&workload);
+    let pm = WindowSimulator::new(AcceleratorConfig::paper_default()).run_window(&workload);
+
+    // activation footprints at the paper's deployed resolutions
+    let seg = ritnet::spec(128);
+    let gaze = fbnet::spec(96, 160);
+    let unpart = peak_activation_bytes(&seg, 1) + peak_activation_bytes(&gaze, 1);
+    let part = partitioned_activation_bytes(&seg, 4, 1) + partitioned_activation_bytes(&gaze, 4, 1);
+
+    let bw_without = peak_bandwidth_rows_per_cycle(16, 3, false);
+    let bw_with = peak_bandwidth_rows_per_cycle(16, 3, true);
+
+    Section51Analysis {
+        op_fractions: frac,
+        depthwise_op_share: frac.2,
+        depthwise_time_share_naive,
+        depthwise_time_reduction,
+        partial_over_timemux: pm.fps / tm.fps,
+        partitioned_activation_ratio: part as f64 / unpart as f64,
+        unpartitioned_activation_bytes: unpart,
+        swpr_bandwidth_saving_3x3: 1.0 - bw_with / bw_without,
+    }
+}

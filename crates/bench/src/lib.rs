@@ -1,0 +1,22 @@
+//! # eyecod-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! EyeCoD paper's evaluation (§6). Each criterion bench in `benches/`
+//! prints the corresponding table rows / figure series before measuring the
+//! kernels involved, and the harness functions here are shared between the
+//! benches and the `report` binary (which emits all experiments as JSON +
+//! text in one run).
+//!
+//! | Target | Paper artefact |
+//! |---|---|
+//! | `fig07_utilization` | Fig. 7 MAC-utilisation timeline |
+//! | `fig14_overall` | Fig. 14 throughput / energy comparison |
+//! | `table2_gaze_models` | Table 2 gaze models (error/params/FLOPs) |
+//! | `table3_segmentation` | Table 3 RITNet mIOU vs resolution/precision |
+//! | `table4_roi_ablation` | Table 4 crop-strategy ablation |
+//! | `table5_roi_freq` | Table 5 ROI frequency & size ablation |
+//! | `table6_accel_ablation` | Table 6 accelerator feature ladder |
+//! | `micro_kernels` | component micro-benchmarks |
+
+pub mod experiments;
+pub mod reporting;

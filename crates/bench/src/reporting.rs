@@ -1,0 +1,71 @@
+//! Text-table and JSON output for the experiment harness.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Prints a fixed-width text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:<w$}", w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Serialises a value as pretty JSON under `dir/name.json`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created or the file cannot be written
+/// (the harness treats unwritable results as a hard failure).
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialisable experiment rows");
+    fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+    println!("[wrote {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("eyecod_bench_test");
+        write_json(&dir, "probe", &vec![1, 2, 3]);
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("probe.json")).unwrap())
+                .unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Image acquisition: lens camera vs lensless FlatCam.
+
+use eyecod_optics::imaging::FlatCam;
+use eyecod_optics::mask::SeparableMask;
+use eyecod_optics::mat::Mat;
+use eyecod_optics::recon::TikhonovReconstructor;
+use eyecod_optics::sensor::SensorModel;
+use eyecod_tensor::Tensor;
+
+/// How frames are acquired before entering the processing pipeline.
+///
+/// The FlatCam variant is much larger than the lens variant (it owns the
+/// mask SVD factors); acquisitions are constructed once per tracker, so the
+/// size imbalance is irrelevant in practice.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Acquisition {
+    /// An ideal(ised) lens camera: the scene arrives focused, with only
+    /// mild sensor noise. The baseline of Tables 2 and 3 ("Origin Image").
+    Lens {
+        /// Sensor model applied to the focused image.
+        sensor: SensorModel,
+    },
+    /// A FlatCam: coded capture followed by Tikhonov reconstruction. The
+    /// reconstruction carries the noise amplification and artefacts that
+    /// make the FlatCam columns of Tables 2/3 slightly harder.
+    FlatCam {
+        /// The camera (mask + sensor model).
+        camera: FlatCam,
+        /// The matching precomputed reconstructor.
+        reconstructor: TikhonovReconstructor,
+    },
+}
+
+impl Acquisition {
+    /// Builds a FlatCam acquisition for `scene`-sized square images with a
+    /// `sensor`-sized measurement and regularisation `epsilon`.
+    pub fn flatcam(scene: usize, sensor: usize, epsilon: f64, seed: u32) -> Self {
+        // the differential (calibrated complementary-capture) model with an
+        // NIR-illuminated sensor — the operating point of a VR/AR eye camera
+        let mask = SeparableMask::mls_differential(sensor, scene, seed);
+        let reconstructor = TikhonovReconstructor::new(&mask, epsilon);
+        Acquisition::FlatCam {
+            camera: FlatCam::new(mask, SensorModel::nir_eye_tracking()),
+            reconstructor,
+        }
+    }
+
+    /// Builds the lens baseline with the same NIR-illuminated sensor
+    /// operating point as the FlatCam path (so the comparison isolates the
+    /// optics).
+    pub fn lens() -> Self {
+        Acquisition::Lens {
+            sensor: SensorModel::nir_eye_tracking(),
+        }
+    }
+
+    /// Acquires a scene: returns the image the processing pipeline sees.
+    ///
+    /// `scene` is a `(1, 1, S, S)` grayscale ground-truth image; `seed`
+    /// drives the per-frame sensor noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene is not square or does not match the FlatCam
+    /// geometry.
+    pub fn acquire(&self, scene: &Tensor, seed: u64) -> Tensor {
+        let s = scene.shape();
+        assert_eq!(s.h, s.w, "scenes must be square, got {s}");
+        match self {
+            Acquisition::Lens { sensor } => {
+                let m = Mat::from_tensor(scene);
+                sensor.apply(&m, seed).to_tensor()
+            }
+            Acquisition::FlatCam {
+                camera,
+                reconstructor,
+            } => {
+                let m = Mat::from_tensor(scene);
+                let y = camera.capture(&m, seed);
+                reconstructor.reconstruct(&y).to_tensor()
+            }
+        }
+    }
+
+    /// True for the FlatCam path.
+    pub fn is_flatcam(&self) -> bool {
+        matches!(self, Acquisition::FlatCam { .. })
+    }
+
+    /// Bytes the camera must push to the processor per frame (the raw
+    /// measurement for a FlatCam, the full image for a lens camera).
+    pub fn bytes_per_frame(&self, scene: usize) -> u64 {
+        match self {
+            Acquisition::Lens { .. } => (scene * scene) as u64,
+            Acquisition::FlatCam { camera, .. } => camera.measurement_pixels() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyecod_eyedata::render::{render_eye, EyeParams};
+    use eyecod_optics::metrics::psnr;
+
+    #[test]
+    fn lens_path_is_near_identity() {
+        let s = render_eye(&EyeParams::centered(48), 48, 0);
+        let out = Acquisition::lens().acquire(&s.image, 1);
+        let p = psnr(&Mat::from_tensor(&s.image), &Mat::from_tensor(&out));
+        assert!(p > 30.0, "lens PSNR {p:.1}");
+    }
+
+    #[test]
+    fn flatcam_reconstruction_resembles_the_scene() {
+        let s = render_eye(&EyeParams::centered(48), 48, 0);
+        let acq = Acquisition::flatcam(48, 64, 1e-4, 7);
+        let out = acq.acquire(&s.image, 1);
+        let p = psnr(&Mat::from_tensor(&s.image), &Mat::from_tensor(&out));
+        assert!(p > 12.0, "FlatCam reconstruction PSNR {p:.1}");
+        assert!(acq.is_flatcam());
+    }
+
+    #[test]
+    fn flatcam_is_noisier_than_lens() {
+        // Table 3's observation: FlatCam images have lower SNR than origin
+        // images, which costs segmentation accuracy.
+        let s = render_eye(&EyeParams::centered(48), 48, 0);
+        let lens = Acquisition::lens().acquire(&s.image, 1);
+        let flat = Acquisition::flatcam(48, 64, 1e-4, 7).acquire(&s.image, 1);
+        let ref_m = Mat::from_tensor(&s.image);
+        assert!(psnr(&ref_m, &Mat::from_tensor(&lens)) > psnr(&ref_m, &Mat::from_tensor(&flat)));
+    }
+
+    #[test]
+    fn flatcam_transmits_measurement_not_image() {
+        let acq = Acquisition::flatcam(48, 64, 1e-4, 7);
+        assert_eq!(acq.bytes_per_frame(48), 64 * 64);
+        assert_eq!(Acquisition::lens().bytes_per_frame(48), 48 * 48);
+    }
+}

@@ -1,0 +1,86 @@
+//! Aggregate tracking metrics.
+
+use eyecod_eyedata::GazeVector;
+
+/// Accumulated statistics of a tracking run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrackingStats {
+    /// Frames processed.
+    pub frames: usize,
+    /// Sum of per-frame angular errors (degrees).
+    sum_error: f64,
+    /// Maximum per-frame angular error (degrees).
+    pub max_error_deg: f32,
+    /// Number of ROI refreshes performed.
+    pub roi_refreshes: usize,
+}
+
+impl TrackingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one frame's outcome.
+    pub fn record(&mut self, predicted: &GazeVector, truth: &GazeVector, roi_refreshed: bool) {
+        let err = predicted.angular_error_degrees(truth);
+        self.frames += 1;
+        self.sum_error += err as f64;
+        self.max_error_deg = self.max_error_deg.max(err);
+        if roi_refreshed {
+            self.roi_refreshes += 1;
+        }
+    }
+
+    /// Mean angular error in degrees.
+    pub fn mean_error_deg(&self) -> f32 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        (self.sum_error / self.frames as f64) as f32
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &TrackingStats) {
+        self.frames += other.frames;
+        self.sum_error += other.sum_error;
+        self.max_error_deg = self.max_error_deg.max(other.max_error_deg);
+        self.roi_refreshes += other.roi_refreshes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages() {
+        let mut s = TrackingStats::new();
+        let a = GazeVector::from_angles(0.0, 0.0);
+        let b = GazeVector::from_angles(10f32.to_radians(), 0.0);
+        s.record(&a, &a, true);
+        s.record(&b, &a, false);
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.roi_refreshes, 1);
+        assert!((s.mean_error_deg() - 5.0).abs() < 0.01);
+        assert!((s.max_error_deg - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let a0 = GazeVector::from_angles(0.0, 0.0);
+        let b = GazeVector::from_angles(0.1, 0.0);
+        let mut a = TrackingStats::new();
+        a.record(&a0, &b, true);
+        let mut c = TrackingStats::new();
+        c.record(&a0, &a0, false);
+        a.merge(&c);
+        assert_eq!(a.frames, 2);
+        assert_eq!(a.roi_refreshes, 1);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        assert_eq!(TrackingStats::new().mean_error_deg(), 0.0);
+    }
+}

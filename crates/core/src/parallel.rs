@@ -1,0 +1,85 @@
+//! Scoped-thread helpers for dataset-scale evaluations.
+//!
+//! Rendering, FlatCam reconstruction and per-sample evaluation are
+//! embarrassingly parallel; the benchmark harnesses fan them out across
+//! cores with `crossbeam` scoped threads collecting into a
+//! `parking_lot`-guarded buffer.
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item, in parallel, preserving order.
+///
+/// Uses up to `std::thread::available_parallelism()` worker threads; falls
+/// back to sequential execution for tiny inputs.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 4 {
+        return items.iter().map(&f).collect();
+    }
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_for_large_inputs() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let ids = StdMutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        parallel_map(&items, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let n = ids.lock().unwrap().len();
+        // at least 2 workers on any multi-core machine
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+            assert!(n > 1, "expected multiple worker threads, saw {n}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Label-consistent data augmentation.
+//!
+//! Horizontal mirroring is the one geometric augmentation that is exactly
+//! label-preserving for eye images: the image and segmentation mask flip
+//! left–right, and the gaze vector's horizontal component negates. (It also
+//! converts left eyes into plausible right eyes, which is how OpenEDS-style
+//! datasets are commonly doubled.)
+
+use crate::dataset::Sample;
+use crate::gaze::GazeVector;
+use eyecod_tensor::Tensor;
+
+/// Mirrors a sample horizontally: image columns, label columns and the
+/// gaze x-component.
+pub fn flip_horizontal(sample: &Sample) -> Sample {
+    let s = sample.image.shape();
+    let image = Tensor::from_fn(s, |n, c, y, x| sample.image.at(n, c, y, s.w - 1 - x));
+    let mut labels = vec![0u8; sample.labels.len()];
+    for y in 0..s.h {
+        for x in 0..s.w {
+            labels[y * s.w + x] = sample.labels[y * s.w + (s.w - 1 - x)];
+        }
+    }
+    let gaze = GazeVector {
+        x: -sample.gaze.x,
+        y: sample.gaze.y,
+        z: sample.gaze.z,
+    };
+    let mut params = sample.params.clone();
+    params.yaw = -params.yaw;
+    params.center_x = 1.0 - params.center_x;
+    Sample {
+        image,
+        labels,
+        gaze,
+        params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{class_centroid, SegClass};
+    use crate::render::{render_eye, EyeParams};
+
+    #[test]
+    fn double_flip_is_identity() {
+        let s = render_eye(&EyeParams::centered(32), 32, 1);
+        let back = flip_horizontal(&flip_horizontal(&s));
+        assert_eq!(back.image, s.image);
+        assert_eq!(back.labels, s.labels);
+        assert!((back.gaze.x - s.gaze.x).abs() < 1e-7);
+    }
+
+    #[test]
+    fn flip_mirrors_pupil_and_negates_yaw() {
+        let mut p = EyeParams::centered(48);
+        p.yaw = 15f32.to_radians();
+        let s = render_eye(&p, 48, 2);
+        let f = flip_horizontal(&s);
+        let (_, px) = class_centroid(&s.labels, 48, 48, SegClass::Pupil).unwrap();
+        let (_, fx) = class_centroid(&f.labels, 48, 48, SegClass::Pupil).unwrap();
+        assert!(
+            ((47.0 - px) - fx).abs() < 1.0,
+            "pupil x {px} should mirror to {fx}"
+        );
+        assert!((f.gaze.x + s.gaze.x).abs() < 1e-6);
+        assert!((f.gaze.z - s.gaze.z).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flipped_gaze_stays_unit() {
+        let s = render_eye(&EyeParams::centered(24), 24, 3);
+        assert!((flip_horizontal(&s).gaze.norm() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,142 @@
+//! 3-D gaze vectors.
+
+use eyecod_tensor::{Shape, Tensor};
+
+/// A unit 3-D gaze direction in the camera coordinate frame
+/// (x right, y down, z into the scene — towards the camera looking at the
+/// eye, `z > 0` means the eye looks at the camera).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GazeVector {
+    /// Horizontal component.
+    pub x: f32,
+    /// Vertical component.
+    pub y: f32,
+    /// Depth component.
+    pub z: f32,
+}
+
+impl GazeVector {
+    /// Builds a gaze vector from yaw (horizontal, radians) and pitch
+    /// (vertical, radians). Zero yaw/pitch looks straight at the camera.
+    pub fn from_angles(yaw: f32, pitch: f32) -> Self {
+        GazeVector {
+            x: yaw.sin() * pitch.cos(),
+            y: pitch.sin(),
+            z: yaw.cos() * pitch.cos(),
+        }
+    }
+
+    /// The yaw angle in radians.
+    pub fn yaw(&self) -> f32 {
+        self.x.atan2(self.z)
+    }
+
+    /// The pitch angle in radians.
+    pub fn pitch(&self) -> f32 {
+        self.y.asin()
+    }
+
+    /// Euclidean norm (1.0 for vectors built via [`GazeVector::from_angles`]).
+    pub fn norm(&self) -> f32 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the normalised copy of this vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector has (near-)zero norm.
+    pub fn normalized(&self) -> Self {
+        let n = self.norm();
+        assert!(n > 1e-12, "cannot normalise a zero gaze vector");
+        GazeVector {
+            x: self.x / n,
+            y: self.y / n,
+            z: self.z / n,
+        }
+    }
+
+    /// Angular distance to another gaze vector, in degrees — the metric of
+    /// the paper's gaze tables.
+    pub fn angular_error_degrees(&self, other: &GazeVector) -> f32 {
+        let a = self.normalized();
+        let b = other.normalized();
+        let cos = (a.x * b.x + a.y * b.y + a.z * b.z).clamp(-1.0, 1.0);
+        cos.acos().to_degrees()
+    }
+
+    /// Packs a batch of gaze vectors into an `(N, 3, 1, 1)` tensor.
+    pub fn batch_to_tensor(gazes: &[GazeVector]) -> Tensor {
+        assert!(!gazes.is_empty(), "need at least one gaze vector");
+        let mut t = Tensor::zeros(Shape::new(gazes.len(), 3, 1, 1));
+        for (i, g) in gazes.iter().enumerate() {
+            *t.at_mut(i, 0, 0, 0) = g.x;
+            *t.at_mut(i, 1, 0, 0) = g.y;
+            *t.at_mut(i, 2, 0, 0) = g.z;
+        }
+        t
+    }
+
+    /// Reads one gaze vector back out of an `(N, 3, 1, 1)` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor does not have 3 channels or `n` is out of range.
+    pub fn from_tensor(t: &Tensor, n: usize) -> Self {
+        assert_eq!(t.shape().c, 3, "gaze tensor must have 3 channels");
+        GazeVector {
+            x: t.at(n, 0, 0, 0),
+            y: t.at(n, 1, 0, 0),
+            z: t.at(n, 2, 0, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_angles_is_unit() {
+        for &(yaw, pitch) in &[(0.0f32, 0.0f32), (0.3, -0.2), (-0.5, 0.4)] {
+            let g = GazeVector::from_angles(yaw, pitch);
+            assert!((g.norm() - 1.0).abs() < 1e-6);
+            assert!((g.yaw() - yaw).abs() < 1e-5);
+            assert!((g.pitch() - pitch).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn straight_ahead_is_z() {
+        let g = GazeVector::from_angles(0.0, 0.0);
+        assert!((g.z - 1.0).abs() < 1e-6 && g.x.abs() < 1e-6 && g.y.abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_error_between_known_angles() {
+        let a = GazeVector::from_angles(0.0, 0.0);
+        let b = GazeVector::from_angles(10f32.to_radians(), 0.0);
+        assert!((a.angular_error_degrees(&b) - 10.0).abs() < 1e-3);
+        assert!(a.angular_error_degrees(&a) < 1e-3);
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let gazes = vec![
+            GazeVector::from_angles(0.1, 0.2),
+            GazeVector::from_angles(-0.3, 0.05),
+        ];
+        let t = GazeVector::batch_to_tensor(&gazes);
+        assert_eq!(t.shape().dims(), (2, 3, 1, 1));
+        for (i, g) in gazes.iter().enumerate() {
+            let back = GazeVector::from_tensor(&t, i);
+            assert!(g.angular_error_degrees(&back) < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero gaze")]
+    fn normalize_rejects_zero() {
+        GazeVector { x: 0.0, y: 0.0, z: 0.0 }.normalized();
+    }
+}

@@ -1,0 +1,190 @@
+//! Segmentation label taxonomy and mask statistics.
+
+/// The OpenEDS 4-class eye segmentation taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SegClass {
+    /// Background and skin (everything that is not the open eye).
+    Background = 0,
+    /// The white of the eye.
+    Sclera = 1,
+    /// The iris annulus.
+    Iris = 2,
+    /// The pupil disc.
+    Pupil = 3,
+}
+
+impl SegClass {
+    /// Number of classes.
+    pub const COUNT: usize = 4;
+
+    /// All classes in index order.
+    pub const ALL: [SegClass; 4] = [
+        SegClass::Background,
+        SegClass::Sclera,
+        SegClass::Iris,
+        SegClass::Pupil,
+    ];
+
+    /// Converts a class index to a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 4`.
+    pub fn from_index(idx: usize) -> SegClass {
+        Self::ALL[idx]
+    }
+
+    /// The class index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Centroid `(y, x)` of all pixels of `class` in a dense label map, or
+/// `None` if the class is absent.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != h * w`.
+pub fn class_centroid(labels: &[u8], h: usize, w: usize, class: SegClass) -> Option<(f32, f32)> {
+    assert_eq!(labels.len(), h * w, "label map size mismatch");
+    let mut sy = 0.0f64;
+    let mut sx = 0.0f64;
+    let mut count = 0usize;
+    for y in 0..h {
+        for x in 0..w {
+            if labels[y * w + x] == class as u8 {
+                sy += y as f64;
+                sx += x as f64;
+                count += 1;
+            }
+        }
+    }
+    (count > 0).then(|| ((sy / count as f64) as f32, (sx / count as f64) as f32))
+}
+
+/// Axis-aligned bounding box `(y0, x0, y1, x1)` (inclusive) of `class`, or
+/// `None` if absent.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != h * w`.
+pub fn class_bbox(labels: &[u8], h: usize, w: usize, class: SegClass) -> Option<(usize, usize, usize, usize)> {
+    assert_eq!(labels.len(), h * w, "label map size mismatch");
+    let mut bbox: Option<(usize, usize, usize, usize)> = None;
+    for y in 0..h {
+        for x in 0..w {
+            if labels[y * w + x] == class as u8 {
+                bbox = Some(match bbox {
+                    None => (y, x, y, x),
+                    Some((y0, x0, y1, x1)) => (y0.min(y), x0.min(x), y1.max(y), x1.max(x)),
+                });
+            }
+        }
+    }
+    bbox
+}
+
+/// Pixel count of each class in a label map.
+pub fn class_histogram(labels: &[u8]) -> [usize; SegClass::COUNT] {
+    let mut hist = [0usize; SegClass::COUNT];
+    for &l in labels {
+        assert!((l as usize) < SegClass::COUNT, "label {l} out of range");
+        hist[l as usize] += 1;
+    }
+    hist
+}
+
+/// Mean intersection-over-union between a predicted and ground-truth label
+/// map — the segmentation metric of the paper's Table 3. Classes absent from
+/// both maps are skipped (standard convention).
+///
+/// # Panics
+///
+/// Panics if lengths differ or labels are out of range.
+pub fn mean_iou(pred: &[u8], truth: &[u8]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "label map length mismatch");
+    let mut inter = [0usize; SegClass::COUNT];
+    let mut union = [0usize; SegClass::COUNT];
+    for (&p, &t) in pred.iter().zip(truth) {
+        assert!((p as usize) < SegClass::COUNT && (t as usize) < SegClass::COUNT);
+        if p == t {
+            inter[p as usize] += 1;
+            union[p as usize] += 1;
+        } else {
+            union[p as usize] += 1;
+            union[t as usize] += 1;
+        }
+    }
+    let mut sum = 0.0f32;
+    let mut present = 0usize;
+    for c in 0..SegClass::COUNT {
+        if union[c] > 0 {
+            sum += inter[c] as f32 / union[c] as f32;
+            present += 1;
+        }
+    }
+    if present == 0 {
+        1.0
+    } else {
+        sum / present as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_round_trip() {
+        for c in SegClass::ALL {
+            assert_eq!(SegClass::from_index(c.index()), c);
+        }
+    }
+
+    #[test]
+    fn centroid_of_single_pixel() {
+        let mut labels = vec![0u8; 16];
+        labels[2 * 4 + 3] = SegClass::Pupil as u8;
+        let c = class_centroid(&labels, 4, 4, SegClass::Pupil).unwrap();
+        assert_eq!(c, (2.0, 3.0));
+        assert!(class_centroid(&labels, 4, 4, SegClass::Iris).is_none());
+    }
+
+    #[test]
+    fn bbox_covers_extremes() {
+        let mut labels = vec![0u8; 25];
+        labels[1 * 5 + 1] = 1;
+        labels[3 * 5 + 4] = 1;
+        assert_eq!(class_bbox(&labels, 5, 5, SegClass::Sclera), Some((1, 1, 3, 4)));
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let labels = vec![0u8, 1, 1, 2, 3, 3, 3, 0];
+        assert_eq!(class_histogram(&labels), [2, 2, 1, 3]);
+    }
+
+    #[test]
+    fn miou_perfect_is_one() {
+        let labels = vec![0u8, 1, 2, 3, 1, 0];
+        assert_eq!(mean_iou(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn miou_half_overlap() {
+        // one class, half the pixels wrong against an all-zero truth
+        let pred = vec![0u8, 0, 1, 1];
+        let truth = vec![0u8, 0, 0, 0];
+        // class0: inter 2, union 4 -> 0.5 ; class1: inter 0, union 2 -> 0
+        assert!((mean_iou(&pred, &truth) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn miou_is_symmetric() {
+        let a = vec![0u8, 1, 2, 3, 2, 1, 0, 0];
+        let b = vec![0u8, 1, 1, 3, 2, 2, 0, 1];
+        assert!((mean_iou(&a, &b) - mean_iou(&b, &a)).abs() < 1e-6);
+    }
+}

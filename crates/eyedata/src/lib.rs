@@ -1,0 +1,42 @@
+//! # eyecod-eyedata
+//!
+//! Synthetic eye-image dataset substrate for the EyeCoD reproduction.
+//!
+//! The paper trains and evaluates on Meta's OpenEDS2019 (segmentation) and
+//! OpenEDS2020 (gaze) datasets, which are licensed and unavailable here. This
+//! crate substitutes a *parametric synthetic eye renderer* that produces the
+//! same supervision structure:
+//!
+//! * near-infrared-style grayscale eye images (skin, sclera, iris, pupil,
+//!   corneal glint, sensor noise),
+//! * dense 4-class segmentation masks (the OpenEDS class set:
+//!   background/skin, sclera, iris, pupil),
+//! * 3-D gaze vectors,
+//! * temporal sequences with slow eye-position drift and fast gaze saccades —
+//!   the statistic that justifies the paper's "segment once every 50 frames"
+//!   design (§4.3).
+//!
+//! # Example
+//!
+//! ```
+//! use eyecod_eyedata::render::{EyeParams, render_eye};
+//!
+//! let params = EyeParams::centered(64);
+//! let sample = render_eye(&params, 64, 123);
+//! assert_eq!(sample.image.shape().dims(), (1, 1, 64, 64));
+//! assert_eq!(sample.labels.len(), 64 * 64);
+//! ```
+
+pub mod augment;
+pub mod dataset;
+pub mod gaze;
+pub mod labels;
+pub mod noise;
+pub mod render;
+pub mod sequence;
+
+pub use dataset::{Dataset, Sample};
+pub use gaze::GazeVector;
+pub use labels::SegClass;
+pub use render::{render_eye, EyeParams};
+pub use sequence::EyeMotionGenerator;

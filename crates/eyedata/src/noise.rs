@@ -1,0 +1,83 @@
+//! Procedural value noise for skin/iris texture.
+
+/// Deterministic hash of a 2-D lattice point plus seed, mapped to `[0, 1)`.
+fn hash01(x: i64, y: i64, seed: u64) -> f32 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    h = h.wrapping_add((x as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    h ^= h >> 27;
+    h = h.wrapping_add((y as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    h ^= h >> 31;
+    h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    ((h >> 40) as f32) / ((1u64 << 24) as f32)
+}
+
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Smooth 2-D value noise in `[0, 1]` at continuous coordinates `(x, y)`
+/// with the given feature `scale` (larger scale = coarser features).
+///
+/// # Panics
+///
+/// Panics if `scale <= 0`.
+pub fn value_noise(x: f32, y: f32, scale: f32, seed: u64) -> f32 {
+    assert!(scale > 0.0, "noise scale must be positive");
+    let fx = x / scale;
+    let fy = y / scale;
+    let x0 = fx.floor();
+    let y0 = fy.floor();
+    let tx = smoothstep(fx - x0);
+    let ty = smoothstep(fy - y0);
+    let (x0, y0) = (x0 as i64, y0 as i64);
+    let v00 = hash01(x0, y0, seed);
+    let v10 = hash01(x0 + 1, y0, seed);
+    let v01 = hash01(x0, y0 + 1, seed);
+    let v11 = hash01(x0 + 1, y0 + 1, seed);
+    let a = v00 + (v10 - v00) * tx;
+    let b = v01 + (v11 - v01) * tx;
+    a + (b - a) * ty
+}
+
+/// Two-octave fractal value noise in `[0, 1]`.
+pub fn fractal_noise(x: f32, y: f32, scale: f32, seed: u64) -> f32 {
+    let base = value_noise(x, y, scale, seed);
+    let detail = value_noise(x, y, scale * 0.5, seed.wrapping_add(1));
+    (base * 0.7 + detail * 0.3).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        assert_eq!(value_noise(3.2, 7.9, 4.0, 5), value_noise(3.2, 7.9, 4.0, 5));
+        assert_ne!(value_noise(3.2, 7.9, 4.0, 5), value_noise(3.2, 7.9, 4.0, 6));
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        for i in 0..200 {
+            let v = fractal_noise(i as f32 * 0.37, i as f32 * 0.91, 5.0, 9);
+            assert!((0.0..=1.0).contains(&v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn noise_is_smooth_at_fine_steps() {
+        let a = value_noise(10.0, 10.0, 8.0, 1);
+        let b = value_noise(10.05, 10.0, 8.0, 1);
+        assert!((a - b).abs() < 0.05, "noise jumped {} over a tiny step", (a - b).abs());
+    }
+
+    #[test]
+    fn noise_varies_over_large_steps() {
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..50 {
+            let v = value_noise(i as f32 * 13.0, i as f32 * 7.0, 4.0, 2);
+            distinct.insert((v * 1000.0) as i32);
+        }
+        assert!(distinct.len() > 20, "noise too flat: {} values", distinct.len());
+    }
+}

@@ -1,0 +1,271 @@
+//! The parametric synthetic eye renderer.
+//!
+//! Renders near-infrared-style grayscale eye crops with dense 4-class
+//! segmentation labels and a ground-truth 3-D gaze vector. The geometry is a
+//! simple physically-motivated 2-D projection: the visible eye is an
+//! elliptical palpebral opening in the skin; the iris/pupil discs translate
+//! across the opening proportionally to gaze yaw/pitch (the projection of
+//! the eyeball rotation); a specular glint rides near the cornea.
+
+use crate::dataset::Sample;
+use crate::gaze::GazeVector;
+use crate::labels::SegClass;
+use crate::noise::fractal_noise;
+use eyecod_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All parameters of one rendered eye, in resolution-independent normalised
+/// image coordinates (`[0, 1]` across both axes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyeParams {
+    /// Eye (palpebral opening) centre, vertical.
+    pub center_y: f32,
+    /// Eye centre, horizontal.
+    pub center_x: f32,
+    /// Half-width of the palpebral opening.
+    pub eye_radius: f32,
+    /// Vertical aperture as a fraction of `eye_radius` (blink state).
+    pub openness: f32,
+    /// Iris radius.
+    pub iris_radius: f32,
+    /// Pupil radius (must be smaller than the iris).
+    pub pupil_radius: f32,
+    /// Gaze yaw in radians (positive looks to the image right).
+    pub yaw: f32,
+    /// Gaze pitch in radians (positive looks down).
+    pub pitch: f32,
+    /// Base skin brightness in `[0, 1]`.
+    pub skin_brightness: f32,
+    /// Whether to render a corneal glint.
+    pub glint: bool,
+    /// Seed for procedural skin/iris texture.
+    pub texture_seed: u64,
+}
+
+impl EyeParams {
+    /// A centred, camera-facing eye with typical proportions — the
+    /// quickstart configuration.
+    pub fn centered(_size: usize) -> Self {
+        EyeParams {
+            center_y: 0.5,
+            center_x: 0.5,
+            eye_radius: 0.30,
+            openness: 0.60,
+            iris_radius: 0.13,
+            pupil_radius: 0.055,
+            yaw: 0.0,
+            pitch: 0.0,
+            skin_brightness: 0.55,
+            glint: true,
+            texture_seed: 0,
+        }
+    }
+
+    /// Samples a random but anatomically plausible eye, with gaze angles up
+    /// to ±25° and modest eye-position variation (mirroring the head-mount
+    /// slippage OpenEDS captures exhibit).
+    pub fn random(rng: &mut StdRng) -> Self {
+        let max_angle = 25.0f32.to_radians();
+        EyeParams {
+            center_y: rng.gen_range(0.40..0.60),
+            center_x: rng.gen_range(0.40..0.60),
+            eye_radius: rng.gen_range(0.26..0.34),
+            openness: rng.gen_range(0.45..0.75),
+            iris_radius: rng.gen_range(0.11..0.15),
+            pupil_radius: rng.gen_range(0.035..0.065),
+            yaw: rng.gen_range(-max_angle..max_angle),
+            pitch: rng.gen_range(-max_angle..max_angle),
+            skin_brightness: rng.gen_range(0.45..0.65),
+            glint: rng.gen_bool(0.9),
+            texture_seed: rng.gen(),
+        }
+    }
+
+    /// The ground-truth gaze vector for these parameters.
+    pub fn gaze(&self) -> GazeVector {
+        GazeVector::from_angles(self.yaw, self.pitch)
+    }
+
+    /// Projected iris centre in normalised coordinates: the eyeball rotation
+    /// translates the iris across the opening.
+    pub fn iris_center(&self) -> (f32, f32) {
+        // effective eyeball radius in normalised units
+        let k = 0.17;
+        (
+            self.center_y + k * self.pitch.sin(),
+            self.center_x + k * self.yaw.sin(),
+        )
+    }
+
+    /// Validates anatomical plausibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pupil is not strictly inside the iris, extents are
+    /// non-positive, or openness is out of `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.pupil_radius > 0.0 && self.pupil_radius < self.iris_radius,
+            "pupil radius {} must be positive and inside the iris {}", self.pupil_radius, self.iris_radius);
+        assert!(self.eye_radius > 0.0, "eye radius must be positive");
+        assert!(self.openness > 0.0 && self.openness <= 1.0, "openness must be in (0, 1]");
+    }
+}
+
+/// Renders an eye into a `size × size` grayscale image with per-pixel labels.
+///
+/// `noise_seed` controls only the additive sensor noise, so the same
+/// parameters render the same geometry under different noise draws.
+///
+/// # Panics
+///
+/// Panics if `size == 0` or the parameters are anatomically invalid (see
+/// [`EyeParams::validate`]).
+pub fn render_eye(params: &EyeParams, size: usize, noise_seed: u64) -> Sample {
+    assert!(size > 0, "image size must be non-zero");
+    params.validate();
+    let mut rng = StdRng::seed_from_u64(noise_seed);
+    let (icy, icx) = params.iris_center();
+    let rx = params.eye_radius;
+    let ry = params.eye_radius * params.openness;
+    // the glint sits between pupil centre and eye centre (specular highlight)
+    let gy = icy * 0.7 + params.center_y * 0.3 - 0.35 * params.pupil_radius;
+    let gx = icx * 0.7 + params.center_x * 0.3 + 0.35 * params.pupil_radius;
+    let glint_r = 0.016f32;
+
+    let mut labels = vec![0u8; size * size];
+    let image = Tensor::from_fn(Shape::new(1, 1, size, size), |_, _, py, px| {
+        let y = (py as f32 + 0.5) / size as f32;
+        let x = (px as f32 + 0.5) / size as f32;
+        let ey = (y - params.center_y) / ry;
+        let ex = (x - params.center_x) / rx;
+        let in_opening = ey * ey + ex * ex <= 1.0;
+        let di = ((y - icy).powi(2) + (x - icx).powi(2)).sqrt();
+
+        let (class, mut value) = if in_opening {
+            if di <= params.pupil_radius {
+                (SegClass::Pupil, 0.06 + 0.02 * fractal_noise(x * size as f32, y * size as f32, 6.0, params.texture_seed))
+            } else if di <= params.iris_radius {
+                // radial iris texture
+                let ring = ((di / params.iris_radius) * 9.0).sin().abs();
+                let tex = fractal_noise(x * size as f32, y * size as f32, 3.0, params.texture_seed ^ 0xA5);
+                (SegClass::Iris, 0.26 + 0.08 * ring + 0.06 * tex)
+            } else {
+                // sclera with mild shading towards the eyelid boundary
+                let rim = (ey * ey + ex * ex).sqrt();
+                (SegClass::Sclera, 0.88 - 0.18 * rim * rim)
+            }
+        } else {
+            // skin with procedural texture and a darker lash line near the opening
+            let rim = (ey * ey + ex * ex).sqrt();
+            let lash = if rim < 1.18 { 0.12 * (1.18 - rim) / 0.18 } else { 0.0 };
+            let tex = fractal_noise(x * size as f32, y * size as f32, 5.0, params.texture_seed ^ 0x5A);
+            (SegClass::Background, params.skin_brightness + 0.10 * tex - lash)
+        };
+        labels[py * size + px] = class as u8;
+
+        // specular glint overwrites intensity but not the label
+        if params.glint && in_opening {
+            let dg = ((y - gy).powi(2) + (x - gx).powi(2)).sqrt();
+            if dg < glint_r {
+                value = 0.98;
+            }
+        }
+        let noise: f32 = {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * 0.012
+        };
+        (value + noise).clamp(0.0, 1.0)
+    });
+
+    Sample {
+        image,
+        labels,
+        gaze: params.gaze(),
+        params: params.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{class_centroid, class_histogram};
+
+    #[test]
+    fn renders_all_four_classes() {
+        let s = render_eye(&EyeParams::centered(64), 64, 0);
+        let hist = class_histogram(&s.labels);
+        for (c, &count) in hist.iter().enumerate() {
+            assert!(count > 0, "class {c} missing from rendered eye");
+        }
+        // skin should dominate (the paper's data-redundancy motivation)
+        assert!(hist[0] > hist[1] + hist[2] + hist[3]);
+    }
+
+    #[test]
+    fn pupil_is_darker_than_sclera() {
+        let s = render_eye(&EyeParams::centered(64), 64, 0);
+        let mut pupil_sum = 0.0;
+        let mut pupil_n = 0;
+        let mut sclera_sum = 0.0;
+        let mut sclera_n = 0;
+        for y in 0..64 {
+            for x in 0..64 {
+                let v = s.image.at(0, 0, y, x);
+                match s.labels[y * 64 + x] {
+                    3 => {
+                        pupil_sum += v;
+                        pupil_n += 1;
+                    }
+                    1 => {
+                        sclera_sum += v;
+                        sclera_n += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(pupil_sum / pupil_n as f32 + 0.3 < sclera_sum / sclera_n as f32);
+    }
+
+    #[test]
+    fn gaze_shifts_the_pupil() {
+        let mut right = EyeParams::centered(64);
+        right.yaw = 20f32.to_radians();
+        let mut left = EyeParams::centered(64);
+        left.yaw = -20f32.to_radians();
+        let sr = render_eye(&right, 64, 0);
+        let sl = render_eye(&left, 64, 0);
+        let cr = class_centroid(&sr.labels, 64, 64, SegClass::Pupil).unwrap();
+        let cl = class_centroid(&sl.labels, 64, 64, SegClass::Pupil).unwrap();
+        assert!(cr.1 > cl.1 + 4.0, "pupil x should follow yaw: {cr:?} vs {cl:?}");
+    }
+
+    #[test]
+    fn geometry_is_noise_invariant() {
+        let p = EyeParams::centered(48);
+        let a = render_eye(&p, 48, 1);
+        let b = render_eye(&p, 48, 2);
+        assert_eq!(a.labels, b.labels);
+        assert!(a.image.sub(&b.image).max_abs() > 0.0);
+    }
+
+    #[test]
+    fn random_params_are_valid_and_diverse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = EyeParams::random(&mut rng);
+        let b = EyeParams::random(&mut rng);
+        a.validate();
+        b.validate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the iris")]
+    fn rejects_pupil_larger_than_iris() {
+        let mut p = EyeParams::centered(32);
+        p.pupil_radius = p.iris_radius + 0.01;
+        render_eye(&p, 32, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Temporal eye-motion sequences: slow positional drift, fast gaze saccades.
+//!
+//! The predict-then-focus design rests on a timescale separation (paper
+//! §4.3): the eye's *position in the frame* moves slowly (head-mount
+//! slippage), while the *gaze direction* changes quickly (saccades). The
+//! generator reproduces both statistics so the ROI-refresh-frequency
+//! ablation (Table 5) can be run faithfully.
+
+use crate::render::EyeParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the motion statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotionConfig {
+    /// Per-frame standard deviation of the eye-centre random walk
+    /// (normalised units). Default 4e-4 ≈ slow slippage.
+    pub drift_std: f32,
+    /// Probability per frame of starting a saccade.
+    pub saccade_prob: f32,
+    /// Saccade amplitude range in radians.
+    pub saccade_amplitude: (f32, f32),
+    /// Duration of a saccade in frames.
+    pub saccade_frames: usize,
+    /// Per-frame fixation jitter of the gaze angles (radians).
+    pub fixation_jitter: f32,
+    /// Maximum gaze angle magnitude (radians).
+    pub max_angle: f32,
+    /// Probability per frame of starting a blink.
+    pub blink_prob: f32,
+    /// Blink duration in frames (close + reopen).
+    pub blink_frames: usize,
+}
+
+impl Default for MotionConfig {
+    fn default() -> Self {
+        MotionConfig {
+            drift_std: 4e-4,
+            saccade_prob: 0.04,
+            saccade_amplitude: (0.05, 0.35),
+            saccade_frames: 4,
+            fixation_jitter: 2e-3,
+            max_angle: 25.0f32.to_radians(),
+            blink_prob: 0.005,
+            blink_frames: 6,
+        }
+    }
+}
+
+/// Generates an endless stream of [`EyeParams`] frames.
+#[derive(Debug)]
+pub struct EyeMotionGenerator {
+    rng: StdRng,
+    config: MotionConfig,
+    current: EyeParams,
+    saccade_target: Option<(f32, f32)>,
+    saccade_remaining: usize,
+    blink_remaining: usize,
+    base_openness: f32,
+    frame: u64,
+}
+
+impl EyeMotionGenerator {
+    /// Creates a generator from an initial eye and a seed.
+    pub fn new(initial: EyeParams, config: MotionConfig, seed: u64) -> Self {
+        initial.validate();
+        let base_openness = initial.openness;
+        EyeMotionGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            current: initial,
+            saccade_target: None,
+            saccade_remaining: 0,
+            blink_remaining: 0,
+            base_openness,
+            frame: 0,
+        }
+    }
+
+    /// A generator with default motion statistics starting from a random
+    /// plausible eye.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00EE_C0D0);
+        Self::new(EyeParams::random(&mut rng), MotionConfig::default(), seed)
+    }
+
+    /// The frame counter (number of frames produced so far).
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// Advances one frame and returns its parameters.
+    pub fn next_frame(&mut self) -> EyeParams {
+        let c = self.config.clone();
+        fn gauss(rng: &mut StdRng, std: f32) -> f32 {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+        }
+        // slow positional drift, reflected at plausible bounds
+        self.current.center_y =
+            (self.current.center_y + gauss(&mut self.rng, c.drift_std)).clamp(0.35, 0.65);
+        self.current.center_x =
+            (self.current.center_x + gauss(&mut self.rng, c.drift_std)).clamp(0.35, 0.65);
+
+        // fast gaze dynamics: saccades towards random targets, else fixation jitter
+        if self.saccade_remaining > 0 {
+            if let Some((ty, tx)) = self.saccade_target {
+                let step = 1.0 / self.saccade_remaining as f32;
+                self.current.pitch += (ty - self.current.pitch) * step;
+                self.current.yaw += (tx - self.current.yaw) * step;
+            }
+            self.saccade_remaining -= 1;
+            if self.saccade_remaining == 0 {
+                self.saccade_target = None;
+            }
+        } else if self.rng.gen::<f32>() < c.saccade_prob {
+            let amp = self.rng.gen_range(c.saccade_amplitude.0..c.saccade_amplitude.1);
+            let dir = self.rng.gen_range(0.0..std::f32::consts::TAU);
+            let ty = (self.current.pitch + amp * dir.sin()).clamp(-c.max_angle, c.max_angle);
+            let tx = (self.current.yaw + amp * dir.cos()).clamp(-c.max_angle, c.max_angle);
+            self.saccade_target = Some((ty, tx));
+            self.saccade_remaining = c.saccade_frames.max(1);
+        } else {
+            self.current.pitch = (self.current.pitch + gauss(&mut self.rng, c.fixation_jitter))
+                .clamp(-c.max_angle, c.max_angle);
+            self.current.yaw = (self.current.yaw + gauss(&mut self.rng, c.fixation_jitter))
+                .clamp(-c.max_angle, c.max_angle);
+        }
+
+        // blinks: the lid closes and reopens over blink_frames; gaze keeps
+        // moving underneath (as in real saccadic blinks)
+        if self.blink_remaining > 0 {
+            self.blink_remaining -= 1;
+            let t = self.blink_remaining as f32 / c.blink_frames.max(1) as f32;
+            // triangular profile: fully closed at the midpoint
+            let closure = 1.0 - (2.0 * t - 1.0).abs();
+            self.current.openness =
+                (self.base_openness * (1.0 - 0.9 * closure)).max(0.05);
+        } else if self.rng.gen::<f32>() < c.blink_prob {
+            self.blink_remaining = c.blink_frames.max(1);
+        } else {
+            self.current.openness = self.base_openness;
+        }
+
+        self.frame += 1;
+        self.current.clone()
+    }
+
+    /// Whether the eye is currently mid-blink.
+    pub fn in_blink(&self) -> bool {
+        self.blink_remaining > 0
+    }
+
+    /// Produces the next `n` frames as a vector.
+    pub fn take_frames(&mut self, n: usize) -> Vec<EyeParams> {
+        (0..n).map(|_| self.next_frame()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn displacement_stats(frames: &[EyeParams]) -> (f32, f32) {
+        // (total eye-centre displacement, total gaze angular displacement)
+        let mut center = 0.0f32;
+        let mut gaze = 0.0f32;
+        for w in frames.windows(2) {
+            center += ((w[1].center_y - w[0].center_y).powi(2)
+                + (w[1].center_x - w[0].center_x).powi(2))
+            .sqrt();
+            gaze += ((w[1].pitch - w[0].pitch).powi(2) + (w[1].yaw - w[0].yaw).powi(2)).sqrt();
+        }
+        (center, gaze)
+    }
+
+    #[test]
+    fn gaze_moves_much_faster_than_eye_position() {
+        let mut gen = EyeMotionGenerator::with_seed(7);
+        let frames = gen.take_frames(500);
+        let (center, gaze) = displacement_stats(&frames);
+        // the paper's core timescale assumption: gaze >> position movement
+        assert!(
+            gaze > center * 10.0,
+            "gaze displacement {gaze} should dwarf centre drift {center}"
+        );
+    }
+
+    #[test]
+    fn frames_stay_anatomically_valid() {
+        let mut gen = EyeMotionGenerator::with_seed(3);
+        for p in gen.take_frames(300) {
+            p.validate();
+            assert!(p.yaw.abs() <= 26f32.to_radians());
+            assert!(p.pitch.abs() <= 26f32.to_radians());
+        }
+    }
+
+    #[test]
+    fn sequences_are_seed_reproducible() {
+        let a = EyeMotionGenerator::with_seed(11).take_frames(50);
+        let b = EyeMotionGenerator::with_seed(11).take_frames(50);
+        assert_eq!(a, b);
+        let c = EyeMotionGenerator::with_seed(12).take_frames(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn saccades_actually_occur() {
+        let mut gen = EyeMotionGenerator::with_seed(5);
+        let frames = gen.take_frames(400);
+        let mut big_jumps = 0;
+        for w in frames.windows(2) {
+            let d = ((w[1].pitch - w[0].pitch).powi(2) + (w[1].yaw - w[0].yaw).powi(2)).sqrt();
+            if d > 0.01 {
+                big_jumps += 1;
+            }
+        }
+        assert!(big_jumps > 10, "expected saccadic jumps, saw {big_jumps}");
+    }
+
+    #[test]
+    fn blinks_close_and_reopen_the_eye() {
+        let mut config = MotionConfig {
+            blink_prob: 0.2,
+            ..MotionConfig::default()
+        };
+        config.saccade_prob = 0.0;
+        let initial = crate::render::EyeParams::centered(48);
+        let base = initial.openness;
+        let mut gen = EyeMotionGenerator::new(initial, config, 9);
+        let frames = gen.take_frames(200);
+        let min_open = frames.iter().map(|p| p.openness).fold(f32::MAX, f32::min);
+        assert!(min_open < base * 0.5, "no blink closed the eye: min {min_open}");
+        // the eye reopens after every blink
+        assert!(frames.last().unwrap().openness > 0.0);
+        assert!(
+            frames.iter().filter(|p| (p.openness - base).abs() < 1e-6).count() > 50,
+            "the eye should be open most of the time"
+        );
+        // every frame stays renderable
+        for p in &frames {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn frame_counter_advances() {
+        let mut gen = EyeMotionGenerator::with_seed(1);
+        assert_eq!(gen.frame(), 0);
+        gen.take_frames(17);
+        assert_eq!(gen.frame(), 17);
+    }
+}

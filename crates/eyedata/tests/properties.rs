@@ -1,0 +1,109 @@
+//! Property-based tests of the synthetic eye data contracts.
+
+use eyecod_eyedata::augment::flip_horizontal;
+use eyecod_eyedata::labels::{class_centroid, class_histogram, mean_iou, SegClass};
+use eyecod_eyedata::render::{render_eye, EyeParams};
+use eyecod_eyedata::sequence::EyeMotionGenerator;
+use eyecod_eyedata::GazeVector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random plausible eye renders with intact anatomy: all classes
+    /// present, pupil inside iris inside the opening, pupil darker than
+    /// sclera.
+    #[test]
+    fn rendered_anatomy_is_consistent(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = EyeParams::random(&mut rng);
+        let size = 48;
+        let s = render_eye(&p, size, seed);
+        let hist = class_histogram(&s.labels);
+        for (c, &count) in hist.iter().enumerate() {
+            prop_assert!(count > 0, "class {c} missing");
+        }
+        // pupil centroid ~ iris centroid (concentric discs)
+        let (py, px) = class_centroid(&s.labels, size, size, SegClass::Pupil).unwrap();
+        let (iy, ix) = class_centroid(&s.labels, size, size, SegClass::Iris).unwrap();
+        prop_assert!((py - iy).abs() < 3.0 && (px - ix).abs() < 3.0);
+        // mean intensity ordering: pupil < iris < sclera
+        let mean_of = |class: SegClass| {
+            let mut sum = 0.0f32;
+            let mut n = 0;
+            for y in 0..size {
+                for x in 0..size {
+                    if s.labels[y * size + x] == class as u8 {
+                        sum += s.image.at(0, 0, y, x);
+                        n += 1;
+                    }
+                }
+            }
+            sum / n as f32
+        };
+        prop_assert!(mean_of(SegClass::Pupil) < mean_of(SegClass::Iris));
+        prop_assert!(mean_of(SegClass::Iris) < mean_of(SegClass::Sclera));
+    }
+
+    /// The gaze vector geometrically matches the rendered pupil offset:
+    /// more positive yaw puts the pupil further right of the eye centre.
+    #[test]
+    fn gaze_and_pupil_offset_agree(yaw_deg in -20f32..20.0) {
+        let mut p = EyeParams::centered(64);
+        p.yaw = yaw_deg.to_radians();
+        let s = render_eye(&p, 64, 0);
+        let (_, px) = class_centroid(&s.labels, 64, 64, SegClass::Pupil).unwrap();
+        let offset = px - 32.0;
+        if yaw_deg > 8.0 {
+            prop_assert!(offset > 0.5, "yaw {yaw_deg} gave offset {offset}");
+        } else if yaw_deg < -8.0 {
+            prop_assert!(offset < -0.5, "yaw {yaw_deg} gave offset {offset}");
+        }
+        prop_assert!((s.gaze.yaw() - p.yaw).abs() < 1e-5);
+    }
+
+    /// Mirror augmentation: involution, mIOU-1 with its own double flip,
+    /// yaw negation, and label histogram preservation.
+    #[test]
+    fn flip_contract(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = EyeParams::random(&mut rng);
+        let s = render_eye(&p, 32, seed);
+        let f = flip_horizontal(&s);
+        prop_assert_eq!(class_histogram(&s.labels), class_histogram(&f.labels));
+        prop_assert!((f.gaze.x + s.gaze.x).abs() < 1e-6);
+        let ff = flip_horizontal(&f);
+        prop_assert!((mean_iou(&ff.labels, &s.labels) - 1.0).abs() < 1e-6);
+    }
+
+    /// Motion sequences keep every frame renderable and in gaze bounds,
+    /// for any seed.
+    #[test]
+    fn motion_stays_valid(seed in 0u64..100) {
+        let mut gen = EyeMotionGenerator::with_seed(seed);
+        for p in gen.take_frames(120) {
+            p.validate();
+            let g = p.gaze();
+            prop_assert!((g.norm() - 1.0).abs() < 1e-5);
+            prop_assert!(g.z > 0.0, "gaze must stay towards the camera");
+        }
+    }
+
+    /// Angular error is a metric-like quantity: symmetric, zero on self,
+    /// bounded by 180°.
+    #[test]
+    fn angular_error_is_metric_like(
+        y1 in -0.4f32..0.4, p1 in -0.4f32..0.4,
+        y2 in -0.4f32..0.4, p2 in -0.4f32..0.4,
+    ) {
+        let a = GazeVector::from_angles(y1, p1);
+        let b = GazeVector::from_angles(y2, p2);
+        prop_assert!(a.angular_error_degrees(&a) < 1e-3);
+        let ab = a.angular_error_degrees(&b);
+        let ba = b.angular_error_degrees(&a);
+        prop_assert!((ab - ba).abs() < 1e-3);
+        prop_assert!((0.0..=180.0).contains(&ab));
+    }
+}

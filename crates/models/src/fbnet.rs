@@ -1,0 +1,150 @@
+//! FBNet-C100 — the hardware-aware-searched mobile network (Wu et al.,
+//! CVPR 2019) used as EyeCoD's per-frame gaze-estimation model ("focus").
+//!
+//! The structure is the familiar mobile-inverted-bottleneck (MBConv) stack:
+//! point-wise expansion → depth-wise K×K → point-wise projection, with 3×3
+//! and 5×5 depth-wise kernels and stride-2 stages — exactly the layer mix
+//! whose depth-wise members motivate the accelerator's intra-channel-reuse
+//! optimisation (§5.1 Challenge #II). The stage table below is tuned to the
+//! published FBNet-C100 budget used in Table 2: ~3.6 M parameters and
+//! ~0.1 G FLOPs at the deployed 96×160 ROI input.
+
+use crate::spec::{ModelSpec, SpecBuilder};
+
+/// One MBConv stage: `(expansion, kernel, stride, c_out, repeats)`.
+const STAGES: &[(usize, usize, usize, usize, usize)] = &[
+    (1, 3, 1, 16, 1),
+    (6, 3, 2, 24, 1),
+    (3, 3, 1, 24, 2),
+    (6, 5, 2, 32, 1),
+    (3, 5, 1, 32, 2),
+    (6, 3, 2, 64, 1),
+    (3, 3, 1, 64, 3),
+    (6, 5, 1, 112, 1),
+    (3, 5, 1, 112, 2),
+    (6, 3, 2, 184, 1),
+    (3, 3, 1, 184, 3),
+    (6, 3, 1, 352, 1),
+    (3, 3, 1, 352, 1),
+];
+
+/// Stem width.
+pub const STEM: usize = 16;
+
+/// Final feature width before the head.
+pub const HEAD: usize = 1504;
+
+/// Gaze output dimensionality (a 3-D gaze vector).
+pub const OUTPUT: usize = 3;
+
+/// Appends one MBConv block to the builder.
+fn mbconv(b: &mut SpecBuilder, expansion: usize, k: usize, stride: usize, c_out: usize) {
+    let (c_in, _, _) = b.shape();
+    let hidden = c_in * expansion;
+    if expansion > 1 {
+        b.pointwise(hidden);
+    }
+    b.depthwise(k, stride);
+    b.pointwise(c_out);
+}
+
+/// Builds the FBNet-C100 gaze-estimation spec for a grayscale `h × w` input.
+///
+/// # Panics
+///
+/// Panics if either extent is smaller than 32 (five stride-2 stages).
+pub fn spec(h: usize, w: usize) -> ModelSpec {
+    assert!(h >= 32 && w >= 32, "FBNet input must be at least 32x32, got {h}x{w}");
+    let mut b = SpecBuilder::new("FBNet-C100", 1, h, w);
+    b.conv(STEM, 3, 2);
+    for &(e, k, s, c, n) in STAGES {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            mbconv(&mut b, e, k, stride, c);
+        }
+    }
+    b.pointwise(HEAD);
+    b.global_pool();
+    b.fc(OUTPUT);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LayerKind;
+
+    #[test]
+    fn params_match_fbnet_c100_budget() {
+        let p = spec(96, 160).params();
+        // Table 2 reports 3.59M; structural reproduction within ~±20%.
+        assert!(
+            (2_800_000..4_400_000).contains(&p),
+            "FBNet params {p} outside envelope"
+        );
+    }
+
+    #[test]
+    fn flops_at_deployed_roi_are_about_100m() {
+        let f = spec(96, 160).flops();
+        // Table 2: 0.12G under the MAC=FLOP convention.
+        assert!(
+            (60_000_000..180_000_000).contains(&f),
+            "FBNet@96x160 flops {f}"
+        );
+    }
+
+    #[test]
+    fn eight_bit_flops_match_table2_row() {
+        let s = spec(96, 160);
+        let f8 = s.effective_flops(8);
+        // Table 2's 8-bit row: 0.01G.
+        assert!(f8 < 20_000_000, "8-bit effective flops {f8}");
+        assert_eq!(f8, s.flops() / 16);
+    }
+
+    #[test]
+    fn depthwise_layers_use_both_k3_and_k5() {
+        let s = spec(96, 160);
+        let mut k3 = 0;
+        let mut k5 = 0;
+        for l in &s.layers {
+            if let LayerKind::Depthwise { k, .. } = l.kind {
+                match k {
+                    3 => k3 += 1,
+                    5 => k5 += 1,
+                    _ => panic!("unexpected depthwise kernel {k}"),
+                }
+            }
+        }
+        assert!(k3 >= 8, "k3 depthwise count {k3}");
+        assert!(k5 >= 4, "k5 depthwise count {k5}");
+    }
+
+    #[test]
+    fn pointwise_dominates_compute() {
+        // §5.1: point-wise convolutions are the dominant class in the gaze model.
+        let b = spec(96, 160).op_breakdown();
+        let (conv, pw, dw, _, _) = b.fractions();
+        assert!(pw > 0.6, "pointwise fraction {pw}");
+        assert!(dw < 0.25, "depthwise fraction {dw}");
+        assert!(conv < 0.1, "generic conv fraction {conv}");
+    }
+
+    #[test]
+    fn output_is_a_gaze_vector() {
+        let s = spec(96, 160);
+        let last = s.layers.last().unwrap();
+        assert_eq!(last.c_out, OUTPUT);
+        assert_eq!(last.out_hw(), (1, 1));
+    }
+
+    #[test]
+    fn flops_shrink_with_roi_size() {
+        // Table 5's ROI-size column: 48x80 < 96x160 < 144x240.
+        let small = spec(48, 80).flops();
+        let med = spec(96, 160).flops();
+        let large = spec(144, 240).flops();
+        assert!(small < med && med < large);
+    }
+}

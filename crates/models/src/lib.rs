@@ -1,0 +1,35 @@
+//! # eyecod-models
+//!
+//! Network architecture specifications and trainable proxies for the EyeCoD
+//! reproduction.
+//!
+//! Two distinct artefacts live here:
+//!
+//! 1. **Full-size [`spec::ModelSpec`]s** of every network the paper uses —
+//!    RITNet (eye segmentation), FBNet-C100 (gaze estimation), ResNet18,
+//!    MobileNetV2 and U-Net (baselines). These carry exact layer shapes and
+//!    drive (a) the FLOPs/params numbers of Tables 2 and 3, (b) the
+//!    layer-type operation breakdown of §5.1, and (c) the workloads fed to
+//!    the cycle-level accelerator simulator. They are *not* executed as
+//!    `f32` math — no pretrained weights exist in this environment.
+//! 2. **Trainable [`proxy`] networks** — small members of the same
+//!    architecture families (UNet-style encoder–decoder with skip
+//!    connections; plain-conv residual-style; depth-wise-separable mobile
+//!    style) that are trained from scratch on the synthetic eye dataset to
+//!    measure the *relative* accuracy trends of the paper's ablations.
+//!
+//! FLOP convention: the paper counts one multiply–accumulate as one FLOP
+//! (its ResNet18\@224×224 figure of 1.82 G matches the standard 1.8 G MAC
+//! count); [`spec::ModelSpec::flops`] follows the same convention so numbers
+//! are directly comparable.
+
+pub mod fbnet;
+pub mod mobilenet;
+pub mod proxy;
+pub mod resnet;
+pub mod ritnet;
+pub mod spec;
+pub mod summary;
+pub mod unet;
+
+pub use spec::{LayerKind, LayerSpec, ModelSpec, OpBreakdown};

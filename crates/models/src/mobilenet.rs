@@ -1,0 +1,95 @@
+//! MobileNetV2 — the mobile baseline of the paper's gaze-model comparison
+//! (Table 2, "MobileNet" row: 2.23 M params, 0.10 G FLOPs at 96×160).
+
+use crate::spec::{ModelSpec, SpecBuilder};
+
+/// Inverted-residual stage table `(expansion, c_out, repeats, stride)` —
+/// the published MobileNetV2 configuration.
+const STAGES: &[(usize, usize, usize, usize)] = &[
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// Final feature width.
+pub const HEAD: usize = 1280;
+
+/// Gaze output dimensionality.
+pub const OUTPUT: usize = 3;
+
+/// Builds the MobileNetV2 gaze spec for a grayscale `h × w` input.
+///
+/// # Panics
+///
+/// Panics if either extent is smaller than 32.
+pub fn spec(h: usize, w: usize) -> ModelSpec {
+    assert!(h >= 32 && w >= 32, "MobileNetV2 input must be at least 32x32, got {h}x{w}");
+    let mut b = SpecBuilder::new("MobileNetV2", 1, h, w);
+    b.conv(32, 3, 2);
+    for &(e, c, n, s) in STAGES {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            let (c_in, _, _) = b.shape();
+            let hidden = c_in * e;
+            if e > 1 {
+                b.pointwise(hidden);
+            }
+            b.depthwise(3, stride);
+            b.pointwise(c);
+        }
+    }
+    b.pointwise(HEAD);
+    b.global_pool();
+    b.fc(OUTPUT);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LayerKind;
+
+    #[test]
+    fn params_match_table2() {
+        // Table 2: 2.23M (headless MobileNetV2 + 3-dim gaze head).
+        let p = spec(96, 160).params();
+        assert!((1_900_000..2_700_000).contains(&p), "MobileNetV2 params {p}");
+    }
+
+    #[test]
+    fn flops_at_roi_match_table2() {
+        // Table 2: 0.10G at 96x160.
+        let f = spec(96, 160).flops();
+        assert!((60_000_000..140_000_000).contains(&f), "MobileNetV2 flops {f}");
+    }
+
+    #[test]
+    fn all_depthwise_kernels_are_3() {
+        for l in &spec(96, 160).layers {
+            if let LayerKind::Depthwise { k, .. } = l.kind {
+                assert_eq!(k, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn cheaper_than_resnet_but_in_same_ballpark_as_fbnet() {
+        // Table 2 ordering: ResNet18 (0.56G) > FBNet (0.12G) ≈ MobileNet (0.10G).
+        let mob = spec(96, 160).flops();
+        let res = crate::resnet::spec(96, 160).flops();
+        let fb = crate::fbnet::spec(96, 160).flops();
+        assert!(mob * 3 < res);
+        assert!(mob < fb * 2 && fb < mob * 2);
+    }
+
+    #[test]
+    fn validates_and_ends_in_gaze_head() {
+        let s = spec(96, 160);
+        s.validate();
+        assert_eq!(s.layers.last().unwrap().c_out, OUTPUT);
+    }
+}

@@ -1,0 +1,105 @@
+//! ResNet18 — the OpenEDS2020 challenge-winner backbone the paper uses as
+//! its gaze-estimation reference point (Table 2, first two rows).
+
+use crate::spec::{ModelSpec, SpecBuilder};
+
+/// Stage widths of ResNet18.
+const WIDTHS: [usize; 4] = [64, 128, 256, 512];
+
+/// Gaze output dimensionality.
+pub const OUTPUT: usize = 3;
+
+/// Appends one basic block (two 3×3 convs + optional 1×1 projection
+/// shortcut, which is real compute and therefore part of the spec).
+fn basic_block(b: &mut SpecBuilder, c_out: usize, stride: usize) {
+    let (c_in, _, _) = b.shape();
+    b.conv(c_out, 3, stride).conv(c_out, 3, 1);
+    if stride != 1 || c_in != c_out {
+        // Projection shortcut runs on the block input; we model its MACs by
+        // appending an equivalent point-wise layer over the output extent
+        // (identical cost: C_in × C_out × H_out × W_out).
+        // It consumes and reproduces the block output shape for chaining.
+        let (c, _, _) = b.shape();
+        debug_assert_eq!(c, c_out);
+        b.pointwise(c_out);
+    }
+}
+
+/// Builds the ResNet18 gaze spec for a grayscale `h × w` input.
+///
+/// # Panics
+///
+/// Panics if either extent is smaller than 32.
+pub fn spec(h: usize, w: usize) -> ModelSpec {
+    assert!(h >= 32 && w >= 32, "ResNet18 input must be at least 32x32, got {h}x{w}");
+    let mut b = SpecBuilder::new("ResNet18", 1, h, w);
+    b.conv(64, 7, 2).max_pool(2);
+    for (stage, &c) in WIDTHS.iter().enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        basic_block(&mut b, c, stride);
+        basic_block(&mut b, c, 1);
+    }
+    b.global_pool().fc(OUTPUT);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_published_resnet18() {
+        // Table 2: 11.18M (backbone without the 1000-class ImageNet head).
+        let p = spec(224, 224).params();
+        assert!(
+            (10_500_000..12_200_000).contains(&p),
+            "ResNet18 params {p}"
+        );
+    }
+
+    #[test]
+    fn flops_at_224_match_table2() {
+        // Table 2: 1.82G at 224x224 under the MAC=FLOP convention.
+        let f = spec(224, 224).flops();
+        assert!(
+            (1_500_000_000..2_200_000_000).contains(&f),
+            "ResNet18@224 flops {f}"
+        );
+    }
+
+    #[test]
+    fn flops_at_roi_match_table2_flatcam_row() {
+        // Table 2: 0.56G at the 96x160 FlatCam ROI.
+        let f = spec(96, 160).flops();
+        assert!(
+            (400_000_000..700_000_000).contains(&f),
+            "ResNet18@96x160 flops {f}"
+        );
+    }
+
+    #[test]
+    fn structure_has_eight_blocks() {
+        let s = spec(224, 224);
+        s.validate();
+        // 1 stem + 16 block convs + 3 projections + pool/gap/fc
+        let convs = s
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, crate::spec::LayerKind::Conv { .. }))
+            .count();
+        assert_eq!(convs, 17);
+    }
+
+    #[test]
+    fn final_feature_extent_is_7x7_at_224() {
+        let s = spec(224, 224);
+        // the layer before global pool sees 7x7x512
+        let gap_idx = s
+            .layers
+            .iter()
+            .position(|l| matches!(l.kind, crate::spec::LayerKind::GlobalAvgPool))
+            .unwrap();
+        let prev = &s.layers[gap_idx];
+        assert_eq!((prev.c_in, prev.h_in, prev.w_in), (512, 7, 7));
+    }
+}

@@ -1,0 +1,576 @@
+//! The layer-shape intermediate representation shared by the FLOPs analysis
+//! and the accelerator simulator.
+
+use std::fmt;
+
+/// The computational class of a layer — the taxonomy of the paper's
+/// Challenge #II analysis (generic conv / point-wise / depth-wise / FC /
+/// matrix-matrix multiplication, plus the non-MAC reshaping layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Generic K×K convolution (K > 1, groups = 1).
+    Conv {
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Point-wise (1×1) convolution.
+    Pointwise {
+        /// Stride (1 in all networks here, but kept for generality).
+        stride: usize,
+    },
+    /// Depth-wise K×K convolution (groups = channels).
+    Depthwise {
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Fully connected layer.
+    FullyConnected,
+    /// Matrix–matrix multiplication with `m` rows (treated by the paper as a
+    /// point-wise convolution with batch > 1 — e.g. the reconstruction
+    /// stage's `V·Z·Vᵀ` products).
+    MatMul {
+        /// Left-operand row count.
+        m: usize,
+    },
+    /// Max pooling (no MACs).
+    MaxPool {
+        /// Window/stride.
+        k: usize,
+    },
+    /// Nearest-neighbour upsampling (no MACs).
+    Upsample {
+        /// Integer factor.
+        factor: usize,
+    },
+    /// Channel concatenation with a skip connection contributing
+    /// `skip_channels` (no MACs; affects activation traffic).
+    Concat {
+        /// Channels arriving from the skip path.
+        skip_channels: usize,
+    },
+    /// Global average pooling (negligible MACs).
+    GlobalAvgPool,
+}
+
+impl LayerKind {
+    /// True for the three convolution kinds plus FC/MatMul — layers that
+    /// occupy MAC lanes.
+    pub fn is_compute(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv { .. }
+                | LayerKind::Pointwise { .. }
+                | LayerKind::Depthwise { .. }
+                | LayerKind::FullyConnected
+                | LayerKind::MatMul { .. }
+        )
+    }
+}
+
+/// One layer with fully resolved shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Human-readable name (e.g. `"enc1.conv2"`).
+    pub name: String,
+    /// Computational class.
+    pub kind: LayerKind,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Input height.
+    pub h_in: usize,
+    /// Input width.
+    pub w_in: usize,
+}
+
+impl LayerSpec {
+    /// Output spatial extent.
+    pub fn out_hw(&self) -> (usize, usize) {
+        match self.kind {
+            LayerKind::Conv { k, stride } | LayerKind::Depthwise { k, stride } => {
+                // same-padded convolutions throughout: ceil(h / stride)
+                let _ = k;
+                (self.h_in.div_ceil(stride), self.w_in.div_ceil(stride))
+            }
+            LayerKind::Pointwise { stride } => {
+                (self.h_in.div_ceil(stride), self.w_in.div_ceil(stride))
+            }
+            LayerKind::FullyConnected => (1, 1),
+            LayerKind::MatMul { .. } => (self.h_in, self.w_in),
+            LayerKind::MaxPool { k } => (self.h_in / k, self.w_in / k),
+            LayerKind::Upsample { factor } => (self.h_in * factor, self.w_in * factor),
+            LayerKind::Concat { .. } => (self.h_in, self.w_in),
+            LayerKind::GlobalAvgPool => (1, 1),
+        }
+    }
+
+    /// Multiply–accumulate count of this layer.
+    pub fn macs(&self) -> u64 {
+        let (ho, wo) = self.out_hw();
+        let spatial = (ho * wo) as u64;
+        match self.kind {
+            LayerKind::Conv { k, .. } => {
+                spatial * (k * k) as u64 * self.c_in as u64 * self.c_out as u64
+            }
+            LayerKind::Pointwise { .. } => spatial * self.c_in as u64 * self.c_out as u64,
+            LayerKind::Depthwise { k, .. } => spatial * (k * k) as u64 * self.c_out as u64,
+            LayerKind::FullyConnected => self.c_in as u64 * self.c_out as u64,
+            LayerKind::MatMul { m } => m as u64 * self.c_in as u64 * self.c_out as u64,
+            _ => 0,
+        }
+    }
+
+    /// FLOPs under the paper's 1-MAC = 1-FLOP convention.
+    pub fn flops(&self) -> u64 {
+        self.macs()
+    }
+
+    /// Weight parameter count.
+    pub fn params(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv { k, .. } => (k * k * self.c_in * self.c_out) as u64,
+            LayerKind::Pointwise { .. } => (self.c_in * self.c_out) as u64,
+            LayerKind::Depthwise { k, .. } => (k * k * self.c_out) as u64,
+            LayerKind::FullyConnected => (self.c_in * self.c_out) as u64 + self.c_out as u64,
+            _ => 0,
+        }
+    }
+
+    /// Input activation element count.
+    pub fn input_elems(&self) -> u64 {
+        (self.c_in * self.h_in * self.w_in) as u64
+    }
+
+    /// Output activation element count.
+    pub fn output_elems(&self) -> u64 {
+        let (ho, wo) = self.out_hw();
+        (self.c_out * ho * wo) as u64
+    }
+}
+
+impl fmt::Display for LayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (ho, wo) = self.out_hw();
+        write!(
+            f,
+            "{:<24} {:?} {}x{}x{} -> {}x{}x{}",
+            self.name, self.kind, self.c_in, self.h_in, self.w_in, self.c_out, ho, wo
+        )
+    }
+}
+
+/// Share of MAC operations per layer class — the §5.1 "dominant layer type"
+/// analysis (paper: 8.8 % generic, 68.8 % point-wise, 7.9 % depth-wise,
+/// 0.001 % FC, 14.5 % matmul over a 50-frame window).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpBreakdown {
+    /// Generic convolution MACs.
+    pub conv: u64,
+    /// Point-wise convolution MACs.
+    pub pointwise: u64,
+    /// Depth-wise convolution MACs.
+    pub depthwise: u64,
+    /// Fully connected MACs.
+    pub fc: u64,
+    /// Matrix-multiplication MACs.
+    pub matmul: u64,
+}
+
+impl OpBreakdown {
+    /// Total MACs.
+    pub fn total(&self) -> u64 {
+        self.conv + self.pointwise + self.depthwise + self.fc + self.matmul
+    }
+
+    /// Fractions of the total in the order
+    /// `(conv, pointwise, depthwise, fc, matmul)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.conv as f64 / t,
+            self.pointwise as f64 / t,
+            self.depthwise as f64 / t,
+            self.fc as f64 / t,
+            self.matmul as f64 / t,
+        )
+    }
+
+    /// Accumulates another breakdown scaled by `times` (e.g. per-frame
+    /// workloads over a 50-frame window).
+    pub fn accumulate(&mut self, other: &OpBreakdown, times: u64) {
+        self.conv += other.conv * times;
+        self.pointwise += other.pointwise * times;
+        self.depthwise += other.depthwise * times;
+        self.fc += other.fc * times;
+        self.matmul += other.matmul * times;
+    }
+}
+
+/// A complete network as an ordered list of layer specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Model name (e.g. `"RITNet"`).
+    pub name: String,
+    /// Layers in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl ModelSpec {
+    /// Total MAC count.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::macs).sum()
+    }
+
+    /// Total FLOPs (= MACs; see crate docs for the convention).
+    pub fn flops(&self) -> u64 {
+        self.macs()
+    }
+
+    /// Effective FLOPs at reduced precision: quantised ops scale
+    /// quadratically with bit width (`(bits/32)²`), the convention that
+    /// reproduces the paper's 8-bit rows (e.g. RITNet 1.0 G → ~0.06 G ≈ the
+    /// reported 0.1 G).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 32.
+    pub fn effective_flops(&self, bits: u32) -> u64 {
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+        let scale = (bits as f64 / 32.0).powi(2);
+        (self.flops() as f64 * scale) as u64
+    }
+
+    /// Total parameter count.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::params).sum()
+    }
+
+    /// MAC breakdown by layer class.
+    pub fn op_breakdown(&self) -> OpBreakdown {
+        let mut b = OpBreakdown::default();
+        for l in &self.layers {
+            let m = l.macs();
+            match l.kind {
+                LayerKind::Conv { .. } => b.conv += m,
+                LayerKind::Pointwise { .. } => b.pointwise += m,
+                LayerKind::Depthwise { .. } => b.depthwise += m,
+                LayerKind::FullyConnected => b.fc += m,
+                LayerKind::MatMul { .. } => b.matmul += m,
+                _ => {}
+            }
+        }
+        b
+    }
+
+    /// The largest single-layer activation requirement in **elements**
+    /// (input + output live simultaneously) — the quantity behind the
+    /// paper's Challenge #III (2.78 MB total without partitioning).
+    pub fn peak_activation_elems(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.input_elems() + l.output_elems())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Index and spec of the layer with the most MACs (the paper's
+    /// "bottleneck layers" of Challenge #I).
+    pub fn bottleneck_layer(&self) -> Option<(usize, &LayerSpec)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind.is_compute())
+            .max_by_key(|(_, l)| l.macs())
+    }
+
+    /// Verifies that consecutive layers' shapes chain correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message at the first inconsistency.
+    pub fn validate(&self) {
+        for w in self.layers.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            let (ho, wo) = prev.out_hw();
+            let expected_c = match next.kind {
+                LayerKind::Concat { skip_channels } => next.c_in - skip_channels,
+                _ => next.c_in,
+            };
+            assert_eq!(
+                (prev.c_out, ho, wo),
+                (expected_c, next.h_in, next.w_in),
+                "{}: layer '{}' output {}x{}x{} does not feed '{}' input {}x{}x{}",
+                self.name,
+                prev.name,
+                prev.c_out,
+                ho,
+                wo,
+                next.name,
+                expected_c,
+                next.h_in,
+                next.w_in
+            );
+        }
+    }
+}
+
+/// Fluent builder that threads shapes through a chain of layers.
+#[derive(Debug, Clone)]
+pub struct SpecBuilder {
+    name: String,
+    layers: Vec<LayerSpec>,
+    c: usize,
+    h: usize,
+    w: usize,
+    counter: usize,
+}
+
+impl SpecBuilder {
+    /// Starts a model from an input of shape `(c, h, w)`.
+    pub fn new(name: &str, c: usize, h: usize, w: usize) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "input shape must be non-zero");
+        SpecBuilder {
+            name: name.to_owned(),
+            layers: Vec::new(),
+            c,
+            h,
+            w,
+            counter: 0,
+        }
+    }
+
+    /// Current feature-map shape `(c, h, w)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    fn push(&mut self, kind: LayerKind, c_out: usize, label: &str) -> &mut Self {
+        self.counter += 1;
+        let spec = LayerSpec {
+            name: format!("{:02}.{label}", self.counter),
+            kind,
+            c_in: self.c,
+            c_out,
+            h_in: self.h,
+            w_in: self.w,
+        };
+        let (ho, wo) = spec.out_hw();
+        self.c = c_out;
+        self.h = ho;
+        self.w = wo;
+        self.layers.push(spec);
+        self
+    }
+
+    /// Generic K×K convolution.
+    pub fn conv(&mut self, c_out: usize, k: usize, stride: usize) -> &mut Self {
+        self.push(LayerKind::Conv { k, stride }, c_out, "conv")
+    }
+
+    /// Point-wise 1×1 convolution.
+    pub fn pointwise(&mut self, c_out: usize) -> &mut Self {
+        self.push(LayerKind::Pointwise { stride: 1 }, c_out, "pw")
+    }
+
+    /// Depth-wise K×K convolution (channels preserved).
+    pub fn depthwise(&mut self, k: usize, stride: usize) -> &mut Self {
+        let c = self.c;
+        self.push(LayerKind::Depthwise { k, stride }, c, "dw")
+    }
+
+    /// Fully connected layer over the flattened features.
+    pub fn fc(&mut self, c_out: usize) -> &mut Self {
+        let c_in = self.c * self.h * self.w;
+        self.c = c_in;
+        self.h = 1;
+        self.w = 1;
+        self.push(LayerKind::FullyConnected, c_out, "fc")
+    }
+
+    /// Max pooling (window = stride = `k`).
+    pub fn max_pool(&mut self, k: usize) -> &mut Self {
+        let c = self.c;
+        self.push(LayerKind::MaxPool { k }, c, "pool")
+    }
+
+    /// Global average pooling.
+    pub fn global_pool(&mut self) -> &mut Self {
+        let c = self.c;
+        self.push(LayerKind::GlobalAvgPool, c, "gap")
+    }
+
+    /// Nearest-neighbour upsampling.
+    pub fn upsample(&mut self, factor: usize) -> &mut Self {
+        let c = self.c;
+        self.push(LayerKind::Upsample { factor }, c, "up")
+    }
+
+    /// Channel concatenation with a skip path of `skip_channels`.
+    pub fn concat(&mut self, skip_channels: usize) -> &mut Self {
+        let c_out = self.c + skip_channels;
+        let spec = LayerSpec {
+            name: format!("{:02}.cat", self.counter + 1),
+            kind: LayerKind::Concat { skip_channels },
+            c_in: c_out,
+            c_out,
+            h_in: self.h,
+            w_in: self.w,
+        };
+        self.counter += 1;
+        self.c = c_out;
+        self.layers.push(spec);
+        self
+    }
+
+    /// Matrix–matrix multiplication layer `m × c_in · c_in × c_out`.
+    pub fn matmul(&mut self, m: usize, c_out: usize) -> &mut Self {
+        self.push(LayerKind::MatMul { m }, c_out, "mm")
+    }
+
+    /// Finalises and validates the model.
+    pub fn build(&self) -> ModelSpec {
+        let spec = ModelSpec {
+            name: self.name.clone(),
+            layers: self.layers.clone(),
+        };
+        spec.validate();
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_formula() {
+        let l = LayerSpec {
+            name: "c".into(),
+            kind: LayerKind::Conv { k: 3, stride: 1 },
+            c_in: 8,
+            c_out: 16,
+            h_in: 10,
+            w_in: 10,
+        };
+        assert_eq!(l.macs(), 9 * 8 * 16 * 100);
+        assert_eq!(l.params(), 9 * 8 * 16);
+        assert_eq!(l.out_hw(), (10, 10));
+    }
+
+    #[test]
+    fn strided_conv_halves_extent() {
+        let l = LayerSpec {
+            name: "c".into(),
+            kind: LayerKind::Conv { k: 3, stride: 2 },
+            c_in: 3,
+            c_out: 8,
+            h_in: 9,
+            w_in: 16,
+        };
+        assert_eq!(l.out_hw(), (5, 8)); // ceil semantics
+    }
+
+    #[test]
+    fn depthwise_macs_ignore_cin_product() {
+        let l = LayerSpec {
+            name: "d".into(),
+            kind: LayerKind::Depthwise { k: 3, stride: 1 },
+            c_in: 32,
+            c_out: 32,
+            h_in: 8,
+            w_in: 8,
+        };
+        assert_eq!(l.macs(), 9 * 32 * 64);
+    }
+
+    #[test]
+    fn builder_chains_shapes() {
+        let spec = SpecBuilder::new("toy", 1, 32, 32)
+            .conv(8, 3, 1)
+            .max_pool(2)
+            .depthwise(3, 1)
+            .pointwise(16)
+            .global_pool()
+            .fc(3)
+            .build();
+        assert_eq!(spec.layers.len(), 6);
+        let last = spec.layers.last().unwrap();
+        assert_eq!(last.c_in, 16);
+        assert_eq!(last.c_out, 3);
+    }
+
+    #[test]
+    fn builder_concat_adds_channels() {
+        let spec = SpecBuilder::new("skip", 1, 16, 16)
+            .conv(8, 3, 1)
+            .concat(8)
+            .conv(8, 3, 1)
+            .build();
+        assert_eq!(spec.layers[2].c_in, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not feed")]
+    fn validate_catches_broken_chain() {
+        let mut spec = SpecBuilder::new("bad", 1, 16, 16).conv(8, 3, 1).build();
+        spec.layers.push(LayerSpec {
+            name: "broken".into(),
+            kind: LayerKind::Pointwise { stride: 1 },
+            c_in: 99,
+            c_out: 4,
+            h_in: 16,
+            w_in: 16,
+        });
+        spec.validate();
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let spec = SpecBuilder::new("mix", 3, 32, 32)
+            .conv(16, 3, 2)
+            .depthwise(3, 1)
+            .pointwise(32)
+            .global_pool()
+            .fc(10)
+            .build();
+        let b = spec.op_breakdown();
+        let (a, p, d, f, m) = b.fractions();
+        assert!((a + p + d + f + m - 1.0).abs() < 1e-9);
+        assert!(b.total() == spec.macs());
+    }
+
+    #[test]
+    fn effective_flops_scales_quadratically() {
+        let spec = SpecBuilder::new("q", 3, 8, 8).conv(8, 3, 1).build();
+        assert_eq!(spec.effective_flops(32), spec.flops());
+        assert_eq!(spec.effective_flops(8), spec.flops() / 16);
+        assert_eq!(spec.effective_flops(16), spec.flops() / 4);
+    }
+
+    #[test]
+    fn bottleneck_is_largest_compute_layer() {
+        let spec = SpecBuilder::new("b", 1, 64, 64)
+            .conv(8, 3, 1)
+            .conv(64, 3, 1)
+            .max_pool(2)
+            .conv(8, 3, 1)
+            .build();
+        let (idx, l) = spec.bottleneck_layer().unwrap();
+        assert_eq!(idx, 1);
+        assert!(l.macs() > spec.layers[0].macs());
+    }
+
+    #[test]
+    fn peak_activation_considers_in_plus_out() {
+        let spec = SpecBuilder::new("a", 4, 16, 16).conv(8, 3, 1).build();
+        assert_eq!(
+            spec.peak_activation_elems(),
+            (4 * 16 * 16 + 8 * 16 * 16) as u64
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! A slim U-Net — the segmentation baseline of the paper's Table 3
+//! ("U-net" row: 14.1 G FLOPs at 512×512).
+
+use crate::spec::{ModelSpec, SpecBuilder};
+
+/// Encoder stage widths (the classic U-Net doubling ladder, slimmed to the
+/// budget the paper's baseline reports).
+const WIDTHS: [usize; 4] = [18, 36, 72, 144];
+
+/// Number of segmentation classes.
+pub const CLASSES: usize = 4;
+
+/// Builds the U-Net spec for a square grayscale input of extent `size`.
+///
+/// # Panics
+///
+/// Panics if `size` is not divisible by 8 (three 2× down-samplings).
+pub fn spec(size: usize) -> ModelSpec {
+    assert!(size.is_multiple_of(8), "U-Net input must be divisible by 8, got {size}");
+    let mut b = SpecBuilder::new("U-Net", 1, size, size);
+    // encoder
+    for (i, &c) in WIDTHS.iter().enumerate() {
+        if i > 0 {
+            b.max_pool(2);
+        }
+        b.conv(c, 3, 1).conv(c, 3, 1);
+    }
+    // decoder with skip concatenations
+    for &c in WIDTHS.iter().rev().skip(1) {
+        b.upsample(2).concat(c).conv(c, 3, 1).conv(c, 3, 1);
+    }
+    b.pointwise(CLASSES);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_at_512_match_table3() {
+        // Table 3: 14.1G at 512x512 (MAC=FLOP convention); allow ±40%.
+        let f = spec(512).flops();
+        assert!(
+            (9_000_000_000..20_000_000_000).contains(&f),
+            "U-Net@512 flops {f}"
+        );
+    }
+
+    #[test]
+    fn unet_costs_less_than_ritnet_at_512() {
+        // Table 3 ordering: U-Net 14.1G < RITNet 17.0G at 512x512.
+        let unet = spec(512).flops();
+        let ritnet = crate::ritnet::spec(512).flops();
+        assert!(unet < ritnet, "unet {unet} vs ritnet {ritnet}");
+    }
+
+    #[test]
+    fn validates_with_skips() {
+        let s = spec(128);
+        s.validate();
+        assert_eq!(s.layers.last().unwrap().out_hw(), (128, 128));
+        assert_eq!(s.layers.last().unwrap().c_out, CLASSES);
+    }
+}

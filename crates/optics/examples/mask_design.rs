@@ -1,0 +1,57 @@
+//! Mask design-space exploration: raw 0/1 amplitude masks vs differential
+//! (calibrated complementary-capture) ±1 masks, across sensor oversampling
+//! ratios — conditioning, light throughput and reconstruction quality under
+//! realistic sensor noise.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p eyecod-optics --example mask_design
+//! ```
+
+use eyecod_optics::calibrate::tune_epsilon;
+use eyecod_optics::imaging::FlatCam;
+use eyecod_optics::mask::SeparableMask;
+use eyecod_optics::mat::Mat;
+use eyecod_optics::sensor::SensorModel;
+
+fn test_scene(n: usize) -> Mat {
+    Mat::from_fn(n, n, |r, c| {
+        let d = ((r as f64 - n as f64 / 2.0).powi(2) + (c as f64 - n as f64 / 2.0).powi(2)).sqrt();
+        if d < n as f64 / 9.0 {
+            0.08
+        } else if d < n as f64 / 5.0 {
+            0.35
+        } else {
+            0.75
+        }
+    })
+}
+
+fn main() {
+    let scene_size = 48;
+    let scene = test_scene(scene_size);
+    println!("mask design space for a {scene_size}x{scene_size} scene\n");
+    println!(
+        "{:<14} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "mask", "sensor", "cond(L)", "open frac", "tuned eps", "PSNR (dB)"
+    );
+    for (label, differential) in [("raw 0/1", false), ("differential", true)] {
+        for sensor_size in [56usize, 64, 96] {
+            let mask = if differential {
+                SeparableMask::mls_differential(sensor_size, scene_size, 11)
+            } else {
+                SeparableMask::mls(sensor_size, scene_size, 11)
+            };
+            let (cond, _) = mask.condition_numbers();
+            let open = mask.open_fraction();
+            let cam = FlatCam::new(mask, SensorModel::nir_eye_tracking());
+            let (eps, psnr) = tune_epsilon(&cam, std::slice::from_ref(&scene), -8.0, 0.0, 14);
+            println!(
+                "{label:<14} {sensor_size:>8} {cond:>10.1} {open:>12.2} {eps:>12.1e} {psnr:>10.1}"
+            );
+        }
+    }
+    println!("\ndifferential (zero-mean) codes flatten the singular spectrum,");
+    println!("which is what keeps the Tikhonov inverse robust to sensor noise —");
+    println!("the conditioning story behind the FlatCam's usable eye images.");
+}

@@ -1,0 +1,207 @@
+//! Reconstruction calibration: regularisation tuning and low-rank
+//! truncation.
+//!
+//! Two deployment knobs the paper's system implies but does not spell out:
+//!
+//! * **ε tuning** — the Tikhonov weight trades noise suppression against
+//!   bias; we tune it on calibration captures by golden-section search over
+//!   reconstruction PSNR (what a real FlatCam bring-up does against a test
+//!   chart).
+//! * **rank truncation** — dropping the smallest singular components cuts
+//!   the reconstruction matmul FLOPs on the accelerator (the `V·Z·Vᵀ`
+//!   products shrink from `n²` to `n·r` per stage). Because m-sequence
+//!   masks carry a deliberately flat singular spectrum, aggressive
+//!   truncation costs real image quality; it is a quality/compute dial
+//!   (useful for preview or coarse ROI passes), not a free lunch.
+
+use crate::imaging::FlatCam;
+use crate::mask::SeparableMask;
+use crate::mat::Mat;
+use crate::metrics::psnr;
+use crate::recon::TikhonovReconstructor;
+
+/// Tunes the Tikhonov ε on calibration scenes by golden-section search
+/// over mean reconstruction PSNR in `log10(ε) ∈ [lo, hi]`.
+///
+/// Returns `(best_epsilon, best_psnr)`.
+///
+/// # Panics
+///
+/// Panics if `scenes` is empty or the bracket is inverted.
+pub fn tune_epsilon(
+    camera: &FlatCam,
+    scenes: &[Mat],
+    log10_lo: f64,
+    log10_hi: f64,
+    iterations: usize,
+) -> (f64, f64) {
+    assert!(!scenes.is_empty(), "need at least one calibration scene");
+    assert!(log10_lo < log10_hi, "inverted epsilon bracket");
+    let base = TikhonovReconstructor::new(camera.mask(), 1.0);
+    let captures: Vec<Mat> = scenes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| camera.capture(s, 1000 + i as u64))
+        .collect();
+    let quality = |log_eps: f64| -> f64 {
+        let recon = base.with_epsilon(10f64.powf(log_eps));
+        scenes
+            .iter()
+            .zip(&captures)
+            .map(|(s, y)| psnr(s, &recon.reconstruct(y)))
+            .sum::<f64>()
+            / scenes.len() as f64
+    };
+    // golden-section search (unimodal in practice: bias vs variance)
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (log10_lo, log10_hi);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let mut fc = quality(c);
+    let mut fd = quality(d);
+    for _ in 0..iterations {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = quality(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = quality(d);
+        }
+    }
+    let log_best = (a + b) / 2.0;
+    (10f64.powf(log_best), quality(log_best))
+}
+
+/// A rank-truncated Tikhonov reconstructor: keeps only the top `rank`
+/// singular components per side.
+#[derive(Debug, Clone)]
+pub struct TruncatedReconstructor {
+    inner: TikhonovReconstructor,
+    rank: usize,
+    scene: usize,
+    sensor: (usize, usize),
+}
+
+impl TruncatedReconstructor {
+    /// Builds a truncated reconstructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero or exceeds the scene size.
+    pub fn new(mask: &SeparableMask, epsilon: f64, rank: usize) -> Self {
+        assert!(
+            rank > 0 && rank <= mask.scene_size(),
+            "rank {rank} out of range for scene {}",
+            mask.scene_size()
+        );
+        TruncatedReconstructor {
+            inner: TikhonovReconstructor::new(mask, epsilon),
+            rank,
+            scene: mask.scene_size(),
+            sensor: mask.sensor_size(),
+        }
+    }
+
+    /// The retained rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Reconstructs with the truncated spectrum.
+    pub fn reconstruct(&self, measurement: &Mat) -> Mat {
+        self.inner.reconstruct_truncated(measurement, self.rank)
+    }
+
+    /// Multiply–accumulate count of one truncated reconstruction versus the
+    /// full-rank count — the accelerator-side saving.
+    pub fn macs(&self) -> (u64, u64) {
+        let n = self.scene as u64;
+        let (mh, mw) = (self.sensor.0 as u64, self.sensor.1 as u64);
+        let r = self.rank as u64;
+        // truncated: Û_r = U1_rᵀ Y U2_r (r·mh·mw + r·r·mw), X = V1_r Z V2_rᵀ
+        // (n·r·r + n·r·n)
+        let truncated = r * mh * mw + r * r * mw + n * r * r + n * r * n;
+        let full = n * mh * mw + n * n * mw + n * n * n + n * n * n;
+        (truncated, full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::SensorModel;
+
+    fn scene(n: usize) -> Mat {
+        Mat::from_fn(n, n, |r, c| {
+            let d = ((r as f64 - n as f64 / 2.0).powi(2) + (c as f64 - n as f64 / 2.0).powi(2))
+                .sqrt();
+            if d < n as f64 / 8.0 {
+                0.1
+            } else {
+                0.7
+            }
+        })
+    }
+
+    #[test]
+    fn tuned_epsilon_beats_bad_choices() {
+        let mask = SeparableMask::mls_differential(48, 32, 5);
+        let cam = FlatCam::new(mask.clone(), SensorModel::nir_eye_tracking());
+        let scenes = vec![scene(32)];
+        let (eps, tuned_psnr) = tune_epsilon(&cam, &scenes, -8.0, 0.0, 16);
+        let y = cam.capture(&scenes[0], 1000);
+        let too_small = psnr(
+            &scenes[0],
+            &TikhonovReconstructor::new(&mask, 1e-9).reconstruct(&y),
+        );
+        let too_big = psnr(
+            &scenes[0],
+            &TikhonovReconstructor::new(&mask, 1.0).reconstruct(&y),
+        );
+        assert!(tuned_psnr >= too_small - 0.5, "tuned {tuned_psnr:.1} vs tiny-eps {too_small:.1}");
+        assert!(tuned_psnr >= too_big - 0.5, "tuned {tuned_psnr:.1} vs huge-eps {too_big:.1}");
+        assert!(eps > 1e-9 && eps < 1.0);
+    }
+
+    #[test]
+    fn full_rank_truncation_matches_tikhonov() {
+        let mask = SeparableMask::mls_differential(40, 32, 7);
+        let cam = FlatCam::new(mask.clone(), SensorModel::noiseless());
+        let x = scene(32);
+        let y = cam.capture(&x, 0);
+        let full = TikhonovReconstructor::new(&mask, 1e-6).reconstruct(&y);
+        let trunc = TruncatedReconstructor::new(&mask, 1e-6, 32).reconstruct(&y);
+        assert!(full.sub(&trunc).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_quality_is_monotone_in_rank_and_saves_macs() {
+        // m-sequence masks have a deliberately *flat* singular spectrum, so
+        // truncation costs real quality (unlike DCT-like operators); the
+        // useful property is a monotone quality/compute dial.
+        let mask = SeparableMask::mls_differential(48, 32, 7);
+        let cam = FlatCam::new(mask.clone(), SensorModel::nir_eye_tracking());
+        let x = scene(32);
+        let y = cam.capture(&x, 3);
+        let q_full = psnr(&x, &TruncatedReconstructor::new(&mask, 1e-3, 32).reconstruct(&y));
+        let q_half = psnr(&x, &TruncatedReconstructor::new(&mask, 1e-3, 24).reconstruct(&y));
+        let q_tiny = psnr(&x, &TruncatedReconstructor::new(&mask, 1e-3, 4).reconstruct(&y));
+        assert!(q_full > q_half, "full ({q_full:.1}) must beat rank 24 ({q_half:.1})");
+        assert!(q_half > q_tiny, "rank 24 ({q_half:.1}) should beat rank 4 ({q_tiny:.1})");
+        let (t, f) = TruncatedReconstructor::new(&mask, 1e-3, 16).macs();
+        assert!(t * 2 < f, "rank-16 should at least halve the recon MACs");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_rank_rejected() {
+        let mask = SeparableMask::mls_differential(40, 32, 7);
+        TruncatedReconstructor::new(&mask, 1e-3, 0);
+    }
+}

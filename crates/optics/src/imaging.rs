@@ -1,0 +1,108 @@
+//! The FlatCam forward capture model.
+
+use crate::mask::SeparableMask;
+use crate::mat::Mat;
+use crate::sensor::SensorModel;
+
+/// A lensless FlatCam: a separable coded mask over a bare sensor.
+///
+/// Physical geometry (paper Fig. 2): the mask sits < 2 mm above the sensor,
+/// versus the 10–20 mm focal stack of a lens-based module — the form-factor
+/// win that lets the eye-tracking processor sit next to the camera.
+#[derive(Debug, Clone)]
+pub struct FlatCam {
+    mask: SeparableMask,
+    sensor: SensorModel,
+}
+
+impl FlatCam {
+    /// Assembles a camera from a mask and a sensor model.
+    pub fn new(mask: SeparableMask, sensor: SensorModel) -> Self {
+        FlatCam { mask, sensor }
+    }
+
+    /// The camera's coded mask.
+    pub fn mask(&self) -> &SeparableMask {
+        &self.mask
+    }
+
+    /// The camera's sensor model.
+    pub fn sensor(&self) -> &SensorModel {
+        &self.sensor
+    }
+
+    /// Captures a scene: `Y = Φ_L · X · Φ_Rᵀ + E`, with `E` drawn by the
+    /// sensor model using `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene size does not match the mask geometry.
+    pub fn capture(&self, scene: &Mat, seed: u64) -> Mat {
+        let n = self.mask.scene_size();
+        assert_eq!(
+            (scene.rows(), scene.cols()),
+            (n, n),
+            "scene must be {n}x{n} for this mask, got {}x{}",
+            scene.rows(),
+            scene.cols()
+        );
+        let clean = self
+            .mask
+            .phi_l()
+            .matmul(scene)
+            .matmul(&self.mask.phi_r().transpose());
+        self.sensor.apply(&clean, seed)
+    }
+
+    /// The raw measurement size in pixels — what must be communicated from
+    /// sensor to processor when the first layer is *not* folded into the
+    /// mask.
+    pub fn measurement_pixels(&self) -> usize {
+        let (h, w) = self.mask.sensor_size();
+        h * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::SeparableMask;
+
+    #[test]
+    fn capture_is_linear_in_the_scene() {
+        let cam = FlatCam::new(SeparableMask::mls(40, 32, 3), SensorModel::noiseless());
+        let a = Mat::from_fn(32, 32, |r, c| (r + c) as f64 / 64.0);
+        let b = Mat::from_fn(32, 32, |r, c| (r as f64 - c as f64) / 32.0);
+        let ya = cam.capture(&a, 0);
+        let yb = cam.capture(&b, 0);
+        let yab = cam.capture(&a.add(&b), 0);
+        assert!(yab.sub(&ya.add(&yb)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_is_scrambled_not_a_copy() {
+        let cam = FlatCam::new(SeparableMask::mls(32, 32, 3), SensorModel::noiseless());
+        // an impulse scene spreads over the whole measurement (visual privacy)
+        let mut scene = Mat::zeros(32, 32);
+        *scene.at_mut(16, 16) = 1.0;
+        let y = cam.capture(&scene, 0);
+        let nonzero = y.as_slice().iter().filter(|&&v| v.abs() > 1e-12).count();
+        assert!(
+            nonzero > 200,
+            "impulse should spread over many sensor pixels, got {nonzero}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scene must be")]
+    fn rejects_mismatched_scene() {
+        let cam = FlatCam::new(SeparableMask::mls(40, 32, 3), SensorModel::noiseless());
+        cam.capture(&Mat::zeros(16, 16), 0);
+    }
+
+    #[test]
+    fn measurement_pixels_reflect_sensor() {
+        let cam = FlatCam::new(SeparableMask::mls(48, 32, 1), SensorModel::noiseless());
+        assert_eq!(cam.measurement_pixels(), 48 * 48);
+    }
+}

@@ -1,0 +1,217 @@
+//! EyeCoD's sensing–processing interface (paper §4.2).
+//!
+//! Instead of reconstructing the raw image and running the DNN's first layer
+//! electronically, the coded mask's optical response is designed to *be* the
+//! first layer: each output channel corresponds to a separable optical
+//! filter, so the sensor emits a small stack of strided feature maps rather
+//! than a full-resolution image. This saves (1) the first layer's FLOPs —
+//! significant for UNet-style models whose first layer runs at the highest
+//! resolution — and (2) sensor→processor communication volume, since the
+//! strided feature maps are smaller than the raw capture.
+
+use crate::mat::Mat;
+use eyecod_tensor::{Shape, Tensor};
+
+/// One separable optical filter channel: `out = A · X · Bᵀ`.
+#[derive(Debug, Clone)]
+struct OpticalChannel {
+    a: Mat,
+    b: Mat,
+}
+
+/// A bank of separable optical filters emulating a DNN first layer.
+#[derive(Debug, Clone)]
+pub struct OpticalFirstLayer {
+    channels: Vec<OpticalChannel>,
+    scene: usize,
+    out: usize,
+}
+
+/// 1-D separable kernels the optics can realise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel1d {
+    /// Binomial smoothing `[1, 2, 1] / 4`.
+    Smooth,
+    /// Central derivative `[-1, 0, 1] / 2` (edge response).
+    Derivative,
+}
+
+impl Kernel1d {
+    fn taps(self) -> [f64; 3] {
+        match self {
+            Kernel1d::Smooth => [0.25, 0.5, 0.25],
+            Kernel1d::Derivative => [-0.5, 0.0, 0.5],
+        }
+    }
+}
+
+impl OpticalFirstLayer {
+    /// Builds the standard 4-channel edge bank used by EyeCoD's interface:
+    /// smooth×smooth (intensity), derivative×smooth (horizontal edges),
+    /// smooth×derivative (vertical edges) and derivative×derivative
+    /// (corners), each strided from `scene` down to `out` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is zero, exceeds `scene`, or does not divide it.
+    pub fn edge_bank(scene: usize, out: usize) -> Self {
+        use Kernel1d::{Derivative, Smooth};
+        let pairs = [
+            (Smooth, Smooth),
+            (Derivative, Smooth),
+            (Smooth, Derivative),
+            (Derivative, Derivative),
+        ];
+        Self::from_kernels(scene, out, &pairs)
+    }
+
+    /// Builds a bank from explicit separable kernel pairs `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or the geometry is invalid (see
+    /// [`OpticalFirstLayer::edge_bank`]).
+    pub fn from_kernels(scene: usize, out: usize, pairs: &[(Kernel1d, Kernel1d)]) -> Self {
+        assert!(!pairs.is_empty(), "need at least one optical channel");
+        assert!(out > 0 && out <= scene, "invalid output extent {out} for scene {scene}");
+        assert_eq!(scene % out, 0, "output extent must divide the scene extent");
+        let channels = pairs
+            .iter()
+            .map(|&(kr, kc)| OpticalChannel {
+                a: strided_filter_matrix(scene, out, kr),
+                b: strided_filter_matrix(scene, out, kc),
+            })
+            .collect();
+        OpticalFirstLayer {
+            channels,
+            scene,
+            out,
+        }
+    }
+
+    /// Number of output channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Output spatial extent per channel.
+    pub fn output_extent(&self) -> usize {
+        self.out
+    }
+
+    /// Applies the optical bank to a scene, producing `(1, C, out, out)`
+    /// feature maps — what the sensor transmits to the processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene size does not match.
+    pub fn apply(&self, scene: &Mat) -> Tensor {
+        assert_eq!(
+            (scene.rows(), scene.cols()),
+            (self.scene, self.scene),
+            "scene must be {0}x{0}",
+            self.scene
+        );
+        let c = self.channels.len();
+        let mut out = Tensor::zeros(Shape::new(1, c, self.out, self.out));
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let fm = ch.a.matmul(scene).matmul(&ch.b.transpose());
+            for r in 0..self.out {
+                for cc in 0..self.out {
+                    *out.at_mut(0, ci, r, cc) = fm.at(r, cc) as f32;
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiply–accumulate operations the optical layer removes from the
+    /// electronic pipeline: a K×K first conv layer over the full scene, per
+    /// output channel (K = 3 for the kernel bank realised here).
+    pub fn flops_saved(&self) -> u64 {
+        let k = 3u64;
+        2 * (self.scene as u64).pow(2) * k * k * self.channels.len() as u64
+    }
+
+    /// Ratio of raw-measurement pixels to transmitted feature-map values:
+    /// the sensor→processor communication reduction factor.
+    pub fn communication_reduction(&self, raw_sensor_pixels: usize) -> f64 {
+        let transmitted = self.channels.len() * self.out * self.out;
+        raw_sensor_pixels as f64 / transmitted as f64
+    }
+}
+
+/// Builds the `out × scene` matrix combining a 3-tap filter with striding:
+/// row `i` applies the kernel centred at scene position `i * stride`,
+/// clamping at the borders.
+fn strided_filter_matrix(scene: usize, out: usize, kernel: Kernel1d) -> Mat {
+    let stride = scene / out;
+    let taps = kernel.taps();
+    let mut m = Mat::zeros(out, scene);
+    for i in 0..out {
+        let center = i * stride + stride / 2;
+        for (t, &tap) in taps.iter().enumerate() {
+            if tap == 0.0 {
+                continue;
+            }
+            let pos = center as isize + t as isize - 1;
+            let pos = pos.clamp(0, scene as isize - 1) as usize;
+            *m.at_mut(i, pos) += tap;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_bank_shapes() {
+        let layer = OpticalFirstLayer::edge_bank(32, 16);
+        assert_eq!(layer.num_channels(), 4);
+        assert_eq!(layer.output_extent(), 16);
+        let fm = layer.apply(&Mat::from_fn(32, 32, |r, c| (r + c) as f64));
+        assert_eq!(fm.shape().dims(), (1, 4, 16, 16));
+    }
+
+    #[test]
+    fn derivative_channel_responds_to_edges_only() {
+        let layer = OpticalFirstLayer::from_kernels(
+            32,
+            16,
+            &[(Kernel1d::Derivative, Kernel1d::Smooth)],
+        );
+        // constant scene -> zero edge response
+        let flat = layer.apply(&Mat::from_fn(32, 32, |_, _| 0.7));
+        assert!(flat.max_abs() < 1e-6);
+        // vertical step -> strong response somewhere
+        let step = Mat::from_fn(32, 32, |r, _| if r >= 16 { 1.0 } else { 0.0 });
+        let resp = layer.apply(&step);
+        assert!(resp.max_abs() > 0.1);
+    }
+
+    #[test]
+    fn smooth_channel_preserves_mean_intensity() {
+        let layer =
+            OpticalFirstLayer::from_kernels(32, 16, &[(Kernel1d::Smooth, Kernel1d::Smooth)]);
+        let fm = layer.apply(&Mat::from_fn(32, 32, |_, _| 0.5));
+        // smoothing kernel sums to 1, so a constant passes through
+        assert!((fm.mean() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn communication_reduction_counts_pixels() {
+        let layer = OpticalFirstLayer::edge_bank(64, 16);
+        // raw 80x80 sensor vs 4 x 16 x 16 features
+        let r = layer.communication_reduction(80 * 80);
+        assert!((r - 6400.0 / 1024.0).abs() < 1e-9);
+        assert!(layer.flops_saved() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_non_dividing_output() {
+        OpticalFirstLayer::edge_bank(32, 12);
+    }
+}

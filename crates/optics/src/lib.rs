@@ -1,0 +1,62 @@
+//! # eyecod-optics
+//!
+//! The lensless **FlatCam** optics substrate of the EyeCoD reproduction.
+//!
+//! A FlatCam replaces the focusing lens of a conventional camera with a thin
+//! separable coded mask directly above a bare sensor. Imaging follows the
+//! separable model of Asif et al. (the paper's Eq. 1):
+//!
+//! ```text
+//! Y = Φ_L · X · Φ_Rᵀ + E
+//! ```
+//!
+//! where `X` is the scene, `Φ_L`/`Φ_R` are transfer matrices induced by the
+//! mask rows/columns and `E` is sensor noise. The scene is recovered by
+//! Tikhonov-regularised least squares (the paper's Eq. 2), solved in closed
+//! form via the SVDs of the transfer matrices.
+//!
+//! Provided here:
+//! * [`mat::Mat`] — a small dense `f64` matrix type with a one-sided Jacobi
+//!   [`svd`], so no external linear-algebra dependency is needed;
+//! * [`lfsr`] — maximum-length sequences used to code the masks;
+//! * [`mask`] — separable mask/transfer-matrix construction;
+//! * [`sensor`] — shot/read-noise and quantisation models;
+//! * [`imaging`] — the forward capture model;
+//! * [`recon`] — the regularised reconstructor;
+//! * [`interface`] — the sensing–processing interface that folds the first
+//!   DNN layer into the optical mask (paper §4.2);
+//! * [`metrics`] — PSNR and friends.
+//!
+//! # Example
+//!
+//! ```
+//! use eyecod_optics::imaging::FlatCam;
+//! use eyecod_optics::mask::SeparableMask;
+//! use eyecod_optics::recon::TikhonovReconstructor;
+//! use eyecod_optics::mat::Mat;
+//! use eyecod_optics::sensor::SensorModel;
+//!
+//! let mask = SeparableMask::mls(40, 32, 42);
+//! let cam = FlatCam::new(mask, SensorModel::noiseless());
+//! let scene = Mat::from_fn(32, 32, |r, c| ((r + c) % 7) as f64 / 7.0);
+//! let y = cam.capture(&scene, 0);
+//! let recon = TikhonovReconstructor::new(cam.mask(), 1e-6);
+//! let xhat = recon.reconstruct(&y);
+//! assert!(xhat.sub(&scene).fro_norm() / scene.fro_norm() < 0.05);
+//! ```
+
+pub mod calibrate;
+pub mod imaging;
+pub mod interface;
+pub mod lfsr;
+pub mod mask;
+pub mod mat;
+pub mod metrics;
+pub mod recon;
+pub mod sensor;
+pub mod svd;
+
+pub use imaging::FlatCam;
+pub use mask::SeparableMask;
+pub use recon::TikhonovReconstructor;
+pub use sensor::SensorModel;

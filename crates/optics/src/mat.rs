@@ -1,0 +1,313 @@
+//! A small dense `f64` matrix type sized for FlatCam optics (≤ a few hundred
+//! rows/columns), plus conversions to the `f32` NCHW tensors used by the
+//! neural pipeline.
+
+use eyecod_tensor::{Shape, Tensor};
+use std::fmt;
+
+/// A dense row-major `f64` matrix.
+///
+/// # Example
+///
+/// ```
+/// use eyecod_optics::mat::Mat;
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = a.matmul(&Mat::identity(2));
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` everywhere.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Mat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Read-only view of the row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |r, c| self.at(c, r))
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.data[i * self.cols + l];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[l * other.cols..(l + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for j in 0..other.cols {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch in sub"
+        );
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch in add"
+        );
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Scales every element.
+    pub fn scale(&self, s: f64) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Mean element value.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Converts a single-channel `(1, 1, H, W)` (or any single-plane) tensor
+    /// into a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one batch item or channel.
+    pub fn from_tensor(t: &Tensor) -> Mat {
+        let s = t.shape();
+        assert_eq!((s.n, s.c), (1, 1), "expected a single-plane tensor, got {s}");
+        Mat {
+            rows: s.h,
+            cols: s.w,
+            data: t.as_slice().iter().map(|&x| x as f64).collect(),
+        }
+    }
+
+    /// Converts this matrix to a `(1, 1, rows, cols)` tensor.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(
+            Shape::new(1, 1, self.rows, self.cols),
+            self.data.iter().map(|&x| x as f32).collect(),
+        )
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Mat({}x{}, fro={:.4}, max|.|={:.4})",
+            self.rows,
+            self.cols,
+            self.fro_norm(),
+            self.max_abs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Mat::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(a.matmul(&Mat::identity(3)), a);
+        assert_eq!(Mat::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[&[1., 2.], &[3., 4.]]);
+        let b = Mat::from_rows(&[&[5., 6.], &[7., 8.]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_fn(2, 5, |r, c| (r * 5 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at(3, 1), a.at(1, 3));
+    }
+
+    #[test]
+    fn arithmetic_and_norms() {
+        let a = Mat::from_rows(&[&[3., 4.]]);
+        assert_eq!(a.fro_norm(), 5.0);
+        assert_eq!(a.max_abs(), 4.0);
+        assert_eq!(a.scale(2.0).as_slice(), &[6., 8.]);
+        assert_eq!(a.sub(&a).fro_norm(), 0.0);
+        assert_eq!(a.add(&a).mean(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        Mat::zeros(2, 3).matmul(&Mat::zeros(2, 3));
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let m = Mat::from_fn(4, 6, |r, c| (r as f64) - (c as f64) * 0.5);
+        let t = m.to_tensor();
+        assert_eq!(t.shape().dims(), (1, 1, 4, 6));
+        let m2 = Mat::from_tensor(&t);
+        assert!(m.sub(&m2).max_abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        Mat::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+}

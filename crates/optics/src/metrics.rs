@@ -1,0 +1,77 @@
+//! Image-quality metrics for reconstruction evaluation.
+
+use crate::mat::Mat;
+
+/// Mean squared error between two equal-shaped images.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(a: &Mat, b: &Mat) -> f64 {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "mse shape mismatch"
+    );
+    let d = a.sub(b);
+    let n = (a.rows() * a.cols()) as f64;
+    d.as_slice().iter().map(|x| x * x).sum::<f64>() / n
+}
+
+/// Peak signal-to-noise ratio in dB, with the peak taken as the maximum
+/// absolute value of the reference image `a`.
+///
+/// Returns `f64::INFINITY` for identical images.
+pub fn psnr(reference: &Mat, estimate: &Mat) -> f64 {
+    let err = mse(reference, estimate);
+    if err == 0.0 {
+        return f64::INFINITY;
+    }
+    let peak = reference.max_abs().max(f64::MIN_POSITIVE);
+    10.0 * (peak * peak / err).log10()
+}
+
+/// Signal-to-noise ratio in dB of `estimate` against `reference`.
+pub fn snr(reference: &Mat, estimate: &Mat) -> f64 {
+    let err = mse(reference, estimate);
+    if err == 0.0 {
+        return f64::INFINITY;
+    }
+    let n = (reference.rows() * reference.cols()) as f64;
+    let sig = reference.as_slice().iter().map(|x| x * x).sum::<f64>() / n;
+    10.0 * (sig / err).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let a = Mat::from_fn(8, 8, |r, c| (r * c) as f64);
+        assert!(psnr(&a, &a).is_infinite());
+        assert!(snr(&a, &a).is_infinite());
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = Mat::from_fn(16, 16, |r, c| (r + c) as f64 / 32.0);
+        let small = a.add(&Mat::from_fn(16, 16, |_, _| 0.001));
+        let large = a.add(&Mat::from_fn(16, 16, |_, _| 0.1));
+        assert!(psnr(&a, &small) > psnr(&a, &large));
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = Mat::zeros(2, 2);
+        let b = Mat::from_fn(2, 2, |_, _| 2.0);
+        assert_eq!(mse(&a, &b), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mse_rejects_shape_mismatch() {
+        mse(&Mat::zeros(2, 2), &Mat::zeros(3, 3));
+    }
+}

@@ -1,0 +1,212 @@
+//! Tikhonov-regularised FlatCam image reconstruction (the paper's Eq. 2).
+//!
+//! The reconstruction solves
+//!
+//! ```text
+//! argmin_X ‖Φ_L · X · Φ_Rᵀ − Y‖² + ε‖X‖²
+//! ```
+//!
+//! in closed form using the SVDs `Φ_L = U₁ S₁ V₁ᵀ`, `Φ_R = U₂ S₂ V₂ᵀ`:
+//! with `Ŷ = U₁ᵀ Y U₂`, the minimiser is `X = V₁ · Z · V₂ᵀ` where
+//! `Z_ij = s₁ᵢ s₂ⱼ Ŷ_ij / (s₁ᵢ² s₂ⱼ² + ε)`.
+//!
+//! The SVDs depend only on the mask, so a [`TikhonovReconstructor`] is
+//! precomputed once per camera and amortised over every frame — exactly how
+//! the reconstruction stage of the paper's pipeline runs on the accelerator
+//! (the mask SVD factors live in the weight global buffer).
+
+use crate::mask::SeparableMask;
+use crate::mat::Mat;
+use crate::svd::Svd;
+
+/// A precomputed FlatCam reconstructor for a specific mask.
+#[derive(Debug, Clone)]
+pub struct TikhonovReconstructor {
+    svd_l: Svd,
+    svd_r: Svd,
+    epsilon: f64,
+    scene: usize,
+}
+
+impl TikhonovReconstructor {
+    /// Precomputes the SVD factors for `mask` with regularisation `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon < 0`.
+    pub fn new(mask: &SeparableMask, epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "regularisation must be non-negative");
+        TikhonovReconstructor {
+            svd_l: Svd::compute(mask.phi_l()),
+            svd_r: Svd::compute(mask.phi_r()),
+            epsilon,
+            scene: mask.scene_size(),
+        }
+    }
+
+    /// The regularisation strength.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Returns a reconstructor with the same factors and a new epsilon
+    /// (cheap; reuses the SVDs — useful for the ε sweep ablation).
+    pub fn with_epsilon(&self, epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "regularisation must be non-negative");
+        let mut r = self.clone();
+        r.epsilon = epsilon;
+        r
+    }
+
+    /// Reconstructs a scene from a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement shape does not match the mask's sensor
+    /// geometry.
+    pub fn reconstruct(&self, measurement: &Mat) -> Mat {
+        let (mh, mw) = (self.svd_l.u.rows(), self.svd_r.u.rows());
+        assert_eq!(
+            (measurement.rows(), measurement.cols()),
+            (mh, mw),
+            "measurement must be {mh}x{mw}, got {}x{}",
+            measurement.rows(),
+            measurement.cols()
+        );
+        // Ŷ = U₁ᵀ · Y · U₂  (n × n)
+        let yhat = self
+            .svd_l
+            .u
+            .transpose()
+            .matmul(measurement)
+            .matmul(&self.svd_r.u);
+        // Z_ij = s1_i s2_j Ŷ_ij / (s1_i² s2_j² + ε)
+        let n = self.scene;
+        let z = Mat::from_fn(n, n, |i, j| {
+            let s1 = self.svd_l.s[i];
+            let s2 = self.svd_r.s[j];
+            let denom = s1 * s1 * s2 * s2 + self.epsilon;
+            if denom == 0.0 {
+                0.0
+            } else {
+                s1 * s2 * yhat.at(i, j) / denom
+            }
+        });
+        // X = V₁ · Z · V₂ᵀ
+        self.svd_l.v.matmul(&z).matmul(&self.svd_r.v.transpose())
+    }
+
+    /// Rank-truncated reconstruction: only the top `rank` singular
+    /// components per side contribute (see
+    /// [`crate::calibrate::TruncatedReconstructor`] for the cost model).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a measurement shape mismatch or `rank` outside
+    /// `1..=scene`.
+    pub fn reconstruct_truncated(&self, measurement: &Mat, rank: usize) -> Mat {
+        let n = self.scene;
+        assert!(rank >= 1 && rank <= n, "rank {rank} out of range for scene {n}");
+        let (mh, mw) = (self.svd_l.u.rows(), self.svd_r.u.rows());
+        assert_eq!(
+            (measurement.rows(), measurement.cols()),
+            (mh, mw),
+            "measurement must be {mh}x{mw}"
+        );
+        let yhat = self
+            .svd_l
+            .u
+            .transpose()
+            .matmul(measurement)
+            .matmul(&self.svd_r.u);
+        let z = Mat::from_fn(n, n, |i, j| {
+            if i >= rank || j >= rank {
+                return 0.0;
+            }
+            let s1 = self.svd_l.s[i];
+            let s2 = self.svd_r.s[j];
+            let denom = s1 * s1 * s2 * s2 + self.epsilon;
+            if denom == 0.0 {
+                0.0
+            } else {
+                s1 * s2 * yhat.at(i, j) / denom
+            }
+        });
+        self.svd_l.v.matmul(&z).matmul(&self.svd_r.v.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imaging::FlatCam;
+    use crate::sensor::SensorModel;
+
+    fn test_scene(n: usize) -> Mat {
+        // A smooth blob plus an edge — structure similar to an eye image.
+        Mat::from_fn(n, n, |r, c| {
+            let dr = r as f64 - n as f64 / 2.0;
+            let dc = c as f64 - n as f64 / 2.0;
+            let blob = (-(dr * dr + dc * dc) / (n as f64)).exp();
+            let edge = if c > n / 2 { 0.3 } else { 0.0 };
+            blob + edge
+        })
+    }
+
+    #[test]
+    fn noiseless_reconstruction_is_near_exact() {
+        let mask = SeparableMask::mls(48, 32, 11);
+        let cam = FlatCam::new(mask, SensorModel::noiseless());
+        let scene = test_scene(32);
+        let y = cam.capture(&scene, 0);
+        let recon = TikhonovReconstructor::new(cam.mask(), 1e-9);
+        let xhat = recon.reconstruct(&y);
+        let rel = xhat.sub(&scene).fro_norm() / scene.fro_norm();
+        assert!(rel < 1e-3, "relative error {rel}");
+    }
+
+    #[test]
+    fn regularisation_suppresses_noise() {
+        let mask = SeparableMask::mls(48, 32, 11);
+        let cam = FlatCam::new(mask.clone(), SensorModel::low_light());
+        let scene = test_scene(32);
+        let y = cam.capture(&scene, 42);
+        let recon = TikhonovReconstructor::new(&mask, 0.0);
+        let err_unreg = recon.reconstruct(&y).sub(&scene).fro_norm();
+        let err_reg = recon.with_epsilon(1e-4).reconstruct(&y).sub(&scene).fro_norm();
+        assert!(
+            err_reg < err_unreg,
+            "regularised {err_reg} should beat unregularised {err_unreg}"
+        );
+    }
+
+    #[test]
+    fn heavy_regularisation_shrinks_towards_zero() {
+        let mask = SeparableMask::mls(40, 32, 3);
+        let cam = FlatCam::new(mask.clone(), SensorModel::noiseless());
+        let scene = test_scene(32);
+        let y = cam.capture(&scene, 0);
+        let strong = TikhonovReconstructor::new(&mask, 1e6).reconstruct(&y);
+        assert!(strong.fro_norm() < 0.01 * scene.fro_norm());
+    }
+
+    #[test]
+    fn reconstruction_is_linear() {
+        let mask = SeparableMask::mls(40, 32, 5);
+        let recon = TikhonovReconstructor::new(&mask, 1e-6);
+        let cam = FlatCam::new(mask, SensorModel::noiseless());
+        let a = test_scene(32);
+        let b = Mat::from_fn(32, 32, |r, _| r as f64 / 32.0);
+        let xa = recon.reconstruct(&cam.capture(&a, 0));
+        let xb = recon.reconstruct(&cam.capture(&b, 0));
+        let xab = recon.reconstruct(&cam.capture(&a.add(&b), 0));
+        assert!(xab.sub(&xa.add(&xb)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement must be")]
+    fn rejects_wrong_measurement_shape() {
+        let mask = SeparableMask::mls(40, 32, 5);
+        TikhonovReconstructor::new(&mask, 1e-6).reconstruct(&Mat::zeros(32, 32));
+    }
+}

@@ -1,0 +1,200 @@
+//! Image-sensor noise and quantisation model.
+//!
+//! FlatCam measurements are corrupted by the `e` term of the paper's Eq. 1.
+//! We model the dominant contributors: photon shot noise (variance
+//! proportional to signal), additive Gaussian read noise, ADC quantisation
+//! and full-well saturation.
+
+use crate::mat::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A parametric sensor model applied to noiseless measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorModel {
+    /// Photon count corresponding to a measurement value of 1.0. Higher
+    /// means brighter scenes / less relative shot noise. `0` disables shot
+    /// noise.
+    pub full_scale_electrons: f64,
+    /// Standard deviation of additive read noise, in measurement units.
+    pub read_noise_std: f64,
+    /// ADC bit depth; `0` disables quantisation.
+    pub adc_bits: u32,
+    /// Saturation level in measurement units (values clip here). `inf`
+    /// disables clipping.
+    pub saturation: f64,
+    /// Common-mode photon level for differential (complementary-capture)
+    /// measurements, in measurement units. Differential values are the
+    /// difference of two raw captures riding on this DC level, so shot
+    /// noise scales with `|v| + dc_level` and values may be negative
+    /// (clipping becomes symmetric). `0` models a single raw capture.
+    pub dc_level: f64,
+}
+
+impl SensorModel {
+    /// An ideal, noiseless sensor (useful for tests and upper bounds).
+    pub fn noiseless() -> Self {
+        SensorModel {
+            full_scale_electrons: 0.0,
+            read_noise_std: 0.0,
+            adc_bits: 0,
+            saturation: f64::INFINITY,
+            dc_level: 0.0,
+        }
+    }
+
+    /// A realistic low-light VR/AR eye-camera operating point: limited
+    /// photon budget, moderate read noise, 10-bit ADC.
+    pub fn low_light() -> Self {
+        SensorModel {
+            full_scale_electrons: 2_000.0,
+            read_noise_std: 2e-3,
+            adc_bits: 10,
+            saturation: 4.0,
+            dc_level: 0.5,
+        }
+    }
+
+    /// The EyeCoD operating point: a near-infrared-illuminated eye camera.
+    /// VR/AR eye trackers use active NIR LEDs, so the sensor is not
+    /// photon-starved even though the scene is enclosed (paper §2 notes
+    /// FlatCams suit this regime thanks to their ~50 % open masks).
+    pub fn nir_eye_tracking() -> Self {
+        SensorModel {
+            full_scale_electrons: 10_000.0,
+            read_noise_std: 1e-3,
+            adc_bits: 10,
+            saturation: 4.0,
+            dc_level: 0.5,
+        }
+    }
+
+    /// A bright, well-exposed operating point.
+    pub fn bright() -> Self {
+        SensorModel {
+            full_scale_electrons: 20_000.0,
+            read_noise_std: 5e-4,
+            adc_bits: 12,
+            saturation: 4.0,
+            dc_level: 0.5,
+        }
+    }
+
+    /// Returns true if this model adds no noise and no quantisation.
+    pub fn is_noiseless(&self) -> bool {
+        self.full_scale_electrons == 0.0 && self.read_noise_std == 0.0 && self.adc_bits == 0
+    }
+
+    /// Applies the sensor model to a noiseless measurement, seeded for
+    /// reproducibility.
+    pub fn apply(&self, clean: &Mat, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = clean.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.at(r, c);
+                let mut noisy = v;
+                if self.full_scale_electrons > 0.0 {
+                    // Gaussian approximation of Poisson shot noise:
+                    // std in measurement units = sqrt(v * FS) / FS, with the
+                    // common-mode level added for differential captures.
+                    let electrons = (v.abs() + self.dc_level) * self.full_scale_electrons;
+                    let shot_std = electrons.sqrt() / self.full_scale_electrons;
+                    noisy += shot_std * gaussian(&mut rng);
+                }
+                if self.read_noise_std > 0.0 {
+                    noisy += self.read_noise_std * gaussian(&mut rng);
+                }
+                if self.saturation.is_finite() {
+                    let lo = if self.dc_level > 0.0 { -self.saturation } else { 0.0 };
+                    noisy = noisy.clamp(lo, self.saturation);
+                }
+                if self.adc_bits > 0 {
+                    let levels = ((1u64 << self.adc_bits) - 1) as f64;
+                    let full = if self.saturation.is_finite() {
+                        self.saturation
+                    } else {
+                        1.0
+                    };
+                    noisy = (noisy / full * levels).round() / levels * full;
+                }
+                *out.at_mut(r, c) = noisy;
+            }
+        }
+        out
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_is_identity() {
+        let m = Mat::from_fn(8, 8, |r, c| (r * c) as f64 / 64.0);
+        let out = SensorModel::noiseless().apply(&m, 0);
+        assert!(out.sub(&m).max_abs() < 1e-15);
+        assert!(SensorModel::noiseless().is_noiseless());
+    }
+
+    #[test]
+    fn noise_is_seed_reproducible() {
+        let m = Mat::from_fn(8, 8, |_, _| 0.5);
+        let s = SensorModel::low_light();
+        assert_eq!(s.apply(&m, 7).as_slice(), s.apply(&m, 7).as_slice());
+        assert!(s.apply(&m, 7).sub(&s.apply(&m, 8)).max_abs() > 0.0);
+    }
+
+    #[test]
+    fn shot_noise_scales_with_signal() {
+        let lo = Mat::from_fn(64, 64, |_, _| 0.01);
+        let hi = Mat::from_fn(64, 64, |_, _| 1.0);
+        let s = SensorModel {
+            full_scale_electrons: 1_000.0,
+            read_noise_std: 0.0,
+            adc_bits: 0,
+            saturation: f64::INFINITY,
+            dc_level: 0.0,
+        };
+        let res_lo = s.apply(&lo, 1).sub(&lo).fro_norm();
+        let res_hi = s.apply(&hi, 1).sub(&hi).fro_norm();
+        // absolute shot noise grows with signal (std ~ sqrt(signal))
+        assert!(res_hi > res_lo * 2.0, "lo={res_lo} hi={res_hi}");
+    }
+
+    #[test]
+    fn saturation_clips() {
+        let m = Mat::from_fn(4, 4, |_, _| 10.0);
+        let s = SensorModel {
+            full_scale_electrons: 0.0,
+            read_noise_std: 0.0,
+            adc_bits: 0,
+            saturation: 2.0,
+            dc_level: 0.0,
+        };
+        assert!(s.apply(&m, 0).max_abs() <= 2.0);
+    }
+
+    #[test]
+    fn adc_quantizes_to_levels() {
+        let m = Mat::from_fn(4, 4, |r, c| (r * 4 + c) as f64 / 16.0);
+        let s = SensorModel {
+            full_scale_electrons: 0.0,
+            read_noise_std: 0.0,
+            adc_bits: 2,
+            saturation: 1.0,
+            dc_level: 0.0,
+        };
+        let out = s.apply(&m, 0);
+        for &v in out.as_slice() {
+            let scaled = v * 3.0;
+            assert!((scaled - scaled.round()).abs() < 1e-12, "value {v} not on 2-bit grid");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Thin singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The FlatCam reconstructor needs the SVDs of the two transfer matrices
+//! (a few hundred rows/columns at most), for which cyclic one-sided Jacobi
+//! is simple, numerically robust and plenty fast.
+
+use crate::mat::Mat;
+
+/// A thin SVD `A = U · diag(S) · Vᵀ` with `U: m×n`, `S: n`, `V: n×n`
+/// (for `m ≥ n`; taller-than-wide inputs are required — transpose first
+/// otherwise).
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (m×n, orthonormal columns for full-rank input).
+    pub u: Mat,
+    /// Singular values in decreasing order.
+    pub s: Vec<f64>,
+    /// Right singular vectors (n×n, orthonormal columns).
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a` using cyclic one-sided Jacobi.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has fewer rows than columns (callers transpose first;
+    /// FlatCam transfer matrices are tall).
+    pub fn compute(a: &Mat) -> Svd {
+        let m = a.rows();
+        let n = a.cols();
+        assert!(m >= n, "Svd::compute requires rows ≥ cols ({m} < {n}); transpose first");
+
+        // Work on columns of a copy of A; accumulate rotations into V.
+        let mut w = a.clone();
+        let mut v = Mat::identity(n);
+        let eps = 1e-14;
+        let max_sweeps = 60;
+
+        for _ in 0..max_sweeps {
+            let mut off = 0.0f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Compute the 2x2 Gram entries for columns p, q.
+                    let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+                    for i in 0..m {
+                        let wp = w.at(i, p);
+                        let wq = w.at(i, q);
+                        app += wp * wp;
+                        aqq += wq * wq;
+                        apq += wp * wq;
+                    }
+                    if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 {
+                        continue;
+                    }
+                    off += apq.abs();
+                    // Jacobi rotation zeroing the (p,q) Gram entry.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..m {
+                        let wp = w.at(i, p);
+                        let wq = w.at(i, q);
+                        *w.at_mut(i, p) = c * wp - s * wq;
+                        *w.at_mut(i, q) = s * wp + c * wq;
+                    }
+                    for i in 0..n {
+                        let vp = v.at(i, p);
+                        let vq = v.at(i, q);
+                        *v.at_mut(i, p) = c * vp - s * vq;
+                        *v.at_mut(i, q) = s * vp + c * vq;
+                    }
+                }
+            }
+            if off < 1e-12 {
+                break;
+            }
+        }
+
+        // Singular values are the column norms; normalise to get U.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut sing = vec![0.0f64; n];
+        for (j, s) in sing.iter_mut().enumerate() {
+            let mut norm = 0.0;
+            for i in 0..m {
+                norm += w.at(i, j) * w.at(i, j);
+            }
+            *s = norm.sqrt();
+        }
+        order.sort_by(|&a, &b| sing[b].partial_cmp(&sing[a]).expect("non-NaN singular values"));
+
+        let mut u = Mat::zeros(m, n);
+        let mut v_sorted = Mat::zeros(n, n);
+        let mut s_sorted = vec![0.0f64; n];
+        for (dst, &src) in order.iter().enumerate() {
+            let sv = sing[src];
+            s_sorted[dst] = sv;
+            if sv > 1e-300 {
+                for i in 0..m {
+                    *u.at_mut(i, dst) = w.at(i, src) / sv;
+                }
+            }
+            for i in 0..n {
+                *v_sorted.at_mut(i, dst) = v.at(i, src);
+            }
+        }
+        Svd {
+            u,
+            s: s_sorted,
+            v: v_sorted,
+        }
+    }
+
+    /// Reconstructs `U · diag(S) · Vᵀ` (for testing / condition analysis).
+    pub fn reconstruct(&self) -> Mat {
+        let n = self.s.len();
+        let us = Mat::from_fn(self.u.rows(), n, |i, j| self.u.at(i, j) * self.s[j]);
+        us.matmul(&self.v.transpose())
+    }
+
+    /// Condition number `σ_max / σ_min` (infinite for singular inputs).
+    pub fn condition_number(&self) -> f64 {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        let smin = self.s.last().copied().unwrap_or(0.0);
+        if smin == 0.0 {
+            f64::INFINITY
+        } else {
+            smax / smin
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn orthonormality_defect(m: &Mat) -> f64 {
+        let g = m.transpose().matmul(m);
+        g.sub(&Mat::identity(m.cols())).max_abs()
+    }
+
+    #[test]
+    fn reconstructs_random_square() {
+        let a = rand_mat(24, 24, 1);
+        let svd = Svd::compute(&a);
+        assert!(svd.reconstruct().sub(&a).max_abs() < 1e-9);
+        assert!(orthonormality_defect(&svd.u) < 1e-9);
+        assert!(orthonormality_defect(&svd.v) < 1e-9);
+    }
+
+    #[test]
+    fn reconstructs_tall_matrix() {
+        let a = rand_mat(40, 16, 2);
+        let svd = Svd::compute(&a);
+        assert!(svd.reconstruct().sub(&a).max_abs() < 1e-9);
+        assert!(orthonormality_defect(&svd.u) < 1e-9);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_match_diagonal() {
+        // Build a matrix with known singular values 3, 2, 1.
+        let d = Mat::from_rows(&[&[3., 0., 0.], &[0., 1., 0.], &[0., 0., 2.]]);
+        let svd = Svd::compute(&d);
+        assert!((svd.s[0] - 3.0).abs() < 1e-12);
+        assert!((svd.s[1] - 2.0).abs() < 1e-12);
+        assert!((svd.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_matrix_has_zero_singular_value() {
+        // Two identical columns -> rank 1.
+        let a = Mat::from_rows(&[&[1., 1.], &[2., 2.], &[3., 3.]]);
+        let svd = Svd::compute(&a);
+        assert!(svd.s[1] < 1e-10);
+        assert!(svd.reconstruct().sub(&a).max_abs() < 1e-10);
+        assert!(svd.condition_number().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose first")]
+    fn rejects_wide_matrices() {
+        Svd::compute(&Mat::zeros(2, 5));
+    }
+
+    #[test]
+    fn condition_number_of_identity_is_one() {
+        let svd = Svd::compute(&Mat::identity(8));
+        assert!((svd.condition_number() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the optics crate's public contracts.
+
+use eyecod_optics::imaging::FlatCam;
+use eyecod_optics::mask::SeparableMask;
+use eyecod_optics::mat::Mat;
+use eyecod_optics::recon::TikhonovReconstructor;
+use eyecod_optics::sensor::SensorModel;
+use eyecod_optics::svd::Svd;
+use proptest::prelude::*;
+
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-1.0f64..1.0, rows * cols)
+        .prop_map(move |v| Mat::from_fn(rows, cols, |r, c| v[r * cols + c]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SVD reconstructs and orders singular values for any tall matrix.
+    #[test]
+    fn svd_contract(m in mat_strategy(14, 9)) {
+        let svd = Svd::compute(&m);
+        prop_assert!(svd.reconstruct().sub(&m).max_abs() < 1e-8);
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1] && w[1] >= 0.0);
+        }
+        // Frobenius norm equals the singular-value l2 norm
+        let fro = m.fro_norm();
+        let snorm = svd.s.iter().map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!((fro - snorm).abs() < 1e-8);
+    }
+
+    /// Noiseless capture→reconstruct is near-exact for any scene, for any
+    /// mask seed (full-rank differential masks).
+    #[test]
+    fn noiseless_roundtrip_any_seed(
+        seed in 0u32..200,
+        scene_vals in proptest::collection::vec(0.0f64..1.0, 16 * 16),
+    ) {
+        let mask = SeparableMask::mls_differential(24, 16, seed);
+        let cam = FlatCam::new(mask.clone(), SensorModel::noiseless());
+        let scene = Mat::from_fn(16, 16, |r, c| scene_vals[r * 16 + c]);
+        let y = cam.capture(&scene, 0);
+        let xhat = TikhonovReconstructor::new(&mask, 1e-10).reconstruct(&y);
+        prop_assert!(xhat.sub(&scene).max_abs() < 1e-4);
+    }
+
+    /// Rank truncation error decreases monotonically in rank (Eckart–Young
+    /// flavoured, through the regularised inverse).
+    #[test]
+    fn truncation_error_monotone(scene_vals in proptest::collection::vec(0.0f64..1.0, 16 * 16)) {
+        let mask = SeparableMask::mls_differential(24, 16, 5);
+        let cam = FlatCam::new(mask.clone(), SensorModel::noiseless());
+        let scene = Mat::from_fn(16, 16, |r, c| scene_vals[r * 16 + c]);
+        let y = cam.capture(&scene, 0);
+        let recon = TikhonovReconstructor::new(&mask, 1e-10);
+        let mut prev = f64::INFINITY;
+        for rank in [4usize, 8, 12, 16] {
+            let err = recon.reconstruct_truncated(&y, rank).sub(&scene).fro_norm();
+            prop_assert!(err <= prev + 1e-9, "rank {rank}: {err} vs {prev}");
+            prev = err;
+        }
+    }
+
+    /// The sensor model is deterministic per seed and bounded by
+    /// saturation.
+    #[test]
+    fn sensor_contract(vals in proptest::collection::vec(0.0f64..2.0, 36), seed in 0u64..100) {
+        let m = Mat::from_fn(6, 6, |r, c| vals[r * 6 + c]);
+        let s = SensorModel::nir_eye_tracking();
+        let a = s.apply(&m, seed);
+        let b = s.apply(&m, seed);
+        prop_assert!(a.sub(&b).max_abs() == 0.0);
+        prop_assert!(a.max_abs() <= s.saturation + 1e-12);
+    }
+
+    /// Capture is linear for any pair of scenes.
+    #[test]
+    fn capture_linearity(
+        a_vals in proptest::collection::vec(0.0f64..1.0, 12 * 12),
+        b_vals in proptest::collection::vec(0.0f64..1.0, 12 * 12),
+    ) {
+        let mask = SeparableMask::mls_differential(16, 12, 9);
+        let cam = FlatCam::new(mask, SensorModel::noiseless());
+        let a = Mat::from_fn(12, 12, |r, c| a_vals[r * 12 + c]);
+        let b = Mat::from_fn(12, 12, |r, c| b_vals[r * 12 + c]);
+        let lhs = cam.capture(&a.add(&b), 0);
+        let rhs = cam.capture(&a, 0).add(&cam.capture(&b, 0));
+        prop_assert!(lhs.sub(&rhs).max_abs() < 1e-10);
+    }
+}

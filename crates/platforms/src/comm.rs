@@ -1,0 +1,97 @@
+//! Camera→processor communication links.
+//!
+//! The paper's system-level argument: a lens camera's focal stack forces it
+//! centimetres away from the processor, over a long flex/MIPI link; the
+//! 2 mm-thin FlatCam lets the accelerator sit directly behind the sensor,
+//! so measurements cross a short attached interface — and with the first
+//! DNN layer folded into the mask, fewer bytes cross it.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link carrying frames from the camera to the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommLink {
+    /// Usable bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Fixed per-frame latency in microseconds (serialisation, protocol,
+    /// buffering).
+    pub fixed_latency_us: f64,
+    /// Energy cost per transmitted byte in picojoules.
+    pub energy_pj_per_byte: f64,
+}
+
+impl CommLink {
+    /// A lens-based HMD camera module: a longer flex cable at MIPI-class
+    /// rates with DMA/ISP buffering overhead.
+    pub fn lens_module() -> Self {
+        CommLink {
+            bandwidth_mbps: 1_500.0,
+            fixed_latency_us: 350.0,
+            energy_pj_per_byte: 120.0,
+        }
+    }
+
+    /// The FlatCam-attached EyeCoD interface: the accelerator sits directly
+    /// behind the bare sensor.
+    pub fn attached_sensor() -> Self {
+        CommLink {
+            bandwidth_mbps: 8_000.0,
+            fixed_latency_us: 8.0,
+            energy_pj_per_byte: 20.0,
+        }
+    }
+
+    /// Per-frame transfer time in microseconds for `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link has non-positive bandwidth.
+    pub fn transfer_us(&self, bytes: u64) -> f64 {
+        assert!(self.bandwidth_mbps > 0.0, "link bandwidth must be positive");
+        self.fixed_latency_us + bytes as f64 * 8.0 / self.bandwidth_mbps
+    }
+
+    /// Per-frame transfer energy in joules for `bytes`.
+    pub fn transfer_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_pj_per_byte * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attached_link_is_much_faster_for_a_frame() {
+        let frame = 256 * 256; // bytes
+        let lens = CommLink::lens_module().transfer_us(frame as u64);
+        let flat = CommLink::attached_sensor().transfer_us((192 * 192) as u64);
+        assert!(
+            lens > 5.0 * flat,
+            "lens comm {lens:.0}us should dwarf attached {flat:.0}us"
+        );
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let l = CommLink::attached_sensor();
+        let small = l.transfer_us(1_000);
+        let large = l.transfer_us(1_000_000);
+        assert!(large > small);
+        // asymptotically linear
+        let slope = (l.transfer_us(2_000_000) - large) / 1_000_000.0;
+        assert!((slope - 8.0 / l.bandwidth_mbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_is_linear_in_bytes() {
+        let l = CommLink::lens_module();
+        assert!((l.transfer_energy_j(2_000) - 2.0 * l.transfer_energy_j(1_000)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_bytes_still_pay_fixed_latency() {
+        let l = CommLink::lens_module();
+        assert_eq!(l.transfer_us(0), l.fixed_latency_us);
+    }
+}

@@ -1,0 +1,26 @@
+//! # eyecod-platforms
+//!
+//! Analytical models of the baseline computing platforms and of the
+//! camera→processor communication links used in the paper's overall
+//! comparison (Fig. 14): EdgeCPU (Raspberry Pi), CPU (AMD EPYC 7742),
+//! EdgeGPU (Nvidia Jetson TX2), GPU (Nvidia RTX 2080 Ti) and the prior-art
+//! eye-tracking ASIC CIS-GEP (Bong et al., JSSC 2016).
+//!
+//! None of that hardware is available in this environment, so each platform
+//! is a roofline-style model: an *effective* sustained MAC rate for
+//! batch-1 eye-tracking inference (peak × an achievable-utilisation factor
+//! estimated from public spec sheets and the usual batch-1 efficiency of
+//! small convolutions), a system power, and a communication link. The
+//! EyeCoD row of the comparison comes from the cycle-level simulator in
+//! `eyecod-accel`, not from a model of this kind.
+//!
+//! What the reproduction claims from these models is the *shape* of
+//! Fig. 14 — who wins, by roughly what factor — not absolute FPS.
+
+pub mod comm;
+pub mod platform;
+pub mod system;
+
+pub use comm::CommLink;
+pub use platform::{Platform, PlatformKind};
+pub use system::{compare_all, PlatformResult};

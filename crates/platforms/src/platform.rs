@@ -1,0 +1,220 @@
+//! Roofline-style baseline platform models.
+
+use crate::comm::CommLink;
+use eyecod_accel::workload::PipelineWorkload;
+use serde::{Deserialize, Serialize};
+
+/// The baseline platforms of Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// Raspberry Pi class edge CPU.
+    EdgeCpu,
+    /// AMD EPYC 7742 server CPU (batch 1).
+    Cpu,
+    /// Nvidia Jetson TX2 edge GPU.
+    EdgeGpu,
+    /// Nvidia RTX 2080 Ti GPU (batch 1).
+    Gpu,
+    /// The CIS-GEP eye-tracking ASIC (65 nm, Bong et al.).
+    CisGep,
+}
+
+impl PlatformKind {
+    /// All baselines in the paper's Fig. 14 order.
+    pub const ALL: [PlatformKind; 5] = [
+        PlatformKind::EdgeCpu,
+        PlatformKind::Cpu,
+        PlatformKind::EdgeGpu,
+        PlatformKind::Gpu,
+        PlatformKind::CisGep,
+    ];
+
+    /// Display name matching the paper's figure labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlatformKind::EdgeCpu => "EdgeCPU",
+            PlatformKind::Cpu => "CPU",
+            PlatformKind::EdgeGpu => "EdgeGPU",
+            PlatformKind::Gpu => "GPU",
+            PlatformKind::CisGep => "CIS-GEP",
+        }
+    }
+}
+
+/// An analytical platform: sustained batch-1 throughput, system power and
+/// its camera link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Which baseline this models.
+    pub kind: PlatformKind,
+    /// Peak MAC rate in GMAC/s (from spec sheets; FMA counted as one MAC).
+    pub peak_gmacs: f64,
+    /// Achievable fraction of peak for batch-1 eye-tracking inference.
+    pub utilization: f64,
+    /// System power draw while running, in watts.
+    pub power_w: f64,
+    /// Camera→processor link.
+    pub link: CommLink,
+}
+
+impl Platform {
+    /// Builds the model for a baseline platform.
+    ///
+    /// Parameter provenance (documented estimates, see DESIGN.md):
+    /// peak rates from vendor spec sheets; utilisations from the typical
+    /// batch-1 efficiency of small-image CNN inference on each platform
+    /// class; powers are system-level. CIS-GEP's effective rate is set so a
+    /// ~65 nm 2016-era gaze ASIC lands near its published 30 FPS on this
+    /// class of workload.
+    pub fn new(kind: PlatformKind) -> Self {
+        let (peak_gmacs, utilization, power_w) = match kind {
+            PlatformKind::EdgeCpu => (6.0, 0.016, 4.0),
+            PlatformKind::Cpu => (1_150.0, 0.019, 225.0),
+            PlatformKind::EdgeGpu => (665.0, 0.028, 10.0),
+            PlatformKind::Gpu => (6_700.0, 0.016, 250.0),
+            PlatformKind::CisGep => (24.0, 0.90, 0.130),
+        };
+        let link = match kind {
+            // the ASIC integrates its CMOS sensor, everything else sits at
+            // the end of a lens-camera module link
+            PlatformKind::CisGep => CommLink::attached_sensor(),
+            _ => CommLink::lens_module(),
+        };
+        Platform {
+            kind,
+            peak_gmacs,
+            utilization,
+            power_w,
+            link,
+        }
+    }
+
+    /// Sustained MAC rate in MAC/s.
+    pub fn effective_macs_per_second(&self) -> f64 {
+        self.peak_gmacs * 1e9 * self.utilization
+    }
+
+    /// Per-frame compute time in seconds for a workload (per-frame stages
+    /// plus the amortised periodic stage).
+    pub fn frame_compute_seconds(&self, workload: &PipelineWorkload) -> f64 {
+        let macs_per_frame = workload.window_macs() as f64 / workload.window as f64;
+        macs_per_frame / self.effective_macs_per_second()
+    }
+
+    /// Throughput on a workload, frames per second, with compute and
+    /// communication pipelined (the slower stage bounds throughput).
+    pub fn fps(&self, workload: &PipelineWorkload) -> f64 {
+        let compute = self.frame_compute_seconds(workload);
+        let comm = self.link.transfer_us(workload.offchip_bytes_per_frame) * 1e-6;
+        1.0 / compute.max(comm)
+    }
+
+    /// Energy per frame in joules (compute power over the busy time plus
+    /// link energy).
+    pub fn energy_per_frame_j(&self, workload: &PipelineWorkload) -> f64 {
+        self.power_w * self.frame_compute_seconds(workload)
+            + self.link.transfer_energy_j(workload.offchip_bytes_per_frame)
+    }
+
+    /// Frames per joule.
+    pub fn frames_per_joule(&self, workload: &PipelineWorkload) -> f64 {
+        1.0 / self.energy_per_frame_j(workload)
+    }
+
+    /// Per-frame latency breakdown in milliseconds: `(compute, comm)`.
+    /// The paper's system-level motivation is visible here — on fast
+    /// platforms the camera link is a substantial share of frame time.
+    pub fn latency_breakdown_ms(&self, workload: &PipelineWorkload) -> (f64, f64) {
+        (
+            self.frame_compute_seconds(workload) * 1e3,
+            self.link.transfer_us(workload.offchip_bytes_per_frame) * 1e-3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyecod_accel::workload::EyeCodWorkload;
+
+    fn lens_workload() -> PipelineWorkload {
+        EyeCodWorkload::lens_based().into_workload()
+    }
+
+    #[test]
+    fn ordering_matches_figure_14() {
+        // Fig. 14 throughput ordering: GPU > CPU ≈ CIS-GEP ≈ EdgeGPU ≫ EdgeCPU
+        let w = lens_workload();
+        let fps: Vec<f64> = PlatformKind::ALL
+            .iter()
+            .map(|&k| Platform::new(k).fps(&w))
+            .collect();
+        let (edge_cpu, cpu, edge_gpu, gpu, cis) = (fps[0], fps[1], fps[2], fps[3], fps[4]);
+        assert!(gpu > cpu && gpu > edge_gpu && gpu > cis);
+        assert!(cpu > edge_cpu * 50.0);
+        assert!(edge_gpu > edge_cpu * 50.0);
+    }
+
+    #[test]
+    fn cis_gep_lands_near_its_published_30_fps() {
+        // the real CIS-GEP chip reports ~30 FPS on its gaze pipeline
+        let fps = Platform::new(PlatformKind::CisGep).fps(&lens_workload());
+        assert!(
+            (15.0..120.0).contains(&fps),
+            "CIS-GEP model fps {fps:.1} strayed from its published class"
+        );
+    }
+
+    #[test]
+    fn asic_wins_energy_efficiency_among_baselines() {
+        // Fig. 14 energy ordering: CIS-GEP is the most efficient baseline
+        let w = lens_workload();
+        let cis = Platform::new(PlatformKind::CisGep).frames_per_joule(&w);
+        for k in [PlatformKind::EdgeCpu, PlatformKind::Cpu, PlatformKind::EdgeGpu, PlatformKind::Gpu] {
+            let other = Platform::new(k).frames_per_joule(&w);
+            assert!(
+                cis > other,
+                "CIS-GEP ({cis:.1} f/J) must beat {} ({other:.1} f/J)",
+                k.label()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_breakdown_sums_to_serial_latency() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        for k in PlatformKind::ALL {
+            let p = Platform::new(k);
+            let (compute, comm) = p.latency_breakdown_ms(&w);
+            assert!(compute > 0.0 && comm > 0.0);
+            // pipelined fps is bounded by the slower of the two stages
+            let fps = p.fps(&w);
+            let bound = 1e3 / compute.max(comm);
+            assert!((fps - bound).abs() / bound < 1e-9);
+        }
+    }
+
+    #[test]
+    fn comm_share_grows_with_platform_speed() {
+        // the faster the compute, the more the camera link matters — the
+        // system-level argument for attaching the processor to the sensor
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let share = |k: PlatformKind| {
+            let (c, m) = Platform::new(k).latency_breakdown_ms(&w);
+            m / (c + m)
+        };
+        assert!(share(PlatformKind::Gpu) > share(PlatformKind::Cpu));
+        assert!(share(PlatformKind::Cpu) > share(PlatformKind::EdgeCpu));
+    }
+
+    #[test]
+    fn gpu_is_compute_bound_edge_is_not_comm_bound() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        let gpu = Platform::new(PlatformKind::Gpu);
+        let comm = gpu.link.transfer_us(w.offchip_bytes_per_frame) * 1e-6;
+        let compute = gpu.frame_compute_seconds(&w);
+        // even the fastest baseline pays a non-trivial comm cost relative
+        // to compute — the paper's system-level bottleneck argument
+        assert!(comm > 0.2 * compute, "comm {comm} vs compute {compute}");
+    }
+}

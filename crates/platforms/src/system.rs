@@ -1,0 +1,153 @@
+//! End-to-end system comparison (paper Fig. 14).
+
+use crate::comm::CommLink;
+use crate::platform::{Platform, PlatformKind};
+use eyecod_accel::config::AcceleratorConfig;
+use eyecod_accel::schedule::WindowSimulator;
+use eyecod_accel::workload::{EyeCodWorkload, PipelineWorkload};
+use serde::{Deserialize, Serialize};
+
+/// One row of the overall comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformResult {
+    /// Platform label ("EdgeCPU", …, "EyeCoD").
+    pub name: String,
+    /// End-to-end throughput in frames per second.
+    pub fps: f64,
+    /// Frames per joule.
+    pub frames_per_joule: f64,
+    /// Energy efficiency normalised to the best entry (1.0 = best).
+    pub norm_energy_eff: f64,
+}
+
+/// Runs the full Fig. 14 comparison. Every platform executes the same
+/// EyeCoD algorithm pipeline at batch 1 (the paper's protocol); the
+/// baselines run it on their roofline models behind a camera-module link,
+/// while EyeCoD runs it on the cycle-level accelerator simulator directly
+/// behind the sensor.
+pub fn compare_all() -> Vec<PlatformResult> {
+    let workload = EyeCodWorkload::paper_default().into_workload();
+    compare_with(&workload, AcceleratorConfig::paper_default())
+}
+
+/// The comparison with an explicit workload/configuration (for ablations).
+pub fn compare_with(
+    eyecod_workload: &PipelineWorkload,
+    config: AcceleratorConfig,
+) -> Vec<PlatformResult> {
+    let mut rows: Vec<PlatformResult> = PlatformKind::ALL
+        .iter()
+        .map(|&k| {
+            let p = Platform::new(k);
+            PlatformResult {
+                name: p.kind.label().to_owned(),
+                fps: p.fps(eyecod_workload),
+                frames_per_joule: p.frames_per_joule(eyecod_workload),
+                norm_energy_eff: 0.0,
+            }
+        })
+        .collect();
+
+    // EyeCoD: cycle-level simulation + attached link, pipelined.
+    let sim = WindowSimulator::new(config);
+    let report = sim.run_window(eyecod_workload);
+    let link = CommLink::attached_sensor();
+    let comm_s = link.transfer_us(eyecod_workload.offchip_bytes_per_frame) * 1e-6;
+    let compute_s = 1.0 / report.fps;
+    let fps = 1.0 / compute_s.max(comm_s);
+    let energy_per_frame = report.energy_per_frame_mj * 1e-3
+        + link.transfer_energy_j(eyecod_workload.offchip_bytes_per_frame);
+    rows.push(PlatformResult {
+        name: "EyeCoD".to_owned(),
+        fps,
+        frames_per_joule: 1.0 / energy_per_frame,
+        norm_energy_eff: 0.0,
+    });
+
+    let best = rows
+        .iter()
+        .map(|r| r.frames_per_joule)
+        .fold(f64::MIN, f64::max);
+    for r in &mut rows {
+        r.norm_energy_eff = r.frames_per_joule / best;
+    }
+    rows
+}
+
+/// Convenience lookup of a row by name.
+///
+/// # Panics
+///
+/// Panics if the name is absent.
+pub fn row<'a>(rows: &'a [PlatformResult], name: &str) -> &'a PlatformResult {
+    rows.iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("no row named {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eyecod_wins_throughput_and_energy() {
+        let rows = compare_all();
+        let eyecod = row(&rows, "EyeCoD");
+        for r in &rows {
+            if r.name != "EyeCoD" {
+                assert!(
+                    eyecod.fps > r.fps,
+                    "EyeCoD {:.0} fps must beat {} {:.0} fps",
+                    eyecod.fps,
+                    r.name,
+                    r.fps
+                );
+                assert!(eyecod.frames_per_joule > r.frames_per_joule);
+            }
+        }
+        assert!((eyecod.norm_energy_eff - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_factors_have_the_papers_shape() {
+        // Fig. 14: EyeCoD/GPU ≈ 2.6x is the smallest gap, EyeCoD/EdgeCPU is
+        // three orders of magnitude, CPU/EdgeGPU/CIS-GEP sit in the tens.
+        let rows = compare_all();
+        let e = row(&rows, "EyeCoD").fps;
+        let gpu = e / row(&rows, "GPU").fps;
+        let cpu = e / row(&rows, "CPU").fps;
+        let edge_gpu = e / row(&rows, "EdgeGPU").fps;
+        let edge_cpu = e / row(&rows, "EdgeCPU").fps;
+        let cis = e / row(&rows, "CIS-GEP").fps;
+        assert!((1.5..8.0).contains(&gpu), "GPU speedup {gpu:.2}");
+        assert!((5.0..40.0).contains(&cpu), "CPU speedup {cpu:.2}");
+        assert!((5.0..45.0).contains(&edge_gpu), "EdgeGPU speedup {edge_gpu:.2}");
+        assert!((5.0..45.0).contains(&cis), "CIS-GEP speedup {cis:.2}");
+        assert!(edge_cpu > 500.0, "EdgeCPU speedup {edge_cpu:.0}");
+        // and the orderings among them
+        assert!(gpu < cpu && gpu < edge_gpu && gpu < cis);
+        assert!(edge_cpu > 20.0 * cpu);
+    }
+
+    #[test]
+    fn cis_gep_is_the_closest_baseline_on_energy() {
+        // Fig. 14: 8.81x over the most competitive baseline, CIS-GEP.
+        let rows = compare_all();
+        let e = row(&rows, "EyeCoD").frames_per_joule;
+        let cis = row(&rows, "CIS-GEP").frames_per_joule;
+        let ratio = e / cis;
+        assert!(
+            (2.0..30.0).contains(&ratio),
+            "EyeCoD/CIS-GEP energy ratio {ratio:.2}"
+        );
+        for name in ["EdgeCPU", "CPU", "EdgeGPU", "GPU"] {
+            assert!(cis > row(&rows, name).frames_per_joule);
+        }
+    }
+
+    #[test]
+    fn eyecod_meets_realtime_target() {
+        let rows = compare_all();
+        assert!(row(&rows, "EyeCoD").fps > 240.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Weight initialisation schemes.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Kaiming (He) normal initialisation for ReLU-family networks:
+/// `N(0, sqrt(2 / fan_in))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming(shape: Shape, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be non-zero");
+    let std = (2.0 / fan_in as f32).sqrt();
+    gaussian(shape, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform initialisation:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier(shape: Shape, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be non-zero");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::from_fn(shape, |_, _, _, _| rng.gen_range(-bound..bound))
+}
+
+/// Gaussian initialisation via Box–Muller (avoids depending on
+/// `rand_distr`).
+pub fn gaussian(shape: Shape, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(shape, |_, _, _, _| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        mean + std * z
+    })
+}
+
+/// Uniform initialisation over `[lo, hi)`.
+pub fn uniform(shape: Shape, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(lo < hi, "uniform range must be non-empty");
+    Tensor::from_fn(shape, |_, _, _, _| rng.gen_range(lo..hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_std_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = kaiming(Shape::new(64, 32, 3, 3), 32 * 9, &mut rng);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.shape().len() as f32;
+        let expected = 2.0 / (32.0 * 9.0);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - expected).abs() / expected < 0.15, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier(Shape::vector(100, 50), 50, 100, &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(t.max_abs() <= bound);
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = uniform(Shape::vector(1, 1000), -0.5, 0.25, &mut rng);
+        assert!(t.min() >= -0.5 && t.max() < 0.25);
+    }
+
+    #[test]
+    fn gaussian_is_reproducible_per_seed() {
+        let a = gaussian(Shape::vector(1, 16), 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        let b = gaussian(Shape::vector(1, 16), 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

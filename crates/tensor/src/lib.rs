@@ -1,0 +1,37 @@
+//! # eyecod-tensor
+//!
+//! A small, dependency-light neural-network substrate used throughout the
+//! EyeCoD reproduction: NCHW [`Tensor`]s, the convolution / linear / pooling
+//! operators needed by the paper's networks (RITNet, FBNet-C100, ResNet18,
+//! MobileNet, U-Net), explicit backward passes so proxy networks can be
+//! trained from scratch, simple optimisers, and symmetric int8 quantisation
+//! matching the paper's 8-bit deployments.
+//!
+//! The crate favours correctness and clarity over raw speed; every operator
+//! has a naive reference implementation that the optimised paths are tested
+//! against.
+//!
+//! # Example
+//!
+//! ```
+//! use eyecod_tensor::{Tensor, Shape};
+//! use eyecod_tensor::ops::conv2d;
+//!
+//! let input = Tensor::ones(Shape::new(1, 3, 8, 8));
+//! let weight = Tensor::ones(Shape::new(4, 3, 3, 3));
+//! let out = conv2d(&input, &weight, None, 1, 1, 1);
+//! assert_eq!(out.shape().dims(), (1, 4, 8, 8));
+//! ```
+
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod ops;
+pub mod optim;
+pub mod quant;
+pub mod shape;
+pub mod tensor;
+
+pub use layer::{Layer, Param};
+pub use shape::Shape;
+pub use tensor::Tensor;

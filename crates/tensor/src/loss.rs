@@ -1,0 +1,239 @@
+//! Loss functions with analytic gradients.
+//!
+//! The EyeCoD training recipes use a per-pixel cross-entropy family for eye
+//! segmentation (the paper adds dice/boundary terms on top of standard CE)
+//! and an arc-cosine angular loss for gaze estimation; this module provides
+//! both plus plain MSE.
+
+use crate::tensor::Tensor;
+
+/// Per-pixel softmax cross-entropy for dense segmentation.
+///
+/// * `logits`: `(N, C, H, W)` raw class scores.
+/// * `targets`: one class index per pixel, length `N * H * W`, row-major
+///   `(n, h, w)`.
+///
+/// Returns `(mean_loss, grad_logits)`.
+///
+/// # Panics
+///
+/// Panics if `targets` has the wrong length or contains an out-of-range
+/// class.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    let s = logits.shape();
+    let pixels = s.n * s.spatial_len();
+    assert_eq!(targets.len(), pixels, "expected {pixels} targets, got {}", targets.len());
+    let mut grad = Tensor::zeros(s);
+    let mut loss = 0.0f64;
+    let inv = 1.0 / pixels as f32;
+    for n in 0..s.n {
+        for h in 0..s.h {
+            for w in 0..s.w {
+                let t = targets[(n * s.h + h) * s.w + w];
+                assert!(t < s.c, "target class {t} out of range (C = {})", s.c);
+                // log-sum-exp with max subtraction for stability
+                let mut maxv = f32::NEG_INFINITY;
+                for c in 0..s.c {
+                    maxv = maxv.max(logits.at(n, c, h, w));
+                }
+                let mut sum = 0.0f32;
+                for c in 0..s.c {
+                    sum += (logits.at(n, c, h, w) - maxv).exp();
+                }
+                let log_z = maxv + sum.ln();
+                loss += (log_z - logits.at(n, t, h, w)) as f64;
+                for c in 0..s.c {
+                    let p = (logits.at(n, c, h, w) - log_z).exp();
+                    let indicator = if c == t { 1.0 } else { 0.0 };
+                    *grad.at_mut(n, c, h, w) = (p - indicator) * inv;
+                }
+            }
+        }
+    }
+    ((loss as f32) * inv, grad)
+}
+
+/// Mean squared error. Returns `(loss, grad_pred)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let diff = pred.sub(target);
+    let n = pred.shape().len() as f32;
+    let loss = diff.mul(&diff).sum() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Angular (arc-cosine family) gaze loss between predicted and target 3-D
+/// gaze vectors.
+///
+/// The loss per sample is `1 - cos(p̂, t̂)` where hats denote normalisation;
+/// its gradient with respect to the *unnormalised* prediction is analytic and
+/// well-conditioned, unlike differentiating `acos` directly. `pred` and
+/// `target` are `(N, 3, 1, 1)`.
+///
+/// Returns `(mean_loss, grad_pred)`.
+///
+/// # Panics
+///
+/// Panics if either tensor is not `(N, 3, 1, 1)` or a vector has zero norm.
+pub fn angular_gaze_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    let s = pred.shape();
+    assert_eq!((s.c, s.h, s.w), (3, 1, 1), "pred must be (N, 3, 1, 1)");
+    assert_eq!(target.shape(), s, "target shape mismatch");
+    let mut grad = Tensor::zeros(s);
+    let mut loss = 0.0f32;
+    for n in 0..s.n {
+        let p = [pred.at(n, 0, 0, 0), pred.at(n, 1, 0, 0), pred.at(n, 2, 0, 0)];
+        let t = [
+            target.at(n, 0, 0, 0),
+            target.at(n, 1, 0, 0),
+            target.at(n, 2, 0, 0),
+        ];
+        let pn = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        let tn = (t[0] * t[0] + t[1] * t[1] + t[2] * t[2]).sqrt();
+        assert!(pn > 1e-12 && tn > 1e-12, "zero-norm gaze vector");
+        let ph = [p[0] / pn, p[1] / pn, p[2] / pn];
+        let th = [t[0] / tn, t[1] / tn, t[2] / tn];
+        let cos = ph[0] * th[0] + ph[1] * th[1] + ph[2] * th[2];
+        loss += 1.0 - cos;
+        // d(1 - cos)/dp = -(t̂ - p̂ (p̂·t̂)) / |p|
+        for i in 0..3 {
+            *grad.at_mut(n, i, 0, 0) = -(th[i] - ph[i] * cos) / pn / s.n as f32;
+        }
+    }
+    (loss / s.n as f32, grad)
+}
+
+/// Mean angular error in **degrees** between predicted and target gaze
+/// vectors — the gaze-accuracy metric reported throughout the paper
+/// (Tables 2, 4, 5).
+///
+/// # Panics
+///
+/// Panics on shape mismatch or zero-norm vectors.
+pub fn angular_error_degrees(pred: &Tensor, target: &Tensor) -> f32 {
+    let s = pred.shape();
+    assert_eq!((s.c, s.h, s.w), (3, 1, 1), "pred must be (N, 3, 1, 1)");
+    assert_eq!(target.shape(), s, "target shape mismatch");
+    let mut total = 0.0f64;
+    for n in 0..s.n {
+        let p = [pred.at(n, 0, 0, 0), pred.at(n, 1, 0, 0), pred.at(n, 2, 0, 0)];
+        let t = [
+            target.at(n, 0, 0, 0),
+            target.at(n, 1, 0, 0),
+            target.at(n, 2, 0, 0),
+        ];
+        let pn = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        let tn = (t[0] * t[0] + t[1] * t[1] + t[2] * t[2]).sqrt();
+        assert!(pn > 1e-12 && tn > 1e-12, "zero-norm gaze vector");
+        let cos = ((p[0] * t[0] + p[1] * t[1] + p[2] * t[2]) / (pn * tn)).clamp(-1.0, 1.0);
+        total += (cos as f64).acos().to_degrees();
+    }
+    (total / s.n as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        // huge logit on the right class
+        let mut logits = Tensor::zeros(Shape::new(1, 3, 1, 2));
+        *logits.at_mut(0, 1, 0, 0) = 50.0;
+        *logits.at_mut(0, 2, 0, 1) = 50.0;
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1, 2]);
+        assert!(loss < 1e-4);
+        assert!(grad.max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(Shape::new(1, 4, 1, 1));
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+        // gradient pushes towards the target class
+        assert!(grad.at(0, 0, 0, 0) < 0.0);
+        assert!(grad.at(0, 1, 0, 0) > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0.2, -0.4, 1.0]);
+        let targets = [2usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, &targets).0
+                - softmax_cross_entropy(&lm, &targets).0)
+                / (2.0 * eps);
+            assert!((num - grad.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_class() {
+        softmax_cross_entropy(&Tensor::zeros(Shape::new(1, 2, 1, 1)), &[5]);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_vec(Shape::vector(1, 2), vec![1., 3.]);
+        let t = Tensor::from_vec(Shape::vector(1, 2), vec![0., 1.]);
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn angular_loss_zero_for_parallel_vectors() {
+        let p = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0., 0., 2.]);
+        let t = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0., 0., 1.]);
+        let (loss, grad) = angular_gaze_loss(&p, &t);
+        assert!(loss < 1e-6);
+        assert!(grad.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_loss_grad_matches_finite_difference() {
+        let p = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0.3, -0.5, 0.9]);
+        let t = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0.1, 0.2, 1.0]);
+        let (_, grad) = angular_gaze_loss(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[i] += eps;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[i] -= eps;
+            let num =
+                (angular_gaze_loss(&pp, &t).0 - angular_gaze_loss(&pm, &t).0) / (2.0 * eps);
+            assert!((num - grad.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn angular_error_degrees_orthogonal_is_90() {
+        let p = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![1., 0., 0.]);
+        let t = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0., 1., 0.]);
+        assert!((angular_error_degrees(&p, &t) - 90.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn angular_error_is_scale_invariant() {
+        let p = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0.2, 0.1, 0.95]);
+        let t = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0.0, 0.0, 1.0]);
+        let e1 = angular_error_degrees(&p, &t);
+        let e2 = angular_error_degrees(&p.scale(7.5), &t);
+        assert!((e1 - e2).abs() < 1e-4);
+    }
+}

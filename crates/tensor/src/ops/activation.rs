@@ -1,0 +1,118 @@
+//! Element-wise activation functions.
+
+use crate::tensor::Tensor;
+
+/// Rectified linear unit: `max(x, 0)`.
+pub fn relu(input: &Tensor) -> Tensor {
+    input.map(|x| x.max(0.0))
+}
+
+/// Backward pass of [`relu`]. The gradient flows only where the forward
+/// input was positive.
+pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Tensor {
+    input.zip(grad_out, |x, g| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Leaky ReLU with negative slope `alpha` (RITNet uses leaky activations).
+pub fn leaky_relu(input: &Tensor, alpha: f32) -> Tensor {
+    input.map(|x| if x > 0.0 { x } else { alpha * x })
+}
+
+/// Backward pass of [`leaky_relu`].
+pub fn leaky_relu_backward(input: &Tensor, grad_out: &Tensor, alpha: f32) -> Tensor {
+    input.zip(grad_out, |x, g| if x > 0.0 { g } else { alpha * g })
+}
+
+/// Channel-wise softmax: at every spatial position the channel vector is
+/// normalised to a probability distribution (numerically stabilised).
+/// This is what turns segmentation logits into per-pixel class
+/// probabilities.
+pub fn softmax_channels(input: &Tensor) -> Tensor {
+    let s = input.shape();
+    let mut out = Tensor::zeros(s);
+    for n in 0..s.n {
+        for h in 0..s.h {
+            for w in 0..s.w {
+                let mut maxv = f32::NEG_INFINITY;
+                for c in 0..s.c {
+                    maxv = maxv.max(input.at(n, c, h, w));
+                }
+                let mut sum = 0.0f32;
+                for c in 0..s.c {
+                    sum += (input.at(n, c, h, w) - maxv).exp();
+                }
+                for c in 0..s.c {
+                    *out.at_mut(n, c, h, w) = (input.at(n, c, h, w) - maxv).exp() / sum;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`.
+pub fn sigmoid(input: &Tensor) -> Tensor {
+    input.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Backward pass of [`sigmoid`]; takes the forward *output* (not input).
+pub fn sigmoid_backward(output: &Tensor, grad_out: &Tensor) -> Tensor {
+    output.zip(grad_out, |y, g| g * y * (1.0 - y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(Shape::vector(1, 4), vec![-1., 0., 0.5, 2.]);
+        assert_eq!(relu(&x).as_slice(), &[0., 0., 0.5, 2.]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = Tensor::from_vec(Shape::vector(1, 3), vec![-1., 0., 2.]);
+        let g = Tensor::ones(Shape::vector(1, 3));
+        assert_eq!(relu_backward(&x, &g).as_slice(), &[0., 0., 1.]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let x = Tensor::from_vec(Shape::vector(1, 2), vec![-2., 4.]);
+        assert_eq!(leaky_relu(&x, 0.1).as_slice(), &[-0.2, 4.0]);
+        let g = Tensor::ones(Shape::vector(1, 2));
+        assert_eq!(leaky_relu_backward(&x, &g, 0.1).as_slice(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution_per_pixel() {
+        let x = Tensor::from_vec(
+            crate::shape::Shape::new(1, 3, 1, 2),
+            vec![1., -50., 2., 0., 3., 50.],
+        );
+        let y = softmax_channels(&x);
+        for w in 0..2 {
+            let sum: f32 = (0..3).map(|c| y.at(0, c, 0, w)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // the +50 logit dominates its pixel
+        assert!(y.at(0, 2, 0, 1) > 0.999);
+        // invariant to a constant shift
+        let y2 = softmax_channels(&x.map(|v| v + 7.0));
+        assert!(y.sub(&y2).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_range_and_gradient() {
+        let x = Tensor::from_vec(Shape::vector(1, 3), vec![-10., 0., 10.]);
+        let y = sigmoid(&x);
+        assert!(y.at(0, 0, 0, 0) < 1e-4);
+        assert!((y.at(0, 1, 0, 0) - 0.5).abs() < 1e-6);
+        assert!(y.at(0, 2, 0, 0) > 1.0 - 1e-4);
+        let g = Tensor::ones(Shape::vector(1, 3));
+        let gb = sigmoid_backward(&y, &g);
+        assert!((gb.at(0, 1, 0, 0) - 0.25).abs() < 1e-6);
+    }
+}

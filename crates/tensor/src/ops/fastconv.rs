@@ -1,0 +1,163 @@
+//! im2col + GEMM convolution: a faster path for the generic/point-wise
+//! convolutions that dominate training time.
+//!
+//! The input patches are unrolled into a matrix (`im2col`) and the
+//! convolution becomes one dense matrix product with the reshaped weights —
+//! the standard lowering CPU inference stacks use. Always produces results
+//! identical (up to float summation order) to [`super::conv2d`], which the
+//! tests enforce.
+
+use crate::tensor::Tensor;
+
+/// Unrolls convolution patches: returns a row-major matrix of shape
+/// `(oh * ow, c_in_g * k * k)` for batch item `n` and channel group `g`.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    input: &Tensor,
+    n: usize,
+    g: usize,
+    cin_g: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    let s = input.shape();
+    let cols = cin_g * k * k;
+    let mut out = vec![0.0f32; oh * ow * cols];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = (oy * ow + ox) * cols;
+            let mut col = 0;
+            for icg in 0..cin_g {
+                let ic = g * cin_g + icg;
+                for kh in 0..k {
+                    let iy = (oy * stride + kh) as isize - pad as isize;
+                    for kw in 0..k {
+                        let ix = (ox * stride + kw) as isize - pad as isize;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < s.h && (ix as usize) < s.w {
+                            out[row + col] = input.at(n, ic, iy as usize, ix as usize);
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution via im2col + GEMM. Same contract as [`super::conv2d`]
+/// (square kernels, symmetric zero padding, groups); typically faster for
+/// generic and point-wise layers with several input channels.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`super::conv2d`].
+pub fn conv2d_gemm(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> Tensor {
+    let ishape = input.shape();
+    let wshape = weight.shape();
+    assert!(groups > 0, "groups must be non-zero");
+    assert!(
+        ishape.c % groups == 0 && wshape.n % groups == 0,
+        "channels not divisible by groups {groups}"
+    );
+    let cin_g = ishape.c / groups;
+    let cout_g = wshape.n / groups;
+    assert_eq!(wshape.c, cin_g, "weight/group mismatch");
+    assert_eq!(wshape.h, wshape.w, "only square kernels are supported");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), wshape.n, "bias length must equal output channels");
+    }
+    let k = wshape.h;
+    let oshape = ishape.conv_output(wshape.n, k, pad, stride);
+    let (oh, ow) = (oshape.h, oshape.w);
+    let cols = cin_g * k * k;
+    let w_data = weight.as_slice();
+
+    let mut out = Tensor::zeros(oshape);
+    let out_data = out.as_mut_slice();
+    for n in 0..ishape.n {
+        for g in 0..groups {
+            let patches = im2col(input, n, g, cin_g, k, stride, pad, oh, ow);
+            // out[oc, p] = Σ_c w[oc, c] * patches[p, c]
+            for ocg in 0..cout_g {
+                let oc = g * cout_g + ocg;
+                let wrow = &w_data[oc * cols..(oc + 1) * cols];
+                let b = bias.map_or(0.0, |b| b[oc]);
+                let out_base = (n * oshape.c + oc) * oh * ow;
+                for p in 0..oh * ow {
+                    let prow = &patches[p * cols..(p + 1) * cols];
+                    let mut acc = b;
+                    for (w, x) in wrow.iter().zip(prow) {
+                        acc += w * x;
+                    }
+                    out_data[out_base + p] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{conv2d, conv2d_naive};
+    use super::*;
+    use crate::shape::Shape;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_tensor(shape: Shape, rng: &mut StdRng) -> Tensor {
+        Tensor::from_fn(shape, |_, _, _, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn gemm_matches_direct_conv_across_geometry() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(stride, pad, k, groups) in &[
+            (1usize, 1usize, 3usize, 1usize),
+            (2, 1, 3, 1),
+            (1, 0, 1, 1),
+            (2, 2, 5, 1),
+            (1, 1, 3, 2),
+            (1, 1, 3, 6), // depth-wise
+        ] {
+            let x = rand_tensor(Shape::new(2, 6, 9, 7), &mut rng);
+            let w = rand_tensor(Shape::new(6, 6 / groups, k, k), &mut rng);
+            let b: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let gemm = conv2d_gemm(&x, &w, Some(&b), stride, pad, groups);
+            let direct = conv2d(&x, &w, Some(&b), stride, pad, groups);
+            assert!(
+                gemm.sub(&direct).max_abs() < 1e-4,
+                "mismatch at stride={stride} pad={pad} k={k} groups={groups}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_on_asymmetric_input() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = rand_tensor(Shape::new(1, 3, 5, 11), &mut rng);
+        let w = rand_tensor(Shape::new(4, 3, 3, 3), &mut rng);
+        let gemm = conv2d_gemm(&x, &w, None, 1, 1, 1);
+        let slow = conv2d_naive(&x, &w, None, 1, 1, 1);
+        assert!(gemm.sub(&slow).max_abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn gemm_rejects_bad_groups() {
+        let x = Tensor::zeros(Shape::new(1, 3, 4, 4));
+        let w = Tensor::zeros(Shape::new(4, 1, 3, 3));
+        conv2d_gemm(&x, &w, None, 1, 1, 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Fully connected layers and matrix multiplication.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Fully connected layer: `y = x · Wᵀ + b`.
+///
+/// * `input`: `(N, C_in, 1, 1)` (or any shape whose item length is `C_in`)
+/// * `weight`: `(C_out, C_in, 1, 1)`
+/// * `bias`: optional, length `C_out`
+///
+/// Returns `(N, C_out, 1, 1)`.
+///
+/// # Panics
+///
+/// Panics if the flattened input item length does not match `C_in`.
+pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
+    let n = input.shape().n;
+    let cin = input.shape().item_len();
+    let wshape = weight.shape();
+    let cout = wshape.n;
+    assert_eq!(
+        wshape.item_len(),
+        cin,
+        "linear weight expects {} inputs, got {cin}",
+        wshape.item_len()
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), cout, "bias length must equal output features");
+    }
+    let x = input.as_slice();
+    let w = weight.as_slice();
+    let mut out = Tensor::zeros(Shape::vector(n, cout));
+    let o = out.as_mut_slice();
+    for i in 0..n {
+        let xrow = &x[i * cin..(i + 1) * cin];
+        for j in 0..cout {
+            let wrow = &w[j * cin..(j + 1) * cin];
+            let mut acc = bias.map_or(0.0, |b| b[j]);
+            for (a, b) in xrow.iter().zip(wrow) {
+                acc += a * b;
+            }
+            o[i * cout + j] = acc;
+        }
+    }
+    out
+}
+
+/// Gradients produced by [`linear_backward`].
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient with respect to the (flattened) input.
+    pub input: Tensor,
+    /// Gradient with respect to the weights.
+    pub weight: Tensor,
+    /// Gradient with respect to the bias.
+    pub bias: Vec<f32>,
+}
+
+/// Backward pass of [`linear`].
+///
+/// `grad_out` must be `(N, C_out, 1, 1)`. The returned input gradient has the
+/// original `input` shape.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn linear_backward(input: &Tensor, weight: &Tensor, grad_out: &Tensor) -> LinearGrads {
+    let n = input.shape().n;
+    let cin = input.shape().item_len();
+    let cout = weight.shape().n;
+    assert_eq!(grad_out.shape().n, n, "grad_out batch mismatch");
+    assert_eq!(grad_out.shape().item_len(), cout, "grad_out feature mismatch");
+
+    let x = input.as_slice();
+    let w = weight.as_slice();
+    let go = grad_out.as_slice();
+
+    let mut gin = Tensor::zeros(input.shape());
+    let mut gw = Tensor::zeros(weight.shape());
+    let mut gb = vec![0.0f32; cout];
+    let gi = gin.as_mut_slice();
+    let gwd = gw.as_mut_slice();
+
+    for i in 0..n {
+        let xrow = &x[i * cin..(i + 1) * cin];
+        for j in 0..cout {
+            let g = go[i * cout + j];
+            gb[j] += g;
+            let wrow = &w[j * cin..(j + 1) * cin];
+            let girow = &mut gi[i * cin..(i + 1) * cin];
+            for k in 0..cin {
+                girow[k] += g * wrow[k];
+                gwd[j * cin + k] += g * xrow[k];
+            }
+        }
+    }
+    LinearGrads {
+        input: gin,
+        weight: gw,
+        bias: gb,
+    }
+}
+
+/// Dense matrix multiplication of `(m, k)` by `(k, n)` tensors stored as
+/// `(m, k, 1, 1)` and `(k, n, 1, 1)`, returning `(m, n, 1, 1)`.
+///
+/// Used by the paper's matrix-matrix-multiplication layers (treated on the
+/// accelerator as point-wise convolutions with batch > 1).
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape().n, a.shape().item_len());
+    let (k2, n) = (b.shape().n, b.shape().item_len());
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    let mut out = Tensor::zeros(Shape::vector(m, n));
+    let od = out.as_mut_slice();
+    for i in 0..m {
+        for l in 0..k {
+            let av = ad[i * k + l];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[l * n..(l + 1) * n];
+            let orow = &mut od[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_computes_affine_map() {
+        let x = Tensor::from_vec(Shape::vector(2, 3), vec![1., 2., 3., 4., 5., 6.]);
+        let w = Tensor::from_vec(Shape::vector(2, 3), vec![1., 0., 0., 0., 1., 1.]);
+        let y = linear(&x, &w, Some(&[10.0, 0.0]));
+        assert_eq!(y.as_slice(), &[11., 5., 14., 11.]);
+    }
+
+    #[test]
+    fn linear_flattens_spatial_input() {
+        let x = Tensor::ones(Shape::new(1, 2, 2, 2));
+        let w = Tensor::ones(Shape::vector(1, 8));
+        assert_eq!(linear(&x, &w, None).as_slice(), &[8.0]);
+    }
+
+    #[test]
+    fn linear_backward_finite_difference() {
+        let x = Tensor::from_vec(Shape::vector(2, 3), vec![0.5, -1., 2., 1., 0., -0.5]);
+        let w = Tensor::from_vec(Shape::vector(2, 3), vec![0.1, 0.2, -0.3, 0.4, -0.5, 0.6]);
+        let go = Tensor::from_vec(Shape::vector(2, 2), vec![1., -1., 0.5, 2.]);
+        let grads = linear_backward(&x, &w, &go);
+        let loss = |x: &Tensor, w: &Tensor| linear(x, w, None).mul(&go).sum();
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((num - grads.input.as_slice()[idx]).abs() < 1e-3);
+
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - grads.weight.as_slice()[idx]).abs() < 1e-3);
+        }
+        assert_eq!(grads.bias, vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(Shape::vector(2, 2), vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(Shape::vector(2, 2), vec![5., 6., 7., 8.]);
+        assert_eq!(matmul(&a, &b).as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(Shape::vector(2, 3));
+        let b = Tensor::zeros(Shape::vector(2, 2));
+        matmul(&a, &b);
+    }
+}

@@ -1,0 +1,195 @@
+//! Batch normalisation.
+
+use crate::tensor::Tensor;
+
+/// Per-channel statistics cached by the training-mode forward pass of
+/// [`batch_norm`], required by [`batch_norm_backward`].
+#[derive(Debug, Clone)]
+pub struct BatchNormCache {
+    /// Normalised activations `x̂` (before scale/shift).
+    pub normalized: Tensor,
+    /// Per-channel batch standard deviation (with epsilon folded in).
+    pub std: Vec<f32>,
+}
+
+/// Batch normalisation over the channel dimension.
+///
+/// In training mode (`running == None` is not allowed; pass the running
+/// buffers and set `train = true`) batch statistics are used and the running
+/// mean/variance are updated with `momentum`. In inference mode the running
+/// statistics are used directly.
+///
+/// Returns the output plus, in training mode, a cache for the backward pass.
+///
+/// # Panics
+///
+/// Panics if the parameter/stat vectors do not have one entry per channel.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_norm(
+    input: &Tensor,
+    gamma: &[f32],
+    beta: &[f32],
+    running_mean: &mut [f32],
+    running_var: &mut [f32],
+    eps: f32,
+    momentum: f32,
+    train: bool,
+) -> (Tensor, Option<BatchNormCache>) {
+    let s = input.shape();
+    let c = s.c;
+    assert_eq!(gamma.len(), c, "gamma must have one entry per channel");
+    assert_eq!(beta.len(), c, "beta must have one entry per channel");
+    assert_eq!(running_mean.len(), c, "running_mean must have one entry per channel");
+    assert_eq!(running_var.len(), c, "running_var must have one entry per channel");
+
+    let count = (s.n * s.spatial_len()) as f32;
+    #[allow(clippy::needless_range_loop)] // indexed in lockstep with per-channel stats
+    let (mean, var) = if train {
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for n in 0..s.n {
+            for ch in 0..c {
+                for &v in input.channel_plane(n, ch) {
+                    mean[ch] += v;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for n in 0..s.n {
+            for ch in 0..c {
+                for &v in input.channel_plane(n, ch) {
+                    let d = v - mean[ch];
+                    var[ch] += d * d;
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= count;
+        }
+        for ch in 0..c {
+            running_mean[ch] = (1.0 - momentum) * running_mean[ch] + momentum * mean[ch];
+            running_var[ch] = (1.0 - momentum) * running_var[ch] + momentum * var[ch];
+        }
+        (mean, var)
+    } else {
+        (running_mean.to_vec(), running_var.to_vec())
+    };
+
+    let std: Vec<f32> = var.iter().map(|&v| (v + eps).sqrt()).collect();
+    let normalized = Tensor::from_fn(s, |n, ch, h, w| (input.at(n, ch, h, w) - mean[ch]) / std[ch]);
+    let out = Tensor::from_fn(s, |n, ch, h, w| {
+        gamma[ch] * normalized.at(n, ch, h, w) + beta[ch]
+    });
+    let cache = train.then_some(BatchNormCache { normalized, std });
+    (out, cache)
+}
+
+/// Gradients produced by [`batch_norm_backward`].
+#[derive(Debug, Clone)]
+pub struct BatchNormGrads {
+    /// Gradient with respect to the input.
+    pub input: Tensor,
+    /// Gradient with respect to gamma.
+    pub gamma: Vec<f32>,
+    /// Gradient with respect to beta.
+    pub beta: Vec<f32>,
+}
+
+/// Backward pass of training-mode [`batch_norm`].
+pub fn batch_norm_backward(
+    cache: &BatchNormCache,
+    gamma: &[f32],
+    grad_out: &Tensor,
+) -> BatchNormGrads {
+    let s = grad_out.shape();
+    let c = s.c;
+    let count = (s.n * s.spatial_len()) as f32;
+    let mut g_gamma = vec![0.0f32; c];
+    let mut g_beta = vec![0.0f32; c];
+    for n in 0..s.n {
+        for ch in 0..c {
+            let go = grad_out.channel_plane(n, ch);
+            let xn = cache.normalized.channel_plane(n, ch);
+            for (g, x) in go.iter().zip(xn) {
+                g_gamma[ch] += g * x;
+                g_beta[ch] += g;
+            }
+        }
+    }
+    // dL/dx = gamma/std * (g - mean(g) - x̂ * mean(g·x̂))
+    let gin = Tensor::from_fn(s, |n, ch, h, w| {
+        let g = grad_out.at(n, ch, h, w);
+        let xn = cache.normalized.at(n, ch, h, w);
+        gamma[ch] / cache.std[ch]
+            * (g - g_beta[ch] / count - xn * g_gamma[ch] / count)
+    });
+    BatchNormGrads {
+        input: gin,
+        gamma: g_gamma,
+        beta: g_beta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn train_mode_normalizes_batch() {
+        let x = Tensor::from_vec(Shape::new(2, 1, 1, 2), vec![1., 3., 5., 7.]);
+        let mut rm = vec![0.0];
+        let mut rv = vec![1.0];
+        let (y, cache) = batch_norm(&x, &[1.0], &[0.0], &mut rm, &mut rv, 1e-5, 0.1, true);
+        assert!(cache.is_some());
+        assert!(y.mean().abs() < 1e-5);
+        let var: f32 = y.as_slice().iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-3);
+        // running stats moved toward batch stats (mean 4, var 5)
+        assert!((rm[0] - 0.4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 2), vec![2.0, 4.0]);
+        let mut rm = vec![2.0];
+        let mut rv = vec![4.0];
+        let (y, cache) = batch_norm(&x, &[2.0], &[1.0], &mut rm, &mut rv, 0.0, 0.1, false);
+        assert!(cache.is_none());
+        assert!((y.at(0, 0, 0, 0) - 1.0).abs() < 1e-5); // (2-2)/2*2+1
+        assert!((y.at(0, 0, 0, 1) - 3.0).abs() < 1e-5); // (4-2)/2*2+1
+        // running stats untouched in inference
+        assert_eq!(rm, vec![2.0]);
+    }
+
+    #[test]
+    fn backward_finite_difference() {
+        let x = Tensor::from_vec(Shape::new(2, 2, 1, 2), vec![1., 2., -1., 0.5, 3., -2., 0., 1.]);
+        let gamma = [1.5, 0.7];
+        let beta = [0.1, -0.3];
+        let go = Tensor::from_vec(
+            Shape::new(2, 2, 1, 2),
+            vec![0.5, -1., 2., 0.3, -0.7, 1., 0.2, -0.4],
+        );
+        let forward = |x: &Tensor| {
+            let mut rm = vec![0.0; 2];
+            let mut rv = vec![1.0; 2];
+            batch_norm(x, &gamma, &beta, &mut rm, &mut rv, 1e-5, 0.1, true)
+        };
+        let (_, cache) = forward(&x);
+        let grads = batch_norm_backward(&cache.unwrap(), &gamma, &go);
+        let loss = |x: &Tensor| forward(x).0.mul(&go).sum();
+        let eps = 1e-2;
+        for idx in [0usize, 3, 5, 7] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            let ana = grads.input.as_slice()[idx];
+            assert!((num - ana).abs() < 5e-2, "idx {idx}: num={num} ana={ana}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Spatial rearrangements: channel concatenation/split, cropping, padding.
+//!
+//! These mirror the activation reshaping operations supported by the EyeCoD
+//! accelerator's activation GB storage arrangement (paper Fig. 11): partition,
+//! concatenation, and the crops used by the predict-then-focus ROI stage.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Concatenates tensors along the channel dimension.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or batch/spatial shapes differ.
+pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "cannot concatenate zero tensors");
+    let first = parts[0].shape();
+    let c_total: usize = parts
+        .iter()
+        .map(|t| {
+            let s = t.shape();
+            assert_eq!(
+                (s.n, s.h, s.w),
+                (first.n, first.h, first.w),
+                "concatenated tensors must share batch and spatial shape"
+            );
+            s.c
+        })
+        .sum();
+    let oshape = Shape::new(first.n, c_total, first.h, first.w);
+    let mut out = Tensor::zeros(oshape);
+    for n in 0..first.n {
+        let mut c_off = 0;
+        for t in parts {
+            let s = t.shape();
+            for c in 0..s.c {
+                let src = t.channel_plane(n, c);
+                let start = oshape.index(n, c_off + c, 0, 0);
+                out.as_mut_slice()[start..start + src.len()].copy_from_slice(src);
+            }
+            c_off += s.c;
+        }
+    }
+    out
+}
+
+/// Splits a tensor along the channel dimension into parts of the given sizes.
+///
+/// # Panics
+///
+/// Panics if the sizes do not sum to the channel count.
+pub fn split_channels(input: &Tensor, sizes: &[usize]) -> Vec<Tensor> {
+    let s = input.shape();
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        s.c,
+        "split sizes must sum to channel count {}",
+        s.c
+    );
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut c_off = 0;
+    for &sz in sizes {
+        assert!(sz > 0, "split sizes must be non-zero");
+        let part = Tensor::from_fn(Shape::new(s.n, sz, s.h, s.w), |n, c, h, w| {
+            input.at(n, c_off + c, h, w)
+        });
+        out.push(part);
+        c_off += sz;
+    }
+    out
+}
+
+/// Crops a spatial window `[y0, y0+h) × [x0, x0+w)` from every channel.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the input bounds.
+pub fn crop(input: &Tensor, y0: usize, x0: usize, h: usize, w: usize) -> Tensor {
+    let s = input.shape();
+    assert!(
+        y0 + h <= s.h && x0 + w <= s.w,
+        "crop window ({y0}+{h}, {x0}+{w}) exceeds input {s}"
+    );
+    Tensor::from_fn(Shape::new(s.n, s.c, h, w), |n, c, y, x| {
+        input.at(n, c, y0 + y, x0 + x)
+    })
+}
+
+/// Pads each spatial plane with a zero border of the given extents
+/// (top, bottom, left, right).
+pub fn pad_zero(input: &Tensor, top: usize, bottom: usize, left: usize, right: usize) -> Tensor {
+    let s = input.shape();
+    let oshape = Shape::new(s.n, s.c, s.h + top + bottom, s.w + left + right);
+    Tensor::from_fn(oshape, |n, c, y, x| {
+        if y >= top && y < top + s.h && x >= left && x < left + s.w {
+            input.at(n, c, y - top, x - left)
+        } else {
+            0.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_then_split_round_trips() {
+        let a = Tensor::from_fn(Shape::new(2, 2, 3, 3), |n, c, h, w| (n + c + h + w) as f32);
+        let b = Tensor::from_fn(Shape::new(2, 3, 3, 3), |n, c, h, w| -((n + c + h + w) as f32));
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.shape().dims(), (2, 5, 3, 3));
+        let parts = split_channels(&cat, &[2, 3]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    #[should_panic(expected = "share batch and spatial")]
+    fn concat_rejects_mismatched_spatial() {
+        let a = Tensor::zeros(Shape::new(1, 1, 2, 2));
+        let b = Tensor::zeros(Shape::new(1, 1, 3, 3));
+        concat_channels(&[&a, &b]);
+    }
+
+    #[test]
+    fn crop_extracts_window() {
+        let x = Tensor::from_fn(Shape::new(1, 1, 4, 4), |_, _, h, w| (h * 4 + w) as f32);
+        let y = crop(&x, 1, 2, 2, 2);
+        assert_eq!(y.as_slice(), &[6., 7., 10., 11.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds input")]
+    fn crop_rejects_out_of_bounds() {
+        crop(&Tensor::zeros(Shape::new(1, 1, 4, 4)), 3, 0, 2, 2);
+    }
+
+    #[test]
+    fn pad_surrounds_with_zeros() {
+        let x = Tensor::ones(Shape::new(1, 1, 1, 1));
+        let y = pad_zero(&x, 1, 1, 1, 1);
+        assert_eq!(y.shape().dims(), (1, 1, 3, 3));
+        assert_eq!(y.sum(), 1.0);
+        assert_eq!(y.at(0, 0, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn crop_of_pad_is_identity() {
+        let x = Tensor::from_fn(Shape::new(1, 2, 3, 3), |_, c, h, w| (c * 9 + h * 3 + w) as f32);
+        let y = crop(&pad_zero(&x, 2, 1, 1, 2), 2, 1, 3, 3);
+        assert_eq!(y, x);
+    }
+}

@@ -1,0 +1,273 @@
+//! Optimisers for the proxy-network training loops (the paper uses Adam for
+//! both the segmentation and gaze models).
+
+use crate::layer::Param;
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step to `params`, consuming their gradients.
+    ///
+    /// The parameter list must be presented in the same order on every call
+    /// (optimiser state is positional).
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter list changed size");
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            let mut g = p.grad.clone();
+            if self.weight_decay > 0.0 {
+                g.axpy(self.weight_decay, &p.value);
+            }
+            *v = v.scale(self.momentum).add(&g);
+            p.value.axpy(-self.lr, v);
+        }
+    }
+}
+
+/// The Adam optimiser (Kingma & Ba) used by the paper's training settings
+/// (lr 1e-3 for segmentation, 5e-4 for gaze estimation).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step to `params`, consuming their gradients.
+    ///
+    /// The parameter list must be presented in the same order on every call.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed size");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let g = &p.grad;
+            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
+            *v = v.zip(g, |vi, gi| self.beta2 * vi + (1.0 - self.beta2) * gi * gi);
+            let lr = self.lr;
+            let eps = self.eps;
+            let update = m.zip(v, |mi, vi| {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                -lr * mhat / (vhat.sqrt() + eps)
+            });
+            p.value.axpy(1.0, &update);
+        }
+    }
+}
+
+/// Cosine learning-rate schedule with a linear warm-up — the standard
+/// recipe for training the paper's networks from scratch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineSchedule {
+    /// Peak learning rate after warm-up.
+    pub base_lr: f32,
+    /// Final learning rate at the end of training.
+    pub min_lr: f32,
+    /// Warm-up steps (linear ramp from 0).
+    pub warmup_steps: u64,
+    /// Total steps including warm-up.
+    pub total_steps: u64,
+}
+
+impl CosineSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_steps` is zero, warm-up exceeds the total, or the
+    /// rates are inconsistent.
+    pub fn new(base_lr: f32, min_lr: f32, warmup_steps: u64, total_steps: u64) -> Self {
+        assert!(total_steps > 0, "total_steps must be non-zero");
+        assert!(warmup_steps < total_steps, "warm-up must end before the schedule");
+        assert!(base_lr > 0.0 && min_lr >= 0.0 && min_lr <= base_lr, "inconsistent rates");
+        CosineSchedule {
+            base_lr,
+            min_lr,
+            warmup_steps,
+            total_steps,
+        }
+    }
+
+    /// Learning rate at `step` (clamped past the end).
+    pub fn lr_at(&self, step: u64) -> f32 {
+        if step < self.warmup_steps {
+            return self.base_lr * (step as f32 + 1.0) / self.warmup_steps as f32;
+        }
+        let t = ((step - self.warmup_steps) as f32
+            / (self.total_steps - self.warmup_steps) as f32)
+            .min(1.0);
+        self.min_lr
+            + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    /// Minimise f(x) = (x - 3)^2 elementwise with each optimiser.
+    fn run_quadratic(mut step: impl FnMut(&mut [&mut Param])) -> f32 {
+        let mut p = Param::new(Tensor::zeros(Shape::vector(1, 4)));
+        for _ in 0..400 {
+            p.zero_grad();
+            let g = p.value.map(|x| 2.0 * (x - 3.0));
+            p.grad = g;
+            step(&mut [&mut p]);
+        }
+        p.value.map(|x| (x - 3.0).abs()).max()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let residual = run_quadratic(|ps| opt.step(ps));
+        assert!(residual < 1e-3, "residual {residual}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let residual = run_quadratic(|ps| opt.step(ps));
+        assert!(residual < 1e-2, "residual {residual}");
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let mut p = Param::new(Tensor::ones(Shape::vector(1, 2)));
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        // zero task gradient: only decay acts
+        for _ in 0..10 {
+            p.zero_grad();
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.max_abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed size")]
+    fn optimiser_rejects_changing_param_list() {
+        let mut a = Param::new(Tensor::zeros(Shape::vector(1, 1)));
+        let mut b = Param::new(Tensor::zeros(Shape::vector(1, 1)));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut a]);
+        opt.step(&mut [&mut a, &mut b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_lr() {
+        Sgd::new(0.0, 0.9, 0.0);
+    }
+
+    #[test]
+    fn cosine_schedule_shape() {
+        let s = CosineSchedule::new(1e-3, 1e-5, 10, 110);
+        // warm-up ramps
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!(s.lr_at(5) < s.lr_at(9));
+        // peak right after warm-up
+        assert!((s.lr_at(10) - 1e-3).abs() < 1e-6);
+        // monotone decay to min
+        assert!(s.lr_at(50) < s.lr_at(10));
+        assert!((s.lr_at(110) - 1e-5).abs() < 1e-7);
+        // clamped past the end
+        assert_eq!(s.lr_at(500), s.lr_at(110));
+    }
+
+    #[test]
+    fn cosine_schedule_drives_adam() {
+        let s = CosineSchedule::new(0.05, 1e-4, 2, 50);
+        let mut opt = Adam::new(s.lr_at(0));
+        let mut p = Param::new(Tensor::zeros(Shape::vector(1, 2)));
+        for step in 0..50 {
+            opt.set_lr(s.lr_at(step));
+            p.zero_grad();
+            p.grad = p.value.map(|x| 2.0 * (x - 1.0));
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.map(|x| (x - 1.0).abs()).max() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up must end")]
+    fn cosine_rejects_bad_warmup() {
+        CosineSchedule::new(1e-3, 0.0, 100, 100);
+    }
+}

@@ -1,0 +1,216 @@
+//! Symmetric int8 quantisation, matching the 8-bit deployments of RITNet and
+//! FBNet-C100 in the paper (Tables 2 and 3 report "(8-bit)" rows).
+//!
+//! Quantisation is *symmetric per-tensor*: `q = clamp(round(x / scale))`
+//! with `scale = max|x| / 127`. Convolutions accumulate in `i32` exactly as
+//! the accelerator's MAC lanes would, then rescale to `f32`.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// An int8-quantised tensor with its dequantisation scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    shape: Shape,
+    scale: f32,
+    data: Vec<i8>,
+}
+
+impl QTensor {
+    /// Quantises a tensor symmetrically to int8.
+    ///
+    /// A zero tensor gets scale 1.0 so dequantisation is well-defined.
+    pub fn quantize(t: &Tensor) -> Self {
+        let max = t.max_abs();
+        let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+        let data = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QTensor {
+            shape: t.shape(),
+            scale,
+            data,
+        }
+    }
+
+    /// Quantises with an explicit scale (e.g. a calibration scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0`.
+    pub fn quantize_with_scale(t: &Tensor, scale: f32) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        let data = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QTensor {
+            shape: t.shape(),
+            scale,
+            data,
+        }
+    }
+
+    /// Reconstructs the floating-point tensor.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.shape,
+            self.data.iter().map(|&q| q as f32 * self.scale).collect(),
+        )
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// The dequantisation scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The raw int8 values.
+    pub fn as_i8(&self) -> &[i8] {
+        &self.data
+    }
+}
+
+/// Quantise-dequantise ("fake quantisation"): returns the f32 tensor the
+/// int8 pipeline would effectively compute with. Used to evaluate 8-bit
+/// accuracy in the Table 2/3 experiments without duplicating every operator.
+pub fn fake_quantize(t: &Tensor) -> Tensor {
+    QTensor::quantize(t).dequantize()
+}
+
+/// Int8 convolution with exact i32 accumulation, returning an f32 tensor
+/// scaled by `input.scale * weight.scale`. Bias (f32) is added after
+/// rescaling, as deployed int8 stacks do.
+///
+/// # Panics
+///
+/// Same geometry requirements as [`crate::ops::conv2d`].
+pub fn qconv2d(
+    input: &QTensor,
+    weight: &QTensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> Tensor {
+    let ishape = input.shape;
+    let wshape = weight.shape;
+    let k = wshape.h;
+    let oshape = ishape.conv_output(wshape.n, k, pad, stride);
+    let cin_g = ishape.c / groups;
+    let cout_g = wshape.n / groups;
+    assert_eq!(wshape.c, cin_g, "weight/group mismatch");
+    let rescale = input.scale * weight.scale;
+    Tensor::from_fn(oshape, |n, oc, oy, ox| {
+        let g = oc / cout_g;
+        let mut acc: i32 = 0;
+        for icg in 0..cin_g {
+            let ic = g * cin_g + icg;
+            for kh in 0..k {
+                for kw in 0..k {
+                    let iy = (oy * stride + kh) as isize - pad as isize;
+                    let ix = (ox * stride + kw) as isize - pad as isize;
+                    if iy >= 0
+                        && ix >= 0
+                        && (iy as usize) < ishape.h
+                        && (ix as usize) < ishape.w
+                    {
+                        let xi = input.data[ishape.index(n, ic, iy as usize, ix as usize)] as i32;
+                        let wi = weight.data[wshape.index(oc, icg, kh, kw)] as i32;
+                        acc += xi * wi;
+                    }
+                }
+            }
+        }
+        acc as f32 * rescale + bias.map_or(0.0, |b| b[oc])
+    })
+}
+
+/// Root-mean-square quantisation error of round-tripping `t` through int8.
+pub fn quantization_rmse(t: &Tensor) -> f32 {
+    let q = fake_quantize(t);
+    let diff = t.sub(&q);
+    (diff.mul(&diff).mean()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::from_fn(Shape::new(1, 4, 8, 8), |_, _, _, _| rng.gen_range(-2.0..2.0));
+        let q = QTensor::quantize(&t);
+        let err = t.sub(&q.dequantize()).max_abs();
+        assert!(err <= q.scale() * 0.5 + 1e-6, "err {err} scale {}", q.scale());
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let t = Tensor::zeros(Shape::vector(1, 8));
+        let q = QTensor::quantize(&t);
+        assert_eq!(q.scale(), 1.0);
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn extremes_map_to_full_range() {
+        let t = Tensor::from_vec(Shape::vector(1, 2), vec![-5.0, 5.0]);
+        let q = QTensor::quantize(&t);
+        assert_eq!(q.as_i8(), &[-127, 127]);
+    }
+
+    #[test]
+    fn qconv_close_to_float_conv() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::from_fn(Shape::new(1, 3, 8, 8), |_, _, _, _| rng.gen_range(-1.0..1.0));
+        let w = Tensor::from_fn(Shape::new(4, 3, 3, 3), |_, _, _, _| rng.gen_range(-0.5..0.5));
+        let b: Vec<f32> = (0..4).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let float = ops::conv2d(&x, &w, Some(&b), 1, 1, 1);
+        let q = qconv2d(
+            &QTensor::quantize(&x),
+            &QTensor::quantize(&w),
+            Some(&b),
+            1,
+            1,
+            1,
+        );
+        // relative error bounded by quantisation granularity
+        let err = float.sub(&q).max_abs();
+        assert!(err < 0.15, "int8 conv error too large: {err}");
+    }
+
+    #[test]
+    fn qconv_depthwise_matches_shape() {
+        let x = QTensor::quantize(&Tensor::ones(Shape::new(1, 4, 6, 6)));
+        let w = QTensor::quantize(&Tensor::ones(Shape::new(4, 1, 3, 3)));
+        let y = qconv2d(&x, &w, None, 1, 1, 4);
+        assert_eq!(y.shape().dims(), (1, 4, 6, 6));
+        assert!((y.at(0, 0, 1, 1) - 9.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn quantization_rmse_small_for_smooth_tensors() {
+        let t = Tensor::from_fn(Shape::new(1, 1, 16, 16), |_, _, h, w| {
+            ((h as f32) / 16.0) - ((w as f32) / 16.0)
+        });
+        assert!(quantization_rmse(&t) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn explicit_scale_must_be_positive() {
+        QTensor::quantize_with_scale(&Tensor::zeros(Shape::vector(1, 1)), 0.0);
+    }
+}

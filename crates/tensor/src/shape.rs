@@ -1,0 +1,184 @@
+//! NCHW tensor shapes and shape arithmetic.
+
+use std::fmt;
+
+/// The shape of an NCHW tensor: batch, channels, height, width.
+///
+/// A `Shape` is cheap to copy and compares structurally. Vectors (e.g. fully
+/// connected activations) are represented with `h == w == 1`.
+///
+/// # Example
+///
+/// ```
+/// use eyecod_tensor::Shape;
+/// let s = Shape::new(2, 3, 4, 5);
+/// assert_eq!(s.len(), 120);
+/// assert_eq!(s.dims(), (2, 3, 4, 5));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        assert!(
+            n > 0 && c > 0 && h > 0 && w > 0,
+            "shape dimensions must be non-zero, got ({n}, {c}, {h}, {w})"
+        );
+        Shape { n, c, h, w }
+    }
+
+    /// A shape describing a batch of vectors (`h == w == 1`).
+    pub fn vector(n: usize, c: usize) -> Self {
+        Shape::new(n, c, 1, 1)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Always false: shapes have non-zero dimensions by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The four dimensions as a tuple `(n, c, h, w)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Flat index of element `(n, c, h, w)` in row-major NCHW order.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Number of elements in one batch item (`c * h * w`).
+    pub fn item_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Spatial size (`h * w`).
+    pub fn spatial_len(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Output spatial extent of a convolution/pooling window along one axis.
+    ///
+    /// `extent` is the input size, `k` the kernel size, `pad` the symmetric
+    /// padding and `stride` the stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit (`extent + 2*pad < k`) or the stride
+    /// is zero.
+    pub fn conv_out_extent(extent: usize, k: usize, pad: usize, stride: usize) -> usize {
+        assert!(stride > 0, "stride must be non-zero");
+        assert!(
+            extent + 2 * pad >= k,
+            "kernel {k} does not fit input extent {extent} with padding {pad}"
+        );
+        (extent + 2 * pad - k) / stride + 1
+    }
+
+    /// The output shape of a 2-D convolution over this shape.
+    pub fn conv_output(&self, c_out: usize, k: usize, pad: usize, stride: usize) -> Shape {
+        Shape::new(
+            self.n,
+            c_out,
+            Self::conv_out_extent(self.h, k, pad, stride),
+            Self::conv_out_extent(self.w, k, pad, stride),
+        )
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape({}x{}x{}x{})", self.n, self.c, self.h, self.w)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+impl From<(usize, usize, usize, usize)> for Shape {
+    fn from((n, c, h, w): (usize, usize, usize, usize)) -> Self {
+        Shape::new(n, c, h, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_dims() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.dims(), (2, 3, 4, 5));
+        assert_eq!(s.item_len(), 60);
+        assert_eq!(s.spatial_len(), 20);
+    }
+
+    #[test]
+    fn index_is_row_major() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn conv_out_extent_matches_formula() {
+        assert_eq!(Shape::conv_out_extent(8, 3, 1, 1), 8);
+        assert_eq!(Shape::conv_out_extent(8, 3, 0, 1), 6);
+        assert_eq!(Shape::conv_out_extent(8, 3, 1, 2), 4);
+        assert_eq!(Shape::conv_out_extent(7, 7, 0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn conv_out_extent_rejects_oversized_kernel() {
+        Shape::conv_out_extent(2, 5, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_rejected() {
+        Shape::new(1, 0, 2, 2);
+    }
+
+    #[test]
+    fn conv_output_shape() {
+        let s = Shape::new(1, 3, 32, 32);
+        assert_eq!(s.conv_output(16, 3, 1, 2), Shape::new(1, 16, 16, 16));
+    }
+
+    #[test]
+    fn display_and_from_tuple() {
+        let s: Shape = (1, 2, 3, 4).into();
+        assert_eq!(format!("{s}"), "1x2x3x4");
+        assert_eq!(format!("{s:?}"), "Shape(1x2x3x4)");
+    }
+}

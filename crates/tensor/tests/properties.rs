@@ -1,0 +1,118 @@
+//! Property-based tests of the tensor crate's public operator contracts.
+
+use eyecod_tensor::ops;
+use eyecod_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(n: usize, c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, n * c * h * w)
+        .prop_map(move |v| Tensor::from_vec(Shape::new(n, c, h, w), v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The optimised convolution agrees with the quadruple-loop reference
+    /// across random geometry (stride/pad/kernel/groups).
+    #[test]
+    fn conv2d_matches_reference(
+        x in tensor_strategy(1, 4, 9, 7),
+        wv in proptest::collection::vec(-1.0f32..1.0, 8 * 2 * 3 * 3),
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let w = Tensor::from_vec(Shape::new(8, 2, 3, 3), wv);
+        let fast = ops::conv2d(&x, &w, None, stride, pad.max(1), 2);
+        let slow = ops::conv2d_naive(&x, &w, None, stride, pad.max(1), 2);
+        prop_assert!(fast.sub(&slow).max_abs() < 1e-4);
+    }
+
+    /// Max-pool backward conserves the gradient mass.
+    #[test]
+    fn max_pool_backward_conserves_gradient(x in tensor_strategy(1, 2, 6, 6)) {
+        let (y, cache) = ops::max_pool2d(&x, 2, 2);
+        let go = Tensor::ones(y.shape());
+        let gin = ops::max_pool2d_backward(&cache, &go);
+        prop_assert!((gin.sum() - go.sum()).abs() < 1e-4);
+    }
+
+    /// Upsample backward is the adjoint of upsample forward:
+    /// <up(x), g> == <x, up_backward(g)>.
+    #[test]
+    fn upsample_is_adjoint(
+        x in tensor_strategy(1, 2, 3, 3),
+        g in tensor_strategy(1, 2, 6, 6),
+    ) {
+        let up = ops::upsample_nearest(&x, 2);
+        let lhs = up.mul(&g).sum();
+        let gb = ops::upsample_nearest_backward(x.shape(), &g, 2);
+        let rhs = x.mul(&gb).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// Bilinear resize stays inside the input's value range.
+    #[test]
+    fn bilinear_resize_is_bounded(
+        x in tensor_strategy(1, 1, 5, 7),
+        oh in 2usize..12,
+        ow in 2usize..12,
+    ) {
+        let y = ops::resize_bilinear(&x, oh, ow);
+        prop_assert!(y.min() >= x.min() - 1e-5);
+        prop_assert!(y.max() <= x.max() + 1e-5);
+    }
+
+    /// Softmax outputs form a distribution and preserve argmax per pixel.
+    #[test]
+    fn softmax_preserves_argmax(x in tensor_strategy(1, 5, 2, 2)) {
+        let y = ops::softmax_channels(&x);
+        let s = x.shape();
+        for h in 0..s.h {
+            for w in 0..s.w {
+                let sum: f32 = (0..s.c).map(|c| y.at(0, c, h, w)).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+                let argmax_x = (0..s.c).max_by(|&a, &b| {
+                    x.at(0, a, h, w).partial_cmp(&x.at(0, b, h, w)).unwrap()
+                });
+                let argmax_y = (0..s.c).max_by(|&a, &b| {
+                    y.at(0, a, h, w).partial_cmp(&y.at(0, b, h, w)).unwrap()
+                });
+                prop_assert_eq!(argmax_x, argmax_y);
+            }
+        }
+    }
+
+    /// Cross-entropy gradients sum to zero over channels at each pixel
+    /// (softmax Jacobian property).
+    #[test]
+    fn cross_entropy_grad_sums_to_zero(
+        x in tensor_strategy(1, 4, 2, 2),
+        t in proptest::collection::vec(0usize..4, 4),
+    ) {
+        let (_, grad) = eyecod_tensor::loss::softmax_cross_entropy(&x, &t);
+        let s = x.shape();
+        for h in 0..s.h {
+            for w in 0..s.w {
+                let sum: f32 = (0..s.c).map(|c| grad.at(0, c, h, w)).sum();
+                prop_assert!(sum.abs() < 1e-5);
+            }
+        }
+    }
+
+    /// Quantised convolution tracks the float convolution within the
+    /// accumulation of per-element quantisation steps.
+    #[test]
+    fn qconv_tracks_float_conv(
+        x in tensor_strategy(1, 2, 6, 6),
+        wv in proptest::collection::vec(-0.5f32..0.5, 3 * 2 * 3 * 3),
+    ) {
+        use eyecod_tensor::quant::{qconv2d, QTensor};
+        let w = Tensor::from_vec(Shape::new(3, 2, 3, 3), wv);
+        let float = ops::conv2d(&x, &w, None, 1, 1, 1);
+        let q = qconv2d(&QTensor::quantize(&x), &QTensor::quantize(&w), None, 1, 1, 1);
+        // bound: #taps * (x_step*|w|max + w_step*|x|max) with margin
+        let taps = 2.0 * 9.0;
+        let bound = taps * (x.max_abs() / 127.0 * 0.5 + 0.5 / 127.0 * x.max_abs()) + 0.05;
+        prop_assert!(float.sub(&q).max_abs() < bound.max(0.1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Accelerator design-space exploration: sweep the EyeCoD accelerator's
+//! feature toggles, orchestration modes, lane counts and bandwidth, and
+//! print throughput / utilisation / energy for each point.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example accelerator_design_space
+//! ```
+
+use eyecod::accel::config::AcceleratorConfig;
+use eyecod::accel::schedule::{Orchestration, WindowSimulator};
+use eyecod::accel::roofline::{model_roofline, ridge_intensity};
+use eyecod::accel::trace::UtilizationTrace;
+use eyecod::accel::workload::EyeCodWorkload;
+
+fn report(label: &str, cfg: AcceleratorConfig) {
+    let workload = EyeCodWorkload::paper_default().into_workload();
+    let sim = WindowSimulator::new(cfg);
+    let r = sim.run_window(&workload);
+    println!(
+        "{label:<44} {:>8.1} fps   util {:>5.1}%   {:>7.4} mJ/frame",
+        r.fps,
+        100.0 * r.avg_utilization,
+        r.energy_per_frame_mj
+    );
+}
+
+fn main() {
+    println!("EyeCoD accelerator design-space exploration");
+    println!("(workload: FlatCam recon + FBNet-C100@96x160 gaze + RITNet@128 seg / 50 frames)\n");
+
+    println!("--- feature ablation (Table 6 axis) ---");
+    report("baseline (time-mux, no SWPR, no reuse)", AcceleratorConfig::ablation_baseline());
+    report("+ SWPR input buffer", AcceleratorConfig {
+        swpr_buffer: true,
+        ..AcceleratorConfig::ablation_baseline()
+    });
+    report("+ partial time-multiplexing", AcceleratorConfig {
+        swpr_buffer: true,
+        orchestration: Orchestration::PartialTimeMultiplexed,
+        ..AcceleratorConfig::ablation_baseline()
+    });
+    report("+ depth-wise intra-channel reuse (full)", AcceleratorConfig::paper_default());
+
+    println!("\n--- orchestration modes ---");
+    for (name, orch) in [
+        ("time-multiplexed", Orchestration::TimeMultiplexed),
+        ("concurrent", Orchestration::Concurrent),
+        ("partial time-multiplexed", Orchestration::PartialTimeMultiplexed),
+    ] {
+        report(name, AcceleratorConfig {
+            orchestration: orch,
+            ..AcceleratorConfig::paper_default()
+        });
+    }
+
+    println!("\n--- MAC lane scaling ---");
+    for lanes in [32usize, 64, 128, 256] {
+        report(&format!("{lanes} lanes x 8 MACs"), AcceleratorConfig {
+            mac_lanes: lanes,
+            ..AcceleratorConfig::paper_default()
+        });
+    }
+
+    println!("\n--- activation GB bandwidth ---");
+    for words in [16usize, 32, 64, 128] {
+        report(&format!("{words} act words/cycle"), AcceleratorConfig {
+            act_words_per_cycle: words,
+            ..AcceleratorConfig::paper_default()
+        });
+    }
+
+    println!("\n--- gaze-model utilisation timeline (Fig. 7 view) ---");
+    let cfg = AcceleratorConfig::paper_default();
+    let sim = WindowSimulator::new(cfg.clone());
+    let workload = EyeCodWorkload::paper_default().into_workload();
+    let r = sim.run_window(&workload);
+    let trace = UtilizationTrace::from_costs(&r.frame_costs, cfg.clock_mhz);
+    for (t, u) in trace.resample(24) {
+        let bar = "#".repeat((u * 40.0) as usize);
+        println!("  {t:>7.1} us |{bar:<40}| {:.0}%", u * 100.0);
+    }
+    println!(
+        "  mean utilisation {:.0}%, {:.0}% of time below the 80% line \
+         (the partial-mode opportunity)",
+        100.0 * trace.mean_utilization(),
+        100.0 * trace.fraction_below(0.8)
+    );
+
+    println!("\n--- roofline (gaze model) ---");
+    println!(
+        "machine ridge point: {:.1} MACs/word (compute roof {} MACs/cycle)",
+        ridge_intensity(&cfg),
+        cfg.total_macs()
+    );
+    let points = model_roofline(&eyecod::models::fbnet::spec(96, 160), &cfg);
+    let bw_bound = points.iter().filter(|p| p.bandwidth_bound).count();
+    let dw_bound = points
+        .iter()
+        .filter(|p| p.bandwidth_bound && p.is_depthwise)
+        .count();
+    println!(
+        "{} of {} compute layers are bandwidth-bound ({} of them depth-wise)",
+        bw_bound,
+        points.len(),
+        dw_bound
+    );
+    for p in points.iter().take(6) {
+        println!(
+            "  {:<12} intensity {:>6.1}  attainable {:>6.0}  achieved {:>6.0}  {}",
+            p.layer,
+            p.intensity,
+            p.attainable_macs_per_cycle,
+            p.achieved_macs_per_cycle,
+            if p.is_depthwise { "depth-wise" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Foveated-rendering scenario: the VR/AR application the paper's
+//! introduction motivates.
+//!
+//! Foveated Rendering draws full resolution only where the user looks. This
+//! example drives the EyeCoD tracker over a saccade-rich sequence and maps
+//! each gaze estimate to a display fovea centre, reporting (a) how often the
+//! predicted fovea contains the true fixation point and (b) the rendering
+//! workload saved versus full-resolution rendering.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example foveated_rendering
+//! ```
+
+use eyecod::core::tracker::{EyeTracker, TrackerConfig};
+use eyecod::core::training::{train_tracker_models, TrainingSetup};
+use eyecod::eyedata::render::render_eye;
+use eyecod::eyedata::{EyeMotionGenerator, GazeVector};
+
+/// Display parameters of a hypothetical HMD panel.
+const DISPLAY_W: f32 = 1920.0;
+const DISPLAY_H: f32 = 1080.0;
+/// Horizontal field of view in degrees.
+const FOV_X_DEG: f32 = 90.0;
+/// Foveal radius in degrees (full-resolution disc around the gaze point).
+const FOVEA_DEG: f32 = 10.0;
+
+/// Projects a gaze vector to display pixel coordinates (pinhole model).
+fn gaze_to_pixel(g: &GazeVector) -> (f32, f32) {
+    let fx = DISPLAY_W / (2.0 * (FOV_X_DEG.to_radians() / 2.0).tan());
+    let x = DISPLAY_W / 2.0 + fx * g.x / g.z;
+    let y = DISPLAY_H / 2.0 + fx * g.y / g.z;
+    (x.clamp(0.0, DISPLAY_W), y.clamp(0.0, DISPLAY_H))
+}
+
+fn main() {
+    println!("EyeCoD foveated-rendering scenario\n");
+    let config = TrackerConfig::small();
+    println!("training tracker models...");
+    let models = train_tracker_models(&TrainingSetup::quick(), &config);
+    let mut tracker = EyeTracker::new(config.clone(), models);
+    let mut motion = EyeMotionGenerator::with_seed(21);
+
+    let frames = 150;
+    let mut hits = 0usize;
+    let mut sum_px_err = 0.0f32;
+    for i in 0..frames {
+        let params = motion.next_frame();
+        let sample = render_eye(&params, config.scene_size, 5_000 + i as u64);
+        let out = tracker.process_frame(&sample.image, 6_000 + i as u64);
+        let err_deg = out.gaze.angular_error_degrees(&sample.gaze);
+        if err_deg <= FOVEA_DEG {
+            hits += 1;
+        }
+        let (px, py) = gaze_to_pixel(&out.gaze);
+        let (tx, ty) = gaze_to_pixel(&sample.gaze);
+        sum_px_err += ((px - tx).powi(2) + (py - ty).powi(2)).sqrt();
+    }
+
+    // Fovea coverage: a disc of FOVEA_DEG out of the panel's solid angle.
+    let fovea_px_radius =
+        DISPLAY_W / FOV_X_DEG * FOVEA_DEG;
+    let fovea_area = std::f32::consts::PI * fovea_px_radius * fovea_px_radius;
+    let full_area = DISPLAY_W * DISPLAY_H;
+    // peripheral region rendered at quarter resolution
+    let saved = 1.0 - (fovea_area + (full_area - fovea_area) * 0.25) / full_area;
+
+    println!("frames:                    {frames}");
+    println!(
+        "fovea hit rate (≤{FOVEA_DEG}°):    {:.1}%",
+        100.0 * hits as f32 / frames as f32
+    );
+    println!("mean display error:        {:.0} px", sum_px_err / frames as f32);
+    println!("rendering workload saved:  {:.1}%", 100.0 * saved);
+    println!("\nhigh-frequency tracking keeps the fovea on target during");
+    println!("saccades — the reason the paper targets >240 FPS.");
+}

@@ -1,0 +1,74 @@
+//! Integration: the controller instruction streams and the §4.2
+//! sensing–processing interface, exercised across crates.
+
+use eyecod::accel::config::AcceleratorConfig;
+use eyecod::accel::isa::{compile, Instruction};
+use eyecod::accel::workload::EyeCodWorkload;
+use eyecod::core::interface::InterfaceSegPipeline;
+use eyecod::core::training::TrainingSetup;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_window_programs_fit_on_chip() {
+    // compile every model of the EyeCoD window workload and check that the
+    // combined instruction stream fits the 4 KB instruction SRAM and the
+    // 20 KB index SRAM of Table 1
+    let cfg = AcceleratorConfig::paper_default();
+    let workload = EyeCodWorkload::paper_default().into_workload();
+    let mut instr_bytes = 0usize;
+    let mut index_words = 0usize;
+    let mut programs = 0;
+    for model in workload
+        .per_frame
+        .iter()
+        .chain(workload.periodic.iter().map(|(m, _)| m))
+    {
+        let p = compile(model, &cfg);
+        assert!(p.fits(&cfg), "{} program does not fit on chip", p.model);
+        instr_bytes += p.encoded_bytes();
+        index_words += p.index_words;
+        programs += 1;
+    }
+    assert_eq!(programs, 3, "recon + gaze + segmentation");
+    assert!(
+        instr_bytes <= cfg.instr_sram_bytes,
+        "combined programs ({instr_bytes} B) exceed the {} B instruction SRAM",
+        cfg.instr_sram_bytes
+    );
+    assert!(index_words * 4 <= cfg.index_sram_bytes);
+}
+
+#[test]
+fn compiled_steps_match_partitioning() {
+    let cfg = AcceleratorConfig::paper_default();
+    let seg = eyecod::models::ritnet::spec(128);
+    let program = compile(&seg, &cfg);
+    // every compute step names a real layer
+    for i in &program.instructions {
+        if let Instruction::ProcessPartition { layer, rounds, .. } = i {
+            assert!(
+                seg.layers.iter().any(|l| &l.name == layer),
+                "unknown layer {layer}"
+            );
+            assert!(*rounds > 0);
+        }
+    }
+}
+
+#[test]
+fn interface_and_reconstruction_paths_both_segment() {
+    // train the §4.2 interface path at quick scale and compare its
+    // communication volume against the reconstruction path's measurement
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut pipe = InterfaceSegPipeline::new(48, 24, 8, &mut rng);
+    let mut setup = TrainingSetup::quick();
+    setup.n_samples = 24;
+    setup.seg_epochs = 8;
+    pipe.train(&setup);
+    let miou = pipe.eval_miou(10);
+    assert!(miou > 0.35, "interface path mIOU {miou:.3}");
+    // the interface transmits less than the raw 64x64 measurement
+    // (4 channels x 24x24 = 2304 bytes vs 4096)
+    assert!(pipe.bytes_per_frame() < 64 * 64);
+}

@@ -1,0 +1,111 @@
+//! Integration: optics ↔ synthetic data. FlatCam reconstructions must
+//! preserve the image structure the downstream algorithm relies on.
+
+use eyecod::eyedata::render::{render_eye, EyeParams};
+use eyecod::optics::imaging::FlatCam;
+use eyecod::optics::interface::OpticalFirstLayer;
+use eyecod::optics::mask::SeparableMask;
+use eyecod::optics::mat::Mat;
+use eyecod::optics::metrics::psnr;
+use eyecod::optics::recon::TikhonovReconstructor;
+use eyecod::optics::sensor::SensorModel;
+
+fn eye_scene(size: usize, yaw_deg: f32) -> (Mat, Vec<u8>) {
+    let mut p = EyeParams::centered(size);
+    p.yaw = yaw_deg.to_radians();
+    let s = render_eye(&p, size, 5);
+    (Mat::from_tensor(&s.image), s.labels)
+}
+
+/// Darkest-region centroid: a crude pupil detector applied to raw images.
+fn dark_centroid(m: &Mat) -> (f64, f64) {
+    let mean = m.mean();
+    let mut sy = 0.0;
+    let mut sx = 0.0;
+    let mut n = 0.0f64;
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            if m.at(r, c) < mean * 0.4 {
+                sy += r as f64;
+                sx += c as f64;
+                n += 1.0;
+            }
+        }
+    }
+    (sy / n.max(1.0), sx / n.max(1.0))
+}
+
+#[test]
+fn reconstruction_preserves_pupil_position() {
+    let size = 64;
+    let mask = SeparableMask::mls_differential(96, size, 5);
+    let cam = FlatCam::new(mask, SensorModel::nir_eye_tracking());
+    let recon = TikhonovReconstructor::new(cam.mask(), 1e-3);
+    for yaw in [-18.0f32, 0.0, 18.0] {
+        let (scene, _) = eye_scene(size, yaw);
+        let xhat = recon.reconstruct(&cam.capture(&scene, 3));
+        let (ty, tx) = dark_centroid(&scene);
+        let (ry, rx) = dark_centroid(&xhat);
+        assert!(
+            (ty - ry).abs() < 4.0 && (tx - rx).abs() < 4.0,
+            "yaw {yaw}: pupil moved from ({ty:.1},{tx:.1}) to ({ry:.1},{rx:.1})"
+        );
+    }
+}
+
+#[test]
+fn reconstruction_quality_is_stable_across_eyes() {
+    let size = 48;
+    let mask = SeparableMask::mls_differential(64, size, 9);
+    let cam = FlatCam::new(mask, SensorModel::nir_eye_tracking());
+    let recon = TikhonovReconstructor::new(cam.mask(), 1e-3);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for i in 0..5 {
+        let p = EyeParams::random(&mut rng);
+        let s = render_eye(&p, size, i);
+        let scene = Mat::from_tensor(&s.image);
+        let xhat = recon.reconstruct(&cam.capture(&scene, i));
+        let q = psnr(&scene, &xhat);
+        assert!(q > 20.0, "eye {i}: reconstruction PSNR {q:.1} too low");
+    }
+}
+
+#[test]
+fn raw_measurement_hides_the_eye() {
+    // visual privacy: the measurement must not correlate with the scene
+    let size = 64;
+    let mask = SeparableMask::mls_differential(64, size, 5);
+    let cam = FlatCam::new(mask, SensorModel::noiseless());
+    let (scene, _) = eye_scene(size, 0.0);
+    let y = cam.capture(&scene, 0);
+    // normalised cross-correlation between scene and measurement
+    let (ms, my) = (scene.mean(), y.mean());
+    let mut num = 0.0;
+    let mut ds = 0.0;
+    let mut dy = 0.0;
+    for r in 0..size {
+        for c in 0..size {
+            let a = scene.at(r, c) - ms;
+            let b = y.at(r, c) - my;
+            num += a * b;
+            ds += a * a;
+            dy += b * b;
+        }
+    }
+    let corr = num / (ds.sqrt() * dy.sqrt());
+    assert!(corr.abs() < 0.2, "measurement correlates with scene: {corr:.3}");
+}
+
+#[test]
+fn optical_first_layer_separates_gaze_directions() {
+    // the edge channels respond differently when the pupil moves
+    let size = 64;
+    let layer = OpticalFirstLayer::edge_bank(size, 16);
+    let (left, _) = eye_scene(size, -20.0);
+    let (right, _) = eye_scene(size, 20.0);
+    let fl = layer.apply(&left);
+    let fr = layer.apply(&right);
+    let diff = fl.sub(&fr).map(|x| x.abs()).sum();
+    assert!(diff > 1.0, "optical features identical for opposite gazes: {diff}");
+}

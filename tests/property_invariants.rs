@@ -1,0 +1,131 @@
+//! Property-based invariants across the workspace (proptest).
+
+use eyecod::accel::config::AcceleratorConfig;
+use eyecod::accel::cost::layer_cost;
+use eyecod::accel::storage::ActStore;
+use eyecod::models::{LayerKind, LayerSpec};
+use eyecod::optics::mat::Mat;
+use eyecod::optics::svd::Svd;
+use eyecod::tensor::ops;
+use eyecod::tensor::quant::QTensor;
+use eyecod::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_tensor(c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, c * h * w)
+        .prop_map(move |v| Tensor::from_vec(Shape::new(1, c, h, w), v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Convolution is linear: conv(a + b) = conv(a) + conv(b).
+    #[test]
+    fn conv_is_linear(
+        a in small_tensor(2, 6, 6),
+        b in small_tensor(2, 6, 6),
+        wv in proptest::collection::vec(-1.0f32..1.0, 2 * 2 * 3 * 3),
+    ) {
+        let w = Tensor::from_vec(Shape::new(2, 2, 3, 3), wv);
+        let ya = ops::conv2d(&a, &w, None, 1, 1, 1);
+        let yb = ops::conv2d(&b, &w, None, 1, 1, 1);
+        let yab = ops::conv2d(&a.add(&b), &w, None, 1, 1, 1);
+        prop_assert!(yab.sub(&ya.add(&yb)).max_abs() < 1e-3);
+    }
+
+    /// Quantisation round-trip error is bounded by half a step.
+    #[test]
+    fn quantisation_error_is_bounded(t in small_tensor(1, 4, 4)) {
+        let q = QTensor::quantize(&t);
+        let err = t.sub(&q.dequantize()).max_abs();
+        prop_assert!(err <= q.scale() * 0.5 + 1e-6);
+    }
+
+    /// SVD reconstructs arbitrary tall matrices.
+    #[test]
+    fn svd_reconstructs(vals in proptest::collection::vec(-1.0f64..1.0, 12 * 6)) {
+        let m = Mat::from_fn(12, 6, |r, c| vals[r * 6 + c]);
+        let svd = Svd::compute(&m);
+        prop_assert!(svd.reconstruct().sub(&m).max_abs() < 1e-9);
+        // singular values sorted descending and non-negative
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1] && w[1] >= 0.0);
+        }
+    }
+
+    /// Channel concat and split are inverses.
+    #[test]
+    fn concat_split_roundtrip(a in small_tensor(3, 4, 4), b in small_tensor(5, 4, 4)) {
+        let cat = ops::concat_channels(&[&a, &b]);
+        let parts = ops::split_channels(&cat, &[3, 5]);
+        prop_assert!(parts[0] == a && parts[1] == b);
+    }
+
+    /// The banked activation store is lossless for any tensor.
+    #[test]
+    fn act_store_roundtrip(t in small_tensor(24, 4, 4)) {
+        let store = ActStore::from_tensor(&t, 4);
+        prop_assert!(store.to_tensor() == t);
+        prop_assert!(store.parallel_fetch_conflict_free());
+    }
+
+    /// More MAC lanes never increase a layer's cycle count, and enabling
+    /// intra-channel reuse never slows a depth-wise layer.
+    #[test]
+    fn simulator_monotonicity(c in 4usize..64, hw in 4usize..32, k in prop_oneof![Just(3usize), Just(5usize)]) {
+        let spec = LayerSpec {
+            name: "dw".into(),
+            kind: LayerKind::Depthwise { k, stride: 1 },
+            c_in: c,
+            c_out: c,
+            h_in: hw,
+            w_in: hw,
+        };
+        let mut cfg = AcceleratorConfig::paper_default();
+        let mut prev = u64::MAX;
+        for lanes in [8usize, 32, 128] {
+            let cost = layer_cost(&spec, lanes, &cfg);
+            prop_assert!(cost.cycles <= prev);
+            prev = cost.cycles;
+        }
+        let with = layer_cost(&spec, 128, &cfg);
+        cfg.intra_channel_reuse = false;
+        let without = layer_cost(&spec, 128, &cfg);
+        prop_assert!(with.cycles <= without.cycles);
+        prop_assert!(with.act_read_words <= without.act_read_words);
+    }
+
+    /// Energy counts are non-negative and additive in scaling.
+    #[test]
+    fn energy_scaling(times in 1u64..16) {
+        let spec = LayerSpec {
+            name: "pw".into(),
+            kind: LayerKind::Pointwise { stride: 1 },
+            c_in: 16,
+            c_out: 32,
+            h_in: 8,
+            w_in: 8,
+        };
+        let cfg = AcceleratorConfig::paper_default();
+        let counts = layer_cost(&spec, 128, &cfg).energy_counts();
+        let scaled = counts.scaled(times);
+        prop_assert_eq!(scaled.macs, counts.macs * times);
+        let m = eyecod::accel::energy::EnergyModel::default();
+        let e1 = counts.energy_joules(&m, 370.0);
+        let et = scaled.energy_joules(&m, 370.0);
+        prop_assert!((et - times as f64 * e1).abs() <= 1e-9 * et.max(1e-30));
+    }
+
+    /// Rendered eyes always carry valid labels and a unit gaze vector.
+    #[test]
+    fn renderer_invariants(seed in 0u64..500) {
+        use eyecod::eyedata::render::{render_eye, EyeParams};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = EyeParams::random(&mut rng);
+        let s = render_eye(&p, 24, seed);
+        prop_assert!(s.labels.iter().all(|&l| l < 4));
+        prop_assert!((s.gaze.norm() - 1.0).abs() < 1e-5);
+        prop_assert!(s.image.min() >= 0.0 && s.image.max() <= 1.0);
+    }
+}
