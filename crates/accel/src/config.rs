@@ -177,8 +177,14 @@ mod tests {
         let b = AcceleratorConfig::ablation_baseline();
         assert!(!b.swpr_buffer && !b.intra_channel_reuse);
         assert_eq!(b.orchestration, Orchestration::TimeMultiplexed);
-        assert!(b.feature_partition, "baseline keeps the partition to fit the area");
-        assert_eq!(b.total_macs(), AcceleratorConfig::paper_default().total_macs());
+        assert!(
+            b.feature_partition,
+            "baseline keeps the partition to fit the area"
+        );
+        assert_eq!(
+            b.total_macs(),
+            AcceleratorConfig::paper_default().total_macs()
+        );
     }
 
     #[test]

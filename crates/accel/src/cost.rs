@@ -133,8 +133,8 @@ pub fn layer_cost(layer: &LayerSpec, lanes: usize, cfg: &AcceleratorConfig) -> L
             // channels of a row simultaneously (the concurrent-mode penalty)
             let refetch = div_ceil(c_out, lanes as u64);
             let overhead = partition_overhead(cfg, k as usize, oh as usize);
-            let reads = (oh as f64 * k as f64 * c_in as f64 * refetch as f64 * iw as f64
-                * overhead) as u64;
+            let reads =
+                (oh as f64 * k as f64 * c_in as f64 * refetch as f64 * iw as f64 * overhead) as u64;
             (compute, reads, rounds.min(oh).max(1), false)
         }
         LayerKind::Depthwise { k, .. } => {
@@ -187,14 +187,13 @@ pub fn layer_cost(layer: &LayerSpec, lanes: usize, cfg: &AcceleratorConfig) -> L
 
     let act_write_words = layer.output_elems();
     let weight_words_once = layer.params();
-    let weight_gb_words = if weight_words_once * cfg.bytes_per_word as u64
-        <= cfg.weight_buffer_bytes as u64
-    {
-        weight_words_once
-    } else {
-        // weights do not fit the ping-pong buffer: refetched across passes
-        weight_words_once * weight_passes
-    };
+    let weight_gb_words =
+        if weight_words_once * cfg.bytes_per_word as u64 <= cfg.weight_buffer_bytes as u64 {
+            weight_words_once
+        } else {
+            // weights do not fit the ping-pong buffer: refetched across passes
+            weight_words_once * weight_passes
+        };
 
     let memory_cycles = div_ceil(act_read_words + act_write_words, bw);
     let cycles = if cfg.swpr_buffer {
@@ -330,10 +329,7 @@ mod tests {
         let serial = layer_cost(&dw(96, 3, 32), 128, &cfg(false, true));
         let overlapped = layer_cost(&dw(96, 3, 32), 128, &cfg(true, true));
         assert!(overlapped.cycles < serial.cycles);
-        assert_eq!(
-            serial.cycles,
-            serial.compute_cycles + serial.memory_cycles
-        );
+        assert_eq!(serial.cycles, serial.compute_cycles + serial.memory_cycles);
         // with SWPR the effective bandwidth also doubles, so memory cycles shrink
         assert!(overlapped.cycles <= serial.compute_cycles.max(serial.memory_cycles));
     }

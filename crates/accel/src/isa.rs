@@ -92,14 +92,16 @@ pub struct Program {
 impl Program {
     /// Total encoded size in bytes.
     pub fn encoded_bytes(&self) -> usize {
-        self.instructions.iter().map(Instruction::encoded_bytes).sum()
+        self.instructions
+            .iter()
+            .map(Instruction::encoded_bytes)
+            .sum()
     }
 
     /// Whether this program fits the configured instruction and index
     /// SRAMs.
     pub fn fits(&self, cfg: &AcceleratorConfig) -> bool {
-        self.encoded_bytes() <= cfg.instr_sram_bytes
-            && self.index_words * 4 <= cfg.index_sram_bytes
+        self.encoded_bytes() <= cfg.instr_sram_bytes && self.index_words * 4 <= cfg.index_sram_bytes
     }
 
     /// Number of `ProcessPartition` instructions (the compute steps).
@@ -256,7 +258,10 @@ mod tests {
             })
             .collect();
         for w in buffers.windows(2) {
-            assert_ne!(w[0], w[1], "consecutive weight loads must alternate buffers");
+            assert_ne!(
+                w[0], w[1],
+                "consecutive weight loads must alternate buffers"
+            );
         }
     }
 

@@ -103,23 +103,18 @@ mod tests {
         let mut input_rows = Vec::new();
         for ic in 0..c_in {
             for kh in 0..k {
-                input_rows.push(x.channel_plane(0, ic)[(oy + kh) * iw..(oy + kh + 1) * iw].to_vec());
+                input_rows
+                    .push(x.channel_plane(0, ic)[(oy + kh) * iw..(oy + kh + 1) * iw].to_vec());
             }
         }
         let weights: Vec<f32> = (0..c_in)
-            .flat_map(|ic| {
-                (0..k).flat_map(move |kh| (0..k).map(move |kw| (ic, kh, kw)))
-            })
+            .flat_map(|ic| (0..k).flat_map(move |kh| (0..k).map(move |kw| (ic, kh, kw))))
             .map(|(ic, kh, kw)| w.at(0, ic, kh, kw))
             .collect();
         let (_, row) = simulate_output_row(&input_rows, &weights, k, c_in, ow, 1, 8);
-        for ox in 0..ow {
+        for (ox, &got) in row.iter().enumerate().take(ow) {
             let expect = reference.at(0, 0, oy, ox);
-            assert!(
-                (row[ox] - expect).abs() < 1e-4,
-                "ox={ox}: {} vs {expect}",
-                row[ox]
-            );
+            assert!((got - expect).abs() < 1e-4, "ox={ox}: {got} vs {expect}");
         }
     }
 

@@ -120,34 +120,33 @@ impl WindowSimulator {
             0
         };
 
-        let (window_cycles, seg_costs, seg_absorbed, worst_frame_cycles) =
-            match cfg.orchestration {
-                Orchestration::TimeMultiplexed => (
-                    frames * frame_cycles + seg_runs * seg_cycles_full,
-                    seg_costs_full,
-                    0.0,
-                    // the frame that also runs segmentation is the spike
-                    frame_cycles + seg_cycles_full,
-                ),
-                Orchestration::Concurrent => {
-                    let (cycles, costs) = self.concurrent_window(workload, frames, seg_runs);
-                    let worst = cycles.div_ceil(frames);
-                    (cycles, costs, 0.0, worst)
-                }
-                Orchestration::PartialTimeMultiplexed => {
-                    let (cycles, absorbed) = self.partial_window(
-                        &frame_costs,
-                        frame_cycles,
-                        &seg_costs_full,
-                        frames,
-                        seg_runs,
-                    );
-                    // the residue (if any) is spread across the window, so
-                    // frame latency is nearly flat
-                    let worst = cycles.div_ceil(frames);
-                    (cycles, seg_costs_full, absorbed, worst)
-                }
-            };
+        let (window_cycles, seg_costs, seg_absorbed, worst_frame_cycles) = match cfg.orchestration {
+            Orchestration::TimeMultiplexed => (
+                frames * frame_cycles + seg_runs * seg_cycles_full,
+                seg_costs_full,
+                0.0,
+                // the frame that also runs segmentation is the spike
+                frame_cycles + seg_cycles_full,
+            ),
+            Orchestration::Concurrent => {
+                let (cycles, costs) = self.concurrent_window(workload, frames, seg_runs);
+                let worst = cycles.div_ceil(frames);
+                (cycles, costs, 0.0, worst)
+            }
+            Orchestration::PartialTimeMultiplexed => {
+                let (cycles, absorbed) = self.partial_window(
+                    &frame_costs,
+                    frame_cycles,
+                    &seg_costs_full,
+                    frames,
+                    seg_runs,
+                );
+                // the residue (if any) is spread across the window, so
+                // frame latency is nearly flat
+                let worst = cycles.div_ceil(frames);
+                (cycles, seg_costs_full, absorbed, worst)
+            }
+        };
 
         // Energy: every stage executes exactly once per schedule regardless
         // of orchestration; only cycle counts (static energy, utilisation)
@@ -164,8 +163,8 @@ impl WindowSimulator {
 
         let energy_joules = counts.energy_joules(&self.energy, cfg.clock_mhz);
         let total_macs: u64 = counts.macs;
-        let avg_utilization = total_macs as f64
-            / (window_cycles as f64 * cfg.total_macs() as f64).max(1.0);
+        let avg_utilization =
+            total_macs as f64 / (window_cycles as f64 * cfg.total_macs() as f64).max(1.0);
         let seconds = window_cycles as f64 / (cfg.clock_mhz * 1e6);
         let fps = frames as f64 / seconds;
 
@@ -279,8 +278,7 @@ impl WindowSimulator {
         // bandwidth requirement ~10% (paper); with the SWPR buffer most of
         // it is hidden.
         let bw_penalty = if cfg.swpr_buffer { 1.02 } else { 1.08 };
-        let cycles =
-            ((frames * frame_cycles) as f64 * bw_penalty).ceil() as u64 + leftover_cycles;
+        let cycles = ((frames * frame_cycles) as f64 * bw_penalty).ceil() as u64 + leftover_cycles;
         (cycles, absorbed_frac)
     }
 }
@@ -304,7 +302,11 @@ mod tests {
         let report = sim(Orchestration::PartialTimeMultiplexed, true, true)
             .run_window(&EyeCodWorkload::paper_default().into_workload());
         assert!(report.fps > 240.0, "fps {}", report.fps);
-        assert!(report.avg_utilization > 0.5, "util {}", report.avg_utilization);
+        assert!(
+            report.avg_utilization > 0.5,
+            "util {}",
+            report.avg_utilization
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl ActStore {
     ///
     /// Panics if the height is not divisible by `parts`.
     pub fn partition(&self, parts: usize) -> Vec<ActStore> {
-        assert!(parts > 0 && self.h.is_multiple_of(parts), "height {} not divisible into {parts}", self.h);
+        assert!(
+            parts > 0 && self.h.is_multiple_of(parts),
+            "height {} not divisible into {parts}",
+            self.h
+        );
         let t = self.to_tensor();
         let ph = self.h / parts;
         (0..parts)
@@ -139,7 +143,10 @@ impl ActStore {
     ///
     /// Panics if the extents are odd.
     pub fn downsample2(&self) -> ActStore {
-        assert!(self.h.is_multiple_of(2) && self.w.is_multiple_of(2), "extents must be even");
+        assert!(
+            self.h.is_multiple_of(2) && self.w.is_multiple_of(2),
+            "extents must be even"
+        );
         let t = self.to_tensor();
         let d = Tensor::from_fn(
             Shape::new(1, self.c, self.h / 2, self.w / 2),
@@ -189,11 +196,7 @@ pub fn peak_activation_bytes(model: &ModelSpec, bytes_per_word: usize) -> u64 {
 /// `parts` height slices, including the `k-1` halo rows each partition
 /// re-materialises (paper Principle #III: ~36 % of the unpartitioned size
 /// at 4 partitions).
-pub fn partitioned_activation_bytes(
-    model: &ModelSpec,
-    parts: usize,
-    bytes_per_word: usize,
-) -> u64 {
+pub fn partitioned_activation_bytes(model: &ModelSpec, parts: usize, bytes_per_word: usize) -> u64 {
     assert!(parts > 0, "parts must be non-zero");
     model
         .layers
@@ -319,7 +322,13 @@ mod tests {
         let part =
             partitioned_activation_bytes(&seg, 4, 1) + partitioned_activation_bytes(&gaze, 4, 1);
         let act_gb_total = 2 * 512 * 1024;
-        assert!(part < full / 2, "partitioning should at least halve the footprint");
-        assert!(part < act_gb_total, "partitioned activations must fit the Act GBs");
+        assert!(
+            part < full / 2,
+            "partitioning should at least halve the footprint"
+        );
+        assert!(
+            part < act_gb_total,
+            "partitioned activations must fit the Act GBs"
+        );
     }
 }

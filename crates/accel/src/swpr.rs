@@ -82,7 +82,10 @@ impl SwprBuffer {
     /// Panics if the next group is not fully loaded (a real controller
     /// would stall instead; the cycle model accounts for that separately).
     pub fn swap(&mut self) {
-        assert!(self.can_swap(), "swap before the next group finished filling");
+        assert!(
+            self.can_swap(),
+            "swap before the next group finished filling"
+        );
         let old_read = self.read_group;
         self.read_group = 1 - self.read_group;
         self.groups[old_read] = GroupState::Filling(0);

@@ -76,7 +76,10 @@ impl PipelineWorkload {
         }
         if let Some((m, period)) = &self.periodic {
             m.validate();
-            assert!(*period > 0 && *period <= self.window, "invalid periodic period");
+            assert!(
+                *period > 0 && *period <= self.window,
+                "invalid periodic period"
+            );
         }
     }
 }

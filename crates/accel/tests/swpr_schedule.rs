@@ -1,0 +1,145 @@
+//! Hardware-model regression tests: SWPR buffer safety/bandwidth properties
+//! (paper §5.2, Fig. 12) and golden cycle counts for the window scheduler on
+//! a fixed small accelerator configuration.
+
+use eyecod_accel::config::AcceleratorConfig;
+use eyecod_accel::schedule::{Orchestration, WindowSimulator};
+use eyecod_accel::swpr::{peak_bandwidth_rows_per_cycle, pipeline_cycles, SwprBuffer};
+use eyecod_accel::workload::EyeCodWorkload;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Safety: the lanes never read a bank that is mid-write. Driving the
+    /// buffer with an arbitrary interleaving of writes, swaps and parallel
+    /// reads, a read always observes a complete group of `m` rows, and the
+    /// controller state always matches an independent shadow model (swap is
+    /// legal exactly when the fill group holds `m` rows).
+    #[test]
+    fn read_group_is_always_complete(
+        m in 1usize..24,
+        ops in collection::vec(0u8..3, 0..200),
+    ) {
+        let mut buf = SwprBuffer::new(m);
+        let mut written = 0usize; // shadow: rows in the filling group
+        for op in ops {
+            match op {
+                // write a row unless the fill group is full (a real
+                // controller stalls; writing anyway is the checked panic)
+                0 => {
+                    if written < m {
+                        buf.write_row();
+                        written += 1;
+                    }
+                    prop_assert_eq!(buf.can_swap(), written == m);
+                }
+                // swap when legal
+                1 => {
+                    if written == m {
+                        buf.swap();
+                        written = 0;
+                    }
+                    prop_assert_eq!(buf.can_swap(), written == m);
+                }
+                // the MAC lanes read the current group — at any time, even
+                // while the other group is mid-fill, and always see all m
+                // rows (never a partially written bank)
+                _ => prop_assert_eq!(buf.read_parallel(), m),
+            }
+        }
+    }
+
+    /// Bandwidth: with the SWPR buffer the lanes see both interleaved
+    /// groups per swap interval — effective read bandwidth is exactly twice
+    /// the single-port figure for any port width.
+    #[test]
+    fn effective_read_bandwidth_doubles(words in 1usize..512) {
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.act_words_per_cycle = words;
+        cfg.swpr_buffer = true;
+        let with = cfg.effective_act_words_per_cycle();
+        cfg.swpr_buffer = false;
+        let without = cfg.effective_act_words_per_cycle();
+        prop_assert_eq!(with, 2 * without);
+    }
+
+    /// Overlap: for balanced compute/load rounds the SWPR pipeline
+    /// approaches the ideal 2x cycle reduction (within the one-round fill),
+    /// and never exceeds it.
+    #[test]
+    fn balanced_pipeline_approaches_2x(
+        cycles in 1u64..10_000,
+        rounds in 19u64..400,
+    ) {
+        let with = pipeline_cycles(rounds, cycles, cycles, true);
+        let without = pipeline_cycles(rounds, cycles, cycles, false);
+        let ratio = without as f64 / with as f64;
+        prop_assert!(ratio <= 2.0, "ratio {ratio} exceeds ideal");
+        // exact: 2r/(r+1), >= 1.9 once r >= 19
+        prop_assert!(ratio >= 1.9, "ratio {ratio} too small for {rounds} rounds");
+    }
+
+    /// Peak-bandwidth relief: spreading an m-row fetch over a k-cycle
+    /// compute round cuts the required burst bandwidth by k/1.15; for any
+    /// kernel of 3 or more cycles the single-port requirement is at least
+    /// double the SWPR requirement.
+    #[test]
+    fn burst_bandwidth_at_least_halves(m in 1usize..64, k in 3usize..16) {
+        let without = peak_bandwidth_rows_per_cycle(m, k, false);
+        let with = peak_bandwidth_rows_per_cycle(m, k, true);
+        prop_assert!(without >= 2.0 * with, "m={} k={}: {} vs {}", m, k, without, with);
+    }
+}
+
+/// A fixed small accelerator (32 MACs, 100 MHz) whose scheduler output is
+/// pinned below. Any change to the cost or schedule models shows up as an
+/// exact cycle diff here.
+fn small_config(orchestration: Orchestration) -> AcceleratorConfig {
+    AcceleratorConfig {
+        mac_lanes: 8,
+        macs_per_lane: 4,
+        clock_mhz: 100.0,
+        act_gb_bytes: 64 * 1024,
+        act_gb_count: 2,
+        act_gb_banks: 2,
+        act_words_per_cycle: 16,
+        weight_gb_bytes: 64 * 1024,
+        weight_buffer_bytes: 8 * 1024,
+        index_sram_bytes: 4 * 1024,
+        instr_sram_bytes: 1024,
+        bytes_per_word: 1,
+        swpr_buffer: true,
+        intra_channel_reuse: true,
+        feature_partition: true,
+        partition_count: 2,
+        orchestration,
+    }
+}
+
+#[test]
+fn golden_cycle_counts_for_small_config() {
+    let w = EyeCodWorkload::paper_default().into_workload();
+    for (orch, want_cycles, want_worst) in [
+        (
+            Orchestration::TimeMultiplexed,
+            258_069_788u64,
+            40_876_798u64,
+        ),
+        (Orchestration::Concurrent, 290_564_224, 5_811_285),
+        (
+            Orchestration::PartialTimeMultiplexed,
+            239_157_604,
+            4_783_153,
+        ),
+    ] {
+        let report = WindowSimulator::new(small_config(orch)).run_window(&w);
+        assert_eq!(
+            (report.cycles, report.worst_frame_cycles),
+            (want_cycles, want_worst),
+            "{orch:?} cycles/worst changed: got ({}, {})",
+            report.cycles,
+            report.worst_frame_cycles
+        );
+    }
+}

@@ -24,7 +24,9 @@ fn print_figure() {
             .collect::<Vec<_>>(),
     );
     let e = rows.last().unwrap().fps;
-    println!("paper speedups: EdgeCPU 2966.65x, CPU 12.75x, EdgeGPU 14.83x, GPU 2.61x, CIS-GEP 12.86x");
+    println!(
+        "paper speedups: EdgeCPU 2966.65x, CPU 12.75x, EdgeGPU 14.83x, GPU 2.61x, CIS-GEP 12.86x"
+    );
     print!("measured:       ");
     for r in rows.iter().filter(|r| r.name != "EyeCoD") {
         print!("{} {:.2}x, ", r.name, e / r.fps);

@@ -33,7 +33,12 @@ fn print_ablation() {
     let raw_bytes = 64u64 * 64; // FlatCam measurement for the recon path
     print_table(
         "Sensing-processing interface ablation (§4.2)",
-        &["path", "mIOU", "camera->proc bytes/frame", "first-layer FLOPs on chip"],
+        &[
+            "path",
+            "mIOU",
+            "camera->proc bytes/frame",
+            "first-layer FLOPs on chip",
+        ],
         &[
             vec![
                 "reconstruct -> segment".into(),

@@ -62,9 +62,112 @@ fn bench(c: &mut Criterion) {
     });
 }
 
+/// The seed repo's `parallel_map`: fresh threads spawned per call, every
+/// result funnelled through one shared mutex. Kept here verbatim (on std
+/// scoped threads) as the baseline the work-stealing pool replaced. The
+/// thread count is a parameter so the comparison pits equal participant
+/// counts against each other regardless of the host's core count.
+fn mutex_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let threads = threads.min(items.len().max(1));
+    if threads <= 1 || items.len() < 4 {
+        return items.iter().map(&f).collect();
+    }
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Dataset-scale parallel execution strategies: sequential, the seed's
+/// spawn-per-call/mutex-per-item map, and the reusable work-stealing pool,
+/// at matched participant counts (4 vs 3 workers + the caller).
+///
+/// Two workloads: a 64-item batch of FlatCam Tikhonov reconstructions at
+/// the working scene size (the pipeline's real fan-out unit, compute
+/// bound), and a 4096-item batch of single reconstruction *rows* (fine
+/// grained, where per-item locking and per-call spawning dominate — the
+/// overhead the pool eliminates).
+fn heavy_compute(c: &mut Criterion) {
+    const PARTICIPANTS: usize = 4;
+    let pool = eyecod_pool::ThreadPool::with_threads(PARTICIPANTS - 1);
+
+    let mask = SeparableMask::mls_differential(64, 48, 7);
+    let cam = FlatCam::new(mask.clone(), SensorModel::nir_eye_tracking());
+    let recon = TikhonovReconstructor::new(&mask, 1e-3);
+    let measurements: Vec<Mat> = (0..64)
+        .map(|i| {
+            let scene = Mat::from_fn(48, 48, |r, c| (((r + i) * (c + 3)) % 17) as f64 / 17.0);
+            cam.capture(&scene, i as u64)
+        })
+        .collect();
+
+    c.bench_function("parallel/recon64_sequential", |b| {
+        b.iter(|| {
+            measurements
+                .iter()
+                .map(|m| recon.reconstruct(m))
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("parallel/recon64_mutex_per_item", |b| {
+        b.iter(|| mutex_parallel_map(&measurements, PARTICIPANTS, |m| recon.reconstruct(m)))
+    });
+    c.bench_function("parallel/recon64_work_stealing", |b| {
+        b.iter(|| pool.parallel_map_chunked(&measurements, 1, |m| recon.reconstruct(m)))
+    });
+
+    // fine-grained: one Ŷ-row back-projection per item
+    let y = &measurements[0];
+    let rows: Vec<usize> = (0..4096).map(|i| i % 48).collect();
+    let row_job = |&r: &usize| -> f64 {
+        let mut acc = 0.0;
+        for c in 0..y.cols() {
+            acc += y.at(r % y.rows(), c) * (c as f64 + 1.0);
+        }
+        acc
+    };
+    c.bench_function("parallel/rows4096_sequential", |b| {
+        b.iter(|| rows.iter().map(row_job).collect::<Vec<_>>())
+    });
+    c.bench_function("parallel/rows4096_mutex_per_item", |b| {
+        b.iter(|| mutex_parallel_map(&rows, PARTICIPANTS, row_job))
+    });
+    c.bench_function("parallel/rows4096_work_stealing", |b| {
+        b.iter(|| pool.parallel_map(&rows, row_job))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench
 }
-criterion_main!(benches);
+criterion_group! {
+    name = heavy;
+    config = Criterion::default().sample_size(30);
+    targets = heavy_compute
+}
+criterion_main!(benches, heavy);

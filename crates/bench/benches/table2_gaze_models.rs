@@ -17,7 +17,14 @@ fn print_rows() {
     let rows = table2_gaze_models(Scale::Quick);
     print_table(
         "Table 2 — gaze estimation models (proxy errors, full-spec params/FLOPs)",
-        &["model", "camera", "input", "error (deg)", "params (M)", "FLOPs (G)"],
+        &[
+            "model",
+            "camera",
+            "input",
+            "error (deg)",
+            "params (M)",
+            "FLOPs (G)",
+        ],
         &rows
             .iter()
             .map(|r| {

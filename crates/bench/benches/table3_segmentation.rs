@@ -13,7 +13,13 @@ fn print_rows() {
     let rows = table3_segmentation(Scale::Quick);
     print_table(
         "Table 3 — segmentation mIOU (proxy) + FLOPs (full spec @ paper res)",
-        &["model", "proxy res", "mIOU origin", "mIOU FlatCam", "FLOPs (G)"],
+        &[
+            "model",
+            "proxy res",
+            "mIOU origin",
+            "mIOU FlatCam",
+            "FLOPs (G)",
+        ],
         &rows
             .iter()
             .map(|r| {

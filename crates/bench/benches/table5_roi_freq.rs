@@ -42,7 +42,11 @@ fn bench(c: &mut Criterion) {
     let config = TrackerConfig::small();
     let models = train_tracker_models(&TrainingSetup::quick(), &config);
     let mut tracker = EyeTracker::new(config.clone(), models);
-    let sample = render_eye(&EyeParams::centered(config.scene_size), config.scene_size, 1);
+    let sample = render_eye(
+        &EyeParams::centered(config.scene_size),
+        config.scene_size,
+        1,
+    );
     c.bench_function("table5/process_frame", |b| {
         let mut seed = 0u64;
         b.iter(|| {

@@ -98,7 +98,11 @@ fn main() {
             .map(|(t, u)| vec![format!("{t:.1}"), format!("{:.1}%", u * 100.0)])
             .collect::<Vec<_>>(),
     );
-    println!("mean {:.1}%, {:.1}% of time below the 80% line", mean_util * 100.0, below * 100.0);
+    println!(
+        "mean {:.1}%, {:.1}% of time below the 80% line",
+        mean_util * 100.0,
+        below * 100.0
+    );
     write_json(&out, "fig07_utilization", &series);
 
     // --- Table 6 ---
@@ -126,11 +130,31 @@ fn main() {
         "§5.1 — in-text analysis numbers",
         &["quantity", "measured", "paper"],
         &[
-            vec!["generic conv ops".into(), format!("{:.1}%", c * 100.0), "8.8%".into()],
-            vec!["point-wise ops".into(), format!("{:.1}%", p * 100.0), "68.8%".into()],
-            vec!["depth-wise ops".into(), format!("{:.1}%", d * 100.0), "7.9%".into()],
-            vec!["FC ops".into(), format!("{:.4}%", f * 100.0), "0.001%".into()],
-            vec!["matmul ops".into(), format!("{:.1}%", m * 100.0), "14.5%".into()],
+            vec![
+                "generic conv ops".into(),
+                format!("{:.1}%", c * 100.0),
+                "8.8%".into(),
+            ],
+            vec![
+                "point-wise ops".into(),
+                format!("{:.1}%", p * 100.0),
+                "68.8%".into(),
+            ],
+            vec![
+                "depth-wise ops".into(),
+                format!("{:.1}%", d * 100.0),
+                "7.9%".into(),
+            ],
+            vec![
+                "FC ops".into(),
+                format!("{:.4}%", f * 100.0),
+                "0.001%".into(),
+            ],
+            vec![
+                "matmul ops".into(),
+                format!("{:.1}%", m * 100.0),
+                "14.5%".into(),
+            ],
             vec![
                 "depth-wise time share (naive)".into(),
                 format!("{:.1}%", s51.depthwise_time_share_naive * 100.0),
@@ -170,7 +194,14 @@ fn main() {
     let t2 = experiments::table2_gaze_models(scale);
     print_table(
         "Table 2 — gaze estimation models",
-        &["model", "camera", "input", "error (deg)", "params (M)", "FLOPs (G)"],
+        &[
+            "model",
+            "camera",
+            "input",
+            "error (deg)",
+            "params (M)",
+            "FLOPs (G)",
+        ],
         &t2.iter()
             .map(|r| {
                 vec![
@@ -191,7 +222,13 @@ fn main() {
     let t3 = experiments::table3_segmentation(scale);
     print_table(
         "Table 3 — segmentation vs resolution / precision / camera",
-        &["model", "proxy res", "mIOU origin", "mIOU FlatCam", "FLOPs (G, paper res)"],
+        &[
+            "model",
+            "proxy res",
+            "mIOU origin",
+            "mIOU FlatCam",
+            "FLOPs (G, paper res)",
+        ],
         &t3.iter()
             .map(|r| {
                 vec![

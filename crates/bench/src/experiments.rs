@@ -24,11 +24,12 @@ use eyecod_eyedata::labels::mean_iou;
 use eyecod_eyedata::render::{render_eye, EyeParams};
 use eyecod_eyedata::{EyeMotionGenerator, GazeVector};
 use eyecod_models::proxy::{
-    eval_gaze, predict_seg, quantize_params_int8, train_gaze, train_seg, GazeFamily,
-    ProxyGazeNet, ProxySegNet, TrainConfig,
+    eval_gaze, predict_seg, quantize_params_int8, train_gaze, train_seg, GazeFamily, ProxyGazeNet,
+    ProxySegNet, TrainConfig,
 };
 use eyecod_models::{fbnet, mobilenet, resnet, ritnet, unet};
 use eyecod_platforms::system::{compare_all, PlatformResult};
+use eyecod_pool::BatchRunner;
 use eyecod_tensor::ops::{downsample_avg, resize_bilinear};
 use eyecod_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -117,7 +118,11 @@ fn eval_gaze_setup(
             let p = EyeParams::random(&mut rng);
             let s = render_eye(&p, scene, i as u64);
             let img = acquisition.acquire(&s.image, i as u64 + 1);
-            images.push(resize_bilinear(&img, config.gaze_input.0, config.gaze_input.1));
+            images.push(resize_bilinear(
+                &img,
+                config.gaze_input.0,
+                config.gaze_input.1,
+            ));
             gazes.push(GazeVector::batch_to_tensor(&[s.gaze]));
         }
         let images = Tensor::stack(&images);
@@ -167,7 +172,11 @@ fn eval_gaze_setup(
         } else {
             img
         };
-        crops.push(resize_bilinear(&input, config.gaze_input.0, config.gaze_input.1));
+        crops.push(resize_bilinear(
+            &input,
+            config.gaze_input.0,
+            config.gaze_input.1,
+        ));
         gazes.push(GazeVector::batch_to_tensor(&[s.gaze]));
     }
     eval_gaze(&mut gaze, &Tensor::stack(&crops), &Tensor::stack(&gazes))
@@ -186,69 +195,108 @@ fn acquisition_for(config: &TrackerConfig) -> Acquisition {
     }
 }
 
+/// One Table 2 training/eval case.
+struct GazeCase {
+    model: &'static str,
+    camera: &'static str,
+    resolution: &'static str,
+    family: GazeFamily,
+    flatcam: bool,
+    use_roi: bool,
+    int8: bool,
+    params_m: f64,
+    flops_g: f64,
+}
+
 /// Regenerates Table 2: gaze models on lens full-frame vs FlatCam ROI.
+///
+/// Each row trains its own gaze network, so the sweep runs on the
+/// process-wide pool through [`BatchRunner`] (bounded in-flight training
+/// state, results in row order).
 pub fn table2_gaze_models(scale: Scale) -> Vec<GazeModelRow> {
-    let mut rows = Vec::new();
-    // ResNet18 on the lens camera, full frame (the OpenEDS2020 winner row)
-    rows.push(GazeModelRow {
-        model: "ResNet18".into(),
-        camera: "Lens".into(),
-        resolution: "full frame".into(),
-        error_deg: eval_gaze_setup(GazeFamily::ResNetLike, false, false, false, scale),
-        params_m: resnet::spec(224, 224).params() as f64 / 1e6,
-        flops_g: resnet::spec(224, 224).flops() as f64 / 1e9,
-    });
-    // Lens + ROI control: isolates the FlatCam-optics effect (the paper's
-    // claim that the FlatCam system does not degrade accuracy is the small
-    // gap between this row and the FlatCam ResNet18 row)
-    rows.push(GazeModelRow {
-        model: "ResNet18".into(),
-        camera: "Lens".into(),
-        resolution: "ROI".into(),
-        error_deg: eval_gaze_setup(GazeFamily::ResNetLike, false, true, false, scale),
-        params_m: resnet::spec(96, 160).params() as f64 / 1e6,
-        flops_g: resnet::spec(96, 160).flops() as f64 / 1e9,
-    });
-    // FlatCam + ROI rows
-    for (label, family, spec_params, spec_flops) in [
-        (
-            "ResNet18",
-            GazeFamily::ResNetLike,
-            resnet::spec(96, 160).params(),
-            resnet::spec(96, 160).flops(),
-        ),
-        (
-            "MobileNet",
-            GazeFamily::MobileNetLike,
-            mobilenet::spec(96, 160).params(),
-            mobilenet::spec(96, 160).flops(),
-        ),
-        (
-            "FBNet-C100",
-            GazeFamily::FbnetLike,
-            fbnet::spec(96, 160).params(),
-            fbnet::spec(96, 160).flops(),
-        ),
-    ] {
-        rows.push(GazeModelRow {
-            model: label.into(),
-            camera: "FlatCam".into(),
-            resolution: "ROI".into(),
-            error_deg: eval_gaze_setup(family, true, true, false, scale),
-            params_m: spec_params as f64 / 1e6,
-            flops_g: spec_flops as f64 / 1e9,
-        });
-    }
-    // 8-bit FBNet
-    rows.push(GazeModelRow {
-        model: "FBNet-C100 (8-bit)".into(),
-        camera: "FlatCam".into(),
-        resolution: "ROI".into(),
-        error_deg: eval_gaze_setup(GazeFamily::FbnetLike, true, true, true, scale),
-        params_m: fbnet::spec(96, 160).params() as f64 / 1e6,
-        flops_g: fbnet::spec(96, 160).effective_flops(8) as f64 / 1e9,
-    });
-    rows
+    let cases = [
+        // ResNet18 on the lens camera, full frame (the OpenEDS2020 winner
+        // row)
+        GazeCase {
+            model: "ResNet18",
+            camera: "Lens",
+            resolution: "full frame",
+            family: GazeFamily::ResNetLike,
+            flatcam: false,
+            use_roi: false,
+            int8: false,
+            params_m: resnet::spec(224, 224).params() as f64 / 1e6,
+            flops_g: resnet::spec(224, 224).flops() as f64 / 1e9,
+        },
+        // Lens + ROI control: isolates the FlatCam-optics effect (the
+        // paper's claim that the FlatCam system does not degrade accuracy
+        // is the small gap between this row and the FlatCam ResNet18 row)
+        GazeCase {
+            model: "ResNet18",
+            camera: "Lens",
+            resolution: "ROI",
+            family: GazeFamily::ResNetLike,
+            flatcam: false,
+            use_roi: true,
+            int8: false,
+            params_m: resnet::spec(96, 160).params() as f64 / 1e6,
+            flops_g: resnet::spec(96, 160).flops() as f64 / 1e9,
+        },
+        // FlatCam + ROI rows
+        GazeCase {
+            model: "ResNet18",
+            camera: "FlatCam",
+            resolution: "ROI",
+            family: GazeFamily::ResNetLike,
+            flatcam: true,
+            use_roi: true,
+            int8: false,
+            params_m: resnet::spec(96, 160).params() as f64 / 1e6,
+            flops_g: resnet::spec(96, 160).flops() as f64 / 1e9,
+        },
+        GazeCase {
+            model: "MobileNet",
+            camera: "FlatCam",
+            resolution: "ROI",
+            family: GazeFamily::MobileNetLike,
+            flatcam: true,
+            use_roi: true,
+            int8: false,
+            params_m: mobilenet::spec(96, 160).params() as f64 / 1e6,
+            flops_g: mobilenet::spec(96, 160).flops() as f64 / 1e9,
+        },
+        GazeCase {
+            model: "FBNet-C100",
+            camera: "FlatCam",
+            resolution: "ROI",
+            family: GazeFamily::FbnetLike,
+            flatcam: true,
+            use_roi: true,
+            int8: false,
+            params_m: fbnet::spec(96, 160).params() as f64 / 1e6,
+            flops_g: fbnet::spec(96, 160).flops() as f64 / 1e9,
+        },
+        // 8-bit FBNet
+        GazeCase {
+            model: "FBNet-C100 (8-bit)",
+            camera: "FlatCam",
+            resolution: "ROI",
+            family: GazeFamily::FbnetLike,
+            flatcam: true,
+            use_roi: true,
+            int8: true,
+            params_m: fbnet::spec(96, 160).params() as f64 / 1e6,
+            flops_g: fbnet::spec(96, 160).effective_flops(8) as f64 / 1e9,
+        },
+    ];
+    BatchRunner::on_global().run(&cases, |case| GazeModelRow {
+        model: case.model.into(),
+        camera: case.camera.into(),
+        resolution: case.resolution.into(),
+        error_deg: eval_gaze_setup(case.family, case.flatcam, case.use_roi, case.int8, scale),
+        params_m: case.params_m,
+        flops_g: case.flops_g,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -511,7 +559,6 @@ pub struct RoiFreqRow {
 /// footage, so the period ladder 5/10/20 plays the role of the paper's
 /// 25/50/100.)
 pub fn table5_roi_freq(scale: Scale) -> Vec<RoiFreqRow> {
-    let mut rows = Vec::new();
     // size sweep at the default period, then period sweep at default size
     let size_cases = [
         ((16usize, 24usize), (48usize, 80usize)),
@@ -522,7 +569,9 @@ pub fn table5_roi_freq(scale: Scale) -> Vec<RoiFreqRow> {
     let default_size = ((24usize, 32usize), (96usize, 160usize));
     let default_period = 10usize;
 
-    let run_case = |period: usize, (roi, paper_roi): ((usize, usize), (usize, usize))| {
+    // (segmentation period, (functional ROI, paper-scale ROI))
+    type RoiCase = (usize, ((usize, usize), (usize, usize)));
+    let run_case = |&(period, (roi, paper_roi)): &RoiCase| {
         let mut config = TrackerConfig::small();
         config.roi = roi;
         config.roi_period = period;
@@ -538,16 +587,12 @@ pub fn table5_roi_freq(scale: Scale) -> Vec<RoiFreqRow> {
                 ..Default::default()
             };
             let mut rng = StdRng::seed_from_u64(motion_seed ^ 0x00EE_C0D0);
-            let mut motion = EyeMotionGenerator::new(
-                EyeParams::random(&mut rng),
-                motion_config,
-                motion_seed,
-            );
+            let mut motion =
+                EyeMotionGenerator::new(EyeParams::random(&mut rng), motion_config, motion_seed);
             stats.merge(&tracker.run_sequence(&mut motion, scale.seq_frames()));
         }
         let gaze_flops = fbnet::spec(paper_roi.0, paper_roi.1).flops() as f64 / 1e6;
-        let seg_flops = ritnet::spec(128).flops() as f64 / 1e6
-            / (period as f64 * 5.0); // scaled to the paper's 25/50/100 ladder
+        let seg_flops = ritnet::spec(128).flops() as f64 / 1e6 / (period as f64 * 5.0); // scaled to the paper's 25/50/100 ladder
         RoiFreqRow {
             roi_period: period,
             roi_size: format!("{}x{}", roi.0, roi.1),
@@ -558,14 +603,19 @@ pub fn table5_roi_freq(scale: Scale) -> Vec<RoiFreqRow> {
         }
     };
 
+    let mut cases: Vec<RoiCase> = Vec::new();
     for period in period_cases {
         if period != default_period {
-            rows.push(run_case(period, default_size));
+            cases.push((period, default_size));
         }
     }
     for size in size_cases {
-        rows.push(run_case(default_period, size));
+        cases.push((default_period, size));
     }
+    // every case trains a tracker from scratch — run the sweep through the
+    // pool-backed batch executor so training state stays bounded while all
+    // cores contribute
+    let mut rows = BatchRunner::on_global().run(&cases, run_case);
     rows.sort_by_key(|r| (r.roi_period, r.roi_size.clone()));
     rows
 }

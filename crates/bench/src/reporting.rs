@@ -21,7 +21,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         .map(|(i, h)| format!("{h:<w$}", w = widths[i]))
         .collect();
     println!("{}", header_line.join("  "));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         let line: Vec<String> = row
             .iter()

@@ -37,6 +37,7 @@ pub mod acquisition;
 pub mod interface;
 pub mod metrics;
 pub mod parallel;
+pub mod pool;
 pub mod roi;
 pub mod tracker;
 pub mod training;

@@ -1,49 +1,26 @@
-//! Scoped-thread helpers for dataset-scale evaluations.
+//! Dataset-scale parallel evaluation, backed by the process-wide
+//! work-stealing pool.
 //!
 //! Rendering, FlatCam reconstruction and per-sample evaluation are
-//! embarrassingly parallel; the benchmark harnesses fan them out across
-//! cores with `crossbeam` scoped threads collecting into a
-//! `parking_lot`-guarded buffer.
-
-use parking_lot::Mutex;
+//! embarrassingly parallel. Earlier revisions spawned fresh scoped threads
+//! per call and collected results through a single mutex; this module now
+//! delegates to [`crate::pool`] (the `eyecod-pool` crate), which reuses
+//! one lazily-initialised worker pool for the whole process and writes
+//! results into pre-allocated slots with no locks on the hot path.
 
 /// Applies `f` to every item, in parallel, preserving order.
 ///
-/// Uses up to `std::thread::available_parallelism()` worker threads; falls
-/// back to sequential execution for tiny inputs.
+/// Runs on the [`crate::pool::global`] pool (sized from
+/// `std::thread::available_parallelism()`, overridable via the
+/// `EYECOD_THREADS` environment variable). Tiny inputs run inline on the
+/// calling thread.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if threads <= 1 || items.len() < 4 {
-        return items.iter().map(&f).collect();
-    }
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    crate::pool::parallel_map(items, f)
 }
 
 #[cfg(test)]
@@ -77,8 +54,9 @@ mod tests {
             ids.lock().unwrap().insert(std::thread::current().id());
         });
         let n = ids.lock().unwrap().len();
-        // at least 2 workers on any multi-core machine
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+        // at least 2 participants on any multi-core machine (workers plus
+        // the calling thread)
+        if crate::pool::global().threads() > 0 {
             assert!(n > 1, "expected multiple worker threads, saw {n}");
         }
     }

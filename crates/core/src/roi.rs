@@ -31,7 +31,10 @@ impl RoiRect {
     ///
     /// Panics if the rectangle does not fit.
     pub fn centered(img_h: usize, img_w: usize, h: usize, w: usize) -> Self {
-        assert!(h <= img_h && w <= img_w, "ROI {h}x{w} exceeds image {img_h}x{img_w}");
+        assert!(
+            h <= img_h && w <= img_w,
+            "ROI {h}x{w} exceeds image {img_h}x{img_w}"
+        );
         RoiRect {
             y0: (img_h - h) / 2,
             x0: (img_w - w) / 2,
@@ -42,15 +45,11 @@ impl RoiRect {
 
     /// A rectangle of size `(h, w)` centred as close to `(cy, cx)` as the
     /// image bounds allow.
-    pub fn around(
-        cy: f32,
-        cx: f32,
-        h: usize,
-        w: usize,
-        img_h: usize,
-        img_w: usize,
-    ) -> Self {
-        assert!(h <= img_h && w <= img_w, "ROI {h}x{w} exceeds image {img_h}x{img_w}");
+    pub fn around(cy: f32, cx: f32, h: usize, w: usize, img_h: usize, img_w: usize) -> Self {
+        assert!(
+            h <= img_h && w <= img_w,
+            "ROI {h}x{w} exceeds image {img_h}x{img_w}"
+        );
         let y0 = (cy - h as f32 / 2.0).round().max(0.0) as usize;
         let x0 = (cx - w as f32 / 2.0).round().max(0.0) as usize;
         RoiRect {
@@ -99,12 +98,7 @@ pub enum CropStrategy {
 /// pupil is absent (blink, blackout, all-skin frame) the sclera centroid is
 /// tried; failing that, a central fallback covers the plausible eye area —
 /// the failure-handling the pipeline needs on bad frames.
-pub fn predict_roi(
-    labels: &[u8],
-    seg_size: usize,
-    target_h: usize,
-    target_w: usize,
-) -> RoiRect {
+pub fn predict_roi(labels: &[u8], seg_size: usize, target_h: usize, target_w: usize) -> RoiRect {
     assert_eq!(labels.len(), seg_size * seg_size, "label map size mismatch");
     assert!(
         target_h <= seg_size && target_w <= seg_size,
@@ -235,7 +229,15 @@ mod tests {
             w: 24,
         };
         let up = r.rescale(32, 64);
-        assert_eq!(up, RoiRect { y0: 16, x0: 8, h: 32, w: 48 });
+        assert_eq!(
+            up,
+            RoiRect {
+                y0: 16,
+                x0: 8,
+                h: 32,
+                w: 48
+            }
+        );
     }
 
     #[test]

@@ -83,14 +83,20 @@ impl TrackerConfig {
     /// Panics if extents are inconsistent (ROI larger than the scene,
     /// segmentation size not dividing the scene, zero period, …).
     pub fn validate(&self) {
-        assert!(self.scene_size > 0 && self.seg_size > 0, "extents must be non-zero");
+        assert!(
+            self.scene_size > 0 && self.seg_size > 0,
+            "extents must be non-zero"
+        );
         assert!(
             self.scene_size.is_multiple_of(self.seg_size),
             "segmentation size {} must divide scene size {}",
             self.seg_size,
             self.scene_size
         );
-        assert!(self.seg_size.is_multiple_of(2), "segmentation net needs an even input size");
+        assert!(
+            self.seg_size.is_multiple_of(2),
+            "segmentation net needs an even input size"
+        );
         assert!(
             self.roi.0 <= self.scene_size && self.roi.1 <= self.scene_size,
             "ROI {:?} exceeds scene {}",
@@ -99,7 +105,10 @@ impl TrackerConfig {
         );
         assert!(self.roi_period > 0, "ROI period must be non-zero");
         if self.flatcam {
-            assert!(self.sensor_size >= self.scene_size, "sensor must cover the scene");
+            assert!(
+                self.sensor_size >= self.scene_size,
+                "sensor must cover the scene"
+            );
         }
     }
 }
@@ -194,7 +203,9 @@ impl EyeTracker {
         );
         let image = self.acquisition.acquire(scene, noise_seed);
 
-        let due = self.frame_counter.is_multiple_of(self.config.roi_period as u64);
+        let due = self
+            .frame_counter
+            .is_multiple_of(self.config.roi_period as u64);
         if due {
             self.refresh_roi(&image);
         }
@@ -240,6 +251,26 @@ impl EyeTracker {
         roi.x0 = roi.x0.min(scene - roi.w);
         self.current_roi = roi;
         self.last_labels = Some(labels);
+    }
+
+    /// Evaluates several independent motion sequences concurrently on the
+    /// process-wide work-stealing pool, one sequence per seed.
+    ///
+    /// Trackers are stateful (ROI schedule, frame counter), so each job
+    /// builds its own tracker from the shared trained models; results are
+    /// bit-identical to running [`EyeTracker::run_sequence`] on fresh
+    /// trackers sequentially, in seed order.
+    pub fn run_sequences_parallel(
+        config: &TrackerConfig,
+        models: &TrackerModels,
+        seeds: &[u64],
+        frames: usize,
+    ) -> Vec<TrackingStats> {
+        crate::pool::parallel_map_chunked(seeds, 1, |&seed| {
+            let mut tracker = EyeTracker::new(config.clone(), models.clone_models());
+            let mut generator = EyeMotionGenerator::with_seed(seed);
+            tracker.run_sequence(&mut generator, frames)
+        })
     }
 
     /// Tracks a synthetic eye-motion sequence for `frames` frames,
@@ -347,6 +378,22 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sequences_match_sequential_runs() {
+        let t = tracker();
+        let (config, models) = (t.config().clone(), t.models.clone_models());
+        let seeds = [5u64, 6, 7, 8, 9];
+        let parallel = EyeTracker::run_sequences_parallel(&config, &models, &seeds, 12);
+        assert_eq!(parallel.len(), seeds.len());
+        for (&seed, stats) in seeds.iter().zip(&parallel) {
+            let mut fresh = EyeTracker::new(config.clone(), models.clone_models());
+            let sequential = fresh.run_sequence(&mut EyeMotionGenerator::with_seed(seed), 12);
+            assert_eq!(stats.frames, sequential.frames);
+            assert_eq!(stats.roi_refreshes, sequential.roi_refreshes);
+            assert_eq!(stats.mean_error_deg(), sequential.mean_error_deg());
+        }
+    }
+
+    #[test]
     fn adaptive_roi_plumbing_changes_size_and_stays_in_bounds() {
         // the sizing rule itself is unit-tested on ground-truth labels in
         // roi.rs; here we verify the live policy plumbing: the adaptive
@@ -357,7 +404,10 @@ mod tests {
         let s = render_eye(&EyeParams::centered(48), 48, 3);
         let out = t.process_frame(&s.image, 4);
         let r = out.roi;
-        assert!(r.y0 + r.h <= 48 && r.x0 + r.w <= 48, "ROI out of bounds: {r:?}");
+        assert!(
+            r.y0 + r.h <= 48 && r.x0 + r.w <= 48,
+            "ROI out of bounds: {r:?}"
+        );
         assert!(r.h >= 12 && r.w >= 12, "adaptive ROI degenerate: {r:?}");
         // fixed mode pins the configured size
         let mut tf = tracker();

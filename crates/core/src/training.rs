@@ -8,7 +8,7 @@
 //! artefacts are part of the training distribution exactly as in the paper.
 
 use crate::acquisition::Acquisition;
-use crate::parallel::parallel_map;
+use crate::pool::parallel_map_chunked;
 use crate::roi::predict_roi;
 use crate::tracker::TrackerConfig;
 use eyecod_eyedata::render::{render_eye, EyeParams};
@@ -102,7 +102,10 @@ impl TrackerModels {
 /// `size / factor`.
 pub fn downsample_labels(labels: &[u8], size: usize, factor: usize) -> Vec<u8> {
     assert_eq!(labels.len(), size * size, "label map size mismatch");
-    assert!(factor > 0 && size.is_multiple_of(factor), "factor must divide size");
+    assert!(
+        factor > 0 && size.is_multiple_of(factor),
+        "factor must divide size"
+    );
     let out_size = size / factor;
     let mut out = Vec::with_capacity(out_size * out_size);
     for y in 0..out_size {
@@ -128,7 +131,9 @@ pub fn train_tracker_models(setup: &TrainingSetup, config: &TrackerConfig) -> Tr
     let factor = scene / config.seg_size;
 
     // Render + acquire in parallel (acquisition is the expensive part).
-    let params: Vec<EyeParams> = (0..setup.n_samples).map(|_| EyeParams::random(&mut rng)).collect();
+    let params: Vec<EyeParams> = (0..setup.n_samples)
+        .map(|_| EyeParams::random(&mut rng))
+        .collect();
     let acquisition = if config.flatcam {
         Acquisition::flatcam(scene, config.sensor_size, config.epsilon, config.mask_seed)
     } else {
@@ -136,7 +141,9 @@ pub fn train_tracker_models(setup: &TrainingSetup, config: &TrackerConfig) -> Tr
     };
     let seed0 = setup.seed;
     let flip = setup.augment_flip;
-    let samples: Vec<Vec<(Tensor, Vec<u8>, Tensor)>> = parallel_map(&params, |p| {
+    // chunk = 1: each render+acquire is heavy and FlatCam/lens costs are
+    // uneven, so fine-grained stealing balances the workers best
+    let samples: Vec<Vec<(Tensor, Vec<u8>, Tensor)>> = parallel_map_chunked(&params, 1, |p| {
         let idx = p.texture_seed ^ seed0;
         let rendered = render_eye(p, scene, idx);
         let mut variants = vec![rendered.clone()];
@@ -210,7 +217,11 @@ pub fn train_tracker_models(setup: &TrainingSetup, config: &TrackerConfig) -> Tr
                 r.x0 = (r.x0 as i64 + dx).clamp(0, (scene - rw) as i64) as usize;
             }
             let crop = r.crop(img);
-            crops.push(resize_bilinear(&crop, config.gaze_input.0, config.gaze_input.1));
+            crops.push(resize_bilinear(
+                &crop,
+                config.gaze_input.0,
+                config.gaze_input.1,
+            ));
             gazes.push(gaze.clone());
         }
     }
@@ -241,7 +252,7 @@ mod tests {
     fn downsample_labels_picks_block_centres() {
         // 4x4 -> 2x2 with factor 2: centres at (1,1), (1,3), (3,1), (3,3)
         let mut labels = vec![0u8; 16];
-        labels[1 * 4 + 1] = 3;
+        labels[4 + 1] = 3; // row 1, col 1
         labels[3 * 4 + 3] = 2;
         assert_eq!(downsample_labels(&labels, 4, 2), vec![3, 0, 0, 2]);
     }
@@ -295,8 +306,16 @@ mod tests {
         let mut ga = a.gaze.clone();
         let mut gb = b.gaze.clone();
         use eyecod_tensor::Layer;
-        let pa: Vec<f32> = ga.params_mut().iter().map(|p| p.value.as_slice()[0]).collect();
-        let pb: Vec<f32> = gb.params_mut().iter().map(|p| p.value.as_slice()[0]).collect();
+        let pa: Vec<f32> = ga
+            .params_mut()
+            .iter()
+            .map(|p| p.value.as_slice()[0])
+            .collect();
+        let pb: Vec<f32> = gb
+            .params_mut()
+            .iter()
+            .map(|p| p.value.as_slice()[0])
+            .collect();
         assert_eq!(pa, pb);
     }
 }

@@ -137,6 +137,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero gaze")]
     fn normalize_rejects_zero() {
-        GazeVector { x: 0.0, y: 0.0, z: 0.0 }.normalized();
+        GazeVector {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
+        .normalized();
     }
 }

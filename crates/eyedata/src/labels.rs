@@ -70,7 +70,12 @@ pub fn class_centroid(labels: &[u8], h: usize, w: usize, class: SegClass) -> Opt
 /// # Panics
 ///
 /// Panics if `labels.len() != h * w`.
-pub fn class_bbox(labels: &[u8], h: usize, w: usize, class: SegClass) -> Option<(usize, usize, usize, usize)> {
+pub fn class_bbox(
+    labels: &[u8],
+    h: usize,
+    w: usize,
+    class: SegClass,
+) -> Option<(usize, usize, usize, usize)> {
     assert_eq!(labels.len(), h * w, "label map size mismatch");
     let mut bbox: Option<(usize, usize, usize, usize)> = None;
     for y in 0..h {
@@ -155,9 +160,12 @@ mod tests {
     #[test]
     fn bbox_covers_extremes() {
         let mut labels = vec![0u8; 25];
-        labels[1 * 5 + 1] = 1;
+        labels[5 + 1] = 1; // row 1, col 1
         labels[3 * 5 + 4] = 1;
-        assert_eq!(class_bbox(&labels, 5, 5, SegClass::Sclera), Some((1, 1, 3, 4)));
+        assert_eq!(
+            class_bbox(&labels, 5, 5, SegClass::Sclera),
+            Some((1, 1, 3, 4))
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ mod tests {
     fn noise_is_smooth_at_fine_steps() {
         let a = value_noise(10.0, 10.0, 8.0, 1);
         let b = value_noise(10.05, 10.0, 8.0, 1);
-        assert!((a - b).abs() < 0.05, "noise jumped {} over a tiny step", (a - b).abs());
+        assert!(
+            (a - b).abs() < 0.05,
+            "noise jumped {} over a tiny step",
+            (a - b).abs()
+        );
     }
 
     #[test]
@@ -78,6 +82,10 @@ mod tests {
             let v = value_noise(i as f32 * 13.0, i as f32 * 7.0, 4.0, 2);
             distinct.insert((v * 1000.0) as i32);
         }
-        assert!(distinct.len() > 20, "noise too flat: {} values", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "noise too flat: {} values",
+            distinct.len()
+        );
     }
 }

@@ -105,10 +105,17 @@ impl EyeParams {
     /// Panics if the pupil is not strictly inside the iris, extents are
     /// non-positive, or openness is out of `(0, 1]`.
     pub fn validate(&self) {
-        assert!(self.pupil_radius > 0.0 && self.pupil_radius < self.iris_radius,
-            "pupil radius {} must be positive and inside the iris {}", self.pupil_radius, self.iris_radius);
+        assert!(
+            self.pupil_radius > 0.0 && self.pupil_radius < self.iris_radius,
+            "pupil radius {} must be positive and inside the iris {}",
+            self.pupil_radius,
+            self.iris_radius
+        );
         assert!(self.eye_radius > 0.0, "eye radius must be positive");
-        assert!(self.openness > 0.0 && self.openness <= 1.0, "openness must be in (0, 1]");
+        assert!(
+            self.openness > 0.0 && self.openness <= 1.0,
+            "openness must be in (0, 1]"
+        );
     }
 }
 
@@ -144,11 +151,20 @@ pub fn render_eye(params: &EyeParams, size: usize, noise_seed: u64) -> Sample {
 
         let (class, mut value) = if in_opening {
             if di <= params.pupil_radius {
-                (SegClass::Pupil, 0.06 + 0.02 * fractal_noise(x * size as f32, y * size as f32, 6.0, params.texture_seed))
+                (
+                    SegClass::Pupil,
+                    0.06 + 0.02
+                        * fractal_noise(x * size as f32, y * size as f32, 6.0, params.texture_seed),
+                )
             } else if di <= params.iris_radius {
                 // radial iris texture
                 let ring = ((di / params.iris_radius) * 9.0).sin().abs();
-                let tex = fractal_noise(x * size as f32, y * size as f32, 3.0, params.texture_seed ^ 0xA5);
+                let tex = fractal_noise(
+                    x * size as f32,
+                    y * size as f32,
+                    3.0,
+                    params.texture_seed ^ 0xA5,
+                );
                 (SegClass::Iris, 0.26 + 0.08 * ring + 0.06 * tex)
             } else {
                 // sclera with mild shading towards the eyelid boundary
@@ -158,9 +174,21 @@ pub fn render_eye(params: &EyeParams, size: usize, noise_seed: u64) -> Sample {
         } else {
             // skin with procedural texture and a darker lash line near the opening
             let rim = (ey * ey + ex * ex).sqrt();
-            let lash = if rim < 1.18 { 0.12 * (1.18 - rim) / 0.18 } else { 0.0 };
-            let tex = fractal_noise(x * size as f32, y * size as f32, 5.0, params.texture_seed ^ 0x5A);
-            (SegClass::Background, params.skin_brightness + 0.10 * tex - lash)
+            let lash = if rim < 1.18 {
+                0.12 * (1.18 - rim) / 0.18
+            } else {
+                0.0
+            };
+            let tex = fractal_noise(
+                x * size as f32,
+                y * size as f32,
+                5.0,
+                params.texture_seed ^ 0x5A,
+            );
+            (
+                SegClass::Background,
+                params.skin_brightness + 0.10 * tex - lash,
+            )
         };
         labels[py * size + px] = class as u8;
 
@@ -239,7 +267,10 @@ mod tests {
         let sl = render_eye(&left, 64, 0);
         let cr = class_centroid(&sr.labels, 64, 64, SegClass::Pupil).unwrap();
         let cl = class_centroid(&sl.labels, 64, 64, SegClass::Pupil).unwrap();
-        assert!(cr.1 > cl.1 + 4.0, "pupil x should follow yaw: {cr:?} vs {cl:?}");
+        assert!(
+            cr.1 > cl.1 + 4.0,
+            "pupil x should follow yaw: {cr:?} vs {cl:?}"
+        );
     }
 
     #[test]

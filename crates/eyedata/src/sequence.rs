@@ -115,7 +115,9 @@ impl EyeMotionGenerator {
                 self.saccade_target = None;
             }
         } else if self.rng.gen::<f32>() < c.saccade_prob {
-            let amp = self.rng.gen_range(c.saccade_amplitude.0..c.saccade_amplitude.1);
+            let amp = self
+                .rng
+                .gen_range(c.saccade_amplitude.0..c.saccade_amplitude.1);
             let dir = self.rng.gen_range(0.0..std::f32::consts::TAU);
             let ty = (self.current.pitch + amp * dir.sin()).clamp(-c.max_angle, c.max_angle);
             let tx = (self.current.yaw + amp * dir.cos()).clamp(-c.max_angle, c.max_angle);
@@ -135,8 +137,7 @@ impl EyeMotionGenerator {
             let t = self.blink_remaining as f32 / c.blink_frames.max(1) as f32;
             // triangular profile: fully closed at the midpoint
             let closure = 1.0 - (2.0 * t - 1.0).abs();
-            self.current.openness =
-                (self.base_openness * (1.0 - 0.9 * closure)).max(0.05);
+            self.current.openness = (self.base_openness * (1.0 - 0.9 * closure)).max(0.05);
         } else if self.rng.gen::<f32>() < c.blink_prob {
             self.blink_remaining = c.blink_frames.max(1);
         } else {
@@ -232,11 +233,18 @@ mod tests {
         let mut gen = EyeMotionGenerator::new(initial, config, 9);
         let frames = gen.take_frames(200);
         let min_open = frames.iter().map(|p| p.openness).fold(f32::MAX, f32::min);
-        assert!(min_open < base * 0.5, "no blink closed the eye: min {min_open}");
+        assert!(
+            min_open < base * 0.5,
+            "no blink closed the eye: min {min_open}"
+        );
         // the eye reopens after every blink
         assert!(frames.last().unwrap().openness > 0.0);
         assert!(
-            frames.iter().filter(|p| (p.openness - base).abs() < 1e-6).count() > 50,
+            frames
+                .iter()
+                .filter(|p| (p.openness - base).abs() < 1e-6)
+                .count()
+                > 50,
             "the eye should be open most of the time"
         );
         // every frame stays renderable

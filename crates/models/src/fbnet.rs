@@ -54,7 +54,10 @@ fn mbconv(b: &mut SpecBuilder, expansion: usize, k: usize, stride: usize, c_out:
 ///
 /// Panics if either extent is smaller than 32 (five stride-2 stages).
 pub fn spec(h: usize, w: usize) -> ModelSpec {
-    assert!(h >= 32 && w >= 32, "FBNet input must be at least 32x32, got {h}x{w}");
+    assert!(
+        h >= 32 && w >= 32,
+        "FBNet input must be at least 32x32, got {h}x{w}"
+    );
     let mut b = SpecBuilder::new("FBNet-C100", 1, h, w);
     b.conv(STEM, 3, 2);
     for &(e, k, s, c, n) in STAGES {

@@ -27,7 +27,10 @@ pub const OUTPUT: usize = 3;
 ///
 /// Panics if either extent is smaller than 32.
 pub fn spec(h: usize, w: usize) -> ModelSpec {
-    assert!(h >= 32 && w >= 32, "MobileNetV2 input must be at least 32x32, got {h}x{w}");
+    assert!(
+        h >= 32 && w >= 32,
+        "MobileNetV2 input must be at least 32x32, got {h}x{w}"
+    );
     let mut b = SpecBuilder::new("MobileNetV2", 1, h, w);
     b.conv(32, 3, 2);
     for &(e, c, n, s) in STAGES {
@@ -57,14 +60,20 @@ mod tests {
     fn params_match_table2() {
         // Table 2: 2.23M (headless MobileNetV2 + 3-dim gaze head).
         let p = spec(96, 160).params();
-        assert!((1_900_000..2_700_000).contains(&p), "MobileNetV2 params {p}");
+        assert!(
+            (1_900_000..2_700_000).contains(&p),
+            "MobileNetV2 params {p}"
+        );
     }
 
     #[test]
     fn flops_at_roi_match_table2() {
         // Table 2: 0.10G at 96x160.
         let f = spec(96, 160).flops();
-        assert!((60_000_000..140_000_000).contains(&f), "MobileNetV2 flops {f}");
+        assert!(
+            (60_000_000..140_000_000).contains(&f),
+            "MobileNetV2 flops {f}"
+        );
     }
 
     #[test]

@@ -190,15 +190,21 @@ impl ProxyGazeNet {
     pub fn new(family: GazeFamily, rng: &mut StdRng) -> Self {
         let mut layers = Vec::new();
         let conv_bn_relu = |layers: &mut Vec<GazeLayer>, cin, cout, stride, rng: &mut StdRng| {
-            layers.push(GazeLayer::Conv(Conv2d::new(cin, cout, 3, stride, 1, 1, false, rng)));
+            layers.push(GazeLayer::Conv(Conv2d::new(
+                cin, cout, 3, stride, 1, 1, false, rng,
+            )));
             layers.push(GazeLayer::Bn(BatchNorm2d::new(cout)));
             layers.push(GazeLayer::Act(LeakyRelu::relu()));
         };
         let dw_pw = |layers: &mut Vec<GazeLayer>, cin, cout, stride, rng: &mut StdRng| {
-            layers.push(GazeLayer::Conv(Conv2d::new(cin, cin, 3, stride, 1, cin, false, rng)));
+            layers.push(GazeLayer::Conv(Conv2d::new(
+                cin, cin, 3, stride, 1, cin, false, rng,
+            )));
             layers.push(GazeLayer::Bn(BatchNorm2d::new(cin)));
             layers.push(GazeLayer::Act(LeakyRelu::relu()));
-            layers.push(GazeLayer::Conv(Conv2d::new(cin, cout, 1, 1, 0, 1, false, rng)));
+            layers.push(GazeLayer::Conv(Conv2d::new(
+                cin, cout, 1, 1, 0, 1, false, rng,
+            )));
             layers.push(GazeLayer::Bn(BatchNorm2d::new(cout)));
             layers.push(GazeLayer::Act(LeakyRelu::relu()));
         };

@@ -31,7 +31,10 @@ fn basic_block(b: &mut SpecBuilder, c_out: usize, stride: usize) {
 ///
 /// Panics if either extent is smaller than 32.
 pub fn spec(h: usize, w: usize) -> ModelSpec {
-    assert!(h >= 32 && w >= 32, "ResNet18 input must be at least 32x32, got {h}x{w}");
+    assert!(
+        h >= 32 && w >= 32,
+        "ResNet18 input must be at least 32x32, got {h}x{w}"
+    );
     let mut b = SpecBuilder::new("ResNet18", 1, h, w);
     b.conv(64, 7, 2).max_pool(2);
     for (stage, &c) in WIDTHS.iter().enumerate() {
@@ -51,10 +54,7 @@ mod tests {
     fn params_match_published_resnet18() {
         // Table 2: 11.18M (backbone without the 1000-class ImageNet head).
         let p = spec(224, 224).params();
-        assert!(
-            (10_500_000..12_200_000).contains(&p),
-            "ResNet18 params {p}"
-        );
+        assert!((10_500_000..12_200_000).contains(&p), "ResNet18 params {p}");
     }
 
     #[test]

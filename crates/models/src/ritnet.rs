@@ -23,7 +23,10 @@ pub const CLASSES: usize = 4;
 /// Panics if `size` is not divisible by 16 (the network has four 2×
 /// down-samplings).
 pub fn spec(size: usize) -> ModelSpec {
-    assert!(size.is_multiple_of(16), "RITNet input must be divisible by 16, got {size}");
+    assert!(
+        size.is_multiple_of(16),
+        "RITNet input must be divisible by 16, got {size}"
+    );
     let c = WIDTH;
     let mut b = SpecBuilder::new("RITNet", 1, size, size);
     // Encoder: five scales; the full-resolution block carries an extra conv
@@ -34,8 +37,8 @@ pub fn spec(size: usize) -> ModelSpec {
     b.max_pool(2).conv(c, 3, 1).conv(c, 3, 1); // enc3 (1/4)
     b.max_pool(2).conv(c, 3, 1).conv(c, 3, 1); // enc4 (1/8)
     b.max_pool(2).conv(c, 3, 1).conv(c, 3, 1); // bottleneck (1/16)
-    // Decoder: four scales, skip concat + convs per scale; the final
-    // full-resolution block again carries an extra conv.
+                                               // Decoder: four scales, skip concat + convs per scale; the final
+                                               // full-resolution block again carries an extra conv.
     for scale in 0..4 {
         b.upsample(2).concat(c).conv(c, 3, 1).conv(c, 3, 1);
         if scale == 3 {
@@ -62,7 +65,11 @@ mod tests {
             (150_000..320_000).contains(&p),
             "RITNet params {p} outside expected envelope"
         );
-        assert_eq!(spec(512).params(), p, "params must be resolution-independent");
+        assert_eq!(
+            spec(512).params(),
+            p,
+            "params must be resolution-independent"
+        );
     }
 
     #[test]

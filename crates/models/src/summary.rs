@@ -35,12 +35,7 @@ impl ModelSummary {
             params: model.params(),
             macs: model.macs(),
             weight_bytes_int8: model.params(),
-            max_layer_weight_bytes_int8: model
-                .layers
-                .iter()
-                .map(|l| l.params())
-                .max()
-                .unwrap_or(0),
+            max_layer_weight_bytes_int8: model.layers.iter().map(|l| l.params()).max().unwrap_or(0),
             peak_activation_elems: model.peak_activation_elems(),
         }
     }
@@ -149,7 +144,11 @@ mod tests {
             .iter()
             .filter(|l| l.params() > 64 * 1024)
             .count();
-        let compute = gaze_spec.layers.iter().filter(|l| l.kind.is_compute()).count();
+        let compute = gaze_spec
+            .layers
+            .iter()
+            .filter(|l| l.kind.is_compute())
+            .count();
         assert!(
             oversized * 3 < compute,
             "only a small minority of FBNet layers may exceed a ping-pong              buffer: {oversized}/{compute}"

@@ -16,7 +16,10 @@ pub const CLASSES: usize = 4;
 ///
 /// Panics if `size` is not divisible by 8 (three 2× down-samplings).
 pub fn spec(size: usize) -> ModelSpec {
-    assert!(size.is_multiple_of(8), "U-Net input must be divisible by 8, got {size}");
+    assert!(
+        size.is_multiple_of(8),
+        "U-Net input must be divisible by 8, got {size}"
+    );
     let mut b = SpecBuilder::new("U-Net", 1, size, size);
     // encoder
     for (i, &c) in WIDTHS.iter().enumerate() {

@@ -139,8 +139,8 @@ mod tests {
 
     fn scene(n: usize) -> Mat {
         Mat::from_fn(n, n, |r, c| {
-            let d = ((r as f64 - n as f64 / 2.0).powi(2) + (c as f64 - n as f64 / 2.0).powi(2))
-                .sqrt();
+            let d =
+                ((r as f64 - n as f64 / 2.0).powi(2) + (c as f64 - n as f64 / 2.0).powi(2)).sqrt();
             if d < n as f64 / 8.0 {
                 0.1
             } else {
@@ -164,8 +164,14 @@ mod tests {
             &scenes[0],
             &TikhonovReconstructor::new(&mask, 1.0).reconstruct(&y),
         );
-        assert!(tuned_psnr >= too_small - 0.5, "tuned {tuned_psnr:.1} vs tiny-eps {too_small:.1}");
-        assert!(tuned_psnr >= too_big - 0.5, "tuned {tuned_psnr:.1} vs huge-eps {too_big:.1}");
+        assert!(
+            tuned_psnr >= too_small - 0.5,
+            "tuned {tuned_psnr:.1} vs tiny-eps {too_small:.1}"
+        );
+        assert!(
+            tuned_psnr >= too_big - 0.5,
+            "tuned {tuned_psnr:.1} vs huge-eps {too_big:.1}"
+        );
         assert!(eps > 1e-9 && eps < 1.0);
     }
 
@@ -189,11 +195,26 @@ mod tests {
         let cam = FlatCam::new(mask.clone(), SensorModel::nir_eye_tracking());
         let x = scene(32);
         let y = cam.capture(&x, 3);
-        let q_full = psnr(&x, &TruncatedReconstructor::new(&mask, 1e-3, 32).reconstruct(&y));
-        let q_half = psnr(&x, &TruncatedReconstructor::new(&mask, 1e-3, 24).reconstruct(&y));
-        let q_tiny = psnr(&x, &TruncatedReconstructor::new(&mask, 1e-3, 4).reconstruct(&y));
-        assert!(q_full > q_half, "full ({q_full:.1}) must beat rank 24 ({q_half:.1})");
-        assert!(q_half > q_tiny, "rank 24 ({q_half:.1}) should beat rank 4 ({q_tiny:.1})");
+        let q_full = psnr(
+            &x,
+            &TruncatedReconstructor::new(&mask, 1e-3, 32).reconstruct(&y),
+        );
+        let q_half = psnr(
+            &x,
+            &TruncatedReconstructor::new(&mask, 1e-3, 24).reconstruct(&y),
+        );
+        let q_tiny = psnr(
+            &x,
+            &TruncatedReconstructor::new(&mask, 1e-3, 4).reconstruct(&y),
+        );
+        assert!(
+            q_full > q_half,
+            "full ({q_full:.1}) must beat rank 24 ({q_half:.1})"
+        );
+        assert!(
+            q_half > q_tiny,
+            "rank 24 ({q_half:.1}) should beat rank 4 ({q_tiny:.1})"
+        );
         let (t, f) = TruncatedReconstructor::new(&mask, 1e-3, 16).macs();
         assert!(t * 2 < f, "rank-16 should at least halve the recon MACs");
     }

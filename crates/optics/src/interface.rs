@@ -73,7 +73,10 @@ impl OpticalFirstLayer {
     /// [`OpticalFirstLayer::edge_bank`]).
     pub fn from_kernels(scene: usize, out: usize, pairs: &[(Kernel1d, Kernel1d)]) -> Self {
         assert!(!pairs.is_empty(), "need at least one optical channel");
-        assert!(out > 0 && out <= scene, "invalid output extent {out} for scene {scene}");
+        assert!(
+            out > 0 && out <= scene,
+            "invalid output extent {out} for scene {scene}"
+        );
         assert_eq!(scene % out, 0, "output extent must divide the scene extent");
         let channels = pairs
             .iter()
@@ -177,11 +180,8 @@ mod tests {
 
     #[test]
     fn derivative_channel_responds_to_edges_only() {
-        let layer = OpticalFirstLayer::from_kernels(
-            32,
-            16,
-            &[(Kernel1d::Derivative, Kernel1d::Smooth)],
-        );
+        let layer =
+            OpticalFirstLayer::from_kernels(32, 16, &[(Kernel1d::Derivative, Kernel1d::Smooth)]);
         // constant scene -> zero edge response
         let flat = layer.apply(&Mat::from_fn(32, 32, |_, _| 0.7));
         assert!(flat.max_abs() < 1e-6);

@@ -73,13 +73,14 @@ impl TikhonovReconstructor {
             measurement.rows(),
             measurement.cols()
         );
-        // Ŷ = U₁ᵀ · Y · U₂  (n × n)
+        // Ŷ = U₁ᵀ · Y · U₂  (n × n); both products run tiled over rows on
+        // the process pool at paper-scale geometries
         let yhat = self
             .svd_l
             .u
             .transpose()
-            .matmul(measurement)
-            .matmul(&self.svd_r.u);
+            .matmul_parallel(measurement)
+            .matmul_parallel(&self.svd_r.u);
         // Z_ij = s1_i s2_j Ŷ_ij / (s1_i² s2_j² + ε)
         let n = self.scene;
         let z = Mat::from_fn(n, n, |i, j| {
@@ -93,7 +94,10 @@ impl TikhonovReconstructor {
             }
         });
         // X = V₁ · Z · V₂ᵀ
-        self.svd_l.v.matmul(&z).matmul(&self.svd_r.v.transpose())
+        self.svd_l
+            .v
+            .matmul_parallel(&z)
+            .matmul_parallel(&self.svd_r.v.transpose())
     }
 
     /// Rank-truncated reconstruction: only the top `rank` singular
@@ -106,7 +110,10 @@ impl TikhonovReconstructor {
     /// `1..=scene`.
     pub fn reconstruct_truncated(&self, measurement: &Mat, rank: usize) -> Mat {
         let n = self.scene;
-        assert!(rank >= 1 && rank <= n, "rank {rank} out of range for scene {n}");
+        assert!(
+            rank >= 1 && rank <= n,
+            "rank {rank} out of range for scene {n}"
+        );
         let (mh, mw) = (self.svd_l.u.rows(), self.svd_r.u.rows());
         assert_eq!(
             (measurement.rows(), measurement.cols()),
@@ -117,8 +124,8 @@ impl TikhonovReconstructor {
             .svd_l
             .u
             .transpose()
-            .matmul(measurement)
-            .matmul(&self.svd_r.u);
+            .matmul_parallel(measurement)
+            .matmul_parallel(&self.svd_r.u);
         let z = Mat::from_fn(n, n, |i, j| {
             if i >= rank || j >= rank {
                 return 0.0;
@@ -132,7 +139,10 @@ impl TikhonovReconstructor {
                 s1 * s2 * yhat.at(i, j) / denom
             }
         });
-        self.svd_l.v.matmul(&z).matmul(&self.svd_r.v.transpose())
+        self.svd_l
+            .v
+            .matmul_parallel(&z)
+            .matmul_parallel(&self.svd_r.v.transpose())
     }
 }
 
@@ -173,7 +183,11 @@ mod tests {
         let y = cam.capture(&scene, 42);
         let recon = TikhonovReconstructor::new(&mask, 0.0);
         let err_unreg = recon.reconstruct(&y).sub(&scene).fro_norm();
-        let err_reg = recon.with_epsilon(1e-4).reconstruct(&y).sub(&scene).fro_norm();
+        let err_reg = recon
+            .with_epsilon(1e-4)
+            .reconstruct(&y)
+            .sub(&scene)
+            .fro_norm();
         assert!(
             err_reg < err_unreg,
             "regularised {err_reg} should beat unregularised {err_unreg}"

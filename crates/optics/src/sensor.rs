@@ -106,7 +106,11 @@ impl SensorModel {
                     noisy += self.read_noise_std * gaussian(&mut rng);
                 }
                 if self.saturation.is_finite() {
-                    let lo = if self.dc_level > 0.0 { -self.saturation } else { 0.0 };
+                    let lo = if self.dc_level > 0.0 {
+                        -self.saturation
+                    } else {
+                        0.0
+                    };
                     noisy = noisy.clamp(lo, self.saturation);
                 }
                 if self.adc_bits > 0 {
@@ -194,7 +198,10 @@ mod tests {
         let out = s.apply(&m, 0);
         for &v in out.as_slice() {
             let scaled = v * 3.0;
-            assert!((scaled - scaled.round()).abs() < 1e-12, "value {v} not on 2-bit grid");
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-12,
+                "value {v} not on 2-bit grid"
+            );
         }
     }
 }

@@ -29,7 +29,10 @@ impl Svd {
     pub fn compute(a: &Mat) -> Svd {
         let m = a.rows();
         let n = a.cols();
-        assert!(m >= n, "Svd::compute requires rows ≥ cols ({m} < {n}); transpose first");
+        assert!(
+            m >= n,
+            "Svd::compute requires rows ≥ cols ({m} < {n}); transpose first"
+        );
 
         // Work on columns of a copy of A; accumulate rotations into V.
         let mut w = a.clone();
@@ -88,7 +91,11 @@ impl Svd {
             }
             *s = norm.sqrt();
         }
-        order.sort_by(|&a, &b| sing[b].partial_cmp(&sing[a]).expect("non-NaN singular values"));
+        order.sort_by(|&a, &b| {
+            sing[b]
+                .partial_cmp(&sing[a])
+                .expect("non-NaN singular values")
+        });
 
         let mut u = Mat::zeros(m, n);
         let mut v_sorted = Mat::zeros(n, n);

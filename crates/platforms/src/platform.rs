@@ -113,7 +113,9 @@ impl Platform {
     /// link energy).
     pub fn energy_per_frame_j(&self, workload: &PipelineWorkload) -> f64 {
         self.power_w * self.frame_compute_seconds(workload)
-            + self.link.transfer_energy_j(workload.offchip_bytes_per_frame)
+            + self
+                .link
+                .transfer_energy_j(workload.offchip_bytes_per_frame)
     }
 
     /// Frames per joule.
@@ -170,7 +172,12 @@ mod tests {
         // Fig. 14 energy ordering: CIS-GEP is the most efficient baseline
         let w = lens_workload();
         let cis = Platform::new(PlatformKind::CisGep).frames_per_joule(&w);
-        for k in [PlatformKind::EdgeCpu, PlatformKind::Cpu, PlatformKind::EdgeGpu, PlatformKind::Gpu] {
+        for k in [
+            PlatformKind::EdgeCpu,
+            PlatformKind::Cpu,
+            PlatformKind::EdgeGpu,
+            PlatformKind::Gpu,
+        ] {
             let other = Platform::new(k).frames_per_joule(&w);
             assert!(
                 cis > other,

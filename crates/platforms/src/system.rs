@@ -121,7 +121,10 @@ mod tests {
         let cis = e / row(&rows, "CIS-GEP").fps;
         assert!((1.5..8.0).contains(&gpu), "GPU speedup {gpu:.2}");
         assert!((5.0..40.0).contains(&cpu), "CPU speedup {cpu:.2}");
-        assert!((5.0..45.0).contains(&edge_gpu), "EdgeGPU speedup {edge_gpu:.2}");
+        assert!(
+            (5.0..45.0).contains(&edge_gpu),
+            "EdgeGPU speedup {edge_gpu:.2}"
+        );
         assert!((5.0..45.0).contains(&cis), "CIS-GEP speedup {cis:.2}");
         assert!(edge_cpu > 500.0, "EdgeCPU speedup {edge_cpu:.0}");
         // and the orderings among them

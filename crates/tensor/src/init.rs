@@ -56,11 +56,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let t = kaiming(Shape::new(64, 32, 3, 3), 32 * 9, &mut rng);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.shape().len() as f32;
         let expected = 2.0 / (32.0 * 9.0);
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - expected).abs() / expected < 0.15, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() / expected < 0.15,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]
@@ -80,8 +87,18 @@ mod tests {
 
     #[test]
     fn gaussian_is_reproducible_per_seed() {
-        let a = gaussian(Shape::vector(1, 16), 0.0, 1.0, &mut StdRng::seed_from_u64(7));
-        let b = gaussian(Shape::vector(1, 16), 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        let a = gaussian(
+            Shape::vector(1, 16),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = gaussian(
+            Shape::vector(1, 16),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(a, b);
     }
 }

@@ -107,7 +107,10 @@ impl Conv2d {
         bias: bool,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(c_in.is_multiple_of(groups), "c_in {c_in} not divisible by groups {groups}");
+        assert!(
+            c_in.is_multiple_of(groups),
+            "c_in {c_in} not divisible by groups {groups}"
+        );
         let wshape = Shape::new(c_out, c_in / groups, k, k);
         let fan_in = (c_in / groups) * k * k;
         let weight = Param::new(init::kaiming(wshape, fan_in, rng));
@@ -340,7 +343,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         use rand::SeedableRng;
         Dropout {
             p,

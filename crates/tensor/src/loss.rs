@@ -22,7 +22,12 @@ use crate::tensor::Tensor;
 pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
     let s = logits.shape();
     let pixels = s.n * s.spatial_len();
-    assert_eq!(targets.len(), pixels, "expected {pixels} targets, got {}", targets.len());
+    assert_eq!(
+        targets.len(),
+        pixels,
+        "expected {pixels} targets, got {}",
+        targets.len()
+    );
     let mut grad = Tensor::zeros(s);
     let mut loss = 0.0f64;
     let inv = 1.0 / pixels as f32;
@@ -87,7 +92,11 @@ pub fn angular_gaze_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
     let mut grad = Tensor::zeros(s);
     let mut loss = 0.0f32;
     for n in 0..s.n {
-        let p = [pred.at(n, 0, 0, 0), pred.at(n, 1, 0, 0), pred.at(n, 2, 0, 0)];
+        let p = [
+            pred.at(n, 0, 0, 0),
+            pred.at(n, 1, 0, 0),
+            pred.at(n, 2, 0, 0),
+        ];
         let t = [
             target.at(n, 0, 0, 0),
             target.at(n, 1, 0, 0),
@@ -121,7 +130,11 @@ pub fn angular_error_degrees(pred: &Tensor, target: &Tensor) -> f32 {
     assert_eq!(target.shape(), s, "target shape mismatch");
     let mut total = 0.0f64;
     for n in 0..s.n {
-        let p = [pred.at(n, 0, 0, 0), pred.at(n, 1, 0, 0), pred.at(n, 2, 0, 0)];
+        let p = [
+            pred.at(n, 0, 0, 0),
+            pred.at(n, 1, 0, 0),
+            pred.at(n, 2, 0, 0),
+        ];
         let t = [
             target.at(n, 0, 0, 0),
             target.at(n, 1, 0, 0),
@@ -215,8 +228,7 @@ mod tests {
             pp.as_mut_slice()[i] += eps;
             let mut pm = p.clone();
             pm.as_mut_slice()[i] -= eps;
-            let num =
-                (angular_gaze_loss(&pp, &t).0 - angular_gaze_loss(&pm, &t).0) / (2.0 * eps);
+            let num = (angular_gaze_loss(&pp, &t).0 - angular_gaze_loss(&pm, &t).0) / (2.0 * eps);
             assert!((num - grad.as_slice()[i]).abs() < 1e-3);
         }
     }

@@ -147,8 +147,8 @@ pub fn conv2d_naive(
                     let iy = (oy * stride + kh) as isize - pad as isize;
                     let ix = (ox * stride + kw) as isize - pad as isize;
                     if iy >= 0 && ix >= 0 && (iy as usize) < ishape.h && (ix as usize) < ishape.w {
-                        acc += input.at(n, ic, iy as usize, ix as usize)
-                            * weight.at(oc, icg, kh, kw);
+                        acc +=
+                            input.at(n, ic, iy as usize, ix as usize) * weight.at(oc, icg, kh, kw);
                     }
                 }
             }
@@ -329,9 +329,7 @@ mod tests {
         let go = rand_tensor(Shape::new(1, 3, 3, 3), &mut rng); // stride 2, pad 1 -> 3x3
         let grads = conv2d_backward(&x, &w, &go, 2, 1, 1);
 
-        let loss = |x: &Tensor, w: &Tensor| -> f32 {
-            conv2d(x, w, None, 2, 1, 1).mul(&go).sum()
-        };
+        let loss = |x: &Tensor, w: &Tensor| -> f32 { conv2d(x, w, None, 2, 1, 1).mul(&go).sum() };
         let eps = 1e-2;
         // spot-check a handful of input positions
         for &(c, h, ww) in &[(0usize, 0usize, 0usize), (1, 2, 3), (0, 4, 4)] {

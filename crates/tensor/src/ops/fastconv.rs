@@ -67,7 +67,7 @@ pub fn conv2d_gemm(
     let wshape = weight.shape();
     assert!(groups > 0, "groups must be non-zero");
     assert!(
-        ishape.c % groups == 0 && wshape.n % groups == 0,
+        ishape.c.is_multiple_of(groups) && wshape.n.is_multiple_of(groups),
         "channels not divisible by groups {groups}"
     );
     let cin_g = ishape.c / groups;

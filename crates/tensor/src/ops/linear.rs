@@ -70,7 +70,11 @@ pub fn linear_backward(input: &Tensor, weight: &Tensor, grad_out: &Tensor) -> Li
     let cin = input.shape().item_len();
     let cout = weight.shape().n;
     assert_eq!(grad_out.shape().n, n, "grad_out batch mismatch");
-    assert_eq!(grad_out.shape().item_len(), cout, "grad_out feature mismatch");
+    assert_eq!(
+        grad_out.shape().item_len(),
+        cout,
+        "grad_out feature mismatch"
+    );
 
     let x = input.as_slice();
     let w = weight.as_slice();

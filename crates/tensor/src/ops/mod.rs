@@ -14,11 +14,17 @@ mod pool;
 mod resize;
 mod spatial;
 
-pub use activation::{leaky_relu, leaky_relu_backward, relu, relu_backward, sigmoid, sigmoid_backward, softmax_channels};
+pub use activation::{
+    leaky_relu, leaky_relu_backward, relu, relu_backward, sigmoid, sigmoid_backward,
+    softmax_channels,
+};
 pub use conv::{conv2d, conv2d_backward, conv2d_naive, Conv2dGrads};
 pub use fastconv::conv2d_gemm;
 pub use linear::{linear, linear_backward, matmul, LinearGrads};
 pub use norm::{batch_norm, batch_norm_backward, BatchNormCache, BatchNormGrads};
-pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward, MaxPoolCache};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, MaxPoolCache,
+};
 pub use resize::{downsample_avg, resize_bilinear, upsample_nearest, upsample_nearest_backward};
 pub use spatial::{concat_channels, crop, pad_zero, split_channels};

@@ -39,8 +39,16 @@ pub fn batch_norm(
     let c = s.c;
     assert_eq!(gamma.len(), c, "gamma must have one entry per channel");
     assert_eq!(beta.len(), c, "beta must have one entry per channel");
-    assert_eq!(running_mean.len(), c, "running_mean must have one entry per channel");
-    assert_eq!(running_var.len(), c, "running_var must have one entry per channel");
+    assert_eq!(
+        running_mean.len(),
+        c,
+        "running_mean must have one entry per channel"
+    );
+    assert_eq!(
+        running_var.len(),
+        c,
+        "running_var must have one entry per channel"
+    );
 
     let count = (s.n * s.spatial_len()) as f32;
     #[allow(clippy::needless_range_loop)] // indexed in lockstep with per-channel stats
@@ -78,7 +86,9 @@ pub fn batch_norm(
     };
 
     let std: Vec<f32> = var.iter().map(|&v| (v + eps).sqrt()).collect();
-    let normalized = Tensor::from_fn(s, |n, ch, h, w| (input.at(n, ch, h, w) - mean[ch]) / std[ch]);
+    let normalized = Tensor::from_fn(s, |n, ch, h, w| {
+        (input.at(n, ch, h, w) - mean[ch]) / std[ch]
+    });
     let out = Tensor::from_fn(s, |n, ch, h, w| {
         gamma[ch] * normalized.at(n, ch, h, w) + beta[ch]
     });
@@ -122,8 +132,7 @@ pub fn batch_norm_backward(
     let gin = Tensor::from_fn(s, |n, ch, h, w| {
         let g = grad_out.at(n, ch, h, w);
         let xn = cache.normalized.at(n, ch, h, w);
-        gamma[ch] / cache.std[ch]
-            * (g - g_beta[ch] / count - xn * g_gamma[ch] / count)
+        gamma[ch] / cache.std[ch] * (g - g_beta[ch] / count - xn * g_gamma[ch] / count)
     });
     BatchNormGrads {
         input: gin,
@@ -160,13 +169,16 @@ mod tests {
         assert!(cache.is_none());
         assert!((y.at(0, 0, 0, 0) - 1.0).abs() < 1e-5); // (2-2)/2*2+1
         assert!((y.at(0, 0, 0, 1) - 3.0).abs() < 1e-5); // (4-2)/2*2+1
-        // running stats untouched in inference
+                                                        // running stats untouched in inference
         assert_eq!(rm, vec![2.0]);
     }
 
     #[test]
     fn backward_finite_difference() {
-        let x = Tensor::from_vec(Shape::new(2, 2, 1, 2), vec![1., 2., -1., 0.5, 3., -2., 0., 1.]);
+        let x = Tensor::from_vec(
+            Shape::new(2, 2, 1, 2),
+            vec![1., 2., -1., 0.5, 3., -2., 0., 1.],
+        );
         let gamma = [1.5, 0.7];
         let beta = [0.1, -0.3];
         let go = Tensor::from_vec(

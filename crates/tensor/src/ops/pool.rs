@@ -80,7 +80,12 @@ pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize) -> Tensor {
 }
 
 /// Backward pass of [`avg_pool2d`].
-pub fn avg_pool2d_backward(input_shape: Shape, grad_out: &Tensor, k: usize, stride: usize) -> Tensor {
+pub fn avg_pool2d_backward(
+    input_shape: Shape,
+    grad_out: &Tensor,
+    k: usize,
+    stride: usize,
+) -> Tensor {
     let inv = 1.0 / (k * k) as f32;
     let mut gin = Tensor::zeros(input_shape);
     let oshape = grad_out.shape();

@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn concat_then_split_round_trips() {
         let a = Tensor::from_fn(Shape::new(2, 2, 3, 3), |n, c, h, w| (n + c + h + w) as f32);
-        let b = Tensor::from_fn(Shape::new(2, 3, 3, 3), |n, c, h, w| -((n + c + h + w) as f32));
+        let b = Tensor::from_fn(Shape::new(2, 3, 3, 3), |n, c, h, w| {
+            -((n + c + h + w) as f32)
+        });
         let cat = concat_channels(&[&a, &b]);
         assert_eq!(cat.shape().dims(), (2, 5, 3, 3));
         let parts = split_channels(&cat, &[2, 3]);
@@ -147,7 +149,9 @@ mod tests {
 
     #[test]
     fn crop_of_pad_is_identity() {
-        let x = Tensor::from_fn(Shape::new(1, 2, 3, 3), |_, c, h, w| (c * 9 + h * 3 + w) as f32);
+        let x = Tensor::from_fn(Shape::new(1, 2, 3, 3), |_, c, h, w| {
+            (c * 9 + h * 3 + w) as f32
+        });
         let y = crop(&pad_zero(&x, 2, 1, 1, 2), 2, 1, 3, 3);
         assert_eq!(y, x);
     }

@@ -46,9 +46,16 @@ impl Sgd {
     /// (optimiser state is positional).
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "parameter list changed size");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter list changed size"
+        );
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
             let mut g = p.grad.clone();
             if self.weight_decay > 0.0 {
@@ -108,8 +115,14 @@ impl Adam {
     /// The parameter list must be presented in the same order on every call.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(self.m.len(), params.len(), "parameter list changed size");
         self.t += 1;
@@ -154,8 +167,14 @@ impl CosineSchedule {
     /// rates are inconsistent.
     pub fn new(base_lr: f32, min_lr: f32, warmup_steps: u64, total_steps: u64) -> Self {
         assert!(total_steps > 0, "total_steps must be non-zero");
-        assert!(warmup_steps < total_steps, "warm-up must end before the schedule");
-        assert!(base_lr > 0.0 && min_lr >= 0.0 && min_lr <= base_lr, "inconsistent rates");
+        assert!(
+            warmup_steps < total_steps,
+            "warm-up must end before the schedule"
+        );
+        assert!(
+            base_lr > 0.0 && min_lr >= 0.0 && min_lr <= base_lr,
+            "inconsistent rates"
+        );
         CosineSchedule {
             base_lr,
             min_lr,
@@ -169,11 +188,9 @@ impl CosineSchedule {
         if step < self.warmup_steps {
             return self.base_lr * (step as f32 + 1.0) / self.warmup_steps as f32;
         }
-        let t = ((step - self.warmup_steps) as f32
-            / (self.total_steps - self.warmup_steps) as f32)
+        let t = ((step - self.warmup_steps) as f32 / (self.total_steps - self.warmup_steps) as f32)
             .min(1.0);
-        self.min_lr
-            + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 }
 

@@ -117,11 +117,7 @@ pub fn qconv2d(
                 for kw in 0..k {
                     let iy = (oy * stride + kh) as isize - pad as isize;
                     let ix = (ox * stride + kw) as isize - pad as isize;
-                    if iy >= 0
-                        && ix >= 0
-                        && (iy as usize) < ishape.h
-                        && (ix as usize) < ishape.w
-                    {
+                    if iy >= 0 && ix >= 0 && (iy as usize) < ishape.h && (ix as usize) < ishape.w {
                         let xi = input.data[ishape.index(n, ic, iy as usize, ix as usize)] as i32;
                         let wi = weight.data[wshape.index(oc, icg, kh, kw)] as i32;
                         acc += xi * wi;
@@ -150,10 +146,16 @@ mod tests {
     #[test]
     fn round_trip_error_is_bounded_by_half_scale() {
         let mut rng = StdRng::seed_from_u64(3);
-        let t = Tensor::from_fn(Shape::new(1, 4, 8, 8), |_, _, _, _| rng.gen_range(-2.0..2.0));
+        let t = Tensor::from_fn(Shape::new(1, 4, 8, 8), |_, _, _, _| {
+            rng.gen_range(-2.0..2.0)
+        });
         let q = QTensor::quantize(&t);
         let err = t.sub(&q.dequantize()).max_abs();
-        assert!(err <= q.scale() * 0.5 + 1e-6, "err {err} scale {}", q.scale());
+        assert!(
+            err <= q.scale() * 0.5 + 1e-6,
+            "err {err} scale {}",
+            q.scale()
+        );
     }
 
     #[test]
@@ -174,8 +176,12 @@ mod tests {
     #[test]
     fn qconv_close_to_float_conv() {
         let mut rng = StdRng::seed_from_u64(5);
-        let x = Tensor::from_fn(Shape::new(1, 3, 8, 8), |_, _, _, _| rng.gen_range(-1.0..1.0));
-        let w = Tensor::from_fn(Shape::new(4, 3, 3, 3), |_, _, _, _| rng.gen_range(-0.5..0.5));
+        let x = Tensor::from_fn(Shape::new(1, 3, 8, 8), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let w = Tensor::from_fn(Shape::new(4, 3, 3, 3), |_, _, _, _| {
+            rng.gen_range(-0.5..0.5)
+        });
         let b: Vec<f32> = (0..4).map(|_| rng.gen_range(-0.1..0.1)).collect();
         let float = ops::conv2d(&x, &w, Some(&b), 1, 1, 1);
         let q = qconv2d(

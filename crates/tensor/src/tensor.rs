@@ -224,7 +224,11 @@ impl Tensor {
 
     /// Euclidean norm of the flattened tensor.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Extracts one batch item as a new single-item tensor.
@@ -311,7 +315,9 @@ mod tests {
 
     #[test]
     fn from_fn_ordering() {
-        let t = Tensor::from_fn(Shape::new(1, 2, 2, 2), |_, c, h, w| (c * 4 + h * 2 + w) as f32);
+        let t = Tensor::from_fn(Shape::new(1, 2, 2, 2), |_, c, h, w| {
+            (c * 4 + h * 2 + w) as f32
+        });
         assert_eq!(t.as_slice(), &[0., 1., 2., 3., 4., 5., 6., 7.]);
     }
 

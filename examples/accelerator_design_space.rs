@@ -8,8 +8,8 @@
 //! ```
 
 use eyecod::accel::config::AcceleratorConfig;
-use eyecod::accel::schedule::{Orchestration, WindowSimulator};
 use eyecod::accel::roofline::{model_roofline, ridge_intensity};
+use eyecod::accel::schedule::{Orchestration, WindowSimulator};
 use eyecod::accel::trace::UtilizationTrace;
 use eyecod::accel::workload::EyeCodWorkload;
 
@@ -30,44 +30,68 @@ fn main() {
     println!("(workload: FlatCam recon + FBNet-C100@96x160 gaze + RITNet@128 seg / 50 frames)\n");
 
     println!("--- feature ablation (Table 6 axis) ---");
-    report("baseline (time-mux, no SWPR, no reuse)", AcceleratorConfig::ablation_baseline());
-    report("+ SWPR input buffer", AcceleratorConfig {
-        swpr_buffer: true,
-        ..AcceleratorConfig::ablation_baseline()
-    });
-    report("+ partial time-multiplexing", AcceleratorConfig {
-        swpr_buffer: true,
-        orchestration: Orchestration::PartialTimeMultiplexed,
-        ..AcceleratorConfig::ablation_baseline()
-    });
-    report("+ depth-wise intra-channel reuse (full)", AcceleratorConfig::paper_default());
+    report(
+        "baseline (time-mux, no SWPR, no reuse)",
+        AcceleratorConfig::ablation_baseline(),
+    );
+    report(
+        "+ SWPR input buffer",
+        AcceleratorConfig {
+            swpr_buffer: true,
+            ..AcceleratorConfig::ablation_baseline()
+        },
+    );
+    report(
+        "+ partial time-multiplexing",
+        AcceleratorConfig {
+            swpr_buffer: true,
+            orchestration: Orchestration::PartialTimeMultiplexed,
+            ..AcceleratorConfig::ablation_baseline()
+        },
+    );
+    report(
+        "+ depth-wise intra-channel reuse (full)",
+        AcceleratorConfig::paper_default(),
+    );
 
     println!("\n--- orchestration modes ---");
     for (name, orch) in [
         ("time-multiplexed", Orchestration::TimeMultiplexed),
         ("concurrent", Orchestration::Concurrent),
-        ("partial time-multiplexed", Orchestration::PartialTimeMultiplexed),
+        (
+            "partial time-multiplexed",
+            Orchestration::PartialTimeMultiplexed,
+        ),
     ] {
-        report(name, AcceleratorConfig {
-            orchestration: orch,
-            ..AcceleratorConfig::paper_default()
-        });
+        report(
+            name,
+            AcceleratorConfig {
+                orchestration: orch,
+                ..AcceleratorConfig::paper_default()
+            },
+        );
     }
 
     println!("\n--- MAC lane scaling ---");
     for lanes in [32usize, 64, 128, 256] {
-        report(&format!("{lanes} lanes x 8 MACs"), AcceleratorConfig {
-            mac_lanes: lanes,
-            ..AcceleratorConfig::paper_default()
-        });
+        report(
+            &format!("{lanes} lanes x 8 MACs"),
+            AcceleratorConfig {
+                mac_lanes: lanes,
+                ..AcceleratorConfig::paper_default()
+            },
+        );
     }
 
     println!("\n--- activation GB bandwidth ---");
     for words in [16usize, 32, 64, 128] {
-        report(&format!("{words} act words/cycle"), AcceleratorConfig {
-            act_words_per_cycle: words,
-            ..AcceleratorConfig::paper_default()
-        });
+        report(
+            &format!("{words} act words/cycle"),
+            AcceleratorConfig {
+                act_words_per_cycle: words,
+                ..AcceleratorConfig::paper_default()
+            },
+        );
     }
 
     println!("\n--- gaze-model utilisation timeline (Fig. 7 view) ---");

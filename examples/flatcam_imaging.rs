@@ -80,9 +80,25 @@ fn main() {
     );
     println!(
         "optical feature magnitudes: intensity {:.2}, dI/dy {:.2}, dI/dx {:.2}, corner {:.2}",
-        features.channel_plane(0, 0).iter().map(|v| v.abs()).sum::<f32>(),
-        features.channel_plane(0, 1).iter().map(|v| v.abs()).sum::<f32>(),
-        features.channel_plane(0, 2).iter().map(|v| v.abs()).sum::<f32>(),
-        features.channel_plane(0, 3).iter().map(|v| v.abs()).sum::<f32>()
+        features
+            .channel_plane(0, 0)
+            .iter()
+            .map(|v| v.abs())
+            .sum::<f32>(),
+        features
+            .channel_plane(0, 1)
+            .iter()
+            .map(|v| v.abs())
+            .sum::<f32>(),
+        features
+            .channel_plane(0, 2)
+            .iter()
+            .map(|v| v.abs())
+            .sum::<f32>(),
+        features
+            .channel_plane(0, 3)
+            .iter()
+            .map(|v| v.abs())
+            .sum::<f32>()
     );
 }

@@ -58,8 +58,7 @@ fn main() {
     }
 
     // Fovea coverage: a disc of FOVEA_DEG out of the panel's solid angle.
-    let fovea_px_radius =
-        DISPLAY_W / FOV_X_DEG * FOVEA_DEG;
+    let fovea_px_radius = DISPLAY_W / FOV_X_DEG * FOVEA_DEG;
     let fovea_area = std::f32::consts::PI * fovea_px_radius * fovea_px_radius;
     let full_area = DISPLAY_W * DISPLAY_H;
     // peripheral region rendered at quarter resolution
@@ -70,7 +69,10 @@ fn main() {
         "fovea hit rate (≤{FOVEA_DEG}°):    {:.1}%",
         100.0 * hits as f32 / frames as f32
     );
-    println!("mean display error:        {:.0} px", sum_px_err / frames as f32);
+    println!(
+        "mean display error:        {:.0} px",
+        sum_px_err / frames as f32
+    );
     println!("rendering workload saved:  {:.1}%", 100.0 * saved);
     println!("\nhigh-frequency tracking keeps the fovea on target during");
     println!("saccades — the reason the paper targets >240 FPS.");

@@ -45,7 +45,10 @@ fn main() {
     println!("  ROI refreshes:  {}", stats.roi_refreshes);
     println!("  mean error:     {:.2}°", stats.mean_error_deg());
     println!("  max error:      {:.2}°", stats.max_error_deg);
-    println!("  wall time:      {elapsed:.2}s ({:.1} fps functional sim)", 100.0 / elapsed);
+    println!(
+        "  wall time:      {elapsed:.2}s ({:.1} fps functional sim)",
+        100.0 / elapsed
+    );
     println!("\n(the functional pipeline demonstrates correctness; the");
     println!(" cycle-level accelerator simulator reports the >240 FPS");
     println!(" hardware throughput — see the accelerator examples/benches)");

@@ -37,10 +37,7 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }
@@ -66,13 +63,19 @@ impl Args {
 
     fn get_usize(&self, name: &str, default: usize) -> usize {
         self.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name} expects a number"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{name} expects a number")))
+            })
             .unwrap_or(default)
     }
 
     fn get_u64(&self, name: &str, default: u64) -> u64 {
         self.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name} expects a number"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{name} expects a number")))
+            })
             .unwrap_or(default)
     }
 }
@@ -89,7 +92,9 @@ fn usage() {
     println!("  track     run the predict-then-focus tracker on a synthetic sequence");
     println!("            [--frames N=100] [--lens] [--period N=10] [--seed S=7] [--adaptive-roi]");
     println!("  simulate  run the cycle-level accelerator simulator on the EyeCoD workload");
-    println!("            [--orchestration tm|cc|pm] [--no-swpr] [--no-reuse] [--lanes N=128] [--lens]");
+    println!(
+        "            [--orchestration tm|cc|pm] [--no-swpr] [--no-reuse] [--lanes N=128] [--lens]"
+    );
     println!("  compare   print the Fig. 14 platform comparison");
     println!("  model     print a network's layer table and summary");
     println!("            <ritnet|fbnet|resnet|mobilenet|unet> [--size N] [--full]");
@@ -150,7 +155,10 @@ fn cmd_simulate(args: &Args) {
     println!("throughput:      {:.1} FPS", r.fps);
     println!("utilisation:     {:.1}%", r.avg_utilization * 100.0);
     println!("energy/frame:    {:.4} mJ", r.energy_per_frame_mj);
-    println!("worst frame:     {:.0} us", r.worst_frame_cycles as f64 / cfg.clock_mhz);
+    println!(
+        "worst frame:     {:.0} us",
+        r.worst_frame_cycles as f64 / cfg.clock_mhz
+    );
     println!("seg absorbed:    {:.0}%", r.seg_absorbed * 100.0);
 }
 
@@ -176,10 +184,9 @@ fn cmd_model(args: &Args) {
         "ritnet" => eyecod::models::ritnet::spec(args.get_usize("size", 128)),
         "unet" => eyecod::models::unet::spec(args.get_usize("size", 512)),
         "fbnet" => eyecod::models::fbnet::spec(96, 160),
-        "resnet" => eyecod::models::resnet::spec(
-            args.get_usize("size", 224),
-            args.get_usize("size", 224),
-        ),
+        "resnet" => {
+            eyecod::models::resnet::spec(args.get_usize("size", 224), args.get_usize("size", 224))
+        }
         "mobilenet" => eyecod::models::mobilenet::spec(96, 160),
         other => die(&format!("unknown model '{other}'")),
     };
@@ -190,7 +197,10 @@ fn cmd_model(args: &Args) {
     println!("model:   {}", s.name);
     println!("layers:  {} ({} compute)", s.layers, s.compute_layers);
     println!("params:  {:.3} M", s.params as f64 / 1e6);
-    println!("FLOPs:   {:.3} G (paper MAC convention)", s.macs as f64 / 1e9);
+    println!(
+        "FLOPs:   {:.3} G (paper MAC convention)",
+        s.macs as f64 / 1e9
+    );
     println!(
         "peak activations: {:.2} KB (int8, unpartitioned)",
         s.peak_activation_elems as f64 / 1024.0
@@ -207,7 +217,14 @@ fn cmd_mask(args: &Args) {
         SeparableMask::mls_differential(sensor, scene, seed)
     };
     let (cl, cr) = mask.condition_numbers();
-    println!("mask:        {}", if args.has("raw") { "raw 0/1" } else { "differential ±1" });
+    println!(
+        "mask:        {}",
+        if args.has("raw") {
+            "raw 0/1"
+        } else {
+            "differential ±1"
+        }
+    );
     println!("geometry:    {sensor}x{sensor} sensor -> {scene}x{scene} scene");
     println!("condition:   {cl:.1} / {cr:.1}");
     println!("open frac:   {:.2}", mask.open_fraction());

@@ -98,8 +98,8 @@ fn activation_partition_fits_the_act_gbs() {
     let seg = eyecod::models::ritnet::spec(128);
     let gaze = eyecod::models::fbnet::spec(96, 160);
     let unpartitioned = peak_activation_bytes(&seg, 1) + peak_activation_bytes(&gaze, 1);
-    let partitioned = partitioned_activation_bytes(&seg, 4, 1)
-        + partitioned_activation_bytes(&gaze, 4, 1);
+    let partitioned =
+        partitioned_activation_bytes(&seg, 4, 1) + partitioned_activation_bytes(&gaze, 4, 1);
     let cfg = AcceleratorConfig::paper_default();
     let act_total = (cfg.act_gb_bytes * cfg.act_gb_count) as u64;
     assert!(partitioned < act_total, "partitioned activations must fit");
@@ -136,5 +136,8 @@ fn simulator_energy_counts_follow_workload_scale() {
     w.window *= 2;
     let r2 = sim.run_window(&w);
     assert_eq!(r2.counts.macs, 2 * r1.counts.macs);
-    assert!((r2.fps / r1.fps - 1.0).abs() < 0.05, "fps should be window-invariant");
+    assert!(
+        (r2.fps / r1.fps - 1.0).abs() < 0.05,
+        "fps should be window-invariant"
+    );
 }

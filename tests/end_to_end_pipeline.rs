@@ -2,7 +2,7 @@
 //! through FlatCam optics, segmentation, ROI and gaze estimation.
 
 use eyecod::core::tracker::{EyeTracker, TrackerConfig};
-use eyecod::core::training::{train_tracker_models, TrainingSetup, TrackerModels};
+use eyecod::core::training::{train_tracker_models, TrackerModels, TrainingSetup};
 use eyecod::eyedata::render::{render_eye, EyeParams};
 use eyecod::eyedata::EyeMotionGenerator;
 use std::sync::OnceLock;

@@ -94,7 +94,10 @@ fn raw_measurement_hides_the_eye() {
         }
     }
     let corr = num / (ds.sqrt() * dy.sqrt());
-    assert!(corr.abs() < 0.2, "measurement correlates with scene: {corr:.3}");
+    assert!(
+        corr.abs() < 0.2,
+        "measurement correlates with scene: {corr:.3}"
+    );
 }
 
 #[test]
@@ -107,5 +110,8 @@ fn optical_first_layer_separates_gaze_directions() {
     let fl = layer.apply(&left);
     let fr = layer.apply(&right);
     let diff = fl.sub(&fr).map(|x| x.abs()).sum();
-    assert!(diff > 1.0, "optical features identical for opposite gazes: {diff}");
+    assert!(
+        diff > 1.0,
+        "optical features identical for opposite gazes: {diff}"
+    );
 }

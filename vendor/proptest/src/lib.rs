@@ -1,0 +1,165 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Supports the slice of the proptest API the workspace's property suites
+//! use: range/`Just`/tuple strategies, `prop_map`, `prop_oneof!`,
+//! `collection::vec`, `any::<T>()`, the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, and the `prop_assert*` family.
+//!
+//! There is **no shrinking**: failing inputs are reported verbatim with
+//! the case seed instead of being minimised. Case generation is fully
+//! deterministic — seeds derive from a fixed base so a red test reproduces
+//! identically in CI and locally.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Everything the `proptest::prelude::*` import is expected to provide.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn holds(x in 0usize..100, y in -1.0f32..1.0) { prop_assert!(x < 100); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = ($strat).generate(&mut rng);)*
+                    let guard = $crate::test_runner::CaseGuard::new(
+                        stringify!($name),
+                        case,
+                        &format!(
+                            concat!($("    ", stringify!($arg), " = {:?}\n",)*),
+                            $(&$arg,)*
+                        ),
+                    );
+                    { $body }
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            panic!("prop_assert_eq failed: {a:?} != {b:?}");
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            panic!("prop_assert_eq failed: {a:?} != {b:?}: {}", format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            panic!("prop_assert_ne failed: both sides are {a:?}");
+        }
+    }};
+}
+
+/// Chooses uniformly between strategies (weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        use $crate::strategy::Strategy as _;
+        $crate::strategy::Union::new(vec![$(($strat).boxed()),+])
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 0usize..10,
+            y in (-1.0f64..1.0).prop_map(|v| v * 2.0),
+            flag in any::<bool>(),
+            v in collection::vec(0u32..5, 3..7),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(matches!(flag, true | false));
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(pick in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&pick));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..5)
+            .map(|c| TestRng::for_case("x", c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| TestRng::for_case("x", c).next_u64())
+            .collect();
+        assert_eq!(a, b);
+    }
+}

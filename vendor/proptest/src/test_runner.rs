@@ -1,0 +1,127 @@
+//! Case generation and failure reporting for the offline proptest shim.
+
+/// How many cases a [`crate::proptest!`] block runs per test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // upstream defaults to 256; the workspace's suites all override
+        // this, so pick a CI-friendly middle ground
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case generator (SplitMix64-seeded xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds the generator for `(test, case)`: stable across runs and
+    /// platforms so failures reproduce exactly.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the fully qualified test name
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut sm = h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    /// Next raw 64-bit word.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 mantissa bits.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+}
+
+/// Prints the failing case's inputs if the test body panics.
+///
+/// The shim has no shrinking, so faithful reporting of the raw case is the
+/// entire debugging story — the guard fires on unwind and echoes the case
+/// index plus every generated argument.
+pub struct CaseGuard {
+    armed: bool,
+    name: &'static str,
+    case: u32,
+    inputs: String,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one case.
+    pub fn new(name: &'static str, case: u32, inputs: &str) -> Self {
+        CaseGuard {
+            armed: true,
+            name,
+            case,
+            inputs: inputs.to_string(),
+        }
+    }
+
+    /// Disarms after the case body completed without panicking.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest: `{}` failed at case {} with inputs:\n{}",
+                self.name, self.case, self.inputs
+            );
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports what the workspace uses:
+//! non-generic structs with named fields, tuple structs, and enums with
+//! unit, tuple and struct variants. Enum encoding is serde's
+//! externally-tagged default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` shape.
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);`
+    TupleStruct { name: String, arity: usize },
+    /// `enum E { Unit, Tuple(T), Struct { a: T } }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\
+                 {pushes} ::serde::Value::Object(fields)"
+            )
+        }
+        Shape::TupleStruct { arity, .. } => match arity {
+            1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+            _ => {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(","))
+            }
+        },
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),")
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(","))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), {inner})]),",
+                                binds = binds.join(",")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(",");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__fields.push((\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\
+                                 let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Object(__fields))]) }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = shape_name(&shape);
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let name = shape_name(&shape).to_string();
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::msg(\
+                         \"missing field `{f}` in {name}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Shape::TupleStruct { arity, .. } => match arity {
+            1 => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+            _ => {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(__items.get({i})\
+                             .ok_or_else(|| ::serde::Error::msg(\"tuple too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match __v {{ ::serde::Value::Array(__items) => Ok({name}({items})),\
+                     _ => Err(::serde::Error::msg(\"expected array for {name}\")) }}",
+                    items = items.join(",")
+                )
+            }
+        },
+        Shape::Enum { variants, .. } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => Some(if *arity == 1 {
+                            format!(
+                                "if let Some(__inner) = __v.get(\"{vn}\") {{\
+                                 return Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__inner)?)); }}"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__items.get({i})\
+                                         .ok_or_else(|| ::serde::Error::msg(\
+                                         \"variant tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "if let Some(__inner) = __v.get(\"{vn}\") {{\
+                                 if let ::serde::Value::Array(__items) = __inner {{\
+                                 return Ok({name}::{vn}({items})); }}\
+                                 return Err(::serde::Error::msg(\
+                                 \"expected array for variant {vn}\")); }}",
+                                items = items.join(",")
+                            )
+                        }),
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         __inner.get(\"{f}\").ok_or_else(|| \
+                                         ::serde::Error::msg(\
+                                         \"missing field `{f}` in {name}::{vn}\"))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "if let Some(__inner) = __v.get(\"{vn}\") {{\
+                                 return Ok({name}::{vn} {{ {inits} }}); }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::String(__s) = __v {{\
+                 match __s.as_str() {{ {unit_arms} _ => {{}} }} }}\
+                 {tagged_arms}\
+                 Err(::serde::Error::msg(\"no matching variant of {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+         fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+fn shape_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::NamedStruct { name, .. } => name,
+        Shape::TupleStruct { name, .. } => name,
+        Shape::Enum { name, .. } => name,
+    }
+}
+
+// --- token-level parsing ---------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derives do not support generic types (deriving `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_top_level_items(g.stream()),
+                }
+            }
+            _ => panic!("cannot derive serde shim traits for unit struct `{name}`"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("malformed enum `{name}`"),
+        },
+        other => panic!("cannot derive serde shim traits for `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists (types are skipped, not parsed —
+/// the generated code defers to trait impls).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // expect `:` then skip the type up to the next top-level comma
+        debug_assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        skip_to_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        skip_to_comma(&tokens, &mut i);
+    }
+    variants
+}
+
+/// Advances past everything up to and including the next top-level comma.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth <= 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts comma-separated items at the top level of a group.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth <= 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
