@@ -5,6 +5,7 @@ use crate::config::AcceleratorConfig;
 use crate::cost::{model_cost, LayerCost};
 use crate::energy::{EnergyCounts, EnergyModel};
 use crate::workload::PipelineWorkload;
+use eyecod_telemetry::{static_counter, static_histogram};
 use serde::{Deserialize, Serialize};
 
 /// How the two models share the accelerator.
@@ -160,6 +161,15 @@ impl WindowSimulator {
         }
         counts.offchip_bytes += workload.offchip_bytes_per_frame * frames;
         counts.cycles = window_cycles;
+
+        static_counter!("accel/windows").inc();
+        static_histogram!("accel/window_cycles").record(window_cycles);
+        if eyecod_telemetry::enabled() {
+            // per-orchestration cycle distributions, e.g.
+            // `accel/window_cycles/PartialTimeMultiplexed`
+            eyecod_telemetry::histogram(&format!("accel/window_cycles/{:?}", cfg.orchestration))
+                .record(window_cycles);
+        }
 
         let energy_joules = counts.energy_joules(&self.energy, cfg.clock_mhz);
         let total_macs: u64 = counts.macs;

@@ -108,12 +108,22 @@ pub fn pipeline_cycles(rounds: u64, compute_cycles: u64, load_cycles: u64, swpr:
     if rounds == 0 {
         return 0;
     }
-    if swpr {
+    let cycles = if swpr {
         // one pipeline-fill load, then max(compute, load) per round
         load_cycles + rounds * compute_cycles.max(load_cycles)
     } else {
         rounds * (compute_cycles + load_cycles)
+    };
+    // Everything beyond pure compute is a memory stall; with the SWPR
+    // buffer only the pipeline fill and load-bound rounds remain.
+    eyecod_telemetry::static_counter!("accel/swpr_rounds").add(rounds);
+    let stall = cycles - rounds * compute_cycles;
+    if swpr {
+        eyecod_telemetry::static_counter!("accel/swpr_stall_cycles").add(stall);
+    } else {
+        eyecod_telemetry::static_counter!("accel/serial_stall_cycles").add(stall);
     }
+    cycles
 }
 
 /// Peak activation-GB bandwidth (rows per cycle) required for stall-free

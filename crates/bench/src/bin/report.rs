@@ -3,9 +3,13 @@
 //! ```text
 //! cargo run --release -p eyecod-bench --bin report            # quick
 //! cargo run --release -p eyecod-bench --bin report -- --full  # standard scale
+//! cargo run --release -p eyecod-bench --bin report -- --telemetry
 //! ```
 //!
 //! Prints the tables and writes JSON artefacts to `target/experiments/`.
+//! With `--telemetry` the run additionally forces telemetry on, prints the
+//! per-stage latency quantiles of the pipeline, and writes the full metric
+//! snapshot to `target/experiments/telemetry_snapshot.json`.
 
 use eyecod_accel::config::AcceleratorConfig;
 use eyecod_bench::experiments::{self, Scale};
@@ -15,8 +19,12 @@ use std::time::Instant;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
     let scale = if full { Scale::Standard } else { Scale::Quick };
     let out = PathBuf::from("target/experiments");
+    if telemetry {
+        eyecod_telemetry::set_enabled(true);
+    }
     println!(
         "EyeCoD experiment report — scale: {:?} (pass --full for the recorded scale)",
         scale
@@ -283,5 +291,75 @@ fn main() {
     );
     write_json(&out, "table5_roi_freq", &t5);
 
+    if telemetry {
+        dump_telemetry(&out);
+    }
+
     println!("\nreport complete in {:.1}s", t0.elapsed().as_secs_f32());
+}
+
+/// Prints per-stage latency quantiles and writes the full snapshot JSON.
+fn dump_telemetry(out: &std::path::Path) {
+    use eyecod_core::tracker::{EyeTracker, TrackerConfig};
+    use eyecod_core::training::{train_tracker_models, TrainingSetup};
+    use eyecod_eyedata::sequence::EyeMotionGenerator;
+
+    // Run one short tracked sequence explicitly so every stage histogram
+    // is populated even if the experiment set above changes.
+    println!("\n[tracking a short sequence for the telemetry snapshot]");
+    let config = TrackerConfig::small();
+    let models = train_tracker_models(&TrainingSetup::quick(), &config);
+    let mut tracker = EyeTracker::new(config, models);
+    tracker.run_sequence(&mut EyeMotionGenerator::with_seed(1), 20);
+
+    let snap = eyecod_telemetry::global().snapshot();
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+    print_table(
+        "Telemetry — stage latency histograms",
+        &["stage", "count", "median (us)", "p99 (us)", "mean (us)"],
+        &snap
+            .histograms
+            .iter()
+            .filter(|h| h.name.ends_with("_ns"))
+            .map(|h| {
+                vec![
+                    h.name.clone(),
+                    h.count.to_string(),
+                    us(h.median()),
+                    us(h.p99()),
+                    us(h.mean() as u64),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let cycle_rows: Vec<Vec<String>> = snap
+        .histograms
+        .iter()
+        .filter(|h| !h.name.ends_with("_ns"))
+        .map(|h| {
+            vec![
+                h.name.clone(),
+                h.count.to_string(),
+                h.median().to_string(),
+                h.p99().to_string(),
+            ]
+        })
+        .collect();
+    if !cycle_rows.is_empty() {
+        print_table(
+            "Telemetry — simulated-cycle histograms",
+            &["histogram", "count", "median", "p99"],
+            &cycle_rows,
+        );
+    }
+    print_table(
+        "Telemetry — counters",
+        &["counter", "value"],
+        &snap
+            .counters
+            .iter()
+            .map(|c| vec![c.name.clone(), c.value.to_string()])
+            .collect::<Vec<_>>(),
+    );
+    write_json(out, "telemetry_snapshot", &snap);
 }

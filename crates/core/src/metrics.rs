@@ -1,5 +1,6 @@
 //! Aggregate tracking metrics.
 
+use crate::tracker::TrackedFrame;
 use eyecod_eyedata::GazeVector;
 
 /// Accumulated statistics of a tracking run.
@@ -13,6 +14,9 @@ pub struct TrackingStats {
     pub max_error_deg: f32,
     /// Number of ROI refreshes performed.
     pub roi_refreshes: usize,
+    /// Frames where the gaze network emitted a degenerate vector and the
+    /// tracker fell back to the previous direction.
+    pub degenerate_frames: usize,
 }
 
 impl TrackingStats {
@@ -21,14 +25,33 @@ impl TrackingStats {
         Self::default()
     }
 
-    /// Records one frame's outcome.
-    pub fn record(&mut self, predicted: &GazeVector, truth: &GazeVector, roi_refreshed: bool) {
+    /// Records one tracked frame's outcome against the ground truth.
+    pub fn record(&mut self, frame: &TrackedFrame, truth: &GazeVector) {
+        self.record_parts(
+            &frame.gaze,
+            truth,
+            frame.roi_refreshed,
+            frame.gaze_degenerate,
+        );
+    }
+
+    /// Lower-level recording from the individual outcome parts.
+    pub fn record_parts(
+        &mut self,
+        predicted: &GazeVector,
+        truth: &GazeVector,
+        roi_refreshed: bool,
+        gaze_degenerate: bool,
+    ) {
         let err = predicted.angular_error_degrees(truth);
         self.frames += 1;
         self.sum_error += err as f64;
         self.max_error_deg = self.max_error_deg.max(err);
         if roi_refreshed {
             self.roi_refreshes += 1;
+        }
+        if gaze_degenerate {
+            self.degenerate_frames += 1;
         }
     }
 
@@ -46,6 +69,7 @@ impl TrackingStats {
         self.sum_error += other.sum_error;
         self.max_error_deg = self.max_error_deg.max(other.max_error_deg);
         self.roi_refreshes += other.roi_refreshes;
+        self.degenerate_frames += other.degenerate_frames;
     }
 }
 
@@ -58,10 +82,11 @@ mod tests {
         let mut s = TrackingStats::new();
         let a = GazeVector::from_angles(0.0, 0.0);
         let b = GazeVector::from_angles(10f32.to_radians(), 0.0);
-        s.record(&a, &a, true);
-        s.record(&b, &a, false);
+        s.record_parts(&a, &a, true, false);
+        s.record_parts(&b, &a, false, true);
         assert_eq!(s.frames, 2);
         assert_eq!(s.roi_refreshes, 1);
+        assert_eq!(s.degenerate_frames, 1);
         assert!((s.mean_error_deg() - 5.0).abs() < 0.01);
         assert!((s.max_error_deg - 10.0).abs() < 0.01);
     }
@@ -71,16 +96,49 @@ mod tests {
         let a0 = GazeVector::from_angles(0.0, 0.0);
         let b = GazeVector::from_angles(0.1, 0.0);
         let mut a = TrackingStats::new();
-        a.record(&a0, &b, true);
+        a.record_parts(&a0, &b, true, false);
         let mut c = TrackingStats::new();
-        c.record(&a0, &a0, false);
+        c.record_parts(&a0, &a0, false, true);
         a.merge(&c);
         assert_eq!(a.frames, 2);
         assert_eq!(a.roi_refreshes, 1);
+        assert_eq!(a.degenerate_frames, 1);
+    }
+
+    #[test]
+    fn merge_into_empty_accumulator_copies_the_run() {
+        let a0 = GazeVector::from_angles(0.0, 0.0);
+        let b = GazeVector::from_angles(12f32.to_radians(), 0.0);
+        let mut run = TrackingStats::new();
+        run.record_parts(&b, &a0, true, false);
+        run.record_parts(&a0, &a0, false, false);
+
+        // empty += run: identical to the run itself
+        let mut acc = TrackingStats::new();
+        acc.merge(&run);
+        assert_eq!(acc, run);
+        assert!((acc.max_error_deg - 12.0).abs() < 0.01);
+
+        // run += empty: a no-op, max_error_deg must not regress to 0
+        let before = run.clone();
+        run.merge(&TrackingStats::new());
+        assert_eq!(run, before);
+
+        // max_error_deg takes the larger side regardless of merge order
+        let mut small = TrackingStats::new();
+        small.record_parts(&GazeVector::from_angles(0.02, 0.0), &a0, false, false);
+        let mut big = before.clone();
+        big.merge(&small);
+        let mut other_way = small.clone();
+        other_way.merge(&before);
+        assert_eq!(big.max_error_deg, other_way.max_error_deg);
+        assert!((big.max_error_deg - 12.0).abs() < 0.01);
+        assert_eq!(big.frames, 3);
     }
 
     #[test]
     fn empty_stats_are_zero() {
         assert_eq!(TrackingStats::new().mean_error_deg(), 0.0);
+        assert_eq!(TrackingStats::new().degenerate_frames, 0);
     }
 }

@@ -8,6 +8,7 @@ use eyecod_eyedata::render::render_eye;
 use eyecod_eyedata::sequence::EyeMotionGenerator;
 use eyecod_eyedata::GazeVector;
 use eyecod_models::proxy::predict_seg;
+use eyecod_telemetry::{static_counter, static_histogram};
 use eyecod_tensor::ops::{downsample_avg, resize_bilinear};
 use eyecod_tensor::{Layer, Tensor};
 
@@ -88,6 +89,16 @@ impl TrackerConfig {
             "extents must be non-zero"
         );
         assert!(
+            self.roi.0 > 0 && self.roi.1 > 0,
+            "ROI must be non-empty, got {:?}",
+            self.roi
+        );
+        assert!(
+            self.gaze_input.0 > 0 && self.gaze_input.1 > 0,
+            "gaze input must be non-empty, got {:?}",
+            self.gaze_input
+        );
+        assert!(
             self.scene_size.is_multiple_of(self.seg_size),
             "segmentation size {} must divide scene size {}",
             self.seg_size,
@@ -105,6 +116,7 @@ impl TrackerConfig {
         );
         assert!(self.roi_period > 0, "ROI period must be non-zero");
         if self.flatcam {
+            assert!(self.sensor_size > 0, "sensor size must be non-zero");
             assert!(
                 self.sensor_size >= self.scene_size,
                 "sensor must cover the scene"
@@ -124,6 +136,10 @@ pub struct TrackedFrame {
     pub roi_refreshed: bool,
     /// Frame index since tracker construction.
     pub frame: u64,
+    /// True when the gaze network emitted a (near-)zero vector and `gaze`
+    /// is the previous frame's direction instead (straight ahead on frame
+    /// 0). Downstream consumers can discount such frames.
+    pub gaze_degenerate: bool,
 }
 
 /// The EyeCoD eye tracker: acquisition → periodic segmentation + ROI →
@@ -135,6 +151,9 @@ pub struct EyeTracker {
     current_roi: RoiRect,
     frame_counter: u64,
     last_labels: Option<Vec<u8>>,
+    /// Fallback gaze when the model output is degenerate: the previous
+    /// frame's direction (straight ahead before any frame was tracked).
+    last_gaze: GazeVector,
 }
 
 impl EyeTracker {
@@ -168,6 +187,7 @@ impl EyeTracker {
             current_roi,
             frame_counter: 0,
             last_labels: None,
+            last_gaze: GazeVector::from_angles(0.0, 0.0),
         }
     }
 
@@ -190,10 +210,21 @@ impl EyeTracker {
     /// Processes one frame: acquires the scene, refreshes the ROI if due,
     /// and estimates gaze from the ROI crop.
     ///
+    /// If the gaze network emits a degenerate (near-zero) vector, the
+    /// previous frame's gaze is reused and the output is flagged via
+    /// [`TrackedFrame::gaze_degenerate`] instead of panicking.
+    ///
+    /// Each stage records a latency histogram (`tracker/acquire_ns`,
+    /// `tracker/segment_ns`, `tracker/crop_resize_ns`,
+    /// `tracker/gaze_forward_ns`, `tracker/frame_ns`) into the global
+    /// telemetry registry while telemetry is enabled.
+    ///
     /// # Panics
     ///
     /// Panics if the scene resolution does not match the configuration.
     pub fn process_frame(&mut self, scene: &Tensor, noise_seed: u64) -> TrackedFrame {
+        static_counter!("tracker/frames").inc();
+        let _frame_timer = static_histogram!("tracker/frame_ns").timer();
         let s = scene.shape();
         assert_eq!(
             (s.h, s.w),
@@ -201,19 +232,31 @@ impl EyeTracker {
             "scene must be {0}x{0}",
             self.config.scene_size
         );
-        let image = self.acquisition.acquire(scene, noise_seed);
+        let image = static_histogram!("tracker/acquire_ns")
+            .time(|| self.acquisition.acquire(scene, noise_seed));
 
         let due = self
             .frame_counter
             .is_multiple_of(self.config.roi_period as u64);
         if due {
-            self.refresh_roi(&image);
+            static_counter!("tracker/roi_refreshes").inc();
+            static_histogram!("tracker/segment_ns").time(|| self.refresh_roi(&image));
         }
 
-        let crop = self.current_roi.crop(&image);
-        let gaze_in = resize_bilinear(&crop, self.config.gaze_input.0, self.config.gaze_input.1);
-        let pred = self.models.gaze.forward(&gaze_in, false);
-        let gaze = GazeVector::from_tensor(&pred, 0).normalized();
+        let gaze_in = static_histogram!("tracker/crop_resize_ns").time(|| {
+            let crop = self.current_roi.crop(&image);
+            resize_bilinear(&crop, self.config.gaze_input.0, self.config.gaze_input.1)
+        });
+        let pred = static_histogram!("tracker/gaze_forward_ns")
+            .time(|| self.models.gaze.forward(&gaze_in, false));
+        let (gaze, gaze_degenerate) = match GazeVector::from_tensor(&pred, 0).try_normalized() {
+            Some(g) => (g, false),
+            None => {
+                static_counter!("tracker/gaze_degenerate").inc();
+                (self.last_gaze, true)
+            }
+        };
+        self.last_gaze = gaze;
 
         let frame = self.frame_counter;
         self.frame_counter += 1;
@@ -222,6 +265,7 @@ impl EyeTracker {
             roi: self.current_roi,
             roi_refreshed: due,
             frame,
+            gaze_degenerate,
         }
     }
 
@@ -286,7 +330,7 @@ impl EyeTracker {
             let params = generator.next_frame();
             let sample = render_eye(&params, self.config.scene_size, 1000 + i as u64);
             let out = self.process_frame(&sample.image, 2000 + i as u64);
-            stats.record(&out.gaze, &sample.gaze, out.roi_refreshed);
+            stats.record(&out, &sample.gaze);
         }
         stats
     }
@@ -421,5 +465,61 @@ mod tests {
         let mut cfg = TrackerConfig::small();
         cfg.seg_size = 20;
         cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ROI must be non-empty")]
+    fn config_validation_catches_zero_roi() {
+        let mut cfg = TrackerConfig::small();
+        cfg.roi = (0, 32);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "gaze input must be non-empty")]
+    fn config_validation_catches_zero_gaze_input() {
+        let mut cfg = TrackerConfig::small();
+        cfg.gaze_input = (24, 0);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sensor size must be non-zero")]
+    fn config_validation_catches_zero_sensor() {
+        let mut cfg = TrackerConfig::small();
+        cfg.sensor_size = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn degenerate_gaze_falls_back_instead_of_panicking() {
+        let mut t = tracker();
+        // zero every gaze parameter: the network now emits an exact zero
+        // vector for any input
+        for p in t.models.gaze.params_mut() {
+            p.value = Tensor::zeros(p.value.shape());
+        }
+        let sample = render_eye(&EyeParams::centered(48), 48, 7);
+        let out = t.process_frame(&sample.image, 8);
+        assert!(out.gaze_degenerate, "zero output must be flagged");
+        // frame 0 falls back to straight ahead
+        let ahead = GazeVector::from_angles(0.0, 0.0);
+        assert!(out.gaze.angular_error_degrees(&ahead) < 1e-3);
+        // a whole sequence completes and every frame is counted
+        let mut gen = EyeMotionGenerator::with_seed(11);
+        let stats = t.run_sequence(&mut gen, 12);
+        assert_eq!(stats.frames, 12);
+        assert_eq!(stats.degenerate_frames, 12);
+        assert_eq!(t.frame_counter, 13);
+    }
+
+    #[test]
+    fn healthy_frames_are_not_flagged_degenerate() {
+        let mut t = tracker();
+        let sample = render_eye(&EyeParams::centered(48), 48, 3);
+        let out = t.process_frame(&sample.image, 4);
+        assert!(!out.gaze_degenerate);
+        let mut gen = EyeMotionGenerator::with_seed(5);
+        assert_eq!(t.run_sequence(&mut gen, 10).degenerate_frames, 0);
     }
 }

@@ -56,6 +56,22 @@ impl GazeVector {
         }
     }
 
+    /// Like [`GazeVector::normalized`], but returns `None` instead of
+    /// panicking when the vector is too short (or non-finite) to define a
+    /// direction — the guard the tracker uses against degenerate model
+    /// outputs.
+    pub fn try_normalized(&self) -> Option<Self> {
+        let n = self.norm();
+        if !n.is_finite() || n <= 1e-6 {
+            return None;
+        }
+        Some(GazeVector {
+            x: self.x / n,
+            y: self.y / n,
+            z: self.z / n,
+        })
+    }
+
     /// Angular distance to another gaze vector, in degrees — the metric of
     /// the paper's gaze tables.
     pub fn angular_error_degrees(&self, other: &GazeVector) -> f32 {
@@ -143,5 +159,35 @@ mod tests {
             z: 0.0,
         }
         .normalized();
+    }
+
+    #[test]
+    fn try_normalized_flags_degenerate_vectors() {
+        let zero = GazeVector {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        };
+        assert_eq!(zero.try_normalized(), None);
+        let tiny = GazeVector {
+            x: 1e-9,
+            y: 0.0,
+            z: 0.0,
+        };
+        assert_eq!(tiny.try_normalized(), None);
+        let nan = GazeVector {
+            x: f32::NAN,
+            y: 0.0,
+            z: 0.0,
+        };
+        assert_eq!(nan.try_normalized(), None);
+        let g = GazeVector {
+            x: 0.0,
+            y: 0.0,
+            z: 2.0,
+        }
+        .try_normalized()
+        .expect("finite vector normalises");
+        assert!((g.norm() - 1.0).abs() < 1e-6 && g.z == 1.0);
     }
 }

@@ -18,6 +18,7 @@
 use crate::mask::SeparableMask;
 use crate::mat::Mat;
 use crate::svd::Svd;
+use eyecod_telemetry::{static_counter, static_histogram};
 
 /// A precomputed FlatCam reconstructor for a specific mask.
 #[derive(Debug, Clone)]
@@ -65,6 +66,8 @@ impl TikhonovReconstructor {
     /// Panics if the measurement shape does not match the mask's sensor
     /// geometry.
     pub fn reconstruct(&self, measurement: &Mat) -> Mat {
+        static_counter!("optics/recon_solves").inc();
+        let _solve_timer = static_histogram!("optics/recon_solve_ns").timer();
         let (mh, mw) = (self.svd_l.u.rows(), self.svd_r.u.rows());
         assert_eq!(
             (measurement.rows(), measurement.cols()),
@@ -109,6 +112,8 @@ impl TikhonovReconstructor {
     /// Panics on a measurement shape mismatch or `rank` outside
     /// `1..=scene`.
     pub fn reconstruct_truncated(&self, measurement: &Mat, rank: usize) -> Mat {
+        static_counter!("optics/recon_solves").inc();
+        let _solve_timer = static_histogram!("optics/recon_solve_ns").timer();
         let n = self.scene;
         assert!(
             rank >= 1 && rank <= n,

@@ -31,7 +31,18 @@
 //! [`BatchRunner`] layers windowed submission on top for long job lists
 //! whose per-job working state is heavy (e.g. training a tracker per
 //! configuration): only one window's results are buffered at a time.
+//!
+//! # Telemetry
+//!
+//! With the `telemetry` feature (default on) the pool records `pool/jobs`,
+//! `pool/chunks_self` vs `pool/chunks_stolen` (chunk claims by owners vs
+//! thieves), a `pool/job_wall_ns` histogram, and the `pool/workers` gauge
+//! into the [`eyecod_telemetry`] global registry. Counters are one relaxed
+//! atomic op per *chunk*, never per item, so the stealing hot path stays
+//! lock-free; disable at runtime with `EYECOD_TELEMETRY=0` or compile out
+//! with `--no-default-features`.
 
+use eyecod_telemetry::{static_counter, static_histogram};
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -169,12 +180,19 @@ impl JobCore {
     fn participate(&self, slot: usize) {
         loop {
             let participants = self.ranges.len();
+            let mut stole = false;
             let claimed = self.pop_front(slot).or_else(|| {
+                stole = true;
                 (1..participants)
                     .filter_map(|off| self.steal_back((slot + off) % participants))
                     .next()
             });
             let Some((b, e)) = claimed else { return };
+            if stole {
+                static_counter!("pool/chunks_stolen").inc();
+            } else {
+                static_counter!("pool/chunks_self").inc();
+            }
             self.execute(b, e);
             if self.poisoned.load(Ordering::Relaxed) {
                 return;
@@ -351,8 +369,12 @@ impl ThreadPool {
             return Ok(());
         }
         assert!(n <= MAX_ITEMS, "job of {n} items exceeds MAX_ITEMS");
+        static_counter!("pool/jobs").inc();
+        let _job_timer = static_histogram!("pool/job_wall_ns").timer();
         if self.workers == 0 || n <= chunk.max(1) {
-            // no parallelism to extract: run inline on the caller
+            // no parallelism to extract: run inline on the caller — one
+            // self-executed chunk from the telemetry point of view
+            static_counter!("pool/chunks_self").inc();
             return panic::catch_unwind(AssertUnwindSafe(|| {
                 for i in 0..n {
                     run_item(i);
@@ -444,6 +466,7 @@ pub fn global() -> &'static ThreadPool {
                     .unwrap_or(4)
                     .saturating_sub(1)
             });
+        static_counter!("pool/workers").set(workers as u64);
         ThreadPool::with_threads(workers)
     })
 }

@@ -1,0 +1,297 @@
+//! Counters, histograms and stage timers — the record-path primitives.
+//!
+//! Everything here is wait-free on the record path: plain relaxed atomic
+//! arithmetic on pre-allocated fields, no locks, no allocation. Relaxed
+//! ordering is deliberate — metrics tolerate momentary cross-field skew
+//! (a reader may see a bucket increment before the matching `count`), and
+//! snapshots are taken at rest in practice.
+
+use crate::snapshot::{CounterSnapshot, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of histogram buckets. Bucket `i` spans
+/// `[bucket_lower_bound(i), bucket_upper_bound(i)]`, doubling per bucket,
+/// so 64 buckets cover the whole `u64` range — sub-nanosecond resolution is
+/// pointless and the top buckets are unreachable wall-clock, but a fixed
+/// power-of-two layout keeps indexing branch-free.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: `floor(log2(max(v, 1)))`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (63 - (value | 1).leading_zeros()) as usize
+}
+
+/// Smallest value of bucket `i` (0 for bucket 0, else `2^i`).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS);
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Largest value of bucket `i` (inclusive): `2^(i+1) - 1`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS);
+    if i == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A monotonically increasing (or gauge-settable) `u64` event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter (no-op while telemetry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one (no-op while telemetry is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the value — gauge semantics, e.g. a worker count (no-op
+    /// while telemetry is disabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter regardless of the enabled switch.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, name: &str) -> CounterSnapshot {
+        CounterSnapshot {
+            name: name.to_string(),
+            value: self.get(),
+        }
+    }
+}
+
+/// A fixed-bucket histogram: 64 power-of-two buckets plus count / sum /
+/// min / max, all atomic. Values are unit-agnostic `u64`s; by convention
+/// names carry the unit as a suffix (`*_ns` for nanoseconds, `*_cycles`
+/// for simulated cycles).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation (no-op while telemetry is disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Starts a scoped timer that records elapsed nanoseconds into this
+    /// histogram when dropped. While telemetry is disabled the timer never
+    /// reads the clock.
+    #[inline]
+    pub fn timer(&self) -> StageTimer<'_> {
+        StageTimer {
+            hist: self,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+
+    /// Times `f`, recording its wall time in nanoseconds.
+    #[inline]
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _t = self.timer();
+        f()
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every field regardless of the enabled switch.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let count = self.count();
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A scoped stage timer: created via [`Histogram::timer`], records the
+/// elapsed wall time (nanoseconds, saturating) into its histogram on drop.
+#[must_use = "a StageTimer measures until it is dropped; binding it to `_` drops it immediately"]
+pub struct StageTimer<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl StageTimer<'_> {
+    /// Stops the timer early and returns the elapsed nanoseconds it
+    /// recorded (`None` while telemetry is disabled).
+    pub fn stop(mut self) -> Option<u64> {
+        let ns = self.observe();
+        self.start = None; // disarm the drop
+        ns
+    }
+
+    fn observe(&self) -> Option<u64> {
+        let start = self.start?;
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+        Some(ns)
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.observe();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i).max(1)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+            if i + 1 < BUCKETS {
+                assert_eq!(bucket_upper_bound(i) + 1, bucket_lower_bound(i + 1));
+            }
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        for v in [3u64, 9, 1000, 9] {
+            h.record(v);
+        }
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1021);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 1000);
+        let total: u64 = s.buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn timer_records_into_histogram() {
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        let t = h.timer();
+        std::hint::black_box(1 + 1);
+        let ns = t.stop().expect("enabled timer reports elapsed ns");
+        assert_eq!(h.count(), 1);
+        assert!(ns < 1_000_000_000, "a no-op should not take a second");
+        h.time(|| ());
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_clean() {
+        let h = Histogram::new();
+        let s = h.snapshot("t");
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! The process-wide metric registry.
+//!
+//! Registration (first use of a name) takes a mutex; steady-state recording
+//! happens through `Arc` handles the call sites cache — see the
+//! [`static_counter!`](crate::static_counter) /
+//! [`static_histogram!`](crate::static_histogram) macros — so the lock is
+//! off the hot path by construction.
+
+use crate::metric::{Counter, Histogram};
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A named collection of counters and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// A point-in-time copy of every metric with at least one recorded
+    /// event. Zero metrics are omitted so a disabled run snapshots empty.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = lock(&self.counters)
+            .iter()
+            .filter(|(_, c)| c.get() > 0)
+            .map(|(name, c)| c.snapshot(name))
+            .collect();
+        let histograms = lock(&self.histograms)
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Zeroes every registered metric in place. Handles cached by call
+    /// sites stay valid — this resets values, it does not drop metrics.
+    pub fn reset(&self) {
+        for c in lock(&self.counters).values() {
+            c.reset();
+        }
+        for h in lock(&self.histograms).values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry every instrumented crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// [`Registry::counter`] on the [`global`] registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// [`Registry::histogram`] on the [`global`] registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert!(Arc::ptr_eq(&a, &b));
+        let h1 = r.histogram("y");
+        let h2 = r.histogram("y");
+        assert!(Arc::ptr_eq(&h1, &h2));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn snapshot_omits_zero_metrics_and_reset_clears() {
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.counter("zero");
+        r.histogram("empty");
+        r.counter("hits").add(3);
+        r.histogram("lat").record(7);
+        let s = r.snapshot();
+        assert_eq!(s.counters.len(), 1);
+        assert_eq!(s.counters[0].name, "hits");
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].name, "lat");
+        r.reset();
+        let s = r.snapshot();
+        assert!(s.counters.is_empty() && s.histograms.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Point-in-time metric snapshots: serialisable, mergeable, quantile-aware.
+
+use crate::metric::{bucket_lower_bound, bucket_upper_bound, BUCKETS};
+use serde::{Deserialize, Serialize};
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One histogram's state at snapshot time.
+///
+/// `buckets` is sparse: `(index, count)` pairs, ascending by index, zero
+/// buckets omitted; bucket `index` spans
+/// `[bucket_lower_bound(index), bucket_upper_bound(index)]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registered metric name (unit suffix by convention: `_ns`, `_cycles`).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the midpoint of the bucket
+    /// holding the `ceil(q·count)`-th observation, clamped to the observed
+    /// `[min, max]` range. Exact to within a factor of 2 by construction;
+    /// `q = 0.0` and `q = 1.0` return the exact observed min and max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0 ..= 1.0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(i, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                let (lo, hi) = (
+                    bucket_lower_bound(i as usize),
+                    bucket_upper_bound(i as usize),
+                );
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Estimated median.
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds `other` into `self` (bucket-wise sum; min/max combine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the names differ or a bucket index is out of range.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.name, other.name, "cannot merge different histograms");
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        let mut dense = [0u64; BUCKETS];
+        for &(i, n) in self.buckets.iter().chain(&other.buckets) {
+            dense[i as usize] += n;
+        }
+        self.buckets = dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &n)| (n > 0).then_some((i as u32, n)))
+            .collect();
+    }
+}
+
+/// A full registry snapshot: every non-zero metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All non-zero counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All non-empty histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Histogram by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self` by metric name — the aggregation path for
+    /// snapshots collected from several processes or runs.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|m| m.name == c.name) {
+                Some(m) => m.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|m| m.name == h.name) {
+                Some(m) => m.merge(h),
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshots always serialise")
+    }
+
+    /// Parses a snapshot back from [`Snapshot::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(name: &str, values: &[u64]) -> HistogramSnapshot {
+        let h = crate::Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot(name)
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn quantiles_bracket_the_data() {
+        crate::set_enabled(true);
+        let s = hist("t", &[10, 10, 10, 10, 10, 10, 10, 10, 10, 5000]);
+        // the median bucket holds 10; the estimate is clamped into [min,max]
+        let med = s.median();
+        assert!((10..=15).contains(&med), "median estimate {med}");
+        // p99 must land in the outlier's bucket (4096..8191), clamped to max
+        let p99 = s.p99();
+        assert!(p99 > 1000, "p99 estimate {p99} should see the outlier");
+        assert!(p99 <= 5000);
+        assert_eq!(s.quantile(0.0), 10);
+        assert_eq!(s.quantile(1.0), p99);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn merge_is_equivalent_to_recording_everything_in_one_histogram() {
+        crate::set_enabled(true);
+        let a_vals = [1u64, 2, 3, 100, 7];
+        let b_vals = [4u64, 1_000_000, 9];
+        let mut a = hist("t", &a_vals);
+        let b = hist("t", &b_vals);
+        let all: Vec<u64> = a_vals.iter().chain(&b_vals).copied().collect();
+        let both = hist("t", &all);
+        a.merge(&b);
+        assert_eq!(a, both);
+        // merging an empty histogram is a no-op
+        let mut c = both.clone();
+        c.merge(&hist("t", &[]));
+        assert_eq!(c, both);
+        // merging into an empty histogram copies
+        let mut d = hist("t", &[]);
+        d.merge(&both);
+        assert_eq!(d, both);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge different histograms")]
+    fn merge_rejects_mismatched_names() {
+        let mut a = HistogramSnapshot {
+            name: "a".into(),
+            count: 1,
+            sum: 1,
+            min: 1,
+            max: 1,
+            buckets: vec![(0, 1)],
+        };
+        let b = HistogramSnapshot {
+            name: "b".into(),
+            ..a.clone()
+        };
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        let s = Snapshot::default();
+        assert!(s.is_empty());
+        assert_eq!(s.counter("x"), None);
+        assert!(s.histogram("y").is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Disabled-mode contract: with telemetry off, the record path is a no-op
+//! and snapshots come back empty. Runs in its own test binary (own process)
+//! so the global toggle cannot race with the recording tests.
+
+use eyecod_telemetry::{global, Histogram, StageTimer};
+
+#[test]
+fn disabled_mode_records_nothing() {
+    eyecod_telemetry::set_enabled(false);
+    assert!(!eyecod_telemetry::enabled());
+
+    let c = global().counter("disabled/counter");
+    c.inc();
+    c.add(41);
+    assert_eq!(c.get(), 0);
+
+    let h = Histogram::new();
+    h.record(123);
+    {
+        let timer: StageTimer<'_> = h.timer();
+        drop(timer);
+    }
+    assert_eq!(h.count(), 0);
+
+    let stage = global().histogram("disabled/stage_ns");
+    stage.time(|| std::hint::black_box(7 * 6));
+    assert_eq!(stage.count(), 0);
+
+    let snap = global().snapshot();
+    assert!(
+        snap.is_empty(),
+        "disabled run must snapshot empty: {snap:?}"
+    );
+    // an empty snapshot still round-trips through JSON
+    let back = eyecod_telemetry::Snapshot::from_json(&snap.to_json()).unwrap();
+    assert!(back.is_empty());
+}

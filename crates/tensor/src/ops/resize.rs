@@ -23,9 +23,26 @@ pub fn upsample_nearest(input: &Tensor, factor: usize) -> Tensor {
 
 /// Backward pass of [`upsample_nearest`]: sums the gradient over each
 /// replicated block.
+///
+/// # Panics
+///
+/// Panics if `factor == 0` or `grad_out` is not shaped like
+/// `input_shape` upsampled by `factor` — a silent mismatch would read
+/// gradients into the wrong (or out-of-range) input cells.
 pub fn upsample_nearest_backward(input_shape: Shape, grad_out: &Tensor, factor: usize) -> Tensor {
-    let mut gin = Tensor::zeros(input_shape);
+    assert!(factor > 0, "upsample factor must be non-zero");
     let os = grad_out.shape();
+    assert_eq!(
+        (os.n, os.c, os.h, os.w),
+        (
+            input_shape.n,
+            input_shape.c,
+            input_shape.h * factor,
+            input_shape.w * factor
+        ),
+        "grad_out {os} must be input {input_shape} upsampled by {factor}"
+    );
+    let mut gin = Tensor::zeros(input_shape);
     for n in 0..os.n {
         for c in 0..os.c {
             for h in 0..os.h {
@@ -126,6 +143,29 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn downsample_rejects_ragged_sizes() {
         downsample_avg(&Tensor::zeros(Shape::new(1, 1, 3, 3)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be non-zero")]
+    fn upsample_backward_rejects_zero_factor() {
+        let g = Tensor::ones(Shape::new(1, 1, 2, 2));
+        upsample_nearest_backward(Shape::new(1, 1, 2, 2), &g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "upsampled by 2")]
+    fn upsample_backward_rejects_shape_mismatch() {
+        // grad is 2x4 but input 1x2 upsampled by 2 would be 2x4 in w only:
+        // here h is wrong (3 instead of 2)
+        let g = Tensor::ones(Shape::new(1, 1, 3, 4));
+        upsample_nearest_backward(Shape::new(1, 1, 1, 2), &g, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "upsampled by 2")]
+    fn upsample_backward_rejects_channel_mismatch() {
+        let g = Tensor::ones(Shape::new(1, 2, 2, 4));
+        upsample_nearest_backward(Shape::new(1, 1, 1, 2), &g, 2);
     }
 
     #[test]
