@@ -5,6 +5,7 @@
 //! matrix–matrix multiplications, then gaze estimation) plus the periodic
 //! segmentation stage (once every `seg_period` frames — 50 in the paper).
 
+use eyecod_models::quantized::QuantizedGazeNet;
 use eyecod_models::spec::SpecBuilder;
 use eyecod_models::{fbnet, ritnet, ModelSpec, OpBreakdown};
 
@@ -36,6 +37,11 @@ pub struct PipelineWorkload {
     pub offchip_bytes_per_frame: u64,
     /// Frames per evaluation window.
     pub window: usize,
+    /// Arithmetic precision the accelerator executes this workload at
+    /// (32 = f32 reference, 8 = the deployed int8 chain). Scales
+    /// [`PipelineWorkload::effective_window_flops`] under the paper's
+    /// bit-serial convention; the MAC *count* is precision-independent.
+    pub precision_bits: u32,
 }
 
 impl PipelineWorkload {
@@ -46,6 +52,26 @@ impl PipelineWorkload {
             .periodic
             .as_ref()
             .map(|(m, period)| m.macs() * (self.window / period).max(1) as u64)
+            .unwrap_or(0);
+        per_frame * self.window as u64 + periodic
+    }
+
+    /// Effective FLOPs over one window at this workload's precision,
+    /// following the paper's quadratic bit-serial scaling
+    /// ([`ModelSpec::effective_flops`]): an 8-bit window costs 1/16 of the
+    /// f32 one on the same layer geometry.
+    pub fn effective_window_flops(&self) -> u64 {
+        let per_frame: u64 = self
+            .per_frame
+            .iter()
+            .map(|m| m.effective_flops(self.precision_bits))
+            .sum();
+        let periodic = self
+            .periodic
+            .as_ref()
+            .map(|(m, period)| {
+                m.effective_flops(self.precision_bits) * (self.window / period).max(1) as u64
+            })
             .unwrap_or(0);
         per_frame * self.window as u64 + periodic
     }
@@ -81,6 +107,28 @@ impl PipelineWorkload {
                 "invalid periodic period"
             );
         }
+        assert!(
+            matches!(self.precision_bits, 8 | 16 | 32),
+            "unsupported precision: {} bits",
+            self.precision_bits
+        );
+    }
+
+    /// Replaces the gaze stage (the last per-frame model) with the layer
+    /// geometry of a deployed, calibrated int8 network at `(h, w)` input
+    /// and drops the workload precision to 8 bits — the workload the
+    /// accelerator actually executes after the tracker's warm-up
+    /// calibration completes.
+    pub fn with_int8_gaze(mut self, qnet: &QuantizedGazeNet, h: usize, w: usize) -> Self {
+        let gaze = self
+            .per_frame
+            .last_mut()
+            .expect("workload has no gaze stage");
+        *gaze = qnet.model_spec(h, w);
+        self.precision_bits = 8;
+        self.name.push_str(" [int8 gaze]");
+        self.validate();
+        self
     }
 }
 
@@ -175,6 +223,7 @@ impl EyeCodWorkload {
             periodic: Some((seg, self.seg_period)),
             offchip_bytes_per_frame: offchip,
             window: self.seg_period,
+            precision_bits: 32,
         };
         w.validate();
         w
@@ -237,5 +286,63 @@ mod tests {
     #[should_panic(expected = "sensor")]
     fn reconstruction_requires_covering_sensor() {
         reconstruction_spec(256, 128);
+    }
+
+    fn deployed_qnet() -> QuantizedGazeNet {
+        use eyecod_models::proxy::{GazeFamily, ProxyGazeNet};
+        use eyecod_tensor::{Shape, Tensor};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = ProxyGazeNet::new(GazeFamily::FbnetLike, &mut rng);
+        let calib = Tensor::from_fn(Shape::new(2, 1, 24, 32), |n, _, h, w| {
+            ((n + h * w) % 7) as f32 * 0.1
+        });
+        QuantizedGazeNet::from_calibrated(&net, &calib)
+    }
+
+    #[test]
+    fn int8_gaze_swaps_the_gaze_stage_and_drops_precision() {
+        let qnet = deployed_qnet();
+        let f32_wl = EyeCodWorkload::paper_default().into_workload();
+        let int8_wl = EyeCodWorkload::paper_default()
+            .into_workload()
+            .with_int8_gaze(&qnet, 96, 160);
+        assert_eq!(int8_wl.precision_bits, 8);
+        assert!(int8_wl.name.contains("int8"));
+        // same stage structure: recon + gaze per frame, periodic seg intact
+        assert_eq!(int8_wl.per_frame.len(), f32_wl.per_frame.len());
+        assert!(int8_wl.periodic.is_some());
+        // the deployed gaze spec is the quantised chain, not FBNet-C100
+        assert_ne!(
+            int8_wl.per_frame.last().unwrap().macs(),
+            f32_wl.per_frame.last().unwrap().macs()
+        );
+        // bit-serial scaling: 8-bit effective compute is 1/16 per MAC, and
+        // the deployed gaze net is no larger than the full-size one
+        assert!(int8_wl.effective_window_flops() * 16 <= f32_wl.effective_window_flops());
+    }
+
+    #[test]
+    fn f32_workload_effective_flops_equal_nominal() {
+        let w = EyeCodWorkload::paper_default().into_workload();
+        assert_eq!(w.precision_bits, 32);
+        // at 32 bits the bit-serial scale factor is 1
+        let nominal: u64 = w
+            .per_frame
+            .iter()
+            .map(|m| m.effective_flops(32))
+            .sum::<u64>()
+            * w.window as u64
+            + w.periodic.as_ref().unwrap().0.effective_flops(32);
+        assert_eq!(w.effective_window_flops(), nominal);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported precision")]
+    fn validate_rejects_odd_precision() {
+        let mut w = EyeCodWorkload::paper_default().into_workload();
+        w.precision_bits = 12;
+        w.validate();
     }
 }

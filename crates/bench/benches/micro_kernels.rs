@@ -160,6 +160,37 @@ fn heavy_compute(c: &mut Criterion) {
     });
 }
 
+/// The deployed gaze backends head to head: the trained-architecture f32
+/// forward vs the calibrated int8 chain on the same input, plus the one-off
+/// fold-calibrate-quantise cost the tracker pays at the warm-up switchover.
+fn int8_backend(c: &mut Criterion) {
+    use eyecod_models::proxy::{GazeFamily, ProxyGazeNet};
+    use eyecod_models::quantized::QuantizedGazeNet;
+    use eyecod_tensor::Layer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = ProxyGazeNet::new(GazeFamily::FbnetLike, &mut rng);
+    let calib = Tensor::from_fn(Shape::new(8, 1, 24, 32), |n, _, h, w| {
+        ((n + h * 3 + w) % 13) as f32 / 13.0
+    });
+    let qnet = QuantizedGazeNet::from_calibrated(&net, &calib);
+    let input = Tensor::from_fn(Shape::new(1, 1, 24, 32), |_, _, h, w| {
+        ((h * 5 + w) % 11) as f32 / 11.0
+    });
+
+    c.bench_function("int8/gaze_forward_f32", |b| {
+        b.iter(|| net.forward(&input, false))
+    });
+    c.bench_function("int8/gaze_forward_int8", |b| {
+        b.iter(|| qnet.forward(&input))
+    });
+    c.bench_function("int8/fold_calibrate_quantize", |b| {
+        b.iter(|| QuantizedGazeNet::from_calibrated(&net, &calib))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
@@ -170,4 +201,9 @@ criterion_group! {
     config = Criterion::default().sample_size(30);
     targets = heavy_compute
 }
-criterion_main!(benches, heavy);
+criterion_group! {
+    name = int8;
+    config = Criterion::default().sample_size(30);
+    targets = int8_backend
+}
+criterion_main!(benches, heavy, int8);

@@ -291,6 +291,43 @@ fn main() {
     );
     write_json(&out, "table5_roi_freq", &t5);
 
+    // --- Int8 deployed gaze backend ---
+    println!("\n[running the f32-vs-int8 deployed backend comparison]");
+    let int8 = experiments::int8_backend_comparison(scale);
+    print_table(
+        "Int8 gaze backend — accuracy vs latency",
+        &[
+            "backend",
+            "tracking error (deg)",
+            "forward (us, host)",
+            "window compute (GFLOPs)",
+            "simulated FPS",
+        ],
+        &[
+            vec![
+                "f32".into(),
+                format!("{:.2}", int8.f32_error_deg),
+                format!("{:.1}", int8.f32_forward_us),
+                format!("{:.3}", int8.f32_effective_window_gflops),
+                format!("{:.2}", int8.f32_sim_fps),
+            ],
+            vec![
+                "int8 (deployed)".into(),
+                format!("{:.2}", int8.int8_error_deg),
+                format!("{:.1}", int8.int8_forward_us),
+                format!("{:.3}", int8.int8_effective_window_gflops),
+                format!("{:.2}", int8.int8_sim_fps),
+            ],
+        ],
+    );
+    println!(
+        "accuracy cost {:+.2}°, effective window compute {:.1}x smaller, simulated speedup {:.2}x",
+        int8.int8_error_deg - int8.f32_error_deg,
+        int8.f32_effective_window_gflops / int8.int8_effective_window_gflops.max(1e-9),
+        int8.int8_sim_fps / int8.f32_sim_fps.max(1e-9),
+    );
+    write_json(&out, "int8_backend_comparison", &int8);
+
     if telemetry {
         dump_telemetry(&out);
     }

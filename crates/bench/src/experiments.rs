@@ -18,7 +18,7 @@ use eyecod_accel::trace::UtilizationTrace;
 use eyecod_accel::workload::EyeCodWorkload;
 use eyecod_core::acquisition::Acquisition;
 use eyecod_core::roi::{crop_by_strategy, predict_roi, CropStrategy};
-use eyecod_core::tracker::{EyeTracker, TrackerConfig};
+use eyecod_core::tracker::{EyeTracker, GazeBackend, TrackerConfig};
 use eyecod_core::training::{downsample_labels, train_tracker_models, TrainingSetup};
 use eyecod_eyedata::labels::mean_iou;
 use eyecod_eyedata::render::{render_eye, EyeParams};
@@ -31,7 +31,7 @@ use eyecod_models::{fbnet, mobilenet, resnet, ritnet, unet};
 use eyecod_platforms::system::{compare_all, PlatformResult};
 use eyecod_pool::BatchRunner;
 use eyecod_tensor::ops::{downsample_avg, resize_bilinear};
-use eyecod_tensor::Tensor;
+use eyecod_tensor::{Layer, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -709,6 +709,109 @@ pub fn fig7_utilization(samples: usize) -> (Vec<(f64, f64)>, f64, f64) {
 /// Regenerates Fig. 14 (throughput + normalised energy efficiency).
 pub fn fig14_overall() -> Vec<PlatformResult> {
     compare_all()
+}
+
+// ---------------------------------------------------------------------------
+// Int8 deployed gaze backend — accuracy vs latency
+// ---------------------------------------------------------------------------
+
+/// The f32-vs-int8 deployed-backend comparison: tracking accuracy of the two
+/// backends over identical motion sequences, host-measured forward latency
+/// of the two networks, and the accelerator-side effective compute and
+/// simulated throughput of the corresponding workloads (paper Tables 2/3
+/// "8-bit" rows, deployed end-to-end instead of fake-quantised).
+#[derive(Debug, Clone, Serialize)]
+pub struct Int8BackendComparison {
+    /// Mean tracking error over the evaluation sequence, f32 backend.
+    pub f32_error_deg: f32,
+    /// Same sequence on the int8 backend (after warm-up calibration).
+    pub int8_error_deg: f32,
+    /// Host median latency of one f32 gaze forward, µs.
+    pub f32_forward_us: f64,
+    /// Host median latency of one int8 gaze forward, µs.
+    pub int8_forward_us: f64,
+    /// Effective accelerator compute per 50-frame window at f32 (GFLOPs,
+    /// bit-serial convention).
+    pub f32_effective_window_gflops: f64,
+    /// Effective window compute of the deployed int8 workload (GFLOPs).
+    pub int8_effective_window_gflops: f64,
+    /// Simulated accelerator throughput on the f32 workload.
+    pub f32_sim_fps: f64,
+    /// Simulated accelerator throughput on the deployed int8 workload.
+    pub int8_sim_fps: f64,
+}
+
+/// Runs the deployed-backend comparison: trains one tracker model set, runs
+/// the same motion sequence through the f32 and int8 backends, then times
+/// both forwards and simulates both accelerator workloads.
+pub fn int8_backend_comparison(scale: Scale) -> Int8BackendComparison {
+    use std::time::Instant;
+
+    let mut config = TrackerConfig::small();
+    config.gaze_backend = GazeBackend::F32;
+    let models = train_tracker_models(&scale.training(), &config);
+    let frames = scale.seq_frames();
+
+    let run = |backend: GazeBackend| {
+        let mut cfg = config.clone();
+        cfg.gaze_backend = backend;
+        let mut tracker = EyeTracker::new(cfg, models.clone_models());
+        let stats = tracker.run_sequence(&mut EyeMotionGenerator::with_seed(41), frames);
+        (stats.mean_error_deg(), tracker)
+    };
+    let (f32_error_deg, _) = run(GazeBackend::F32);
+    let (int8_error_deg, int8_tracker) = run(GazeBackend::Int8);
+    let qnet = int8_tracker
+        .quantized_gaze()
+        .expect("sequence is longer than the calibration window");
+
+    // host forward latency on one representative crop (median of repeats)
+    let input = Tensor::from_fn(
+        eyecod_tensor::Shape::new(1, 1, config.gaze_input.0, config.gaze_input.1),
+        |_, _, h, w| ((h * 7 + w * 3) % 11) as f32 / 11.0,
+    );
+    fn median_us<F: FnMut()>(mut f: F) -> f64 {
+        let reps = 15;
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[reps / 2]
+    }
+    let mut f32_net = models.clone_models().gaze;
+    let f32_forward_us = median_us(|| {
+        f32_net.forward(&input, false);
+    });
+    let int8_forward_us = median_us(|| {
+        qnet.forward(&input);
+    });
+
+    // accelerator side: the paper-scale workload with the gaze stage as
+    // deployed (f32 FBNet spec vs the calibrated int8 chain at 8 bits)
+    let f32_wl = EyeCodWorkload::paper_default().into_workload();
+    let int8_wl = EyeCodWorkload::paper_default()
+        .into_workload()
+        .with_int8_gaze(qnet, 96, 160);
+    let sim = |wl: &eyecod_accel::workload::PipelineWorkload| {
+        WindowSimulator::new(AcceleratorConfig::paper_default())
+            .run_window(wl)
+            .fps
+    };
+
+    Int8BackendComparison {
+        f32_error_deg,
+        int8_error_deg,
+        f32_forward_us,
+        int8_forward_us,
+        f32_effective_window_gflops: f32_wl.effective_window_flops() as f64 / 1e9,
+        int8_effective_window_gflops: int8_wl.effective_window_flops() as f64 / 1e9,
+        f32_sim_fps: sim(&f32_wl),
+        int8_sim_fps: sim(&int8_wl),
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -43,4 +43,4 @@ pub mod tracker;
 pub mod training;
 
 pub use roi::{CropStrategy, RoiRect};
-pub use tracker::{EyeTracker, TrackedFrame, TrackerConfig};
+pub use tracker::{EyeTracker, GazeBackend, TrackedFrame, TrackerConfig};

@@ -8,9 +8,52 @@ use eyecod_eyedata::render::render_eye;
 use eyecod_eyedata::sequence::EyeMotionGenerator;
 use eyecod_eyedata::GazeVector;
 use eyecod_models::proxy::predict_seg;
+use eyecod_models::quantized::QuantizedGazeNet;
 use eyecod_telemetry::{static_counter, static_histogram};
 use eyecod_tensor::ops::{downsample_avg, resize_bilinear};
 use eyecod_tensor::{Layer, Tensor};
+
+/// Which numeric backend executes the per-frame gaze network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GazeBackend {
+    /// The trained f32 proxy network, executed directly.
+    #[default]
+    F32,
+    /// The deployed int8 path (paper Tables 2/3, "8-bit" rows): the first
+    /// [`TrackerConfig::calibration_frames`] frames run through the f32
+    /// network while their gaze crops are collected; the tracker then
+    /// folds, calibrates and quantises the network once and every later
+    /// frame runs entirely in int8.
+    Int8,
+}
+
+impl GazeBackend {
+    /// Parses a backend name (`"f32"`/`"float"` or `"int8"`/`"i8"`,
+    /// case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "f32" | "float" | "fp32" => Some(GazeBackend::F32),
+            "int8" | "i8" | "quantized" => Some(GazeBackend::Int8),
+            _ => None,
+        }
+    }
+
+    /// Reads `EYECOD_GAZE_BACKEND` from the environment, defaulting to
+    /// [`GazeBackend::F32`] when unset or empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set to an unrecognised value — a silent
+    /// fallback would make CI's int8 job quietly test the wrong backend.
+    pub fn from_env() -> Self {
+        match std::env::var("EYECOD_GAZE_BACKEND") {
+            Ok(v) if v.trim().is_empty() => GazeBackend::F32,
+            Ok(v) => Self::parse(&v)
+                .unwrap_or_else(|| panic!("unrecognised EYECOD_GAZE_BACKEND value: {v:?}")),
+            Err(_) => GazeBackend::F32,
+        }
+    }
+}
 
 /// How the ROI size is chosen at each refresh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +91,12 @@ pub struct TrackerConfig {
     pub mask_seed: u32,
     /// ROI sizing policy.
     pub roi_sizing: RoiSizing,
+    /// Numeric backend for the gaze network.
+    pub gaze_backend: GazeBackend,
+    /// With [`GazeBackend::Int8`]: how many warm-up frames run through the
+    /// f32 network while their gaze crops are collected as the calibration
+    /// batch. Ignored by the f32 backend.
+    pub calibration_frames: usize,
 }
 
 impl TrackerConfig {
@@ -66,6 +115,8 @@ impl TrackerConfig {
             flatcam: true,
             mask_seed: 17,
             roi_sizing: RoiSizing::Fixed,
+            gaze_backend: GazeBackend::from_env(),
+            calibration_frames: 8,
         }
     }
 
@@ -115,6 +166,12 @@ impl TrackerConfig {
             self.scene_size
         );
         assert!(self.roi_period > 0, "ROI period must be non-zero");
+        if self.gaze_backend == GazeBackend::Int8 {
+            assert!(
+                self.calibration_frames > 0,
+                "int8 backend needs at least one calibration frame"
+            );
+        }
         if self.flatcam {
             assert!(self.sensor_size > 0, "sensor size must be non-zero");
             assert!(
@@ -154,6 +211,10 @@ pub struct EyeTracker {
     /// Fallback gaze when the model output is degenerate: the previous
     /// frame's direction (straight ahead before any frame was tracked).
     last_gaze: GazeVector,
+    /// Gaze crops collected during int8 warm-up, pending calibration.
+    calib_inputs: Vec<Tensor>,
+    /// The deployed int8 network, once calibrated.
+    quantized_gaze: Option<QuantizedGazeNet>,
 }
 
 impl EyeTracker {
@@ -188,6 +249,8 @@ impl EyeTracker {
             frame_counter: 0,
             last_labels: None,
             last_gaze: GazeVector::from_angles(0.0, 0.0),
+            calib_inputs: Vec::new(),
+            quantized_gaze: None,
         }
     }
 
@@ -205,6 +268,13 @@ impl EyeTracker {
     /// if a refresh has happened.
     pub fn last_labels(&self) -> Option<&[u8]> {
         self.last_labels.as_deref()
+    }
+
+    /// The calibrated int8 gaze network, once the warm-up window has
+    /// completed under [`GazeBackend::Int8`] (`None` before that, and
+    /// always `None` under the f32 backend).
+    pub fn quantized_gaze(&self) -> Option<&QuantizedGazeNet> {
+        self.quantized_gaze.as_ref()
     }
 
     /// Processes one frame: acquires the scene, refreshes the ROI if due,
@@ -247,8 +317,8 @@ impl EyeTracker {
             let crop = self.current_roi.crop(&image);
             resize_bilinear(&crop, self.config.gaze_input.0, self.config.gaze_input.1)
         });
-        let pred = static_histogram!("tracker/gaze_forward_ns")
-            .time(|| self.models.gaze.forward(&gaze_in, false));
+        let pred =
+            static_histogram!("tracker/gaze_forward_ns").time(|| self.gaze_forward(&gaze_in));
         let (gaze, gaze_degenerate) = match GazeVector::from_tensor(&pred, 0).try_normalized() {
             Some(g) => (g, false),
             None => {
@@ -266,6 +336,38 @@ impl EyeTracker {
             roi_refreshed: due,
             frame,
             gaze_degenerate,
+        }
+    }
+
+    /// Runs the gaze network on one ROI crop through the configured
+    /// backend.
+    ///
+    /// Under [`GazeBackend::Int8`] the first `calibration_frames` frames
+    /// execute the f32 network while their crops are collected; when the
+    /// window fills, the network is folded, calibrated on the collected
+    /// batch and quantised (`tracker/int8_calibrations` counts this, and
+    /// `tracker/int8_frames` counts every frame served by the int8 chain).
+    /// The switch is deterministic in the frame sequence, so parallel and
+    /// sequential runs still agree bit-for-bit.
+    fn gaze_forward(&mut self, gaze_in: &Tensor) -> Tensor {
+        match self.config.gaze_backend {
+            GazeBackend::F32 => self.models.gaze.forward(gaze_in, false),
+            GazeBackend::Int8 => {
+                if let Some(qnet) = &self.quantized_gaze {
+                    static_counter!("tracker/int8_frames").inc();
+                    return qnet.forward(gaze_in);
+                }
+                self.calib_inputs.push(gaze_in.clone());
+                let pred = self.models.gaze.forward(gaze_in, false);
+                if self.calib_inputs.len() >= self.config.calibration_frames {
+                    let calib = Tensor::stack(&self.calib_inputs);
+                    self.quantized_gaze =
+                        Some(QuantizedGazeNet::from_calibrated(&self.models.gaze, &calib));
+                    self.calib_inputs = Vec::new();
+                    static_counter!("tracker/int8_calibrations").inc();
+                }
+                pred
+            }
         }
     }
 
@@ -511,6 +613,61 @@ mod tests {
         assert_eq!(stats.frames, 12);
         assert_eq!(stats.degenerate_frames, 12);
         assert_eq!(t.frame_counter, 13);
+    }
+
+    #[test]
+    fn gaze_backend_parses_names_case_insensitively() {
+        assert_eq!(GazeBackend::parse("f32"), Some(GazeBackend::F32));
+        assert_eq!(GazeBackend::parse("FLOAT"), Some(GazeBackend::F32));
+        assert_eq!(GazeBackend::parse("int8"), Some(GazeBackend::Int8));
+        assert_eq!(GazeBackend::parse("I8"), Some(GazeBackend::Int8));
+        assert_eq!(GazeBackend::parse("fp16"), None);
+        assert_eq!(GazeBackend::default(), GazeBackend::F32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one calibration frame")]
+    fn config_validation_catches_zero_calibration_frames() {
+        let mut cfg = TrackerConfig::small();
+        cfg.gaze_backend = GazeBackend::Int8;
+        cfg.calibration_frames = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn int8_backend_switches_over_after_warmup() {
+        let mut t = tracker();
+        t.config.gaze_backend = GazeBackend::Int8;
+        t.config.calibration_frames = 4;
+        let mut gen = EyeMotionGenerator::with_seed(9);
+        for i in 0..3 {
+            let params = gen.next_frame();
+            let s = render_eye(&params, 48, 100 + i);
+            t.process_frame(&s.image, 200 + i);
+            assert!(t.quantized_gaze().is_none(), "still warming up");
+        }
+        let params = gen.next_frame();
+        let s = render_eye(&params, 48, 103);
+        t.process_frame(&s.image, 203);
+        let qnet = t.quantized_gaze().expect("calibrated after 4 frames");
+        assert!(qnet.input_scale() > 0.0);
+        // int8 frames keep tracking sensibly (not degenerate, sane error)
+        let params = gen.next_frame();
+        let s = render_eye(&params, 48, 104);
+        let out = t.process_frame(&s.image, 204);
+        assert!(!out.gaze_degenerate);
+        assert!(out.gaze.angular_error_degrees(&s.gaze) < 20.0);
+    }
+
+    #[test]
+    fn f32_backend_never_quantizes() {
+        let mut t = tracker();
+        // pin the backend: tracker() inherits EYECOD_GAZE_BACKEND, and this
+        // test is specifically about the f32 path
+        t.config.gaze_backend = GazeBackend::F32;
+        let mut gen = EyeMotionGenerator::with_seed(12);
+        t.run_sequence(&mut gen, 12);
+        assert!(t.quantized_gaze().is_none());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod fbnet;
 pub mod mobilenet;
 pub mod proxy;
+pub mod quantized;
 pub mod resnet;
 pub mod ritnet;
 pub mod spec;

@@ -156,9 +156,10 @@ pub enum GazeFamily {
 }
 
 /// One concrete layer of a [`ProxyGazeNet`] (a closed enum so the network
-/// is `Clone`-able, unlike a `Sequential` of trait objects).
+/// is `Clone`-able, unlike a `Sequential` of trait objects). Crate-visible
+/// so the int8 backend in [`crate::quantized`] can fold and quantise it.
 #[derive(Clone)]
-enum GazeLayer {
+pub(crate) enum GazeLayer {
     Conv(Conv2d),
     Bn(BatchNorm2d),
     Act(LeakyRelu),
@@ -181,7 +182,7 @@ impl GazeLayer {
 /// A gaze regressor: grayscale crop in, 3-D gaze vector out.
 #[derive(Clone)]
 pub struct ProxyGazeNet {
-    layers: Vec<GazeLayer>,
+    pub(crate) layers: Vec<GazeLayer>,
     family: GazeFamily,
 }
 

@@ -1,0 +1,135 @@
+//! The f32-differential harness for the int8 gaze backend: the quantised
+//! chain and the folded f32 reference run on identical inputs and their
+//! divergence is bounded at every layer boundary and end to end.
+//!
+//! Batch-norm running statistics are deliberately made non-trivial (a few
+//! training-mode forwards) before folding, so the tests cover the actual
+//! `γ/√(σ²+ε)` folding math rather than the fresh-init identity stats.
+
+use eyecod_models::proxy::{GazeFamily, ProxyGazeNet};
+use eyecod_models::quantized::QuantizedGazeNet;
+use eyecod_tensor::{Layer, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_batch(n: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(Shape::new(n, 1, 24, 32), |_, _, _, _| {
+        rng.gen_range(0.0..1.0)
+    })
+}
+
+/// A gaze network with populated (non-identity) BN running statistics.
+fn prepared_net(family: GazeFamily, seed: u64) -> ProxyGazeNet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = ProxyGazeNet::new(family, &mut rng);
+    let batch = random_batch(8, seed ^ 0xA5);
+    for _ in 0..3 {
+        net.forward(&batch, true);
+    }
+    net
+}
+
+#[test]
+fn folded_reference_matches_eval_forward_with_trained_bn_stats() {
+    let mut net = prepared_net(GazeFamily::FbnetLike, 1);
+    let x = random_batch(2, 2);
+    let direct = net.forward(&x, false);
+    let folded = QuantizedGazeNet::reference_layer_outputs(&net, &x);
+    let last = folded.last().expect("network has layers");
+    assert_eq!(direct.shape(), last.shape());
+    let diff = direct.sub(last).max_abs();
+    assert!(
+        diff < 1e-3,
+        "BN folding diverged from eval forward by {diff}"
+    );
+}
+
+#[test]
+fn per_layer_divergence_is_bounded() {
+    let net = prepared_net(GazeFamily::FbnetLike, 3);
+    let calib = random_batch(8, 4);
+    let qnet = QuantizedGazeNet::from_calibrated(&net, &calib);
+    // a held-out input, same distribution as the calibration batch
+    let x = random_batch(1, 5);
+
+    let q_layers = qnet.layer_outputs(&x);
+    let f_layers = QuantizedGazeNet::reference_layer_outputs(&net, &x);
+    assert_eq!(q_layers.len(), f_layers.len());
+    assert_eq!(q_layers.len(), qnet.num_layers());
+
+    for (i, (q, f)) in q_layers.iter().zip(&f_layers).enumerate() {
+        assert_eq!(q.shape(), f.shape(), "layer {i} shape");
+        let denom = f.max_abs().max(1e-3);
+        let rel = f.sub(q).max_abs() / denom;
+        // int8 rounding error compounds slowly through the chain; a quarter
+        // of the layer's dynamic range means the backend has broken, while
+        // healthy divergence sits well under a tenth
+        assert!(rel < 0.25, "layer {i}: relative divergence {rel}");
+    }
+}
+
+#[test]
+fn end_to_end_gaze_direction_stays_aligned() {
+    let net = prepared_net(GazeFamily::FbnetLike, 6);
+    let qnet = QuantizedGazeNet::from_calibrated(&net, &random_batch(8, 7));
+    let mut angles = Vec::new();
+    let mut eval_net = net;
+    for seed in 10..20u64 {
+        let x = random_batch(1, seed);
+        let f = eval_net.forward(&x, false);
+        let q = qnet.forward(&x);
+        let fv = [f.at(0, 0, 0, 0), f.at(0, 1, 0, 0), f.at(0, 2, 0, 0)];
+        let qv = [q.at(0, 0, 0, 0), q.at(0, 1, 0, 0), q.at(0, 2, 0, 0)];
+        let dot: f32 = fv.iter().zip(&qv).map(|(a, b)| a * b).sum();
+        let nf = fv.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nq = qv.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(nf > 0.0 && nq > 0.0, "degenerate outputs");
+        let angle = (dot / (nf * nq)).clamp(-1.0, 1.0).acos().to_degrees();
+        angles.push(angle);
+    }
+    let mean = angles.iter().sum::<f32>() / angles.len() as f32;
+    assert!(
+        mean < 2.0,
+        "mean angular divergence between backends {mean:.2}° (per-input: {angles:?})"
+    );
+}
+
+#[test]
+fn every_family_quantizes_and_runs() {
+    for (i, family) in [
+        GazeFamily::ResNetLike,
+        GazeFamily::FbnetLike,
+        GazeFamily::MobileNetLike,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let net = prepared_net(family, 30 + i as u64);
+        let qnet = QuantizedGazeNet::from_calibrated(&net, &random_batch(4, 40 + i as u64));
+        let out = qnet.forward(&random_batch(1, 50 + i as u64));
+        assert_eq!(out.shape().dims(), (1, 3, 1, 1), "{family:?}");
+        assert!(!out.has_non_finite(), "{family:?}");
+        assert!(qnet.conv_out_scales().iter().all(|&s| s > 0.0));
+        let spec = qnet.model_spec(24, 32);
+        assert!(spec.macs() > 0, "{family:?}");
+    }
+}
+
+#[test]
+fn batched_inputs_match_per_item_forwards() {
+    // the int8 chain must treat batch items independently, exactly like
+    // the f32 network
+    let net = prepared_net(GazeFamily::MobileNetLike, 60);
+    let qnet = QuantizedGazeNet::from_calibrated(&net, &random_batch(4, 61));
+    let batch = random_batch(3, 62);
+    let joint = qnet.forward(&batch);
+    for i in 0..3 {
+        let item = Tensor::from_fn(Shape::new(1, 1, 24, 32), |_, _, h, w| batch.at(i, 0, h, w));
+        let single = qnet.forward(&item);
+        for c in 0..3 {
+            let d = (joint.at(i, c, 0, 0) - single.at(0, c, 0, 0)).abs();
+            assert!(d < 1e-6, "item {i} channel {c} differs by {d}");
+        }
+    }
+}

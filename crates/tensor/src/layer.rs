@@ -139,6 +139,21 @@ impl Conv2d {
     pub fn bias(&self) -> Option<&[f32]> {
         self.bias.as_ref().map(|b| b.value.as_slice())
     }
+
+    /// The stride of the convolution.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The zero padding of the convolution.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// The group count (`C_in` for a depth-wise convolution).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
 }
 
 impl Layer for Conv2d {
@@ -201,6 +216,16 @@ impl Linear {
             cached_input: None,
         }
     }
+
+    /// The weight tensor `(C_out, C_in, 1, 1)` (e.g. for quantised paths).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias values.
+    pub fn bias(&self) -> &[f32] {
+        self.bias.value.as_slice()
+    }
 }
 
 impl Layer for Linear {
@@ -250,6 +275,31 @@ impl BatchNorm2d {
             momentum: 0.1,
             cache: None,
         }
+    }
+
+    /// Per-channel scale `γ`.
+    pub fn gamma(&self) -> &[f32] {
+        self.gamma.value.as_slice()
+    }
+
+    /// Per-channel shift `β`.
+    pub fn beta(&self) -> &[f32] {
+        self.beta.value.as_slice()
+    }
+
+    /// Tracked running means (what inference-mode normalisation uses).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Tracked running variances.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// The numerical-stability epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
     }
 }
 
@@ -308,6 +358,11 @@ impl LeakyRelu {
     /// Plain ReLU.
     pub fn relu() -> Self {
         LeakyRelu::new(0.0)
+    }
+
+    /// The negative slope (0 for plain ReLU).
+    pub fn alpha(&self) -> f32 {
+        self.alpha
     }
 }
 

@@ -4,9 +4,42 @@
 //! Quantisation is *symmetric per-tensor*: `q = clamp(round(x / scale))`
 //! with `scale = max|x| / 127`. Convolutions accumulate in `i32` exactly as
 //! the accelerator's MAC lanes would, then rescale to `f32`.
+//!
+//! Two operator families live here:
+//!
+//! * f32-out ops ([`qconv2d`], [`qlinear`]) — integer accumulation with a
+//!   single rescale back to f32, used at network *boundaries* and for
+//!   fake-quantisation accuracy experiments;
+//! * int8-out ops ([`qconv2d_requant`], [`qglobal_avg_pool`],
+//!   [`requantize`]) — the deployed inference chain, where every layer
+//!   consumes and produces int8 activations and the rescale between layers
+//!   uses a *calibrated* output scale. These are what the int8
+//!   `QuantizedGazeNet` backend in `eyecod-models` runs.
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+/// Smallest admissible activation scale. A dead (all-zero) calibration layer
+/// would otherwise yield scale 0 and make every downstream division and
+/// [`QTensor::quantize_with_scale`] assertion blow up; flooring keeps the
+/// quantised value at exactly 0 for zero inputs while staying well inside
+/// f32 normal range for every product of two scales.
+pub const MIN_SCALE: f32 = 1e-12;
+
+/// Converts an observed activation magnitude into a quantisation scale,
+/// flooring degenerate (zero / denormal) observations at [`MIN_SCALE`].
+///
+/// # Panics
+///
+/// Panics if `max_abs` is negative or non-finite (a corrupted calibration
+/// pass should fail loudly, not silently produce garbage scales).
+pub fn calibration_scale(max_abs: f32) -> f32 {
+    assert!(
+        max_abs.is_finite() && max_abs >= 0.0,
+        "calibration max|x| must be finite and non-negative, got {max_abs}"
+    );
+    (max_abs / 127.0).max(MIN_SCALE)
+}
 
 /// An int8-quantised tensor with its dequantisation scale.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,19 +56,12 @@ impl QTensor {
     pub fn quantize(t: &Tensor) -> Self {
         let max = t.max_abs();
         let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
-        let data = t
-            .as_slice()
-            .iter()
-            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
-            .collect();
-        QTensor {
-            shape: t.shape(),
-            scale,
-            data,
-        }
+        Self::quantize_with_scale(t, scale)
     }
 
     /// Quantises with an explicit scale (e.g. a calibration scale).
+    /// Values outside the representable range saturate to ±127 rather than
+    /// wrapping.
     ///
     /// # Panics
     ///
@@ -85,6 +111,116 @@ pub fn fake_quantize(t: &Tensor) -> Tensor {
     QTensor::quantize(t).dequantize()
 }
 
+/// Rescales an int8 tensor to a new quantisation scale without a f32
+/// round-trip of the whole tensor: `q' = clamp(round(q * s_old / s_new))`.
+/// Needed wherever two int8 activations must share a scale (e.g. residual
+/// adds, concatenation) or a layer boundary re-anchors the range.
+///
+/// # Panics
+///
+/// Panics if `out_scale <= 0`.
+pub fn requantize(t: &QTensor, out_scale: f32) -> QTensor {
+    assert!(out_scale > 0.0, "scale must be positive");
+    let ratio = t.scale / out_scale;
+    let data = t
+        .data
+        .iter()
+        .map(|&q| (q as f32 * ratio).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    QTensor {
+        shape: t.shape,
+        scale: out_scale,
+        data,
+    }
+}
+
+/// Integer conv accumulation shared by [`qconv2d`] and [`qconv2d_requant`]:
+/// returns the output shape and the raw `i32` accumulator plane, exactly as
+/// the accelerator's MAC lanes produce it (no bias, no rescale).
+///
+/// A depth-wise convolution (`groups == C_in == C_out`) takes a dedicated
+/// fast path: the single weight plane per channel is sliced once and the
+/// group arithmetic disappears from the inner loops — the §5.1 observation
+/// that depth-wise layers need their own treatment, in miniature.
+fn qconv_accumulate(
+    input: &QTensor,
+    weight: &QTensor,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> (Shape, Vec<i32>) {
+    let ishape = input.shape;
+    let wshape = weight.shape;
+    let k = wshape.h;
+    let oshape = ishape.conv_output(wshape.n, k, pad, stride);
+    let cin_g = ishape.c / groups;
+    let cout_g = wshape.n / groups;
+    assert_eq!(wshape.c, cin_g, "weight/group mismatch");
+    let mut acc = vec![0i32; oshape.len()];
+    let depthwise = groups == ishape.c && cin_g == 1 && cout_g == 1;
+    if depthwise {
+        for n in 0..oshape.n {
+            for c in 0..oshape.c {
+                let wplane = &weight.data[c * k * k..(c + 1) * k * k];
+                for oy in 0..oshape.h {
+                    for ox in 0..oshape.w {
+                        let mut a = 0i32;
+                        for (kh, wrow) in wplane.chunks_exact(k).enumerate() {
+                            let iy = (oy * stride + kh) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= ishape.h {
+                                continue;
+                            }
+                            for (kw, &wv) in wrow.iter().enumerate() {
+                                let ix = (ox * stride + kw) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= ishape.w {
+                                    continue;
+                                }
+                                let xi =
+                                    input.data[ishape.index(n, c, iy as usize, ix as usize)] as i32;
+                                a += xi * wv as i32;
+                            }
+                        }
+                        acc[oshape.index(n, c, oy, ox)] = a;
+                    }
+                }
+            }
+        }
+    } else {
+        for n in 0..oshape.n {
+            for oc in 0..oshape.c {
+                let g = oc / cout_g;
+                for oy in 0..oshape.h {
+                    for ox in 0..oshape.w {
+                        let mut a = 0i32;
+                        for icg in 0..cin_g {
+                            let ic = g * cin_g + icg;
+                            for kh in 0..k {
+                                for kw in 0..k {
+                                    let iy = (oy * stride + kh) as isize - pad as isize;
+                                    let ix = (ox * stride + kw) as isize - pad as isize;
+                                    if iy >= 0
+                                        && ix >= 0
+                                        && (iy as usize) < ishape.h
+                                        && (ix as usize) < ishape.w
+                                    {
+                                        let xi = input.data
+                                            [ishape.index(n, ic, iy as usize, ix as usize)]
+                                            as i32;
+                                        let wi = weight.data[wshape.index(oc, icg, kh, kw)] as i32;
+                                        a += xi * wi;
+                                    }
+                                }
+                            }
+                        }
+                        acc[oshape.index(n, oc, oy, ox)] = a;
+                    }
+                }
+            }
+        }
+    }
+    (oshape, acc)
+}
+
 /// Int8 convolution with exact i32 accumulation, returning an f32 tensor
 /// scaled by `input.scale * weight.scale`. Bias (f32) is added after
 /// rescaling, as deployed int8 stacks do.
@@ -100,33 +236,127 @@ pub fn qconv2d(
     pad: usize,
     groups: usize,
 ) -> Tensor {
-    let ishape = input.shape;
-    let wshape = weight.shape;
-    let k = wshape.h;
-    let oshape = ishape.conv_output(wshape.n, k, pad, stride);
-    let cin_g = ishape.c / groups;
-    let cout_g = wshape.n / groups;
-    assert_eq!(wshape.c, cin_g, "weight/group mismatch");
     let rescale = input.scale * weight.scale;
-    Tensor::from_fn(oshape, |n, oc, oy, ox| {
-        let g = oc / cout_g;
-        let mut acc: i32 = 0;
-        for icg in 0..cin_g {
-            let ic = g * cin_g + icg;
-            for kh in 0..k {
-                for kw in 0..k {
-                    let iy = (oy * stride + kh) as isize - pad as isize;
-                    let ix = (ox * stride + kw) as isize - pad as isize;
-                    if iy >= 0 && ix >= 0 && (iy as usize) < ishape.h && (ix as usize) < ishape.w {
-                        let xi = input.data[ishape.index(n, ic, iy as usize, ix as usize)] as i32;
-                        let wi = weight.data[wshape.index(oc, icg, kh, kw)] as i32;
-                        acc += xi * wi;
-                    }
-                }
+    let (oshape, acc) = qconv_accumulate(input, weight, stride, pad, groups);
+    let plane = oshape.h * oshape.w;
+    let data = acc
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let oc = (i / plane) % oshape.c;
+            a as f32 * rescale + bias.map_or(0.0, |b| b[oc])
+        })
+        .collect();
+    Tensor::from_vec(oshape, data)
+}
+
+/// Int8 convolution whose output *stays int8*: i32 accumulation, bias add
+/// and optional fused ReLU in the accumulator domain, then requantisation to
+/// the calibrated `out_scale`. This is one link of the deployed inference
+/// chain — activations never widen to f32 between layers.
+///
+/// # Panics
+///
+/// Same geometry requirements as [`crate::ops::conv2d`]; panics if
+/// `out_scale <= 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv2d_requant(
+    input: &QTensor,
+    weight: &QTensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    relu: bool,
+    out_scale: f32,
+) -> QTensor {
+    assert!(out_scale > 0.0, "scale must be positive");
+    let rescale = input.scale * weight.scale;
+    let (oshape, acc) = qconv_accumulate(input, weight, stride, pad, groups);
+    let plane = oshape.h * oshape.w;
+    let data = acc
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let oc = (i / plane) % oshape.c;
+            let mut v = a as f32 * rescale + bias.map_or(0.0, |b| b[oc]);
+            if relu {
+                v = v.max(0.0);
             }
+            (v / out_scale).round().clamp(-127.0, 127.0) as i8
+        })
+        .collect();
+    QTensor {
+        shape: oshape,
+        scale: out_scale,
+        data,
+    }
+}
+
+/// Int8 fully connected layer: `y = x · Wᵀ + b` with i32 accumulation and a
+/// single rescale to f32 — the network-boundary op that produces the gaze
+/// vector (regression heads stay f32 in deployed 8-bit stacks).
+///
+/// * `input`: `(N, C_in, 1, 1)` (or any shape whose item length is `C_in`)
+/// * `weight`: `(C_out, C_in, 1, 1)`
+///
+/// # Panics
+///
+/// Panics if the flattened input item length does not match `C_in`, or the
+/// bias length does not match `C_out`.
+pub fn qlinear(input: &QTensor, weight: &QTensor, bias: Option<&[f32]>) -> Tensor {
+    let n = input.shape.n;
+    let cin = input.shape.len() / n;
+    let cout = weight.shape.n;
+    assert_eq!(
+        weight.shape.len() / cout,
+        cin,
+        "qlinear weight expects {} inputs, got {cin}",
+        weight.shape.len() / cout
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), cout, "bias length must equal output features");
+    }
+    let rescale = input.scale * weight.scale;
+    let mut out = Tensor::zeros(Shape::vector(n, cout));
+    let o = out.as_mut_slice();
+    for i in 0..n {
+        let xrow = &input.data[i * cin..(i + 1) * cin];
+        for j in 0..cout {
+            let wrow = &weight.data[j * cin..(j + 1) * cin];
+            let mut acc: i32 = 0;
+            for (&a, &b) in xrow.iter().zip(wrow) {
+                acc += a as i32 * b as i32;
+            }
+            o[i * cout + j] = acc as f32 * rescale + bias.map_or(0.0, |b| b[j]);
         }
-        acc as f32 * rescale + bias.map_or(0.0, |b| b[oc])
-    })
+    }
+    out
+}
+
+/// Global average pooling over int8 activations: per-channel i32 sum,
+/// rounded division by the plane size, output in the *same* scale as the
+/// input (the mean of int8 values always fits back into int8).
+pub fn qglobal_avg_pool(input: &QTensor) -> QTensor {
+    let s = input.shape;
+    let plane = s.h * s.w;
+    let inv = 1.0 / plane as f32;
+    let mut data = Vec::with_capacity(s.n * s.c);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = s.index(n, c, 0, 0);
+            let sum: i32 = input.data[base..base + plane]
+                .iter()
+                .map(|&q| q as i32)
+                .sum();
+            data.push((sum as f32 * inv).round().clamp(-127.0, 127.0) as i8);
+        }
+    }
+    QTensor {
+        shape: Shape::vector(s.n, s.c),
+        scale: input.scale,
+        data,
+    }
 }
 
 /// Root-mean-square quantisation error of round-tripping `t` through int8.
@@ -204,6 +434,120 @@ mod tests {
         let y = qconv2d(&x, &w, None, 1, 1, 4);
         assert_eq!(y.shape().dims(), (1, 4, 6, 6));
         assert!((y.at(0, 0, 1, 1) - 9.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn depthwise_fast_path_matches_grouped_general_path() {
+        // depth-wise via the fast path must equal a 2-group convolution of
+        // the same geometry evaluated channel-pair-wise through the general
+        // path; easiest exact check: compare against the f32 reference conv
+        // on the dequantised operands (identical integer arithmetic).
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::from_fn(Shape::new(2, 6, 7, 5), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let w = Tensor::from_fn(Shape::new(6, 1, 3, 3), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let qx = QTensor::quantize(&x);
+        let qw = QTensor::quantize(&w);
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let fast = qconv2d(&qx, &qw, None, stride, pad, 6);
+            let reference = ops::conv2d(&qx.dequantize(), &qw.dequantize(), None, stride, pad, 6);
+            assert!(
+                fast.sub(&reference).max_abs() < 1e-3,
+                "fast path diverged at stride {stride} pad {pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn requant_conv_matches_f32_out_conv_within_one_step() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::from_fn(Shape::new(1, 3, 6, 6), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let w = Tensor::from_fn(Shape::new(4, 3, 3, 3), |_, _, _, _| {
+            rng.gen_range(-0.5..0.5)
+        });
+        let qx = QTensor::quantize(&x);
+        let qw = QTensor::quantize(&w);
+        let f32_out = qconv2d(&qx, &qw, None, 1, 1, 1);
+        let out_scale = calibration_scale(f32_out.max_abs());
+        let q_out = qconv2d_requant(&qx, &qw, None, 1, 1, 1, false, out_scale);
+        assert_eq!(q_out.scale(), out_scale);
+        let err = f32_out.sub(&q_out.dequantize()).max_abs();
+        assert!(
+            err <= out_scale * 0.5 + 1e-6,
+            "requantised conv strayed more than half a step: {err}"
+        );
+    }
+
+    #[test]
+    fn requant_conv_fused_relu_clamps_negative_accumulations() {
+        // an all-negative weight on an all-positive input accumulates
+        // strictly negative values; fused ReLU must zero every output
+        let x = QTensor::quantize(&Tensor::ones(Shape::new(1, 2, 4, 4)));
+        let w = QTensor::quantize(&Tensor::from_fn(Shape::new(2, 2, 3, 3), |_, _, _, _| -0.5));
+        let y = qconv2d_requant(&x, &w, None, 1, 1, 1, true, 0.1);
+        assert!(y.as_i8().iter().all(|&q| q == 0), "ReLU must clamp to zero");
+        let y_no_relu = qconv2d_requant(&x, &w, None, 1, 1, 1, false, 0.1);
+        assert!(y_no_relu.as_i8().iter().any(|&q| q < 0));
+    }
+
+    #[test]
+    fn qlinear_matches_float_linear() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::from_fn(Shape::vector(2, 16), |_, _, _, _| rng.gen_range(-1.0..1.0));
+        let w = Tensor::from_fn(Shape::vector(3, 16), |_, _, _, _| rng.gen_range(-0.5..0.5));
+        let b: Vec<f32> = (0..3).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let float = ops::linear(&x, &w, Some(&b));
+        let q = qlinear(&QTensor::quantize(&x), &QTensor::quantize(&w), Some(&b));
+        assert_eq!(q.shape().dims(), (2, 3, 1, 1));
+        assert!(float.sub(&q).max_abs() < 0.1);
+    }
+
+    #[test]
+    fn qglobal_avg_pool_matches_float_pool_within_one_step() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Tensor::from_fn(Shape::new(2, 3, 5, 5), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let qx = QTensor::quantize(&x);
+        let pooled = qglobal_avg_pool(&qx);
+        assert_eq!(pooled.shape().dims(), (2, 3, 1, 1));
+        assert_eq!(pooled.scale(), qx.scale());
+        let float = ops::global_avg_pool(&qx.dequantize());
+        let err = float.sub(&pooled.dequantize()).max_abs();
+        assert!(err <= qx.scale() * 0.5 + 1e-6, "pooled err {err}");
+    }
+
+    #[test]
+    fn requantize_rescales_and_saturates() {
+        let t = Tensor::from_vec(Shape::vector(1, 3), vec![-1.0, 0.5, 1.0]);
+        let q = QTensor::quantize(&t); // scale 1/127
+                                       // doubling the scale halves the codes
+        let wider = requantize(&q, q.scale() * 2.0);
+        assert_eq!(wider.as_i8(), &[-64, 32, 64]);
+        // shrinking the scale 4x would need codes beyond ±127: saturate
+        let narrower = requantize(&q, q.scale() / 4.0);
+        assert_eq!(narrower.as_i8(), &[-127, 127, 127]);
+    }
+
+    #[test]
+    fn calibration_scale_floors_dead_layers() {
+        assert_eq!(calibration_scale(0.0), MIN_SCALE);
+        assert!(calibration_scale(127.0) > 0.99);
+        // the floored scale still quantises a zero tensor without panicking
+        let z = Tensor::zeros(Shape::vector(1, 4));
+        let q = QTensor::quantize_with_scale(&z, calibration_scale(0.0));
+        assert!(q.as_i8().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn calibration_scale_rejects_nan() {
+        calibration_scale(f32::NAN);
     }
 
     #[test]

@@ -115,4 +115,53 @@ proptest! {
         let bound = taps * (x.max_abs() / 127.0 * 0.5 + 0.5 / 127.0 * x.max_abs()) + 0.05;
         prop_assert!(float.sub(&q).max_abs() < bound.max(0.1));
     }
+
+    /// Quantise → dequantise reproduces every element within half a
+    /// quantisation step.
+    #[test]
+    fn quantize_roundtrip_error_is_at_most_half_a_step(x in tensor_strategy(1, 3, 5, 4)) {
+        use eyecod_tensor::quant::QTensor;
+        let q = QTensor::quantize(&x);
+        let back = q.dequantize();
+        let half_step = q.scale() / 2.0 + 1e-6;
+        prop_assert!(
+            x.sub(&back).max_abs() <= half_step,
+            "roundtrip error {} exceeds half-step {half_step}",
+            x.sub(&back).max_abs()
+        );
+    }
+
+    /// Quantising with a too-small scale saturates at ±127 — values clamp,
+    /// they never wrap around the int8 range.
+    #[test]
+    fn quantize_with_small_scale_saturates(
+        x in tensor_strategy(1, 2, 4, 4),
+        scale in 1e-4f32..1e-1,
+    ) {
+        use eyecod_tensor::quant::QTensor;
+        let q = QTensor::quantize_with_scale(&x, scale);
+        for (&code, &v) in q.as_i8().iter().zip(x.as_slice()) {
+            prop_assert!((-127..=127).contains(&(code as i32)));
+            // saturation direction must match the sign of the input
+            if v > scale * 127.5 {
+                prop_assert_eq!(code, 127);
+            }
+            if v < -scale * 127.5 {
+                prop_assert_eq!(code, -127);
+            }
+        }
+    }
+
+    /// An all-zero tensor round-trips exactly regardless of the scale in
+    /// force (and the auto-calibrated scale stays positive).
+    #[test]
+    fn all_zero_tensor_roundtrips_exactly(scale in 1e-6f32..10.0) {
+        use eyecod_tensor::quant::QTensor;
+        let x = Tensor::zeros(Shape::new(1, 2, 3, 3));
+        let auto = QTensor::quantize(&x);
+        prop_assert!(auto.scale() > 0.0);
+        prop_assert!(auto.dequantize().max_abs() == 0.0);
+        let forced = QTensor::quantize_with_scale(&x, scale);
+        prop_assert!(forced.dequantize().max_abs() == 0.0);
+    }
 }

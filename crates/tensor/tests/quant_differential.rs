@@ -1,0 +1,143 @@
+//! Differential harness for the int8 convolution: `qconv2d` against
+//! `conv2d` on *fake-quantised* operands — the f32 tensors obtained by
+//! quantise→dequantise, on which the integer kernel's result is
+//! mathematically `scale_x · scale_w · Σ(q_x · q_w)`, i.e. identical to the
+//! float convolution up to f32 rounding. The sweep covers the geometry grid
+//! the gaze network actually exercises: unit and larger strides, zero and
+//! non-zero padding, dense, grouped and depth-wise channel wiring.
+
+use eyecod_tensor::ops;
+use eyecod_tensor::quant::{qconv2d, QTensor};
+use eyecod_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tensor(shape: Shape, rng: &mut StdRng) -> Tensor {
+    Tensor::from_fn(shape, |_, _, _, _| rng.gen_range(-1.5..1.5))
+}
+
+/// Quantise → dequantise, returning both the fake-quantised f32 tensor and
+/// the quantised codes that produced it.
+fn fake_quantize(t: &Tensor) -> (Tensor, QTensor) {
+    let q = QTensor::quantize(t);
+    (q.dequantize(), q)
+}
+
+/// One differential case: conv geometry + operand shapes.
+struct Geometry {
+    name: &'static str,
+    input: Shape,
+    weight: Shape,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+}
+
+#[test]
+fn qconv2d_matches_conv2d_on_fake_quantized_operands_across_geometries() {
+    let cases = [
+        Geometry {
+            name: "dense 3x3, stride 1, pad 1 (stem conv)",
+            input: Shape::new(1, 1, 12, 16),
+            weight: Shape::new(8, 1, 3, 3),
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        },
+        Geometry {
+            name: "dense 3x3, stride 2, pad 1 (downsampling stem)",
+            input: Shape::new(2, 3, 11, 9),
+            weight: Shape::new(6, 3, 3, 3),
+            stride: 2,
+            pad: 1,
+            groups: 1,
+        },
+        Geometry {
+            name: "pointwise 1x1, stride 1, pad 0",
+            input: Shape::new(1, 8, 6, 10),
+            weight: Shape::new(12, 8, 1, 1),
+            stride: 1,
+            pad: 0,
+            groups: 1,
+        },
+        Geometry {
+            name: "grouped 3x3 (2 groups), stride 1, pad 1",
+            input: Shape::new(1, 8, 7, 7),
+            weight: Shape::new(8, 4, 3, 3),
+            stride: 1,
+            pad: 1,
+            groups: 2,
+        },
+        Geometry {
+            name: "depth-wise 3x3, stride 1, pad 1",
+            input: Shape::new(1, 8, 9, 13),
+            weight: Shape::new(8, 1, 3, 3),
+            stride: 1,
+            pad: 1,
+            groups: 8,
+        },
+        Geometry {
+            name: "depth-wise 3x3, stride 2, pad 0 (edge-dropping)",
+            input: Shape::new(2, 6, 10, 10),
+            weight: Shape::new(6, 1, 3, 3),
+            stride: 2,
+            pad: 0,
+            groups: 6,
+        },
+        Geometry {
+            name: "depth-wise 5x5, stride 1, pad 2",
+            input: Shape::new(1, 4, 8, 8),
+            weight: Shape::new(4, 1, 5, 5),
+            stride: 1,
+            pad: 2,
+            groups: 4,
+        },
+    ];
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for (i, g) in cases.iter().enumerate() {
+        let x = random_tensor(g.input, &mut rng);
+        let w = random_tensor(g.weight, &mut rng);
+        let bias: Vec<f32> = (0..g.weight.n).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let (x_fq, qx) = fake_quantize(&x);
+        let (w_fq, qw) = fake_quantize(&w);
+
+        let float = ops::conv2d(&x_fq, &w_fq, Some(&bias), g.stride, g.pad, g.groups);
+        let int = qconv2d(&qx, &qw, Some(&bias), g.stride, g.pad, g.groups);
+
+        assert_eq!(int.shape(), float.shape(), "case {i} ({}): shape", g.name);
+        // the two computations differ only by f32 rounding of the rescale;
+        // accumulations here are tiny (≤ 4·25 taps), so the gap is minute
+        let diff = float.sub(&int).max_abs();
+        assert!(
+            diff < 1e-3,
+            "case {i} ({}): int8 diverged from fake-quantised f32 by {diff}",
+            g.name
+        );
+    }
+}
+
+#[test]
+fn qconv2d_against_unquantized_conv_stays_within_the_step_bound() {
+    // against the *original* f32 operands the divergence is bounded by the
+    // accumulated quantisation steps — the coarse contract the per-layer
+    // harness in eyecod-models builds on
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let x = random_tensor(Shape::new(1, 4, 10, 10), &mut rng);
+    let w = random_tensor(Shape::new(8, 4, 3, 3), &mut rng);
+    let float = ops::conv2d(&x, &w, None, 1, 1, 1);
+    let int = qconv2d(
+        &QTensor::quantize(&x),
+        &QTensor::quantize(&w),
+        None,
+        1,
+        1,
+        1,
+    );
+    let taps = (4 * 3 * 3) as f32;
+    let bound = taps * (x.max_abs() / 127.0 * w.max_abs() + w.max_abs() / 127.0 * x.max_abs());
+    assert!(
+        float.sub(&int).max_abs() <= bound,
+        "divergence {} above step bound {bound}",
+        float.sub(&int).max_abs()
+    );
+}
