@@ -126,6 +126,60 @@ pub fn pipeline_cycles(rounds: u64, compute_cycles: u64, load_cycles: u64, swpr:
     cycles
 }
 
+/// [`pipeline_cycles`] under an injected bank-conflict fault plan
+/// (paper §5.2's stall-free claim, stress-tested): rounds where
+/// [`eyecod_faults::FaultSite::ExecSwprConflict`] fires pay
+/// `swpr_conflict_penalty ×` their load cycles — the SWPR temp buffer and
+/// a MAC-lane read colliding on the same activation-GB bank serialises
+/// the fetch that normally hides behind compute.
+///
+/// `window` salts the per-round draws so distinct simulated windows see
+/// distinct conflict patterns from one plan. Returns total cycles; the
+/// extra stall versus the fault-free pipeline is counted in
+/// `accel/swpr_conflict_stall_cycles` (and conflicting rounds in
+/// `accel/swpr_conflict_rounds`). With a zero-rate plan this is exactly
+/// [`pipeline_cycles`].
+pub fn pipeline_cycles_faulted(
+    rounds: u64,
+    compute_cycles: u64,
+    load_cycles: u64,
+    swpr: bool,
+    plan: &eyecod_faults::FaultPlan,
+    window: u64,
+) -> u64 {
+    use eyecod_faults::FaultSite;
+    if rounds == 0 {
+        return 0;
+    }
+    let penalty = plan.exec.swpr_conflict_penalty.max(1) as u64;
+    let mut cycles = if swpr { load_cycles } else { 0 };
+    let mut conflicts = 0u64;
+    for r in 0..rounds {
+        let load = if plan.fires_with(FaultSite::ExecSwprConflict, r, window) {
+            conflicts += 1;
+            load_cycles * penalty
+        } else {
+            load_cycles
+        };
+        cycles += if swpr {
+            compute_cycles.max(load)
+        } else {
+            compute_cycles + load
+        };
+    }
+    // fault-free baseline, computed inline so the clean pipeline's own
+    // telemetry counters are not double-recorded
+    let clean = if swpr {
+        load_cycles + rounds * compute_cycles.max(load_cycles)
+    } else {
+        rounds * (compute_cycles + load_cycles)
+    };
+    eyecod_telemetry::static_counter!("accel/swpr_conflict_rounds").add(conflicts);
+    eyecod_telemetry::static_counter!("accel/swpr_conflict_stall_cycles")
+        .add(cycles.saturating_sub(clean));
+    cycles
+}
+
 /// Peak activation-GB bandwidth (rows per cycle) required for stall-free
 /// operation of one round that computes for `k` cycles (the paper notes one
 /// round of reuse lasts about the kernel size) and consumes `m` rows.
@@ -205,5 +259,47 @@ mod tests {
     fn zero_rounds_cost_nothing() {
         assert_eq!(pipeline_cycles(0, 100, 100, true), 0);
         assert_eq!(pipeline_cycles(0, 100, 100, false), 0);
+        let plan = eyecod_faults::FaultPlan::heavy(1);
+        assert_eq!(pipeline_cycles_faulted(0, 100, 100, true, &plan, 0), 0);
+    }
+
+    #[test]
+    fn zero_rate_plan_matches_clean_pipeline() {
+        let plan = eyecod_faults::FaultPlan::none();
+        for &swpr in &[true, false] {
+            assert_eq!(
+                pipeline_cycles_faulted(100, 50, 30, swpr, &plan, 7),
+                pipeline_cycles(100, 50, 30, swpr)
+            );
+        }
+    }
+
+    #[test]
+    fn bank_conflicts_amplify_stalls_deterministically() {
+        let mut plan = eyecod_faults::FaultPlan::none();
+        plan.seed = 9;
+        plan.exec.swpr_conflict_ppm = 200_000; // 20 % of rounds
+        plan.exec.swpr_conflict_penalty = 4;
+        let clean = pipeline_cycles(200, 50, 50, true);
+        let faulted = pipeline_cycles_faulted(200, 50, 50, true, &plan, 0);
+        assert!(
+            faulted > clean,
+            "conflicts must add stall cycles: {faulted} vs {clean}"
+        );
+        // byte-identical replays
+        assert_eq!(
+            faulted,
+            pipeline_cycles_faulted(200, 50, 50, true, &plan, 0)
+        );
+        // a different window salt draws a different conflict pattern
+        let other = pipeline_cycles_faulted(200, 50, 50, true, &plan, 1);
+        assert_ne!(faulted, other);
+        // a harsher penalty can only stall more
+        plan.exec.swpr_conflict_penalty = 8;
+        assert!(pipeline_cycles_faulted(200, 50, 50, true, &plan, 0) >= faulted);
+        // even amplified, SWPR still beats the serialised pipeline it
+        // degrades towards as long as conflicts are not universal
+        let serial_faulted = pipeline_cycles_faulted(200, 50, 50, false, &plan, 0);
+        assert!(faulted < serial_faulted);
     }
 }

@@ -1,5 +1,7 @@
 //! Image acquisition: lens camera vs lensless FlatCam.
 
+use eyecod_faults::{FaultPlan, FaultSite};
+use eyecod_optics::degrade::degrade_measurement;
 use eyecod_optics::imaging::FlatCam;
 use eyecod_optics::mask::SeparableMask;
 use eyecod_optics::mat::Mat;
@@ -83,6 +85,52 @@ impl Acquisition {
         }
     }
 
+    /// [`Acquisition::acquire`] with the plan's sensor- and link-plane
+    /// faults applied to the transported signal: pixel-mask / readout /
+    /// noise degradation on the raw capture (the FlatCam measurement, or
+    /// the focused image for the lens baseline), then transport-tail
+    /// truncation and exponent-bit corruption on the link.
+    ///
+    /// `attempt` salts the link-plane draws so a re-requested transfer can
+    /// arrive clean, and re-draws the sensor noise (a retry is a fresh
+    /// exposure); static pixel defects and per-frame sensor events replay
+    /// identically across attempts. With a no-fault plan and `attempt` 0
+    /// the result is byte-identical to [`Acquisition::acquire`].
+    ///
+    /// Returns the acquired image and the number of injected fault events.
+    pub fn acquire_faulted(
+        &self,
+        scene: &Tensor,
+        seed: u64,
+        plan: &FaultPlan,
+        frame: u64,
+        attempt: u64,
+    ) -> (Tensor, u32) {
+        let s = scene.shape();
+        assert_eq!(s.h, s.w, "scenes must be square, got {s}");
+        let capture_seed = seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match self {
+            Acquisition::Lens { sensor } => {
+                let m = Mat::from_tensor(scene);
+                let mut img = sensor.apply(&m, capture_seed);
+                let mut injected = degrade_measurement(plan, &mut img, frame, sensor.saturation);
+                injected += apply_link_faults(plan, &mut img, frame, attempt);
+                (img.to_tensor(), injected)
+            }
+            Acquisition::FlatCam {
+                camera,
+                reconstructor,
+            } => {
+                let m = Mat::from_tensor(scene);
+                let mut y = camera.capture(&m, capture_seed);
+                let mut injected =
+                    degrade_measurement(plan, &mut y, frame, camera.sensor().saturation);
+                injected += apply_link_faults(plan, &mut y, frame, attempt);
+                (reconstructor.reconstruct(&y).to_tensor(), injected)
+            }
+        }
+    }
+
     /// True for the FlatCam path.
     pub fn is_flatcam(&self) -> bool {
         matches!(self, Acquisition::FlatCam { .. })
@@ -96,6 +144,35 @@ impl Acquisition {
             Acquisition::FlatCam { camera, .. } => camera.measurement_pixels() as u64,
         }
     }
+}
+
+/// Applies the plan's link-plane transport faults to a transported buffer
+/// in place: tail truncation (the remainder of an aborted transfer reads
+/// as zeros) and per-value exponent-bit flips. A flipped high bit blows
+/// the value up to something the pipeline can detect after reconstruction;
+/// a flipped low bit shrinks it silently — both are realistic outcomes of
+/// an unprotected camera link. Returns the injected event count.
+fn apply_link_faults(plan: &FaultPlan, m: &mut Mat, frame: u64, salt: u64) -> u32 {
+    let mut injected = 0u32;
+    let n = m.rows() * m.cols();
+    if plan.fires_with(FaultSite::LinkTruncate, frame, salt) {
+        let lost = ((n as f64 * plan.link.truncate_fraction) as usize).min(n);
+        for v in &mut m.as_mut_slice()[n - lost..] {
+            *v = 0.0;
+        }
+        injected += 1;
+    }
+    if plan.fires_with(FaultSite::LinkCorrupt, frame, salt) && plan.link.corrupt_values > 0 {
+        let data = m.as_mut_slice();
+        for j in 0..plan.link.corrupt_values as u64 {
+            let idx = plan.index(FaultSite::LinkCorrupt, frame, salt * 131 + 2 * j + 1, n);
+            let bit =
+                52 + plan.index(FaultSite::LinkCorrupt, frame, salt * 131 + 2 * j + 2, 11) as u32;
+            data[idx] = f64::from_bits(data[idx].to_bits() ^ (1u64 << bit));
+        }
+        injected += 1;
+    }
+    injected
 }
 
 #[cfg(test)]
@@ -138,5 +215,54 @@ mod tests {
         let acq = Acquisition::flatcam(48, 64, 1e-4, 7);
         assert_eq!(acq.bytes_per_frame(48), 64 * 64);
         assert_eq!(Acquisition::lens().bytes_per_frame(48), 48 * 48);
+    }
+
+    #[test]
+    fn no_fault_plan_matches_plain_acquire_exactly() {
+        let s = render_eye(&EyeParams::centered(48), 48, 0);
+        let plan = FaultPlan::none();
+        for acq in [Acquisition::lens(), Acquisition::flatcam(48, 64, 1e-4, 7)] {
+            let clean = acq.acquire(&s.image, 5);
+            let (faulted, injected) = acq.acquire_faulted(&s.image, 5, &plan, 3, 0);
+            assert_eq!(injected, 0);
+            assert_eq!(
+                clean.as_slice(),
+                faulted.as_slice(),
+                "must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn link_truncation_zeroes_the_measurement_tail() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 2;
+        plan.link.truncate_ppm = 1_000_000;
+        plan.link.truncate_fraction = 0.25;
+        let acq = Acquisition::flatcam(48, 64, 1e-4, 7);
+        let s = render_eye(&EyeParams::centered(48), 48, 0);
+        let (faulted, injected) = acq.acquire_faulted(&s.image, 5, &plan, 3, 0);
+        assert_eq!(injected, 1);
+        // the truncated transfer still reconstructs to finite values but
+        // differs from the clean capture
+        assert!(!faulted.has_non_finite());
+        assert!(faulted.sub(&acq.acquire(&s.image, 5)).max_abs() > 0.0);
+    }
+
+    #[test]
+    fn link_corruption_replays_and_varies_by_attempt() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 4;
+        plan.link.corrupt_ppm = 1_000_000;
+        plan.link.corrupt_values = 4;
+        let acq = Acquisition::flatcam(48, 64, 1e-4, 7);
+        let s = render_eye(&EyeParams::centered(48), 48, 0);
+        let (a, ia) = acq.acquire_faulted(&s.image, 5, &plan, 3, 0);
+        let (b, ib) = acq.acquire_faulted(&s.image, 5, &plan, 3, 0);
+        assert_eq!(ia, ib);
+        assert_eq!(a.as_slice(), b.as_slice(), "corruption must replay exactly");
+        // a re-requested transfer draws a different corruption pattern
+        let (c, _) = acq.acquire_faulted(&s.image, 5, &plan, 3, 1);
+        assert_ne!(a.as_slice(), c.as_slice());
     }
 }

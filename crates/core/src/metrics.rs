@@ -2,6 +2,7 @@
 
 use crate::tracker::TrackedFrame;
 use eyecod_eyedata::GazeVector;
+use eyecod_faults::{FaultStats, FrameQuality};
 
 /// Accumulated statistics of a tracking run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -17,6 +18,14 @@ pub struct TrackingStats {
     /// Frames where the gaze network emitted a degenerate vector and the
     /// tracker fell back to the previous direction.
     pub degenerate_frames: usize,
+    /// Frames graded [`FrameQuality::Ok`].
+    pub frames_ok: usize,
+    /// Frames graded [`FrameQuality::Degraded`].
+    pub frames_degraded: usize,
+    /// Frames graded [`FrameQuality::Lost`].
+    pub frames_lost: usize,
+    /// Cumulative fault accounting over the recorded frames.
+    pub faults: FaultStats,
 }
 
 impl TrackingStats {
@@ -25,7 +34,8 @@ impl TrackingStats {
         Self::default()
     }
 
-    /// Records one tracked frame's outcome against the ground truth.
+    /// Records one tracked frame's outcome against the ground truth,
+    /// including its quality grade and fault accounting.
     pub fn record(&mut self, frame: &TrackedFrame, truth: &GazeVector) {
         self.record_parts(
             &frame.gaze,
@@ -33,9 +43,17 @@ impl TrackingStats {
             frame.roi_refreshed,
             frame.gaze_degenerate,
         );
+        match frame.quality {
+            FrameQuality::Ok => self.frames_ok += 1,
+            FrameQuality::Degraded => self.frames_degraded += 1,
+            FrameQuality::Lost => self.frames_lost += 1,
+        }
+        self.faults.absorb(&frame.faults);
     }
 
-    /// Lower-level recording from the individual outcome parts.
+    /// Lower-level recording from the individual outcome parts. Quality
+    /// and fault accounting are untouched — only [`TrackingStats::record`]
+    /// tracks those.
     pub fn record_parts(
         &mut self,
         predicted: &GazeVector,
@@ -70,6 +88,10 @@ impl TrackingStats {
         self.max_error_deg = self.max_error_deg.max(other.max_error_deg);
         self.roi_refreshes += other.roi_refreshes;
         self.degenerate_frames += other.degenerate_frames;
+        self.frames_ok += other.frames_ok;
+        self.frames_degraded += other.frames_degraded;
+        self.frames_lost += other.frames_lost;
+        self.faults.merge(&other.faults);
     }
 }
 
@@ -140,5 +162,60 @@ mod tests {
     fn empty_stats_are_zero() {
         assert_eq!(TrackingStats::new().mean_error_deg(), 0.0);
         assert_eq!(TrackingStats::new().degenerate_frames, 0);
+        assert_eq!(TrackingStats::new().frames_lost, 0);
+        assert_eq!(TrackingStats::new().faults, FaultStats::default());
+    }
+
+    #[test]
+    fn quality_and_fault_accounting_accumulates_and_merges() {
+        use crate::roi::RoiRect;
+        use eyecod_faults::FrameFaults;
+        let truth = GazeVector::from_angles(0.0, 0.0);
+        let frame = |quality, faults| TrackedFrame {
+            gaze: truth,
+            roi: RoiRect::centered(48, 48, 24, 32),
+            roi_refreshed: false,
+            frame: 0,
+            gaze_degenerate: false,
+            quality,
+            faults,
+        };
+        let mut s = TrackingStats::new();
+        s.record(&frame(FrameQuality::Ok, FrameFaults::default()), &truth);
+        s.record(
+            &frame(
+                FrameQuality::Degraded,
+                FrameFaults {
+                    injected: 2,
+                    recovered: 2,
+                    unrecovered: 0,
+                },
+            ),
+            &truth,
+        );
+        s.record(
+            &frame(
+                FrameQuality::Lost,
+                FrameFaults {
+                    injected: 1,
+                    recovered: 0,
+                    unrecovered: 1,
+                },
+            ),
+            &truth,
+        );
+        assert_eq!(
+            (s.frames_ok, s.frames_degraded, s.frames_lost),
+            (1, 1, 1),
+            "each grade counted once"
+        );
+        assert_eq!(s.faults.injected, 3);
+        assert_eq!(s.faults.recovered, 2);
+        assert_eq!(s.faults.unrecovered, 1);
+        let mut merged = TrackingStats::new();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.frames_degraded, 2);
+        assert_eq!(merged.faults.injected, 6);
     }
 }

@@ -7,6 +7,7 @@ use crate::training::TrackerModels;
 use eyecod_eyedata::render::render_eye;
 use eyecod_eyedata::sequence::EyeMotionGenerator;
 use eyecod_eyedata::GazeVector;
+use eyecod_faults::{FaultPlan, FaultSite, FaultStats, FrameFaults, FrameQuality, RecoveryPolicy};
 use eyecod_models::proxy::predict_seg;
 use eyecod_models::quantized::QuantizedGazeNet;
 use eyecod_telemetry::{static_counter, static_histogram};
@@ -197,6 +198,13 @@ pub struct TrackedFrame {
     /// is the previous frame's direction instead (straight ahead on frame
     /// 0). Downstream consumers can discount such frames.
     pub gaze_degenerate: bool,
+    /// How much this frame can be trusted: `Ok` when every stage ran on
+    /// fresh data, `Degraded` when a retry or last-good fallback was used,
+    /// `Lost` when the recovery budget or the policy's staleness limits
+    /// were exhausted.
+    pub quality: FrameQuality,
+    /// Fault events injected into / recovered while producing this frame.
+    pub faults: FrameFaults,
 }
 
 /// The EyeCoD eye tracker: acquisition → periodic segmentation + ROI →
@@ -215,6 +223,25 @@ pub struct EyeTracker {
     calib_inputs: Vec<Tensor>,
     /// The deployed int8 network, once calibrated.
     quantized_gaze: Option<QuantizedGazeNet>,
+    /// The active fault-injection plan ([`FaultPlan::none`] in production;
+    /// `EYECOD_FAULT_PLAN` or [`EyeTracker::with_faults`] enable it).
+    faults: FaultPlan,
+    /// Retry budgets and staleness limits for graceful degradation.
+    recovery: RecoveryPolicy,
+    /// Cumulative fault accounting since construction.
+    fault_stats: FaultStats,
+    /// Last successfully acquired image: the fallback for dropped, delayed
+    /// or unrecoverably corrupted frames.
+    last_image: Option<Tensor>,
+    /// Consecutive frames served from `last_image` instead of a fresh
+    /// capture.
+    image_staleness: u32,
+    /// Consecutive scheduled ROI refreshes that fell back to the last-good
+    /// ROI.
+    roi_staleness: u32,
+    /// Consecutive frames on which the gaze output fell back to
+    /// `last_gaze`.
+    gaze_staleness: u32,
 }
 
 impl EyeTracker {
@@ -251,7 +278,46 @@ impl EyeTracker {
             last_gaze: GazeVector::from_angles(0.0, 0.0),
             calib_inputs: Vec::new(),
             quantized_gaze: None,
+            faults: FaultPlan::from_env(),
+            recovery: RecoveryPolicy::default(),
+            fault_stats: FaultStats::default(),
+            last_image: None,
+            image_staleness: 0,
+            roi_staleness: 0,
+            gaze_staleness: 0,
         }
+    }
+
+    /// Replaces the fault-injection plan (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Replaces the recovery policy (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        policy.validate();
+        self.recovery = policy;
+        self
+    }
+
+    /// The active fault-injection plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Cumulative fault accounting since construction.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// The active configuration.
@@ -280,6 +346,16 @@ impl EyeTracker {
     /// Processes one frame: acquires the scene, refreshes the ROI if due,
     /// and estimates gaze from the ROI crop.
     ///
+    /// Under an active [`FaultPlan`], each stage detects what it can
+    /// (missing/late frames, blown-up reconstructions, short label
+    /// buffers, non-finite or degenerate gaze outputs, out-of-bounds ROI
+    /// anchors) and recovers by retrying within the policy's budget or
+    /// falling back to the last-good image / ROI / gaze; undetectable
+    /// degradation passes through silently, as it would in a real system.
+    /// The outcome is graded in [`TrackedFrame::quality`] and accounted in
+    /// [`TrackedFrame::faults`] plus the
+    /// `tracker/faults_{injected,recovered,unrecovered}` counters.
+    ///
     /// If the gaze network emits a degenerate (near-zero) vector, the
     /// previous frame's gaze is reused and the output is flagged via
     /// [`TrackedFrame::gaze_degenerate`] instead of panicking.
@@ -302,40 +378,191 @@ impl EyeTracker {
             "scene must be {0}x{0}",
             self.config.scene_size
         );
-        let image = static_histogram!("tracker/acquire_ns")
-            .time(|| self.acquisition.acquire(scene, noise_seed));
+        let frame = self.frame_counter;
+        let plan = self.faults.clone();
+        let mut ff = FrameFaults::default();
+        let mut degraded = false;
 
-        let due = self
-            .frame_counter
-            .is_multiple_of(self.config.roi_period as u64);
-        if due {
-            static_counter!("tracker/roi_refreshes").inc();
-            static_histogram!("tracker/segment_ns").time(|| self.refresh_roi(&image));
-        }
-
-        let gaze_in = static_histogram!("tracker/crop_resize_ns").time(|| {
-            let crop = self.current_roi.crop(&image);
-            resize_bilinear(&crop, self.config.gaze_input.0, self.config.gaze_input.1)
+        let image = static_histogram!("tracker/acquire_ns").time(|| {
+            self.acquire_with_recovery(scene, noise_seed, &plan, frame, &mut ff, &mut degraded)
         });
-        let pred =
-            static_histogram!("tracker/gaze_forward_ns").time(|| self.gaze_forward(&gaze_in));
-        let (gaze, gaze_degenerate) = match GazeVector::from_tensor(&pred, 0).try_normalized() {
-            Some(g) => (g, false),
+
+        let due = frame.is_multiple_of(self.config.roi_period as u64);
+        let (gaze, gaze_degenerate, roi_refreshed) = match &image {
+            Some(image) => {
+                let refreshed = if due {
+                    static_histogram!("tracker/segment_ns").time(|| {
+                        self.refresh_roi_with_recovery(image, &plan, frame, &mut ff, &mut degraded)
+                    })
+                } else {
+                    false
+                };
+                let gaze_in = static_histogram!("tracker/crop_resize_ns").time(|| {
+                    let crop = self.current_roi.crop(image);
+                    resize_bilinear(&crop, self.config.gaze_input.0, self.config.gaze_input.1)
+                });
+                let mut pred = static_histogram!("tracker/gaze_forward_ns")
+                    .time(|| self.gaze_forward(&gaze_in));
+                // stage faults on the network output
+                if plan.fires(FaultSite::StageGazeNan, frame) {
+                    ff.injected += 1;
+                    pred = Tensor::full(pred.shape(), f32::NAN);
+                } else if plan.fires(FaultSite::StageGazeZero, frame) {
+                    ff.injected += 1;
+                    pred = Tensor::zeros(pred.shape());
+                }
+                let parsed = if pred.has_non_finite() {
+                    None
+                } else {
+                    GazeVector::from_tensor(&pred, 0).try_normalized()
+                };
+                match parsed {
+                    Some(g) => {
+                        self.gaze_staleness = 0;
+                        (g, false, refreshed)
+                    }
+                    None => {
+                        // non-finite or degenerate gaze: the fallback to
+                        // the last-good direction is the recovery action,
+                        // whether the fault was injected or the model's own
+                        static_counter!("tracker/gaze_degenerate").inc();
+                        self.gaze_staleness += 1;
+                        ff.recovered += 1;
+                        degraded = true;
+                        (self.last_gaze, true, refreshed)
+                    }
+                }
+            }
             None => {
-                static_counter!("tracker/gaze_degenerate").inc();
-                (self.last_gaze, true)
+                // the frame never reached the pipeline and nothing is
+                // available to serve it from: repeat the last answer
+                if due {
+                    self.roi_staleness += 1;
+                }
+                self.gaze_staleness += 1;
+                (self.last_gaze, false, false)
             }
         };
         self.last_gaze = gaze;
 
-        let frame = self.frame_counter;
+        let over_stale = self.roi_staleness > self.recovery.max_roi_staleness
+            || self.gaze_staleness > self.recovery.max_gaze_staleness
+            || self.image_staleness > self.recovery.max_image_staleness;
+        let quality = if image.is_none() || ff.unrecovered > 0 || over_stale {
+            FrameQuality::Lost
+        } else if degraded {
+            FrameQuality::Degraded
+        } else {
+            FrameQuality::Ok
+        };
+        static_counter!("tracker/faults_injected").add(ff.injected as u64);
+        static_counter!("tracker/faults_recovered").add(ff.recovered as u64);
+        static_counter!("tracker/faults_unrecovered").add(ff.unrecovered as u64);
+        match quality {
+            FrameQuality::Ok => {}
+            FrameQuality::Degraded => static_counter!("tracker/frames_degraded").inc(),
+            FrameQuality::Lost => static_counter!("tracker/frames_lost").inc(),
+        }
+        self.fault_stats.absorb(&ff);
+
         self.frame_counter += 1;
         TrackedFrame {
             gaze,
             roi: self.current_roi,
-            roi_refreshed: due,
+            roi_refreshed,
             frame,
             gaze_degenerate,
+            quality,
+            faults: ff,
+        }
+    }
+
+    /// Acquisition under the fault plan: applies the sensor/link planes,
+    /// spends the retry budget on *detected* transport corruption
+    /// (non-finite or blown-up reconstructions), and falls back to the
+    /// last-good image for dropped, delayed or unrecoverable frames.
+    ///
+    /// Returns `None` only when the frame was lost in transit and no
+    /// last-good image exists yet.
+    fn acquire_with_recovery(
+        &mut self,
+        scene: &Tensor,
+        noise_seed: u64,
+        plan: &FaultPlan,
+        frame: u64,
+        ff: &mut FrameFaults,
+        degraded: &mut bool,
+    ) -> Option<Tensor> {
+        // a dropped frame never arrives; a delayed one misses its deadline
+        // — the real-time pipeline treats both as a missing frame
+        let dropped = plan.fires(FaultSite::SensorFrameDrop, frame);
+        let delayed = !dropped && plan.fires(FaultSite::LinkDelay, frame);
+        if dropped || delayed {
+            ff.injected += 1;
+            if dropped {
+                static_counter!("tracker/frames_dropped").inc();
+            } else {
+                static_counter!("tracker/frames_delayed").inc();
+            }
+            *degraded = true;
+            return match self.last_image.clone() {
+                Some(prev) => {
+                    ff.recovered += 1;
+                    self.image_staleness += 1;
+                    Some(prev)
+                }
+                None => {
+                    ff.unrecovered += 1;
+                    None
+                }
+            };
+        }
+        // a silent duplicate: the camera re-delivers the previous frame
+        // and the pipeline cannot tell — it simply processes stale data
+        if plan.fires(FaultSite::SensorFrameDuplicate, frame) {
+            if let Some(prev) = self.last_image.clone() {
+                ff.injected += 1;
+                static_counter!("tracker/frames_duplicated").inc();
+                return Some(prev);
+            }
+        }
+        // fresh capture; detected corruption is re-requested within budget
+        // (each attempt re-draws the link faults with its own salt)
+        let budget = self.recovery.max_stage_retries as u64;
+        for attempt in 0..=budget {
+            let (img, injected) = self
+                .acquisition
+                .acquire_faulted(scene, noise_seed, plan, frame, attempt);
+            ff.injected += injected;
+            if image_is_sane(&img) {
+                if attempt > 0 {
+                    ff.recovered += 1;
+                    *degraded = true;
+                    static_counter!("tracker/acquire_retries").add(attempt);
+                }
+                self.last_image = Some(img.clone());
+                self.image_staleness = 0;
+                return Some(img);
+            }
+            static_counter!("tracker/acquire_corrupt").inc();
+        }
+        // budget exhausted on a corrupt transfer
+        *degraded = true;
+        match self.last_image.clone() {
+            Some(prev) => {
+                ff.recovered += 1;
+                self.image_staleness += 1;
+                Some(prev)
+            }
+            None => {
+                // nothing good has ever arrived: flush the corruption to
+                // finite values and limp on with a best-effort image
+                ff.unrecovered += 1;
+                let (img, _) = self
+                    .acquisition
+                    .acquire_faulted(scene, noise_seed, plan, frame, 0);
+                Some(sanitize_image(&img))
+            }
         }
     }
 
@@ -357,7 +584,11 @@ impl EyeTracker {
                     static_counter!("tracker/int8_frames").inc();
                     return qnet.forward(gaze_in);
                 }
-                self.calib_inputs.push(gaze_in.clone());
+                // never let a corrupted crop into the calibration batch —
+                // one NaN would poison the quantisation ranges for good
+                if !gaze_in.has_non_finite() {
+                    self.calib_inputs.push(gaze_in.clone());
+                }
                 let pred = self.models.gaze.forward(gaze_in, false);
                 if self.calib_inputs.len() >= self.config.calibration_frames {
                     let calib = Tensor::stack(&self.calib_inputs);
@@ -372,12 +603,58 @@ impl EyeTracker {
     }
 
     /// Runs the segmentation model and re-anchors the ROI (the "predict"
-    /// stage).
-    fn refresh_roi(&mut self, image: &Tensor) {
+    /// stage) under the fault plan: spends the retry budget on injected
+    /// stage timeouts, validates the labels buffer, and bounds-checks
+    /// injected ROI drift. On any unretryable failure the last-good ROI
+    /// and labels are kept and `roi_staleness` grows.
+    ///
+    /// Returns whether the segmentation model actually ran.
+    fn refresh_roi_with_recovery(
+        &mut self,
+        image: &Tensor,
+        plan: &FaultPlan,
+        frame: u64,
+        ff: &mut FrameFaults,
+        degraded: &mut bool,
+    ) -> bool {
+        // stage timeouts: each attempt re-draws with its own salt — a
+        // bounded retry-with-backoff budget without wall-clock sleeps
+        let budget = self.recovery.max_stage_retries;
+        let mut timeouts = 0u32;
+        while timeouts <= budget
+            && plan.fires_with(FaultSite::StageSegTimeout, frame, timeouts as u64)
+        {
+            timeouts += 1;
+        }
+        if timeouts > 0 {
+            static_counter!("tracker/seg_timeouts").add(timeouts as u64);
+            ff.injected += timeouts;
+            ff.recovered += timeouts;
+            *degraded = true;
+        }
+        if timeouts > budget {
+            // budget exhausted: keep the last-good ROI and labels
+            self.roi_staleness += 1;
+            return false;
+        }
+        static_counter!("tracker/roi_refreshes").inc();
         let factor = self.config.scene_size / self.config.seg_size;
         let scene = self.config.scene_size;
         let seg_in = downsample_avg(image, factor);
-        let labels = predict_seg(&mut self.models.seg, &seg_in);
+        let mut labels = predict_seg(&mut self.models.seg, &seg_in);
+        if plan.fires(FaultSite::StageSegTruncatedLabels, frame) {
+            ff.injected += 1;
+            labels.truncate(labels.len() / 2);
+        }
+        // a short (or oversized) labels buffer would silently anchor the
+        // ROI on garbage; validate and fall back to the last-good ROI
+        if labels.len() != self.config.seg_size * self.config.seg_size {
+            static_counter!("tracker/seg_labels_invalid").inc();
+            ff.recovered += 1;
+            *degraded = true;
+            self.roi_staleness += 1;
+            return false;
+        }
         // choose the target ROI size per the configured policy
         let (rh, rw) = match self.config.roi_sizing {
             RoiSizing::Fixed => self.config.roi,
@@ -395,8 +672,30 @@ impl EyeTracker {
         roi.w = rw;
         roi.y0 = roi.y0.min(scene - roi.h);
         roi.x0 = roi.x0.min(scene - roi.w);
+        if plan.fires(FaultSite::StageRoiDrift, frame) {
+            ff.injected += 1;
+            let d = plan.stage.roi_drift_pixels as i64;
+            let dir = plan.word(FaultSite::StageRoiDrift, frame, 1);
+            let dy = if dir & 1 == 0 { d } else { -d };
+            let dx = if dir & 2 == 0 { d } else { -d };
+            let wanted_y = roi.y0 as i64 + dy;
+            let wanted_x = roi.x0 as i64 + dx;
+            let y = wanted_y.clamp(0, (scene - roi.h) as i64);
+            let x = wanted_x.clamp(0, (scene - roi.w) as i64);
+            if y != wanted_y || x != wanted_x {
+                // the drift pushed the ROI out of the scene: the bounds
+                // guard detects and clamps it (in-bounds drift is silent)
+                static_counter!("tracker/roi_drift_clamped").inc();
+                ff.recovered += 1;
+                *degraded = true;
+            }
+            roi.y0 = y as usize;
+            roi.x0 = x as usize;
+        }
         self.current_roi = roi;
         self.last_labels = Some(labels);
+        self.roi_staleness = 0;
+        true
     }
 
     /// Evaluates several independent motion sequences concurrently on the
@@ -427,15 +726,93 @@ impl EyeTracker {
         generator: &mut EyeMotionGenerator,
         frames: usize,
     ) -> TrackingStats {
+        self.run_sequence_traced(generator, frames).0
+    }
+
+    /// [`EyeTracker::run_sequence`] that also returns every per-frame
+    /// output — the golden-trace hook of the fault conformance suite
+    /// (quality grades and fault accounting per frame, in order).
+    pub fn run_sequence_traced(
+        &mut self,
+        generator: &mut EyeMotionGenerator,
+        frames: usize,
+    ) -> (TrackingStats, Vec<TrackedFrame>) {
         let mut stats = TrackingStats::new();
+        let mut trace = Vec::with_capacity(frames);
         for i in 0..frames {
             let params = generator.next_frame();
             let sample = render_eye(&params, self.config.scene_size, 1000 + i as u64);
             let out = self.process_frame(&sample.image, 2000 + i as u64);
             stats.record(&out, &sample.gaze);
+            trace.push(out);
         }
-        stats
+        (stats, trace)
     }
+
+    /// [`EyeTracker::run_sequences_parallel`] under an explicit fault plan
+    /// and recovery policy. Sequence jobs whose index appears in
+    /// `plan.exec.worker_panic_jobs` panic on their first execution
+    /// attempt; the pool's panic isolation catches the poison and the job
+    /// re-runs inline, so the returned statistics are byte-identical to a
+    /// sequential, panic-free run (the panic shows up only in the
+    /// `tracker/worker_panics_{injected,recovered}` counters).
+    pub fn run_sequences_parallel_with(
+        config: &TrackerConfig,
+        models: &TrackerModels,
+        seeds: &[u64],
+        frames: usize,
+        plan: &FaultPlan,
+        policy: &RecoveryPolicy,
+    ) -> Vec<TrackingStats> {
+        let run_one = |job: u64, seed: u64, attempt: u32| -> TrackingStats {
+            if plan.worker_panics(job, attempt) {
+                static_counter!("tracker/worker_panics_injected").inc();
+                panic!("injected worker panic: sequence job {job}");
+            }
+            let mut tracker = EyeTracker::new(config.clone(), models.clone_models())
+                .with_faults(plan.clone())
+                .with_recovery(*policy);
+            tracker.run_sequence(&mut EyeMotionGenerator::with_seed(seed), frames)
+        };
+        let jobs: Vec<(u64, u64)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u64, s))
+            .collect();
+        let first = crate::pool::try_parallel_map(&jobs, 1, |&(job, seed)| run_one(job, seed, 0));
+        first
+            .into_iter()
+            .zip(&jobs)
+            .map(|(result, &(job, seed))| match result {
+                Ok(stats) => stats,
+                Err(_) => {
+                    // the worker died mid-job; re-run the job inline
+                    // (killed jobs only panic on attempt 0, so this
+                    // converges; a genuine bug would re-panic and surface)
+                    static_counter!("tracker/worker_panics_recovered").inc();
+                    run_one(job, seed, 1)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Reconstructions of sane captures stay within single digits; values
+/// beyond this (or non-finite ones) mark a corrupted transfer.
+const SANE_IMAGE_MAX: f32 = 1.0e4;
+
+fn image_is_sane(t: &Tensor) -> bool {
+    !t.has_non_finite() && t.max_abs() <= SANE_IMAGE_MAX
+}
+
+fn sanitize_image(t: &Tensor) -> Tensor {
+    t.map(|v| {
+        if v.is_finite() {
+            v.clamp(-SANE_IMAGE_MAX, SANE_IMAGE_MAX)
+        } else {
+            0.0
+        }
+    })
 }
 
 #[cfg(test)]
@@ -678,5 +1055,118 @@ mod tests {
         assert!(!out.gaze_degenerate);
         let mut gen = EyeMotionGenerator::with_seed(5);
         assert_eq!(t.run_sequence(&mut gen, 10).degenerate_frames, 0);
+    }
+
+    #[test]
+    fn clean_plan_grades_every_frame_ok() {
+        let mut t = tracker().with_faults(FaultPlan::none());
+        let (stats, trace) = t.run_sequence_traced(&mut EyeMotionGenerator::with_seed(5), 10);
+        assert_eq!(stats.frames_ok, 10);
+        assert_eq!(stats.frames_degraded + stats.frames_lost, 0);
+        assert_eq!(t.fault_stats(), FaultStats::default());
+        assert!(trace
+            .iter()
+            .all(|f| f.quality == FrameQuality::Ok && f.faults.is_clean()));
+    }
+
+    #[test]
+    fn heavy_plan_run_is_deterministic_and_survives() {
+        let plan = FaultPlan::heavy(0xEC0D);
+        let run = || {
+            let mut t = tracker().with_faults(plan.clone());
+            t.run_sequence_traced(&mut EyeMotionGenerator::with_seed(7), 30)
+        };
+        let (s1, t1) = run();
+        let (s2, t2) = run();
+        assert_eq!(s1, s2, "stats must replay identically");
+        let codes = |tr: &[TrackedFrame]| tr.iter().map(|f| f.quality.code()).collect::<String>();
+        assert_eq!(codes(&t1), codes(&t2), "quality trace must replay");
+        assert_eq!(s1.frames, 30);
+        assert!(s1.faults.injected > 0, "heavy plan must inject faults");
+        assert!(s1.faults.recovered > 0, "recovery must engage");
+    }
+
+    #[test]
+    fn truncated_labels_fall_back_to_last_good_roi() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 3;
+        plan.stage.seg_truncated_labels_ppm = 1_000_000; // every refresh
+        let mut t = tracker().with_faults(plan);
+        let before = t.current_roi();
+        let s = render_eye(&EyeParams::centered(48), 48, 3);
+        // frame 0 is a scheduled refresh, but its labels come back short
+        let out = t.process_frame(&s.image, 4);
+        assert!(
+            !out.roi_refreshed,
+            "rejected labels must not count as a refresh"
+        );
+        assert!(t.last_labels().is_none(), "short labels must not be kept");
+        assert_eq!(out.quality, FrameQuality::Degraded);
+        assert_eq!((out.faults.injected, out.faults.recovered), (1, 1));
+        let r = t.current_roi();
+        assert_eq!(
+            (r.y0, r.x0, r.h, r.w),
+            (before.y0, before.x0, before.h, before.w),
+            "ROI must stay at the last-good anchor"
+        );
+    }
+
+    #[test]
+    fn injected_gaze_nan_falls_back_to_last_gaze() {
+        let mut plan = FaultPlan::none();
+        plan.stage.gaze_nan_ppm = 1_000_000;
+        let mut t = tracker().with_faults(plan);
+        let s = render_eye(&EyeParams::centered(48), 48, 3);
+        let out = t.process_frame(&s.image, 4);
+        assert!(out.gaze_degenerate, "NaN output must be detected");
+        let ahead = GazeVector::from_angles(0.0, 0.0);
+        assert!(out.gaze.angular_error_degrees(&ahead) < 1e-3);
+        assert_eq!(out.quality, FrameQuality::Degraded);
+        assert_eq!((out.faults.injected, out.faults.recovered), (1, 1));
+    }
+
+    #[test]
+    fn dropped_frames_grade_lost_then_degraded_once_a_fallback_exists() {
+        let mut plan = FaultPlan::none();
+        plan.sensor.frame_drop_ppm = 1_000_000;
+        let mut t = tracker().with_faults(plan.clone());
+        let s = render_eye(&EyeParams::centered(48), 48, 3);
+        let out = t.process_frame(&s.image, 4);
+        assert_eq!(out.quality, FrameQuality::Lost, "no fallback on frame 0");
+        assert_eq!(out.faults.unrecovered, 1);
+        assert!(!out.roi_refreshed);
+        // a tracker that saw one good frame first degrades instead
+        let mut t2 = tracker();
+        t2.process_frame(&s.image, 4);
+        t2.faults = plan;
+        let out2 = t2.process_frame(&s.image, 5);
+        assert_eq!(out2.quality, FrameQuality::Degraded);
+        assert_eq!(out2.faults.recovered, 1);
+        // sustained drops exhaust the image staleness limit and grade Lost
+        let mut last = out2.quality;
+        for i in 0..6 {
+            last = t2.process_frame(&s.image, 6 + i).quality;
+        }
+        assert_eq!(last, FrameQuality::Lost);
+    }
+
+    #[test]
+    fn worker_panic_is_recovered_and_results_match_sequential() {
+        let t = tracker();
+        let (config, models) = (t.config().clone(), t.models.clone_models());
+        let mut plan = FaultPlan::light(3);
+        plan.exec.worker_panic_jobs = vec![1];
+        let policy = RecoveryPolicy::default();
+        let seeds = [5u64, 6, 7];
+        let parallel =
+            EyeTracker::run_sequences_parallel_with(&config, &models, &seeds, 8, &plan, &policy);
+        assert_eq!(parallel.len(), seeds.len());
+        for (&seed, stats) in seeds.iter().zip(&parallel) {
+            let mut fresh = EyeTracker::new(config.clone(), models.clone_models())
+                .with_faults(plan.clone())
+                .with_recovery(policy);
+            let sequential = fresh.run_sequence(&mut EyeMotionGenerator::with_seed(seed), 8);
+            assert_eq!(stats, &sequential, "job results must be byte-identical");
+        }
     }
 }

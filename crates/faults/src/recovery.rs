@@ -1,0 +1,184 @@
+//! The degradation vocabulary: frame grades, fault accounting and the
+//! recovery policy the tracker applies when stages fail.
+
+use serde::{Deserialize, Serialize};
+
+/// How much a tracked frame can be trusted.
+///
+/// Ordered: `Ok < Degraded < Lost`, so thresholds can be compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FrameQuality {
+    /// Every stage ran on fresh data; no fallback was needed.
+    Ok,
+    /// At least one stage fell back to retried or last-good data; the
+    /// output is usable but stale or noisier than normal.
+    Degraded,
+    /// The recovery budget was exhausted (no fallback available, or
+    /// staleness beyond the policy limits); the output is a guess.
+    Lost,
+}
+
+impl FrameQuality {
+    /// Compact single-character code (`O`/`D`/`L`) for golden traces.
+    pub fn code(self) -> char {
+        match self {
+            FrameQuality::Ok => 'O',
+            FrameQuality::Degraded => 'D',
+            FrameQuality::Lost => 'L',
+        }
+    }
+}
+
+/// Per-frame fault accounting attached to a tracked frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameFaults {
+    /// Fault events injected while producing this frame.
+    pub injected: u32,
+    /// Faults the pipeline recovered from (retry succeeded or a last-good
+    /// fallback was substituted).
+    pub recovered: u32,
+    /// Faults with no recovery path (defaults substituted; the frame is
+    /// typically graded [`FrameQuality::Lost`]).
+    pub unrecovered: u32,
+}
+
+impl FrameFaults {
+    /// True when nothing was injected and nothing had to be recovered.
+    pub fn is_clean(&self) -> bool {
+        self.injected == 0 && self.recovered == 0 && self.unrecovered == 0
+    }
+}
+
+/// Cumulative fault accounting over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Total fault events injected.
+    pub injected: u64,
+    /// Total faults recovered from.
+    pub recovered: u64,
+    /// Total faults without a recovery path.
+    pub unrecovered: u64,
+}
+
+impl FaultStats {
+    /// Accumulates one frame's accounting.
+    pub fn absorb(&mut self, frame: &FrameFaults) {
+        self.injected += frame.injected as u64;
+        self.recovered += frame.recovered as u64;
+        self.unrecovered += frame.unrecovered as u64;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.recovered += other.recovered;
+        self.unrecovered += other.unrecovered;
+    }
+}
+
+/// Per-stage retry budgets and staleness limits for graceful degradation.
+///
+/// "Backoff" in a deterministic simulation is modelled as a bounded retry
+/// budget (each retry re-draws its fault with a fresh salt) rather than
+/// wall-clock sleeps — the schedule stays byte-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Retries allowed per stage per frame before falling back.
+    pub max_stage_retries: u32,
+    /// Consecutive missed ROI refreshes tolerated before frames grade
+    /// [`FrameQuality::Lost`].
+    pub max_roi_staleness: u32,
+    /// Consecutive gaze fallbacks tolerated before [`FrameQuality::Lost`].
+    pub max_gaze_staleness: u32,
+    /// Consecutive frames served from a stale image tolerated before
+    /// [`FrameQuality::Lost`].
+    pub max_image_staleness: u32,
+}
+
+impl RecoveryPolicy {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any staleness limit is zero (a zero limit would grade
+    /// every first fallback `Lost`, defeating graceful degradation).
+    pub fn validate(&self) {
+        assert!(
+            self.max_roi_staleness > 0
+                && self.max_gaze_staleness > 0
+                && self.max_image_staleness > 0,
+            "staleness limits must be at least 1, got {self:?}"
+        );
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_stage_retries: 2,
+            max_roi_staleness: 3,
+            max_gaze_staleness: 5,
+            max_image_staleness: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_is_ordered_and_coded() {
+        assert!(FrameQuality::Ok < FrameQuality::Degraded);
+        assert!(FrameQuality::Degraded < FrameQuality::Lost);
+        assert_eq!(FrameQuality::Ok.code(), 'O');
+        assert_eq!(FrameQuality::Degraded.code(), 'D');
+        assert_eq!(FrameQuality::Lost.code(), 'L');
+    }
+
+    #[test]
+    fn stats_absorb_and_merge() {
+        let mut s = FaultStats::default();
+        s.absorb(&FrameFaults {
+            injected: 3,
+            recovered: 2,
+            unrecovered: 1,
+        });
+        let mut t = FaultStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(
+            t,
+            FaultStats {
+                injected: 6,
+                recovered: 4,
+                unrecovered: 2
+            }
+        );
+        assert!(FrameFaults::default().is_clean());
+    }
+
+    #[test]
+    fn default_policy_is_valid() {
+        RecoveryPolicy::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "staleness limits")]
+    fn zero_staleness_limit_is_rejected() {
+        RecoveryPolicy {
+            max_gaze_staleness: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn quality_serde_round_trips() {
+        for q in [FrameQuality::Ok, FrameQuality::Degraded, FrameQuality::Lost] {
+            let json = serde_json::to_string(&q).unwrap();
+            let back: FrameQuality = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, q);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the fault plan: determinism, group isolation and
+//! exact serde round-trips — the contracts every conformance fixture in
+//! the workspace leans on.
+
+use eyecod_faults::{FaultGroup, FaultPlan, FaultSite, PPM_SCALE};
+use proptest::prelude::*;
+
+/// Builds a plan with arbitrary (bounded) rates from raw draws. Rates stay
+/// below 30 % so statistical assertions have headroom; structural fields
+/// (fractions, counts) take small sane values.
+fn plan_from(seed: u64, rates: &[u32], frac: f64) -> FaultPlan {
+    let r = |i: usize| rates[i % rates.len()] % 300_000;
+    let mut p = FaultPlan::none();
+    p.seed = seed;
+    p.sensor.dead_pixel_ppm = r(0);
+    p.sensor.hot_pixel_ppm = r(1);
+    p.sensor.row_dropout_ppm = r(2);
+    p.sensor.noise_ppm = r(3);
+    p.sensor.noise_std = frac * 0.1;
+    p.sensor.frame_drop_ppm = r(4);
+    p.sensor.frame_duplicate_ppm = r(5);
+    p.link.delay_ppm = r(6);
+    p.link.truncate_ppm = r(7);
+    p.link.truncate_fraction = frac;
+    p.link.corrupt_ppm = r(8);
+    p.link.corrupt_values = 1 + r(9) % 8;
+    p.stage.seg_timeout_ppm = r(10);
+    p.stage.seg_truncated_labels_ppm = r(11);
+    p.stage.gaze_nan_ppm = r(12);
+    p.stage.gaze_zero_ppm = r(13);
+    p.stage.roi_drift_ppm = r(14);
+    p.stage.roi_drift_pixels = 1 + r(15) % 16;
+    p.exec.worker_panic_jobs = vec![r(16) as u64 % 8];
+    p.exec.swpr_conflict_ppm = r(17);
+    p.exec.swpr_conflict_penalty = 1 + r(18) % 8;
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed and rates ⇒ byte-identical injection schedule, however
+    /// many times it is derived.
+    #[test]
+    fn same_seed_means_identical_schedule(
+        seed in any::<u64>(),
+        rates in collection::vec(0u32..PPM_SCALE as u32, 19),
+        frac in 0.0f64..0.9,
+    ) {
+        let a = plan_from(seed, &rates, frac);
+        let b = plan_from(seed, &rates, frac);
+        prop_assert_eq!(a.schedule(128), b.schedule(128));
+        // per-decision purity, including salted retry draws
+        for frame in 0..32u64 {
+            for &site in FaultSite::ALL.iter() {
+                for salt in 0..3u64 {
+                    prop_assert_eq!(
+                        a.fires_with(site, frame, salt),
+                        b.fires_with(site, frame, salt)
+                    );
+                }
+            }
+        }
+    }
+
+    /// A plan with exactly one group enabled only ever fires sites of that
+    /// group: disjoint stage masks never cross-fire.
+    #[test]
+    fn disjoint_groups_never_cross_fire(
+        seed in any::<u64>(),
+        which in 0usize..4,
+        rate in 50_000u32..900_000,
+    ) {
+        let group = [
+            FaultGroup::Sensor,
+            FaultGroup::Link,
+            FaultGroup::Stage,
+            FaultGroup::Exec,
+        ][which];
+        let mut p = FaultPlan::none();
+        p.seed = seed;
+        match group {
+            FaultGroup::Sensor => {
+                p.sensor.row_dropout_ppm = rate;
+                p.sensor.frame_drop_ppm = rate;
+                p.sensor.noise_ppm = rate;
+            }
+            FaultGroup::Link => {
+                p.link.delay_ppm = rate;
+                p.link.truncate_ppm = rate;
+                p.link.corrupt_ppm = rate;
+            }
+            FaultGroup::Stage => {
+                p.stage.seg_timeout_ppm = rate;
+                p.stage.gaze_nan_ppm = rate;
+                p.stage.roi_drift_ppm = rate;
+            }
+            FaultGroup::Exec => {
+                p.exec.swpr_conflict_ppm = rate;
+            }
+        }
+        let events = p.schedule(256);
+        prop_assert!(!events.is_empty(), "a {rate} ppm rate over 256 frames must fire");
+        for e in &events {
+            prop_assert_eq!(e.site.group(), group);
+        }
+        // the static pixel masks belong to the sensor plane only
+        for idx in 0..512usize {
+            let dead = p.pixel_faulty(FaultSite::SensorDeadPixel, idx);
+            let hot = p.pixel_faulty(FaultSite::SensorHotPixel, idx);
+            if group != FaultGroup::Sensor {
+                prop_assert!(!dead && !hot);
+            }
+        }
+    }
+
+    /// Serde JSON round-trip is exact for any plan.
+    #[test]
+    fn serde_json_round_trip_is_exact(
+        seed in any::<u64>(),
+        rates in collection::vec(0u32..PPM_SCALE as u32, 19),
+        frac in 0.0f64..0.9,
+    ) {
+        let p = plan_from(seed, &rates, frac);
+        let back = FaultPlan::from_json(&p.to_json()).unwrap();
+        prop_assert_eq!(&back, &p);
+        // and the round-tripped plan drives the identical schedule
+        prop_assert_eq!(back.schedule(64), p.schedule(64));
+    }
+
+    /// Zero-rate sites never fire; saturated-rate sites always fire.
+    #[test]
+    fn rate_extremes_are_exact(seed in any::<u64>(), frame in any::<u64>()) {
+        let none = FaultPlan { seed, ..FaultPlan::none() };
+        for &site in FaultSite::ALL.iter() {
+            prop_assert!(!none.fires(site, frame));
+        }
+        let mut all = FaultPlan::none();
+        all.seed = seed;
+        all.sensor.frame_drop_ppm = PPM_SCALE as u32;
+        all.link.corrupt_ppm = PPM_SCALE as u32;
+        all.stage.gaze_nan_ppm = PPM_SCALE as u32;
+        all.exec.swpr_conflict_ppm = PPM_SCALE as u32;
+        prop_assert!(all.fires(FaultSite::SensorFrameDrop, frame));
+        prop_assert!(all.fires(FaultSite::LinkCorrupt, frame));
+        prop_assert!(all.fires(FaultSite::StageGazeNan, frame));
+        prop_assert!(all.fires(FaultSite::ExecSwprConflict, frame));
+    }
+
+    /// The schedule is ordered frame-major and contains no duplicates —
+    /// consumers can binary-search or replay it as a log.
+    #[test]
+    fn schedule_is_sorted_and_unique(
+        seed in any::<u64>(),
+        rates in collection::vec(0u32..400_000u32, 19),
+    ) {
+        let p = plan_from(seed, &rates, 0.3);
+        let events = p.schedule(96);
+        for w in events.windows(2) {
+            let ordered = w[0].frame < w[1].frame
+                || (w[0].frame == w[1].frame && w[0].site != w[1].site);
+            prop_assert!(ordered, "events out of order: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+}
+
+use proptest::collection;

@@ -1,0 +1,190 @@
+//! Sensor-plane fault injection: degraded FlatCam measurements.
+//!
+//! The sensor faults a fielded eye camera actually develops — pixels stuck
+//! dark or at saturation, a readout row dropping out, noise escalating
+//! with temperature — applied to a measurement *deterministically* from an
+//! [`eyecod_faults::FaultPlan`]. Every decision is a pure hash of
+//! `(plan seed, site, frame/pixel)`, so a faulted capture replays
+//! byte-identically regardless of threading or call order.
+//!
+//! These faults model physical damage the pipeline cannot detect from one
+//! frame (there is no ground truth at the sensor), so they degrade
+//! reconstruction quality silently rather than triggering recovery; the
+//! recovery-visible faults (drops, link corruption) live in
+//! `eyecod-core`'s acquisition layer.
+
+use crate::mat::Mat;
+use eyecod_faults::{FaultPlan, FaultSite};
+
+/// Applies the plan's sensor-plane faults to one measurement in place and
+/// returns the number of injected fault *events* (pixel masks count as one
+/// event per frame while present; row dropout and noise escalation count
+/// when they fire).
+///
+/// `frame` indexes the plan's per-frame streams; `saturation` is the
+/// sensor's full-scale level, used for hot (stuck-high) pixels.
+pub fn degrade_measurement(plan: &FaultPlan, m: &mut Mat, frame: u64, saturation: f64) -> u32 {
+    let mut injected = 0u32;
+    let rows = m.rows();
+    let cols = m.cols();
+
+    // static pixel defects: a property of the die, identical every frame
+    if plan.sensor.dead_pixel_ppm > 0 || plan.sensor.hot_pixel_ppm > 0 {
+        let stuck_high = if saturation.is_finite() {
+            saturation
+        } else {
+            1.0
+        };
+        let mut dead = 0u32;
+        let mut hot = 0u32;
+        for r in 0..rows {
+            for c in 0..cols {
+                let idx = r * cols + c;
+                // dead wins over hot when both masks hit the same pixel
+                if plan.pixel_faulty(FaultSite::SensorHotPixel, idx) {
+                    *m.at_mut(r, c) = stuck_high;
+                    hot += 1;
+                }
+                if plan.pixel_faulty(FaultSite::SensorDeadPixel, idx) {
+                    *m.at_mut(r, c) = 0.0;
+                    dead += 1;
+                }
+            }
+        }
+        injected += (dead > 0) as u32 + (hot > 0) as u32;
+    }
+
+    // one readout row goes dark this frame
+    if plan.fires(FaultSite::SensorRowDropout, frame) {
+        let row = plan.index(FaultSite::SensorRowDropout, frame, 1, rows);
+        for c in 0..cols {
+            *m.at_mut(row, c) = 0.0;
+        }
+        injected += 1;
+    }
+
+    // escalated Gaussian + shot-like noise (hash-driven, not an RNG — the
+    // draw for pixel idx never depends on other pixels)
+    if plan.sensor.noise_std > 0.0 && plan.fires(FaultSite::SensorNoise, frame) {
+        for r in 0..rows {
+            for c in 0..cols {
+                let idx = (r * cols + c) as u64;
+                let g = plan.gaussian(FaultSite::SensorNoise, frame, idx + 7);
+                let v = m.at(r, c);
+                // shot-like term: escalated noise grows with signal level
+                let std = plan.sensor.noise_std * (1.0 + v.abs().sqrt());
+                *m.at_mut(r, c) = v + std * g;
+            }
+        }
+        injected += 1;
+    }
+
+    injected
+}
+
+/// The static dead-pixel indices of a `pixels`-sized sensor under `plan`
+/// (row-major). Exposed for tests and for reporting mask coverage.
+pub fn dead_pixels(plan: &FaultPlan, pixels: usize) -> Vec<usize> {
+    (0..pixels)
+        .filter(|&i| plan.pixel_faulty(FaultSite::SensorDeadPixel, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(n: usize) -> Mat {
+        Mat::from_fn(n, n, |r, c| 0.2 + ((r * n + c) % 7) as f64 * 0.1)
+    }
+
+    #[test]
+    fn none_plan_leaves_measurement_untouched() {
+        let mut m = measurement(16);
+        let before = m.clone();
+        let injected = degrade_measurement(&FaultPlan::none(), &mut m, 3, 4.0);
+        assert_eq!(injected, 0);
+        assert!(m.sub(&before).max_abs() == 0.0);
+    }
+
+    #[test]
+    fn faulted_capture_is_deterministic() {
+        let plan = FaultPlan::heavy(5);
+        let mut a = measurement(24);
+        let mut b = measurement(24);
+        let ia = degrade_measurement(&plan, &mut a, 9, 4.0);
+        let ib = degrade_measurement(&plan, &mut b, 9, 4.0);
+        assert_eq!(ia, ib);
+        assert_eq!(a.as_slice(), b.as_slice(), "must replay byte-identically");
+        // with a guaranteed per-frame fault, different frames draw
+        // different degradations
+        let mut always = FaultPlan::none();
+        always.seed = 5;
+        always.sensor.noise_ppm = 1_000_000;
+        always.sensor.noise_std = 0.05;
+        let mut c = measurement(24);
+        let mut d = measurement(24);
+        degrade_measurement(&always, &mut c, 9, 4.0);
+        degrade_measurement(&always, &mut d, 10, 4.0);
+        assert!(c.sub(&d).max_abs() > 0.0);
+    }
+
+    #[test]
+    fn dead_pixels_go_dark_and_hot_pixels_saturate() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 11;
+        plan.sensor.dead_pixel_ppm = 100_000; // 10 %
+        plan.sensor.hot_pixel_ppm = 50_000;
+        let n = 32;
+        let mut m = measurement(n);
+        degrade_measurement(&plan, &mut m, 0, 4.0);
+        let dead = dead_pixels(&plan, n * n);
+        assert!(!dead.is_empty());
+        for &idx in &dead {
+            assert_eq!(m.at(idx / n, idx % n), 0.0, "dead pixel {idx} not dark");
+        }
+        let hot = (0..n * n)
+            .filter(|&i| {
+                plan.pixel_faulty(FaultSite::SensorHotPixel, i)
+                    && !plan.pixel_faulty(FaultSite::SensorDeadPixel, i)
+            })
+            .collect::<Vec<_>>();
+        assert!(!hot.is_empty());
+        for &idx in &hot {
+            assert_eq!(
+                m.at(idx / n, idx % n),
+                4.0,
+                "hot pixel {idx} not stuck high"
+            );
+        }
+    }
+
+    #[test]
+    fn row_dropout_zeroes_exactly_one_row() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 3;
+        plan.sensor.row_dropout_ppm = 1_000_000;
+        let mut m = measurement(16);
+        let injected = degrade_measurement(&plan, &mut m, 4, 4.0);
+        assert_eq!(injected, 1);
+        let dark_rows = (0..16)
+            .filter(|&r| (0..16).all(|c| m.at(r, c) == 0.0))
+            .count();
+        assert_eq!(dark_rows, 1);
+    }
+
+    #[test]
+    fn noise_escalation_perturbs_without_blowing_up() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 8;
+        plan.sensor.noise_ppm = 1_000_000;
+        plan.sensor.noise_std = 0.05;
+        let mut m = measurement(24);
+        let clean = m.clone();
+        degrade_measurement(&plan, &mut m, 2, 4.0);
+        let delta = m.sub(&clean);
+        assert!(delta.max_abs() > 0.0, "noise must perturb");
+        assert!(delta.max_abs() < 1.0, "noise must stay bounded");
+        assert!(m.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod calibrate;
+pub mod degrade;
 pub mod imaging;
 pub mod interface;
 pub mod lfsr;

@@ -108,6 +108,11 @@ impl Mat {
         &self.data
     }
 
+    /// Mutable view of the row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// One row as a slice.
     pub fn row(&self, r: usize) -> &[f64] {
         &self.data[r * self.cols..(r + 1) * self.cols]

@@ -27,6 +27,11 @@
 //!   re-thrown in the caller via `resume_unwind`. Already-initialised
 //!   result slots are leaked rather than dropped (a panic never triggers
 //!   drops of results the caller never observed).
+//! - **Panic isolation** ([`ThreadPool::try_parallel_map`]): fault-tolerant
+//!   callers get `Err(message)` for exactly the items whose closure
+//!   panicked while every other item completes — the substrate for the
+//!   pipeline's worker-death recovery path (caught panics are counted in
+//!   `pool/item_panics_caught`).
 //!
 //! [`BatchRunner`] layers windowed submission on top for long job lists
 //! whose per-job working state is heavy (e.g. training a tracker per
@@ -345,6 +350,36 @@ impl ThreadPool {
         }
     }
 
+    /// Panic-isolating [`ThreadPool::parallel_map_chunked`]: a panicking
+    /// item yields `Err(message)` in its own slot instead of poisoning the
+    /// whole job, and every other item still completes.
+    ///
+    /// This is the execution substrate for graceful pipeline degradation:
+    /// a worker dying mid-job (injected or real) costs exactly the items
+    /// it was running, which the caller can retry or substitute. Caught
+    /// panics are counted in `pool/item_panics_caught`.
+    pub fn try_parallel_map<T, R, F>(
+        &self,
+        items: &[T],
+        chunk: usize,
+        f: F,
+    ) -> Vec<Result<R, String>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.parallel_map_chunked(items, chunk, |item| {
+            match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => Ok(r),
+                Err(payload) => {
+                    static_counter!("pool/item_panics_caught").inc();
+                    Err(panic_message(&payload))
+                }
+            }
+        })
+    }
+
     /// Runs `f(i)` for every `i in 0..n` in parallel with the given chunk
     /// granularity. The index-space primitive underlying `parallel_map`;
     /// useful for tiled kernels that write disjoint output regions.
@@ -436,6 +471,18 @@ impl Drop for ThreadPool {
     }
 }
 
+/// Renders a panic payload as a message, preserving `&str`/`String`
+/// payloads (the common `panic!` cases).
+fn panic_message(payload: &PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 struct SendPtr<T>(*mut T);
 
 impl<T> SendPtr<T> {
@@ -489,6 +536,16 @@ where
     F: Fn(&T) -> R + Sync,
 {
     global().parallel_map_chunked(items, chunk, f)
+}
+
+/// [`ThreadPool::try_parallel_map`] on the [`global`] pool.
+pub fn try_parallel_map<T, R, F>(items: &[T], chunk: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    global().try_parallel_map(items, chunk, f)
 }
 
 /// [`ThreadPool::parallel_for_chunked`] on the [`global`] pool.
@@ -614,6 +671,45 @@ mod tests {
         assert!(msg.contains("boom at 97"));
         // pool still usable afterwards
         assert_eq!(pool.parallel_map(&[1u32, 2], |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_item_panics() {
+        let pool = ThreadPool::with_threads(2);
+        let items: Vec<u32> = (0..128).collect();
+        let out = pool.try_parallel_map(&items, 4, |&x| {
+            if x % 31 == 7 {
+                panic!("injected worker death at {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), items.len());
+        for (x, r) in items.iter().zip(&out) {
+            match r {
+                Ok(v) => {
+                    assert_ne!(x % 31, 7);
+                    assert_eq!(*v, x * 2);
+                }
+                Err(msg) => {
+                    assert_eq!(x % 31, 7);
+                    assert!(msg.contains(&format!("injected worker death at {x}")));
+                }
+            }
+        }
+        // the pool is not poisoned: a clean job still works
+        assert_eq!(pool.parallel_map(&[1u32, 2], |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_parallel_map_with_no_panics_matches_parallel_map() {
+        let pool = ThreadPool::with_threads(3);
+        let items: Vec<u64> = (0..300).collect();
+        let out = pool.try_parallel_map(&items, 8, |&x| x + 1);
+        let want: Vec<u64> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(
+            out.into_iter().collect::<Result<Vec<_>, _>>().unwrap(),
+            want
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`platforms`] | Baseline platform and communication models (EdgeCPU/CPU/EdgeGPU/GPU/CIS-GEP) |
 //! | [`core`] | The predict-then-focus tracker tying acquisition, segmentation, ROI and gaze together |
 //! | [`telemetry`] | Lock-light counters and stage-latency histograms with JSON snapshot export |
+//! | [`faults`] | Deterministic fault-injection plans and the recovery/degradation vocabulary |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 pub use eyecod_accel as accel;
 pub use eyecod_core as core;
 pub use eyecod_eyedata as eyedata;
+pub use eyecod_faults as faults;
 pub use eyecod_models as models;
 pub use eyecod_optics as optics;
 pub use eyecod_platforms as platforms;
