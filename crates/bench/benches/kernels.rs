@@ -1,0 +1,155 @@
+//! GEMM / convolution kernel benchmarks: cache-blocked register-tiled
+//! kernels against the naive row-major dot-product kernels they replaced,
+//! at the pipeline's real shapes.
+//!
+//! Two outputs:
+//!
+//! * `kernels/*` criterion groups for interactive comparison
+//!   (`cargo bench -p eyecod-bench --bench kernels`);
+//! * a `BENCH_kernels.json` artifact at the repository root with
+//!   best-of-N wall times and blocked-vs-naive speedups for the
+//!   reconstruction shapes and the 96×160 gaze-layer (ROI) shape — the
+//!   record behind the "blocked ≥ 1.5× naive" acceptance line.
+
+use criterion::{criterion_group, Criterion};
+use eyecod_optics::mat::Mat;
+use eyecod_tensor::ops::{conv2d, conv2d_gemm, conv2d_gemm_buf, ConvWorkspace};
+use eyecod_tensor::{Shape, Tensor};
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    Mat::from_fn(rows, cols, |r, c| {
+        let x = (r * cols + c) as u64 ^ seed.wrapping_mul(0x9E37_79B9);
+        (x % 1013) as f64 / 1013.0 - 0.5
+    })
+}
+
+fn tensor(shape: Shape, seed: u64) -> Tensor {
+    Tensor::from_fn(shape, |n, c, h, w| {
+        let x = (((n * 31 + c) * 37 + h) * 41 + w) as u64 ^ seed;
+        (x % 613) as f32 / 613.0 - 0.5
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    // f64 GEMM, blocked vs naive, at the Tikhonov reconstruction shapes
+    // (working size 48/64, paper scale 256/320) and the 96×160 gaze ROI
+    for (m, k, n, tag) in [
+        (48, 64, 64, "recon_48x64x64"),
+        (256, 320, 320, "recon_256x320x320"),
+        (96, 160, 96, "gaze_96x160x96"),
+    ] {
+        let a = mat(m, k, 1);
+        let b = mat(k, n, 2);
+        c.bench_function(&format!("kernels/gemm_naive_{tag}"), |bch| {
+            bch.iter(|| a.matmul_naive(&b))
+        });
+        c.bench_function(&format!("kernels/gemm_blocked_{tag}"), |bch| {
+            bch.iter(|| a.matmul(&b))
+        });
+    }
+
+    // conv-as-GEMM on a gaze-layer geometry: fresh buffers per call vs a
+    // warm reusable workspace (the steady-state frame regime)
+    let x = tensor(Shape::new(1, 16, 96, 160), 3);
+    let w = tensor(Shape::new(16, 16, 3, 3), 4);
+    c.bench_function("kernels/conv_gemm_alloc_16x96x160", |bch| {
+        bch.iter(|| conv2d_gemm(&x, &w, None, 1, 1, 1))
+    });
+    let mut ws = ConvWorkspace::new();
+    let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+    c.bench_function("kernels/conv_gemm_workspace_16x96x160", |bch| {
+        bch.iter(|| {
+            let (patches, _, _) = ws.split();
+            conv2d_gemm_buf(&x, &w, None, 1, 1, 1, patches, &mut out);
+        })
+    });
+    // the direct (pre-GEMM) convolution as the reference point
+    c.bench_function("kernels/conv_direct_16x96x160", |bch| {
+        bch.iter(|| conv2d(&x, &w, None, 1, 1, 1))
+    });
+}
+
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: &'static str,
+    shape: String,
+    naive_ns: u64,
+    blocked_ns: u64,
+    speedup: f64,
+}
+
+/// Best-of-N wall time of `f` in nanoseconds.
+fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
+    f(); // warm caches and buffers
+    (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos() as u64
+        })
+        .min()
+        .unwrap()
+}
+
+fn write_kernel_artifact() {
+    let mut rows = Vec::new();
+    for (m, k, n, tag) in [
+        (48, 64, 64, "recon working size (scene 48, sensor 64)"),
+        (256, 320, 320, "recon paper scale (scene 256, sensor 320)"),
+        (96, 160, 96, "gaze ROI 96x160"),
+    ] {
+        let a = mat(m, k, 1);
+        let b = mat(k, n, 2);
+        let naive_ns = best_of(15, || a.matmul_naive(&b));
+        let blocked_ns = best_of(15, || a.matmul(&b));
+        rows.push(KernelRow {
+            kernel: "f64 gemm",
+            shape: format!("{m}x{k} * {k}x{n} ({tag})"),
+            naive_ns,
+            blocked_ns,
+            speedup: naive_ns as f64 / blocked_ns as f64,
+        });
+    }
+
+    // conv-as-GEMM through a warm workspace vs the direct convolution at a
+    // gaze-layer geometry on the 96x160 ROI
+    let x = tensor(Shape::new(1, 16, 96, 160), 3);
+    let w = tensor(Shape::new(16, 16, 3, 3), 4);
+    let direct_ns = best_of(15, || conv2d(&x, &w, None, 1, 1, 1));
+    let mut ws = ConvWorkspace::new();
+    let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+    let gemm_ns = best_of(15, || {
+        let (patches, _, _) = ws.split();
+        conv2d_gemm_buf(&x, &w, None, 1, 1, 1, patches, &mut out);
+    });
+    rows.push(KernelRow {
+        kernel: "f32 conv 3x3 (direct vs blocked im2col gemm)",
+        shape: "(1,16,96,160) * (16,16,3,3)".into(),
+        naive_ns: direct_ns,
+        blocked_ns: gemm_ns,
+        speedup: direct_ns as f64 / gemm_ns as f64,
+    });
+
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    eyecod_bench::reporting::write_json(root, "BENCH_kernels", &rows);
+    for r in &rows {
+        println!(
+            "{:<48} {:>12} ns -> {:>12} ns   {:.2}x",
+            r.shape, r.naive_ns, r.blocked_ns, r.speedup
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    // `--artifact-only` skips criterion (CI smoke / artifact refresh)
+    if !std::env::args().any(|a| a == "--artifact-only") {
+        benches();
+        Criterion::default().final_summary();
+    }
+    write_kernel_artifact();
+}

@@ -5,9 +5,46 @@ use eyecod_optics::degrade::degrade_measurement;
 use eyecod_optics::imaging::FlatCam;
 use eyecod_optics::mask::SeparableMask;
 use eyecod_optics::mat::Mat;
-use eyecod_optics::recon::TikhonovReconstructor;
+use eyecod_optics::recon::{ReconWorkspace, TikhonovReconstructor};
 use eyecod_optics::sensor::SensorModel;
-use eyecod_tensor::Tensor;
+use eyecod_tensor::{Shape, Tensor};
+
+/// Reusable buffers for [`Acquisition::acquire_faulted_into`]: the scene
+/// staging matrix, the FlatCam capture temporaries, and the reconstruction
+/// workspace. Buffers are sized on first use and then reused verbatim, so a
+/// steady-state acquisition performs zero heap allocations.
+#[derive(Debug, Clone)]
+pub struct AcquireScratch {
+    /// Scene staged as a matrix (the faulted image itself on the lens path).
+    m: Mat,
+    /// FlatCam capture temporary (`Φ_L · scene`).
+    tmp: Mat,
+    /// FlatCam measurement, degraded in place.
+    y: Mat,
+    /// Reconstructed image.
+    recon: Mat,
+    /// Tikhonov reconstruction intermediates.
+    ws: ReconWorkspace,
+}
+
+impl AcquireScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        AcquireScratch {
+            m: Mat::zeros(1, 1),
+            tmp: Mat::zeros(1, 1),
+            y: Mat::zeros(1, 1),
+            recon: Mat::zeros(1, 1),
+            ws: ReconWorkspace::new(),
+        }
+    }
+}
+
+impl Default for AcquireScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// How frames are acquired before entering the processing pipeline.
 ///
@@ -106,27 +143,58 @@ impl Acquisition {
         frame: u64,
         attempt: u64,
     ) -> (Tensor, u32) {
+        let mut scratch = AcquireScratch::new();
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        let injected =
+            self.acquire_faulted_into(scene, seed, plan, frame, attempt, &mut scratch, &mut out);
+        (out, injected)
+    }
+
+    /// [`Acquisition::acquire_faulted`] writing the acquired image into a
+    /// caller-owned tensor through reusable scratch buffers — the
+    /// allocation-free variant the steady-state frame path uses. Every step
+    /// runs the in-place twin of the allocating chain (`assign_tensor` /
+    /// `apply_inplace` / `capture_into` / `reconstruct_into` /
+    /// `write_tensor`), each of which is byte-identical to its allocating
+    /// counterpart, so both variants produce identical images.
+    ///
+    /// Returns the number of injected fault events.
+    #[allow(clippy::too_many_arguments)]
+    pub fn acquire_faulted_into(
+        &self,
+        scene: &Tensor,
+        seed: u64,
+        plan: &FaultPlan,
+        frame: u64,
+        attempt: u64,
+        scratch: &mut AcquireScratch,
+        out: &mut Tensor,
+    ) -> u32 {
         let s = scene.shape();
         assert_eq!(s.h, s.w, "scenes must be square, got {s}");
         let capture_seed = seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         match self {
             Acquisition::Lens { sensor } => {
-                let m = Mat::from_tensor(scene);
-                let mut img = sensor.apply(&m, capture_seed);
-                let mut injected = degrade_measurement(plan, &mut img, frame, sensor.saturation);
-                injected += apply_link_faults(plan, &mut img, frame, attempt);
-                (img.to_tensor(), injected)
+                scratch.m.assign_tensor(scene);
+                sensor.apply_inplace(&mut scratch.m, capture_seed);
+                let mut injected =
+                    degrade_measurement(plan, &mut scratch.m, frame, sensor.saturation);
+                injected += apply_link_faults(plan, &mut scratch.m, frame, attempt);
+                scratch.m.write_tensor(out);
+                injected
             }
             Acquisition::FlatCam {
                 camera,
                 reconstructor,
             } => {
-                let m = Mat::from_tensor(scene);
-                let mut y = camera.capture(&m, capture_seed);
+                scratch.m.assign_tensor(scene);
+                camera.capture_into(&scratch.m, capture_seed, &mut scratch.tmp, &mut scratch.y);
                 let mut injected =
-                    degrade_measurement(plan, &mut y, frame, camera.sensor().saturation);
-                injected += apply_link_faults(plan, &mut y, frame, attempt);
-                (reconstructor.reconstruct(&y).to_tensor(), injected)
+                    degrade_measurement(plan, &mut scratch.y, frame, camera.sensor().saturation);
+                injected += apply_link_faults(plan, &mut scratch.y, frame, attempt);
+                reconstructor.reconstruct_into(&scratch.y, &mut scratch.ws, &mut scratch.recon);
+                scratch.recon.write_tensor(out);
+                injected
             }
         }
     }
@@ -230,6 +298,29 @@ mod tests {
                 faulted.as_slice(),
                 "must be byte-identical"
             );
+        }
+    }
+
+    #[test]
+    fn acquire_faulted_into_reuses_scratch_across_paths() {
+        let s = render_eye(&EyeParams::centered(48), 48, 0);
+        let mut plan = FaultPlan::none();
+        plan.seed = 4;
+        plan.link.corrupt_ppm = 1_000_000;
+        plan.link.corrupt_values = 2;
+        // one scratch serves lens and FlatCam geometries back to back; every
+        // acquisition must be byte-identical to the allocating path
+        let mut scratch = AcquireScratch::new();
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        for acq in [Acquisition::lens(), Acquisition::flatcam(48, 64, 1e-4, 7)] {
+            for frame in 0..3u64 {
+                let (want, want_injected) = acq.acquire_faulted(&s.image, 5, &plan, frame, 0);
+                let injected =
+                    acq.acquire_faulted_into(&s.image, 5, &plan, frame, 0, &mut scratch, &mut out);
+                assert_eq!(injected, want_injected);
+                assert_eq!(out.shape(), want.shape());
+                assert_eq!(out.as_slice(), want.as_slice(), "must be byte-identical");
+            }
         }
     }
 

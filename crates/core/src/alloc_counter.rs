@@ -1,0 +1,54 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The steady-state frame path is designed to perform **zero** transient
+//! heap allocations (every buffer lives in tracker-owned scratch, mirroring
+//! the accelerator's fixed on-chip global buffers). That property is easy to
+//! lose silently — one stray `clone()` re-introduces per-frame allocation —
+//! so the tracker records the per-frame allocation delta in the
+//! `tracker/steady_state_allocs` telemetry counter, and an integration test
+//! installs [`CountingAllocator`] as the `#[global_allocator]` and asserts
+//! the delta stays zero.
+//!
+//! When the counting allocator is *not* installed (every production build),
+//! [`allocations`] always reads 0 and the telemetry counter never moves; the
+//! counting costs nothing outside tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-forwarding allocator that counts every allocation event
+/// (`alloc`, `alloc_zeroed`, and growth via `realloc`). Install it in a test
+/// binary with `#[global_allocator]` and read [`allocations`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingAllocator;
+
+// SAFETY: every method forwards verbatim to `System`; the counter update is
+// a relaxed atomic increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocation events counted so far. Always 0 unless
+/// [`CountingAllocator`] is installed as the global allocator.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

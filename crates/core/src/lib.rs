@@ -34,6 +34,7 @@
 //! ```
 
 pub mod acquisition;
+pub mod alloc_counter;
 pub mod interface;
 pub mod metrics;
 pub mod parallel;

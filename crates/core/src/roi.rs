@@ -65,6 +65,12 @@ impl RoiRect {
         ops::crop(image, self.y0, self.x0, self.h, self.w)
     }
 
+    /// [`RoiRect::crop`] writing into a caller-owned tensor
+    /// (allocation-free once the output buffer is warm).
+    pub fn crop_into(&self, image: &Tensor, out: &mut Tensor) {
+        ops::crop_into(image, self.y0, self.x0, self.h, self.w, out);
+    }
+
     /// Scales the rectangle from one square image resolution to another
     /// (the segmentation runs at a lower resolution than the crop source).
     pub fn rescale(&self, from: usize, to: usize) -> RoiRect {

@@ -1,6 +1,6 @@
 //! The end-to-end predict-then-focus eye tracker.
 
-use crate::acquisition::Acquisition;
+use crate::acquisition::{AcquireScratch, Acquisition};
 use crate::metrics::TrackingStats;
 use crate::roi::{predict_roi, roi_size_from_sclera, RoiRect};
 use crate::training::TrackerModels;
@@ -8,11 +8,12 @@ use eyecod_eyedata::render::render_eye;
 use eyecod_eyedata::sequence::EyeMotionGenerator;
 use eyecod_eyedata::GazeVector;
 use eyecod_faults::{FaultPlan, FaultSite, FaultStats, FrameFaults, FrameQuality, RecoveryPolicy};
+use eyecod_models::infer::GazeInferWorkspace;
 use eyecod_models::proxy::predict_seg;
 use eyecod_models::quantized::QuantizedGazeNet;
 use eyecod_telemetry::{static_counter, static_histogram};
-use eyecod_tensor::ops::{downsample_avg, resize_bilinear};
-use eyecod_tensor::{Layer, Tensor};
+use eyecod_tensor::ops::{downsample_avg, resize_bilinear_into};
+use eyecod_tensor::{Shape, Tensor};
 
 /// Which numeric backend executes the per-frame gaze network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -242,6 +243,46 @@ pub struct EyeTracker {
     /// Consecutive frames on which the gaze output fell back to
     /// `last_gaze`.
     gaze_staleness: u32,
+    /// Per-frame scratch buffers, taken out at frame start and restored at
+    /// the end (so stage helpers can borrow them alongside `&mut self`).
+    /// `None` only before the first frame and transiently inside
+    /// [`EyeTracker::process_frame`].
+    scratch: Option<Box<FrameScratch>>,
+}
+
+/// Tracker-owned buffers reused on every frame — the software analogue of
+/// the accelerator's fixed on-chip buffers (weights resident, activations
+/// ping-ponged between two global buffers, nothing allocated per frame).
+/// Every buffer grows to its steady size during the first frames and is
+/// then reused verbatim, which is what makes a steady-state
+/// [`EyeTracker::process_frame`] allocation-free.
+struct FrameScratch {
+    /// Acquisition staging (scene/measurement matrices, reconstruction
+    /// workspace).
+    acquire: AcquireScratch,
+    /// The acquired (or last-good fallback) image for the current frame.
+    image: Tensor,
+    /// ROI crop of `image`.
+    crop: Tensor,
+    /// The resized gaze-network input.
+    gaze_in: Tensor,
+    /// The gaze-network output.
+    pred: Tensor,
+    /// Arena buffers for the gaze forward passes (both backends).
+    infer: GazeInferWorkspace,
+}
+
+impl FrameScratch {
+    fn new() -> Self {
+        FrameScratch {
+            acquire: AcquireScratch::new(),
+            image: Tensor::zeros(Shape::new(1, 1, 1, 1)),
+            crop: Tensor::zeros(Shape::new(1, 1, 1, 1)),
+            gaze_in: Tensor::zeros(Shape::new(1, 1, 1, 1)),
+            pred: Tensor::zeros(Shape::new(1, 1, 1, 1)),
+            infer: GazeInferWorkspace::new(),
+        }
+    }
 }
 
 impl EyeTracker {
@@ -285,6 +326,7 @@ impl EyeTracker {
             image_staleness: 0,
             roi_staleness: 0,
             gaze_staleness: 0,
+            scratch: None,
         }
     }
 
@@ -365,10 +407,18 @@ impl EyeTracker {
     /// `tracker/gaze_forward_ns`, `tracker/frame_ns`) into the global
     /// telemetry registry while telemetry is enabled.
     ///
+    /// Every stage runs through tracker-owned scratch buffers, so a
+    /// steady-state frame (no scheduled ROI refresh, warm-up and int8
+    /// calibration done) performs **zero** transient heap allocations. The
+    /// `tracker/steady_state_allocs` counter records the per-frame
+    /// allocation delta on such frames when the counting test allocator
+    /// ([`crate::alloc_counter`]) is installed; in production it stays 0.
+    ///
     /// # Panics
     ///
     /// Panics if the scene resolution does not match the configuration.
     pub fn process_frame(&mut self, scene: &Tensor, noise_seed: u64) -> TrackedFrame {
+        let allocs_before = crate::alloc_counter::allocations();
         static_counter!("tracker/frames").inc();
         let _frame_timer = static_histogram!("tracker/frame_ns").timer();
         let s = scene.shape();
@@ -382,73 +432,102 @@ impl EyeTracker {
         let plan = self.faults.clone();
         let mut ff = FrameFaults::default();
         let mut degraded = false;
+        let mut scratch = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| Box::new(FrameScratch::new()));
 
-        let image = static_histogram!("tracker/acquire_ns").time(|| {
-            self.acquire_with_recovery(scene, noise_seed, &plan, frame, &mut ff, &mut degraded)
+        let has_image = static_histogram!("tracker/acquire_ns").time(|| {
+            self.acquire_with_recovery(
+                scene,
+                noise_seed,
+                &plan,
+                frame,
+                &mut scratch,
+                &mut ff,
+                &mut degraded,
+            )
         });
 
         let due = frame.is_multiple_of(self.config.roi_period as u64);
-        let (gaze, gaze_degenerate, roi_refreshed) = match &image {
-            Some(image) => {
-                let refreshed = if due {
-                    static_histogram!("tracker/segment_ns").time(|| {
-                        self.refresh_roi_with_recovery(image, &plan, frame, &mut ff, &mut degraded)
-                    })
-                } else {
-                    false
-                };
-                let gaze_in = static_histogram!("tracker/crop_resize_ns").time(|| {
-                    let crop = self.current_roi.crop(image);
-                    resize_bilinear(&crop, self.config.gaze_input.0, self.config.gaze_input.1)
-                });
-                let mut pred = static_histogram!("tracker/gaze_forward_ns")
-                    .time(|| self.gaze_forward(&gaze_in));
-                // stage faults on the network output
-                if plan.fires(FaultSite::StageGazeNan, frame) {
-                    ff.injected += 1;
-                    pred = Tensor::full(pred.shape(), f32::NAN);
-                } else if plan.fires(FaultSite::StageGazeZero, frame) {
-                    ff.injected += 1;
-                    pred = Tensor::zeros(pred.shape());
+        let (gaze, gaze_degenerate, roi_refreshed) = if has_image {
+            let refreshed = if due {
+                static_histogram!("tracker/segment_ns").time(|| {
+                    self.refresh_roi_with_recovery(
+                        &scratch.image,
+                        &plan,
+                        frame,
+                        &mut ff,
+                        &mut degraded,
+                    )
+                })
+            } else {
+                false
+            };
+            static_histogram!("tracker/crop_resize_ns").time(|| {
+                self.current_roi
+                    .crop_into(&scratch.image, &mut scratch.crop);
+                resize_bilinear_into(
+                    &scratch.crop,
+                    self.config.gaze_input.0,
+                    self.config.gaze_input.1,
+                    &mut scratch.gaze_in,
+                );
+            });
+            {
+                let FrameScratch {
+                    gaze_in,
+                    infer,
+                    pred,
+                    ..
+                } = &mut *scratch;
+                static_histogram!("tracker/gaze_forward_ns")
+                    .time(|| self.gaze_forward_into(gaze_in, infer, pred));
+            }
+            // stage faults on the network output
+            if plan.fires(FaultSite::StageGazeNan, frame) {
+                ff.injected += 1;
+                scratch.pred.as_mut_slice().fill(f32::NAN);
+            } else if plan.fires(FaultSite::StageGazeZero, frame) {
+                ff.injected += 1;
+                scratch.pred.as_mut_slice().fill(0.0);
+            }
+            let parsed = if scratch.pred.has_non_finite() {
+                None
+            } else {
+                GazeVector::from_tensor(&scratch.pred, 0).try_normalized()
+            };
+            match parsed {
+                Some(g) => {
+                    self.gaze_staleness = 0;
+                    (g, false, refreshed)
                 }
-                let parsed = if pred.has_non_finite() {
-                    None
-                } else {
-                    GazeVector::from_tensor(&pred, 0).try_normalized()
-                };
-                match parsed {
-                    Some(g) => {
-                        self.gaze_staleness = 0;
-                        (g, false, refreshed)
-                    }
-                    None => {
-                        // non-finite or degenerate gaze: the fallback to
-                        // the last-good direction is the recovery action,
-                        // whether the fault was injected or the model's own
-                        static_counter!("tracker/gaze_degenerate").inc();
-                        self.gaze_staleness += 1;
-                        ff.recovered += 1;
-                        degraded = true;
-                        (self.last_gaze, true, refreshed)
-                    }
+                None => {
+                    // non-finite or degenerate gaze: the fallback to
+                    // the last-good direction is the recovery action,
+                    // whether the fault was injected or the model's own
+                    static_counter!("tracker/gaze_degenerate").inc();
+                    self.gaze_staleness += 1;
+                    ff.recovered += 1;
+                    degraded = true;
+                    (self.last_gaze, true, refreshed)
                 }
             }
-            None => {
-                // the frame never reached the pipeline and nothing is
-                // available to serve it from: repeat the last answer
-                if due {
-                    self.roi_staleness += 1;
-                }
-                self.gaze_staleness += 1;
-                (self.last_gaze, false, false)
+        } else {
+            // the frame never reached the pipeline and nothing is
+            // available to serve it from: repeat the last answer
+            if due {
+                self.roi_staleness += 1;
             }
+            self.gaze_staleness += 1;
+            (self.last_gaze, false, false)
         };
         self.last_gaze = gaze;
 
         let over_stale = self.roi_staleness > self.recovery.max_roi_staleness
             || self.gaze_staleness > self.recovery.max_gaze_staleness
             || self.image_staleness > self.recovery.max_image_staleness;
-        let quality = if image.is_none() || ff.unrecovered > 0 || over_stale {
+        let quality = if !has_image || ff.unrecovered > 0 || over_stale {
             FrameQuality::Lost
         } else if degraded {
             FrameQuality::Degraded
@@ -464,6 +543,15 @@ impl EyeTracker {
             FrameQuality::Lost => static_counter!("tracker/frames_lost").inc(),
         }
         self.fault_stats.absorb(&ff);
+        self.scratch = Some(scratch);
+
+        // steady-state frames (no scheduled segmentation refresh) must not
+        // touch the heap: record the per-frame allocation delta so the
+        // counting-allocator regression test can pin it to zero
+        if !due {
+            static_counter!("tracker/steady_state_allocs")
+                .add(crate::alloc_counter::allocations() - allocs_before);
+        }
 
         self.frame_counter += 1;
         TrackedFrame {
@@ -482,17 +570,24 @@ impl EyeTracker {
     /// (non-finite or blown-up reconstructions), and falls back to the
     /// last-good image for dropped, delayed or unrecoverable frames.
     ///
-    /// Returns `None` only when the frame was lost in transit and no
+    /// The acquired image lands in `scratch.image`; every path (fresh
+    /// capture, retry, last-good fallback, sanitised best-effort) writes
+    /// through reusable buffers, so a warm tracker acquires without heap
+    /// allocation.
+    ///
+    /// Returns `false` only when the frame was lost in transit and no
     /// last-good image exists yet.
+    #[allow(clippy::too_many_arguments)]
     fn acquire_with_recovery(
         &mut self,
         scene: &Tensor,
         noise_seed: u64,
         plan: &FaultPlan,
         frame: u64,
+        scratch: &mut FrameScratch,
         ff: &mut FrameFaults,
         degraded: &mut bool,
-    ) -> Option<Tensor> {
+    ) -> bool {
         // a dropped frame never arrives; a delayed one misses its deadline
         // — the real-time pipeline treats both as a missing frame
         let dropped = plan.fires(FaultSite::SensorFrameDrop, frame);
@@ -505,69 +600,95 @@ impl EyeTracker {
                 static_counter!("tracker/frames_delayed").inc();
             }
             *degraded = true;
-            return match self.last_image.clone() {
+            return match &self.last_image {
                 Some(prev) => {
                     ff.recovered += 1;
                     self.image_staleness += 1;
-                    Some(prev)
+                    scratch.image.copy_from(prev);
+                    true
                 }
                 None => {
                     ff.unrecovered += 1;
-                    None
+                    false
                 }
             };
         }
         // a silent duplicate: the camera re-delivers the previous frame
         // and the pipeline cannot tell — it simply processes stale data
         if plan.fires(FaultSite::SensorFrameDuplicate, frame) {
-            if let Some(prev) = self.last_image.clone() {
+            if let Some(prev) = &self.last_image {
                 ff.injected += 1;
                 static_counter!("tracker/frames_duplicated").inc();
-                return Some(prev);
+                scratch.image.copy_from(prev);
+                return true;
             }
         }
         // fresh capture; detected corruption is re-requested within budget
         // (each attempt re-draws the link faults with its own salt)
         let budget = self.recovery.max_stage_retries as u64;
         for attempt in 0..=budget {
-            let (img, injected) = self
-                .acquisition
-                .acquire_faulted(scene, noise_seed, plan, frame, attempt);
+            let injected = self.acquisition.acquire_faulted_into(
+                scene,
+                noise_seed,
+                plan,
+                frame,
+                attempt,
+                &mut scratch.acquire,
+                &mut scratch.image,
+            );
             ff.injected += injected;
-            if image_is_sane(&img) {
+            if image_is_sane(&scratch.image) {
                 if attempt > 0 {
                     ff.recovered += 1;
                     *degraded = true;
                     static_counter!("tracker/acquire_retries").add(attempt);
                 }
-                self.last_image = Some(img.clone());
+                if let Some(buf) = self.last_image.as_mut() {
+                    buf.copy_from(&scratch.image);
+                } else {
+                    self.last_image = Some(scratch.image.clone());
+                }
                 self.image_staleness = 0;
-                return Some(img);
+                return true;
             }
             static_counter!("tracker/acquire_corrupt").inc();
         }
         // budget exhausted on a corrupt transfer
         *degraded = true;
-        match self.last_image.clone() {
+        match &self.last_image {
             Some(prev) => {
                 ff.recovered += 1;
                 self.image_staleness += 1;
-                Some(prev)
+                scratch.image.copy_from(prev);
+                true
             }
             None => {
                 // nothing good has ever arrived: flush the corruption to
                 // finite values and limp on with a best-effort image
                 ff.unrecovered += 1;
-                let (img, _) = self
-                    .acquisition
-                    .acquire_faulted(scene, noise_seed, plan, frame, 0);
-                Some(sanitize_image(&img))
+                let _ = self.acquisition.acquire_faulted_into(
+                    scene,
+                    noise_seed,
+                    plan,
+                    frame,
+                    0,
+                    &mut scratch.acquire,
+                    &mut scratch.image,
+                );
+                sanitize_image_inplace(&mut scratch.image);
+                true
             }
         }
     }
 
     /// Runs the gaze network on one ROI crop through the configured
-    /// backend.
+    /// backend, writing the prediction into `pred` through the workspace
+    /// arena (allocation-free once the buffers are warm).
+    ///
+    /// The f32 backend executes [`ProxyGazeNet::forward_infer`] (blocked
+    /// im2col GEMM, in-place norm/activation); the calibrated int8 backend
+    /// executes [`QuantizedGazeNet::forward_into`], which is bit-identical
+    /// to the allocating int8 chain.
     ///
     /// Under [`GazeBackend::Int8`] the first `calibration_frames` frames
     /// execute the f32 network while their crops are collected; when the
@@ -576,20 +697,28 @@ impl EyeTracker {
     /// `tracker/int8_frames` counts every frame served by the int8 chain).
     /// The switch is deterministic in the frame sequence, so parallel and
     /// sequential runs still agree bit-for-bit.
-    fn gaze_forward(&mut self, gaze_in: &Tensor) -> Tensor {
+    ///
+    /// [`ProxyGazeNet::forward_infer`]: eyecod_models::proxy::ProxyGazeNet::forward_infer
+    fn gaze_forward_into(
+        &mut self,
+        gaze_in: &Tensor,
+        ws: &mut GazeInferWorkspace,
+        pred: &mut Tensor,
+    ) {
         match self.config.gaze_backend {
-            GazeBackend::F32 => self.models.gaze.forward(gaze_in, false),
+            GazeBackend::F32 => self.models.gaze.forward_infer(gaze_in, ws, pred),
             GazeBackend::Int8 => {
                 if let Some(qnet) = &self.quantized_gaze {
                     static_counter!("tracker/int8_frames").inc();
-                    return qnet.forward(gaze_in);
+                    qnet.forward_into(gaze_in, ws, pred);
+                    return;
                 }
                 // never let a corrupted crop into the calibration batch —
                 // one NaN would poison the quantisation ranges for good
                 if !gaze_in.has_non_finite() {
                     self.calib_inputs.push(gaze_in.clone());
                 }
-                let pred = self.models.gaze.forward(gaze_in, false);
+                self.models.gaze.forward_infer(gaze_in, ws, pred);
                 if self.calib_inputs.len() >= self.config.calibration_frames {
                     let calib = Tensor::stack(&self.calib_inputs);
                     self.quantized_gaze =
@@ -597,7 +726,6 @@ impl EyeTracker {
                     self.calib_inputs = Vec::new();
                     static_counter!("tracker/int8_calibrations").inc();
                 }
-                pred
             }
         }
     }
@@ -805,14 +933,14 @@ fn image_is_sane(t: &Tensor) -> bool {
     !t.has_non_finite() && t.max_abs() <= SANE_IMAGE_MAX
 }
 
-fn sanitize_image(t: &Tensor) -> Tensor {
-    t.map(|v| {
-        if v.is_finite() {
+fn sanitize_image_inplace(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v = if v.is_finite() {
             v.clamp(-SANE_IMAGE_MAX, SANE_IMAGE_MAX)
         } else {
             0.0
-        }
-    })
+        };
+    }
 }
 
 #[cfg(test)]
@@ -820,6 +948,7 @@ mod tests {
     use super::*;
     use crate::training::{train_tracker_models, TrainingSetup};
     use eyecod_eyedata::render::EyeParams;
+    use eyecod_tensor::Layer;
     use std::sync::OnceLock;
 
     /// Train once, share across tests (training is the expensive part).

@@ -1,0 +1,75 @@
+//! Allocation regression: a steady-state tracker frame must not touch the
+//! heap.
+//!
+//! The tracker owns every per-stage buffer (acquisition matrices,
+//! reconstruction workspace, ROI crop, gaze input, network arena), so once
+//! those are warm — after the first ROI refresh and, under the int8
+//! backend, after calibration — `process_frame` on a non-refresh frame is
+//! designed to perform **zero** transient heap allocations, mirroring the
+//! accelerator's fixed on-chip buffers. This test installs the counting
+//! global allocator and pins that property for both gaze backends; one
+//! stray per-frame `clone()` anywhere in the frame path fails it.
+//!
+//! Kept as a single `#[test]` so no concurrent test pollutes the process-
+//! wide allocation counter while a frame is being measured.
+
+use eyecod_core::alloc_counter::{allocations, CountingAllocator};
+use eyecod_core::tracker::{EyeTracker, GazeBackend, TrackerConfig};
+use eyecod_core::training::{train_tracker_models, TrainingSetup};
+use eyecod_eyedata::render::{render_eye, EyeParams};
+use eyecod_faults::FaultPlan;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_frames_do_not_allocate_on_either_backend() {
+    let base = TrackerConfig::small();
+    let models = train_tracker_models(&TrainingSetup::quick(), &base);
+    // the scene is rendered once, outside the measured window
+    let scene = render_eye(&EyeParams::centered(base.scene_size), base.scene_size, 0).image;
+
+    for backend in [GazeBackend::F32, GazeBackend::Int8] {
+        let config = TrackerConfig {
+            gaze_backend: backend,
+            ..base.clone()
+        };
+        let mut tracker =
+            EyeTracker::new(config, models.clone_models()).with_faults(FaultPlan::none());
+
+        // warm-up: ROI refreshes fire at frames 0 and 10 (`roi_period` 10),
+        // int8 calibration completes at frame 7 (`calibration_frames` 8),
+        // and frame 11 runs the first fully-warm steady-state frame — by
+        // frame 12 every scratch buffer and telemetry static exists
+        for frame in 0..12u64 {
+            tracker.process_frame(&scene, frame);
+        }
+
+        #[cfg(feature = "telemetry")]
+        let counter_before = eyecod_telemetry::global()
+            .snapshot()
+            .counter("tracker/steady_state_allocs");
+
+        for frame in 12..20u64 {
+            let before = allocations();
+            let out = tracker.process_frame(&scene, frame);
+            let delta = allocations() - before;
+            assert!(!out.roi_refreshed, "frame {frame} unexpectedly refreshed");
+            assert_eq!(
+                delta, 0,
+                "{backend:?} backend: steady-state frame {frame} made {delta} heap allocations"
+            );
+        }
+
+        // the tracker's own accounting agrees: the steady-state counter did
+        // not move across the measured window
+        #[cfg(feature = "telemetry")]
+        assert_eq!(
+            counter_before,
+            eyecod_telemetry::global()
+                .snapshot()
+                .counter("tracker/steady_state_allocs"),
+            "{backend:?} backend: tracker/steady_state_allocs grew during steady state"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Allocation-free inference forwards for the gaze networks.
+//!
+//! The EyeCoD accelerator streams every layer's activations between two
+//! 512 KB ping-pong activation global buffers (paper Fig. 10): layer `i`
+//! reads from one buffer and writes the other, so no per-layer storage is
+//! ever (de)allocated. [`GazeInferWorkspace`] is the software mirror of
+//! that arrangement — two f32 arena tensors and two int8 arena tensors the
+//! forward passes alternate between, plus the im2col patch buffer and the
+//! i32 MAC accumulator shared by every layer. All buffers are sized lazily
+//! at the first frame and only ever grow, so a steady-state forward pass
+//! performs zero heap allocations.
+//!
+//! Two entry points live here:
+//!
+//! * [`ProxyGazeNet::forward_infer`] — the f32 backend. Convolutions run
+//!   through the blocked im2col GEMM ([`ops::conv2d_gemm_buf`]), batch norm
+//!   and the activation are applied in place, and the head writes into the
+//!   caller's output tensor. Results match [`Layer::forward`] up to float
+//!   summation order (the GEMM folds the bias in before the taps, the
+//!   direct convolution after), which the differential tests bound.
+//! * [`QuantizedGazeNet::forward_into`] — the int8 backend. Every op
+//!   delegates to the `_into` variants of the deployed chain
+//!   ([`eyecod_tensor::quant`]), whose i32 accumulation is exactly
+//!   associative, so outputs are bit-identical to
+//!   [`QuantizedGazeNet::forward`].
+
+use crate::proxy::{GazeLayer, ProxyGazeNet};
+use eyecod_tensor::ops::{self, ConvWorkspace};
+use eyecod_tensor::quant::QTensor;
+use eyecod_tensor::Tensor;
+
+/// Reusable buffers for the allocation-free gaze forwards — the f32 arena
+/// (via [`ConvWorkspace`]), the int8 arena, and the shared i32 accumulator.
+///
+/// One workspace serves both backends; buffers grow to the largest layer
+/// seen and are then reused verbatim.
+pub struct GazeInferWorkspace {
+    pub(crate) conv: ConvWorkspace,
+    pub(crate) qping: QTensor,
+    pub(crate) qpong: QTensor,
+    pub(crate) acc: Vec<i32>,
+}
+
+impl Default for GazeInferWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GazeInferWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        GazeInferWorkspace {
+            conv: ConvWorkspace::new(),
+            qping: QTensor::scratch(),
+            qpong: QTensor::scratch(),
+            acc: Vec::new(),
+        }
+    }
+}
+
+impl ProxyGazeNet {
+    /// Inference forward through the workspace arena: allocation-free once
+    /// the workspace buffers are warm. Writes the gaze tensor `(N, 3, 1, 1)`
+    /// into `out`.
+    ///
+    /// Agrees with `Layer::forward(input, false)` up to float summation
+    /// order (see the module docs); it never touches training state, so it
+    /// takes `&self`.
+    pub fn forward_infer(&self, input: &Tensor, ws: &mut GazeInferWorkspace, out: &mut Tensor) {
+        let (patches, mut cur, mut next) = ws.conv.split();
+        cur.copy_from(input);
+        for layer in &self.layers {
+            match layer {
+                GazeLayer::Conv(c) => {
+                    ops::conv2d_gemm_buf(
+                        cur,
+                        c.weight(),
+                        c.bias(),
+                        c.stride(),
+                        c.pad(),
+                        c.groups(),
+                        patches,
+                        next,
+                    );
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                GazeLayer::Bn(bn) => ops::batch_norm_infer_inplace(
+                    cur,
+                    bn.gamma(),
+                    bn.beta(),
+                    bn.running_mean(),
+                    bn.running_var(),
+                    bn.eps(),
+                ),
+                GazeLayer::Act(act) => {
+                    let alpha = act.alpha();
+                    for v in cur.as_mut_slice() {
+                        // mirrors `ops::leaky_relu`'s `if x > 0.0 { x }
+                        // else { alpha * x }` exactly — NaN must take the
+                        // alpha branch, so the negated comparison is load-
+                        // bearing, not a style slip
+                        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                        if !(*v > 0.0) {
+                            *v *= alpha;
+                        }
+                    }
+                }
+                GazeLayer::Gap(_) => {
+                    ops::global_avg_pool_into(cur, next);
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                GazeLayer::Fc(fc) => {
+                    ops::linear_into(cur, fc.weight(), Some(fc.bias()), out);
+                    return;
+                }
+            }
+        }
+        out.copy_from(cur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::GazeFamily;
+    use crate::quantized::QuantizedGazeNet;
+    use eyecod_tensor::{Layer, Shape};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_input(n: usize, h: usize, w: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(Shape::new(n, 1, h, w), |_, _, _, _| rng.gen_range(0.0..1.0))
+    }
+
+    #[test]
+    fn f32_workspace_forward_matches_layer_forward_across_families() {
+        let mut ws = GazeInferWorkspace::new();
+        let mut out = Tensor::zeros(Shape::vector(1, 1));
+        for (i, family) in [
+            GazeFamily::ResNetLike,
+            GazeFamily::FbnetLike,
+            GazeFamily::MobileNetLike,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(21 + i as u64);
+            let mut net = ProxyGazeNet::new(family, &mut rng);
+            // two frames through the same workspace
+            for seed in [40, 41] {
+                let x = random_input(1, 24, 32, seed + i as u64);
+                let want = net.forward(&x, false);
+                net.forward_infer(&x, &mut ws, &mut out);
+                assert_eq!(out.shape(), want.shape());
+                let denom = want.max_abs().max(1e-3);
+                let rel = want.sub(&out).max_abs() / denom;
+                assert!(
+                    rel < 1e-4,
+                    "{family:?} workspace forward diverged: rel err {rel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_workspace_forward_is_bit_identical_to_forward() {
+        let mut ws = GazeInferWorkspace::new();
+        let mut out = Tensor::zeros(Shape::vector(1, 1));
+        for (i, family) in [GazeFamily::FbnetLike, GazeFamily::MobileNetLike]
+            .into_iter()
+            .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(31 + i as u64);
+            let net = ProxyGazeNet::new(family, &mut rng);
+            let qnet = QuantizedGazeNet::from_calibrated(&net, &random_input(4, 24, 32, 50));
+            for seed in [60, 61] {
+                let x = random_input(1, 24, 32, seed + i as u64);
+                let want = qnet.forward(&x);
+                qnet.forward_into(&x, &mut ws, &mut out);
+                assert_eq!(
+                    out.as_slice(),
+                    want.as_slice(),
+                    "{family:?} int8 workspace forward must be bit-identical"
+                );
+            }
+        }
+    }
+}

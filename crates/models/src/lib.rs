@@ -24,6 +24,7 @@
 //! are directly comparable.
 
 pub mod fbnet;
+pub mod infer;
 pub mod mobilenet;
 pub mod proxy;
 pub mod quantized;

@@ -24,11 +24,13 @@
 //! `crates/models/tests/quantized.rs` (per-layer and end-to-end against the
 //! f32 network) and `tests/int8_backend.rs` (whole-tracker angular error).
 
+use crate::infer::GazeInferWorkspace;
 use crate::proxy::{GazeFamily, GazeLayer, ProxyGazeNet};
 use crate::spec::{ModelSpec, SpecBuilder};
 use eyecod_tensor::ops;
 use eyecod_tensor::quant::{
-    calibration_scale, qconv2d_requant, qglobal_avg_pool, qlinear, QTensor,
+    calibration_scale, qconv2d_requant, qconv2d_requant_into, qglobal_avg_pool,
+    qglobal_avg_pool_into, qlinear, qlinear_into, QTensor,
 };
 use eyecod_tensor::Tensor;
 
@@ -274,6 +276,62 @@ impl QuantizedGazeNet {
             }
         }
         q.dequantize()
+    }
+
+    /// [`QuantizedGazeNet::forward`] through a [`GazeInferWorkspace`]:
+    /// activations ping-pong between the workspace's two int8 arena buffers
+    /// and the i32 accumulator is reused across layers, so a steady-state
+    /// forward pass allocates nothing once the buffers are warm. Every op is
+    /// the `_into` variant of the same exact-i32 kernel, so the result
+    /// written to `out` is bit-identical to the allocating path.
+    pub fn forward_into(&self, input: &Tensor, ws: &mut GazeInferWorkspace, out: &mut Tensor) {
+        let GazeInferWorkspace {
+            qping, qpong, acc, ..
+        } = ws;
+        QTensor::quantize_with_scale_into(input, self.input_scale, qping);
+        let (mut cur, mut next) = (qping, qpong);
+        for layer in &self.layers {
+            match layer {
+                QLayer::Conv {
+                    weight,
+                    bias,
+                    stride,
+                    pad,
+                    groups,
+                    relu,
+                    out_scale,
+                } => {
+                    qconv2d_requant_into(
+                        cur,
+                        weight,
+                        Some(bias),
+                        *stride,
+                        *pad,
+                        *groups,
+                        *relu,
+                        *out_scale,
+                        acc,
+                        next,
+                    );
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                QLayer::Gap => {
+                    qglobal_avg_pool_into(cur, next);
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                QLayer::Fc { weight, bias } => {
+                    qlinear_into(cur, weight, Some(bias), out);
+                    return;
+                }
+            }
+        }
+        // no FC head: dequantise the final int8 activation (same arithmetic
+        // as `QTensor::dequantize`)
+        out.reset(cur.shape());
+        let scale = cur.scale();
+        for (o, &q) in out.as_mut_slice().iter_mut().zip(cur.as_i8()) {
+            *o = q as f32 * scale;
+        }
     }
 
     /// Runs the int8 chain, returning the *dequantised* activation after

@@ -54,6 +54,29 @@ impl FlatCam {
         self.sensor.apply(&clean, seed)
     }
 
+    /// [`FlatCam::capture`] through caller-owned buffers: the intermediate
+    /// product lands in `tmp`, the measurement in `out`, and `Φ_Rᵀ` is
+    /// consumed in its stored layout instead of being re-transposed per
+    /// frame — a warm pair of buffers makes the capture allocation-free.
+    /// Byte-identical to [`FlatCam::capture`] for equal seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene size does not match the mask geometry.
+    pub fn capture_into(&self, scene: &Mat, seed: u64, tmp: &mut Mat, out: &mut Mat) {
+        let n = self.mask.scene_size();
+        assert_eq!(
+            (scene.rows(), scene.cols()),
+            (n, n),
+            "scene must be {n}x{n} for this mask, got {}x{}",
+            scene.rows(),
+            scene.cols()
+        );
+        self.mask.phi_l().matmul_into(scene, tmp);
+        tmp.matmul_transposed_b_into(self.mask.phi_r(), out);
+        self.sensor.apply_inplace(out, seed);
+    }
+
     /// The raw measurement size in pixels — what must be communicated from
     /// sensor to processor when the first layer is *not* folded into the
     /// mask.
@@ -91,6 +114,20 @@ mod tests {
             nonzero > 200,
             "impulse should spread over many sensor pixels, got {nonzero}"
         );
+    }
+
+    #[test]
+    fn capture_into_is_byte_identical_to_capture() {
+        let cam = FlatCam::new(
+            SeparableMask::mls(40, 32, 3),
+            crate::sensor::SensorModel::low_light(),
+        );
+        let scene = Mat::from_fn(32, 32, |r, c| (r + c) as f64 / 64.0);
+        let (mut tmp, mut out) = (Mat::zeros(1, 1), Mat::zeros(1, 1));
+        for seed in [0u64, 7] {
+            cam.capture_into(&scene, seed, &mut tmp, &mut out);
+            assert_eq!(out.as_slice(), cam.capture(&scene, seed).as_slice());
+        }
     }
 
     #[test]

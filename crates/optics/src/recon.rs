@@ -25,8 +25,42 @@ use eyecod_telemetry::{static_counter, static_histogram};
 pub struct TikhonovReconstructor {
     svd_l: Svd,
     svd_r: Svd,
+    /// `U₁ᵀ`, hoisted out of the per-frame solve (the factors are
+    /// mask-constant — the software mirror of the paper keeping the SVD
+    /// factors resident in the weight global buffer).
+    u_l_t: Mat,
+    /// `V₂ᵀ`, hoisted likewise.
+    v_r_t: Mat,
     epsilon: f64,
     scene: usize,
+}
+
+/// Reusable intermediate buffers for [`TikhonovReconstructor::reconstruct_into`].
+///
+/// Sized lazily on first use; after that, a steady-state solve performs no
+/// heap allocation.
+#[derive(Debug, Clone)]
+pub struct ReconWorkspace {
+    t1: Mat,
+    yhat: Mat,
+    t2: Mat,
+}
+
+impl ReconWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        ReconWorkspace {
+            t1: Mat::zeros(1, 1),
+            yhat: Mat::zeros(1, 1),
+            t2: Mat::zeros(1, 1),
+        }
+    }
+}
+
+impl Default for ReconWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TikhonovReconstructor {
@@ -37,9 +71,15 @@ impl TikhonovReconstructor {
     /// Panics if `epsilon < 0`.
     pub fn new(mask: &SeparableMask, epsilon: f64) -> Self {
         assert!(epsilon >= 0.0, "regularisation must be non-negative");
+        let svd_l = Svd::compute(mask.phi_l());
+        let svd_r = Svd::compute(mask.phi_r());
+        let u_l_t = svd_l.u.transpose();
+        let v_r_t = svd_r.v.transpose();
         TikhonovReconstructor {
-            svd_l: Svd::compute(mask.phi_l()),
-            svd_r: Svd::compute(mask.phi_r()),
+            svd_l,
+            svd_r,
+            u_l_t,
+            v_r_t,
             epsilon,
             scene: mask.scene_size(),
         }
@@ -79,9 +119,7 @@ impl TikhonovReconstructor {
         // Ŷ = U₁ᵀ · Y · U₂  (n × n); both products run tiled over rows on
         // the process pool at paper-scale geometries
         let yhat = self
-            .svd_l
-            .u
-            .transpose()
+            .u_l_t
             .matmul_parallel(measurement)
             .matmul_parallel(&self.svd_r.u);
         // Z_ij = s1_i s2_j Ŷ_ij / (s1_i² s2_j² + ε)
@@ -100,7 +138,54 @@ impl TikhonovReconstructor {
         self.svd_l
             .v
             .matmul_parallel(&z)
-            .matmul_parallel(&self.svd_r.v.transpose())
+            .matmul_parallel(&self.v_r_t)
+    }
+
+    /// [`TikhonovReconstructor::reconstruct`] through caller-owned buffers:
+    /// all four matrix products and the spectral filter run in `ws` and
+    /// `out`, so a warm workspace makes the whole solve allocation-free
+    /// (the per-frame regime of the paper's accelerator, which ping-pongs
+    /// activations between two global buffers instead of allocating).
+    ///
+    /// Numerically identical to [`TikhonovReconstructor::reconstruct`]:
+    /// same kernels, same accumulation order, same spectral filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement shape does not match the mask's sensor
+    /// geometry.
+    pub fn reconstruct_into(&self, measurement: &Mat, ws: &mut ReconWorkspace, out: &mut Mat) {
+        static_counter!("optics/recon_solves").inc();
+        let _solve_timer = static_histogram!("optics/recon_solve_ns").timer();
+        let (mh, mw) = (self.svd_l.u.rows(), self.svd_r.u.rows());
+        assert_eq!(
+            (measurement.rows(), measurement.cols()),
+            (mh, mw),
+            "measurement must be {mh}x{mw}, got {}x{}",
+            measurement.rows(),
+            measurement.cols()
+        );
+        // Ŷ = U₁ᵀ · Y · U₂
+        self.u_l_t.matmul_into(measurement, &mut ws.t1);
+        ws.t1.matmul_into(&self.svd_r.u, &mut ws.yhat);
+        // the spectral filter runs in place on Ŷ (no `z` materialisation)
+        let n = self.scene;
+        for i in 0..n {
+            let s1 = self.svd_l.s[i];
+            for j in 0..n {
+                let s2 = self.svd_r.s[j];
+                let denom = s1 * s1 * s2 * s2 + self.epsilon;
+                let v = ws.yhat.at(i, j);
+                *ws.yhat.at_mut(i, j) = if denom == 0.0 {
+                    0.0
+                } else {
+                    s1 * s2 * v / denom
+                };
+            }
+        }
+        // X = V₁ · Z · V₂ᵀ
+        self.svd_l.v.matmul_into(&ws.yhat, &mut ws.t2);
+        ws.t2.matmul_into(&self.v_r_t, out);
     }
 
     /// Rank-truncated reconstruction: only the top `rank` singular
@@ -126,9 +211,7 @@ impl TikhonovReconstructor {
             "measurement must be {mh}x{mw}"
         );
         let yhat = self
-            .svd_l
-            .u
-            .transpose()
+            .u_l_t
             .matmul_parallel(measurement)
             .matmul_parallel(&self.svd_r.u);
         let z = Mat::from_fn(n, n, |i, j| {
@@ -147,7 +230,7 @@ impl TikhonovReconstructor {
         self.svd_l
             .v
             .matmul_parallel(&z)
-            .matmul_parallel(&self.svd_r.v.transpose())
+            .matmul_parallel(&self.v_r_t)
     }
 }
 
@@ -220,6 +303,37 @@ mod tests {
         let xb = recon.reconstruct(&cam.capture(&b, 0));
         let xab = recon.reconstruct(&cam.capture(&a.add(&b), 0));
         assert!(xab.sub(&xa.add(&xb)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconstruct_into_matches_reconstruct_exactly() {
+        let mask = SeparableMask::mls(48, 32, 11);
+        let cam = FlatCam::new(mask.clone(), SensorModel::low_light());
+        let recon = TikhonovReconstructor::new(&mask, 1e-4);
+        let mut ws = ReconWorkspace::new();
+        let mut out = Mat::zeros(1, 1);
+        // two different measurements through the same workspace
+        for seed in [3u64, 9] {
+            let y = cam.capture(&test_scene(32), seed);
+            recon.reconstruct_into(&y, &mut ws, &mut out);
+            assert_eq!(
+                out.as_slice(),
+                recon.reconstruct(&y).as_slice(),
+                "workspace solve must be bit-identical (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement must be")]
+    fn reconstruct_into_rejects_wrong_shape() {
+        let mask = SeparableMask::mls(40, 32, 5);
+        let recon = TikhonovReconstructor::new(&mask, 1e-6);
+        recon.reconstruct_into(
+            &Mat::zeros(32, 32),
+            &mut ReconWorkspace::new(),
+            &mut Mat::zeros(1, 1),
+        );
     }
 
     #[test]

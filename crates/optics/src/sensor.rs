@@ -88,8 +88,17 @@ impl SensorModel {
     /// Applies the sensor model to a noiseless measurement, seeded for
     /// reproducibility.
     pub fn apply(&self, clean: &Mat, seed: u64) -> Mat {
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut out = clean.clone();
+        self.apply_inplace(&mut out, seed);
+        out
+    }
+
+    /// [`SensorModel::apply`] operating on the measurement in place — the
+    /// allocation-free variant the steady-state frame path uses. Draws the
+    /// noise stream in the exact element order of [`SensorModel::apply`],
+    /// so both variants are byte-identical for equal seeds.
+    pub fn apply_inplace(&self, out: &mut Mat, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
         for r in 0..out.rows() {
             for c in 0..out.cols() {
                 let v = out.at(r, c);
@@ -125,7 +134,6 @@ impl SensorModel {
                 *out.at_mut(r, c) = noisy;
             }
         }
-        out
     }
 }
 

@@ -3,16 +3,67 @@
 //!
 //! The input patches are unrolled into a matrix (`im2col`) and the
 //! convolution becomes one dense matrix product with the reshaped weights —
-//! the standard lowering CPU inference stacks use. Always produces results
-//! identical (up to float summation order) to [`super::conv2d`], which the
-//! tests enforce.
+//! the standard lowering CPU inference stacks use. The GEMM runs a
+//! register-tiled microkernel over packed row-major weight panels, and the
+//! `*_into` variants reuse a [`ConvWorkspace`] so the steady-state frame
+//! path performs no heap allocation. Always produces results identical (up
+//! to float summation order) to [`super::conv2d`], which the tests enforce.
 
+use crate::shape::Shape;
 use crate::tensor::Tensor;
 
-/// Unrolls convolution patches: returns a row-major matrix of shape
-/// `(oh * ow, c_in_g * k * k)` for batch item `n` and channel group `g`.
+/// Output channels per register tile of the GEMM microkernel.
+const MR: usize = 4;
+/// Output positions per register tile of the GEMM microkernel.
+const NR: usize = 8;
+
+/// Reusable buffers for the allocation-free convolution path: the im2col
+/// patch buffer plus a two-buffer ping-pong activation arena — the software
+/// mirror of the paper's dual 512 KB activation global buffers, between
+/// which layer outputs alternate instead of being freshly allocated.
+///
+/// Buffers are sized lazily on first use and only ever grow.
+#[derive(Debug, Clone)]
+pub struct ConvWorkspace {
+    patches: Vec<f32>,
+    ping: Tensor,
+    pong: Tensor,
+}
+
+impl Default for ConvWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConvWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        ConvWorkspace {
+            patches: Vec::new(),
+            ping: Tensor::zeros(Shape::new(1, 1, 1, 1)),
+            pong: Tensor::zeros(Shape::new(1, 1, 1, 1)),
+        }
+    }
+
+    /// Splits the workspace into disjoint borrows of the im2col buffer and
+    /// the two arena buffers, so a caller can stream activations through
+    /// the arena (`input` in one buffer, output in the other, swapping
+    /// after each layer) while the same patch buffer serves every layer.
+    pub fn split(&mut self) -> (&mut Vec<f32>, &mut Tensor, &mut Tensor) {
+        (&mut self.patches, &mut self.ping, &mut self.pong)
+    }
+}
+
+/// Unrolls convolution patches for batch item `n` and channel group `g`
+/// into `out`, as a row-major matrix of shape `(oh * ow, c_in_g * k * k)`.
+///
+/// Every cell is written exactly once in order (in-bounds cells get the
+/// input value, padded border cells an explicit zero), so no pre-zeroing
+/// pass over the buffer is needed; with `pad == 0` the bounds checks are
+/// skipped entirely and rows are copied as contiguous slices.
 #[allow(clippy::too_many_arguments)]
-fn im2col(
+fn im2col_into(
     input: &Tensor,
     n: usize,
     g: usize,
@@ -22,30 +73,126 @@ fn im2col(
     pad: usize,
     oh: usize,
     ow: usize,
-) -> Vec<f32> {
+    out: &mut Vec<f32>,
+) {
     let s = input.shape();
     let cols = cin_g * k * k;
-    let mut out = vec![0.0f32; oh * ow * cols];
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let row = (oy * ow + ox) * cols;
-            let mut col = 0;
-            for icg in 0..cin_g {
-                let ic = g * cin_g + icg;
-                for kh in 0..k {
-                    let iy = (oy * stride + kh) as isize - pad as isize;
-                    for kw in 0..k {
-                        let ix = (ox * stride + kw) as isize - pad as isize;
-                        if iy >= 0 && ix >= 0 && (iy as usize) < s.h && (ix as usize) < s.w {
-                            out[row + col] = input.at(n, ic, iy as usize, ix as usize);
+    out.clear();
+    out.reserve(oh * ow * cols);
+    if pad == 0 {
+        // every patch cell is in bounds: copy k-long row segments directly
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for icg in 0..cin_g {
+                    let plane = input.channel_plane(n, g * cin_g + icg);
+                    for kh in 0..k {
+                        let base = (oy * stride + kh) * s.w + ox * stride;
+                        out.extend_from_slice(&plane[base..base + k]);
+                    }
+                }
+            }
+        }
+    } else {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for icg in 0..cin_g {
+                    let plane = input.channel_plane(n, g * cin_g + icg);
+                    for kh in 0..k {
+                        let iy = (oy * stride + kh) as isize - pad as isize;
+                        for kw in 0..k {
+                            let ix = (ox * stride + kw) as isize - pad as isize;
+                            let v =
+                                if iy >= 0 && ix >= 0 && (iy as usize) < s.h && (ix as usize) < s.w
+                                {
+                                    plane[iy as usize * s.w + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                            out.push(v);
                         }
-                        col += 1;
                     }
                 }
             }
         }
     }
-    out
+}
+
+/// Validates the conv2d contract shared by the GEMM paths and returns
+/// `(cin_g, cout_g, k, oshape)`.
+fn validate_conv(
+    ishape: Shape,
+    wshape: Shape,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> (usize, usize, usize, Shape) {
+    assert!(groups > 0, "groups must be non-zero");
+    assert!(
+        ishape.c.is_multiple_of(groups) && wshape.n.is_multiple_of(groups),
+        "channels not divisible by groups {groups}"
+    );
+    let cin_g = ishape.c / groups;
+    let cout_g = wshape.n / groups;
+    assert_eq!(wshape.c, cin_g, "weight/group mismatch");
+    assert_eq!(wshape.h, wshape.w, "only square kernels are supported");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), wshape.n, "bias length must equal output channels");
+    }
+    let k = wshape.h;
+    (
+        cin_g,
+        cout_g,
+        k,
+        ishape.conv_output(wshape.n, k, pad, stride),
+    )
+}
+
+/// The blocked GEMM core: `out[oc, p] = bias[oc] + Σ_c w[oc, c] · patches[p, c]`
+/// over an `MR × NR` register tile. Both operands are row-major panels
+/// (the weights in their natural packed layout, the patches from im2col),
+/// so every accumulation step reads two contiguous rows. Accumulators
+/// start at the bias and add in ascending `c` order — the exact per-element
+/// accumulation sequence of the scalar reference loop, so results are
+/// bit-identical to the unblocked path.
+#[allow(clippy::too_many_arguments)]
+fn gemm_panel(
+    w_data: &[f32],
+    patches: &[f32],
+    bias: Option<&[f32]>,
+    g: usize,
+    cout_g: usize,
+    cols: usize,
+    positions: usize,
+    out_chunk: &mut [f32],
+) {
+    let mut ocg = 0;
+    while ocg < cout_g {
+        let mr = MR.min(cout_g - ocg);
+        let mut p = 0;
+        while p < positions {
+            let nr = NR.min(positions - p);
+            let mut acc = [[0.0f32; NR]; MR];
+            for (ii, accr) in acc.iter_mut().enumerate().take(mr) {
+                let b = bias.map_or(0.0, |b| b[g * cout_g + ocg + ii]);
+                accr[..nr].fill(b);
+            }
+            for l in 0..cols {
+                for (ii, accr) in acc.iter_mut().enumerate().take(mr) {
+                    let w = w_data[(g * cout_g + ocg + ii) * cols + l];
+                    for (jj, accv) in accr.iter_mut().enumerate().take(nr) {
+                        *accv += w * patches[(p + jj) * cols + l];
+                    }
+                }
+            }
+            for (ii, accr) in acc.iter().enumerate().take(mr) {
+                let o0 = (ocg + ii) * positions + p;
+                out_chunk[o0..o0 + nr].copy_from_slice(&accr[..nr]);
+            }
+            p += nr;
+        }
+        ocg += mr;
+    }
 }
 
 /// Convolution via im2col + GEMM. Same contract as [`super::conv2d`]
@@ -63,49 +210,92 @@ pub fn conv2d_gemm(
     pad: usize,
     groups: usize,
 ) -> Tensor {
+    let mut ws = ConvWorkspace::new();
+    let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+    conv2d_gemm_into(input, weight, bias, stride, pad, groups, &mut ws, &mut out);
+    out
+}
+
+/// [`conv2d_gemm`] through a caller-owned workspace and output tensor:
+/// with warm buffers the whole convolution performs no heap allocation.
+/// Bit-identical to [`conv2d_gemm`] (same kernel, same workspace shape
+/// handling).
+///
+/// Only the workspace's im2col buffer is used; its arena buffers are free
+/// for the caller to stream activations through (`out` must not alias
+/// `input`, which the borrow checker already enforces).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`super::conv2d`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_gemm_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    ws: &mut ConvWorkspace,
+    out: &mut Tensor,
+) {
+    conv2d_gemm_buf(
+        input,
+        weight,
+        bias,
+        stride,
+        pad,
+        groups,
+        &mut ws.patches,
+        out,
+    );
+}
+
+/// [`conv2d_gemm_into`] against a bare im2col buffer — the building block
+/// the model workspaces use so the patch buffer and the activation arena
+/// can be borrowed disjointly from one [`ConvWorkspace`] via
+/// [`ConvWorkspace::split`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`super::conv2d`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_gemm_buf(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    patches: &mut Vec<f32>,
+    out: &mut Tensor,
+) {
     let ishape = input.shape();
     let wshape = weight.shape();
-    assert!(groups > 0, "groups must be non-zero");
-    assert!(
-        ishape.c.is_multiple_of(groups) && wshape.n.is_multiple_of(groups),
-        "channels not divisible by groups {groups}"
-    );
-    let cin_g = ishape.c / groups;
-    let cout_g = wshape.n / groups;
-    assert_eq!(wshape.c, cin_g, "weight/group mismatch");
-    assert_eq!(wshape.h, wshape.w, "only square kernels are supported");
-    if let Some(b) = bias {
-        assert_eq!(b.len(), wshape.n, "bias length must equal output channels");
-    }
-    let k = wshape.h;
-    let oshape = ishape.conv_output(wshape.n, k, pad, stride);
+    let (cin_g, cout_g, k, oshape) = validate_conv(ishape, wshape, bias, stride, pad, groups);
     let (oh, ow) = (oshape.h, oshape.w);
     let cols = cin_g * k * k;
+    let positions = oh * ow;
     let w_data = weight.as_slice();
 
-    let mut out = Tensor::zeros(oshape);
+    out.reset(oshape);
     let out_data = out.as_mut_slice();
     for n in 0..ishape.n {
         for g in 0..groups {
-            let patches = im2col(input, n, g, cin_g, k, stride, pad, oh, ow);
-            // out[oc, p] = Σ_c w[oc, c] * patches[p, c]
-            for ocg in 0..cout_g {
-                let oc = g * cout_g + ocg;
-                let wrow = &w_data[oc * cols..(oc + 1) * cols];
-                let b = bias.map_or(0.0, |b| b[oc]);
-                let out_base = (n * oshape.c + oc) * oh * ow;
-                for p in 0..oh * ow {
-                    let prow = &patches[p * cols..(p + 1) * cols];
-                    let mut acc = b;
-                    for (w, x) in wrow.iter().zip(prow) {
-                        acc += w * x;
-                    }
-                    out_data[out_base + p] = acc;
-                }
-            }
+            im2col_into(input, n, g, cin_g, k, stride, pad, oh, ow, patches);
+            let out_base = (n * oshape.c + g * cout_g) * positions;
+            gemm_panel(
+                w_data,
+                patches,
+                bias,
+                g,
+                cout_g,
+                cols,
+                positions,
+                &mut out_data[out_base..out_base + cout_g * positions],
+            );
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -139,6 +329,31 @@ mod tests {
             assert!(
                 gemm.sub(&direct).max_abs() < 1e-4,
                 "mismatch at stride={stride} pad={pad} k={k} groups={groups}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_into_reuses_one_workspace_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ws = ConvWorkspace::new();
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        // two different geometries through the same workspace, in both
+        // orders — results must equal the fresh-allocation path exactly
+        let x1 = rand_tensor(Shape::new(1, 4, 10, 8), &mut rng);
+        let w1 = rand_tensor(Shape::new(6, 4, 3, 3), &mut rng);
+        let x2 = rand_tensor(Shape::new(2, 2, 5, 5), &mut rng);
+        let w2 = rand_tensor(Shape::new(4, 1, 1, 1), &mut rng);
+        for _ in 0..2 {
+            conv2d_gemm_into(&x1, &w1, None, 1, 1, 1, &mut ws, &mut out);
+            assert_eq!(
+                out.as_slice(),
+                conv2d_gemm(&x1, &w1, None, 1, 1, 1).as_slice()
+            );
+            conv2d_gemm_into(&x2, &w2, None, 1, 0, 2, &mut ws, &mut out);
+            assert_eq!(
+                out.as_slice(),
+                conv2d_gemm(&x2, &w2, None, 1, 0, 2).as_slice()
             );
         }
     }

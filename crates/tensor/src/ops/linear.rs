@@ -15,6 +15,18 @@ use crate::tensor::Tensor;
 ///
 /// Panics if the flattened input item length does not match `C_in`.
 pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
+    let mut out = Tensor::zeros(Shape::vector(1, 1));
+    linear_into(input, weight, bias, &mut out);
+    out
+}
+
+/// [`linear`] writing into a caller-owned tensor (allocation-free once the
+/// output buffer is warm). Bit-identical to the allocating path.
+///
+/// # Panics
+///
+/// Same requirements as [`linear`].
+pub fn linear_into(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, out: &mut Tensor) {
     let n = input.shape().n;
     let cin = input.shape().item_len();
     let wshape = weight.shape();
@@ -30,7 +42,7 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
     }
     let x = input.as_slice();
     let w = weight.as_slice();
-    let mut out = Tensor::zeros(Shape::vector(n, cout));
+    out.reset(Shape::vector(n, cout));
     let o = out.as_mut_slice();
     for i in 0..n {
         let xrow = &x[i * cin..(i + 1) * cin];
@@ -43,7 +55,6 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
             o[i * cout + j] = acc;
         }
     }
-    out
 }
 
 /// Gradients produced by [`linear_backward`].
@@ -142,6 +153,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn linear_into_matches_allocating_path() {
+        let x = Tensor::from_fn(Shape::vector(2, 5), |n, c, _, _| (n * 5 + c) as f32 * 0.3);
+        let w = Tensor::from_fn(Shape::vector(3, 5), |n, c, _, _| (n + c) as f32 * 0.1 - 0.2);
+        let b = [0.5, -0.25, 0.0];
+        let mut out = Tensor::zeros(Shape::vector(1, 1));
+        linear_into(&x, &w, Some(&b), &mut out);
+        assert_eq!(out.as_slice(), linear(&x, &w, Some(&b)).as_slice());
+    }
 
     #[test]
     fn linear_computes_affine_map() {

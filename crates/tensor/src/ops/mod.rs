@@ -19,12 +19,17 @@ pub use activation::{
     softmax_channels,
 };
 pub use conv::{conv2d, conv2d_backward, conv2d_naive, Conv2dGrads};
-pub use fastconv::conv2d_gemm;
-pub use linear::{linear, linear_backward, matmul, LinearGrads};
-pub use norm::{batch_norm, batch_norm_backward, BatchNormCache, BatchNormGrads};
-pub use pool::{
-    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
-    max_pool2d_backward, MaxPoolCache,
+pub use fastconv::{conv2d_gemm, conv2d_gemm_buf, conv2d_gemm_into, ConvWorkspace};
+pub use linear::{linear, linear_backward, linear_into, matmul, LinearGrads};
+pub use norm::{
+    batch_norm, batch_norm_backward, batch_norm_infer_inplace, BatchNormCache, BatchNormGrads,
 };
-pub use resize::{downsample_avg, resize_bilinear, upsample_nearest, upsample_nearest_backward};
-pub use spatial::{concat_channels, crop, pad_zero, split_channels};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward,
+    global_avg_pool_into, max_pool2d, max_pool2d_backward, MaxPoolCache,
+};
+pub use resize::{
+    downsample_avg, resize_bilinear, resize_bilinear_into, upsample_nearest,
+    upsample_nearest_backward,
+};
+pub use spatial::{concat_channels, crop, crop_into, pad_zero, split_channels};

@@ -96,6 +96,52 @@ pub fn batch_norm(
     (out, cache)
 }
 
+/// Inference-mode batch normalisation in place: the allocation-free
+/// counterpart of [`batch_norm`] with `train = false`, using the running
+/// statistics directly. Applies exactly the same arithmetic
+/// (`gamma · (x − mean) / sqrt(var + eps) + beta`, with the division by the
+/// per-channel standard deviation as a separate step), so the results are
+/// bit-identical to the allocating path.
+///
+/// # Panics
+///
+/// Panics if the parameter/stat vectors do not have one entry per channel.
+pub fn batch_norm_infer_inplace(
+    x: &mut Tensor,
+    gamma: &[f32],
+    beta: &[f32],
+    running_mean: &[f32],
+    running_var: &[f32],
+    eps: f32,
+) {
+    let s = x.shape();
+    let c = s.c;
+    assert_eq!(gamma.len(), c, "gamma must have one entry per channel");
+    assert_eq!(beta.len(), c, "beta must have one entry per channel");
+    assert_eq!(
+        running_mean.len(),
+        c,
+        "running_mean must have one entry per channel"
+    );
+    assert_eq!(
+        running_var.len(),
+        c,
+        "running_var must have one entry per channel"
+    );
+    let plane = s.spatial_len();
+    let data = x.as_mut_slice();
+    for n in 0..s.n {
+        for ch in 0..c {
+            let std = (running_var[ch] + eps).sqrt();
+            let (g, b, m) = (gamma[ch], beta[ch], running_mean[ch]);
+            let base = (n * c + ch) * plane;
+            for v in &mut data[base..base + plane] {
+                *v = g * ((*v - m) / std) + b;
+            }
+        }
+    }
+}
+
 /// Gradients produced by [`batch_norm_backward`].
 #[derive(Debug, Clone)]
 pub struct BatchNormGrads {
@@ -171,6 +217,29 @@ mod tests {
         assert!((y.at(0, 0, 0, 1) - 3.0).abs() < 1e-5); // (4-2)/2*2+1
                                                         // running stats untouched in inference
         assert_eq!(rm, vec![2.0]);
+    }
+
+    #[test]
+    fn inplace_inference_matches_batch_norm() {
+        let x = Tensor::from_vec(
+            Shape::new(2, 2, 1, 2),
+            vec![1., 2., -1., 0.5, 3., -2., 0., 1.],
+        );
+        let mut rm = vec![0.3, -0.2];
+        let mut rv = vec![1.5, 0.8];
+        let (want, _) = batch_norm(
+            &x,
+            &[1.2, 0.6],
+            &[0.1, -0.4],
+            &mut rm,
+            &mut rv,
+            1e-5,
+            0.1,
+            false,
+        );
+        let mut got = x.clone();
+        batch_norm_infer_inplace(&mut got, &[1.2, 0.6], &[0.1, -0.4], &rm, &rv, 1e-5);
+        assert_eq!(got.as_slice(), want.as_slice());
     }
 
     #[test]

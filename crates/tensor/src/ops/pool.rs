@@ -116,6 +116,22 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
     })
 }
 
+/// [`global_avg_pool`] writing into a caller-owned tensor (allocation-free
+/// once the output buffer is warm). Bit-identical to the allocating path.
+pub fn global_avg_pool_into(input: &Tensor, out: &mut Tensor) {
+    let s = input.shape();
+    let inv = 1.0 / s.spatial_len() as f32;
+    out.reset(Shape::vector(s.n, s.c));
+    let data = out.as_mut_slice();
+    let mut idx = 0;
+    for n in 0..s.n {
+        for c in 0..s.c {
+            data[idx] = input.channel_plane(n, c).iter().sum::<f32>() * inv;
+            idx += 1;
+        }
+    }
+}
+
 /// Backward pass of [`global_avg_pool`].
 pub fn global_avg_pool_backward(input_shape: Shape, grad_out: &Tensor) -> Tensor {
     let inv = 1.0 / input_shape.spatial_len() as f32;
@@ -125,6 +141,16 @@ pub fn global_avg_pool_backward(input_shape: Shape, grad_out: &Tensor) -> Tensor
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn global_avg_pool_into_matches_allocating_path() {
+        let x = Tensor::from_fn(Shape::new(2, 3, 4, 5), |n, c, h, w| {
+            (n * 7 + c * 3 + h * 5 + w) as f32 * 0.17 - 1.0
+        });
+        let mut out = Tensor::zeros(Shape::vector(1, 1));
+        global_avg_pool_into(&x, &mut out);
+        assert_eq!(out.as_slice(), global_avg_pool(&x).as_slice());
+    }
 
     #[test]
     fn max_pool_picks_maximum() {

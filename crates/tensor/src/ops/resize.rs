@@ -108,9 +108,59 @@ pub fn resize_bilinear(input: &Tensor, out_h: usize, out_w: usize) -> Tensor {
     })
 }
 
+/// [`resize_bilinear`] writing into a caller-owned tensor (allocation-free
+/// once the output buffer is warm). Bit-identical to the allocating path.
+pub fn resize_bilinear_into(input: &Tensor, out_h: usize, out_w: usize, out: &mut Tensor) {
+    let s = input.shape();
+    assert!(out_h > 0 && out_w > 0, "target extent must be non-zero");
+    let scale_y = s.h as f32 / out_h as f32;
+    let scale_x = s.w as f32 / out_w as f32;
+    out.reset(Shape::new(s.n, s.c, out_h, out_w));
+    let oshape = out.shape();
+    let data = out.as_mut_slice();
+    let mut idx = 0;
+    for n in 0..oshape.n {
+        for c in 0..oshape.c {
+            for oy in 0..out_h {
+                let fy = ((oy as f32 + 0.5) * scale_y - 0.5).clamp(0.0, (s.h - 1) as f32);
+                let y0 = fy.floor() as usize;
+                let y1 = (y0 + 1).min(s.h - 1);
+                let dy = fy - y0 as f32;
+                for ox in 0..out_w {
+                    let fx = ((ox as f32 + 0.5) * scale_x - 0.5).clamp(0.0, (s.w - 1) as f32);
+                    let x0 = fx.floor() as usize;
+                    let x1 = (x0 + 1).min(s.w - 1);
+                    let dx = fx - x0 as f32;
+                    let v00 = input.at(n, c, y0, x0);
+                    let v01 = input.at(n, c, y0, x1);
+                    let v10 = input.at(n, c, y1, x0);
+                    let v11 = input.at(n, c, y1, x1);
+                    data[idx] = v00 * (1.0 - dy) * (1.0 - dx)
+                        + v01 * (1.0 - dy) * dx
+                        + v10 * dy * (1.0 - dx)
+                        + v11 * dy * dx;
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn resize_into_matches_allocating_path() {
+        let x = Tensor::from_fn(Shape::new(2, 2, 5, 7), |n, c, h, w| {
+            (n * 31 + c * 17 + h * 7 + w) as f32 * 0.13
+        });
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        for (oh, ow) in [(9usize, 3usize), (4, 11)] {
+            resize_bilinear_into(&x, oh, ow, &mut out);
+            assert_eq!(out.as_slice(), resize_bilinear(&x, oh, ow).as_slice());
+        }
+    }
 
     #[test]
     fn upsample_replicates() {

@@ -86,6 +86,33 @@ pub fn crop(input: &Tensor, y0: usize, x0: usize, h: usize, w: usize) -> Tensor 
     })
 }
 
+/// [`crop`] writing into a caller-owned tensor (allocation-free once the
+/// output buffer is warm); rows are copied as contiguous slices.
+///
+/// # Panics
+///
+/// Panics if the crop window exceeds the input extent.
+pub fn crop_into(input: &Tensor, y0: usize, x0: usize, h: usize, w: usize, out: &mut Tensor) {
+    let s = input.shape();
+    assert!(
+        y0 + h <= s.h && x0 + w <= s.w,
+        "crop window ({y0}+{h}, {x0}+{w}) exceeds input {s}"
+    );
+    out.reset(Shape::new(s.n, s.c, h, w));
+    let data = out.as_mut_slice();
+    let mut idx = 0;
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let plane = input.channel_plane(n, c);
+            for y in 0..h {
+                let base = (y0 + y) * s.w + x0;
+                data[idx..idx + w].copy_from_slice(&plane[base..base + w]);
+                idx += w;
+            }
+        }
+    }
+}
+
 /// Pads each spatial plane with a zero border of the given extents
 /// (top, bottom, left, right).
 pub fn pad_zero(input: &Tensor, top: usize, bottom: usize, left: usize, right: usize) -> Tensor {
@@ -103,6 +130,18 @@ pub fn pad_zero(input: &Tensor, top: usize, bottom: usize, left: usize, right: u
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crop_into_matches_crop() {
+        let x = Tensor::from_fn(Shape::new(2, 3, 6, 7), |n, c, h, w| {
+            (n * 100 + c * 50 + h * 7 + w) as f32
+        });
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        for (y0, x0, h, w) in [(0usize, 0usize, 6usize, 7usize), (1, 2, 3, 4), (4, 5, 2, 2)] {
+            crop_into(&x, y0, x0, h, w, &mut out);
+            assert_eq!(out.as_slice(), crop(&x, y0, x0, h, w).as_slice());
+        }
+    }
 
     #[test]
     fn concat_then_split_round_trips() {

@@ -67,17 +67,9 @@ impl QTensor {
     ///
     /// Panics if `scale <= 0`.
     pub fn quantize_with_scale(t: &Tensor, scale: f32) -> Self {
-        assert!(scale > 0.0, "scale must be positive");
-        let data = t
-            .as_slice()
-            .iter()
-            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
-            .collect();
-        QTensor {
-            shape: t.shape(),
-            scale,
-            data,
-        }
+        let mut out = QTensor::scratch();
+        Self::quantize_with_scale_into(t, scale, &mut out);
+        out
     }
 
     /// Reconstructs the floating-point tensor.
@@ -101,6 +93,36 @@ impl QTensor {
     /// The raw int8 values.
     pub fn as_i8(&self) -> &[i8] {
         &self.data
+    }
+
+    /// A 1-element placeholder for workspace buffers that will be
+    /// overwritten by the `_into` operators ([`qconv2d_requant_into`],
+    /// [`qglobal_avg_pool_into`], [`QTensor::quantize_with_scale_into`])
+    /// before first use.
+    pub fn scratch() -> Self {
+        QTensor {
+            shape: Shape::new(1, 1, 1, 1),
+            scale: 1.0,
+            data: vec![0],
+        }
+    }
+
+    /// [`QTensor::quantize_with_scale`] writing into a caller-owned tensor:
+    /// no allocation once `out`'s buffer has grown to the largest shape seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0`.
+    pub fn quantize_with_scale_into(t: &Tensor, scale: f32, out: &mut QTensor) {
+        assert!(scale > 0.0, "scale must be positive");
+        out.shape = t.shape();
+        out.scale = scale;
+        out.data.clear();
+        out.data.extend(
+            t.as_slice()
+                .iter()
+                .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8),
+        );
     }
 }
 
@@ -134,21 +156,49 @@ pub fn requantize(t: &QTensor, out_scale: f32) -> QTensor {
     }
 }
 
+/// The half-open range of output columns `ox` whose input column
+/// `ox * stride + kw - pad` is in `[0, in_w)`. Hoisting the bounds check out
+/// of the streaming inner loop this way is what lets the accumulator kernels
+/// below run branch-free over full output rows.
+#[inline]
+fn ox_span(kw: usize, pad: usize, stride: usize, in_w: usize, out_w: usize) -> (usize, usize) {
+    let lo = if kw >= pad {
+        0
+    } else {
+        (pad - kw).div_ceil(stride)
+    };
+    let hi = if in_w + pad > kw {
+        ((in_w - 1 + pad - kw) / stride + 1).min(out_w)
+    } else {
+        0
+    };
+    (lo, hi)
+}
+
 /// Integer conv accumulation shared by [`qconv2d`] and [`qconv2d_requant`]:
-/// returns the output shape and the raw `i32` accumulator plane, exactly as
-/// the accelerator's MAC lanes produce it (no bias, no rescale).
+/// writes the raw `i32` accumulator plane into `acc` (resized to fit, no
+/// allocation once warm) and returns the output shape — exactly what the
+/// accelerator's MAC lanes produce (no bias, no rescale).
+///
+/// The loops are blocked the same way as the f32 GEMM microkernels: the
+/// weight scalar is hoisted per `(ic, kh, kw)` tap and the inner loop streams
+/// along a contiguous input row into a contiguous accumulator row, with the
+/// padding bounds check resolved once per tap by [`ox_span`]. Because `i32`
+/// addition is exactly associative, this reordering cannot change any output
+/// value.
 ///
 /// A depth-wise convolution (`groups == C_in == C_out`) takes a dedicated
 /// fast path: the single weight plane per channel is sliced once and the
 /// group arithmetic disappears from the inner loops — the §5.1 observation
 /// that depth-wise layers need their own treatment, in miniature.
-fn qconv_accumulate(
+fn qconv_accumulate_into(
     input: &QTensor,
     weight: &QTensor,
     stride: usize,
     pad: usize,
     groups: usize,
-) -> (Shape, Vec<i32>) {
+    acc: &mut Vec<i32>,
+) -> Shape {
     let ishape = input.shape;
     let wshape = weight.shape;
     let k = wshape.h;
@@ -156,31 +206,30 @@ fn qconv_accumulate(
     let cin_g = ishape.c / groups;
     let cout_g = wshape.n / groups;
     assert_eq!(wshape.c, cin_g, "weight/group mismatch");
-    let mut acc = vec![0i32; oshape.len()];
+    acc.clear();
+    acc.resize(oshape.len(), 0);
     let depthwise = groups == ishape.c && cin_g == 1 && cout_g == 1;
     if depthwise {
         for n in 0..oshape.n {
             for c in 0..oshape.c {
                 let wplane = &weight.data[c * k * k..(c + 1) * k * k];
                 for oy in 0..oshape.h {
-                    for ox in 0..oshape.w {
-                        let mut a = 0i32;
-                        for (kh, wrow) in wplane.chunks_exact(k).enumerate() {
-                            let iy = (oy * stride + kh) as isize - pad as isize;
-                            if iy < 0 || iy as usize >= ishape.h {
-                                continue;
-                            }
-                            for (kw, &wv) in wrow.iter().enumerate() {
-                                let ix = (ox * stride + kw) as isize - pad as isize;
-                                if ix < 0 || ix as usize >= ishape.w {
-                                    continue;
-                                }
-                                let xi =
-                                    input.data[ishape.index(n, c, iy as usize, ix as usize)] as i32;
-                                a += xi * wv as i32;
+                    let out_base = oshape.index(n, c, oy, 0);
+                    let row = &mut acc[out_base..out_base + oshape.w];
+                    for (kh, wrow) in wplane.chunks_exact(k).enumerate() {
+                        let iy = (oy * stride + kh) as isize - pad as isize;
+                        if iy < 0 || iy as usize >= ishape.h {
+                            continue;
+                        }
+                        let in_base = ishape.index(n, c, iy as usize, 0);
+                        let irow = &input.data[in_base..in_base + ishape.w];
+                        for (kw, &wv) in wrow.iter().enumerate() {
+                            let wv = wv as i32;
+                            let (lo, hi) = ox_span(kw, pad, stride, ishape.w, oshape.w);
+                            for ox in lo..hi {
+                                row[ox] += irow[ox * stride + kw - pad] as i32 * wv;
                             }
                         }
-                        acc[oshape.index(n, c, oy, ox)] = a;
                     }
                 }
             }
@@ -190,34 +239,45 @@ fn qconv_accumulate(
             for oc in 0..oshape.c {
                 let g = oc / cout_g;
                 for oy in 0..oshape.h {
-                    for ox in 0..oshape.w {
-                        let mut a = 0i32;
-                        for icg in 0..cin_g {
-                            let ic = g * cin_g + icg;
-                            for kh in 0..k {
-                                for kw in 0..k {
-                                    let iy = (oy * stride + kh) as isize - pad as isize;
-                                    let ix = (ox * stride + kw) as isize - pad as isize;
-                                    if iy >= 0
-                                        && ix >= 0
-                                        && (iy as usize) < ishape.h
-                                        && (ix as usize) < ishape.w
-                                    {
-                                        let xi = input.data
-                                            [ishape.index(n, ic, iy as usize, ix as usize)]
-                                            as i32;
-                                        let wi = weight.data[wshape.index(oc, icg, kh, kw)] as i32;
-                                        a += xi * wi;
-                                    }
+                    let out_base = oshape.index(n, oc, oy, 0);
+                    let row = &mut acc[out_base..out_base + oshape.w];
+                    for icg in 0..cin_g {
+                        let ic = g * cin_g + icg;
+                        for kh in 0..k {
+                            let iy = (oy * stride + kh) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= ishape.h {
+                                continue;
+                            }
+                            let in_base = ishape.index(n, ic, iy as usize, 0);
+                            let irow = &input.data[in_base..in_base + ishape.w];
+                            let w_base = wshape.index(oc, icg, kh, 0);
+                            let wrow = &weight.data[w_base..w_base + k];
+                            for (kw, &wv) in wrow.iter().enumerate() {
+                                let wv = wv as i32;
+                                let (lo, hi) = ox_span(kw, pad, stride, ishape.w, oshape.w);
+                                for ox in lo..hi {
+                                    row[ox] += irow[ox * stride + kw - pad] as i32 * wv;
                                 }
                             }
                         }
-                        acc[oshape.index(n, oc, oy, ox)] = a;
                     }
                 }
             }
         }
     }
+    oshape
+}
+
+/// Allocating wrapper over [`qconv_accumulate_into`].
+fn qconv_accumulate(
+    input: &QTensor,
+    weight: &QTensor,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> (Shape, Vec<i32>) {
+    let mut acc = Vec::new();
+    let oshape = qconv_accumulate_into(input, weight, stride, pad, groups, &mut acc);
     (oshape, acc)
 }
 
@@ -270,27 +330,51 @@ pub fn qconv2d_requant(
     relu: bool,
     out_scale: f32,
 ) -> QTensor {
+    let mut acc = Vec::new();
+    let mut out = QTensor::scratch();
+    qconv2d_requant_into(
+        input, weight, bias, stride, pad, groups, relu, out_scale, &mut acc, &mut out,
+    );
+    out
+}
+
+/// [`qconv2d_requant`] writing into caller-owned buffers: `acc` holds the
+/// i32 accumulator plane and `out` the requantised activations. Once both
+/// have grown to the largest layer seen, a steady-state int8 forward pass
+/// through this op allocates nothing.
+///
+/// # Panics
+///
+/// Same geometry requirements as [`crate::ops::conv2d`]; panics if
+/// `out_scale <= 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv2d_requant_into(
+    input: &QTensor,
+    weight: &QTensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    relu: bool,
+    out_scale: f32,
+    acc: &mut Vec<i32>,
+    out: &mut QTensor,
+) {
     assert!(out_scale > 0.0, "scale must be positive");
     let rescale = input.scale * weight.scale;
-    let (oshape, acc) = qconv_accumulate(input, weight, stride, pad, groups);
+    let oshape = qconv_accumulate_into(input, weight, stride, pad, groups, acc);
     let plane = oshape.h * oshape.w;
-    let data = acc
-        .iter()
-        .enumerate()
-        .map(|(i, &a)| {
-            let oc = (i / plane) % oshape.c;
-            let mut v = a as f32 * rescale + bias.map_or(0.0, |b| b[oc]);
-            if relu {
-                v = v.max(0.0);
-            }
-            (v / out_scale).round().clamp(-127.0, 127.0) as i8
-        })
-        .collect();
-    QTensor {
-        shape: oshape,
-        scale: out_scale,
-        data,
-    }
+    out.shape = oshape;
+    out.scale = out_scale;
+    out.data.clear();
+    out.data.extend(acc.iter().enumerate().map(|(i, &a)| {
+        let oc = (i / plane) % oshape.c;
+        let mut v = a as f32 * rescale + bias.map_or(0.0, |b| b[oc]);
+        if relu {
+            v = v.max(0.0);
+        }
+        (v / out_scale).round().clamp(-127.0, 127.0) as i8
+    }));
 }
 
 /// Int8 fully connected layer: `y = x · Wᵀ + b` with i32 accumulation and a
@@ -305,6 +389,18 @@ pub fn qconv2d_requant(
 /// Panics if the flattened input item length does not match `C_in`, or the
 /// bias length does not match `C_out`.
 pub fn qlinear(input: &QTensor, weight: &QTensor, bias: Option<&[f32]>) -> Tensor {
+    let mut out = Tensor::zeros(Shape::vector(1, 1));
+    qlinear_into(input, weight, bias, &mut out);
+    out
+}
+
+/// [`qlinear`] writing into a caller-owned tensor (allocation-free once the
+/// output buffer is warm).
+///
+/// # Panics
+///
+/// Same requirements as [`qlinear`].
+pub fn qlinear_into(input: &QTensor, weight: &QTensor, bias: Option<&[f32]>, out: &mut Tensor) {
     let n = input.shape.n;
     let cin = input.shape.len() / n;
     let cout = weight.shape.n;
@@ -318,7 +414,7 @@ pub fn qlinear(input: &QTensor, weight: &QTensor, bias: Option<&[f32]>) -> Tenso
         assert_eq!(b.len(), cout, "bias length must equal output features");
     }
     let rescale = input.scale * weight.scale;
-    let mut out = Tensor::zeros(Shape::vector(n, cout));
+    out.reset(Shape::vector(n, cout));
     let o = out.as_mut_slice();
     for i in 0..n {
         let xrow = &input.data[i * cin..(i + 1) * cin];
@@ -331,17 +427,27 @@ pub fn qlinear(input: &QTensor, weight: &QTensor, bias: Option<&[f32]>) -> Tenso
             o[i * cout + j] = acc as f32 * rescale + bias.map_or(0.0, |b| b[j]);
         }
     }
-    out
 }
 
 /// Global average pooling over int8 activations: per-channel i32 sum,
 /// rounded division by the plane size, output in the *same* scale as the
 /// input (the mean of int8 values always fits back into int8).
 pub fn qglobal_avg_pool(input: &QTensor) -> QTensor {
+    let mut out = QTensor::scratch();
+    qglobal_avg_pool_into(input, &mut out);
+    out
+}
+
+/// [`qglobal_avg_pool`] writing into a caller-owned tensor (allocation-free
+/// once the output buffer is warm).
+pub fn qglobal_avg_pool_into(input: &QTensor, out: &mut QTensor) {
     let s = input.shape;
     let plane = s.h * s.w;
     let inv = 1.0 / plane as f32;
-    let mut data = Vec::with_capacity(s.n * s.c);
+    out.shape = Shape::vector(s.n, s.c);
+    out.scale = input.scale;
+    out.data.clear();
+    out.data.reserve(s.n * s.c);
     for n in 0..s.n {
         for c in 0..s.c {
             let base = s.index(n, c, 0, 0);
@@ -349,13 +455,9 @@ pub fn qglobal_avg_pool(input: &QTensor) -> QTensor {
                 .iter()
                 .map(|&q| q as i32)
                 .sum();
-            data.push((sum as f32 * inv).round().clamp(-127.0, 127.0) as i8);
+            out.data
+                .push((sum as f32 * inv).round().clamp(-127.0, 127.0) as i8);
         }
-    }
-    QTensor {
-        shape: Shape::vector(s.n, s.c),
-        scale: input.scale,
-        data,
     }
 }
 
@@ -562,5 +664,72 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn explicit_scale_must_be_positive() {
         QTensor::quantize_with_scale(&Tensor::zeros(Shape::vector(1, 1)), 0.0);
+    }
+
+    #[test]
+    fn requant_into_matches_and_reuses_buffers_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut acc = Vec::new();
+        let mut out = QTensor::scratch();
+        // grouped, strided no-pad, and depth-wise geometries through the
+        // same accumulator and output buffers, twice each
+        let geoms = [
+            (6usize, 4usize, 9usize, 1usize, 1usize, 2usize),
+            (4, 4, 6, 2, 0, 1),
+            (5, 5, 7, 1, 1, 5),
+        ];
+        for _round in 0..2 {
+            for &(ci, co, hw, stride, pad, groups) in &geoms {
+                let x = Tensor::from_fn(Shape::new(2, ci, hw, hw), |_, _, _, _| {
+                    rng.gen_range(-1.0..1.0)
+                });
+                let w = Tensor::from_fn(Shape::new(co, ci / groups, 3, 3), |_, _, _, _| {
+                    rng.gen_range(-0.5..0.5)
+                });
+                let b: Vec<f32> = (0..co).map(|_| rng.gen_range(-0.1..0.1)).collect();
+                let qx = QTensor::quantize(&x);
+                let qw = QTensor::quantize(&w);
+                let want = qconv2d_requant(&qx, &qw, Some(&b), stride, pad, groups, true, 0.05);
+                qconv2d_requant_into(
+                    &qx,
+                    &qw,
+                    Some(&b),
+                    stride,
+                    pad,
+                    groups,
+                    true,
+                    0.05,
+                    &mut acc,
+                    &mut out,
+                );
+                assert_eq!(
+                    out, want,
+                    "geometry ({ci},{co},{hw},{stride},{pad},{groups})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_linear_and_quantize_into_match_allocating_paths() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let x = Tensor::from_fn(Shape::new(2, 3, 5, 5), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let qx = QTensor::quantize(&x);
+        let mut pooled = QTensor::scratch();
+        qglobal_avg_pool_into(&qx, &mut pooled);
+        assert_eq!(pooled, qglobal_avg_pool(&qx));
+
+        let w = Tensor::from_fn(Shape::vector(4, 3), |_, _, _, _| rng.gen_range(-0.5..0.5));
+        let qw = QTensor::quantize(&w);
+        let b: Vec<f32> = (0..4).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let mut fc = Tensor::zeros(Shape::vector(1, 1));
+        qlinear_into(&pooled, &qw, Some(&b), &mut fc);
+        assert_eq!(fc.as_slice(), qlinear(&pooled, &qw, Some(&b)).as_slice());
+
+        let mut q = QTensor::scratch();
+        QTensor::quantize_with_scale_into(&x, 0.01, &mut q);
+        assert_eq!(q, QTensor::quantize_with_scale(&x, 0.01));
     }
 }

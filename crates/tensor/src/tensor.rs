@@ -275,6 +275,24 @@ impl Tensor {
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
     }
+
+    /// Reshapes this tensor in place to `shape`, zero-filled, reusing the
+    /// existing allocation when its capacity suffices. The workhorse of the
+    /// workspace (`*_into`) kernels: after warm-up, reshaping a scratch
+    /// tensor allocates nothing.
+    pub fn reset(&mut self, shape: Shape) {
+        self.data.clear();
+        self.data.resize(shape.len(), 0.0);
+        self.shape = shape;
+    }
+
+    /// Makes this tensor an element-wise copy of `other`, reusing the
+    /// existing allocation when possible.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+        self.shape = other.shape;
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -368,6 +386,19 @@ mod tests {
     fn channel_plane_view() {
         let t = seq(Shape::new(1, 2, 2, 2));
         assert_eq!(t.channel_plane(0, 1), &[4., 5., 6., 7.]);
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_zeroes() {
+        let mut t = seq(Shape::new(1, 2, 2, 2));
+        let cap_probe = t.as_slice().as_ptr();
+        t.reset(Shape::new(1, 1, 2, 2));
+        assert_eq!(t.shape().dims(), (1, 1, 2, 2));
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(t.as_slice().as_ptr(), cap_probe, "no realloc on shrink");
+        let src = seq(Shape::new(1, 1, 1, 3));
+        t.copy_from(&src);
+        assert_eq!(t, src);
     }
 
     #[test]
