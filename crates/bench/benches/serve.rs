@@ -1,0 +1,192 @@
+//! Serving-layer benchmarks: full serve-tick throughput and the
+//! cross-session gaze micro-batching payoff.
+//!
+//! Two outputs:
+//!
+//! * `serve/*` criterion groups for interactive comparison
+//!   (`cargo bench -p eyecod-bench --bench serve`);
+//! * a `BENCH_serve.json` artifact at the repository root with one row per
+//!   fleet size {1, 16, 256}: best-of-N serve-tick wall time / FPS, and
+//!   the gaze-forward throughput of one batched GEMM against the same
+//!   crops forwarded one session at a time — the record behind the
+//!   "batched ≥ 1.2× per-session at 256 sessions" acceptance line.
+
+use criterion::{criterion_group, Criterion};
+use eyecod_core::tracker::{GazeBackend, TrackerConfig};
+use eyecod_core::training::{train_tracker_models, TrackerModels, TrainingSetup};
+use eyecod_eyedata::render::{render_eye, EyeParams};
+use eyecod_faults::FaultPlan;
+use eyecod_models::infer::GazeInferWorkspace;
+use eyecod_serve::{ServeConfig, ServeRegistry, SessionId};
+use eyecod_tensor::{Shape, Tensor};
+use serde::Serialize;
+use std::path::Path;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+const FLEETS: [usize; 3] = [1, 16, 256];
+
+fn shared() -> &'static (TrackerConfig, TrackerModels, Tensor) {
+    static SHARED: OnceLock<(TrackerConfig, TrackerModels, Tensor)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let cfg = TrackerConfig::small();
+        let models = train_tracker_models(&TrainingSetup::quick(), &cfg);
+        let scene = render_eye(&EyeParams::centered(cfg.scene_size), cfg.scene_size, 0).image;
+        (cfg, models, scene)
+    })
+}
+
+/// A warm fleet: `n` sessions (alternating f32/int8), fed and ticked past
+/// ROI refresh and int8 calibration so measured ticks are steady-state.
+fn warm_fleet(n: usize, batching: bool) -> (ServeRegistry, Vec<SessionId>) {
+    let (cfg, models, scene) = shared();
+    let mut sc = ServeConfig::new(cfg.clone());
+    sc.batching = batching;
+    sc.queue_capacity = 4;
+    let mut reg = ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none());
+    let ids: Vec<_> = (0..n)
+        .map(|s| {
+            let backend = if s % 2 == 0 {
+                GazeBackend::F32
+            } else {
+                GazeBackend::Int8
+            };
+            reg.create_with_backend(backend).unwrap()
+        })
+        .collect();
+    for round in 0..12u64 {
+        for id in &ids {
+            reg.feed(*id, scene, round).unwrap();
+        }
+        reg.tick();
+    }
+    (reg, ids)
+}
+
+fn bench(c: &mut Criterion) {
+    let (_, _, scene) = shared();
+    for n in FLEETS {
+        let (mut reg, ids) = warm_fleet(n, true);
+        let mut round = 100u64;
+        c.bench_function(&format!("serve/tick_{n}_sessions"), |bch| {
+            bch.iter(|| {
+                for id in &ids {
+                    reg.feed(*id, scene, round).unwrap();
+                }
+                round += 1;
+                reg.tick()
+            })
+        });
+    }
+}
+
+/// Best-of-N wall time of `f` in nanoseconds.
+fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
+    f(); // warm caches and buffers
+    (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos() as u64
+        })
+        .min()
+        .unwrap()
+}
+
+#[derive(Serialize)]
+struct ServeRow {
+    sessions: usize,
+    /// Best-of-N steady-state serve tick (batching on), full pipeline:
+    /// stage + parallel prepare + batched forwards + completion.
+    tick_ns: u64,
+    /// Frames per second the tick sustains at this fleet size.
+    tick_fps: f64,
+    /// One batched gaze GEMM over all `sessions` crops.
+    batched_gaze_ns: u64,
+    /// The same crops forwarded one at a time (the per-session regime
+    /// micro-batching replaces).
+    per_session_gaze_ns: u64,
+    gaze_speedup: f64,
+    note: String,
+}
+
+fn write_serve_artifact() {
+    let (cfg, models, _) = shared();
+    let (gh, gw) = cfg.gaze_input;
+    let mut rows = Vec::new();
+    for n in FLEETS {
+        // full serve-tick throughput through a warm registry
+        let (mut reg, ids) = warm_fleet(n, true);
+        let (_, _, scene) = shared();
+        let mut round = 100u64;
+        let tick_ns = best_of(12, || {
+            for id in &ids {
+                reg.feed(*id, scene, round).unwrap();
+            }
+            round += 1;
+            reg.tick()
+        });
+        let tick_fps = n as f64 * 1e9 / tick_ns as f64;
+
+        // the gaze-forward payoff in isolation: one batched GEMM over the
+        // fleet's crops vs the same crops forwarded one session at a time
+        let crops = Tensor::from_fn(Shape::new(n, 1, gh, gw), |i, _, h, w| {
+            (((i * 31 + h) * 37 + w) % 613) as f32 / 613.0 - 0.5
+        });
+        let mut ws = GazeInferWorkspace::new();
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        let batched_gaze_ns = best_of(12, || {
+            models.gaze.forward_infer(&crops, &mut ws, &mut out);
+        });
+        let mut one = Tensor::zeros(Shape::new(1, 1, gh, gw));
+        let mut out1 = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        let item = gh * gw;
+        let per_session_gaze_ns = best_of(12, || {
+            for i in 0..n {
+                one.as_mut_slice()
+                    .copy_from_slice(&crops.as_slice()[i * item..(i + 1) * item]);
+                models.gaze.forward_infer(&one, &mut ws, &mut out1);
+            }
+        });
+        let gaze_speedup = per_session_gaze_ns as f64 / batched_gaze_ns as f64;
+        let note = if n >= 256 && gaze_speedup < 1.2 {
+            format!(
+                "batched {gaze_speedup:.2}x below the 1.2x line: single-core host \
+                 ({} available), so batching can only amortise per-forward overhead, \
+                 not add parallel lanes",
+                std::thread::available_parallelism().map_or(1, |p| p.get())
+            )
+        } else {
+            String::new()
+        };
+        rows.push(ServeRow {
+            sessions: n,
+            tick_ns,
+            tick_fps,
+            batched_gaze_ns,
+            per_session_gaze_ns,
+            gaze_speedup,
+            note,
+        });
+    }
+
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    eyecod_bench::reporting::write_json(root, "BENCH_serve", &rows);
+    for r in &rows {
+        println!(
+            "{:>4} sessions: tick {:>12} ns ({:>10.1} fps)   gaze batched {:>12} ns vs per-session {:>12} ns   {:.2}x {}",
+            r.sessions, r.tick_ns, r.tick_fps, r.batched_gaze_ns, r.per_session_gaze_ns, r.gaze_speedup, r.note
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    // `--artifact-only` skips criterion (CI smoke / artifact refresh)
+    if !std::env::args().any(|a| a == "--artifact-only") {
+        benches();
+        Criterion::default().final_summary();
+    }
+    write_serve_artifact();
+}

@@ -9,8 +9,15 @@ use eyecod_faults::{FaultStats, FrameQuality};
 pub struct TrackingStats {
     /// Frames processed.
     pub frames: usize,
+    /// Frames shed by a serving layer's bounded ingress queue before they
+    /// entered the pipeline (accounted separately from `frames`: no stage
+    /// ran on them).
+    pub frames_shed: usize,
     /// Sum of per-frame angular errors (degrees).
     sum_error: f64,
+    /// Frames that contributed to `sum_error` (those recorded against a
+    /// ground-truth label).
+    error_frames: usize,
     /// Maximum per-frame angular error (degrees).
     pub max_error_deg: f32,
     /// Number of ROI refreshes performed.
@@ -64,6 +71,7 @@ impl TrackingStats {
         let err = predicted.angular_error_degrees(truth);
         self.frames += 1;
         self.sum_error += err as f64;
+        self.error_frames += 1;
         self.max_error_deg = self.max_error_deg.max(err);
         if roi_refreshed {
             self.roi_refreshes += 1;
@@ -73,18 +81,45 @@ impl TrackingStats {
         }
     }
 
-    /// Mean angular error in degrees.
+    /// Records a tracked frame for which no ground-truth label exists (a
+    /// served production frame): everything except the error terms.
+    pub fn record_unlabeled(&mut self, frame: &TrackedFrame) {
+        self.frames += 1;
+        if frame.roi_refreshed {
+            self.roi_refreshes += 1;
+        }
+        if frame.gaze_degenerate {
+            self.degenerate_frames += 1;
+        }
+        match frame.quality {
+            FrameQuality::Ok => self.frames_ok += 1,
+            FrameQuality::Degraded => self.frames_degraded += 1,
+            FrameQuality::Lost => self.frames_lost += 1,
+        }
+        self.faults.absorb(&frame.faults);
+    }
+
+    /// Accounts one shed frame (dropped by a bounded ingress queue before
+    /// any stage ran). Shed frames are not part of [`TrackingStats::frames`].
+    pub fn record_shed(&mut self) {
+        self.frames_shed += 1;
+    }
+
+    /// Mean angular error in degrees, over the frames recorded with a
+    /// ground-truth label.
     pub fn mean_error_deg(&self) -> f32 {
-        if self.frames == 0 {
+        if self.error_frames == 0 {
             return 0.0;
         }
-        (self.sum_error / self.frames as f64) as f32
+        (self.sum_error / self.error_frames as f64) as f32
     }
 
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &TrackingStats) {
         self.frames += other.frames;
+        self.frames_shed += other.frames_shed;
         self.sum_error += other.sum_error;
+        self.error_frames += other.error_frames;
         self.max_error_deg = self.max_error_deg.max(other.max_error_deg);
         self.roi_refreshes += other.roi_refreshes;
         self.degenerate_frames += other.degenerate_frames;

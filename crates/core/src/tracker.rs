@@ -285,6 +285,58 @@ impl FrameScratch {
     }
 }
 
+/// A frame that has run through acquisition, the (possibly due) ROI
+/// refresh, and the crop/resize stage, but not yet the gaze network — the
+/// hand-off point where a serving layer can lift the gaze forward out of
+/// the tracker and batch it across sessions.
+///
+/// Produced by [`EyeTracker::prepare_frame`]; consumed by exactly one of
+/// [`EyeTracker::complete_frame`] (tracker-owned gaze forward) or
+/// [`EyeTracker::complete_frame_with_pred`] (externally computed
+/// prediction). It owns the tracker's scratch buffers for the duration, so
+/// the split adds no allocation and no copying over the fused
+/// [`EyeTracker::process_frame`] path.
+pub struct PreparedFrame {
+    scratch: Box<FrameScratch>,
+    frame: u64,
+    plan: FaultPlan,
+    ff: FrameFaults,
+    degraded: bool,
+    has_image: bool,
+    due: bool,
+    refreshed: bool,
+    allocs_before: u64,
+    started: std::time::Instant,
+}
+
+impl PreparedFrame {
+    /// Whether an image made it through acquisition and a gaze input is
+    /// staged in [`PreparedFrame::gaze_input`]. When `false`, completion
+    /// takes the missing-frame fallback path and no gaze forward is
+    /// needed.
+    pub fn has_gaze_input(&self) -> bool {
+        self.has_image
+    }
+
+    /// The resized gaze-network input staged for this frame
+    /// (`(1, 1, gaze_h, gaze_w)`). Only meaningful while
+    /// [`PreparedFrame::has_gaze_input`] is true.
+    pub fn gaze_input(&self) -> &Tensor {
+        &self.scratch.gaze_in
+    }
+
+    /// Frame index this preparation belongs to.
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// Whether the segmentation model ran and re-anchored the ROI during
+    /// preparation.
+    pub fn roi_refreshed(&self) -> bool {
+        self.refreshed
+    }
+}
+
 impl EyeTracker {
     /// Assembles a tracker from a configuration and trained models.
     ///
@@ -292,8 +344,17 @@ impl EyeTracker {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: TrackerConfig, models: TrackerModels) -> Self {
-        config.validate();
-        let acquisition = if config.flatcam {
+        let acquisition = Self::build_acquisition(&config);
+        Self::with_acquisition(config, models, acquisition)
+    }
+
+    /// Builds the acquisition front-end a configuration implies (FlatCam
+    /// mask + Tikhonov reconstruction, or the lens baseline). A serving
+    /// layer hosting many identically configured sessions builds this once
+    /// and clones it per session instead of re-deriving the mask and
+    /// pseudo-inverses for each tracker.
+    pub fn build_acquisition(config: &TrackerConfig) -> Acquisition {
+        if config.flatcam {
             Acquisition::flatcam(
                 config.scene_size,
                 config.sensor_size,
@@ -302,7 +363,24 @@ impl EyeTracker {
             )
         } else {
             Acquisition::lens()
-        };
+        }
+    }
+
+    /// [`EyeTracker::new`] with a caller-supplied acquisition front-end.
+    /// The acquisition must match the configuration's geometry (as
+    /// produced by [`EyeTracker::build_acquisition`] for the same config —
+    /// the intended source); results are then bit-identical to
+    /// [`EyeTracker::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_acquisition(
+        config: TrackerConfig,
+        models: TrackerModels,
+        acquisition: Acquisition,
+    ) -> Self {
+        config.validate();
         let current_roi = RoiRect::centered(
             config.scene_size,
             config.scene_size,
@@ -418,9 +496,29 @@ impl EyeTracker {
     ///
     /// Panics if the scene resolution does not match the configuration.
     pub fn process_frame(&mut self, scene: &Tensor, noise_seed: u64) -> TrackedFrame {
+        let prep = self.prepare_frame(scene, noise_seed);
+        self.complete_frame(prep)
+    }
+
+    /// The front half of [`EyeTracker::process_frame`]: acquisition, the
+    /// scheduled ROI refresh, and the crop/resize that stages the gaze
+    /// input — everything up to (but excluding) the gaze forward.
+    ///
+    /// The returned [`PreparedFrame`] must be handed back to exactly one
+    /// of [`EyeTracker::complete_frame`] or
+    /// [`EyeTracker::complete_frame_with_pred`] before the next frame is
+    /// prepared (it carries the tracker's scratch buffers). The split
+    /// exists so a serving layer can prepare many sessions in parallel and
+    /// run all their gaze forwards as one batched GEMM;
+    /// `process_frame(..) == complete_frame(prepare_frame(..))` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene resolution does not match the configuration.
+    pub fn prepare_frame(&mut self, scene: &Tensor, noise_seed: u64) -> PreparedFrame {
         let allocs_before = crate::alloc_counter::allocations();
         static_counter!("tracker/frames").inc();
-        let _frame_timer = static_histogram!("tracker/frame_ns").timer();
+        let started = std::time::Instant::now();
         let s = scene.shape();
         assert_eq!(
             (s.h, s.w),
@@ -450,9 +548,10 @@ impl EyeTracker {
         });
 
         let due = frame.is_multiple_of(self.config.roi_period as u64);
-        let (gaze, gaze_degenerate, roi_refreshed) = if has_image {
-            let refreshed = if due {
-                static_histogram!("tracker/segment_ns").time(|| {
+        let mut refreshed = false;
+        if has_image {
+            if due {
+                refreshed = static_histogram!("tracker/segment_ns").time(|| {
                     self.refresh_roi_with_recovery(
                         &scratch.image,
                         &plan,
@@ -460,10 +559,8 @@ impl EyeTracker {
                         &mut ff,
                         &mut degraded,
                     )
-                })
-            } else {
-                false
-            };
+                });
+            }
             static_histogram!("tracker/crop_resize_ns").time(|| {
                 self.current_roi
                     .crop_into(&scratch.image, &mut scratch.crop);
@@ -474,16 +571,86 @@ impl EyeTracker {
                     &mut scratch.gaze_in,
                 );
             });
-            {
-                let FrameScratch {
-                    gaze_in,
-                    infer,
-                    pred,
-                    ..
-                } = &mut *scratch;
-                static_histogram!("tracker/gaze_forward_ns")
-                    .time(|| self.gaze_forward_into(gaze_in, infer, pred));
-            }
+        }
+
+        PreparedFrame {
+            scratch,
+            frame,
+            plan,
+            ff,
+            degraded,
+            has_image,
+            due,
+            refreshed,
+            allocs_before,
+            started,
+        }
+    }
+
+    /// The back half of [`EyeTracker::process_frame`]: runs the tracker's
+    /// own gaze forward (configured backend, including int8 warm-up
+    /// calibration) on the prepared input, then grades and accounts the
+    /// frame.
+    pub fn complete_frame(&mut self, mut prep: PreparedFrame) -> TrackedFrame {
+        if prep.has_image {
+            let FrameScratch {
+                gaze_in,
+                infer,
+                pred,
+                ..
+            } = &mut *prep.scratch;
+            static_histogram!("tracker/gaze_forward_ns")
+                .time(|| self.gaze_forward_into(gaze_in, infer, pred));
+        }
+        self.finish_frame(prep)
+    }
+
+    /// Completes a prepared frame with an externally computed gaze
+    /// prediction (the raw 3-component network output, before
+    /// normalisation) instead of running the tracker's own forward — the
+    /// hook a serving layer uses after batching this frame's gaze forward
+    /// with other sessions'. Fault staging, degenerate-gaze fallback and
+    /// quality grading all apply to `pred` exactly as they would to a
+    /// tracker-computed output.
+    ///
+    /// `pred` is ignored when the frame has no gaze input (acquisition
+    /// lost the frame); the missing-frame fallback runs instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred` does not have exactly 3 components.
+    pub fn complete_frame_with_pred(
+        &mut self,
+        mut prep: PreparedFrame,
+        pred: &[f32],
+    ) -> TrackedFrame {
+        assert_eq!(pred.len(), 3, "gaze prediction must have 3 components");
+        if prep.has_image {
+            let out = &mut prep.scratch.pred;
+            out.reset(Shape::new(1, 3, 1, 1));
+            out.as_mut_slice().copy_from_slice(pred);
+        }
+        self.finish_frame(prep)
+    }
+
+    /// The shared tail of frame completion: stage faults on the network
+    /// output, parse/normalise the gaze, grade quality against the
+    /// recovery policy's staleness limits, account telemetry, and restore
+    /// the scratch buffers.
+    fn finish_frame(&mut self, prep: PreparedFrame) -> TrackedFrame {
+        let PreparedFrame {
+            mut scratch,
+            frame,
+            plan,
+            mut ff,
+            mut degraded,
+            has_image,
+            due,
+            refreshed,
+            allocs_before,
+            started,
+        } = prep;
+        let (gaze, gaze_degenerate, roi_refreshed) = if has_image {
             // stage faults on the network output
             if plan.fires(FaultSite::StageGazeNan, frame) {
                 ff.injected += 1;
@@ -552,6 +719,7 @@ impl EyeTracker {
             static_counter!("tracker/steady_state_allocs")
                 .add(crate::alloc_counter::allocations() - allocs_before);
         }
+        static_histogram!("tracker/frame_ns").record(started.elapsed().as_nanos() as u64);
 
         self.frame_counter += 1;
         TrackedFrame {
@@ -562,6 +730,36 @@ impl EyeTracker {
             gaze_degenerate,
             quality,
             faults: ff,
+        }
+    }
+
+    /// Accounts a frame that was *shed* before it entered the pipeline — a
+    /// capacity decision by a serving layer's bounded ingress queue, not a
+    /// pipeline failure. The frame index advances and the last-good gaze
+    /// is served, but no stage runs and (deliberately) no recovery
+    /// staleness accrues: sustained overload should keep degrading frames,
+    /// not escalate them to `Lost` the way genuine sensor loss does.
+    ///
+    /// The returned frame grades [`FrameQuality::Degraded`] once any image
+    /// has been tracked (stale-but-plausible answer), and
+    /// [`FrameQuality::Lost`] before the first one (nothing to serve).
+    pub fn shed_frame(&mut self) -> TrackedFrame {
+        static_counter!("tracker/frames_shed").inc();
+        let frame = self.frame_counter;
+        self.frame_counter += 1;
+        let quality = if self.last_image.is_some() {
+            FrameQuality::Degraded
+        } else {
+            FrameQuality::Lost
+        };
+        TrackedFrame {
+            gaze: self.last_gaze,
+            roi: self.current_roi,
+            roi_refreshed: false,
+            frame,
+            gaze_degenerate: false,
+            quality,
+            faults: FrameFaults::default(),
         }
     }
 

@@ -27,6 +27,14 @@ impl FrameQuality {
             FrameQuality::Lost => 'L',
         }
     }
+
+    /// Whether downstream consumers can act on the frame at all: `Ok` and
+    /// `Degraded` frames carry real (if stale) information, `Lost` frames
+    /// are guesses. Load-shedding under overload is specified in these
+    /// terms — a shed frame must stay usable.
+    pub fn usable(self) -> bool {
+        self != FrameQuality::Lost
+    }
 }
 
 /// Per-frame fault accounting attached to a tracked frame.

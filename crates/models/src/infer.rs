@@ -59,6 +59,86 @@ impl GazeInferWorkspace {
     }
 }
 
+/// One slot of a [`WorkspaceArena`]: the staging input/output tensors plus
+/// the inference workspace one worker streams its share of a cross-session
+/// batch through.
+///
+/// `input` is gathered to `(k, 1, h, w)` (a contiguous sub-batch of `k`
+/// sessions' gaze crops), the forward writes `output` as `(k, 3, 1, 1)`,
+/// and each session's prediction is row `i` of `output`. All three reuse
+/// their allocations across ticks.
+pub struct BatchWorkspace {
+    /// Gathered sub-batch input.
+    pub input: Tensor,
+    /// Batched network output.
+    pub output: Tensor,
+    /// The per-worker inference arena (both backends).
+    pub ws: GazeInferWorkspace,
+}
+
+impl BatchWorkspace {
+    fn new() -> Self {
+        BatchWorkspace {
+            input: Tensor::zeros(eyecod_tensor::Shape::new(1, 1, 1, 1)),
+            output: Tensor::zeros(eyecod_tensor::Shape::new(1, 1, 1, 1)),
+            ws: GazeInferWorkspace::new(),
+        }
+    }
+}
+
+/// A pool of per-worker inference workspaces — the generalisation of one
+/// tracker's [`GazeInferWorkspace`] to a serving tick that splits a
+/// cross-session batch across pool workers. Slot `p` is owned exclusively
+/// by partition `p` for the duration of a batched forward, so the slots can
+/// be driven in parallel without sharing; the arena only ever grows and
+/// every buffer inside it reuses its allocation, keeping the steady-state
+/// serve tick allocation-free.
+#[derive(Default)]
+pub struct WorkspaceArena {
+    slots: Vec<BatchWorkspace>,
+}
+
+impl WorkspaceArena {
+    /// Creates an empty arena (slots are added by
+    /// [`WorkspaceArena::ensure`]).
+    pub fn new() -> Self {
+        WorkspaceArena { slots: Vec::new() }
+    }
+
+    /// Grows the arena to at least `n` slots (never shrinks).
+    pub fn ensure(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(BatchWorkspace::new());
+        }
+    }
+
+    /// Number of slots currently allocated.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the arena has no slots yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Mutable access to one slot.
+    pub fn slot_mut(&mut self, i: usize) -> &mut BatchWorkspace {
+        &mut self.slots[i]
+    }
+
+    /// Shared access to one slot (for reading `output` after a forward).
+    pub fn slot(&self, i: usize) -> &BatchWorkspace {
+        &self.slots[i]
+    }
+
+    /// All slots, for callers that hand disjoint slots to parallel
+    /// workers.
+    pub fn slots_mut(&mut self) -> &mut [BatchWorkspace] {
+        &mut self.slots
+    }
+}
+
 impl ProxyGazeNet {
     /// Inference forward through the workspace arena: allocation-free once
     /// the workspace buffers are warm. Writes the gaze tensor `(N, 3, 1, 1)`
@@ -159,6 +239,63 @@ mod tests {
                 assert!(
                     rel < 1e-4,
                     "{family:?} workspace forward diverged: rel err {rel}"
+                );
+            }
+        }
+    }
+
+    /// The serving layer's batching contract: a batched forward over `k`
+    /// stacked crops must reproduce `k` independent N=1 forwards. f32 holds
+    /// bit-exactly here because `conv2d_gemm_buf` processes batch items one
+    /// at a time through the identical GEMM (the serve-level differential
+    /// still only asserts rel ≤ 1e-4, the contract the paper path needs).
+    #[test]
+    fn batched_f32_forward_matches_per_item_forwards_for_ragged_sizes() {
+        let mut ws = GazeInferWorkspace::new();
+        let mut solo_ws = GazeInferWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let net = ProxyGazeNet::new(GazeFamily::FbnetLike, &mut rng);
+        for (i, &k) in [1usize, 2, 7, 32].iter().enumerate() {
+            let batch = random_input(k, 24, 32, 400 + i as u64);
+            let mut batched = Tensor::zeros(Shape::vector(1, 1));
+            net.forward_infer(&batch, &mut ws, &mut batched);
+            assert_eq!(batched.shape(), Shape::new(k, 3, 1, 1));
+            for item in 0..k {
+                let x = batch.batch_item(item);
+                let mut solo = Tensor::zeros(Shape::vector(1, 1));
+                net.forward_infer(&x, &mut solo_ws, &mut solo);
+                let row = &batched.as_slice()[item * 3..(item + 1) * 3];
+                for (a, b) in row.iter().zip(solo.as_slice()) {
+                    let rel = (a - b).abs() / b.abs().max(1e-3);
+                    assert!(
+                        rel <= 1e-4,
+                        "batch {k} item {item}: batched {a} vs solo {b} (rel {rel})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_int8_forward_is_bit_identical_to_per_item_forwards() {
+        let mut ws = GazeInferWorkspace::new();
+        let mut solo_ws = GazeInferWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(78);
+        let net = ProxyGazeNet::new(GazeFamily::MobileNetLike, &mut rng);
+        let qnet = QuantizedGazeNet::from_calibrated(&net, &random_input(4, 24, 32, 500));
+        for (i, &k) in [1usize, 2, 7, 32].iter().enumerate() {
+            let batch = random_input(k, 24, 32, 600 + i as u64);
+            let mut batched = Tensor::zeros(Shape::vector(1, 1));
+            qnet.forward_into(&batch, &mut ws, &mut batched);
+            assert_eq!(batched.shape(), Shape::new(k, 3, 1, 1));
+            for item in 0..k {
+                let x = batch.batch_item(item);
+                let mut solo = Tensor::zeros(Shape::vector(1, 1));
+                qnet.forward_into(&x, &mut solo_ws, &mut solo);
+                assert_eq!(
+                    &batched.as_slice()[item * 3..(item + 1) * 3],
+                    solo.as_slice(),
+                    "batch {k} item {item}: int8 must be bit-identical"
                 );
             }
         }

@@ -380,6 +380,15 @@ impl ThreadPool {
         })
     }
 
+    /// How many threads execute a job concurrently: the background workers
+    /// plus the calling thread, which always participates. A sequential
+    /// pool (`with_threads(0)`) reports 1. Callers that partition work per
+    /// thread (e.g. one batched-GEMM sub-batch per participant) size their
+    /// partitions with this.
+    pub fn participants(&self) -> usize {
+        self.workers + 1
+    }
+
     /// Runs `f(i)` for every `i in 0..n` in parallel with the given chunk
     /// granularity. The index-space primitive underlying `parallel_map`;
     /// useful for tiled kernels that write disjoint output regions.

@@ -1,0 +1,134 @@
+//! Serving-layer configuration and its `EYECOD_SERVE_*` environment knobs.
+
+use eyecod_core::tracker::TrackerConfig;
+
+/// Configuration of a [`ServeRegistry`](crate::ServeRegistry).
+///
+/// Environment knobs (read by [`ServeConfig::from_env`]):
+///
+/// | Variable | Field | Default |
+/// |---|---|---|
+/// | `EYECOD_SERVE_MAX_SESSIONS` | `max_sessions` | 4096 |
+/// | `EYECOD_SERVE_QUEUE` | `queue_capacity` | 4 |
+/// | `EYECOD_SERVE_BATCH` | `batching` (`0`/`off`/`false` disable) | on |
+/// | `EYECOD_SERVE_THREADS` | `threads` (dedicated pool size; unset = global pool) | unset |
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Geometry and scheduling shared by every hosted tracker. The
+    /// per-session backend can still be overridden at create time.
+    pub tracker: TrackerConfig,
+    /// Hard cap on concurrently live sessions.
+    pub max_sessions: usize,
+    /// Bounded ingress queue depth per session; feeding past it sheds the
+    /// oldest queued frame (drop-head, freshest-data-wins).
+    pub queue_capacity: usize,
+    /// Whether a tick batches gaze forwards across sessions (one batched
+    /// GEMM per pool participant). When off, the same routing and shared
+    /// int8 calibration apply but each forward runs individually — the
+    /// sequential reference the batching differential compares against.
+    pub batching: bool,
+    /// `Some(n)`: the registry owns a dedicated pool with `n` background
+    /// workers (`0` = fully sequential). `None`: use the process-global
+    /// pool (`EYECOD_THREADS`).
+    pub threads: Option<usize>,
+}
+
+impl ServeConfig {
+    /// Defaults around a tracker configuration: 4096 sessions, queue depth
+    /// 4, batching on, global pool.
+    pub fn new(tracker: TrackerConfig) -> Self {
+        ServeConfig {
+            tracker,
+            max_sessions: 4096,
+            queue_capacity: 4,
+            batching: true,
+            threads: None,
+        }
+    }
+
+    /// [`ServeConfig::new`] with the `EYECOD_SERVE_*` environment
+    /// overrides applied (see the type docs for the table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set variable fails to parse — a silently ignored knob
+    /// would make an operator believe a limit is in force when it is not.
+    pub fn from_env(tracker: TrackerConfig) -> Self {
+        let mut cfg = Self::new(tracker);
+        if let Some(v) = read_env("EYECOD_SERVE_MAX_SESSIONS") {
+            cfg.max_sessions = v
+                .parse()
+                .unwrap_or_else(|_| panic!("bad EYECOD_SERVE_MAX_SESSIONS value: {v:?}"));
+        }
+        if let Some(v) = read_env("EYECOD_SERVE_QUEUE") {
+            cfg.queue_capacity = v
+                .parse()
+                .unwrap_or_else(|_| panic!("bad EYECOD_SERVE_QUEUE value: {v:?}"));
+        }
+        if let Some(v) = read_env("EYECOD_SERVE_BATCH") {
+            cfg.batching = match v.to_ascii_lowercase().as_str() {
+                "0" | "off" | "false" | "no" => false,
+                "1" | "on" | "true" | "yes" => true,
+                other => panic!("bad EYECOD_SERVE_BATCH value: {other:?}"),
+            };
+        }
+        if let Some(v) = read_env("EYECOD_SERVE_THREADS") {
+            cfg.threads = Some(
+                v.parse()
+                    .unwrap_or_else(|_| panic!("bad EYECOD_SERVE_THREADS value: {v:?}")),
+            );
+        }
+        cfg
+    }
+
+    /// Validates internal consistency (including the tracker config).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero session cap or zero queue depth, or an invalid
+    /// tracker configuration.
+    pub fn validate(&self) {
+        self.tracker.validate();
+        assert!(self.max_sessions > 0, "max_sessions must be non-zero");
+        assert!(self.queue_capacity > 0, "queue_capacity must be non-zero");
+    }
+}
+
+fn read_env(name: &str) -> Option<String> {
+    match std::env::var(name) {
+        Ok(v) if v.trim().is_empty() => None,
+        Ok(v) => Some(v),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane_and_validate() {
+        let cfg = ServeConfig::new(TrackerConfig::small());
+        cfg.validate();
+        assert!(cfg.batching);
+        assert_eq!(cfg.queue_capacity, 4);
+        assert_eq!(cfg.max_sessions, 4096);
+        assert_eq!(cfg.threads, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_capacity must be non-zero")]
+    fn zero_queue_depth_is_rejected() {
+        let mut cfg = ServeConfig::new(TrackerConfig::small());
+        cfg.queue_capacity = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_sessions must be non-zero")]
+    fn zero_session_cap_is_rejected() {
+        let mut cfg = ServeConfig::new(TrackerConfig::small());
+        cfg.max_sessions = 0;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,869 @@
+//! The session registry and its serve tick.
+
+use crate::{ServeConfig, ServeError, SessionId};
+use eyecod_core::acquisition::Acquisition;
+use eyecod_core::metrics::TrackingStats;
+use eyecod_core::tracker::{EyeTracker, GazeBackend, PreparedFrame, TrackedFrame};
+use eyecod_core::training::TrackerModels;
+use eyecod_eyedata::GazeVector;
+use eyecod_faults::{FaultPlan, RecoveryPolicy};
+use eyecod_models::infer::WorkspaceArena;
+use eyecod_models::quantized::QuantizedGazeNet;
+use eyecod_pool::ThreadPool;
+use eyecod_telemetry::{static_counter, static_histogram};
+use eyecod_tensor::{Shape, Tensor};
+use std::collections::VecDeque;
+
+/// What happened to a fed frame.
+#[derive(Debug, Clone)]
+pub enum FeedOutcome {
+    /// The frame was queued; `depth` is the queue depth afterwards.
+    Queued {
+        /// Ingress queue depth after this frame was enqueued.
+        depth: usize,
+    },
+    /// The queue was full: the *oldest* queued frame was shed (drop-head,
+    /// so the freshest data survives) and this frame took its place. The
+    /// shed frame's accounting output is returned — graded
+    /// [`Degraded`](eyecod_faults::FrameQuality::Degraded) once any frame
+    /// has been tracked.
+    Shed(TrackedFrame),
+}
+
+impl FeedOutcome {
+    /// The shed frame, if this feed shed one.
+    pub fn shed(&self) -> Option<&TrackedFrame> {
+        match self {
+            FeedOutcome::Shed(f) => Some(f),
+            FeedOutcome::Queued { .. } => None,
+        }
+    }
+
+    /// Whether this feed shed a frame.
+    pub fn was_shed(&self) -> bool {
+        matches!(self, FeedOutcome::Shed(_))
+    }
+}
+
+/// Point-in-time view of one session.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// The session's id.
+    pub id: SessionId,
+    /// The gaze backend this session was created with.
+    pub backend: GazeBackend,
+    /// Accumulated per-session statistics (processed + shed frames).
+    pub stats: TrackingStats,
+    /// Current ingress queue depth (always ≤
+    /// [`ServeConfig::queue_capacity`]).
+    pub queue_depth: usize,
+    /// Frames ever fed to this session (queued + shed).
+    pub frames_ingested: u64,
+    /// The most recent output (processed or shed), if any.
+    pub last: Option<TrackedFrame>,
+}
+
+/// What one serve tick did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Sessions that had a frame staged this tick.
+    pub staged: usize,
+    /// Frames completed (equals `staged`; split out for clarity in logs).
+    pub completed: usize,
+    /// Gaze forwards routed through the f32 path (including int8 sessions
+    /// still warming up toward the shared calibration).
+    pub f32_forwards: usize,
+    /// Gaze forwards routed through the shared int8 network.
+    pub int8_forwards: usize,
+}
+
+/// Which forward path a staged frame was routed to this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// No gaze input (acquisition lost the frame): completion takes the
+    /// tracker's missing-frame fallback, no forward runs.
+    Fallback,
+    /// The f32 batch (f32 sessions, plus int8 sessions before the shared
+    /// calibration exists).
+    F32,
+    /// The shared int8 batch.
+    Int8,
+}
+
+/// A frame waiting in a session's ingress queue. `scene` is an owned copy
+/// recycled through the session's spare-buffer freelist, so steady-state
+/// feeding allocates nothing.
+struct QueuedFrame {
+    scene: Tensor,
+    noise_seed: u64,
+    truth: Option<GazeVector>,
+}
+
+struct Session {
+    tracker: EyeTracker,
+    backend: GazeBackend,
+    queue: VecDeque<QueuedFrame>,
+    /// Recycled scene buffers for the ingress queue.
+    spare: Vec<Tensor>,
+    /// The frame popped for the current tick (between stage and complete).
+    staged: Option<QueuedFrame>,
+    /// The prepared frame for the current tick (between prepare and
+    /// complete).
+    prep: Option<PreparedFrame>,
+    route: Route,
+    /// `(arena slot, row)` of this session's crop in the current batch.
+    batch_pos: (u32, u32),
+    stats: TrackingStats,
+    frames_ingested: u64,
+    last: Option<TrackedFrame>,
+}
+
+struct Slot {
+    generation: u32,
+    session: Option<Box<Session>>,
+}
+
+enum PoolHandle {
+    Global,
+    Owned(ThreadPool),
+}
+
+/// Raw-pointer smuggler for handing *disjoint* `&mut` slices/slots to pool
+/// workers. Safety rests on the caller indexing with unique indices.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// `&mut` to element `i`. Safety: the caller guarantees `i` is in
+    /// bounds and no two concurrent calls use the same index. (A method
+    /// rather than field access so closures capture the `Sync` wrapper,
+    /// not the raw pointer.)
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut T {
+        &mut *self.0.add(i)
+    }
+}
+
+/// The multi-session serving registry. See the crate docs for the model;
+/// the short version: [`create`](ServeRegistry::create) sessions,
+/// [`feed`](ServeRegistry::feed) them frames (bounded queues, drop-head
+/// shedding), drive everything with [`tick`](ServeRegistry::tick) (pooled
+/// prepare + cross-session batched gaze forwards),
+/// [`snapshot`](ServeRegistry::snapshot) or
+/// [`evict`](ServeRegistry::evict) when done.
+pub struct ServeRegistry {
+    config: ServeConfig,
+    models: TrackerModels,
+    /// Built once from the config, cloned per session — sessions share the
+    /// same mask/reconstruction geometry, so each create skips the
+    /// Tikhonov setup.
+    acquisition: Acquisition,
+    faults: FaultPlan,
+    recovery: RecoveryPolicy,
+    pool: PoolHandle,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    active: usize,
+    /// Slot indices with a staged frame this tick (reused across ticks).
+    work: Vec<u32>,
+    f32_batch: Vec<u32>,
+    i8_batch: Vec<u32>,
+    f32_arena: WorkspaceArena,
+    i8_arena: WorkspaceArena,
+    /// The fleet-shared int8 network, once calibrated. Per-session
+    /// calibration would give each session data-dependent activation
+    /// scales and defeat cross-session batching; sharing one network
+    /// calibrated on the first crops the fleet produces mirrors a deployed
+    /// parameter server.
+    shared_qnet: Option<QuantizedGazeNet>,
+    /// Gaze crops collected from warming int8 sessions, pending the shared
+    /// calibration.
+    calib: Vec<Tensor>,
+}
+
+impl ServeRegistry {
+    /// Builds a registry from a configuration and trained models.
+    ///
+    /// The fault plan defaults to [`FaultPlan::from_env`] and the recovery
+    /// policy to [`RecoveryPolicy::default`]; override with
+    /// [`ServeRegistry::with_faults`] / [`ServeRegistry::with_recovery`]
+    /// before creating sessions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: ServeConfig, models: TrackerModels) -> Self {
+        config.validate();
+        let acquisition = EyeTracker::build_acquisition(&config.tracker);
+        let pool = match config.threads {
+            Some(n) => PoolHandle::Owned(ThreadPool::with_threads(n)),
+            None => PoolHandle::Global,
+        };
+        ServeRegistry {
+            config,
+            models,
+            acquisition,
+            faults: FaultPlan::from_env(),
+            recovery: RecoveryPolicy::default(),
+            pool,
+            slots: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            work: Vec::new(),
+            f32_batch: Vec::new(),
+            i8_batch: Vec::new(),
+            f32_arena: WorkspaceArena::new(),
+            i8_arena: WorkspaceArena::new(),
+            shared_qnet: None,
+            calib: Vec::new(),
+        }
+    }
+
+    /// Replaces the fault plan handed to every *subsequently created*
+    /// session (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Replaces the recovery policy handed to every *subsequently created*
+    /// session (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        policy.validate();
+        self.recovery = policy;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Live session count.
+    pub fn sessions_active(&self) -> usize {
+        self.active
+    }
+
+    /// Whether `id` resolves to a live session.
+    pub fn contains(&self, id: SessionId) -> bool {
+        self.session_ref(id).is_ok()
+    }
+
+    /// Whether the fleet-shared int8 network has been calibrated yet.
+    pub fn int8_calibrated(&self) -> bool {
+        self.shared_qnet.is_some()
+    }
+
+    /// Creates a session with the configured default backend.
+    pub fn create(&mut self) -> Result<SessionId, ServeError> {
+        self.create_with_backend(self.config.tracker.gaze_backend)
+    }
+
+    /// Creates a session with an explicit gaze backend (fleets mix f32 and
+    /// int8 sessions freely; int8 sessions share one fleet-calibrated
+    /// network).
+    pub fn create_with_backend(&mut self, backend: GazeBackend) -> Result<SessionId, ServeError> {
+        if self.active >= self.config.max_sessions {
+            return Err(ServeError::AtCapacity(self.config.max_sessions));
+        }
+        let mut cfg = self.config.tracker.clone();
+        cfg.gaze_backend = backend;
+        let tracker =
+            EyeTracker::with_acquisition(cfg, self.models.clone_models(), self.acquisition.clone())
+                .with_faults(self.faults.clone())
+                .with_recovery(self.recovery);
+        let session = Box::new(Session {
+            tracker,
+            backend,
+            queue: VecDeque::new(),
+            spare: Vec::new(),
+            staged: None,
+            prep: None,
+            route: Route::Fallback,
+            batch_pos: (0, 0),
+            stats: TrackingStats::new(),
+            frames_ingested: 0,
+            last: None,
+        });
+        let index = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize].session = Some(session);
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    session: Some(session),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.active += 1;
+        static_counter!("serve/sessions_created").inc();
+        static_counter!("serve/sessions_active").set(self.active as u64);
+        Ok(SessionId::new(index, self.slots[index as usize].generation))
+    }
+
+    /// Evicts a session, returning its final snapshot. The slot's
+    /// generation is bumped, so the evicted id (and any copy of it) can
+    /// never resolve again.
+    pub fn evict(&mut self, id: SessionId) -> Result<SessionSnapshot, ServeError> {
+        let snap = self.snapshot(id)?;
+        let slot = &mut self.slots[id.index() as usize];
+        slot.session = None;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.index());
+        self.active -= 1;
+        static_counter!("serve/sessions_evicted").inc();
+        static_counter!("serve/sessions_active").set(self.active as u64);
+        Ok(snap)
+    }
+
+    /// Enqueues a frame for `id` (production path: no ground-truth label).
+    ///
+    /// Never blocks and never panics on load: a full queue sheds its
+    /// oldest frame (returned via [`FeedOutcome::Shed`]) and the new frame
+    /// is queued, so depth stays ≤ [`ServeConfig::queue_capacity`].
+    pub fn feed(
+        &mut self,
+        id: SessionId,
+        scene: &Tensor,
+        noise_seed: u64,
+    ) -> Result<FeedOutcome, ServeError> {
+        self.feed_inner(id, scene, noise_seed, None)
+    }
+
+    /// [`ServeRegistry::feed`] with a ground-truth gaze label; the frame's
+    /// angular error is folded into the session's [`TrackingStats`] when
+    /// it completes.
+    pub fn feed_labeled(
+        &mut self,
+        id: SessionId,
+        scene: &Tensor,
+        noise_seed: u64,
+        truth: GazeVector,
+    ) -> Result<FeedOutcome, ServeError> {
+        self.feed_inner(id, scene, noise_seed, Some(truth))
+    }
+
+    fn feed_inner(
+        &mut self,
+        id: SessionId,
+        scene: &Tensor,
+        noise_seed: u64,
+        truth: Option<GazeVector>,
+    ) -> Result<FeedOutcome, ServeError> {
+        let expected = self.config.tracker.scene_size;
+        let s = scene.shape();
+        if (s.h, s.w) != (expected, expected) {
+            return Err(ServeError::SceneShape {
+                expected,
+                got: (s.h, s.w),
+            });
+        }
+        let capacity = self.config.queue_capacity;
+        let sess = self.session_mut(id)?;
+        sess.frames_ingested += 1;
+        static_counter!("serve/frames_ingested").inc();
+        let shed = if sess.queue.len() >= capacity {
+            let old = sess.queue.pop_front().expect("full queue is non-empty");
+            sess.spare.push(old.scene);
+            let out = sess.tracker.shed_frame();
+            sess.stats.record_shed();
+            sess.last = Some(out.clone());
+            static_counter!("serve/frames_shed").inc();
+            Some(out)
+        } else {
+            None
+        };
+        let mut buf = sess
+            .spare
+            .pop()
+            .unwrap_or_else(|| Tensor::zeros(Shape::new(1, 1, 1, 1)));
+        buf.copy_from(scene);
+        sess.queue.push_back(QueuedFrame {
+            scene: buf,
+            noise_seed,
+            truth,
+        });
+        Ok(match shed {
+            Some(f) => FeedOutcome::Shed(f),
+            None => FeedOutcome::Queued {
+                depth: sess.queue.len(),
+            },
+        })
+    }
+
+    /// Point-in-time view of one session.
+    pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot, ServeError> {
+        let sess = self.session_ref(id)?;
+        Ok(SessionSnapshot {
+            id,
+            backend: sess.backend,
+            stats: sess.stats.clone(),
+            queue_depth: sess.queue.len(),
+            frames_ingested: sess.frames_ingested,
+            last: sess.last.clone(),
+        })
+    }
+
+    /// Fleet-aggregate statistics: every live session's stats merged.
+    pub fn fleet_stats(&self) -> TrackingStats {
+        let mut total = TrackingStats::new();
+        for slot in &self.slots {
+            if let Some(sess) = slot.session.as_deref() {
+                total.merge(&sess.stats);
+            }
+        }
+        total
+    }
+
+    /// Runs one serve tick: pops at most one frame per session, prepares
+    /// them in parallel on the pool, batches every gaze forward (one
+    /// batched GEMM per pool participant, f32 and int8 separately), and
+    /// completes each frame in stable slot order.
+    ///
+    /// Batching never changes results: the batched GEMM processes items
+    /// independently, so per-session outputs are invariant to batch
+    /// composition and worker count. With batching disabled
+    /// ([`ServeConfig::batching`]) the identical routing applies but each
+    /// forward runs individually — the reference the differential suite
+    /// compares against.
+    pub fn tick(&mut self) -> TickReport {
+        self.tick_impl(None)
+    }
+
+    /// [`ServeRegistry::tick`] that also returns every completed frame in
+    /// completion order — the golden-trace hook of the registry test
+    /// suites. (Allocates for the trace; production loops use `tick`.)
+    pub fn tick_traced(&mut self) -> (TickReport, Vec<(SessionId, TrackedFrame)>) {
+        let mut trace = Vec::new();
+        let report = self.tick_impl(Some(&mut trace));
+        (report, trace)
+    }
+
+    fn tick_impl(&mut self, mut trace: Option<&mut Vec<(SessionId, TrackedFrame)>>) -> TickReport {
+        static_counter!("serve/ticks").inc();
+        let tick_timer = static_histogram!("serve/tick_ns").timer();
+        // 1. stage: at most one queued frame per session, slot order
+        self.work.clear();
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(sess) = slot.session.as_deref_mut() {
+                if let Some(qf) = sess.queue.pop_front() {
+                    sess.staged = Some(qf);
+                    self.work.push(idx as u32);
+                }
+            }
+        }
+        let staged = self.work.len();
+        if staged == 0 {
+            drop(tick_timer);
+            return TickReport::default();
+        }
+        // 2. prepare in parallel: acquisition / ROI refresh / crop+resize,
+        // one pool job per session
+        {
+            let slots = SendPtr(self.slots.as_mut_ptr());
+            let work = &self.work;
+            let pool = match &self.pool {
+                PoolHandle::Global => eyecod_pool::global(),
+                PoolHandle::Owned(p) => p,
+            };
+            pool.parallel_for_chunked(work.len(), 1, |i| {
+                // SAFETY: `work` holds unique slot indices, so every job
+                // touches a distinct session
+                let slot = unsafe { slots.get(work[i] as usize) };
+                let sess = slot.session.as_deref_mut().expect("staged slot is live");
+                let qf = sess.staged.as_ref().expect("staged frame present");
+                sess.prep = Some(sess.tracker.prepare_frame(&qf.scene, qf.noise_seed));
+            });
+        }
+        // 3. route: split the prepared crops between the f32 and shared
+        // int8 paths (serial, in work order — calibration collection must
+        // be deterministic and pool-size-invariant)
+        self.f32_batch.clear();
+        self.i8_batch.clear();
+        let calib_target = self.config.tracker.calibration_frames;
+        for w in 0..staged {
+            let idx = self.work[w] as usize;
+            let calibrated = self.shared_qnet.is_some();
+            let calib_open = self.calib.len() < calib_target;
+            let sess = self.slots[idx].session.as_deref_mut().expect("staged");
+            let prep = sess.prep.as_ref().expect("prepared");
+            if !prep.has_gaze_input() {
+                sess.route = Route::Fallback;
+                continue;
+            }
+            if sess.backend == GazeBackend::Int8 && calibrated {
+                sess.route = Route::Int8;
+                self.i8_batch.push(idx as u32);
+            } else {
+                if sess.backend == GazeBackend::Int8
+                    && !calibrated
+                    && calib_open
+                    && !prep.gaze_input().has_non_finite()
+                {
+                    self.calib.push(prep.gaze_input().clone());
+                }
+                sess.route = Route::F32;
+                self.f32_batch.push(idx as u32);
+            }
+        }
+        let (f32_forwards, int8_forwards) = (self.f32_batch.len(), self.i8_batch.len());
+        // 4. forwards: one batched GEMM per pool participant
+        if self.config.batching {
+            let group = std::mem::take(&mut self.f32_batch);
+            self.run_batch(&group, false);
+            self.f32_batch = group;
+            let group = std::mem::take(&mut self.i8_batch);
+            self.run_batch(&group, true);
+            self.i8_batch = group;
+        }
+        // 5. complete in work order: scatter predictions back, grade and
+        // account each frame through the tracker's recovery tail
+        let mut completed = 0usize;
+        for w in 0..staged {
+            let idx = self.work[w] as usize;
+            let generation = self.slots[idx].generation;
+            let route = self.slots[idx].session.as_deref().expect("staged").route;
+            let mut pred = [0.0f32; 3];
+            let use_pred = match route {
+                Route::Fallback => false,
+                _ if self.config.batching => {
+                    let sess = self.slots[idx].session.as_deref().expect("staged");
+                    let (p, j) = sess.batch_pos;
+                    let arena = if route == Route::Int8 {
+                        &self.i8_arena
+                    } else {
+                        &self.f32_arena
+                    };
+                    let out = arena.slot(p as usize).output.as_slice();
+                    pred.copy_from_slice(&out[j as usize * 3..j as usize * 3 + 3]);
+                    true
+                }
+                Route::F32 => {
+                    self.forward_single(idx, false, &mut pred);
+                    true
+                }
+                Route::Int8 => {
+                    self.forward_single(idx, true, &mut pred);
+                    true
+                }
+            };
+            let sess = self.slots[idx].session.as_deref_mut().expect("staged");
+            let prep = sess.prep.take().expect("prepared frame present");
+            let out = if use_pred {
+                sess.tracker.complete_frame_with_pred(prep, &pred)
+            } else {
+                sess.tracker.complete_frame(prep)
+            };
+            let qf = sess.staged.take().expect("staged frame present");
+            match &qf.truth {
+                Some(t) => sess.stats.record(&out, t),
+                None => sess.stats.record_unlabeled(&out),
+            }
+            sess.spare.push(qf.scene);
+            match trace.as_deref_mut() {
+                Some(tr) => {
+                    sess.last = Some(out.clone());
+                    tr.push((SessionId::new(idx as u32, generation), out));
+                }
+                None => sess.last = Some(out),
+            }
+            completed += 1;
+        }
+        static_counter!("serve/frames_completed").add(completed as u64);
+        // 6. fleet int8 calibration, once the warm-up crops are in — at
+        // tick end so the tick that fills the window still serves f32,
+        // exactly like the single-tracker warm-up
+        if self.shared_qnet.is_none() && calib_target > 0 && self.calib.len() >= calib_target {
+            let batch = Tensor::stack(&self.calib);
+            self.shared_qnet = Some(QuantizedGazeNet::from_calibrated(&self.models.gaze, &batch));
+            self.calib.clear();
+            self.calib.shrink_to_fit();
+            static_counter!("serve/int8_calibrations").inc();
+        }
+        drop(tick_timer);
+        TickReport {
+            staged,
+            completed,
+            f32_forwards,
+            int8_forwards,
+        }
+    }
+
+    /// Batched gaze forward for one route group: partitions `group` into
+    /// one contiguous sub-batch per pool participant, gathers each
+    /// sub-batch into its arena slot, and runs the slots' forwards in
+    /// parallel. On a sequential pool this is literally one batched GEMM,
+    /// executed inline with zero allocation once the arena is warm.
+    fn run_batch(&mut self, group: &[u32], int8: bool) {
+        if group.is_empty() {
+            return;
+        }
+        let batch_timer = static_histogram!("serve/batch_ns").timer();
+        static_counter!("serve/batches").inc();
+        static_counter!("serve/batch_size").add(group.len() as u64);
+        let pool = match &self.pool {
+            PoolHandle::Global => eyecod_pool::global(),
+            PoolHandle::Owned(p) => p,
+        };
+        let n = group.len();
+        let parts = pool.participants().min(n);
+        let (gh, gw) = self.config.tracker.gaze_input;
+        let item = gh * gw;
+        let arena = if int8 {
+            &mut self.i8_arena
+        } else {
+            &mut self.f32_arena
+        };
+        arena.ensure(parts);
+        // gather: chunk p covers group[p*n/parts .. (p+1)*n/parts]
+        for p in 0..parts {
+            let (start, end) = (p * n / parts, (p + 1) * n / parts);
+            let slot = arena.slot_mut(p);
+            slot.input.reset(Shape::new(end - start, 1, gh, gw));
+            for (j, &idx) in group[start..end].iter().enumerate() {
+                let sess = self.slots[idx as usize]
+                    .session
+                    .as_deref_mut()
+                    .expect("routed slot is live");
+                sess.batch_pos = (p as u32, j as u32);
+                let src = sess
+                    .prep
+                    .as_ref()
+                    .expect("prepared")
+                    .gaze_input()
+                    .as_slice();
+                slot.input.as_mut_slice()[j * item..(j + 1) * item].copy_from_slice(src);
+            }
+        }
+        {
+            let slots = SendPtr(arena.slots_mut().as_mut_ptr());
+            let gaze = &self.models.gaze;
+            let qnet = self.shared_qnet.as_ref();
+            pool.parallel_for_chunked(parts, 1, |p| {
+                // SAFETY: each job takes a distinct arena slot
+                let slot = unsafe { slots.get(p) };
+                if int8 {
+                    qnet.expect("int8 batches only run once calibrated")
+                        .forward_into(&slot.input, &mut slot.ws, &mut slot.output);
+                } else {
+                    gaze.forward_infer(&slot.input, &mut slot.ws, &mut slot.output);
+                }
+            });
+        }
+        drop(batch_timer);
+    }
+
+    /// The batching-disabled reference path: the same routing and shared
+    /// int8 semantics, but each forward runs individually through arena
+    /// slot 0.
+    fn forward_single(&mut self, idx: usize, int8: bool, pred: &mut [f32; 3]) {
+        let arena = if int8 {
+            &mut self.i8_arena
+        } else {
+            &mut self.f32_arena
+        };
+        arena.ensure(1);
+        let slot = arena.slot_mut(0);
+        let sess = self.slots[idx].session.as_deref().expect("routed");
+        let input = sess.prep.as_ref().expect("prepared").gaze_input();
+        slot.input.copy_from(input);
+        if int8 {
+            self.shared_qnet
+                .as_ref()
+                .expect("int8 forwards only run once calibrated")
+                .forward_into(&slot.input, &mut slot.ws, &mut slot.output);
+        } else {
+            self.models
+                .gaze
+                .forward_infer(&slot.input, &mut slot.ws, &mut slot.output);
+        }
+        pred.copy_from_slice(&slot.output.as_slice()[..3]);
+    }
+
+    fn session_ref(&self, id: SessionId) -> Result<&Session, ServeError> {
+        match self.slots.get(id.index() as usize) {
+            None => Err(ServeError::UnknownSession(id)),
+            Some(slot) if slot.generation != id.generation() => Err(ServeError::StaleSession(id)),
+            Some(slot) => slot
+                .session
+                .as_deref()
+                .ok_or(ServeError::UnknownSession(id)),
+        }
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, ServeError> {
+        match self.slots.get_mut(id.index() as usize) {
+            None => Err(ServeError::UnknownSession(id)),
+            Some(slot) if slot.generation != id.generation() => Err(ServeError::StaleSession(id)),
+            Some(slot) => slot
+                .session
+                .as_deref_mut()
+                .ok_or(ServeError::UnknownSession(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyecod_core::tracker::TrackerConfig;
+    use eyecod_core::training::{train_tracker_models, TrainingSetup};
+    use eyecod_eyedata::render::{render_eye, EyeParams};
+    use eyecod_faults::FrameQuality;
+    use std::sync::OnceLock;
+
+    /// Train once, share across tests (training is the expensive part).
+    fn registry(mut mutate: impl FnMut(&mut ServeConfig)) -> ServeRegistry {
+        static MODELS: OnceLock<(TrackerConfig, TrackerModels)> = OnceLock::new();
+        let (cfg, models) = MODELS.get_or_init(|| {
+            let cfg = TrackerConfig::small();
+            let models = train_tracker_models(&TrainingSetup::quick(), &cfg);
+            (cfg, models)
+        });
+        let mut sc = ServeConfig::new(cfg.clone());
+        sc.threads = Some(0); // sequential: unit tests stay deterministic & cheap
+        mutate(&mut sc);
+        ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none())
+    }
+
+    fn scene(seed: u64) -> Tensor {
+        let mut p = EyeParams::centered(48);
+        p.yaw = 0.02 * (seed as f32 % 7.0) - 0.07;
+        render_eye(&p, 48, seed).image
+    }
+
+    #[test]
+    fn lifecycle_ids_are_generational() {
+        let mut reg = registry(|_| {});
+        let a = reg.create().unwrap();
+        let b = reg.create().unwrap();
+        assert_eq!(reg.sessions_active(), 2);
+        assert!(reg.contains(a) && reg.contains(b));
+        assert_ne!(a, b);
+
+        let snap = reg.evict(a).unwrap();
+        assert_eq!(snap.id, a);
+        assert_eq!(reg.sessions_active(), 1);
+        assert!(!reg.contains(a));
+        assert_eq!(reg.snapshot(a).unwrap_err(), ServeError::StaleSession(a));
+        assert_eq!(reg.evict(a).unwrap_err(), ServeError::StaleSession(a));
+
+        // the freed slot is reused under a fresh generation: the old id
+        // still cannot resolve
+        let c = reg.create().unwrap();
+        assert_eq!(c.index(), a.index());
+        assert_ne!(c.generation(), a.generation());
+        assert!(!reg.contains(a));
+        assert!(reg.contains(c));
+    }
+
+    #[test]
+    fn capacity_and_shape_are_enforced() {
+        let mut reg = registry(|c| c.max_sessions = 1);
+        let id = reg.create().unwrap();
+        assert_eq!(reg.create().unwrap_err(), ServeError::AtCapacity(1));
+        let bad = Tensor::zeros(Shape::new(1, 1, 32, 32));
+        assert_eq!(
+            reg.feed(id, &bad, 0).unwrap_err(),
+            ServeError::SceneShape {
+                expected: 48,
+                got: (32, 32)
+            }
+        );
+    }
+
+    #[test]
+    fn full_queue_sheds_oldest_and_stays_bounded() {
+        let mut reg = registry(|c| c.queue_capacity = 2);
+        let id = reg.create().unwrap();
+        let img = scene(0);
+        assert!(matches!(
+            reg.feed(id, &img, 0).unwrap(),
+            FeedOutcome::Queued { depth: 1 }
+        ));
+        assert!(matches!(
+            reg.feed(id, &img, 1).unwrap(),
+            FeedOutcome::Queued { depth: 2 }
+        ));
+        // third feed sheds the oldest; nothing tracked yet -> Lost
+        let out = reg.feed(id, &img, 2).unwrap();
+        let shed = out.shed().expect("queue was full");
+        assert_eq!(shed.quality, FrameQuality::Lost);
+        assert_eq!(shed.frame, 0, "drop-head: the oldest frame is shed");
+        let snap = reg.snapshot(id).unwrap();
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.frames_ingested, 3);
+        assert_eq!(snap.stats.frames_shed, 1);
+
+        // once a frame has been tracked, shed frames degrade instead
+        reg.tick();
+        reg.feed(id, &img, 3).unwrap();
+        let out = reg.feed(id, &img, 4).unwrap();
+        assert_eq!(
+            out.shed().expect("full again").quality,
+            FrameQuality::Degraded
+        );
+    }
+
+    #[test]
+    fn tick_completes_frames_and_frame_indices_stay_dense() {
+        let mut reg = registry(|_| {});
+        let a = reg.create().unwrap();
+        let b = reg.create_with_backend(GazeBackend::Int8).unwrap();
+        for i in 0..3u64 {
+            reg.feed(a, &scene(i), i).unwrap();
+            reg.feed(b, &scene(i), i).unwrap();
+        }
+        for seen in 0..3u64 {
+            let (report, trace) = reg.tick_traced();
+            assert_eq!(report.staged, 2);
+            assert_eq!(report.completed, 2);
+            assert_eq!(report.f32_forwards + report.int8_forwards, 2);
+            for (id, frame) in &trace {
+                assert!(*id == a || *id == b);
+                assert_eq!(frame.frame, seen, "frame indices are per-session dense");
+                assert!(frame.quality.usable());
+            }
+        }
+        // queues drained: an empty tick is a no-op
+        assert_eq!(reg.tick(), TickReport::default());
+        let snap = reg.snapshot(a).unwrap();
+        assert_eq!(snap.stats.frames, 3);
+        assert_eq!(snap.queue_depth, 0);
+        assert!(snap.last.is_some());
+        assert_eq!(reg.fleet_stats().frames, 6);
+    }
+
+    #[test]
+    fn int8_sessions_share_one_fleet_calibration() {
+        let mut reg = registry(|_| {});
+        let ids: Vec<_> = (0..4)
+            .map(|_| reg.create_with_backend(GazeBackend::Int8).unwrap())
+            .collect();
+        assert!(!reg.int8_calibrated());
+        // calibration_frames = 8 and 4 warming sessions feed crops per
+        // tick: the window fills during tick 2, calibrating at its end
+        for t in 0..2u64 {
+            for id in &ids {
+                reg.feed(*id, &scene(t), t).unwrap();
+            }
+            let report = reg.tick();
+            assert_eq!(report.int8_forwards, 0, "still warming through f32");
+        }
+        assert!(reg.int8_calibrated());
+        for id in &ids {
+            reg.feed(*id, &scene(9), 9).unwrap();
+        }
+        let report = reg.tick();
+        assert_eq!(report.f32_forwards, 0);
+        assert_eq!(report.int8_forwards, 4);
+    }
+}

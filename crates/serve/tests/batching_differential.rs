@@ -1,0 +1,164 @@
+//! Batched-vs-sequential differential: the tentpole correctness claim.
+//!
+//! Two registries run the identical fleet schedule — same models, same
+//! sessions, same frames — one with cross-session micro-batching on, one
+//! with it off (every forward runs individually, the sequential
+//! reference). Batching is a pure execution-strategy choice, so:
+//!
+//! * f32 sessions must agree to a relative tolerance of 1e-4 (in practice
+//!   the blocked GEMM is item-independent and they agree bit-for-bit; the
+//!   tolerance is the contract, not the observation);
+//! * int8 sessions must agree **bit-identically** — integer arithmetic has
+//!   no rounding latitude for batching to hide in;
+//! * both properties must hold across ragged fleet sizes (1, 2, 7, 32
+//!   sessions) and mixed f32/int8 populations, where batch partitioning
+//!   across arena slots exercises every uneven split.
+
+use std::sync::OnceLock;
+
+use eyecod_core::tracker::{GazeBackend, TrackerConfig};
+use eyecod_core::training::{train_tracker_models, TrackerModels, TrainingSetup};
+use eyecod_eyedata::render::{render_eye, EyeParams};
+use eyecod_faults::FaultPlan;
+use eyecod_serve::{ServeConfig, ServeRegistry, SessionId};
+use eyecod_tensor::Tensor;
+
+fn shared() -> &'static (TrackerConfig, TrackerModels, Vec<Tensor>) {
+    static SHARED: OnceLock<(TrackerConfig, TrackerModels, Vec<Tensor>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let cfg = TrackerConfig::small();
+        let models = train_tracker_models(&TrainingSetup::quick(), &cfg);
+        let scenes = (0..8u64)
+            .map(|i| {
+                let mut p = EyeParams::centered(cfg.scene_size);
+                p.yaw = 0.04 * i as f32 - 0.14;
+                p.pitch = -0.03 * i as f32 + 0.1;
+                render_eye(&p, cfg.scene_size, i).image
+            })
+            .collect();
+        (cfg, models, scenes)
+    })
+}
+
+fn registry(batching: bool) -> ServeRegistry {
+    let (cfg, models, _) = shared();
+    let mut sc = ServeConfig::new(cfg.clone());
+    sc.batching = batching;
+    sc.threads = Some(0);
+    ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none())
+}
+
+/// Runs `ticks` rounds of a `size`-session fleet (backends alternating
+/// f32/int8 from `first`) and returns, per completed frame, the session
+/// id, backend, frame index and raw gaze bits.
+fn run(
+    batching: bool,
+    size: usize,
+    first: GazeBackend,
+    ticks: u64,
+) -> Vec<(SessionId, GazeBackend, u64, [u32; 3])> {
+    let (_, _, scenes) = shared();
+    let mut reg = registry(batching);
+    let mut ids = Vec::new();
+    for s in 0..size {
+        let backend = match (s % 2 == 0, first) {
+            (true, f) => f,
+            (false, GazeBackend::F32) => GazeBackend::Int8,
+            (false, GazeBackend::Int8) => GazeBackend::F32,
+        };
+        ids.push((reg.create_with_backend(backend).unwrap(), backend));
+    }
+    let mut out = Vec::new();
+    for step in 0..ticks {
+        for (s, (id, _)) in ids.iter().enumerate() {
+            reg.feed(*id, &scenes[(step as usize + s) % scenes.len()], step)
+                .unwrap();
+        }
+        let (_, trace) = reg.tick_traced();
+        for (id, frame) in trace {
+            let backend = ids.iter().find(|(i, _)| *i == id).unwrap().1;
+            out.push((
+                id,
+                backend,
+                frame.frame,
+                [
+                    frame.gaze.x.to_bits(),
+                    frame.gaze.y.to_bits(),
+                    frame.gaze.z.to_bits(),
+                ],
+            ));
+        }
+    }
+    out
+}
+
+fn rel_close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-4 * b.abs().max(1.0)
+}
+
+fn compare_fleet(size: usize, first: GazeBackend) {
+    // long enough that every int8 session passes through warm-up (f32
+    // routing), shared calibration, and a stretch of true int8 serving
+    let ticks = 12;
+    let batched = run(true, size, first, ticks);
+    let sequential = run(false, size, first, ticks);
+    assert_eq!(batched.len(), sequential.len());
+    assert_eq!(batched.len(), size * ticks as usize);
+    for ((id_b, backend, frame_b, bits_b), (id_s, _, frame_s, bits_s)) in
+        batched.iter().zip(&sequential)
+    {
+        assert_eq!((id_b, frame_b), (id_s, frame_s), "trace order diverged");
+        match backend {
+            // int8: integer arithmetic — batching must be invisible to the
+            // last bit (the shared network is calibrated from identical
+            // crops in both runs, so this covers calibration too)
+            GazeBackend::Int8 => assert_eq!(
+                bits_b, bits_s,
+                "size {size}: int8 session {id_b:?} frame {frame_b} not bit-identical"
+            ),
+            GazeBackend::F32 => {
+                for (xb, xs) in bits_b.iter().zip(bits_s) {
+                    let (a, b) = (f32::from_bits(*xb), f32::from_bits(*xs));
+                    assert!(
+                        rel_close(a, b),
+                        "size {size}: f32 session {id_b:?} frame {frame_b}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ragged_fleets_starting_f32_match() {
+    for size in [1usize, 2, 7, 32] {
+        compare_fleet(size, GazeBackend::F32);
+    }
+}
+
+#[test]
+fn ragged_fleets_starting_int8_match() {
+    // starting int8 flips which sessions warm through the f32 batch and
+    // which rows land where in the arena partitions
+    for size in [1usize, 2, 7, 32] {
+        compare_fleet(size, GazeBackend::Int8);
+    }
+}
+
+/// The strictest leg pulled out on its own: across every mixed fleet, the
+/// int8 sessions' full traces — warm-up frames included — must be
+/// bit-identical between the two modes, not merely within tolerance.
+#[test]
+fn int8_sessions_are_bit_identical_in_every_mixed_fleet() {
+    let int8_only = |v: Vec<(SessionId, GazeBackend, u64, [u32; 3])>| {
+        v.into_iter()
+            .filter(|(_, b, _, _)| *b == GazeBackend::Int8)
+            .collect::<Vec<_>>()
+    };
+    for size in [2usize, 7, 32] {
+        let batched = int8_only(run(true, size, GazeBackend::Int8, 12));
+        let sequential = int8_only(run(false, size, GazeBackend::Int8, 12));
+        assert!(!batched.is_empty());
+        assert_eq!(batched, sequential, "size {size} int8 traces diverged");
+    }
+}

@@ -164,6 +164,26 @@ impl Snapshot {
         self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
     }
 
+    /// The sub-snapshot of metrics whose names start with `prefix` — e.g.
+    /// `with_prefix("serve/")` isolates the serving layer's fleet metrics
+    /// from the per-tracker ones when reporting or asserting on them.
+    pub fn with_prefix(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| h.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("snapshots always serialise")

@@ -17,6 +17,7 @@
 //! | [`accel`] | Cycle-level accelerator simulator (MAC lanes, SWPR buffer, orchestration, energy) |
 //! | [`platforms`] | Baseline platform and communication models (EdgeCPU/CPU/EdgeGPU/GPU/CIS-GEP) |
 //! | [`core`] | The predict-then-focus tracker tying acquisition, segmentation, ROI and gaze together |
+//! | [`serve`] | Multi-session serving: session registry, cross-session gaze micro-batching, load-shedding |
 //! | [`telemetry`] | Lock-light counters and stage-latency histograms with JSON snapshot export |
 //! | [`faults`] | Deterministic fault-injection plans and the recovery/degradation vocabulary |
 //!
@@ -45,5 +46,6 @@ pub use eyecod_faults as faults;
 pub use eyecod_models as models;
 pub use eyecod_optics as optics;
 pub use eyecod_platforms as platforms;
+pub use eyecod_serve as serve;
 pub use eyecod_telemetry as telemetry;
 pub use eyecod_tensor as tensor;

@@ -9,6 +9,13 @@
 //! the case seed instead of being minimised. Case generation is fully
 //! deterministic — seeds derive from a fixed base so a red test reproduces
 //! identically in CI and locally.
+//!
+//! Failure **persistence** matches upstream's file format: a failing novel
+//! case appends a `cc <seed> # shrinks to <inputs>` line to the test
+//! file's `.proptest-regressions` sibling (created with the standard
+//! header, so upstream tooling reads it unchanged), and every saved seed
+//! replays before new cases are generated. Set
+//! `PROPTEST_DISABLE_FAILURE_PERSISTENCE` to suppress writing.
 
 pub mod collection;
 pub mod strategy;
@@ -48,11 +55,29 @@ macro_rules! proptest {
             fn $name() {
                 use $crate::strategy::Strategy as _;
                 let config: $crate::test_runner::ProptestConfig = $cfg;
+                // saved failures replay before any novel case, exactly as
+                // upstream does with its regressions files
+                let saved = $crate::test_runner::persistence::saved_cases(file!());
+                for (index, mut rng) in saved.into_iter().enumerate() {
+                    $(let $arg = ($strat).generate(&mut rng);)*
+                    let guard = $crate::test_runner::CaseGuard::for_saved(
+                        stringify!($name),
+                        index,
+                        &format!(
+                            concat!($("    ", stringify!($arg), " = {:?}\n",)*),
+                            $(&$arg,)*
+                        ),
+                    );
+                    { $body }
+                    guard.disarm();
+                }
                 for case in 0..config.cases {
                     let mut rng = $crate::test_runner::TestRng::for_case(
                         concat!(module_path!(), "::", stringify!($name)),
                         case,
                     );
+                    // the pre-generation state is the replay seed
+                    let state_hex = rng.state_hex();
                     $(let $arg = ($strat).generate(&mut rng);)*
                     let guard = $crate::test_runner::CaseGuard::new(
                         stringify!($name),
@@ -61,7 +86,8 @@ macro_rules! proptest {
                             concat!($("    ", stringify!($arg), " = {:?}\n",)*),
                             $(&$arg,)*
                         ),
-                    );
+                    )
+                    .with_persistence(file!(), state_hex);
                     { $body }
                     guard.disarm();
                 }

@@ -84,29 +84,197 @@ impl TestRng {
         assert!(bound > 0, "bound must be positive");
         self.next_u64() % bound
     }
+
+    /// The full generator state as 64 lowercase hex characters — the seed
+    /// format of `.proptest-regressions` `cc` lines. Capturing the state
+    /// *before* any values are drawn replays the case exactly.
+    pub fn state_hex(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64);
+        for w in self.s {
+            let _ = write!(out, "{w:016x}");
+        }
+        out
+    }
+
+    /// Rebuilds a generator from [`TestRng::state_hex`] output. Returns
+    /// `None` for malformed hex or the all-zero state (invalid for
+    /// xoshiro).
+    pub fn from_state_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 64 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let mut s = [0u64; 4];
+        for (i, slot) in s.iter_mut().enumerate() {
+            *slot = u64::from_str_radix(&hex[i * 16..(i + 1) * 16], 16).ok()?;
+        }
+        if s == [0, 0, 0, 0] {
+            return None;
+        }
+        Some(TestRng { s })
+    }
 }
 
-/// Prints the failing case's inputs if the test body panics.
+/// Reading and writing `.proptest-regressions` files in the upstream
+/// textual format, so the shim's saved cases stay tool-compatible (same
+/// header, same `cc <seed> # shrinks to <inputs>` lines).
+pub mod persistence {
+    use super::TestRng;
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
+
+    /// The upstream file header, emitted verbatim when a regressions file
+    /// is first created.
+    pub const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+    /// Whether `PROPTEST_DISABLE_FAILURE_PERSISTENCE` turns writing off
+    /// (any non-empty value other than `0`).
+    fn disabled() -> bool {
+        match std::env::var("PROPTEST_DISABLE_FAILURE_PERSISTENCE") {
+            Ok(v) => !v.trim().is_empty() && v.trim() != "0",
+            Err(_) => false,
+        }
+    }
+
+    /// Resolves a `file!()` path (workspace-root-relative) against the
+    /// test's working directory (the *package* root under `cargo test`) by
+    /// stripping leading components until the file exists.
+    fn resolve_source(source: &str) -> PathBuf {
+        let mut p = Path::new(source);
+        loop {
+            if p.exists() {
+                return p.to_path_buf();
+            }
+            let mut comps = p.components();
+            comps.next();
+            let rest = comps.as_path();
+            if rest.as_os_str().is_empty() {
+                return PathBuf::from(source);
+            }
+            p = rest;
+        }
+    }
+
+    /// The regressions file sitting next to `source` (upstream convention:
+    /// `tests/foo.rs` → `tests/foo.proptest-regressions`).
+    pub fn regressions_path(source: &str) -> PathBuf {
+        resolve_source(source).with_extension("proptest-regressions")
+    }
+
+    /// Parses `cc` seed lines out of a regressions file body. Comment
+    /// lines, blanks and malformed seeds are skipped, matching upstream's
+    /// tolerant reader.
+    pub fn parse_saved(body: &str) -> Vec<TestRng> {
+        body.lines()
+            .filter_map(|line| {
+                let hex = line.trim().strip_prefix("cc ")?.split_whitespace().next()?;
+                TestRng::from_state_hex(hex)
+            })
+            .collect()
+    }
+
+    /// The saved failure seeds for the test file `source` (via `file!()`),
+    /// replayed by [`crate::proptest!`] before any novel cases.
+    pub fn saved_cases(source: &str) -> Vec<TestRng> {
+        match std::fs::read_to_string(regressions_path(source)) {
+            Ok(body) => parse_saved(&body),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Collapses the guard's multi-line input dump into the one-line
+    /// `# shrinks to` comment.
+    pub fn one_line(inputs: &str) -> String {
+        inputs
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Appends a failing seed to `source`'s regressions file (creating it
+    /// with the standard header first). A no-op when
+    /// `PROPTEST_DISABLE_FAILURE_PERSISTENCE` is set.
+    pub fn persist_failure(source: &str, state_hex: &str, inputs: &str) {
+        if disabled() {
+            return;
+        }
+        let path = regressions_path(source);
+        let fresh = !path.exists();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path);
+        let Ok(mut f) = file else {
+            eprintln!(
+                "proptest: could not persist failing seed to {}",
+                path.display()
+            );
+            return;
+        };
+        if fresh {
+            let _ = f.write_all(HEADER.as_bytes());
+        }
+        let _ = writeln!(f, "cc {state_hex} # shrinks to {}", one_line(inputs));
+        eprintln!("proptest: persisted failing seed to {}", path.display());
+    }
+}
+
+/// Prints the failing case's inputs if the test body panics, and persists
+/// the failing seed to the file's `.proptest-regressions`.
 ///
 /// The shim has no shrinking, so faithful reporting of the raw case is the
-/// entire debugging story — the guard fires on unwind and echoes the case
-/// index plus every generated argument.
+/// entire debugging story — the guard fires on unwind, echoes the case
+/// index plus every generated argument, and (for novel cases) appends the
+/// pre-generation rng state as a `cc` line so the next run replays the
+/// failure before generating anything new.
 pub struct CaseGuard {
     armed: bool,
     name: &'static str,
-    case: u32,
+    label: String,
     inputs: String,
+    /// `(source file, pre-generation rng state)` — present only for novel
+    /// cases; replayed saved cases are already in the file.
+    persist: Option<(&'static str, String)>,
 }
 
 impl CaseGuard {
-    /// Arms a guard for one case.
+    /// Arms a guard for one generated case.
     pub fn new(name: &'static str, case: u32, inputs: &str) -> Self {
         CaseGuard {
             armed: true,
             name,
-            case,
+            label: format!("case {case}"),
             inputs: inputs.to_string(),
+            persist: None,
         }
+    }
+
+    /// Arms a guard for a case replayed from the regressions file.
+    pub fn for_saved(name: &'static str, index: usize, inputs: &str) -> Self {
+        CaseGuard {
+            armed: true,
+            name,
+            label: format!("saved case {index} (replayed from the regressions file)"),
+            inputs: inputs.to_string(),
+            persist: None,
+        }
+    }
+
+    /// Persist the failing seed to `source`'s regressions file if this
+    /// case fails (builder style; `state_hex` is the rng state *before*
+    /// generation).
+    pub fn with_persistence(mut self, source: &'static str, state_hex: String) -> Self {
+        self.persist = Some((source, state_hex));
+        self
     }
 
     /// Disarms after the case body completed without panicking.
@@ -119,9 +287,67 @@ impl Drop for CaseGuard {
     fn drop(&mut self) {
         if self.armed {
             eprintln!(
-                "proptest: `{}` failed at case {} with inputs:\n{}",
-                self.name, self.case, self.inputs
+                "proptest: `{}` failed at {} with inputs:\n{}",
+                self.name, self.label, self.inputs
             );
+            if let Some((source, state_hex)) = self.persist.take() {
+                persistence::persist_failure(source, &state_hex, &self.inputs);
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_hex_round_trips() {
+        let rng = TestRng::for_case("some::test", 17);
+        let hex = rng.state_hex();
+        assert_eq!(hex.len(), 64);
+        let mut a = rng.clone();
+        let mut b = TestRng::from_state_hex(&hex).expect("valid hex");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn malformed_seeds_are_rejected() {
+        assert!(TestRng::from_state_hex("").is_none());
+        assert!(TestRng::from_state_hex(&"z".repeat(64)).is_none());
+        assert!(
+            TestRng::from_state_hex(&"0".repeat(64)).is_none(),
+            "all-zero state"
+        );
+        assert!(TestRng::from_state_hex(&"a".repeat(63)).is_none(), "short");
+    }
+
+    #[test]
+    fn saved_case_parser_reads_the_upstream_format() {
+        let seed = TestRng::for_case("t", 0).state_hex();
+        let body = format!(
+            "{}# a retention note\n\ncc {seed} # shrinks to x = 3\ncc nonsense # ignored\n",
+            persistence::HEADER
+        );
+        let saved = persistence::parse_saved(&body);
+        assert_eq!(saved.len(), 1);
+        assert_eq!(saved[0].state_hex(), seed);
+    }
+
+    #[test]
+    fn shrinks_to_comment_is_one_line() {
+        assert_eq!(
+            persistence::one_line("    x = 3\n    y = [1, 2]\n"),
+            "x = 3, y = [1, 2]"
+        );
+    }
+
+    #[test]
+    fn header_matches_upstream_verbatim() {
+        assert!(persistence::HEADER.starts_with("# Seeds for failure cases proptest"));
+        assert!(persistence::HEADER.ends_with("benefits from these saved cases.\n"));
+        assert!(persistence::HEADER.lines().all(|l| l.starts_with('#')));
     }
 }
