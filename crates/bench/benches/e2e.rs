@@ -1,0 +1,233 @@
+//! End-to-end frames-per-second benchmark — the repo's single tracked
+//! performance number on the road to i-FlatCam's 253 FPS operating point
+//! (arXiv 2206.08141).
+//!
+//! Two outputs:
+//!
+//! * `e2e/*` criterion groups for interactive comparison
+//!   (`cargo bench -p eyecod-bench --bench e2e`);
+//! * a `BENCH_e2e.json` artifact at the repository root with, per gaze
+//!   backend (f32 / int8), the steady-state single-session FPS and the
+//!   p50/p99 frame latency, plus the serve-tick fleet FPS at 16 sessions —
+//!   emitted every PR so the repository accumulates an FPS trajectory
+//!   (see the "FPS trajectory" section of the README).
+//!
+//! "Steady state" means past int8 calibration and at least one ROI refresh:
+//! the tracker warms up for 30 frames before any timing starts, and the
+//! measured window spans several ROI refresh periods so the p99 captures
+//! refresh-frame cost, not just the cheap inter-refresh frames. The host's
+//! SIMD capability is recorded in the JSON (a non-AVX2 host is noted, not
+//! faked).
+
+use criterion::{criterion_group, Criterion};
+use eyecod_core::tracker::{EyeTracker, GazeBackend, TrackerConfig};
+use eyecod_core::training::{train_tracker_models, TrackerModels, TrainingSetup};
+use eyecod_eyedata::render::{render_eye, EyeParams};
+use eyecod_faults::FaultPlan;
+use eyecod_serve::{ServeConfig, ServeRegistry};
+use eyecod_tensor::{simd, Tensor};
+use serde::Serialize;
+use std::path::Path;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Frames to run before timing starts (past the 8 int8 calibration frames
+/// and several ROI refreshes at `roi_period = 10`).
+const WARMUP_FRAMES: u64 = 30;
+/// Frames in the measured steady-state window.
+const MEASURED_FRAMES: usize = 150;
+/// Fleet size for the serve-tick measurement.
+const FLEET: usize = 16;
+/// The standing system target (i-FlatCam, arXiv 2206.08141).
+const TARGET_FPS: f64 = 253.0;
+
+fn shared() -> &'static (TrackerConfig, TrackerModels, Tensor) {
+    static SHARED: OnceLock<(TrackerConfig, TrackerModels, Tensor)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let cfg = TrackerConfig::small();
+        let models = train_tracker_models(&TrainingSetup::quick(), &cfg);
+        let scene = render_eye(&EyeParams::centered(cfg.scene_size), cfg.scene_size, 0).image;
+        (cfg, models, scene)
+    })
+}
+
+/// A tracker warmed past calibration and ROI refresh on `backend`.
+fn warm_tracker(backend: GazeBackend) -> EyeTracker {
+    let (cfg, models, scene) = shared();
+    let mut cfg = cfg.clone();
+    cfg.gaze_backend = backend;
+    let mut tracker = EyeTracker::new(cfg, models.clone_models());
+    for f in 0..WARMUP_FRAMES {
+        tracker.process_frame(scene, f);
+    }
+    tracker
+}
+
+fn backend_name(backend: GazeBackend) -> &'static str {
+    match backend {
+        GazeBackend::F32 => "f32",
+        GazeBackend::Int8 => "int8",
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let (_, _, scene) = shared();
+    for backend in [GazeBackend::F32, GazeBackend::Int8] {
+        let mut tracker = warm_tracker(backend);
+        let mut frame = WARMUP_FRAMES;
+        c.bench_function(&format!("e2e/frame_{}", backend_name(backend)), |bch| {
+            bch.iter(|| {
+                frame += 1;
+                tracker.process_frame(scene, frame)
+            })
+        });
+    }
+}
+
+/// Steady-state per-backend measurements.
+#[derive(Serialize)]
+struct BackendRow {
+    backend: &'static str,
+    /// Frames in the measured window.
+    frames: usize,
+    /// Sustained steady-state throughput over the whole window.
+    fps: f64,
+    /// Median frame latency, nanoseconds.
+    p50_ns: u64,
+    /// 99th-percentile frame latency, nanoseconds (includes ROI-refresh
+    /// frames: the window spans several refresh periods).
+    p99_ns: u64,
+}
+
+/// Host capability record — so a number measured without AVX2 is labelled
+/// as such instead of silently comparing unlike hosts across PRs.
+#[derive(Serialize)]
+struct SimdInfo {
+    avx2_supported: bool,
+    simd_enabled: bool,
+    threads: usize,
+    note: String,
+}
+
+#[derive(Serialize)]
+struct E2eReport {
+    /// The standing FPS target this trajectory tracks.
+    target_fps: f64,
+    simd: SimdInfo,
+    backends: Vec<BackendRow>,
+    /// Serve-tick fleet throughput: frames per second across a warm
+    /// 16-session fleet (mixed f32/int8 backends, batching on).
+    fleet_sessions: usize,
+    fleet_tick_ns: u64,
+    fleet_fps: f64,
+}
+
+/// Measures one backend's steady-state window.
+fn measure_backend(backend: GazeBackend) -> BackendRow {
+    let (_, _, scene) = shared();
+    let mut tracker = warm_tracker(backend);
+    let mut lat = Vec::with_capacity(MEASURED_FRAMES);
+    let t0 = Instant::now();
+    for i in 0..MEASURED_FRAMES {
+        let f0 = Instant::now();
+        std::hint::black_box(tracker.process_frame(scene, WARMUP_FRAMES + i as u64));
+        lat.push(f0.elapsed().as_nanos() as u64);
+    }
+    let total = t0.elapsed().as_nanos() as u64;
+    lat.sort_unstable();
+    BackendRow {
+        backend: backend_name(backend),
+        frames: MEASURED_FRAMES,
+        fps: MEASURED_FRAMES as f64 * 1e9 / total as f64,
+        p50_ns: lat[MEASURED_FRAMES / 2],
+        p99_ns: lat[(MEASURED_FRAMES * 99) / 100],
+    }
+}
+
+/// Measures the steady-state serve tick over a warm mixed-backend fleet.
+fn measure_fleet() -> (u64, f64) {
+    let (cfg, models, scene) = shared();
+    let sc = ServeConfig::new(cfg.clone());
+    let mut reg = ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none());
+    let ids: Vec<_> = (0..FLEET)
+        .map(|s| {
+            let backend = if s % 2 == 0 {
+                GazeBackend::F32
+            } else {
+                GazeBackend::Int8
+            };
+            reg.create_with_backend(backend).unwrap()
+        })
+        .collect();
+    let mut round = 0u64;
+    let mut tick = || {
+        for id in &ids {
+            reg.feed(*id, scene, round).unwrap();
+        }
+        round += 1;
+        reg.tick()
+    };
+    for _ in 0..12 {
+        tick(); // warm: past calibration and ROI refresh for every session
+    }
+    let tick_ns = (0..12)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(tick());
+            t0.elapsed().as_nanos() as u64
+        })
+        .min()
+        .unwrap();
+    (tick_ns, FLEET as f64 * 1e9 / tick_ns as f64)
+}
+
+fn write_e2e_artifact() {
+    let note = if !simd::avx2_supported() {
+        "host has no AVX2: all numbers are from the scalar kernels".to_string()
+    } else if !simd::avx2_enabled() {
+        "EYECOD_NO_SIMD set: all numbers are from the scalar kernels".to_string()
+    } else {
+        String::new()
+    };
+    let backends: Vec<BackendRow> = [GazeBackend::F32, GazeBackend::Int8]
+        .into_iter()
+        .map(measure_backend)
+        .collect();
+    let (fleet_tick_ns, fleet_fps) = measure_fleet();
+    let report = E2eReport {
+        target_fps: TARGET_FPS,
+        simd: SimdInfo {
+            avx2_supported: simd::avx2_supported(),
+            simd_enabled: simd::avx2_enabled(),
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            note,
+        },
+        backends,
+        fleet_sessions: FLEET,
+        fleet_tick_ns,
+        fleet_fps,
+    };
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    eyecod_bench::reporting::write_json(root, "BENCH_e2e", &report);
+    for b in &report.backends {
+        println!(
+            "e2e {:>5}: {:>8.1} fps (target {TARGET_FPS})   p50 {:>10} ns   p99 {:>10} ns",
+            b.backend, b.fps, b.p50_ns, b.p99_ns
+        );
+    }
+    println!(
+        "e2e fleet: {} sessions, tick {} ns, {:.1} fps  {}",
+        report.fleet_sessions, report.fleet_tick_ns, report.fleet_fps, report.simd.note
+    );
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    // `--artifact-only` skips criterion (CI smoke / artifact refresh)
+    if !std::env::args().any(|a| a == "--artifact-only") {
+        benches();
+        Criterion::default().final_summary();
+    }
+    write_e2e_artifact();
+}

@@ -14,7 +14,10 @@
 use criterion::{criterion_group, Criterion};
 use eyecod_optics::mat::Mat;
 use eyecod_tensor::ops::{conv2d, conv2d_gemm, conv2d_gemm_buf, ConvWorkspace};
-use eyecod_tensor::{Shape, Tensor};
+use eyecod_tensor::quant::{
+    qconv2d_requant, qconv2d_requant_reference, qlinear, qlinear_reference, QTensor,
+};
+use eyecod_tensor::{simd, Shape, Tensor};
 use serde::Serialize;
 use std::path::Path;
 use std::time::Instant;
@@ -70,6 +73,47 @@ fn bench(c: &mut Criterion) {
     c.bench_function("kernels/conv_direct_16x96x160", |bch| {
         bch.iter(|| conv2d(&x, &w, None, 1, 1, 1))
     });
+
+    // int8 kernels: runtime-dispatched (AVX2 where available) vs the
+    // pinned-scalar reference, at gaze-chain geometries
+    let (qx, qw, bias) = int8_conv_operands();
+    c.bench_function("kernels/qconv_requant_scalar_16x48x64", |bch| {
+        bch.iter(|| qconv2d_requant_reference(&qx, &qw, Some(&bias), 1, 1, 1, true, 0.05))
+    });
+    c.bench_function("kernels/qconv_requant_dispatch_16x48x64", |bch| {
+        bch.iter(|| qconv2d_requant(&qx, &qw, Some(&bias), 1, 1, 1, true, 0.05))
+    });
+    let (lx, lw, lbias) = int8_linear_operands();
+    c.bench_function("kernels/qlinear_scalar_64x1024", |bch| {
+        bch.iter(|| qlinear_reference(&lx, &lw, Some(&lbias)))
+    });
+    c.bench_function("kernels/qlinear_dispatch_64x1024", |bch| {
+        bch.iter(|| qlinear(&lx, &lw, Some(&lbias)))
+    });
+}
+
+/// Int8 conv operands at a gaze-chain-like dense 3×3 geometry.
+fn int8_conv_operands() -> (QTensor, QTensor, Vec<f32>) {
+    let qx = QTensor::quantize(&tensor(Shape::new(1, 16, 48, 64), 5));
+    let qw = QTensor::quantize(&tensor(Shape::new(16, 16, 3, 3), 6));
+    let bias: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) / 16.0).collect();
+    (qx, qw, bias)
+}
+
+/// Int8 depthwise conv operands (one tap stream per channel).
+fn int8_depthwise_operands() -> (QTensor, QTensor, Vec<f32>) {
+    let qx = QTensor::quantize(&tensor(Shape::new(1, 32, 48, 64), 7));
+    let qw = QTensor::quantize(&tensor(Shape::new(32, 1, 3, 3), 8));
+    let bias: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) / 32.0).collect();
+    (qx, qw, bias)
+}
+
+/// Int8 FC operands at a gaze-head-like reduction (64 outputs over K=1024).
+fn int8_linear_operands() -> (QTensor, QTensor, Vec<f32>) {
+    let lx = QTensor::quantize(&tensor(Shape::new(4, 1, 1, 1024), 9));
+    let lw = QTensor::quantize(&tensor(Shape::vector(64, 1024), 10));
+    let lbias: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 64.0).collect();
+    (lx, lw, lbias)
 }
 
 #[derive(Serialize)]
@@ -79,6 +123,7 @@ struct KernelRow {
     naive_ns: u64,
     blocked_ns: u64,
     speedup: f64,
+    note: String,
 }
 
 /// Best-of-N wall time of `f` in nanoseconds.
@@ -111,6 +156,7 @@ fn write_kernel_artifact() {
             naive_ns,
             blocked_ns,
             speedup: naive_ns as f64 / blocked_ns as f64,
+            note: String::new(),
         });
     }
 
@@ -131,6 +177,62 @@ fn write_kernel_artifact() {
         naive_ns: direct_ns,
         blocked_ns: gemm_ns,
         speedup: direct_ns as f64 / gemm_ns as f64,
+        note: String::new(),
+    });
+
+    // int8 kernels: scalar reference (naive_ns) vs runtime-dispatched
+    // (blocked_ns), so the JSON records the measured AVX2 payoff — or, on
+    // a host without AVX2, honestly reports speedup ≈ 1 with a note rather
+    // than faking the number
+    let simd_note = if !simd::avx2_supported() {
+        "host has no AVX2: dispatched path is the scalar kernel".to_string()
+    } else if !simd::avx2_enabled() {
+        "EYECOD_NO_SIMD set: dispatched path is the scalar kernel".to_string()
+    } else {
+        String::new()
+    };
+    let (qx, qw, qbias) = int8_conv_operands();
+    let scalar_ns = best_of(15, || {
+        qconv2d_requant_reference(&qx, &qw, Some(&qbias), 1, 1, 1, true, 0.05)
+    });
+    let dispatch_ns = best_of(15, || {
+        qconv2d_requant(&qx, &qw, Some(&qbias), 1, 1, 1, true, 0.05)
+    });
+    rows.push(KernelRow {
+        kernel: "int8 qconv_requant 3x3 (scalar vs dispatched)",
+        shape: "(1,16,48,64) * (16,16,3,3)".into(),
+        naive_ns: scalar_ns,
+        blocked_ns: dispatch_ns,
+        speedup: scalar_ns as f64 / dispatch_ns as f64,
+        note: simd_note.clone(),
+    });
+
+    let (dx, dw, dbias) = int8_depthwise_operands();
+    let scalar_ns = best_of(15, || {
+        qconv2d_requant_reference(&dx, &dw, Some(&dbias), 1, 1, 32, true, 0.05)
+    });
+    let dispatch_ns = best_of(15, || {
+        qconv2d_requant(&dx, &dw, Some(&dbias), 1, 1, 32, true, 0.05)
+    });
+    rows.push(KernelRow {
+        kernel: "int8 qconv_requant depthwise 3x3 (scalar vs dispatched)",
+        shape: "(1,32,48,64) * (32,1,3,3) g=32".into(),
+        naive_ns: scalar_ns,
+        blocked_ns: dispatch_ns,
+        speedup: scalar_ns as f64 / dispatch_ns as f64,
+        note: simd_note.clone(),
+    });
+
+    let (lx, lw, lbias) = int8_linear_operands();
+    let scalar_ns = best_of(15, || qlinear_reference(&lx, &lw, Some(&lbias)));
+    let dispatch_ns = best_of(15, || qlinear(&lx, &lw, Some(&lbias)));
+    rows.push(KernelRow {
+        kernel: "int8 qlinear (scalar vs dispatched)",
+        shape: "(4,1024) * (64,1024)".into(),
+        naive_ns: scalar_ns,
+        blocked_ns: dispatch_ns,
+        speedup: scalar_ns as f64 / dispatch_ns as f64,
+        note: simd_note,
     });
 
     let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));

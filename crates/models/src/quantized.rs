@@ -30,9 +30,23 @@ use crate::spec::{ModelSpec, SpecBuilder};
 use eyecod_tensor::ops;
 use eyecod_tensor::quant::{
     calibration_scale, qconv2d_requant, qconv2d_requant_into, qglobal_avg_pool,
-    qglobal_avg_pool_into, qlinear, qlinear_into, QTensor,
+    qglobal_avg_pool_into, qlinear, qlinear_into, QTensor, MAX_REDUCTION_DEPTH,
 };
 use eyecod_tensor::Tensor;
+
+/// Rejects a layer whose per-output reduction depth could overflow the
+/// int8 kernels' i32 accumulators (`K · 127 · 127 > i32::MAX`), at network
+/// construction time rather than deep inside a frame's forward pass. The
+/// depth of a conv or FC reduction is the weight's `c · h · w`.
+fn check_reduction_depth(what: &str, weight: &Tensor) {
+    let ws = weight.shape();
+    let depth = ws.c * ws.h * ws.w;
+    assert!(
+        depth <= MAX_REDUCTION_DEPTH,
+        "{what} reduction depth {depth} exceeds MAX_REDUCTION_DEPTH \
+         ({MAX_REDUCTION_DEPTH}): int8 inference could overflow its i32 accumulators"
+    );
+}
 
 /// One layer of the batch-norm-folded f32 inference graph — the common
 /// ancestor of the quantised network and its f32 reference.
@@ -211,6 +225,7 @@ impl QuantizedGazeNet {
                     groups,
                     relu,
                 } => {
+                    check_reduction_depth("fused conv", weight);
                     x = ops::conv2d(&x, weight, Some(bias), *stride, *pad, *groups);
                     if *relu {
                         x = ops::leaky_relu(&x, 0.0);
@@ -230,6 +245,7 @@ impl QuantizedGazeNet {
                     layers.push(QLayer::Gap);
                 }
                 FoldedLayer::Fc { weight, bias } => {
+                    check_reduction_depth("gaze head", weight);
                     x = ops::linear(&x, weight, Some(bias));
                     layers.push(QLayer::Fc {
                         weight: QTensor::quantize(weight),

@@ -363,10 +363,11 @@ impl Mat {
         let (k, n) = (self.cols, other.cols);
         debug_assert_eq!(out.len(), rows.len() * n);
         #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: the avx2 requirement is verified at runtime just
-            // above; the detection result is cached, so after the first
-            // call this is a single predictable load.
+        if eyecod_tensor::simd::avx2_enabled() {
+            // SAFETY: avx2_enabled() returns true only when the host
+            // supports AVX2 (and the EYECOD_NO_SIMD kill-switch is not
+            // set); the probe result is cached, so after the first call
+            // this is a single predictable load.
             unsafe { gemm_rows_avx2(&self.data, &other.data, k, n, rows, out) };
             return;
         }

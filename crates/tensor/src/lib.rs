@@ -30,6 +30,7 @@ pub mod ops;
 pub mod optim;
 pub mod quant;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use layer::{Layer, Param};

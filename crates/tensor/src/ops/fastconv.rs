@@ -10,6 +10,7 @@
 //! to float summation order) to [`super::conv2d`], which the tests enforce.
 
 use crate::shape::Shape;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Output channels per register tile of the GEMM microkernel.
@@ -155,8 +156,17 @@ fn validate_conv(
 /// start at the bias and add in ascending `c` order — the exact per-element
 /// accumulation sequence of the scalar reference loop, so results are
 /// bit-identical to the unblocked path.
+///
+/// Monomorphised twice, exactly like `gemm_rows_body` in
+/// `eyecod_optics::mat`: once as a plain function and once under
+/// `#[target_feature(enable = "avx2")]`, where LLVM keeps the whole
+/// `MR × NR` accumulator tile in YMM registers. The per-element IEEE
+/// operation sequence (`mul` then `add`, ascending `l`) is identical in
+/// both instantiations — Rust never contracts `a * b + c` into an FMA —
+/// so the AVX2 build is bit-identical to the scalar one.
 #[allow(clippy::too_many_arguments)]
-fn gemm_panel(
+#[inline(always)]
+fn gemm_panel_body(
     w_data: &[f32],
     patches: &[f32],
     bias: Option<&[f32]>,
@@ -195,6 +205,52 @@ fn gemm_panel(
     }
 }
 
+/// AVX2 instantiation of [`gemm_panel_body`] (see its docs for the
+/// bit-identity argument).
+///
+/// Safe to call only when the host supports AVX2, which
+/// [`gemm_panel`] guarantees via [`simd::avx2_enabled`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+fn gemm_panel_avx2(
+    w_data: &[f32],
+    patches: &[f32],
+    bias: Option<&[f32]>,
+    g: usize,
+    cout_g: usize,
+    cols: usize,
+    positions: usize,
+    out_chunk: &mut [f32],
+) {
+    gemm_panel_body(w_data, patches, bias, g, cout_g, cols, positions, out_chunk);
+}
+
+/// Dispatches one GEMM panel to the AVX2 or scalar instantiation.
+#[allow(clippy::too_many_arguments)]
+fn gemm_panel(
+    w_data: &[f32],
+    patches: &[f32],
+    bias: Option<&[f32]>,
+    g: usize,
+    cout_g: usize,
+    cols: usize,
+    positions: usize,
+    out_chunk: &mut [f32],
+    use_simd: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd && simd::avx2_enabled() {
+        // SAFETY: avx2_enabled() returns true only on hosts with AVX2.
+        unsafe {
+            gemm_panel_avx2(w_data, patches, bias, g, cout_g, cols, positions, out_chunk);
+        }
+        return;
+    }
+    let _ = use_simd;
+    gemm_panel_body(w_data, patches, bias, g, cout_g, cols, positions, out_chunk);
+}
+
 /// Convolution via im2col + GEMM. Same contract as [`super::conv2d`]
 /// (square kernels, symmetric zero padding, groups); typically faster for
 /// generic and point-wise layers with several input channels.
@@ -213,6 +269,37 @@ pub fn conv2d_gemm(
     let mut ws = ConvWorkspace::new();
     let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
     conv2d_gemm_into(input, weight, bias, stride, pad, groups, &mut ws, &mut out);
+    out
+}
+
+/// [`conv2d_gemm`] pinned to the scalar GEMM instantiation regardless of
+/// host capabilities — the retained differential baseline the SIMD
+/// bit-equality suites compare against.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`super::conv2d`].
+pub fn conv2d_gemm_reference(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> Tensor {
+    let mut patches = Vec::new();
+    let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+    conv2d_gemm_buf_impl(
+        input,
+        weight,
+        bias,
+        stride,
+        pad,
+        groups,
+        &mut patches,
+        &mut out,
+        false,
+    );
     out
 }
 
@@ -270,6 +357,21 @@ pub fn conv2d_gemm_buf(
     patches: &mut Vec<f32>,
     out: &mut Tensor,
 ) {
+    conv2d_gemm_buf_impl(input, weight, bias, stride, pad, groups, patches, out, true);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv2d_gemm_buf_impl(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    patches: &mut Vec<f32>,
+    out: &mut Tensor,
+    use_simd: bool,
+) {
     let ishape = input.shape();
     let wshape = weight.shape();
     let (cin_g, cout_g, k, oshape) = validate_conv(ishape, wshape, bias, stride, pad, groups);
@@ -293,6 +395,7 @@ pub fn conv2d_gemm_buf(
                 cols,
                 positions,
                 &mut out_data[out_base..out_base + cout_g * positions],
+                use_simd,
             );
         }
     }

@@ -19,7 +19,9 @@ pub use activation::{
     softmax_channels,
 };
 pub use conv::{conv2d, conv2d_backward, conv2d_naive, Conv2dGrads};
-pub use fastconv::{conv2d_gemm, conv2d_gemm_buf, conv2d_gemm_into, ConvWorkspace};
+pub use fastconv::{
+    conv2d_gemm, conv2d_gemm_buf, conv2d_gemm_into, conv2d_gemm_reference, ConvWorkspace,
+};
 pub use linear::{linear, linear_backward, linear_into, matmul, LinearGrads};
 pub use norm::{
     batch_norm, batch_norm_backward, batch_norm_infer_inplace, BatchNormCache, BatchNormGrads,

@@ -15,9 +15,24 @@
 //!   consumes and produces int8 activations and the rescale between layers
 //!   uses a *calibrated* output scale. These are what the int8
 //!   `QuantizedGazeNet` backend in `eyecod-models` runs.
+//!
+//! The conv/linear inner loops dispatch to the AVX2 i8×i8→i32 kernels in
+//! [`crate::simd`] when the host supports them (kill switch:
+//! `EYECOD_NO_SIMD=1`). Integer accumulation is exactly associative, so the
+//! SIMD paths are bit-identical to the scalar kernels, which stay available
+//! as the retained differential baselines ([`qconv2d_reference`],
+//! [`qconv2d_requant_reference`], [`qlinear_reference`]).
+//!
+//! Two invariants protect the integer arithmetic (see [`crate::simd`] for
+//! the full analysis): every stored code lies in `[-127, 127]` (all
+//! constructors clamp, −128 never occurs), and every reduction is at most
+//! [`MAX_REDUCTION_DEPTH`] deep so `i32` accumulators cannot overflow.
 
 use crate::shape::Shape;
+use crate::simd;
 use crate::tensor::Tensor;
+
+pub use crate::simd::MAX_REDUCTION_DEPTH;
 
 /// Smallest admissible activation scale. A dead (all-zero) calibration layer
 /// would otherwise yield scale 0 and make every downstream division and
@@ -115,6 +130,7 @@ impl QTensor {
     /// Panics if `scale <= 0`.
     pub fn quantize_with_scale_into(t: &Tensor, scale: f32, out: &mut QTensor) {
         assert!(scale > 0.0, "scale must be positive");
+        assert_nonzero_extents("quantize_with_scale input", t.shape());
         out.shape = t.shape();
         out.scale = scale;
         out.data.clear();
@@ -156,6 +172,27 @@ pub fn requantize(t: &QTensor, out_scale: f32) -> QTensor {
     }
 }
 
+/// Rejects degenerate shapes that bypassed [`Shape::new`]'s validation via
+/// the public fields: a zero extent anywhere makes downstream arithmetic
+/// divide by zero or fold `0 · inf` into NaN, so the quant ops fail loudly
+/// instead.
+fn assert_nonzero_extents(what: &str, s: Shape) {
+    assert!(
+        s.n > 0 && s.c > 0 && s.h > 0 && s.w > 0,
+        "{what} must have non-zero extents, got {s}"
+    );
+}
+
+/// Asserts the [`MAX_REDUCTION_DEPTH`] i32-overflow bound on a reduction of
+/// `depth` i8×i8 products (see [`crate::simd`]).
+fn assert_reduction_depth(what: &str, depth: usize) {
+    assert!(
+        depth <= MAX_REDUCTION_DEPTH,
+        "{what} reduction depth {depth} exceeds MAX_REDUCTION_DEPTH \
+         ({MAX_REDUCTION_DEPTH}): i32 accumulation of i8·i8 products could overflow"
+    );
+}
+
 /// The half-open range of output columns `ox` whose input column
 /// `ox * stride + kw - pad` is in `[0, in_w)`. Hoisting the bounds check out
 /// of the streaming inner loop this way is what lets the accumulator kernels
@@ -191,6 +228,11 @@ fn ox_span(kw: usize, pad: usize, stride: usize, in_w: usize, out_w: usize) -> (
 /// fast path: the single weight plane per channel is sliced once and the
 /// group arithmetic disappears from the inner loops — the §5.1 observation
 /// that depth-wise layers need their own treatment, in miniature.
+///
+/// With `use_simd` the unit-stride streaming update over a tap's dense
+/// output span runs the AVX2 [`simd::qaxpy_i8`] kernel instead of the
+/// scalar loop; because the i32 accumulation is exact either way, the two
+/// paths are bit-identical (pinned by `tests/simd_bit_equality.rs`).
 fn qconv_accumulate_into(
     input: &QTensor,
     weight: &QTensor,
@@ -198,14 +240,26 @@ fn qconv_accumulate_into(
     pad: usize,
     groups: usize,
     acc: &mut Vec<i32>,
+    use_simd: bool,
 ) -> Shape {
     let ishape = input.shape;
     let wshape = weight.shape;
+    assert!(groups > 0, "conv groups must be non-zero");
+    assert_nonzero_extents("qconv input", ishape);
+    assert_nonzero_extents("qconv weight", wshape);
     let k = wshape.h;
     let oshape = ishape.conv_output(wshape.n, k, pad, stride);
     let cin_g = ishape.c / groups;
     let cout_g = wshape.n / groups;
     assert_eq!(wshape.c, cin_g, "weight/group mismatch");
+    assert_reduction_depth("qconv", cin_g * k * k);
+    // the tap update `row[lo..hi] += irow[lo+kw-pad..] · wv` is a contiguous
+    // widening axpy only at unit stride; larger strides stay scalar
+    let axpy: fn(&mut [i32], &[i8], i32) = if use_simd && stride == 1 {
+        simd::qaxpy_i8
+    } else {
+        simd::qaxpy_i8_scalar
+    };
     acc.clear();
     acc.resize(oshape.len(), 0);
     let depthwise = groups == ishape.c && cin_g == 1 && cout_g == 1;
@@ -226,8 +280,16 @@ fn qconv_accumulate_into(
                         for (kw, &wv) in wrow.iter().enumerate() {
                             let wv = wv as i32;
                             let (lo, hi) = ox_span(kw, pad, stride, ishape.w, oshape.w);
-                            for ox in lo..hi {
-                                row[ox] += irow[ox * stride + kw - pad] as i32 * wv;
+                            if lo >= hi {
+                                continue;
+                            }
+                            if stride == 1 {
+                                let s = lo + kw - pad;
+                                axpy(&mut row[lo..hi], &irow[s..s + (hi - lo)], wv);
+                            } else {
+                                for ox in lo..hi {
+                                    row[ox] += irow[ox * stride + kw - pad] as i32 * wv;
+                                }
                             }
                         }
                     }
@@ -255,8 +317,16 @@ fn qconv_accumulate_into(
                             for (kw, &wv) in wrow.iter().enumerate() {
                                 let wv = wv as i32;
                                 let (lo, hi) = ox_span(kw, pad, stride, ishape.w, oshape.w);
-                                for ox in lo..hi {
-                                    row[ox] += irow[ox * stride + kw - pad] as i32 * wv;
+                                if lo >= hi {
+                                    continue;
+                                }
+                                if stride == 1 {
+                                    let s = lo + kw - pad;
+                                    axpy(&mut row[lo..hi], &irow[s..s + (hi - lo)], wv);
+                                } else {
+                                    for ox in lo..hi {
+                                        row[ox] += irow[ox * stride + kw - pad] as i32 * wv;
+                                    }
                                 }
                             }
                         }
@@ -275,9 +345,10 @@ fn qconv_accumulate(
     stride: usize,
     pad: usize,
     groups: usize,
+    use_simd: bool,
 ) -> (Shape, Vec<i32>) {
     let mut acc = Vec::new();
-    let oshape = qconv_accumulate_into(input, weight, stride, pad, groups, &mut acc);
+    let oshape = qconv_accumulate_into(input, weight, stride, pad, groups, &mut acc, use_simd);
     (oshape, acc)
 }
 
@@ -296,8 +367,42 @@ pub fn qconv2d(
     pad: usize,
     groups: usize,
 ) -> Tensor {
+    qconv2d_impl(
+        input,
+        weight,
+        bias,
+        stride,
+        pad,
+        groups,
+        simd::avx2_enabled(),
+    )
+}
+
+/// [`qconv2d`] forced onto the scalar inner kernels — the retained
+/// differential baseline the SIMD dispatch is pinned against (bit-identical
+/// by the exactness of i32 accumulation).
+pub fn qconv2d_reference(
+    input: &QTensor,
+    weight: &QTensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> Tensor {
+    qconv2d_impl(input, weight, bias, stride, pad, groups, false)
+}
+
+fn qconv2d_impl(
+    input: &QTensor,
+    weight: &QTensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    use_simd: bool,
+) -> Tensor {
     let rescale = input.scale * weight.scale;
-    let (oshape, acc) = qconv_accumulate(input, weight, stride, pad, groups);
+    let (oshape, acc) = qconv_accumulate(input, weight, stride, pad, groups, use_simd);
     let plane = oshape.h * oshape.w;
     let data = acc
         .iter()
@@ -360,9 +465,59 @@ pub fn qconv2d_requant_into(
     acc: &mut Vec<i32>,
     out: &mut QTensor,
 ) {
+    qconv2d_requant_into_impl(
+        input,
+        weight,
+        bias,
+        stride,
+        pad,
+        groups,
+        relu,
+        out_scale,
+        acc,
+        out,
+        simd::avx2_enabled(),
+    );
+}
+
+/// [`qconv2d_requant`] forced onto the scalar inner kernels — the retained
+/// differential baseline for the deployed int8 chain.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv2d_requant_reference(
+    input: &QTensor,
+    weight: &QTensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    relu: bool,
+    out_scale: f32,
+) -> QTensor {
+    let mut acc = Vec::new();
+    let mut out = QTensor::scratch();
+    qconv2d_requant_into_impl(
+        input, weight, bias, stride, pad, groups, relu, out_scale, &mut acc, &mut out, false,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn qconv2d_requant_into_impl(
+    input: &QTensor,
+    weight: &QTensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    relu: bool,
+    out_scale: f32,
+    acc: &mut Vec<i32>,
+    out: &mut QTensor,
+    use_simd: bool,
+) {
     assert!(out_scale > 0.0, "scale must be positive");
     let rescale = input.scale * weight.scale;
-    let oshape = qconv_accumulate_into(input, weight, stride, pad, groups, acc);
+    let oshape = qconv_accumulate_into(input, weight, stride, pad, groups, acc, use_simd);
     let plane = oshape.h * oshape.w;
     out.shape = oshape;
     out.scale = out_scale;
@@ -401,6 +556,30 @@ pub fn qlinear(input: &QTensor, weight: &QTensor, bias: Option<&[f32]>) -> Tenso
 ///
 /// Same requirements as [`qlinear`].
 pub fn qlinear_into(input: &QTensor, weight: &QTensor, bias: Option<&[f32]>, out: &mut Tensor) {
+    qlinear_into_impl(input, weight, bias, out, simd::avx2_enabled());
+}
+
+/// [`qlinear`] forced onto the scalar dot kernel — the retained
+/// differential baseline for the gaze head.
+pub fn qlinear_reference(input: &QTensor, weight: &QTensor, bias: Option<&[f32]>) -> Tensor {
+    let mut out = Tensor::zeros(Shape::vector(1, 1));
+    qlinear_into_impl(input, weight, bias, &mut out, false);
+    out
+}
+
+/// The shared `qlinear` body. With `use_simd` the inner dot products run the
+/// AVX2 sign-split `maddubs` kernel ([`simd::qdot_i8`]) over a 4-output-row
+/// register tile ([`simd::qdot4_i8`]) that shares every activation load;
+/// i32 accumulation keeps both paths bit-identical.
+fn qlinear_into_impl(
+    input: &QTensor,
+    weight: &QTensor,
+    bias: Option<&[f32]>,
+    out: &mut Tensor,
+    use_simd: bool,
+) {
+    assert_nonzero_extents("qlinear input", input.shape);
+    assert_nonzero_extents("qlinear weight", weight.shape);
     let n = input.shape.n;
     let cin = input.shape.len() / n;
     let cout = weight.shape.n;
@@ -413,18 +592,31 @@ pub fn qlinear_into(input: &QTensor, weight: &QTensor, bias: Option<&[f32]>, out
     if let Some(b) = bias {
         assert_eq!(b.len(), cout, "bias length must equal output features");
     }
+    assert_reduction_depth("qlinear", cin);
     let rescale = input.scale * weight.scale;
     out.reset(Shape::vector(n, cout));
     let o = out.as_mut_slice();
+    let wrow = |j: usize| &weight.data[j * cin..(j + 1) * cin];
     for i in 0..n {
         let xrow = &input.data[i * cin..(i + 1) * cin];
-        for j in 0..cout {
-            let wrow = &weight.data[j * cin..(j + 1) * cin];
-            let mut acc: i32 = 0;
-            for (&a, &b) in xrow.iter().zip(wrow) {
-                acc += a as i32 * b as i32;
+        let orow = &mut o[i * cout..(i + 1) * cout];
+        let mut j = 0;
+        if use_simd {
+            while j + 4 <= cout {
+                let dots = simd::qdot4_i8(xrow, [wrow(j), wrow(j + 1), wrow(j + 2), wrow(j + 3)]);
+                for (t, &d) in dots.iter().enumerate() {
+                    orow[j + t] = d as f32 * rescale + bias.map_or(0.0, |b| b[j + t]);
+                }
+                j += 4;
             }
-            o[i * cout + j] = acc as f32 * rescale + bias.map_or(0.0, |b| b[j]);
+        }
+        let dot: fn(&[i8], &[i8]) -> i32 = if use_simd {
+            simd::qdot_i8
+        } else {
+            simd::qdot_i8_scalar
+        };
+        for (jj, ov) in orow.iter_mut().enumerate().skip(j) {
+            *ov = dot(xrow, wrow(jj)) as f32 * rescale + bias.map_or(0.0, |b| b[jj]);
         }
     }
 }
@@ -440,9 +632,21 @@ pub fn qglobal_avg_pool(input: &QTensor) -> QTensor {
 
 /// [`qglobal_avg_pool`] writing into a caller-owned tensor (allocation-free
 /// once the output buffer is warm).
+///
+/// # Panics
+///
+/// Panics on degenerate extents. A zero-area plane in particular used to
+/// slip through silently: `sum · (1/0) = 0 · inf = NaN`, and `NaN as i8`
+/// saturates to 0, so a malformed shape produced an all-zero pool instead
+/// of an error. Also rejects planes deeper than the i32 sum can hold.
 pub fn qglobal_avg_pool_into(input: &QTensor, out: &mut QTensor) {
     let s = input.shape;
+    assert_nonzero_extents("qglobal_avg_pool input", s);
     let plane = s.h * s.w;
+    assert!(
+        plane as u64 * 127 <= i32::MAX as u64,
+        "qglobal_avg_pool plane {plane} too large: i32 sum of i8 values could overflow"
+    );
     let inv = 1.0 / plane as f32;
     out.shape = Shape::vector(s.n, s.c);
     out.scale = input.scale;
@@ -731,5 +935,105 @@ mod tests {
         let mut q = QTensor::scratch();
         QTensor::quantize_with_scale_into(&x, 0.01, &mut q);
         assert_eq!(q, QTensor::quantize_with_scale(&x, 0.01));
+    }
+
+    /// A QTensor whose shape bypassed [`Shape::new`]'s validation through
+    /// the public fields — the degenerate-shape hole the quant ops must
+    /// reject loudly.
+    fn degenerate_qtensor(n: usize, c: usize, h: usize, w: usize) -> QTensor {
+        let shape = Shape { n, c, h, w };
+        let t = Tensor::from_vec(shape, vec![0.5; n * c * h * w]);
+        // bypass quantize_with_scale_into's own validation by patching the
+        // shape after a legal quantisation
+        let mut q = QTensor::quantize(&Tensor::from_vec(
+            Shape::new(1, 1, 1, (n * c * h * w).max(1)),
+            t.as_slice()
+                .to_vec()
+                .into_iter()
+                .chain([0.0])
+                .take((n * c * h * w).max(1))
+                .collect(),
+        ));
+        q.shape = shape;
+        q.data.truncate(n * c * h * w);
+        q
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero extents")]
+    fn pool_rejects_zero_area_plane_instead_of_nan_zero() {
+        // regression: h=0 made `plane == 0`, so `0 · inf = NaN`, and
+        // `NaN as i8` silently became 0 — now it panics with a clear message
+        let q = degenerate_qtensor(1, 3, 0, 4);
+        let mut out = QTensor::scratch();
+        qglobal_avg_pool_into(&q, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero extents")]
+    fn qlinear_rejects_zero_batch() {
+        let q = degenerate_qtensor(0, 4, 1, 1);
+        let w = QTensor::quantize(&Tensor::ones(Shape::vector(2, 4)));
+        qlinear(&q, &w, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero extents")]
+    fn qconv_rejects_zero_extent_input() {
+        let q = degenerate_qtensor(1, 0, 4, 4);
+        let w = QTensor::quantize(&Tensor::ones(Shape::new(2, 1, 3, 3)));
+        qconv2d(&q, &w, None, 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must be non-zero")]
+    fn qconv_rejects_zero_groups() {
+        let q = QTensor::quantize(&Tensor::ones(Shape::new(1, 2, 4, 4)));
+        let w = QTensor::quantize(&Tensor::ones(Shape::new(2, 2, 3, 3)));
+        qconv2d(&q, &w, None, 1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero extents")]
+    fn quantize_into_rejects_degenerate_shapes() {
+        let t = Tensor::from_vec(
+            Shape {
+                n: 1,
+                c: 2,
+                h: 0,
+                w: 4,
+            },
+            vec![],
+        );
+        let mut q = QTensor::scratch();
+        QTensor::quantize_with_scale_into(&t, 0.1, &mut q);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_REDUCTION_DEPTH")]
+    fn qlinear_rejects_overflowable_reduction_depth() {
+        // K = MAX_REDUCTION_DEPTH + 1 all-(±127) products would overflow the
+        // i32 accumulator; the bound must trip before any arithmetic runs
+        let k = MAX_REDUCTION_DEPTH + 1;
+        let x = QTensor::quantize(&Tensor::full(Shape::new(1, 1, 1, k), 1.0));
+        let w = QTensor::quantize(&Tensor::full(Shape::new(1, 1, 1, k), 1.0));
+        qlinear(&x, &w, None);
+    }
+
+    #[test]
+    fn simd_and_reference_paths_are_bit_identical_here_too() {
+        // the full proptest suite lives in tests/simd_bit_equality.rs; this
+        // inline check keeps the contract visible next to the kernels
+        let mut rng = StdRng::seed_from_u64(23);
+        let x = Tensor::from_fn(Shape::new(1, 3, 9, 17), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let w = Tensor::from_fn(Shape::new(4, 3, 3, 3), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let (qx, qw) = (QTensor::quantize(&x), QTensor::quantize(&w));
+        let a = qconv2d(&qx, &qw, None, 1, 1, 1);
+        let b = qconv2d_reference(&qx, &qw, None, 1, 1, 1);
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 }

@@ -7,7 +7,7 @@
 //! non-zero padding, dense, grouped and depth-wise channel wiring.
 
 use eyecod_tensor::ops;
-use eyecod_tensor::quant::{qconv2d, QTensor};
+use eyecod_tensor::quant::{qconv2d, qconv2d_reference, QTensor};
 use eyecod_tensor::{Shape, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,9 +33,9 @@ struct Geometry {
     groups: usize,
 }
 
-#[test]
-fn qconv2d_matches_conv2d_on_fake_quantized_operands_across_geometries() {
-    let cases = [
+/// The geometry grid the gaze network actually exercises.
+fn geometries() -> [Geometry; 7] {
+    [
         Geometry {
             name: "dense 3x3, stride 1, pad 1 (stem conv)",
             input: Shape::new(1, 1, 12, 16),
@@ -92,9 +92,13 @@ fn qconv2d_matches_conv2d_on_fake_quantized_operands_across_geometries() {
             pad: 2,
             groups: 4,
         },
-    ];
+    ]
+}
+
+#[test]
+fn qconv2d_matches_conv2d_on_fake_quantized_operands_across_geometries() {
     let mut rng = StdRng::seed_from_u64(0xD1FF);
-    for (i, g) in cases.iter().enumerate() {
+    for (i, g) in geometries().iter().enumerate() {
         let x = random_tensor(g.input, &mut rng);
         let w = random_tensor(g.weight, &mut rng);
         let bias: Vec<f32> = (0..g.weight.n).map(|_| rng.gen_range(-0.5..0.5)).collect();
@@ -111,6 +115,35 @@ fn qconv2d_matches_conv2d_on_fake_quantized_operands_across_geometries() {
         assert!(
             diff < 1e-3,
             "case {i} ({}): int8 diverged from fake-quantised f32 by {diff}",
+            g.name
+        );
+    }
+}
+
+#[test]
+fn dispatched_qconv2d_is_bit_identical_to_reference_across_geometries() {
+    // the same 7-geometry sweep, but comparing the runtime-dispatched int8
+    // kernel against the pinned-scalar reference: integer i32 accumulation
+    // is exact, so whichever path dispatch picks in this process (AVX2 or
+    // scalar, depending on the host and EYECOD_NO_SIMD) the results must
+    // agree bit for bit — `==`, not a tolerance
+    let mut rng = StdRng::seed_from_u64(0x51D);
+    for (i, g) in geometries().iter().enumerate() {
+        let qx = QTensor::quantize(&random_tensor(g.input, &mut rng));
+        let qw = QTensor::quantize(&random_tensor(g.weight, &mut rng));
+        let bias: Vec<f32> = (0..g.weight.n).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let fast = qconv2d(&qx, &qw, Some(&bias), g.stride, g.pad, g.groups);
+        let reference = qconv2d_reference(&qx, &qw, Some(&bias), g.stride, g.pad, g.groups);
+        assert_eq!(
+            fast.shape(),
+            reference.shape(),
+            "case {i} ({}): shape",
+            g.name
+        );
+        assert_eq!(
+            fast.as_slice(),
+            reference.as_slice(),
+            "case {i} ({}): dispatched kernel diverged from scalar reference",
             g.name
         );
     }
