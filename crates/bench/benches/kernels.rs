@@ -123,7 +123,14 @@ struct KernelRow {
     naive_ns: u64,
     blocked_ns: u64,
     speedup: f64,
+    /// Logical CPUs visible to this run — kernel timings on a shared or
+    /// single-core host are not comparable to a dedicated many-core box.
+    host_parallelism: usize,
     note: String,
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
 }
 
 /// Best-of-N wall time of `f` in nanoseconds.
@@ -156,6 +163,7 @@ fn write_kernel_artifact() {
             naive_ns,
             blocked_ns,
             speedup: naive_ns as f64 / blocked_ns as f64,
+            host_parallelism: host_parallelism(),
             note: String::new(),
         });
     }
@@ -177,6 +185,7 @@ fn write_kernel_artifact() {
         naive_ns: direct_ns,
         blocked_ns: gemm_ns,
         speedup: direct_ns as f64 / gemm_ns as f64,
+        host_parallelism: host_parallelism(),
         note: String::new(),
     });
 
@@ -204,6 +213,7 @@ fn write_kernel_artifact() {
         naive_ns: scalar_ns,
         blocked_ns: dispatch_ns,
         speedup: scalar_ns as f64 / dispatch_ns as f64,
+        host_parallelism: host_parallelism(),
         note: simd_note.clone(),
     });
 
@@ -220,6 +230,7 @@ fn write_kernel_artifact() {
         naive_ns: scalar_ns,
         blocked_ns: dispatch_ns,
         speedup: scalar_ns as f64 / dispatch_ns as f64,
+        host_parallelism: host_parallelism(),
         note: simd_note.clone(),
     });
 
@@ -232,6 +243,7 @@ fn write_kernel_artifact() {
         naive_ns: scalar_ns,
         blocked_ns: dispatch_ns,
         speedup: scalar_ns as f64 / dispatch_ns as f64,
+        host_parallelism: host_parallelism(),
         note: simd_note,
     });
 

@@ -1,15 +1,20 @@
-//! Serving-layer benchmarks: full serve-tick throughput and the
-//! cross-session gaze micro-batching payoff.
+//! Serving-layer benchmarks: serve-tick throughput under all three tick
+//! modes and the cross-session gaze micro-batching payoff.
 //!
 //! Two outputs:
 //!
-//! * `serve/*` criterion groups for interactive comparison
-//!   (`cargo bench -p eyecod-bench --bench serve`);
+//! * `serve/schedule_{n}/{seq,par,scheduled}` criterion groups for
+//!   interactive comparison (`cargo bench -p eyecod-bench --bench serve`);
 //! * a `BENCH_serve.json` artifact at the repository root with one row per
-//!   fleet size {1, 16, 256}: best-of-N serve-tick wall time / FPS, and
-//!   the gaze-forward throughput of one batched GEMM against the same
-//!   crops forwarded one session at a time — the record behind the
-//!   "batched ≥ 1.2× per-session at 256 sessions" acceptance line.
+//!   fleet size {1, 16, 256}: best-of-N steady-state tick wall time / FPS
+//!   for the sequential AoS reference, the batched tick, and the columnar
+//!   scheduled tick, plus the gaze-forward throughput of one batched GEMM
+//!   against the same crops forwarded one session at a time — the record
+//!   behind the "batched ≥ 1.2× per-session at 256 sessions" acceptance
+//!   line. Every row carries `host_parallelism` and a non-empty `note`
+//!   saying what the numbers mean on *this* host: tick-mode deltas are a
+//!   function of worker count, so a 1-core container's seq ≈ par ≈ sched
+//!   is expected, not a regression.
 
 use criterion::{criterion_group, Criterion};
 use eyecod_core::tracker::{GazeBackend, TrackerConfig};
@@ -17,7 +22,7 @@ use eyecod_core::training::{train_tracker_models, TrackerModels, TrainingSetup};
 use eyecod_eyedata::render::{render_eye, EyeParams};
 use eyecod_faults::FaultPlan;
 use eyecod_models::infer::GazeInferWorkspace;
-use eyecod_serve::{ServeConfig, ServeRegistry, SessionId};
+use eyecod_serve::{ServeConfig, ServeRegistry, SessionId, TickMode};
 use eyecod_tensor::{Shape, Tensor};
 use serde::Serialize;
 use std::path::Path;
@@ -25,6 +30,11 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 const FLEETS: [usize; 3] = [1, 16, 256];
+const MODES: [(TickMode, &str); 3] = [
+    (TickMode::Sequential, "seq"),
+    (TickMode::Batched, "par"),
+    (TickMode::Scheduled, "scheduled"),
+];
 
 fn shared() -> &'static (TrackerConfig, TrackerModels, Tensor) {
     static SHARED: OnceLock<(TrackerConfig, TrackerModels, Tensor)> = OnceLock::new();
@@ -36,12 +46,16 @@ fn shared() -> &'static (TrackerConfig, TrackerModels, Tensor) {
     })
 }
 
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
 /// A warm fleet: `n` sessions (alternating f32/int8), fed and ticked past
 /// ROI refresh and int8 calibration so measured ticks are steady-state.
-fn warm_fleet(n: usize, batching: bool) -> (ServeRegistry, Vec<SessionId>) {
+fn warm_fleet(n: usize, mode: TickMode) -> (ServeRegistry, Vec<SessionId>) {
     let (cfg, models, scene) = shared();
     let mut sc = ServeConfig::new(cfg.clone());
-    sc.batching = batching;
+    sc.mode = mode;
     sc.queue_capacity = 4;
     let mut reg = ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none());
     let ids: Vec<_> = (0..n)
@@ -66,17 +80,19 @@ fn warm_fleet(n: usize, batching: bool) -> (ServeRegistry, Vec<SessionId>) {
 fn bench(c: &mut Criterion) {
     let (_, _, scene) = shared();
     for n in FLEETS {
-        let (mut reg, ids) = warm_fleet(n, true);
-        let mut round = 100u64;
-        c.bench_function(&format!("serve/tick_{n}_sessions"), |bch| {
-            bch.iter(|| {
-                for id in &ids {
-                    reg.feed(*id, scene, round).unwrap();
-                }
-                round += 1;
-                reg.tick()
-            })
-        });
+        for (mode, tag) in MODES {
+            let (mut reg, ids) = warm_fleet(n, mode);
+            let mut round = 100u64;
+            c.bench_function(&format!("serve/schedule_{n}/{tag}"), |bch| {
+                bch.iter(|| {
+                    for id in &ids {
+                        reg.feed(*id, scene, round).unwrap();
+                    }
+                    round += 1;
+                    reg.tick()
+                })
+            });
+        }
     }
 }
 
@@ -93,40 +109,58 @@ fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
         .unwrap()
 }
 
+/// Best-of-N steady-state serve tick through a warm registry.
+fn measure_tick(n: usize, mode: TickMode) -> u64 {
+    let (_, _, scene) = shared();
+    let (mut reg, ids) = warm_fleet(n, mode);
+    let mut round = 100u64;
+    best_of(12, || {
+        for id in &ids {
+            reg.feed(*id, scene, round).unwrap();
+        }
+        round += 1;
+        reg.tick()
+    })
+}
+
 #[derive(Serialize)]
 struct ServeRow {
     sessions: usize,
-    /// Best-of-N steady-state serve tick (batching on), full pipeline:
-    /// stage + parallel prepare + batched forwards + completion.
-    tick_ns: u64,
-    /// Frames per second the tick sustains at this fleet size.
-    tick_fps: f64,
+    /// Sequential AoS reference tick: every stage inline, one session at a
+    /// time — the semantics every other mode is pinned against.
+    seq_tick_ns: u64,
+    seq_fps: f64,
+    /// Batched tick: pooled per-session prepare + cross-session batched
+    /// gaze forwards.
+    par_tick_ns: u64,
+    par_fps: f64,
+    /// Columnar scheduled tick: per-stage batch kernels pipelined across
+    /// session shards (the Act-GB-style stage wavefront).
+    sched_tick_ns: u64,
+    sched_fps: f64,
     /// One batched gaze GEMM over all `sessions` crops.
     batched_gaze_ns: u64,
     /// The same crops forwarded one at a time (the per-session regime
     /// micro-batching replaces).
     per_session_gaze_ns: u64,
     gaze_speedup: f64,
+    /// Logical CPUs visible to this run. Tick-mode deltas scale with pool
+    /// workers, so rows from hosts with different parallelism are not
+    /// comparable.
+    host_parallelism: usize,
+    /// Always non-empty: how to read this row on this host.
     note: String,
 }
 
 fn write_serve_artifact() {
     let (cfg, models, _) = shared();
     let (gh, gw) = cfg.gaze_input;
+    let cores = host_parallelism();
     let mut rows = Vec::new();
     for n in FLEETS {
-        // full serve-tick throughput through a warm registry
-        let (mut reg, ids) = warm_fleet(n, true);
-        let (_, _, scene) = shared();
-        let mut round = 100u64;
-        let tick_ns = best_of(12, || {
-            for id in &ids {
-                reg.feed(*id, scene, round).unwrap();
-            }
-            round += 1;
-            reg.tick()
-        });
-        let tick_fps = n as f64 * 1e9 / tick_ns as f64;
+        let seq_tick_ns = measure_tick(n, TickMode::Sequential);
+        let par_tick_ns = measure_tick(n, TickMode::Batched);
+        let sched_tick_ns = measure_tick(n, TickMode::Scheduled);
 
         // the gaze-forward payoff in isolation: one batched GEMM over the
         // fleet's crops vs the same crops forwarded one session at a time
@@ -149,23 +183,28 @@ fn write_serve_artifact() {
             }
         });
         let gaze_speedup = per_session_gaze_ns as f64 / batched_gaze_ns as f64;
-        let note = if n >= 256 && gaze_speedup < 1.2 {
-            format!(
-                "batched {gaze_speedup:.2}x below the 1.2x line: single-core host \
-                 ({} available), so batching can only amortise per-forward overhead, \
-                 not add parallel lanes",
-                std::thread::available_parallelism().map_or(1, |p| p.get())
-            )
-        } else {
-            String::new()
-        };
+        let mut note = format!(
+            "{cores}-core host: tick-mode deltas scale with pool workers \
+             (seq is the single-thread reference)"
+        );
+        if n >= 256 && gaze_speedup < 1.2 {
+            note.push_str(&format!(
+                "; batched gaze {gaze_speedup:.2}x below the 1.2x line: batching can \
+                 only amortise per-forward overhead here, not add parallel lanes"
+            ));
+        }
         rows.push(ServeRow {
             sessions: n,
-            tick_ns,
-            tick_fps,
+            seq_tick_ns,
+            seq_fps: n as f64 * 1e9 / seq_tick_ns as f64,
+            par_tick_ns,
+            par_fps: n as f64 * 1e9 / par_tick_ns as f64,
+            sched_tick_ns,
+            sched_fps: n as f64 * 1e9 / sched_tick_ns as f64,
             batched_gaze_ns,
             per_session_gaze_ns,
             gaze_speedup,
+            host_parallelism: cores,
             note,
         });
     }
@@ -174,8 +213,15 @@ fn write_serve_artifact() {
     eyecod_bench::reporting::write_json(root, "BENCH_serve", &rows);
     for r in &rows {
         println!(
-            "{:>4} sessions: tick {:>12} ns ({:>10.1} fps)   gaze batched {:>12} ns vs per-session {:>12} ns   {:.2}x {}",
-            r.sessions, r.tick_ns, r.tick_fps, r.batched_gaze_ns, r.per_session_gaze_ns, r.gaze_speedup, r.note
+            "{:>4} sessions: seq {:>12} ns ({:>10.1} fps)  par {:>12} ns ({:>10.1} fps)  sched {:>12} ns ({:>10.1} fps)  gaze batched {:.2}x",
+            r.sessions,
+            r.seq_tick_ns,
+            r.seq_fps,
+            r.par_tick_ns,
+            r.par_fps,
+            r.sched_tick_ns,
+            r.sched_fps,
+            r.gaze_speedup
         );
     }
 }

@@ -158,6 +158,11 @@ impl Acquisition {
     /// `write_tensor`), each of which is byte-identical to its allocating
     /// counterpart, so both variants produce identical images.
     ///
+    /// Implemented as [`Acquisition::capture_faulted_into`] followed by
+    /// [`Acquisition::recon_into`]: the columnar serve scheduler runs those
+    /// two halves as separate column sweeps, and this composition is the
+    /// conformance reference that keeps them byte-identical.
+    ///
     /// Returns the number of injected fault events.
     #[allow(clippy::too_many_arguments)]
     pub fn acquire_faulted_into(
@@ -170,6 +175,28 @@ impl Acquisition {
         scratch: &mut AcquireScratch,
         out: &mut Tensor,
     ) -> u32 {
+        let injected = self.capture_faulted_into(scene, seed, plan, frame, attempt, scratch);
+        self.recon_into(scratch, out);
+        injected
+    }
+
+    /// The capture half of [`Acquisition::acquire_faulted_into`]: sensor
+    /// exposure, sensor-plane degradation, and link-plane transport faults,
+    /// leaving the transported signal staged inside `scratch` (the FlatCam
+    /// measurement in `y`, or the focused image in `m` for the lens
+    /// baseline). [`Acquisition::recon_into`] turns the staged signal into
+    /// the image the pipeline sees.
+    ///
+    /// Returns the number of injected fault events.
+    pub fn capture_faulted_into(
+        &self,
+        scene: &Tensor,
+        seed: u64,
+        plan: &FaultPlan,
+        frame: u64,
+        attempt: u64,
+        scratch: &mut AcquireScratch,
+    ) -> u32 {
         let s = scene.shape();
         assert_eq!(s.h, s.w, "scenes must be square, got {s}");
         let capture_seed = seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -180,21 +207,30 @@ impl Acquisition {
                 let mut injected =
                     degrade_measurement(plan, &mut scratch.m, frame, sensor.saturation);
                 injected += apply_link_faults(plan, &mut scratch.m, frame, attempt);
-                scratch.m.write_tensor(out);
                 injected
             }
-            Acquisition::FlatCam {
-                camera,
-                reconstructor,
-            } => {
+            Acquisition::FlatCam { camera, .. } => {
                 scratch.m.assign_tensor(scene);
                 camera.capture_into(&scratch.m, capture_seed, &mut scratch.tmp, &mut scratch.y);
                 let mut injected =
                     degrade_measurement(plan, &mut scratch.y, frame, camera.sensor().saturation);
                 injected += apply_link_faults(plan, &mut scratch.y, frame, attempt);
+                injected
+            }
+        }
+    }
+
+    /// The reconstruction half of [`Acquisition::acquire_faulted_into`]:
+    /// reads the signal a matching [`Acquisition::capture_faulted_into`]
+    /// staged in `scratch` and writes the image the processing pipeline
+    /// sees into `out` (Tikhonov reconstruction for the FlatCam, a plain
+    /// copy for the lens baseline). Allocation-free once buffers are sized.
+    pub fn recon_into(&self, scratch: &mut AcquireScratch, out: &mut Tensor) {
+        match self {
+            Acquisition::Lens { .. } => scratch.m.write_tensor(out),
+            Acquisition::FlatCam { reconstructor, .. } => {
                 reconstructor.reconstruct_into(&scratch.y, &mut scratch.ws, &mut scratch.recon);
                 scratch.recon.write_tensor(out);
-                injected
             }
         }
     }

@@ -298,15 +298,7 @@ impl FrameScratch {
 /// [`EyeTracker::process_frame`] path.
 pub struct PreparedFrame {
     scratch: Box<FrameScratch>,
-    frame: u64,
-    plan: FaultPlan,
-    ff: FrameFaults,
-    degraded: bool,
-    has_image: bool,
-    due: bool,
-    refreshed: bool,
-    allocs_before: u64,
-    started: std::time::Instant,
+    cur: StageCursor,
 }
 
 impl PreparedFrame {
@@ -315,7 +307,7 @@ impl PreparedFrame {
     /// takes the missing-frame fallback path and no gaze forward is
     /// needed.
     pub fn has_gaze_input(&self) -> bool {
-        self.has_image
+        self.cur.has_image
     }
 
     /// The resized gaze-network input staged for this frame
@@ -327,11 +319,78 @@ impl PreparedFrame {
 
     /// Frame index this preparation belongs to.
     pub fn frame(&self) -> u64 {
-        self.frame
+        self.cur.frame
     }
 
     /// Whether the segmentation model ran and re-anchored the ROI during
     /// preparation.
+    pub fn roi_refreshed(&self) -> bool {
+        self.cur.refreshed
+    }
+}
+
+/// What the capture stage staged for the reconstruction stage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CaptureOutcome {
+    /// The capture stage has not run yet.
+    Pending,
+    /// Frame lost in transit (drop or missed deadline): reconstruction
+    /// serves the last-good fallback instead.
+    Missing,
+    /// Silent sensor duplicate: reconstruction re-serves the last-good
+    /// image (only declared when one exists).
+    Duplicate,
+    /// A fresh attempt-0 capture is staged in the acquisition scratch.
+    Fresh,
+}
+
+/// Per-frame control state threaded through the per-stage entry points
+/// ([`EyeTracker::begin_frame`] → [`EyeTracker::capture_stage`] →
+/// [`EyeTracker::recon_stage`] → [`EyeTracker::roi_stage`] →
+/// [`EyeTracker::crop_stage`] → [`EyeTracker::complete_stage`]).
+///
+/// The cursor carries everything a frame accumulates between stages —
+/// fault plan, fault accounting, degradation flags, the ROI-refresh
+/// schedule decision — while the image/crop/prediction buffers themselves
+/// are borrowed from the caller at each stage. That inversion is what lets
+/// a columnar serving layer keep those buffers in per-stage columns and
+/// sweep one stage across many sessions; [`EyeTracker::prepare_frame`] is
+/// re-expressed on the same entry points over the tracker-owned
+/// [`FrameScratch`], so both layouts execute identical code and stay
+/// byte-identical by construction.
+pub struct StageCursor {
+    frame: u64,
+    plan: FaultPlan,
+    ff: FrameFaults,
+    degraded: bool,
+    capture: CaptureOutcome,
+    has_image: bool,
+    due: bool,
+    refreshed: bool,
+    allocs_before: u64,
+    started: std::time::Instant,
+}
+
+impl StageCursor {
+    /// Frame index this cursor belongs to — the conformance key a
+    /// columnar scheduler checks at every stage boundary (no stage may
+    /// consume a previous stage's output from a different frame index).
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// Whether acquisition produced an image and a gaze input will be
+    /// staged by the crop stage.
+    pub fn has_gaze_input(&self) -> bool {
+        self.has_image
+    }
+
+    /// Whether this frame is a scheduled ROI-refresh frame.
+    pub fn due(&self) -> bool {
+        self.due
+    }
+
+    /// Whether the segmentation model ran and re-anchored the ROI.
     pub fn roi_refreshed(&self) -> bool {
         self.refreshed
     }
@@ -450,6 +509,13 @@ impl EyeTracker {
         self.current_roi
     }
 
+    /// Frames accounted so far (processed + shed) — the index the next
+    /// frame will carry. A serving layer uses this to predict whether the
+    /// next frame is a scheduled ROI-refresh frame before any stage runs.
+    pub fn frames_processed(&self) -> u64 {
+        self.frame_counter
+    }
+
     /// The most recent segmentation label map (segmentation resolution),
     /// if a refresh has happened.
     pub fn last_labels(&self) -> Option<&[u8]> {
@@ -516,6 +582,56 @@ impl EyeTracker {
     ///
     /// Panics if the scene resolution does not match the configuration.
     pub fn prepare_frame(&mut self, scene: &Tensor, noise_seed: u64) -> PreparedFrame {
+        let mut cur = self.begin_frame(scene);
+        let mut scratch = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| Box::new(FrameScratch::new()));
+
+        static_histogram!("tracker/acquire_ns").time(|| {
+            self.capture_stage(&mut cur, scene, noise_seed, &mut scratch.acquire);
+            self.recon_stage(
+                &mut cur,
+                scene,
+                noise_seed,
+                &mut scratch.acquire,
+                &mut scratch.image,
+            );
+        });
+
+        if cur.has_image {
+            if cur.due {
+                static_histogram!("tracker/segment_ns")
+                    .time(|| self.roi_stage(&mut cur, &scratch.image));
+            }
+            static_histogram!("tracker/crop_resize_ns").time(|| {
+                let FrameScratch {
+                    image,
+                    crop,
+                    gaze_in,
+                    ..
+                } = &mut *scratch;
+                self.crop_stage(&cur, image, crop, gaze_in);
+            });
+        }
+
+        PreparedFrame { scratch, cur }
+    }
+
+    /// Opens a frame for per-stage processing: validates the scene shape,
+    /// accounts the frame, snapshots the fault plan and the ROI-refresh
+    /// schedule decision, and returns the [`StageCursor`] the remaining
+    /// stage entry points thread through. The first stage of the
+    /// decomposed pipeline a columnar scheduler drives directly;
+    /// [`EyeTracker::prepare_frame`] is exactly `begin_frame` +
+    /// [`EyeTracker::capture_stage`] + [`EyeTracker::recon_stage`] +
+    /// [`EyeTracker::roi_stage`] + [`EyeTracker::crop_stage`] over the
+    /// tracker-owned scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene resolution does not match the configuration.
+    pub fn begin_frame(&mut self, scene: &Tensor) -> StageCursor {
         let allocs_before = crate::alloc_counter::allocations();
         static_counter!("tracker/frames").inc();
         let started = std::time::Instant::now();
@@ -527,64 +643,203 @@ impl EyeTracker {
             self.config.scene_size
         );
         let frame = self.frame_counter;
-        let plan = self.faults.clone();
-        let mut ff = FrameFaults::default();
-        let mut degraded = false;
-        let mut scratch = self
-            .scratch
-            .take()
-            .unwrap_or_else(|| Box::new(FrameScratch::new()));
-
-        let has_image = static_histogram!("tracker/acquire_ns").time(|| {
-            self.acquire_with_recovery(
-                scene,
-                noise_seed,
-                &plan,
-                frame,
-                &mut scratch,
-                &mut ff,
-                &mut degraded,
-            )
-        });
-
-        let due = frame.is_multiple_of(self.config.roi_period as u64);
-        let mut refreshed = false;
-        if has_image {
-            if due {
-                refreshed = static_histogram!("tracker/segment_ns").time(|| {
-                    self.refresh_roi_with_recovery(
-                        &scratch.image,
-                        &plan,
-                        frame,
-                        &mut ff,
-                        &mut degraded,
-                    )
-                });
-            }
-            static_histogram!("tracker/crop_resize_ns").time(|| {
-                self.current_roi
-                    .crop_into(&scratch.image, &mut scratch.crop);
-                resize_bilinear_into(
-                    &scratch.crop,
-                    self.config.gaze_input.0,
-                    self.config.gaze_input.1,
-                    &mut scratch.gaze_in,
-                );
-            });
+        StageCursor {
+            frame,
+            plan: self.faults.clone(),
+            ff: FrameFaults::default(),
+            degraded: false,
+            capture: CaptureOutcome::Pending,
+            has_image: false,
+            due: frame.is_multiple_of(self.config.roi_period as u64),
+            refreshed: false,
+            allocs_before,
+            started,
         }
+    }
 
-        PreparedFrame {
-            scratch,
+    /// The capture stage: decides the sensor-plane outcome for this frame
+    /// (drop, deadline miss, silent duplicate, or a fresh exposure) and,
+    /// for a fresh exposure, runs the attempt-0 capture — sensor noise,
+    /// sensor-plane degradation and link-plane transport faults — leaving
+    /// the transported measurement staged in `acquire`.
+    /// [`EyeTracker::recon_stage`] consumes the staged outcome.
+    pub fn capture_stage(
+        &mut self,
+        cur: &mut StageCursor,
+        scene: &Tensor,
+        noise_seed: u64,
+        acquire: &mut AcquireScratch,
+    ) {
+        // a dropped frame never arrives; a delayed one misses its deadline
+        // — the real-time pipeline treats both as a missing frame
+        let dropped = cur.plan.fires(FaultSite::SensorFrameDrop, cur.frame);
+        let delayed = !dropped && cur.plan.fires(FaultSite::LinkDelay, cur.frame);
+        if dropped || delayed {
+            cur.ff.injected += 1;
+            if dropped {
+                static_counter!("tracker/frames_dropped").inc();
+            } else {
+                static_counter!("tracker/frames_delayed").inc();
+            }
+            cur.degraded = true;
+            cur.capture = CaptureOutcome::Missing;
+            return;
+        }
+        // a silent duplicate: the camera re-delivers the previous frame
+        // and the pipeline cannot tell — it simply processes stale data
+        if cur.plan.fires(FaultSite::SensorFrameDuplicate, cur.frame) && self.last_image.is_some() {
+            cur.ff.injected += 1;
+            static_counter!("tracker/frames_duplicated").inc();
+            cur.capture = CaptureOutcome::Duplicate;
+            return;
+        }
+        let injected = self
+            .acquisition
+            .capture_faulted_into(scene, noise_seed, &cur.plan, cur.frame, 0, acquire);
+        cur.ff.injected += injected;
+        cur.capture = CaptureOutcome::Fresh;
+    }
+
+    /// The reconstruction stage: turns the capture stage's staged outcome
+    /// into the image the rest of the pipeline sees, written into `image`.
+    /// A fresh capture is reconstructed and sanity-checked; detected
+    /// transport corruption is re-requested within the recovery policy's
+    /// retry budget (each attempt re-draws the link faults with its own
+    /// salt, re-running capture + reconstruction); a missing frame falls
+    /// back to the last-good image. After this stage
+    /// [`StageCursor::has_gaze_input`] is final.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`EyeTracker::capture_stage`] for the same
+    /// cursor.
+    pub fn recon_stage(
+        &mut self,
+        cur: &mut StageCursor,
+        scene: &Tensor,
+        noise_seed: u64,
+        acquire: &mut AcquireScratch,
+        image: &mut Tensor,
+    ) {
+        match cur.capture {
+            CaptureOutcome::Pending => panic!("recon_stage called before capture_stage"),
+            CaptureOutcome::Missing => {
+                cur.has_image = match &self.last_image {
+                    Some(prev) => {
+                        cur.ff.recovered += 1;
+                        self.image_staleness += 1;
+                        image.copy_from(prev);
+                        true
+                    }
+                    None => {
+                        cur.ff.unrecovered += 1;
+                        false
+                    }
+                };
+            }
+            CaptureOutcome::Duplicate => {
+                let prev = self
+                    .last_image
+                    .as_ref()
+                    .expect("duplicate needs last image");
+                image.copy_from(prev);
+                cur.has_image = true;
+            }
+            CaptureOutcome::Fresh => {
+                // attempt 0 reconstructs the already-staged measurement;
+                // detected corruption is re-requested within budget (each
+                // retry is a full fresh capture + reconstruction)
+                let budget = self.recovery.max_stage_retries as u64;
+                for attempt in 0..=budget {
+                    if attempt == 0 {
+                        self.acquisition.recon_into(acquire, image);
+                    } else {
+                        let injected = self.acquisition.acquire_faulted_into(
+                            scene, noise_seed, &cur.plan, cur.frame, attempt, acquire, image,
+                        );
+                        cur.ff.injected += injected;
+                    }
+                    if image_is_sane(image) {
+                        if attempt > 0 {
+                            cur.ff.recovered += 1;
+                            cur.degraded = true;
+                            static_counter!("tracker/acquire_retries").add(attempt);
+                        }
+                        if let Some(buf) = self.last_image.as_mut() {
+                            buf.copy_from(image);
+                        } else {
+                            self.last_image = Some(image.clone());
+                        }
+                        self.image_staleness = 0;
+                        cur.has_image = true;
+                        return;
+                    }
+                    static_counter!("tracker/acquire_corrupt").inc();
+                }
+                // budget exhausted on a corrupt transfer
+                cur.degraded = true;
+                cur.has_image = match &self.last_image {
+                    Some(prev) => {
+                        cur.ff.recovered += 1;
+                        self.image_staleness += 1;
+                        image.copy_from(prev);
+                        true
+                    }
+                    None => {
+                        // nothing good has ever arrived: flush the
+                        // corruption to finite values and limp on with a
+                        // best-effort image
+                        cur.ff.unrecovered += 1;
+                        let _ = self.acquisition.acquire_faulted_into(
+                            scene, noise_seed, &cur.plan, cur.frame, 0, acquire, image,
+                        );
+                        sanitize_image_inplace(image);
+                        true
+                    }
+                };
+            }
+        }
+    }
+
+    /// The scheduled ROI-refresh stage: runs segmentation and re-anchors
+    /// the ROI when this frame is due and an image arrived; a no-op
+    /// otherwise. Retries, label validation and drift clamping follow the
+    /// recovery policy exactly as in the fused path.
+    pub fn roi_stage(&mut self, cur: &mut StageCursor, image: &Tensor) {
+        if !(cur.has_image && cur.due) {
+            return;
+        }
+        let StageCursor {
             frame,
             plan,
             ff,
             degraded,
-            has_image,
-            due,
             refreshed,
-            allocs_before,
-            started,
+            ..
+        } = cur;
+        *refreshed = self.refresh_roi_with_recovery(image, plan, *frame, ff, degraded);
+    }
+
+    /// The crop/resize stage: crops the current ROI out of `image` and
+    /// resizes it into the gaze-network input `gaze_in` (`crop` is the
+    /// intermediate buffer). A no-op when acquisition lost the frame.
+    pub fn crop_stage(
+        &self,
+        cur: &StageCursor,
+        image: &Tensor,
+        crop: &mut Tensor,
+        gaze_in: &mut Tensor,
+    ) {
+        if !cur.has_image {
+            return;
         }
+        self.current_roi.crop_into(image, crop);
+        resize_bilinear_into(
+            crop,
+            self.config.gaze_input.0,
+            self.config.gaze_input.1,
+            gaze_in,
+        );
     }
 
     /// The back half of [`EyeTracker::process_frame`]: runs the tracker's
@@ -592,7 +847,7 @@ impl EyeTracker {
     /// calibration) on the prepared input, then grades and accounts the
     /// frame.
     pub fn complete_frame(&mut self, mut prep: PreparedFrame) -> TrackedFrame {
-        if prep.has_image {
+        if prep.cur.has_image {
             let FrameScratch {
                 gaze_in,
                 infer,
@@ -625,7 +880,7 @@ impl EyeTracker {
         pred: &[f32],
     ) -> TrackedFrame {
         assert_eq!(pred.len(), 3, "gaze prediction must have 3 components");
-        if prep.has_image {
+        if prep.cur.has_image {
             let out = &mut prep.scratch.pred;
             out.reset(Shape::new(1, 3, 1, 1));
             out.as_mut_slice().copy_from_slice(pred);
@@ -633,13 +888,27 @@ impl EyeTracker {
         self.finish_frame(prep)
     }
 
-    /// The shared tail of frame completion: stage faults on the network
-    /// output, parse/normalise the gaze, grade quality against the
-    /// recovery policy's staleness limits, account telemetry, and restore
-    /// the scratch buffers.
+    /// The shared tail of frame completion over the tracker-owned scratch:
+    /// runs [`EyeTracker::complete_stage`] on the staged prediction, then
+    /// restores the scratch buffers.
     fn finish_frame(&mut self, prep: PreparedFrame) -> TrackedFrame {
-        let PreparedFrame {
-            mut scratch,
+        let PreparedFrame { mut scratch, cur } = prep;
+        let out = self.complete_stage(cur, &mut scratch.pred);
+        self.scratch = Some(scratch);
+        out
+    }
+
+    /// The completion stage over a borrowed prediction buffer: stage
+    /// faults on the network output, parse/normalise the gaze with the
+    /// last-good fallback, grade quality against the recovery policy's
+    /// staleness limits, and account telemetry. Consumes the cursor — the
+    /// frame is finished and the tracker's frame counter advances.
+    ///
+    /// `pred` holds this frame's raw 3-component network output (only
+    /// read when [`StageCursor::has_gaze_input`] is true) and may be
+    /// mutated in place by stage-plane fault injection.
+    pub fn complete_stage(&mut self, cur: StageCursor, pred: &mut Tensor) -> TrackedFrame {
+        let StageCursor {
             frame,
             plan,
             mut ff,
@@ -649,20 +918,21 @@ impl EyeTracker {
             refreshed,
             allocs_before,
             started,
-        } = prep;
+            ..
+        } = cur;
         let (gaze, gaze_degenerate, roi_refreshed) = if has_image {
             // stage faults on the network output
             if plan.fires(FaultSite::StageGazeNan, frame) {
                 ff.injected += 1;
-                scratch.pred.as_mut_slice().fill(f32::NAN);
+                pred.as_mut_slice().fill(f32::NAN);
             } else if plan.fires(FaultSite::StageGazeZero, frame) {
                 ff.injected += 1;
-                scratch.pred.as_mut_slice().fill(0.0);
+                pred.as_mut_slice().fill(0.0);
             }
-            let parsed = if scratch.pred.has_non_finite() {
+            let parsed = if pred.has_non_finite() {
                 None
             } else {
-                GazeVector::from_tensor(&scratch.pred, 0).try_normalized()
+                GazeVector::from_tensor(pred, 0).try_normalized()
             };
             match parsed {
                 Some(g) => {
@@ -710,7 +980,6 @@ impl EyeTracker {
             FrameQuality::Lost => static_counter!("tracker/frames_lost").inc(),
         }
         self.fault_stats.absorb(&ff);
-        self.scratch = Some(scratch);
 
         // steady-state frames (no scheduled segmentation refresh) must not
         // touch the heap: record the per-frame allocation delta so the
@@ -731,6 +1000,29 @@ impl EyeTracker {
             quality,
             faults: ff,
         }
+    }
+
+    /// [`EyeTracker::complete_stage`] with an externally computed gaze
+    /// prediction (the raw 3-component network output) staged into the
+    /// borrowed `pred` buffer first — the columnar twin of
+    /// [`EyeTracker::complete_frame_with_pred`], used after a scheduler
+    /// batches this frame's gaze forward with other sessions'.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred_src` does not have exactly 3 components.
+    pub fn complete_stage_with_pred(
+        &mut self,
+        cur: StageCursor,
+        pred_src: &[f32],
+        pred: &mut Tensor,
+    ) -> TrackedFrame {
+        assert_eq!(pred_src.len(), 3, "gaze prediction must have 3 components");
+        if cur.has_image {
+            pred.reset(Shape::new(1, 3, 1, 1));
+            pred.as_mut_slice().copy_from_slice(pred_src);
+        }
+        self.complete_stage(cur, pred)
     }
 
     /// Accounts a frame that was *shed* before it entered the pipeline — a
@@ -760,122 +1052,6 @@ impl EyeTracker {
             gaze_degenerate: false,
             quality,
             faults: FrameFaults::default(),
-        }
-    }
-
-    /// Acquisition under the fault plan: applies the sensor/link planes,
-    /// spends the retry budget on *detected* transport corruption
-    /// (non-finite or blown-up reconstructions), and falls back to the
-    /// last-good image for dropped, delayed or unrecoverable frames.
-    ///
-    /// The acquired image lands in `scratch.image`; every path (fresh
-    /// capture, retry, last-good fallback, sanitised best-effort) writes
-    /// through reusable buffers, so a warm tracker acquires without heap
-    /// allocation.
-    ///
-    /// Returns `false` only when the frame was lost in transit and no
-    /// last-good image exists yet.
-    #[allow(clippy::too_many_arguments)]
-    fn acquire_with_recovery(
-        &mut self,
-        scene: &Tensor,
-        noise_seed: u64,
-        plan: &FaultPlan,
-        frame: u64,
-        scratch: &mut FrameScratch,
-        ff: &mut FrameFaults,
-        degraded: &mut bool,
-    ) -> bool {
-        // a dropped frame never arrives; a delayed one misses its deadline
-        // — the real-time pipeline treats both as a missing frame
-        let dropped = plan.fires(FaultSite::SensorFrameDrop, frame);
-        let delayed = !dropped && plan.fires(FaultSite::LinkDelay, frame);
-        if dropped || delayed {
-            ff.injected += 1;
-            if dropped {
-                static_counter!("tracker/frames_dropped").inc();
-            } else {
-                static_counter!("tracker/frames_delayed").inc();
-            }
-            *degraded = true;
-            return match &self.last_image {
-                Some(prev) => {
-                    ff.recovered += 1;
-                    self.image_staleness += 1;
-                    scratch.image.copy_from(prev);
-                    true
-                }
-                None => {
-                    ff.unrecovered += 1;
-                    false
-                }
-            };
-        }
-        // a silent duplicate: the camera re-delivers the previous frame
-        // and the pipeline cannot tell — it simply processes stale data
-        if plan.fires(FaultSite::SensorFrameDuplicate, frame) {
-            if let Some(prev) = &self.last_image {
-                ff.injected += 1;
-                static_counter!("tracker/frames_duplicated").inc();
-                scratch.image.copy_from(prev);
-                return true;
-            }
-        }
-        // fresh capture; detected corruption is re-requested within budget
-        // (each attempt re-draws the link faults with its own salt)
-        let budget = self.recovery.max_stage_retries as u64;
-        for attempt in 0..=budget {
-            let injected = self.acquisition.acquire_faulted_into(
-                scene,
-                noise_seed,
-                plan,
-                frame,
-                attempt,
-                &mut scratch.acquire,
-                &mut scratch.image,
-            );
-            ff.injected += injected;
-            if image_is_sane(&scratch.image) {
-                if attempt > 0 {
-                    ff.recovered += 1;
-                    *degraded = true;
-                    static_counter!("tracker/acquire_retries").add(attempt);
-                }
-                if let Some(buf) = self.last_image.as_mut() {
-                    buf.copy_from(&scratch.image);
-                } else {
-                    self.last_image = Some(scratch.image.clone());
-                }
-                self.image_staleness = 0;
-                return true;
-            }
-            static_counter!("tracker/acquire_corrupt").inc();
-        }
-        // budget exhausted on a corrupt transfer
-        *degraded = true;
-        match &self.last_image {
-            Some(prev) => {
-                ff.recovered += 1;
-                self.image_staleness += 1;
-                scratch.image.copy_from(prev);
-                true
-            }
-            None => {
-                // nothing good has ever arrived: flush the corruption to
-                // finite values and limp on with a best-effort image
-                ff.unrecovered += 1;
-                let _ = self.acquisition.acquire_faulted_into(
-                    scene,
-                    noise_seed,
-                    plan,
-                    frame,
-                    0,
-                    &mut scratch.acquire,
-                    &mut scratch.image,
-                );
-                sanitize_image_inplace(&mut scratch.image);
-                true
-            }
         }
     }
 

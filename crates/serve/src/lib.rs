@@ -9,6 +9,15 @@
 //! * **Shared pool** — each serve tick prepares every staged frame
 //!   (acquisition → ROI refresh → crop/resize) in parallel on the existing
 //!   work-stealing pool (`eyecod-pool`), one session per job.
+//! * **Columnar store + stage scheduler** — sessions live in a columnar
+//!   `SessionStore` (rows = sessions, per-stage state = columns), and
+//!   under [`TickMode::Scheduled`] a stage scheduler decomposes the tick
+//!   into per-stage batch kernels (all captures → all recons → all
+//!   crops/resizes → cross-session batched gaze) and pipelines stages of
+//!   *different* session shards across pool workers — the paper's partial
+//!   DNN time-multiplexing lifted to fleet level. Every stage stamps a
+//!   per-session epoch and asserts its upstream stage ran for the *same*
+//!   frame index, under any interleaving.
 //! * **Cross-session micro-batching** — the tick gathers every prepared
 //!   gaze crop into per-worker [`WorkspaceArena`] slots and runs one
 //!   batched GEMM per worker instead of one forward per session; the
@@ -42,8 +51,10 @@
 
 mod config;
 mod registry;
+mod scheduler;
+mod store;
 
-pub use config::ServeConfig;
+pub use config::{ServeConfig, TickMode};
 pub use registry::{FeedOutcome, ServeRegistry, SessionSnapshot, TickReport};
 
 /// A generational session handle: `index` addresses the registry slot,

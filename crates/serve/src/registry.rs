@@ -1,9 +1,16 @@
 //! The session registry and its serve tick.
+//!
+//! Sessions live in a columnar [`SessionStore`] (rows = sessions, columns
+//! = per-stage state); the tick executes in one of three
+//! [`TickMode`]s — the sequential AoS reference, PR 6's batched tick, or
+//! the columnar stage-scheduled tick (see `scheduler.rs`) — all of which
+//! produce identical per-session outputs.
 
-use crate::{ServeConfig, ServeError, SessionId};
+use crate::store::{QueuedFrame, Route, SendPtr, SessionStore, STAGES};
+use crate::{ServeConfig, ServeError, SessionId, TickMode};
 use eyecod_core::acquisition::Acquisition;
 use eyecod_core::metrics::TrackingStats;
-use eyecod_core::tracker::{EyeTracker, GazeBackend, PreparedFrame, TrackedFrame};
+use eyecod_core::tracker::{EyeTracker, GazeBackend, TrackedFrame};
 use eyecod_core::training::TrackerModels;
 use eyecod_eyedata::GazeVector;
 use eyecod_faults::{FaultPlan, RecoveryPolicy};
@@ -12,7 +19,6 @@ use eyecod_models::quantized::QuantizedGazeNet;
 use eyecod_pool::ThreadPool;
 use eyecod_telemetry::{static_counter, static_histogram};
 use eyecod_tensor::{Shape, Tensor};
-use std::collections::VecDeque;
 
 /// What happened to a fed frame.
 #[derive(Debug, Clone)]
@@ -77,109 +83,47 @@ pub struct TickReport {
     pub int8_forwards: usize,
 }
 
-/// Which forward path a staged frame was routed to this tick.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Route {
-    /// No gaze input (acquisition lost the frame): completion takes the
-    /// tracker's missing-frame fallback, no forward runs.
-    Fallback,
-    /// The f32 batch (f32 sessions, plus int8 sessions before the shared
-    /// calibration exists).
-    F32,
-    /// The shared int8 batch.
-    Int8,
-}
-
-/// A frame waiting in a session's ingress queue. `scene` is an owned copy
-/// recycled through the session's spare-buffer freelist, so steady-state
-/// feeding allocates nothing.
-struct QueuedFrame {
-    scene: Tensor,
-    noise_seed: u64,
-    truth: Option<GazeVector>,
-}
-
-struct Session {
-    tracker: EyeTracker,
-    backend: GazeBackend,
-    queue: VecDeque<QueuedFrame>,
-    /// Recycled scene buffers for the ingress queue.
-    spare: Vec<Tensor>,
-    /// The frame popped for the current tick (between stage and complete).
-    staged: Option<QueuedFrame>,
-    /// The prepared frame for the current tick (between prepare and
-    /// complete).
-    prep: Option<PreparedFrame>,
-    route: Route,
-    /// `(arena slot, row)` of this session's crop in the current batch.
-    batch_pos: (u32, u32),
-    stats: TrackingStats,
-    frames_ingested: u64,
-    last: Option<TrackedFrame>,
-}
-
-struct Slot {
-    generation: u32,
-    session: Option<Box<Session>>,
-}
-
-enum PoolHandle {
+pub(crate) enum PoolHandle {
     Global,
     Owned(ThreadPool),
-}
-
-/// Raw-pointer smuggler for handing *disjoint* `&mut` slices/slots to pool
-/// workers. Safety rests on the caller indexing with unique indices.
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
-
-impl<T> SendPtr<T> {
-    /// `&mut` to element `i`. Safety: the caller guarantees `i` is in
-    /// bounds and no two concurrent calls use the same index. (A method
-    /// rather than field access so closures capture the `Sync` wrapper,
-    /// not the raw pointer.)
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get(&self, i: usize) -> &mut T {
-        &mut *self.0.add(i)
-    }
 }
 
 /// The multi-session serving registry. See the crate docs for the model;
 /// the short version: [`create`](ServeRegistry::create) sessions,
 /// [`feed`](ServeRegistry::feed) them frames (bounded queues, drop-head
-/// shedding), drive everything with [`tick`](ServeRegistry::tick) (pooled
-/// prepare + cross-session batched gaze forwards),
+/// shedding), drive everything with [`tick`](ServeRegistry::tick)
+/// (per-stage column sweeps or pooled AoS prepare + cross-session batched
+/// gaze forwards, per [`TickMode`]),
 /// [`snapshot`](ServeRegistry::snapshot) or
 /// [`evict`](ServeRegistry::evict) when done.
 pub struct ServeRegistry {
-    config: ServeConfig,
-    models: TrackerModels,
+    pub(crate) config: ServeConfig,
+    pub(crate) models: TrackerModels,
     /// Built once from the config, cloned per session — sessions share the
     /// same mask/reconstruction geometry, so each create skips the
     /// Tikhonov setup.
     acquisition: Acquisition,
-    faults: FaultPlan,
+    pub(crate) faults: FaultPlan,
     recovery: RecoveryPolicy,
-    pool: PoolHandle,
-    slots: Vec<Slot>,
-    free: Vec<u32>,
-    active: usize,
-    /// Slot indices with a staged frame this tick (reused across ticks).
-    work: Vec<u32>,
-    f32_batch: Vec<u32>,
-    i8_batch: Vec<u32>,
-    f32_arena: WorkspaceArena,
-    i8_arena: WorkspaceArena,
+    pub(crate) pool: PoolHandle,
+    pub(crate) store: SessionStore,
+    /// Rows with a staged frame this tick (reused across ticks).
+    pub(crate) work: Vec<u32>,
+    pub(crate) f32_batch: Vec<u32>,
+    pub(crate) i8_batch: Vec<u32>,
+    pub(crate) f32_arena: WorkspaceArena,
+    pub(crate) i8_arena: WorkspaceArena,
     /// The fleet-shared int8 network, once calibrated. Per-session
     /// calibration would give each session data-dependent activation
     /// scales and defeat cross-session batching; sharing one network
     /// calibrated on the first crops the fleet produces mirrors a deployed
     /// parameter server.
-    shared_qnet: Option<QuantizedGazeNet>,
+    pub(crate) shared_qnet: Option<QuantizedGazeNet>,
     /// Gaze crops collected from warming int8 sessions, pending the shared
     /// calibration.
-    calib: Vec<Tensor>,
+    pub(crate) calib: Vec<Tensor>,
+    /// Reusable stage-scheduler state (scheduled mode).
+    pub(crate) sched: crate::scheduler::SchedState,
 }
 
 impl ServeRegistry {
@@ -207,9 +151,7 @@ impl ServeRegistry {
             faults: FaultPlan::from_env(),
             recovery: RecoveryPolicy::default(),
             pool,
-            slots: Vec::new(),
-            free: Vec::new(),
-            active: 0,
+            store: SessionStore::new(),
             work: Vec::new(),
             f32_batch: Vec::new(),
             i8_batch: Vec::new(),
@@ -217,6 +159,7 @@ impl ServeRegistry {
             i8_arena: WorkspaceArena::new(),
             shared_qnet: None,
             calib: Vec::new(),
+            sched: crate::scheduler::SchedState::new(),
         }
     }
 
@@ -246,12 +189,12 @@ impl ServeRegistry {
 
     /// Live session count.
     pub fn sessions_active(&self) -> usize {
-        self.active
+        self.store.active
     }
 
     /// Whether `id` resolves to a live session.
     pub fn contains(&self, id: SessionId) -> bool {
-        self.session_ref(id).is_ok()
+        self.store.resolve(id).is_ok()
     }
 
     /// Whether the fleet-shared int8 network has been calibrated yet.
@@ -268,7 +211,7 @@ impl ServeRegistry {
     /// int8 sessions freely; int8 sessions share one fleet-calibrated
     /// network).
     pub fn create_with_backend(&mut self, backend: GazeBackend) -> Result<SessionId, ServeError> {
-        if self.active >= self.config.max_sessions {
+        if self.store.active >= self.config.max_sessions {
             return Err(ServeError::AtCapacity(self.config.max_sessions));
         }
         let mut cfg = self.config.tracker.clone();
@@ -277,50 +220,20 @@ impl ServeRegistry {
             EyeTracker::with_acquisition(cfg, self.models.clone_models(), self.acquisition.clone())
                 .with_faults(self.faults.clone())
                 .with_recovery(self.recovery);
-        let session = Box::new(Session {
-            tracker,
-            backend,
-            queue: VecDeque::new(),
-            spare: Vec::new(),
-            staged: None,
-            prep: None,
-            route: Route::Fallback,
-            batch_pos: (0, 0),
-            stats: TrackingStats::new(),
-            frames_ingested: 0,
-            last: None,
-        });
-        let index = match self.free.pop() {
-            Some(i) => {
-                self.slots[i as usize].session = Some(session);
-                i
-            }
-            None => {
-                self.slots.push(Slot {
-                    generation: 0,
-                    session: Some(session),
-                });
-                (self.slots.len() - 1) as u32
-            }
-        };
-        self.active += 1;
+        let id = self.store.insert(tracker, backend);
         static_counter!("serve/sessions_created").inc();
-        static_counter!("serve/sessions_active").set(self.active as u64);
-        Ok(SessionId::new(index, self.slots[index as usize].generation))
+        static_counter!("serve/sessions_active").set(self.store.active as u64);
+        Ok(id)
     }
 
-    /// Evicts a session, returning its final snapshot. The slot's
+    /// Evicts a session, returning its final snapshot. The row's
     /// generation is bumped, so the evicted id (and any copy of it) can
     /// never resolve again.
     pub fn evict(&mut self, id: SessionId) -> Result<SessionSnapshot, ServeError> {
         let snap = self.snapshot(id)?;
-        let slot = &mut self.slots[id.index() as usize];
-        slot.session = None;
-        slot.generation = slot.generation.wrapping_add(1);
-        self.free.push(id.index());
-        self.active -= 1;
+        self.store.remove(id.index() as usize);
         static_counter!("serve/sessions_evicted").inc();
-        static_counter!("serve/sessions_active").set(self.active as u64);
+        static_counter!("serve/sessions_active").set(self.store.active as u64);
         Ok(snap)
     }
 
@@ -367,26 +280,30 @@ impl ServeRegistry {
             });
         }
         let capacity = self.config.queue_capacity;
-        let sess = self.session_mut(id)?;
-        sess.frames_ingested += 1;
+        let row = self.store.resolve(id)?;
+        self.store.frames_ingested[row] += 1;
         static_counter!("serve/frames_ingested").inc();
-        let shed = if sess.queue.len() >= capacity {
-            let old = sess.queue.pop_front().expect("full queue is non-empty");
-            sess.spare.push(old.scene);
-            let out = sess.tracker.shed_frame();
-            sess.stats.record_shed();
-            sess.last = Some(out.clone());
+        let shed = if self.store.queues[row].len() >= capacity {
+            let old = self.store.queues[row]
+                .pop_front()
+                .expect("full queue is non-empty");
+            self.store.spares[row].push(old.scene);
+            let out = self.store.trackers[row]
+                .as_mut()
+                .expect("resolved row is live")
+                .shed_frame();
+            self.store.stats[row].record_shed();
+            self.store.lasts[row] = Some(out.clone());
             static_counter!("serve/frames_shed").inc();
             Some(out)
         } else {
             None
         };
-        let mut buf = sess
-            .spare
+        let mut buf = self.store.spares[row]
             .pop()
             .unwrap_or_else(|| Tensor::zeros(Shape::new(1, 1, 1, 1)));
         buf.copy_from(scene);
-        sess.queue.push_back(QueuedFrame {
+        self.store.queues[row].push_back(QueuedFrame {
             scene: buf,
             noise_seed,
             truth,
@@ -394,46 +311,53 @@ impl ServeRegistry {
         Ok(match shed {
             Some(f) => FeedOutcome::Shed(f),
             None => FeedOutcome::Queued {
-                depth: sess.queue.len(),
+                depth: self.store.queues[row].len(),
             },
         })
     }
 
     /// Point-in-time view of one session.
     pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot, ServeError> {
-        let sess = self.session_ref(id)?;
+        let row = self.store.resolve(id)?;
         Ok(SessionSnapshot {
             id,
-            backend: sess.backend,
-            stats: sess.stats.clone(),
-            queue_depth: sess.queue.len(),
-            frames_ingested: sess.frames_ingested,
-            last: sess.last.clone(),
+            backend: self.store.backends[row],
+            stats: self.store.stats[row].clone(),
+            queue_depth: self.store.queues[row].len(),
+            frames_ingested: self.store.frames_ingested[row],
+            last: self.store.lasts[row].clone(),
         })
     }
 
     /// Fleet-aggregate statistics: every live session's stats merged.
     pub fn fleet_stats(&self) -> TrackingStats {
         let mut total = TrackingStats::new();
-        for slot in &self.slots {
-            if let Some(sess) = slot.session.as_deref() {
-                total.merge(&sess.stats);
+        for row in 0..self.store.rows() {
+            if self.store.is_live(row) {
+                total.merge(&self.store.stats[row]);
             }
         }
         total
     }
 
-    /// Runs one serve tick: pops at most one frame per session, prepares
-    /// them in parallel on the pool, batches every gaze forward (one
-    /// batched GEMM per pool participant, f32 and int8 separately), and
-    /// completes each frame in stable slot order.
+    /// The pool this registry schedules on.
+    pub(crate) fn pool(&self) -> &ThreadPool {
+        match &self.pool {
+            PoolHandle::Global => eyecod_pool::global(),
+            PoolHandle::Owned(p) => p,
+        }
+    }
+
+    /// Runs one serve tick: pops at most one frame per session (stable
+    /// slot order), executes every staged frame per the configured
+    /// [`TickMode`], and completes each frame.
     ///
-    /// Batching never changes results: the batched GEMM processes items
-    /// independently, so per-session outputs are invariant to batch
-    /// composition and worker count. With batching disabled
-    /// ([`ServeConfig::batching`]) the identical routing applies but each
-    /// forward runs individually — the reference the differential suite
-    /// compares against.
+    /// Neither batching nor stage scheduling ever changes results: batched
+    /// GEMMs process items independently and fault draws are pure hashes
+    /// of (seed, site, frame), so per-session outputs are invariant to
+    /// batch composition, stage interleaving and worker count — the
+    /// property the differential and scheduler-invariant suites pin
+    /// against [`TickMode::Sequential`].
     pub fn tick(&mut self) -> TickReport {
         self.tick_impl(None)
     }
@@ -452,11 +376,11 @@ impl ServeRegistry {
         let tick_timer = static_histogram!("serve/tick_ns").timer();
         // 1. stage: at most one queued frame per session, slot order
         self.work.clear();
-        for (idx, slot) in self.slots.iter_mut().enumerate() {
-            if let Some(sess) = slot.session.as_deref_mut() {
-                if let Some(qf) = sess.queue.pop_front() {
-                    sess.staged = Some(qf);
-                    self.work.push(idx as u32);
+        for row in 0..self.store.rows() {
+            if self.store.is_live(row) {
+                if let Some(qf) = self.store.queues[row].pop_front() {
+                    self.store.staged[row] = Some(qf);
+                    self.work.push(row as u32);
                 }
             }
         }
@@ -465,122 +389,17 @@ impl ServeRegistry {
             drop(tick_timer);
             return TickReport::default();
         }
-        // 2. prepare in parallel: acquisition / ROI refresh / crop+resize,
-        // one pool job per session
-        {
-            let slots = SendPtr(self.slots.as_mut_ptr());
-            let work = &self.work;
-            let pool = match &self.pool {
-                PoolHandle::Global => eyecod_pool::global(),
-                PoolHandle::Owned(p) => p,
-            };
-            pool.parallel_for_chunked(work.len(), 1, |i| {
-                // SAFETY: `work` holds unique slot indices, so every job
-                // touches a distinct session
-                let slot = unsafe { slots.get(work[i] as usize) };
-                let sess = slot.session.as_deref_mut().expect("staged slot is live");
-                let qf = sess.staged.as_ref().expect("staged frame present");
-                sess.prep = Some(sess.tracker.prepare_frame(&qf.scene, qf.noise_seed));
-            });
-        }
-        // 3. route: split the prepared crops between the f32 and shared
-        // int8 paths (serial, in work order — calibration collection must
-        // be deterministic and pool-size-invariant)
-        self.f32_batch.clear();
-        self.i8_batch.clear();
-        let calib_target = self.config.tracker.calibration_frames;
-        for w in 0..staged {
-            let idx = self.work[w] as usize;
-            let calibrated = self.shared_qnet.is_some();
-            let calib_open = self.calib.len() < calib_target;
-            let sess = self.slots[idx].session.as_deref_mut().expect("staged");
-            let prep = sess.prep.as_ref().expect("prepared");
-            if !prep.has_gaze_input() {
-                sess.route = Route::Fallback;
-                continue;
-            }
-            if sess.backend == GazeBackend::Int8 && calibrated {
-                sess.route = Route::Int8;
-                self.i8_batch.push(idx as u32);
-            } else {
-                if sess.backend == GazeBackend::Int8
-                    && !calibrated
-                    && calib_open
-                    && !prep.gaze_input().has_non_finite()
-                {
-                    self.calib.push(prep.gaze_input().clone());
-                }
-                sess.route = Route::F32;
-                self.f32_batch.push(idx as u32);
-            }
-        }
-        let (f32_forwards, int8_forwards) = (self.f32_batch.len(), self.i8_batch.len());
-        // 4. forwards: one batched GEMM per pool participant
-        if self.config.batching {
-            let group = std::mem::take(&mut self.f32_batch);
-            self.run_batch(&group, false);
-            self.f32_batch = group;
-            let group = std::mem::take(&mut self.i8_batch);
-            self.run_batch(&group, true);
-            self.i8_batch = group;
-        }
-        // 5. complete in work order: scatter predictions back, grade and
-        // account each frame through the tracker's recovery tail
-        let mut completed = 0usize;
-        for w in 0..staged {
-            let idx = self.work[w] as usize;
-            let generation = self.slots[idx].generation;
-            let route = self.slots[idx].session.as_deref().expect("staged").route;
-            let mut pred = [0.0f32; 3];
-            let use_pred = match route {
-                Route::Fallback => false,
-                _ if self.config.batching => {
-                    let sess = self.slots[idx].session.as_deref().expect("staged");
-                    let (p, j) = sess.batch_pos;
-                    let arena = if route == Route::Int8 {
-                        &self.i8_arena
-                    } else {
-                        &self.f32_arena
-                    };
-                    let out = arena.slot(p as usize).output.as_slice();
-                    pred.copy_from_slice(&out[j as usize * 3..j as usize * 3 + 3]);
-                    true
-                }
-                Route::F32 => {
-                    self.forward_single(idx, false, &mut pred);
-                    true
-                }
-                Route::Int8 => {
-                    self.forward_single(idx, true, &mut pred);
-                    true
-                }
-            };
-            let sess = self.slots[idx].session.as_deref_mut().expect("staged");
-            let prep = sess.prep.take().expect("prepared frame present");
-            let out = if use_pred {
-                sess.tracker.complete_frame_with_pred(prep, &pred)
-            } else {
-                sess.tracker.complete_frame(prep)
-            };
-            let qf = sess.staged.take().expect("staged frame present");
-            match &qf.truth {
-                Some(t) => sess.stats.record(&out, t),
-                None => sess.stats.record_unlabeled(&out),
-            }
-            sess.spare.push(qf.scene);
-            match trace.as_deref_mut() {
-                Some(tr) => {
-                    sess.last = Some(out.clone());
-                    tr.push((SessionId::new(idx as u32, generation), out));
-                }
-                None => sess.last = Some(out),
-            }
-            completed += 1;
-        }
-        static_counter!("serve/frames_completed").add(completed as u64);
-        // 6. fleet int8 calibration, once the warm-up crops are in — at
+        // 2. execute per the configured mode
+        let (f32_forwards, int8_forwards) = match self.config.mode {
+            TickMode::Sequential => self.tick_sequential(trace.as_deref_mut()),
+            TickMode::Batched => self.tick_batched(trace.as_deref_mut()),
+            TickMode::Scheduled => self.tick_scheduled(trace),
+        };
+        static_counter!("serve/frames_completed").add(staged as u64);
+        // 3. fleet int8 calibration, once the warm-up crops are in — at
         // tick end so the tick that fills the window still serves f32,
         // exactly like the single-tracker warm-up
+        let calib_target = self.config.tracker.calibration_frames;
         if self.shared_qnet.is_none() && calib_target > 0 && self.calib.len() >= calib_target {
             let batch = Tensor::stack(&self.calib);
             self.shared_qnet = Some(QuantizedGazeNet::from_calibrated(&self.models.gaze, &batch));
@@ -591,9 +410,183 @@ impl ServeRegistry {
         drop(tick_timer);
         TickReport {
             staged,
-            completed,
+            completed: staged,
             f32_forwards,
             int8_forwards,
+        }
+    }
+
+    /// Routes row `row`'s prepared gaze input: picks the forward path,
+    /// collects fleet calibration crops from warming int8 sessions, and
+    /// appends the row to the matching batch group. Must run in work
+    /// order — calibration collection is deterministic and
+    /// pool-size-invariant because of it.
+    pub(crate) fn route_row(&mut self, row: usize, has_input: bool, input_non_finite: bool) {
+        if !has_input {
+            self.store.routes[row] = Route::Fallback;
+            return;
+        }
+        let calibrated = self.shared_qnet.is_some();
+        let calib_open = self.calib.len() < self.config.tracker.calibration_frames;
+        if self.store.backends[row] == GazeBackend::Int8 && calibrated {
+            self.store.routes[row] = Route::Int8;
+            self.i8_batch.push(row as u32);
+        } else {
+            if self.store.backends[row] == GazeBackend::Int8
+                && !calibrated
+                && calib_open
+                && !input_non_finite
+            {
+                let crop = match self.config.mode {
+                    TickMode::Scheduled => self.store.gaze_ins[row].clone(),
+                    _ => self.store.preps[row]
+                        .as_ref()
+                        .expect("prepared")
+                        .gaze_input()
+                        .clone(),
+                };
+                self.calib.push(crop);
+            }
+            self.store.routes[row] = Route::F32;
+            self.f32_batch.push(row as u32);
+        }
+    }
+
+    /// The sequential AoS reference tick: each staged session runs its
+    /// whole frame pipeline inline in work order — per-session
+    /// `prepare_frame` through the tracker-owned scratch, routing (with
+    /// the same fleet-shared int8 semantics as every other mode), an
+    /// individual gaze forward, and completion. The golden path the
+    /// differential suites compare the batched and scheduled ticks
+    /// against.
+    fn tick_sequential(
+        &mut self,
+        mut trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
+    ) -> (usize, usize) {
+        self.f32_batch.clear();
+        self.i8_batch.clear();
+        for w in 0..self.work.len() {
+            let row = self.work[w] as usize;
+            // prepare inline (AoS: the tracker's own scratch buffers)
+            let prep = {
+                let qf = self.store.staged[row].as_ref().expect("staged");
+                self.store.trackers[row]
+                    .as_mut()
+                    .expect("staged row is live")
+                    .prepare_frame(&qf.scene, qf.noise_seed)
+            };
+            let has_input = prep.has_gaze_input();
+            let non_finite = has_input && prep.gaze_input().has_non_finite();
+            self.store.preps[row] = Some(prep);
+            self.route_row(row, has_input, non_finite);
+            // forward individually + complete
+            let route = self.store.routes[row];
+            let mut pred = [0.0f32; 3];
+            if route != Route::Fallback {
+                self.forward_single(row, route == Route::Int8, &mut pred);
+            }
+            let prep = self.store.preps[row].take().expect("prepared");
+            let tracker = self.store.trackers[row].as_mut().expect("live");
+            let out = if route == Route::Fallback {
+                tracker.complete_frame(prep)
+            } else {
+                tracker.complete_frame_with_pred(prep, &pred)
+            };
+            self.account_completion(row, out, trace.as_deref_mut());
+        }
+        (self.f32_batch.len(), self.i8_batch.len())
+    }
+
+    /// PR 6's batched tick: pooled AoS prepare (one job per session),
+    /// serial routing, one batched gaze GEMM per pool participant, serial
+    /// completion.
+    fn tick_batched(
+        &mut self,
+        mut trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
+    ) -> (usize, usize) {
+        // prepare in parallel: acquisition / ROI refresh / crop+resize,
+        // one pool job per session
+        {
+            let trackers = SendPtr(self.store.trackers.as_mut_ptr());
+            let preps = SendPtr(self.store.preps.as_mut_ptr());
+            let staged = SendPtr(self.store.staged.as_mut_ptr());
+            let work = &self.work;
+            self.pool().parallel_for_chunked(work.len(), 1, |i| {
+                // SAFETY: `work` holds unique rows, so every job touches a
+                // distinct session's columns
+                let row = work[i] as usize;
+                let tracker = unsafe { trackers.get(row) }.as_mut().expect("staged row");
+                let qf = unsafe { staged.get(row) }.as_ref().expect("staged frame");
+                *unsafe { preps.get(row) } = Some(tracker.prepare_frame(&qf.scene, qf.noise_seed));
+            });
+        }
+        // route serially in work order
+        self.f32_batch.clear();
+        self.i8_batch.clear();
+        for w in 0..self.work.len() {
+            let row = self.work[w] as usize;
+            let prep = self.store.preps[row].as_ref().expect("prepared");
+            let has_input = prep.has_gaze_input();
+            let non_finite = has_input && prep.gaze_input().has_non_finite();
+            self.route_row(row, has_input, non_finite);
+        }
+        let counts = (self.f32_batch.len(), self.i8_batch.len());
+        // batched forwards: one GEMM per pool participant
+        let group = std::mem::take(&mut self.f32_batch);
+        self.run_batch(&group, false);
+        self.f32_batch = group;
+        let group = std::mem::take(&mut self.i8_batch);
+        self.run_batch(&group, true);
+        self.i8_batch = group;
+        // complete in work order: scatter predictions back, grade and
+        // account each frame through the tracker's recovery tail
+        for w in 0..self.work.len() {
+            let row = self.work[w] as usize;
+            let route = self.store.routes[row];
+            let mut pred = [0.0f32; 3];
+            let use_pred = route != Route::Fallback;
+            if use_pred {
+                let (p, j) = self.store.batch_pos[row];
+                let arena = if route == Route::Int8 {
+                    &self.i8_arena
+                } else {
+                    &self.f32_arena
+                };
+                let out = arena.slot(p as usize).output.as_slice();
+                pred.copy_from_slice(&out[j as usize * 3..j as usize * 3 + 3]);
+            }
+            let prep = self.store.preps[row].take().expect("prepared");
+            let tracker = self.store.trackers[row].as_mut().expect("live");
+            let out = if use_pred {
+                tracker.complete_frame_with_pred(prep, &pred)
+            } else {
+                tracker.complete_frame(prep)
+            };
+            self.account_completion(row, out, trace.as_deref_mut());
+        }
+        counts
+    }
+
+    /// Folds a completed frame into the session's accounting columns and
+    /// the trace, and recycles the staged scene buffer.
+    pub(crate) fn account_completion(
+        &mut self,
+        row: usize,
+        out: TrackedFrame,
+        trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
+    ) {
+        let qf = self.store.staged[row].take().expect("staged frame present");
+        match &qf.truth {
+            Some(t) => self.store.stats[row].record(&out, t),
+            None => self.store.stats[row].record_unlabeled(&out),
+        }
+        self.store.spares[row].push(qf.scene);
+        match trace {
+            Some(tr) => {
+                self.store.lasts[row] = Some(out.clone());
+                tr.push((SessionId::new(row as u32, self.store.generations[row]), out));
+            }
+            None => self.store.lasts[row] = Some(out),
         }
     }
 
@@ -602,21 +595,21 @@ impl ServeRegistry {
     /// sub-batch into its arena slot, and runs the slots' forwards in
     /// parallel. On a sequential pool this is literally one batched GEMM,
     /// executed inline with zero allocation once the arena is warm.
-    fn run_batch(&mut self, group: &[u32], int8: bool) {
+    ///
+    /// The gather reads each row's gaze input from the mode's layout: the
+    /// `gaze_ins` column in scheduled mode, the AoS prepared frame
+    /// otherwise.
+    pub(crate) fn run_batch(&mut self, group: &[u32], int8: bool) {
         if group.is_empty() {
             return;
         }
         let batch_timer = static_histogram!("serve/batch_ns").timer();
         static_counter!("serve/batches").inc();
         static_counter!("serve/batch_size").add(group.len() as u64);
-        let pool = match &self.pool {
-            PoolHandle::Global => eyecod_pool::global(),
-            PoolHandle::Owned(p) => p,
-        };
+        let columnar = self.config.mode == TickMode::Scheduled;
         let n = group.len();
-        let parts = pool.participants().min(n);
+        let parts = self.pool().participants().min(n);
         let (gh, gw) = self.config.tracker.gaze_input;
-        let item = gh * gw;
         let arena = if int8 {
             &mut self.i8_arena
         } else {
@@ -628,22 +621,26 @@ impl ServeRegistry {
             let (start, end) = (p * n / parts, (p + 1) * n / parts);
             let slot = arena.slot_mut(p);
             slot.input.reset(Shape::new(end - start, 1, gh, gw));
-            for (j, &idx) in group[start..end].iter().enumerate() {
-                let sess = self.slots[idx as usize]
-                    .session
-                    .as_deref_mut()
-                    .expect("routed slot is live");
-                sess.batch_pos = (p as u32, j as u32);
-                let src = sess
-                    .prep
-                    .as_ref()
-                    .expect("prepared")
-                    .gaze_input()
-                    .as_slice();
-                slot.input.as_mut_slice()[j * item..(j + 1) * item].copy_from_slice(src);
+            for (j, &row) in group[start..end].iter().enumerate() {
+                let row = row as usize;
+                self.store.batch_pos[row] = (p as u32, j as u32);
+                let src = if columnar {
+                    self.store.gaze_ins[row].as_slice()
+                } else {
+                    self.store.preps[row]
+                        .as_ref()
+                        .expect("prepared")
+                        .gaze_input()
+                        .as_slice()
+                };
+                slot.input.batch_item_slice_mut(j).copy_from_slice(src);
             }
         }
         {
+            let pool = match &self.pool {
+                PoolHandle::Global => eyecod_pool::global(),
+                PoolHandle::Owned(p) => p,
+            };
             let slots = SendPtr(arena.slots_mut().as_mut_ptr());
             let gaze = &self.models.gaze;
             let qnet = self.shared_qnet.as_ref();
@@ -661,10 +658,9 @@ impl ServeRegistry {
         drop(batch_timer);
     }
 
-    /// The batching-disabled reference path: the same routing and shared
-    /// int8 semantics, but each forward runs individually through arena
-    /// slot 0.
-    fn forward_single(&mut self, idx: usize, int8: bool, pred: &mut [f32; 3]) {
+    /// The sequential-mode forward: the same routing and shared int8
+    /// semantics, but each forward runs individually through arena slot 0.
+    fn forward_single(&mut self, row: usize, int8: bool, pred: &mut [f32; 3]) {
         let arena = if int8 {
             &mut self.i8_arena
         } else {
@@ -672,8 +668,13 @@ impl ServeRegistry {
         };
         arena.ensure(1);
         let slot = arena.slot_mut(0);
-        let sess = self.slots[idx].session.as_deref().expect("routed");
-        let input = sess.prep.as_ref().expect("prepared").gaze_input();
+        let input = match self.config.mode {
+            TickMode::Scheduled => &self.store.gaze_ins[row],
+            _ => self.store.preps[row]
+                .as_ref()
+                .expect("prepared")
+                .gaze_input(),
+        };
         slot.input.copy_from(input);
         if int8 {
             self.shared_qnet
@@ -688,26 +689,12 @@ impl ServeRegistry {
         pred.copy_from_slice(&slot.output.as_slice()[..3]);
     }
 
-    fn session_ref(&self, id: SessionId) -> Result<&Session, ServeError> {
-        match self.slots.get(id.index() as usize) {
-            None => Err(ServeError::UnknownSession(id)),
-            Some(slot) if slot.generation != id.generation() => Err(ServeError::StaleSession(id)),
-            Some(slot) => slot
-                .session
-                .as_deref()
-                .ok_or(ServeError::UnknownSession(id)),
-        }
-    }
-
-    fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, ServeError> {
-        match self.slots.get_mut(id.index() as usize) {
-            None => Err(ServeError::UnknownSession(id)),
-            Some(slot) if slot.generation != id.generation() => Err(ServeError::StaleSession(id)),
-            Some(slot) => slot
-                .session
-                .as_deref_mut()
-                .ok_or(ServeError::UnknownSession(id)),
-        }
+    /// The epoch column row for `row` — test/debug hook for the
+    /// stage-conformance invariant.
+    #[doc(hidden)]
+    pub fn stage_epochs(&self, id: SessionId) -> Result<[u64; STAGES], ServeError> {
+        let row = self.store.resolve(id)?;
+        Ok(self.store.epochs[row])
     }
 }
 
@@ -756,7 +743,7 @@ mod tests {
         assert_eq!(reg.snapshot(a).unwrap_err(), ServeError::StaleSession(a));
         assert_eq!(reg.evict(a).unwrap_err(), ServeError::StaleSession(a));
 
-        // the freed slot is reused under a fresh generation: the old id
+        // the freed row is reused under a fresh generation: the old id
         // still cannot resolve
         let c = reg.create().unwrap();
         assert_eq!(c.index(), a.index());
@@ -815,55 +802,59 @@ mod tests {
 
     #[test]
     fn tick_completes_frames_and_frame_indices_stay_dense() {
-        let mut reg = registry(|_| {});
-        let a = reg.create().unwrap();
-        let b = reg.create_with_backend(GazeBackend::Int8).unwrap();
-        for i in 0..3u64 {
-            reg.feed(a, &scene(i), i).unwrap();
-            reg.feed(b, &scene(i), i).unwrap();
-        }
-        for seen in 0..3u64 {
-            let (report, trace) = reg.tick_traced();
-            assert_eq!(report.staged, 2);
-            assert_eq!(report.completed, 2);
-            assert_eq!(report.f32_forwards + report.int8_forwards, 2);
-            for (id, frame) in &trace {
-                assert!(*id == a || *id == b);
-                assert_eq!(frame.frame, seen, "frame indices are per-session dense");
-                assert!(frame.quality.usable());
+        for mode in [TickMode::Sequential, TickMode::Batched, TickMode::Scheduled] {
+            let mut reg = registry(|c| c.mode = mode);
+            let a = reg.create().unwrap();
+            let b = reg.create_with_backend(GazeBackend::Int8).unwrap();
+            for i in 0..3u64 {
+                reg.feed(a, &scene(i), i).unwrap();
+                reg.feed(b, &scene(i), i).unwrap();
             }
+            for seen in 0..3u64 {
+                let (report, trace) = reg.tick_traced();
+                assert_eq!(report.staged, 2, "{mode:?}");
+                assert_eq!(report.completed, 2, "{mode:?}");
+                assert_eq!(report.f32_forwards + report.int8_forwards, 2, "{mode:?}");
+                for (id, frame) in &trace {
+                    assert!(*id == a || *id == b);
+                    assert_eq!(frame.frame, seen, "frame indices are per-session dense");
+                    assert!(frame.quality.usable());
+                }
+            }
+            // queues drained: an empty tick is a no-op
+            assert_eq!(reg.tick(), TickReport::default());
+            let snap = reg.snapshot(a).unwrap();
+            assert_eq!(snap.stats.frames, 3);
+            assert_eq!(snap.queue_depth, 0);
+            assert!(snap.last.is_some());
+            assert_eq!(reg.fleet_stats().frames, 6);
         }
-        // queues drained: an empty tick is a no-op
-        assert_eq!(reg.tick(), TickReport::default());
-        let snap = reg.snapshot(a).unwrap();
-        assert_eq!(snap.stats.frames, 3);
-        assert_eq!(snap.queue_depth, 0);
-        assert!(snap.last.is_some());
-        assert_eq!(reg.fleet_stats().frames, 6);
     }
 
     #[test]
     fn int8_sessions_share_one_fleet_calibration() {
-        let mut reg = registry(|_| {});
-        let ids: Vec<_> = (0..4)
-            .map(|_| reg.create_with_backend(GazeBackend::Int8).unwrap())
-            .collect();
-        assert!(!reg.int8_calibrated());
-        // calibration_frames = 8 and 4 warming sessions feed crops per
-        // tick: the window fills during tick 2, calibrating at its end
-        for t in 0..2u64 {
+        for mode in [TickMode::Sequential, TickMode::Batched, TickMode::Scheduled] {
+            let mut reg = registry(|c| c.mode = mode);
+            let ids: Vec<_> = (0..4)
+                .map(|_| reg.create_with_backend(GazeBackend::Int8).unwrap())
+                .collect();
+            assert!(!reg.int8_calibrated());
+            // calibration_frames = 8 and 4 warming sessions feed crops per
+            // tick: the window fills during tick 2, calibrating at its end
+            for t in 0..2u64 {
+                for id in &ids {
+                    reg.feed(*id, &scene(t), t).unwrap();
+                }
+                let report = reg.tick();
+                assert_eq!(report.int8_forwards, 0, "{mode:?}: still warming");
+            }
+            assert!(reg.int8_calibrated(), "{mode:?}");
             for id in &ids {
-                reg.feed(*id, &scene(t), t).unwrap();
+                reg.feed(*id, &scene(9), 9).unwrap();
             }
             let report = reg.tick();
-            assert_eq!(report.int8_forwards, 0, "still warming through f32");
+            assert_eq!(report.f32_forwards, 0, "{mode:?}");
+            assert_eq!(report.int8_forwards, 4, "{mode:?}");
         }
-        assert!(reg.int8_calibrated());
-        for id in &ids {
-            reg.feed(*id, &scene(9), 9).unwrap();
-        }
-        let report = reg.tick();
-        assert_eq!(report.f32_forwards, 0);
-        assert_eq!(report.int8_forwards, 4);
     }
 }

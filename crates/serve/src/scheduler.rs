@@ -1,0 +1,723 @@
+//! The cross-session stage scheduler: the columnar serve tick.
+//!
+//! The scheduled tick decomposes frame processing into per-stage batch
+//! kernels over the [`SessionStore`](crate::store::SessionStore) columns —
+//! all captures, then all reconstructions, then all ROI-refresh +
+//! crop/resizes, then the cross-session batched gaze forward — and
+//! pipelines stages of *different* session shards across pool workers: a
+//! software wavefront of the paper's partial time-multiplexing, lifted
+//! from two DNNs on one accelerator to four stages over a session fleet.
+//!
+//! Two sub-modes share the stage kernels:
+//!
+//! * **Barrier mode** runs while int8 sessions are still warming toward
+//!   the fleet-shared calibration: each stage sweeps its column for every
+//!   staged session (one pool job per session) with a barrier between
+//!   stages, because routing must then run serially in work order to
+//!   collect calibration crops deterministically.
+//! * **Pipelined (wavefront) mode** runs otherwise: the staged sessions
+//!   are split into one shard per pool participant, and wave `w` executes
+//!   every `(shard = w - stage, stage)` pair concurrently — shard 0's gaze
+//!   batch overlaps shard 1's crop sweep, shard 2's reconstruction and
+//!   shard 3's capture. Routing is shard-local (backends are fixed and the
+//!   shared network is calibrated, so routing has no cross-shard state).
+//!
+//! **Stage conformance.** Every stage stamps the session's epoch column
+//! with `frame + 1` and asserts the upstream stage's stamp matches —
+//! no stage can consume a previous stage's output from a different frame
+//! index, under any interleaving. The invariant is cheap enough to stay on
+//! in release builds; the `stage_scheduler` proptest suite drives it
+//! through random churn.
+//!
+//! **Worker-panic recovery.** Every job checks the registry's
+//! execution-plane fault plan at entry ([`FaultPlan::worker_panics`]) and
+//! panics *before touching any column* when its deterministic job id is
+//! listed; the sweep catches the unwind, flags the job, and re-runs it
+//! inline at attempt 1 (which never re-fires). Because the injected panic
+//! happens at the entry point, the retry replays the job from clean state
+//! and the tick's output is byte-identical to an unfaulted run — the
+//! serve-level mirror of the pool's `try_parallel_map` pin. (A *genuine*
+//! mid-job panic is also caught, but its inline retry re-executes the
+//! body as-is; a deterministic bug will surface on the retry instead of
+//! being silently absorbed.)
+
+use crate::store::{
+    check_stage_row, stamp_stage_row, QueuedFrame, Route, SendPtr, SessionStore, STAGES,
+    STAGE_CAPTURE, STAGE_CROP, STAGE_GAZE, STAGE_RECON,
+};
+use crate::{registry::ServeRegistry, SessionId};
+use eyecod_core::acquisition::AcquireScratch;
+use eyecod_core::metrics::TrackingStats;
+use eyecod_core::tracker::{EyeTracker, GazeBackend, StageCursor, TrackedFrame};
+use eyecod_faults::FaultPlan;
+use eyecod_models::infer::BatchWorkspace;
+use eyecod_models::proxy::ProxyGazeNet;
+use eyecod_models::quantized::QuantizedGazeNet;
+use eyecod_telemetry::{static_counter, static_histogram};
+use eyecod_tensor::{Shape, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Reusable scheduler buffers owned by the registry: job lists, panic
+/// flags, shard bounds, per-shard route groups and per-shard trace
+/// staging. All grow on first use and are reused every tick — the warm
+/// scheduled tick allocates nothing.
+pub(crate) struct SchedState {
+    /// This wave's `(stage, shard)` jobs.
+    jobs: Vec<(u32, u32)>,
+    /// Per-job panic flags for the current sweep/wave.
+    failed: Vec<u8>,
+    /// Shard `s` covers `work[bounds[s].0 as usize..bounds[s].1 as usize]`.
+    bounds: Vec<(u32, u32)>,
+    /// Per-shard f32 route groups (rows).
+    f32_groups: Vec<Vec<u32>>,
+    /// Per-shard int8 route groups (rows).
+    i8_groups: Vec<Vec<u32>>,
+    /// Per-shard completed-frame staging for `tick_traced` (appended to
+    /// the caller's trace in shard order = work order).
+    traces: Vec<Vec<(SessionId, TrackedFrame)>>,
+}
+
+impl SchedState {
+    pub(crate) fn new() -> Self {
+        SchedState {
+            jobs: Vec::new(),
+            failed: Vec::new(),
+            bounds: Vec::new(),
+            f32_groups: Vec::new(),
+            i8_groups: Vec::new(),
+            traces: Vec::new(),
+        }
+    }
+}
+
+/// Deterministic job id of a barrier-mode column-sweep job (`stage` sweep,
+/// work index `w`). Stable across worker counts, so a fault plan listing a
+/// job id kills the same logical job under any pool.
+fn sweep_job_id(stage: usize, w: usize) -> u64 {
+    (stage as u64) << 16 | w as u64
+}
+
+/// Deterministic job id of a pipelined wavefront job (`stage`, `shard`).
+/// Offset away from the sweep ids so plans can target either mode.
+fn wave_job_id(stage: usize, shard: usize) -> u64 {
+    0x100_0000 | (stage as u64) << 16 | shard as u64
+}
+
+/// Everything a stage job touches, as raw column pointers plus shared
+/// read-only references.
+///
+/// # Safety contract
+///
+/// Concurrent jobs touch **disjoint rows**: barrier sweeps run one job per
+/// work index (rows in `work` are unique), and wavefront jobs partition
+/// `work` into disjoint shard ranges while the wave structure guarantees a
+/// shard runs at most one stage at a time. Group/trace/arena-slot pointers
+/// are indexed by shard, and a shard belongs to exactly one job per wave.
+struct Ctx<'a> {
+    work: &'a [u32],
+    bounds: &'a [(u32, u32)],
+    plan: &'a FaultPlan,
+    gaze: &'a ProxyGazeNet,
+    qnet: Option<&'a QuantizedGazeNet>,
+    gaze_hw: (usize, usize),
+    tracing: bool,
+    // columns (row-indexed)
+    trackers: SendPtr<Option<EyeTracker>>,
+    staged: SendPtr<Option<QueuedFrame>>,
+    cursors: SendPtr<Option<StageCursor>>,
+    acquires: SendPtr<AcquireScratch>,
+    images: SendPtr<Tensor>,
+    crops: SendPtr<Tensor>,
+    gaze_ins: SendPtr<Tensor>,
+    preds: SendPtr<Tensor>,
+    epochs: SendPtr<[u64; STAGES]>,
+    routes: SendPtr<Route>,
+    batch_pos: SendPtr<(u32, u32)>,
+    backends: SendPtr<GazeBackend>,
+    generations: SendPtr<u32>,
+    stats: SendPtr<TrackingStats>,
+    lasts: SendPtr<Option<TrackedFrame>>,
+    spares: SendPtr<Vec<Tensor>>,
+    // shard-indexed
+    f32_groups: SendPtr<Vec<u32>>,
+    i8_groups: SendPtr<Vec<u32>>,
+    traces: SendPtr<Vec<(SessionId, TrackedFrame)>>,
+    f32_slots: SendPtr<BatchWorkspace>,
+    i8_slots: SendPtr<BatchWorkspace>,
+}
+
+/// The capture stage for one row: open the frame, decide the sensor-plane
+/// outcome, stage a fresh attempt-0 capture in the acquisition scratch.
+fn capture_row(ctx: &Ctx<'_>, row: usize) {
+    // SAFETY: per the Ctx contract this job is the only one touching `row`
+    unsafe {
+        let tracker = ctx.trackers.get(row).as_mut().expect("staged row is live");
+        let qf = ctx.staged.get(row).as_ref().expect("frame staged");
+        let mut cur = tracker.begin_frame(&qf.scene);
+        tracker.capture_stage(&mut cur, &qf.scene, qf.noise_seed, ctx.acquires.get(row));
+        stamp_stage_row(ctx.epochs.get(row), STAGE_CAPTURE, cur.frame(), row);
+        *ctx.cursors.get(row) = Some(cur);
+    }
+}
+
+/// The reconstruction stage for one row: staged measurement → image
+/// column, with the tracker's corruption-retry / last-good-fallback tail.
+fn recon_row(ctx: &Ctx<'_>, row: usize) {
+    // SAFETY: per the Ctx contract this job is the only one touching `row`
+    unsafe {
+        let tracker = ctx.trackers.get(row).as_mut().expect("staged row is live");
+        let qf = ctx.staged.get(row).as_ref().expect("frame staged");
+        let cur = ctx.cursors.get(row).as_mut().expect("capture ran");
+        tracker.recon_stage(
+            cur,
+            &qf.scene,
+            qf.noise_seed,
+            ctx.acquires.get(row),
+            ctx.images.get(row),
+        );
+        stamp_stage_row(ctx.epochs.get(row), STAGE_RECON, cur.frame(), row);
+    }
+}
+
+/// The ROI-refresh + crop/resize stage for one row: segmentation refresh
+/// when due, then image column → crop column → gaze-input column.
+fn crop_row(ctx: &Ctx<'_>, row: usize) {
+    // SAFETY: per the Ctx contract this job is the only one touching `row`
+    unsafe {
+        let tracker = ctx.trackers.get(row).as_mut().expect("staged row is live");
+        let cur = ctx.cursors.get(row).as_mut().expect("recon ran");
+        tracker.roi_stage(cur, ctx.images.get(row));
+        tracker.crop_stage(
+            cur,
+            ctx.images.get(row),
+            ctx.crops.get(row),
+            ctx.gaze_ins.get(row),
+        );
+        stamp_stage_row(ctx.epochs.get(row), STAGE_CROP, cur.frame(), row);
+    }
+}
+
+/// Gather one shard's route group into its arena slot and run the batched
+/// forward.
+fn run_group(ctx: &Ctx<'_>, shard: usize, group: &[u32], int8: bool) {
+    if group.is_empty() {
+        return;
+    }
+    static_counter!("serve/batches").inc();
+    static_counter!("serve/batch_size").add(group.len() as u64);
+    let (gh, gw) = ctx.gaze_hw;
+    // SAFETY: arena slot `shard` belongs to this job alone; rows in
+    // `group` come from this shard's range
+    unsafe {
+        let slot = if int8 { &ctx.i8_slots } else { &ctx.f32_slots }.get(shard);
+        slot.input.reset(Shape::new(group.len(), 1, gh, gw));
+        for (j, &row) in group.iter().enumerate() {
+            let row = row as usize;
+            *ctx.batch_pos.get(row) = (shard as u32, j as u32);
+            slot.input
+                .batch_item_slice_mut(j)
+                .copy_from_slice(ctx.gaze_ins.get(row).as_slice());
+        }
+        if int8 {
+            ctx.qnet
+                .expect("int8 routes only exist once calibrated")
+                .forward_into(&slot.input, &mut slot.ws, &mut slot.output);
+        } else {
+            ctx.gaze
+                .forward_infer(&slot.input, &mut slot.ws, &mut slot.output);
+        }
+    }
+}
+
+/// The wavefront gaze + completion stage for one shard: shard-local
+/// routing, batched forwards, prediction scatter and frame completion,
+/// all in shard-range (= work) order.
+///
+/// Only runs in pipelined mode, i.e. with no warming int8 sessions — an
+/// int8 backend here implies the shared network exists, so routing needs
+/// no cross-shard calibration state.
+fn gaze_shard(ctx: &Ctx<'_>, shard: usize) {
+    let (start, end) = ctx.bounds[shard];
+    // SAFETY: shard ranges are disjoint and this job owns shard `shard`'s
+    // rows, groups, trace buffer and arena slots for the whole wave
+    unsafe {
+        let f32_group = ctx.f32_groups.get(shard);
+        let i8_group = ctx.i8_groups.get(shard);
+        f32_group.clear();
+        i8_group.clear();
+        // route (shard-local)
+        for w in start..end {
+            let row = ctx.work[w as usize] as usize;
+            let cur = ctx.cursors.get(row).as_ref().expect("crop ran");
+            if cur.has_gaze_input() {
+                stamp_stage_row(ctx.epochs.get(row), STAGE_GAZE, cur.frame(), row);
+                if *ctx.backends.get(row) == GazeBackend::Int8 {
+                    *ctx.routes.get(row) = Route::Int8;
+                    i8_group.push(row as u32);
+                } else {
+                    *ctx.routes.get(row) = Route::F32;
+                    f32_group.push(row as u32);
+                }
+            } else {
+                *ctx.routes.get(row) = Route::Fallback;
+            }
+        }
+        run_group(ctx, shard, f32_group, false);
+        run_group(ctx, shard, i8_group, true);
+        // scatter + complete + account, in shard-range order
+        for w in start..end {
+            let row = ctx.work[w as usize] as usize;
+            let route = *ctx.routes.get(row);
+            let cur = ctx.cursors.get(row).take().expect("crop ran");
+            let frame = cur.frame();
+            let tracker = ctx.trackers.get(row).as_mut().expect("staged row is live");
+            let pred = ctx.preds.get(row);
+            let out = if route == Route::Fallback {
+                check_stage_row(ctx.epochs.get(row), STAGE_CROP, frame, row);
+                tracker.complete_stage(cur, pred)
+            } else {
+                check_stage_row(ctx.epochs.get(row), STAGE_GAZE, frame, row);
+                let (p, j) = *ctx.batch_pos.get(row);
+                let slot = if route == Route::Int8 {
+                    &ctx.i8_slots
+                } else {
+                    &ctx.f32_slots
+                }
+                .get(p as usize);
+                let mut src = [0.0f32; 3];
+                src.copy_from_slice(&slot.output.as_slice()[j as usize * 3..j as usize * 3 + 3]);
+                tracker.complete_stage_with_pred(cur, &src, pred)
+            };
+            let qf = ctx.staged.get(row).take().expect("frame staged");
+            let stats = ctx.stats.get(row);
+            match &qf.truth {
+                Some(t) => stats.record(&out, t),
+                None => stats.record_unlabeled(&out),
+            }
+            ctx.spares.get(row).push(qf.scene);
+            let lasts = ctx.lasts.get(row);
+            if ctx.tracing {
+                *lasts = Some(out.clone());
+                ctx.traces
+                    .get(shard)
+                    .push((SessionId::new(row as u32, *ctx.generations.get(row)), out));
+            } else {
+                *lasts = Some(out);
+            }
+        }
+    }
+}
+
+/// One pipelined wavefront job: run `stage` over shard `shard`, timed into
+/// the stage's histogram.
+fn run_wave_job(ctx: &Ctx<'_>, stage: usize, shard: usize) {
+    let (start, end) = ctx.bounds[shard];
+    match stage {
+        STAGE_CAPTURE => static_histogram!("serve/stage_acquire_ns").time(|| {
+            for w in start..end {
+                capture_row(ctx, ctx.work[w as usize] as usize);
+            }
+        }),
+        STAGE_RECON => static_histogram!("serve/stage_recon_ns").time(|| {
+            for w in start..end {
+                recon_row(ctx, ctx.work[w as usize] as usize);
+            }
+        }),
+        STAGE_CROP => static_histogram!("serve/stage_crop_ns").time(|| {
+            for w in start..end {
+                crop_row(ctx, ctx.work[w as usize] as usize);
+            }
+        }),
+        STAGE_GAZE => static_histogram!("serve/stage_gaze_ns").time(|| gaze_shard(ctx, shard)),
+        _ => unreachable!("unknown stage {stage}"),
+    }
+}
+
+/// One barrier-mode column-sweep job: run `stage` for the single session
+/// at work index `w`, timed into the stage's histogram.
+fn run_sweep_job(ctx: &Ctx<'_>, stage: usize, w: usize) {
+    let row = ctx.work[w] as usize;
+    match stage {
+        STAGE_CAPTURE => {
+            static_histogram!("serve/stage_acquire_ns").time(|| capture_row(ctx, row));
+        }
+        STAGE_RECON => static_histogram!("serve/stage_recon_ns").time(|| recon_row(ctx, row)),
+        STAGE_CROP => static_histogram!("serve/stage_crop_ns").time(|| crop_row(ctx, row)),
+        _ => unreachable!("barrier sweeps only run capture/recon/crop"),
+    }
+}
+
+/// Builds the stage-job context over a destructured registry's columns.
+/// The context holds only raw pointers plus shared references, so the
+/// caller keeps disjoint `&mut` access to the scheduler's own buffers
+/// (`jobs`, `failed`) while jobs run.
+#[allow(clippy::too_many_arguments)]
+fn build_ctx<'a>(
+    work: &'a [u32],
+    bounds: &'a [(u32, u32)],
+    plan: &'a FaultPlan,
+    gaze: &'a ProxyGazeNet,
+    qnet: Option<&'a QuantizedGazeNet>,
+    gaze_hw: (usize, usize),
+    tracing: bool,
+    store: &mut SessionStore,
+    f32_groups: &mut [Vec<u32>],
+    i8_groups: &mut [Vec<u32>],
+    traces: &mut [Vec<(SessionId, TrackedFrame)>],
+    f32_slots: &mut [BatchWorkspace],
+    i8_slots: &mut [BatchWorkspace],
+) -> Ctx<'a> {
+    Ctx {
+        work,
+        bounds,
+        plan,
+        gaze,
+        qnet,
+        gaze_hw,
+        tracing,
+        trackers: SendPtr(store.trackers.as_mut_ptr()),
+        staged: SendPtr(store.staged.as_mut_ptr()),
+        cursors: SendPtr(store.cursors.as_mut_ptr()),
+        acquires: SendPtr(store.acquires.as_mut_ptr()),
+        images: SendPtr(store.images.as_mut_ptr()),
+        crops: SendPtr(store.crops.as_mut_ptr()),
+        gaze_ins: SendPtr(store.gaze_ins.as_mut_ptr()),
+        preds: SendPtr(store.preds.as_mut_ptr()),
+        epochs: SendPtr(store.epochs.as_mut_ptr()),
+        routes: SendPtr(store.routes.as_mut_ptr()),
+        batch_pos: SendPtr(store.batch_pos.as_mut_ptr()),
+        backends: SendPtr(store.backends.as_mut_ptr()),
+        generations: SendPtr(store.generations.as_mut_ptr()),
+        stats: SendPtr(store.stats.as_mut_ptr()),
+        lasts: SendPtr(store.lasts.as_mut_ptr()),
+        spares: SendPtr(store.spares.as_mut_ptr()),
+        f32_groups: SendPtr(f32_groups.as_mut_ptr()),
+        i8_groups: SendPtr(i8_groups.as_mut_ptr()),
+        traces: SendPtr(traces.as_mut_ptr()),
+        f32_slots: SendPtr(f32_slots.as_mut_ptr()),
+        i8_slots: SendPtr(i8_slots.as_mut_ptr()),
+    }
+}
+
+impl ServeRegistry {
+    /// The scheduled (columnar) tick. Dispatches to the pipelined
+    /// wavefront unless int8 sessions are still warming toward the shared
+    /// calibration, in which case the barrier form runs (calibration-crop
+    /// collection needs a serial, work-ordered routing pass).
+    pub(crate) fn tick_scheduled(
+        &mut self,
+        trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
+    ) -> (usize, usize) {
+        // steady-state proof: a warm scheduled tick (no ROI refresh due,
+        // untraced) must not allocate
+        let steady = trace.is_none()
+            && !self.work.iter().any(|&r| {
+                let t = self.store.trackers[r as usize].as_ref().expect("staged");
+                t.frames_processed()
+                    .is_multiple_of(t.config().roi_period as u64)
+            });
+        let allocs_before = eyecod_core::alloc_counter::allocations();
+        let warming = self.shared_qnet.is_none()
+            && self
+                .work
+                .iter()
+                .any(|&r| self.store.backends[r as usize] == GazeBackend::Int8);
+        let counts = if warming {
+            self.tick_scheduled_barrier(trace)
+        } else {
+            self.tick_scheduled_pipelined(trace)
+        };
+        if steady {
+            static_counter!("serve/steady_state_allocs")
+                .add(eyecod_core::alloc_counter::allocations() - allocs_before);
+        }
+        counts
+    }
+
+    /// Barrier-mode scheduled tick: per-stage column sweeps with a barrier
+    /// between stages, then serial routing (collecting int8 calibration
+    /// crops in work order), the shared batched forwards, and serial
+    /// completion.
+    fn tick_scheduled_barrier(
+        &mut self,
+        mut trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
+    ) -> (usize, usize) {
+        let n = self.work.len();
+        static_counter!("serve/sched_shards").add(n as u64);
+        static_counter!("serve/sched_waves").add(STAGES as u64);
+        for stage in [STAGE_CAPTURE, STAGE_RECON, STAGE_CROP] {
+            self.run_column_sweep(stage);
+        }
+        // serial route in work order — this is where warming int8 sessions
+        // contribute their calibration crops, deterministically
+        self.f32_batch.clear();
+        self.i8_batch.clear();
+        for w in 0..n {
+            let row = self.work[w] as usize;
+            let cur = self.store.cursors[row].as_ref().expect("crop ran");
+            let has = cur.has_gaze_input();
+            let frame = cur.frame();
+            if has {
+                self.store.stamp_stage(row, STAGE_GAZE, frame);
+            }
+            let non_finite = has && self.store.gaze_ins[row].has_non_finite();
+            self.route_row(row, has, non_finite);
+        }
+        let counts = (self.f32_batch.len(), self.i8_batch.len());
+        static_histogram!("serve/stage_gaze_ns").time(|| {
+            let group = std::mem::take(&mut self.f32_batch);
+            self.run_batch(&group, false);
+            self.f32_batch = group;
+            let group = std::mem::take(&mut self.i8_batch);
+            self.run_batch(&group, true);
+            self.i8_batch = group;
+        });
+        // serial completion in work order
+        for w in 0..n {
+            let row = self.work[w] as usize;
+            let route = self.store.routes[row];
+            let cur = self.store.cursors[row].take().expect("crop ran");
+            let frame = cur.frame();
+            let mut src = [0.0f32; 3];
+            if route == Route::Fallback {
+                self.store.check_stage(row, STAGE_CROP, frame);
+            } else {
+                self.store.check_stage(row, STAGE_GAZE, frame);
+                let (p, j) = self.store.batch_pos[row];
+                let arena = if route == Route::Int8 {
+                    &self.i8_arena
+                } else {
+                    &self.f32_arena
+                };
+                let out = arena.slot(p as usize).output.as_slice();
+                src.copy_from_slice(&out[j as usize * 3..j as usize * 3 + 3]);
+            }
+            let store = &mut self.store;
+            let tracker = store.trackers[row].as_mut().expect("staged row is live");
+            let out = if route == Route::Fallback {
+                tracker.complete_stage(cur, &mut store.preds[row])
+            } else {
+                tracker.complete_stage_with_pred(cur, &src, &mut store.preds[row])
+            };
+            self.account_completion(row, out, trace.as_deref_mut());
+        }
+        counts
+    }
+
+    /// One barrier-mode column sweep: `stage` for every staged session,
+    /// one pool job per session, with injected-panic recovery.
+    fn run_column_sweep(&mut self, stage: usize) {
+        let n = self.work.len();
+        static_counter!("serve/sched_jobs").add(n as u64);
+        let ServeRegistry {
+            config,
+            models,
+            faults,
+            pool,
+            store,
+            work,
+            f32_arena,
+            i8_arena,
+            shared_qnet,
+            sched,
+            ..
+        } = self;
+        let SchedState {
+            failed,
+            bounds,
+            f32_groups,
+            i8_groups,
+            traces,
+            ..
+        } = sched;
+        failed.clear();
+        failed.resize(n, 0);
+        let ctx = build_ctx(
+            work,
+            bounds,
+            faults,
+            &models.gaze,
+            shared_qnet.as_ref(),
+            config.tracker.gaze_input,
+            false,
+            store,
+            f32_groups,
+            i8_groups,
+            traces,
+            f32_arena.slots_mut(),
+            i8_arena.slots_mut(),
+        );
+        let failed_p = SendPtr(failed.as_mut_ptr());
+        let pool = match pool {
+            crate::registry::PoolHandle::Global => eyecod_pool::global(),
+            crate::registry::PoolHandle::Owned(p) => p,
+        };
+        pool.parallel_for_chunked(n, 1, |w| {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                if ctx.plan.worker_panics(sweep_job_id(stage, w), 0) {
+                    panic!("injected exec-plane fault: column-sweep job {w} stage {stage}");
+                }
+                run_sweep_job(&ctx, stage, w);
+            }));
+            if caught.is_err() {
+                // SAFETY: flag `w` belongs to this job alone
+                *unsafe { failed_p.get(w) } = 1;
+            }
+        });
+        // deterministic inline retry: attempt 1 never re-fires the
+        // injected panic, and the panic happened before any column write
+        let mut recovered = 0u64;
+        for (w, &flag) in failed.iter().enumerate().take(n) {
+            if flag != 0 {
+                run_sweep_job(&ctx, stage, w);
+                recovered += 1;
+            }
+        }
+        if recovered > 0 {
+            static_counter!("serve/sched_panics_recovered").add(recovered);
+        }
+    }
+
+    /// Pipelined wavefront scheduled tick: shards × stages on a diagonal
+    /// wavefront, so stage `s` of shard `k` overlaps stage `s+1` of shard
+    /// `k-1` on other workers.
+    fn tick_scheduled_pipelined(
+        &mut self,
+        trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
+    ) -> (usize, usize) {
+        let n = self.work.len();
+        let shards = self.pool().participants().min(n);
+        // shard bounds + per-shard buffers
+        self.sched.bounds.clear();
+        for s in 0..shards {
+            self.sched
+                .bounds
+                .push(((s * n / shards) as u32, ((s + 1) * n / shards) as u32));
+        }
+        while self.sched.f32_groups.len() < shards {
+            self.sched.f32_groups.push(Vec::new());
+            self.sched.i8_groups.push(Vec::new());
+            self.sched.traces.push(Vec::new());
+        }
+        for s in 0..shards {
+            self.sched.traces[s].clear();
+        }
+        self.f32_arena.ensure(shards);
+        if self
+            .work
+            .iter()
+            .any(|&r| self.store.backends[r as usize] == GazeBackend::Int8)
+        {
+            self.i8_arena.ensure(shards);
+        }
+        static_counter!("serve/sched_shards").add(shards as u64);
+        let tracing = trace.is_some();
+        let waves = shards + STAGES - 1;
+        static_counter!("serve/sched_waves").add(waves as u64);
+        {
+            let ServeRegistry {
+                config,
+                models,
+                faults,
+                pool,
+                store,
+                work,
+                f32_arena,
+                i8_arena,
+                shared_qnet,
+                sched,
+                ..
+            } = &mut *self;
+            let SchedState {
+                jobs,
+                failed,
+                bounds,
+                f32_groups,
+                i8_groups,
+                traces,
+            } = sched;
+            let ctx = build_ctx(
+                work,
+                bounds,
+                faults,
+                &models.gaze,
+                shared_qnet.as_ref(),
+                config.tracker.gaze_input,
+                tracing,
+                store,
+                f32_groups,
+                i8_groups,
+                traces,
+                f32_arena.slots_mut(),
+                i8_arena.slots_mut(),
+            );
+            let pool = match pool {
+                crate::registry::PoolHandle::Global => eyecod_pool::global(),
+                crate::registry::PoolHandle::Owned(p) => p,
+            };
+            for wave in 0..waves {
+                // collect this wave's diagonal: (shard = wave - stage,
+                // stage)
+                jobs.clear();
+                for stage in 0..STAGES {
+                    let Some(shard) = wave.checked_sub(stage) else {
+                        continue;
+                    };
+                    if shard < shards {
+                        jobs.push((stage as u32, shard as u32));
+                    }
+                }
+                let njobs = jobs.len();
+                static_counter!("serve/sched_jobs").add(njobs as u64);
+                failed.clear();
+                failed.resize(njobs, 0);
+                let failed_p = SendPtr(failed.as_mut_ptr());
+                let job_list: &[(u32, u32)] = jobs;
+                pool.parallel_for_chunked(njobs, 1, |i| {
+                    let (stage, shard) = job_list[i];
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        if ctx
+                            .plan
+                            .worker_panics(wave_job_id(stage as usize, shard as usize), 0)
+                        {
+                            panic!(
+                                "injected exec-plane fault: wavefront job \
+                                 stage {stage} shard {shard}"
+                            );
+                        }
+                        run_wave_job(&ctx, stage as usize, shard as usize);
+                    }));
+                    if caught.is_err() {
+                        // SAFETY: flag `i` belongs to this job alone
+                        *unsafe { failed_p.get(i) } = 1;
+                    }
+                });
+                let mut recovered = 0u64;
+                for i in 0..njobs {
+                    if failed[i] != 0 {
+                        let (stage, shard) = jobs[i];
+                        run_wave_job(&ctx, stage as usize, shard as usize);
+                        recovered += 1;
+                    }
+                }
+                if recovered > 0 {
+                    static_counter!("serve/sched_panics_recovered").add(recovered);
+                }
+            }
+        }
+        // tally forwards and hand the per-shard traces back in shard order
+        // (= work order)
+        let mut f32_forwards = 0;
+        let mut int8_forwards = 0;
+        for s in 0..shards {
+            f32_forwards += self.sched.f32_groups[s].len();
+            int8_forwards += self.sched.i8_groups[s].len();
+        }
+        if let Some(tr) = trace {
+            for s in 0..shards {
+                tr.append(&mut self.sched.traces[s]);
+            }
+        }
+        (f32_forwards, int8_forwards)
+    }
+}

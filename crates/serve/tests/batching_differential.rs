@@ -1,18 +1,22 @@
-//! Batched-vs-sequential differential: the tentpole correctness claim.
+//! Tick-mode differential: the serve layer's tentpole correctness claim.
 //!
-//! Two registries run the identical fleet schedule — same models, same
-//! sessions, same frames — one with cross-session micro-batching on, one
-//! with it off (every forward runs individually, the sequential
-//! reference). Batching is a pure execution-strategy choice, so:
+//! Registries run the identical fleet schedule — same models, same
+//! sessions, same frames — once per [`TickMode`]: the sequential AoS
+//! reference, the batched tick, and the columnar scheduled tick. The tick
+//! mode is a pure execution-strategy choice, so:
 //!
 //! * f32 sessions must agree to a relative tolerance of 1e-4 (in practice
 //!   the blocked GEMM is item-independent and they agree bit-for-bit; the
 //!   tolerance is the contract, not the observation);
 //! * int8 sessions must agree **bit-identically** — integer arithmetic has
-//!   no rounding latitude for batching to hide in;
+//!   no rounding latitude for an execution strategy to hide in;
 //! * both properties must hold across ragged fleet sizes (1, 2, 7, 32
 //!   sessions) and mixed f32/int8 populations, where batch partitioning
 //!   across arena slots exercises every uneven split.
+//!
+//! (Deeper scheduled-mode coverage — worker counts, churn, fault plans —
+//! lives in `stage_scheduler.rs`; this suite pins the three modes against
+//! each other on the clean path.)
 
 use std::sync::OnceLock;
 
@@ -20,7 +24,7 @@ use eyecod_core::tracker::{GazeBackend, TrackerConfig};
 use eyecod_core::training::{train_tracker_models, TrackerModels, TrainingSetup};
 use eyecod_eyedata::render::{render_eye, EyeParams};
 use eyecod_faults::FaultPlan;
-use eyecod_serve::{ServeConfig, ServeRegistry, SessionId};
+use eyecod_serve::{ServeConfig, ServeRegistry, SessionId, TickMode};
 use eyecod_tensor::Tensor;
 
 fn shared() -> &'static (TrackerConfig, TrackerModels, Vec<Tensor>) {
@@ -40,10 +44,10 @@ fn shared() -> &'static (TrackerConfig, TrackerModels, Vec<Tensor>) {
     })
 }
 
-fn registry(batching: bool) -> ServeRegistry {
+fn registry(mode: TickMode) -> ServeRegistry {
     let (cfg, models, _) = shared();
     let mut sc = ServeConfig::new(cfg.clone());
-    sc.batching = batching;
+    sc.mode = mode;
     sc.threads = Some(0);
     ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none())
 }
@@ -52,13 +56,13 @@ fn registry(batching: bool) -> ServeRegistry {
 /// f32/int8 from `first`) and returns, per completed frame, the session
 /// id, backend, frame index and raw gaze bits.
 fn run(
-    batching: bool,
+    mode: TickMode,
     size: usize,
     first: GazeBackend,
     ticks: u64,
 ) -> Vec<(SessionId, GazeBackend, u64, [u32; 3])> {
     let (_, _, scenes) = shared();
-    let mut reg = registry(batching);
+    let mut reg = registry(mode);
     let mut ids = Vec::new();
     for s in 0..size {
         let backend = match (s % 2 == 0, first) {
@@ -96,32 +100,37 @@ fn rel_close(a: f32, b: f32) -> bool {
     (a - b).abs() <= 1e-4 * b.abs().max(1.0)
 }
 
-fn compare_fleet(size: usize, first: GazeBackend) {
+fn compare_fleet(mode: TickMode, size: usize, first: GazeBackend) {
     // long enough that every int8 session passes through warm-up (f32
     // routing), shared calibration, and a stretch of true int8 serving
     let ticks = 12;
-    let batched = run(true, size, first, ticks);
-    let sequential = run(false, size, first, ticks);
-    assert_eq!(batched.len(), sequential.len());
-    assert_eq!(batched.len(), size * ticks as usize);
+    let candidate = run(mode, size, first, ticks);
+    let sequential = run(TickMode::Sequential, size, first, ticks);
+    assert_eq!(candidate.len(), sequential.len());
+    assert_eq!(candidate.len(), size * ticks as usize);
     for ((id_b, backend, frame_b, bits_b), (id_s, _, frame_s, bits_s)) in
-        batched.iter().zip(&sequential)
+        candidate.iter().zip(&sequential)
     {
-        assert_eq!((id_b, frame_b), (id_s, frame_s), "trace order diverged");
+        assert_eq!(
+            (id_b, frame_b),
+            (id_s, frame_s),
+            "{mode:?}: trace order diverged"
+        );
         match backend {
-            // int8: integer arithmetic — batching must be invisible to the
-            // last bit (the shared network is calibrated from identical
-            // crops in both runs, so this covers calibration too)
+            // int8: integer arithmetic — the execution strategy must be
+            // invisible to the last bit (the shared network is calibrated
+            // from identical crops in both runs, so this covers
+            // calibration too)
             GazeBackend::Int8 => assert_eq!(
                 bits_b, bits_s,
-                "size {size}: int8 session {id_b:?} frame {frame_b} not bit-identical"
+                "{mode:?} size {size}: int8 session {id_b:?} frame {frame_b} not bit-identical"
             ),
             GazeBackend::F32 => {
                 for (xb, xs) in bits_b.iter().zip(bits_s) {
                     let (a, b) = (f32::from_bits(*xb), f32::from_bits(*xs));
                     assert!(
                         rel_close(a, b),
-                        "size {size}: f32 session {id_b:?} frame {frame_b}: {a} vs {b}"
+                        "{mode:?} size {size}: f32 session {id_b:?} frame {frame_b}: {a} vs {b}"
                     );
                 }
             }
@@ -131,8 +140,10 @@ fn compare_fleet(size: usize, first: GazeBackend) {
 
 #[test]
 fn ragged_fleets_starting_f32_match() {
-    for size in [1usize, 2, 7, 32] {
-        compare_fleet(size, GazeBackend::F32);
+    for mode in [TickMode::Batched, TickMode::Scheduled] {
+        for size in [1usize, 2, 7, 32] {
+            compare_fleet(mode, size, GazeBackend::F32);
+        }
     }
 }
 
@@ -140,14 +151,16 @@ fn ragged_fleets_starting_f32_match() {
 fn ragged_fleets_starting_int8_match() {
     // starting int8 flips which sessions warm through the f32 batch and
     // which rows land where in the arena partitions
-    for size in [1usize, 2, 7, 32] {
-        compare_fleet(size, GazeBackend::Int8);
+    for mode in [TickMode::Batched, TickMode::Scheduled] {
+        for size in [1usize, 2, 7, 32] {
+            compare_fleet(mode, size, GazeBackend::Int8);
+        }
     }
 }
 
 /// The strictest leg pulled out on its own: across every mixed fleet, the
 /// int8 sessions' full traces — warm-up frames included — must be
-/// bit-identical between the two modes, not merely within tolerance.
+/// bit-identical between the modes, not merely within tolerance.
 #[test]
 fn int8_sessions_are_bit_identical_in_every_mixed_fleet() {
     let int8_only = |v: Vec<(SessionId, GazeBackend, u64, [u32; 3])>| {
@@ -155,10 +168,15 @@ fn int8_sessions_are_bit_identical_in_every_mixed_fleet() {
             .filter(|(_, b, _, _)| *b == GazeBackend::Int8)
             .collect::<Vec<_>>()
     };
-    for size in [2usize, 7, 32] {
-        let batched = int8_only(run(true, size, GazeBackend::Int8, 12));
-        let sequential = int8_only(run(false, size, GazeBackend::Int8, 12));
-        assert!(!batched.is_empty());
-        assert_eq!(batched, sequential, "size {size} int8 traces diverged");
+    for mode in [TickMode::Batched, TickMode::Scheduled] {
+        for size in [2usize, 7, 32] {
+            let candidate = int8_only(run(mode, size, GazeBackend::Int8, 12));
+            let sequential = int8_only(run(TickMode::Sequential, size, GazeBackend::Int8, 12));
+            assert!(!candidate.is_empty());
+            assert_eq!(
+                candidate, sequential,
+                "{mode:?} size {size} int8 traces diverged"
+            );
+        }
     }
 }

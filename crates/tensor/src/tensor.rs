@@ -243,6 +243,31 @@ impl Tensor {
         Tensor::from_vec(shape, self.data[n * item..(n + 1) * item].to_vec())
     }
 
+    /// Borrows batch item `n` as a contiguous `c*h*w` slice — the
+    /// allocation-free gather/scatter primitive for batching many
+    /// single-item tensors into one batch buffer (and reading per-item
+    /// rows back out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn batch_item_slice(&self, n: usize) -> &[f32] {
+        assert!(n < self.shape.n, "batch index {n} out of range");
+        let item = self.shape.item_len();
+        &self.data[n * item..(n + 1) * item]
+    }
+
+    /// Mutable twin of [`Tensor::batch_item_slice`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn batch_item_slice_mut(&mut self, n: usize) -> &mut [f32] {
+        assert!(n < self.shape.n, "batch index {n} out of range");
+        let item = self.shape.item_len();
+        &mut self.data[n * item..(n + 1) * item]
+    }
+
     /// Stacks single-item tensors along the batch dimension.
     ///
     /// # Panics
