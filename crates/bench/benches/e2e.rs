@@ -67,12 +67,16 @@ fn backend_name(backend: GazeBackend) -> &'static str {
     match backend {
         GazeBackend::F32 => "f32",
         GazeBackend::Int8 => "int8",
+        GazeBackend::Latent => "latent",
     }
 }
 
+/// Every measured backend, in artifact row order.
+const BACKENDS: [GazeBackend; 3] = [GazeBackend::F32, GazeBackend::Int8, GazeBackend::Latent];
+
 fn bench(c: &mut Criterion) {
     let (_, _, scene) = shared();
-    for backend in [GazeBackend::F32, GazeBackend::Int8] {
+    for backend in BACKENDS {
         let mut tracker = warm_tracker(backend);
         let mut frame = WARMUP_FRAMES;
         c.bench_function(&format!("e2e/frame_{}", backend_name(backend)), |bch| {
@@ -116,7 +120,7 @@ struct E2eReport {
     simd: SimdInfo,
     backends: Vec<BackendRow>,
     /// Serve-tick fleet throughput: frames per second across a warm
-    /// 16-session fleet (mixed f32/int8 backends, batching on).
+    /// 16-session fleet (mixed f32/int8/latent backends, batching on).
     fleet_sessions: usize,
     fleet_tick_ns: u64,
     fleet_fps: f64,
@@ -151,12 +155,8 @@ fn measure_fleet() -> (u64, f64) {
     let mut reg = ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none());
     let ids: Vec<_> = (0..FLEET)
         .map(|s| {
-            let backend = if s % 2 == 0 {
-                GazeBackend::F32
-            } else {
-                GazeBackend::Int8
-            };
-            reg.create_with_backend(backend).unwrap()
+            reg.create_with_backend(BACKENDS[s % BACKENDS.len()])
+                .unwrap()
         })
         .collect();
     let mut round = 0u64;
@@ -189,10 +189,7 @@ fn write_e2e_artifact() {
     } else {
         String::new()
     };
-    let backends: Vec<BackendRow> = [GazeBackend::F32, GazeBackend::Int8]
-        .into_iter()
-        .map(measure_backend)
-        .collect();
+    let backends: Vec<BackendRow> = BACKENDS.into_iter().map(measure_backend).collect();
     let (fleet_tick_ns, fleet_fps) = measure_fleet();
     let report = E2eReport {
         target_fps: TARGET_FPS,

@@ -235,6 +235,42 @@ impl Acquisition {
         }
     }
 
+    /// The latent twin of [`Acquisition::recon_into`]: reads the signal a
+    /// matching [`Acquisition::capture_faulted_into`] staged in `scratch`
+    /// and writes the **raw transported signal** — the FlatCam measurement
+    /// itself, or the focused image for the lens baseline — into `out`,
+    /// skipping the Tikhonov solve entirely. This is what the latent gaze
+    /// backend consumes on steady-state frames. Allocation-free once
+    /// buffers are sized.
+    pub fn sense_into(&self, scratch: &AcquireScratch, out: &mut Tensor) {
+        match self {
+            Acquisition::Lens { .. } => scratch.m.write_tensor(out),
+            Acquisition::FlatCam { .. } => scratch.y.write_tensor(out),
+        }
+    }
+
+    /// Allocating variant of [`Acquisition::sense_into`] for the training
+    /// path: captures `scene` (no fault plan, attempt 0) and returns the
+    /// raw transported signal. Uses the same capture seed derivation as
+    /// [`Acquisition::acquire`], so for equal seeds the measurement is the
+    /// one underneath the image `acquire` would reconstruct.
+    pub fn sense(&self, scene: &Tensor, seed: u64) -> Tensor {
+        let mut scratch = AcquireScratch::new();
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        self.capture_faulted_into(scene, seed, &FaultPlan::none(), 0, 0, &mut scratch);
+        self.sense_into(&scratch, &mut out);
+        out
+    }
+
+    /// Side length of the square raw transported signal: the measurement
+    /// size for a FlatCam, the scene size for the lens baseline.
+    pub fn sense_size(&self, scene: usize) -> usize {
+        match self {
+            Acquisition::Lens { .. } => scene,
+            Acquisition::FlatCam { camera, .. } => camera.measurement_size(),
+        }
+    }
+
     /// True for the FlatCam path.
     pub fn is_flatcam(&self) -> bool {
         matches!(self, Acquisition::FlatCam { .. })

@@ -27,33 +27,67 @@ pub enum GazeBackend {
     /// folds, calibrates and quantises the network once and every later
     /// frame runs entirely in int8.
     Int8,
+    /// The recon-free latent path (FlatTrack, arXiv 2501.15450): on
+    /// steady-state frames the gaze is regressed straight from the
+    /// down-projected raw FlatCam measurement — no Tikhonov solve, no
+    /// segmentation, no ROI crop — while the every-N ROI-refresh frames
+    /// still run full reconstruction + segmentation and the recon-path f32
+    /// gaze network, keeping the ROI anchored and refresh outputs
+    /// byte-identical to the f32 backend.
+    Latent,
 }
 
 impl GazeBackend {
-    /// Parses a backend name (`"f32"`/`"float"` or `"int8"`/`"i8"`,
-    /// case-insensitive).
+    /// Parses a backend name (`"f32"`/`"float"`, `"int8"`/`"i8"`, or
+    /// `"latent"`/`"recon-free"`, case-insensitive).
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "f32" | "float" | "fp32" => Some(GazeBackend::F32),
             "int8" | "i8" | "quantized" => Some(GazeBackend::Int8),
+            "latent" | "recon-free" | "reconfree" => Some(GazeBackend::Latent),
             _ => None,
         }
     }
 
     /// Reads `EYECOD_GAZE_BACKEND` from the environment, defaulting to
-    /// [`GazeBackend::F32`] when unset or empty.
+    /// [`GazeBackend::F32`] only when the variable is genuinely absent.
     ///
     /// # Panics
     ///
-    /// Panics if the variable is set to an unrecognised value — a silent
-    /// fallback would make CI's int8 job quietly test the wrong backend.
+    /// Panics if the variable is set to an unrecognised or non-unicode
+    /// value — any silent fallback would make CI's backend jobs quietly
+    /// test the wrong backend.
     pub fn from_env() -> Self {
         match std::env::var("EYECOD_GAZE_BACKEND") {
-            Ok(v) if v.trim().is_empty() => GazeBackend::F32,
-            Ok(v) => Self::parse(&v)
-                .unwrap_or_else(|| panic!("unrecognised EYECOD_GAZE_BACKEND value: {v:?}")),
-            Err(_) => GazeBackend::F32,
+            Ok(v) => Self::from_env_value(&v),
+            Err(std::env::VarError::NotPresent) => GazeBackend::F32,
+            Err(std::env::VarError::NotUnicode(raw)) => panic!(
+                "EYECOD_GAZE_BACKEND is set to a non-unicode value {raw:?}; \
+                 expected one of f32 | int8 | latent"
+            ),
         }
+    }
+
+    /// Interprets a *set* `EYECOD_GAZE_BACKEND` value: empty / whitespace
+    /// means the default ([`GazeBackend::F32`], matching an unset
+    /// variable); anything else must parse. Split out of
+    /// [`GazeBackend::from_env`] so the rejection contract is testable
+    /// without mutating the process environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending value on anything [`GazeBackend::parse`]
+    /// rejects.
+    pub fn from_env_value(value: &str) -> Self {
+        if value.trim().is_empty() {
+            return GazeBackend::F32;
+        }
+        Self::parse(value).unwrap_or_else(|| {
+            panic!(
+                "unrecognised EYECOD_GAZE_BACKEND value: {value:?}; \
+                 expected one of f32 | int8 | latent"
+            )
+        })
     }
 }
 
@@ -234,6 +268,12 @@ pub struct EyeTracker {
     /// Last successfully acquired image: the fallback for dropped, delayed
     /// or unrecoverably corrupted frames.
     last_image: Option<Tensor>,
+    /// Last sane raw measurement, maintained only under
+    /// [`GazeBackend::Latent`]: the fallback the recon-free fast path
+    /// serves when a steady-state frame is dropped, delayed or
+    /// unrecoverably corrupted (it must fall back to a *measurement*, not
+    /// a reconstructed image — the latent net never sees reconstructions).
+    last_meas: Option<Tensor>,
     /// Consecutive frames served from `last_image` instead of a fresh
     /// capture.
     image_staleness: u32,
@@ -326,6 +366,15 @@ impl PreparedFrame {
     /// preparation.
     pub fn roi_refreshed(&self) -> bool {
         self.cur.refreshed
+    }
+
+    /// Whether this frame was a scheduled ROI-refresh frame. Under
+    /// [`GazeBackend::Latent`] this is also the routing key for the gaze
+    /// forward: refresh frames carry a recon-path ROI crop (f32 network),
+    /// steady-state frames carry a projected raw measurement (latent
+    /// network).
+    pub fn refresh_due(&self) -> bool {
+        self.cur.due
     }
 }
 
@@ -460,6 +509,7 @@ impl EyeTracker {
             recovery: RecoveryPolicy::default(),
             fault_stats: FaultStats::default(),
             last_image: None,
+            last_meas: None,
             image_staleness: 0,
             roi_staleness: 0,
             gaze_staleness: 0,
@@ -721,6 +771,12 @@ impl EyeTracker {
         acquire: &mut AcquireScratch,
         image: &mut Tensor,
     ) {
+        if self.latent_fast(cur) {
+            // recon-free fast path: no Tikhonov solve — `image` receives
+            // the raw (transported) measurement itself
+            self.sense_stage(cur, scene, noise_seed, acquire, image);
+            return;
+        }
         match cur.capture {
             CaptureOutcome::Pending => panic!("recon_stage called before capture_stage"),
             CaptureOutcome::Missing => {
@@ -770,6 +826,12 @@ impl EyeTracker {
                         } else {
                             self.last_image = Some(image.clone());
                         }
+                        if self.config.gaze_backend == GazeBackend::Latent {
+                            // a refresh frame's capture also carries the
+                            // raw measurement this reconstruction came
+                            // from — keep it as the fast path's fallback
+                            self.stash_measurement(acquire);
+                        }
                         self.image_staleness = 0;
                         cur.has_image = true;
                         return;
@@ -801,6 +863,118 @@ impl EyeTracker {
         }
     }
 
+    /// Whether this cursor's frame takes the recon-free latent fast path:
+    /// the latent backend is configured and the frame is *not* a scheduled
+    /// ROI-refresh frame (refresh frames still run the full recon +
+    /// segmentation pipeline to keep the ROI anchored).
+    fn latent_fast(&self, cur: &StageCursor) -> bool {
+        self.config.gaze_backend == GazeBackend::Latent && !cur.due
+    }
+
+    /// Copies the raw measurement staged in `acquire` into `last_meas`
+    /// (allocating only the first time).
+    fn stash_measurement(&mut self, acquire: &AcquireScratch) {
+        match self.last_meas.as_mut() {
+            Some(buf) => self.acquisition.sense_into(acquire, buf),
+            None => {
+                let mut buf = Tensor::zeros(Shape::new(1, 1, 1, 1));
+                self.acquisition.sense_into(acquire, &mut buf);
+                self.last_meas = Some(buf);
+            }
+        }
+    }
+
+    /// The latent fast path's replacement for the reconstruction stage:
+    /// serves the raw transported measurement into `image` with **zero**
+    /// reconstruction solves. Fault handling mirrors
+    /// [`EyeTracker::recon_stage`] exactly — sanity check, bounded
+    /// re-capture retries, last-good fallback, staleness accounting — but
+    /// the last-good buffer is `last_meas` (a measurement), never
+    /// `last_image` (a reconstruction the latent net was not trained on).
+    fn sense_stage(
+        &mut self,
+        cur: &mut StageCursor,
+        scene: &Tensor,
+        noise_seed: u64,
+        acquire: &mut AcquireScratch,
+        image: &mut Tensor,
+    ) {
+        match cur.capture {
+            CaptureOutcome::Pending => panic!("recon_stage called before capture_stage"),
+            CaptureOutcome::Missing => {
+                cur.has_image = match &self.last_meas {
+                    Some(prev) => {
+                        cur.ff.recovered += 1;
+                        self.image_staleness += 1;
+                        image.copy_from(prev);
+                        true
+                    }
+                    None => {
+                        cur.ff.unrecovered += 1;
+                        false
+                    }
+                };
+            }
+            CaptureOutcome::Duplicate => {
+                // the duplicate outcome is gated on `last_image`, which
+                // under the latent backend is only refreshed on due
+                // frames — the raw twin can lag by one fallback window
+                cur.has_image = match &self.last_meas {
+                    Some(prev) => {
+                        image.copy_from(prev);
+                        true
+                    }
+                    None => {
+                        cur.ff.unrecovered += 1;
+                        false
+                    }
+                };
+            }
+            CaptureOutcome::Fresh => {
+                let budget = self.recovery.max_stage_retries as u64;
+                for attempt in 0..=budget {
+                    if attempt > 0 {
+                        let injected = self.acquisition.capture_faulted_into(
+                            scene, noise_seed, &cur.plan, cur.frame, attempt, acquire,
+                        );
+                        cur.ff.injected += injected;
+                    }
+                    self.acquisition.sense_into(acquire, image);
+                    if image_is_sane(image) {
+                        if attempt > 0 {
+                            cur.ff.recovered += 1;
+                            cur.degraded = true;
+                            static_counter!("tracker/acquire_retries").add(attempt);
+                        }
+                        self.stash_measurement(acquire);
+                        self.image_staleness = 0;
+                        cur.has_image = true;
+                        return;
+                    }
+                    static_counter!("tracker/acquire_corrupt").inc();
+                }
+                // budget exhausted on a corrupt transfer
+                cur.degraded = true;
+                cur.has_image = match &self.last_meas {
+                    Some(prev) => {
+                        cur.ff.recovered += 1;
+                        self.image_staleness += 1;
+                        image.copy_from(prev);
+                        true
+                    }
+                    None => {
+                        // nothing sane has ever arrived: flush the
+                        // corruption to finite values and limp on
+                        cur.ff.unrecovered += 1;
+                        self.acquisition.sense_into(acquire, image);
+                        sanitize_image_inplace(image);
+                        true
+                    }
+                };
+            }
+        }
+    }
+
     /// The scheduled ROI-refresh stage: runs segmentation and re-anchors
     /// the ROI when this frame is due and an image arrived; a no-op
     /// otherwise. Retries, label validation and drift clamping follow the
@@ -823,6 +997,12 @@ impl EyeTracker {
     /// The crop/resize stage: crops the current ROI out of `image` and
     /// resizes it into the gaze-network input `gaze_in` (`crop` is the
     /// intermediate buffer). A no-op when acquisition lost the frame.
+    ///
+    /// On the latent fast path `image` holds a raw measurement, there is
+    /// no ROI to crop, and the stage instead runs the latent net's
+    /// separable down-projection straight into `gaze_in` — same output
+    /// geometry, same stage slot, so the per-stage latency histograms keep
+    /// an identical structure across backends.
     pub fn crop_stage(
         &self,
         cur: &StageCursor,
@@ -831,6 +1011,10 @@ impl EyeTracker {
         gaze_in: &mut Tensor,
     ) {
         if !cur.has_image {
+            return;
+        }
+        if self.latent_fast(cur) {
+            self.models.latent.project_into(image, gaze_in);
             return;
         }
         self.current_roi.crop_into(image, crop);
@@ -848,6 +1032,7 @@ impl EyeTracker {
     /// frame.
     pub fn complete_frame(&mut self, mut prep: PreparedFrame) -> TrackedFrame {
         if prep.cur.has_image {
+            let fast = self.latent_fast(&prep.cur);
             let FrameScratch {
                 gaze_in,
                 infer,
@@ -855,7 +1040,7 @@ impl EyeTracker {
                 ..
             } = &mut *prep.scratch;
             static_histogram!("tracker/gaze_forward_ns")
-                .time(|| self.gaze_forward_into(gaze_in, infer, pred));
+                .time(|| self.gaze_forward_into(fast, gaze_in, infer, pred));
         }
         self.finish_frame(prep)
     }
@@ -1072,15 +1257,32 @@ impl EyeTracker {
     /// The switch is deterministic in the frame sequence, so parallel and
     /// sequential runs still agree bit-for-bit.
     ///
+    /// Under [`GazeBackend::Latent`] the dispatch follows `latent_fast`:
+    /// steady-state frames run [`LatentGazeNet::forward_infer`] on the
+    /// projected measurement (`tracker/latent_frames` counts them), while
+    /// ROI-refresh frames run the recon-path f32 network on the staged
+    /// ROI crop — making refresh outputs byte-identical to the f32
+    /// backend's.
+    ///
     /// [`ProxyGazeNet::forward_infer`]: eyecod_models::proxy::ProxyGazeNet::forward_infer
+    /// [`LatentGazeNet::forward_infer`]: eyecod_models::latent::LatentGazeNet::forward_infer
     fn gaze_forward_into(
         &mut self,
+        latent_fast: bool,
         gaze_in: &Tensor,
         ws: &mut GazeInferWorkspace,
         pred: &mut Tensor,
     ) {
         match self.config.gaze_backend {
             GazeBackend::F32 => self.models.gaze.forward_infer(gaze_in, ws, pred),
+            GazeBackend::Latent => {
+                if latent_fast {
+                    static_counter!("tracker/latent_frames").inc();
+                    self.models.latent.forward_infer(gaze_in, ws, pred);
+                } else {
+                    self.models.gaze.forward_infer(gaze_in, ws, pred);
+                }
+            }
             GazeBackend::Int8 => {
                 if let Some(qnet) = &self.quantized_gaze {
                     static_counter!("tracker/int8_frames").inc();
@@ -1501,8 +1703,64 @@ mod tests {
         assert_eq!(GazeBackend::parse("FLOAT"), Some(GazeBackend::F32));
         assert_eq!(GazeBackend::parse("int8"), Some(GazeBackend::Int8));
         assert_eq!(GazeBackend::parse("I8"), Some(GazeBackend::Int8));
+        assert_eq!(GazeBackend::parse("latent"), Some(GazeBackend::Latent));
+        assert_eq!(GazeBackend::parse("LATENT"), Some(GazeBackend::Latent));
+        assert_eq!(GazeBackend::parse("recon-free"), Some(GazeBackend::Latent));
         assert_eq!(GazeBackend::parse("fp16"), None);
         assert_eq!(GazeBackend::default(), GazeBackend::F32);
+    }
+
+    #[test]
+    fn gaze_backend_env_values_parse_or_reject_loudly() {
+        // empty / whitespace mirror an unset variable
+        assert_eq!(GazeBackend::from_env_value(""), GazeBackend::F32);
+        assert_eq!(GazeBackend::from_env_value("  "), GazeBackend::F32);
+        assert_eq!(GazeBackend::from_env_value("Int8"), GazeBackend::Int8);
+        assert_eq!(GazeBackend::from_env_value("latent"), GazeBackend::Latent);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognised EYECOD_GAZE_BACKEND")]
+    fn gaze_backend_env_rejects_unknown_values_instead_of_falling_back() {
+        // regression: this used to silently fall back to f32, making CI
+        // backend jobs quietly test the wrong backend
+        GazeBackend::from_env_value("int4");
+    }
+
+    #[test]
+    fn latent_backend_never_quantizes_and_tracks_reasonably() {
+        let mut t = tracker();
+        t.config.gaze_backend = GazeBackend::Latent;
+        let mut gen = EyeMotionGenerator::with_seed(21);
+        let stats = t.run_sequence(&mut gen, 25);
+        assert_eq!(stats.frames, 25);
+        assert!(
+            t.quantized_gaze().is_none(),
+            "latent path must not quantize"
+        );
+        assert!(
+            stats.mean_error_deg() < 25.0,
+            "latent tracking off the rails: {} deg",
+            stats.mean_error_deg()
+        );
+    }
+
+    #[test]
+    fn latent_refresh_frames_match_the_f32_backend_exactly() {
+        // scheduled refresh frames run the full recon + segmentation +
+        // recon-path gaze net even under the latent backend, so frame 0
+        // (always due) must be byte-identical to the f32 backend's
+        let s = render_eye(&EyeParams::centered(48), 48, 3);
+        let mut tf = tracker();
+        tf.config.gaze_backend = GazeBackend::F32;
+        let mut tl = tracker();
+        tl.config.gaze_backend = GazeBackend::Latent;
+        let of = tf.process_frame(&s.image, 4);
+        let ol = tl.process_frame(&s.image, 4);
+        assert_eq!(of.gaze.x.to_bits(), ol.gaze.x.to_bits());
+        assert_eq!(of.gaze.y.to_bits(), ol.gaze.y.to_bits());
+        assert_eq!(of.gaze.z.to_bits(), ol.gaze.z.to_bits());
+        assert_eq!(of.roi_refreshed, ol.roi_refreshed);
     }
 
     #[test]

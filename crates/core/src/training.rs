@@ -12,6 +12,7 @@ use crate::pool::parallel_map_chunked;
 use crate::roi::predict_roi;
 use crate::tracker::TrackerConfig;
 use eyecod_eyedata::render::{render_eye, EyeParams};
+use eyecod_models::latent::{train_latent_gaze, LatentGazeNet};
 use eyecod_models::proxy::{
     train_gaze, train_seg, GazeFamily, ProxyGazeNet, ProxySegNet, TrainConfig,
 };
@@ -89,6 +90,9 @@ pub struct TrackerModels {
     pub seg: ProxySegNet,
     /// The gaze ("focus") network.
     pub gaze: ProxyGazeNet,
+    /// The recon-free ("reconstruct-then-skip") gaze network, regressing
+    /// from down-projected raw measurements instead of ROI crops.
+    pub latent: LatentGazeNet,
 }
 
 impl TrackerModels {
@@ -141,9 +145,11 @@ pub fn train_tracker_models(setup: &TrainingSetup, config: &TrackerConfig) -> Tr
     };
     let seed0 = setup.seed;
     let flip = setup.augment_flip;
+    // acquired image, segmentation labels, gaze target, raw measurement
+    type TrainSample = (Tensor, Vec<u8>, Tensor, Tensor);
     // chunk = 1: each render+acquire is heavy and FlatCam/lens costs are
     // uneven, so fine-grained stealing balances the workers best
-    let samples: Vec<Vec<(Tensor, Vec<u8>, Tensor)>> = parallel_map_chunked(&params, 1, |p| {
+    let samples: Vec<Vec<TrainSample>> = parallel_map_chunked(&params, 1, |p| {
         let idx = p.texture_seed ^ seed0;
         let rendered = render_eye(p, scene, idx);
         let mut variants = vec![rendered.clone()];
@@ -153,23 +159,26 @@ pub fn train_tracker_models(setup: &TrainingSetup, config: &TrackerConfig) -> Tr
         variants
             .into_iter()
             .map(|s| {
+                // the same exposure seed as `acquire`, so the raw
+                // measurement is the one underneath the acquired image
+                let measurement = acquisition.sense(&s.image, idx.wrapping_add(1));
                 let acquired = acquisition.acquire(&s.image, idx.wrapping_add(1));
                 let gaze = eyecod_eyedata::GazeVector::batch_to_tensor(&[s.gaze]);
-                (acquired, s.labels, gaze)
+                (acquired, s.labels, gaze, measurement)
             })
             .collect()
     });
-    let samples: Vec<(Tensor, Vec<u8>, Tensor)> = samples.into_iter().flatten().collect();
+    let samples: Vec<TrainSample> = samples.into_iter().flatten().collect();
 
     // --- segmentation training set (downsampled) ---
     let seg_images: Vec<Tensor> = samples
         .iter()
-        .map(|(img, _, _)| downsample_avg(img, factor))
+        .map(|(img, _, _, _)| downsample_avg(img, factor))
         .collect();
     let seg_images = Tensor::stack(&seg_images);
     let seg_labels: Vec<usize> = samples
         .iter()
-        .flat_map(|(_, l, _)| {
+        .flat_map(|(_, l, _, _)| {
             downsample_labels(l, scene, factor)
                 .into_iter()
                 .map(|v| v as usize)
@@ -195,7 +204,7 @@ pub fn train_tracker_models(setup: &TrainingSetup, config: &TrackerConfig) -> Tr
     let mut crops = Vec::with_capacity(2 * samples.len());
     let mut gazes = Vec::with_capacity(2 * samples.len());
     use rand::Rng;
-    for (img, labels, gaze) in &samples {
+    for (img, labels, gaze, _) in &samples {
         let labels_seg = downsample_labels(labels, scene, factor);
         let roi_seg = predict_roi(
             &labels_seg,
@@ -240,7 +249,33 @@ pub fn train_tracker_models(setup: &TrainingSetup, config: &TrackerConfig) -> Tr
         },
     );
 
-    TrackerModels { seg, gaze }
+    // --- latent gaze training set (raw transported measurements; the net
+    //     projects + normalises internally). Built *after* every rng draw
+    //     of the existing pipeline, so the seg/gaze weights stay
+    //     bit-identical to pre-latent training runs. ---
+    let measurements: Vec<Tensor> = samples.iter().map(|(_, _, _, m)| m.clone()).collect();
+    let measurements = Tensor::stack(&measurements);
+    let latent_gazes: Vec<Tensor> = samples.iter().map(|(_, _, g, _)| g.clone()).collect();
+    let latent_gazes = Tensor::stack(&latent_gazes);
+    let mut latent = LatentGazeNet::new(
+        setup.gaze_family,
+        config.gaze_input.0,
+        config.gaze_input.1,
+        &mut rng,
+    );
+    train_latent_gaze(
+        &mut latent,
+        &measurements,
+        &latent_gazes,
+        &TrainConfig {
+            epochs: setup.gaze_epochs,
+            batch: setup.batch,
+            lr: setup.gaze_lr,
+            seed: setup.seed ^ 0x1A7E,
+        },
+    );
+
+    TrackerModels { seg, gaze, latent }
 }
 
 #[cfg(test)]

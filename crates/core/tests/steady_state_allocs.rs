@@ -7,8 +7,11 @@
 //! backend, after calibration — `process_frame` on a non-refresh frame is
 //! designed to perform **zero** transient heap allocations, mirroring the
 //! accelerator's fixed on-chip buffers. This test installs the counting
-//! global allocator and pins that property for both gaze backends; one
-//! stray per-frame `clone()` anywhere in the frame path fails it.
+//! global allocator and pins that property for all three gaze backends
+//! (the latent fast path senses, projects and regresses through its own
+//! pre-warmed buffers — skipping recon entirely must not cost a single
+//! allocation either); one stray per-frame `clone()` anywhere in the
+//! frame path fails it.
 //!
 //! Kept as a single `#[test]` so no concurrent test pollutes the process-
 //! wide allocation counter while a frame is being measured.
@@ -23,13 +26,13 @@ use eyecod_faults::FaultPlan;
 static ALLOC: CountingAllocator = CountingAllocator;
 
 #[test]
-fn steady_state_frames_do_not_allocate_on_either_backend() {
+fn steady_state_frames_do_not_allocate_on_any_backend() {
     let base = TrackerConfig::small();
     let models = train_tracker_models(&TrainingSetup::quick(), &base);
     // the scene is rendered once, outside the measured window
     let scene = render_eye(&EyeParams::centered(base.scene_size), base.scene_size, 0).image;
 
-    for backend in [GazeBackend::F32, GazeBackend::Int8] {
+    for backend in [GazeBackend::F32, GazeBackend::Int8, GazeBackend::Latent] {
         let config = TrackerConfig {
             gaze_backend: backend,
             ..base.clone()

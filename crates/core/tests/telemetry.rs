@@ -16,7 +16,12 @@ fn tracked_sequence_populates_stage_histograms_and_pool_counters() {
     eyecod_telemetry::set_enabled(true);
     global().reset();
 
-    let config = TrackerConfig::small();
+    let mut config = TrackerConfig::small();
+    // pin the recon path: the per-frame `optics/recon_solves` expectation
+    // below is a property of the full-recon backends, not of the latent
+    // fast path (which solves on refresh frames only, by design) — the
+    // latent CI job must not flip this test's meaning through the env
+    config.gaze_backend = eyecod_core::tracker::GazeBackend::F32;
     let models = train_tracker_models(&TrainingSetup::quick(), &config);
     let mut tracker = EyeTracker::new(config.clone(), models.clone_models());
     let frames = 12;

@@ -25,6 +25,7 @@
 
 pub mod fbnet;
 pub mod infer;
+pub mod latent;
 pub mod mobilenet;
 pub mod proxy;
 pub mod quantized;

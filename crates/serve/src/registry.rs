@@ -77,10 +77,14 @@ pub struct TickReport {
     /// Frames completed (equals `staged`; split out for clarity in logs).
     pub completed: usize,
     /// Gaze forwards routed through the f32 path (including int8 sessions
-    /// still warming up toward the shared calibration).
+    /// still warming up toward the shared calibration, and latent sessions
+    /// on their ROI-refresh frames).
     pub f32_forwards: usize,
     /// Gaze forwards routed through the shared int8 network.
     pub int8_forwards: usize,
+    /// Gaze forwards routed through the recon-free latent network
+    /// (latent sessions on steady-state frames).
+    pub latent_forwards: usize,
 }
 
 pub(crate) enum PoolHandle {
@@ -111,8 +115,10 @@ pub struct ServeRegistry {
     pub(crate) work: Vec<u32>,
     pub(crate) f32_batch: Vec<u32>,
     pub(crate) i8_batch: Vec<u32>,
+    pub(crate) lat_batch: Vec<u32>,
     pub(crate) f32_arena: WorkspaceArena,
     pub(crate) i8_arena: WorkspaceArena,
+    pub(crate) lat_arena: WorkspaceArena,
     /// The fleet-shared int8 network, once calibrated. Per-session
     /// calibration would give each session data-dependent activation
     /// scales and defeat cross-session batching; sharing one network
@@ -155,8 +161,10 @@ impl ServeRegistry {
             work: Vec::new(),
             f32_batch: Vec::new(),
             i8_batch: Vec::new(),
+            lat_batch: Vec::new(),
             f32_arena: WorkspaceArena::new(),
             i8_arena: WorkspaceArena::new(),
+            lat_arena: WorkspaceArena::new(),
             shared_qnet: None,
             calib: Vec::new(),
             sched: crate::scheduler::SchedState::new(),
@@ -390,7 +398,7 @@ impl ServeRegistry {
             return TickReport::default();
         }
         // 2. execute per the configured mode
-        let (f32_forwards, int8_forwards) = match self.config.mode {
+        let (f32_forwards, int8_forwards, latent_forwards) = match self.config.mode {
             TickMode::Sequential => self.tick_sequential(trace.as_deref_mut()),
             TickMode::Batched => self.tick_batched(trace.as_deref_mut()),
             TickMode::Scheduled => self.tick_scheduled(trace),
@@ -413,6 +421,7 @@ impl ServeRegistry {
             completed: staged,
             f32_forwards,
             int8_forwards,
+            latent_forwards,
         }
     }
 
@@ -421,22 +430,33 @@ impl ServeRegistry {
     /// appends the row to the matching batch group. Must run in work
     /// order — calibration collection is deterministic and
     /// pool-size-invariant because of it.
-    pub(crate) fn route_row(&mut self, row: usize, has_input: bool, input_non_finite: bool) {
+    ///
+    /// `refresh_due` is the frame's scheduled ROI-refresh flag: latent
+    /// sessions route their refresh frames (recon-path crops) through the
+    /// f32 batch and their steady-state frames (projected measurements)
+    /// through the latent batch, mirroring the tracker's own dispatch.
+    pub(crate) fn route_row(
+        &mut self,
+        row: usize,
+        has_input: bool,
+        input_non_finite: bool,
+        refresh_due: bool,
+    ) {
         if !has_input {
             self.store.routes[row] = Route::Fallback;
             return;
         }
         let calibrated = self.shared_qnet.is_some();
         let calib_open = self.calib.len() < self.config.tracker.calibration_frames;
-        if self.store.backends[row] == GazeBackend::Int8 && calibrated {
+        let backend = self.store.backends[row];
+        if backend == GazeBackend::Int8 && calibrated {
             self.store.routes[row] = Route::Int8;
             self.i8_batch.push(row as u32);
+        } else if backend == GazeBackend::Latent && !refresh_due {
+            self.store.routes[row] = Route::Latent;
+            self.lat_batch.push(row as u32);
         } else {
-            if self.store.backends[row] == GazeBackend::Int8
-                && !calibrated
-                && calib_open
-                && !input_non_finite
-            {
+            if backend == GazeBackend::Int8 && !calibrated && calib_open && !input_non_finite {
                 let crop = match self.config.mode {
                     TickMode::Scheduled => self.store.gaze_ins[row].clone(),
                     _ => self.store.preps[row]
@@ -462,9 +482,10 @@ impl ServeRegistry {
     fn tick_sequential(
         &mut self,
         mut trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
-    ) -> (usize, usize) {
+    ) -> (usize, usize, usize) {
         self.f32_batch.clear();
         self.i8_batch.clear();
+        self.lat_batch.clear();
         for w in 0..self.work.len() {
             let row = self.work[w] as usize;
             // prepare inline (AoS: the tracker's own scratch buffers)
@@ -477,13 +498,14 @@ impl ServeRegistry {
             };
             let has_input = prep.has_gaze_input();
             let non_finite = has_input && prep.gaze_input().has_non_finite();
+            let due = prep.refresh_due();
             self.store.preps[row] = Some(prep);
-            self.route_row(row, has_input, non_finite);
+            self.route_row(row, has_input, non_finite, due);
             // forward individually + complete
             let route = self.store.routes[row];
             let mut pred = [0.0f32; 3];
             if route != Route::Fallback {
-                self.forward_single(row, route == Route::Int8, &mut pred);
+                self.forward_single(row, route, &mut pred);
             }
             let prep = self.store.preps[row].take().expect("prepared");
             let tracker = self.store.trackers[row].as_mut().expect("live");
@@ -494,7 +516,11 @@ impl ServeRegistry {
             };
             self.account_completion(row, out, trace.as_deref_mut());
         }
-        (self.f32_batch.len(), self.i8_batch.len())
+        (
+            self.f32_batch.len(),
+            self.i8_batch.len(),
+            self.lat_batch.len(),
+        )
     }
 
     /// PR 6's batched tick: pooled AoS prepare (one job per session),
@@ -503,7 +529,7 @@ impl ServeRegistry {
     fn tick_batched(
         &mut self,
         mut trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
-    ) -> (usize, usize) {
+    ) -> (usize, usize, usize) {
         // prepare in parallel: acquisition / ROI refresh / crop+resize,
         // one pool job per session
         {
@@ -523,21 +549,30 @@ impl ServeRegistry {
         // route serially in work order
         self.f32_batch.clear();
         self.i8_batch.clear();
+        self.lat_batch.clear();
         for w in 0..self.work.len() {
             let row = self.work[w] as usize;
             let prep = self.store.preps[row].as_ref().expect("prepared");
             let has_input = prep.has_gaze_input();
             let non_finite = has_input && prep.gaze_input().has_non_finite();
-            self.route_row(row, has_input, non_finite);
+            let due = prep.refresh_due();
+            self.route_row(row, has_input, non_finite, due);
         }
-        let counts = (self.f32_batch.len(), self.i8_batch.len());
+        let counts = (
+            self.f32_batch.len(),
+            self.i8_batch.len(),
+            self.lat_batch.len(),
+        );
         // batched forwards: one GEMM per pool participant
         let group = std::mem::take(&mut self.f32_batch);
-        self.run_batch(&group, false);
+        self.run_batch(&group, Route::F32);
         self.f32_batch = group;
         let group = std::mem::take(&mut self.i8_batch);
-        self.run_batch(&group, true);
+        self.run_batch(&group, Route::Int8);
         self.i8_batch = group;
+        let group = std::mem::take(&mut self.lat_batch);
+        self.run_batch(&group, Route::Latent);
+        self.lat_batch = group;
         // complete in work order: scatter predictions back, grade and
         // account each frame through the tracker's recovery tail
         for w in 0..self.work.len() {
@@ -547,10 +582,10 @@ impl ServeRegistry {
             let use_pred = route != Route::Fallback;
             if use_pred {
                 let (p, j) = self.store.batch_pos[row];
-                let arena = if route == Route::Int8 {
-                    &self.i8_arena
-                } else {
-                    &self.f32_arena
+                let arena = match route {
+                    Route::Int8 => &self.i8_arena,
+                    Route::Latent => &self.lat_arena,
+                    _ => &self.f32_arena,
                 };
                 let out = arena.slot(p as usize).output.as_slice();
                 pred.copy_from_slice(&out[j as usize * 3..j as usize * 3 + 3]);
@@ -599,7 +634,10 @@ impl ServeRegistry {
     /// The gather reads each row's gaze input from the mode's layout: the
     /// `gaze_ins` column in scheduled mode, the AoS prepared frame
     /// otherwise.
-    pub(crate) fn run_batch(&mut self, group: &[u32], int8: bool) {
+    ///
+    /// `route` selects the network and arena: [`Route::F32`],
+    /// [`Route::Int8`] or [`Route::Latent`] (never [`Route::Fallback`]).
+    pub(crate) fn run_batch(&mut self, group: &[u32], route: Route) {
         if group.is_empty() {
             return;
         }
@@ -610,10 +648,11 @@ impl ServeRegistry {
         let n = group.len();
         let parts = self.pool().participants().min(n);
         let (gh, gw) = self.config.tracker.gaze_input;
-        let arena = if int8 {
-            &mut self.i8_arena
-        } else {
-            &mut self.f32_arena
+        let arena = match route {
+            Route::Int8 => &mut self.i8_arena,
+            Route::Latent => &mut self.lat_arena,
+            Route::F32 => &mut self.f32_arena,
+            Route::Fallback => unreachable!("fallback rows never batch"),
         };
         arena.ensure(parts);
         // gather: chunk p covers group[p*n/parts .. (p+1)*n/parts]
@@ -643,15 +682,19 @@ impl ServeRegistry {
             };
             let slots = SendPtr(arena.slots_mut().as_mut_ptr());
             let gaze = &self.models.gaze;
+            let latent = &self.models.latent;
             let qnet = self.shared_qnet.as_ref();
             pool.parallel_for_chunked(parts, 1, |p| {
                 // SAFETY: each job takes a distinct arena slot
                 let slot = unsafe { slots.get(p) };
-                if int8 {
-                    qnet.expect("int8 batches only run once calibrated")
-                        .forward_into(&slot.input, &mut slot.ws, &mut slot.output);
-                } else {
-                    gaze.forward_infer(&slot.input, &mut slot.ws, &mut slot.output);
+                match route {
+                    Route::Int8 => qnet
+                        .expect("int8 batches only run once calibrated")
+                        .forward_into(&slot.input, &mut slot.ws, &mut slot.output),
+                    Route::Latent => {
+                        latent.forward_infer(&slot.input, &mut slot.ws, &mut slot.output)
+                    }
+                    _ => gaze.forward_infer(&slot.input, &mut slot.ws, &mut slot.output),
                 }
             });
         }
@@ -660,11 +703,12 @@ impl ServeRegistry {
 
     /// The sequential-mode forward: the same routing and shared int8
     /// semantics, but each forward runs individually through arena slot 0.
-    fn forward_single(&mut self, row: usize, int8: bool, pred: &mut [f32; 3]) {
-        let arena = if int8 {
-            &mut self.i8_arena
-        } else {
-            &mut self.f32_arena
+    fn forward_single(&mut self, row: usize, route: Route, pred: &mut [f32; 3]) {
+        let arena = match route {
+            Route::Int8 => &mut self.i8_arena,
+            Route::Latent => &mut self.lat_arena,
+            Route::F32 => &mut self.f32_arena,
+            Route::Fallback => unreachable!("fallback rows never forward"),
         };
         arena.ensure(1);
         let slot = arena.slot_mut(0);
@@ -676,15 +720,21 @@ impl ServeRegistry {
                 .gaze_input(),
         };
         slot.input.copy_from(input);
-        if int8 {
-            self.shared_qnet
+        match route {
+            Route::Int8 => self
+                .shared_qnet
                 .as_ref()
                 .expect("int8 forwards only run once calibrated")
-                .forward_into(&slot.input, &mut slot.ws, &mut slot.output);
-        } else {
-            self.models
+                .forward_into(&slot.input, &mut slot.ws, &mut slot.output),
+            Route::Latent => {
+                self.models
+                    .latent
+                    .forward_infer(&slot.input, &mut slot.ws, &mut slot.output)
+            }
+            _ => self
+                .models
                 .gaze
-                .forward_infer(&slot.input, &mut slot.ws, &mut slot.output);
+                .forward_infer(&slot.input, &mut slot.ws, &mut slot.output),
         }
         pred.copy_from_slice(&slot.output.as_slice()[..3]);
     }

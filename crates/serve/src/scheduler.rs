@@ -51,6 +51,7 @@ use eyecod_core::metrics::TrackingStats;
 use eyecod_core::tracker::{EyeTracker, GazeBackend, StageCursor, TrackedFrame};
 use eyecod_faults::FaultPlan;
 use eyecod_models::infer::BatchWorkspace;
+use eyecod_models::latent::LatentGazeNet;
 use eyecod_models::proxy::ProxyGazeNet;
 use eyecod_models::quantized::QuantizedGazeNet;
 use eyecod_telemetry::{static_counter, static_histogram};
@@ -72,6 +73,8 @@ pub(crate) struct SchedState {
     f32_groups: Vec<Vec<u32>>,
     /// Per-shard int8 route groups (rows).
     i8_groups: Vec<Vec<u32>>,
+    /// Per-shard latent route groups (rows).
+    lat_groups: Vec<Vec<u32>>,
     /// Per-shard completed-frame staging for `tick_traced` (appended to
     /// the caller's trace in shard order = work order).
     traces: Vec<Vec<(SessionId, TrackedFrame)>>,
@@ -85,6 +88,7 @@ impl SchedState {
             bounds: Vec::new(),
             f32_groups: Vec::new(),
             i8_groups: Vec::new(),
+            lat_groups: Vec::new(),
             traces: Vec::new(),
         }
     }
@@ -118,6 +122,7 @@ struct Ctx<'a> {
     bounds: &'a [(u32, u32)],
     plan: &'a FaultPlan,
     gaze: &'a ProxyGazeNet,
+    latent: &'a LatentGazeNet,
     qnet: Option<&'a QuantizedGazeNet>,
     gaze_hw: (usize, usize),
     tracing: bool,
@@ -141,9 +146,11 @@ struct Ctx<'a> {
     // shard-indexed
     f32_groups: SendPtr<Vec<u32>>,
     i8_groups: SendPtr<Vec<u32>>,
+    lat_groups: SendPtr<Vec<u32>>,
     traces: SendPtr<Vec<(SessionId, TrackedFrame)>>,
     f32_slots: SendPtr<BatchWorkspace>,
     i8_slots: SendPtr<BatchWorkspace>,
+    lat_slots: SendPtr<BatchWorkspace>,
 }
 
 /// The capture stage for one row: open the frame, decide the sensor-plane
@@ -198,8 +205,9 @@ fn crop_row(ctx: &Ctx<'_>, row: usize) {
 }
 
 /// Gather one shard's route group into its arena slot and run the batched
-/// forward.
-fn run_group(ctx: &Ctx<'_>, shard: usize, group: &[u32], int8: bool) {
+/// forward for its route ([`Route::F32`], [`Route::Int8`] or
+/// [`Route::Latent`]).
+fn run_group(ctx: &Ctx<'_>, shard: usize, group: &[u32], route: Route) {
     if group.is_empty() {
         return;
     }
@@ -209,7 +217,12 @@ fn run_group(ctx: &Ctx<'_>, shard: usize, group: &[u32], int8: bool) {
     // SAFETY: arena slot `shard` belongs to this job alone; rows in
     // `group` come from this shard's range
     unsafe {
-        let slot = if int8 { &ctx.i8_slots } else { &ctx.f32_slots }.get(shard);
+        let slot = match route {
+            Route::Int8 => &ctx.i8_slots,
+            Route::Latent => &ctx.lat_slots,
+            _ => &ctx.f32_slots,
+        }
+        .get(shard);
         slot.input.reset(Shape::new(group.len(), 1, gh, gw));
         for (j, &row) in group.iter().enumerate() {
             let row = row as usize;
@@ -218,13 +231,17 @@ fn run_group(ctx: &Ctx<'_>, shard: usize, group: &[u32], int8: bool) {
                 .batch_item_slice_mut(j)
                 .copy_from_slice(ctx.gaze_ins.get(row).as_slice());
         }
-        if int8 {
-            ctx.qnet
+        match route {
+            Route::Int8 => ctx
+                .qnet
                 .expect("int8 routes only exist once calibrated")
-                .forward_into(&slot.input, &mut slot.ws, &mut slot.output);
-        } else {
-            ctx.gaze
-                .forward_infer(&slot.input, &mut slot.ws, &mut slot.output);
+                .forward_into(&slot.input, &mut slot.ws, &mut slot.output),
+            Route::Latent => ctx
+                .latent
+                .forward_infer(&slot.input, &mut slot.ws, &mut slot.output),
+            _ => ctx
+                .gaze
+                .forward_infer(&slot.input, &mut slot.ws, &mut slot.output),
         }
     }
 }
@@ -243,27 +260,38 @@ fn gaze_shard(ctx: &Ctx<'_>, shard: usize) {
     unsafe {
         let f32_group = ctx.f32_groups.get(shard);
         let i8_group = ctx.i8_groups.get(shard);
+        let lat_group = ctx.lat_groups.get(shard);
         f32_group.clear();
         i8_group.clear();
-        // route (shard-local)
+        lat_group.clear();
+        // route (shard-local); latent sessions split on the frame's
+        // ROI-refresh flag exactly like the tracker's own dispatch
         for w in start..end {
             let row = ctx.work[w as usize] as usize;
             let cur = ctx.cursors.get(row).as_ref().expect("crop ran");
             if cur.has_gaze_input() {
                 stamp_stage_row(ctx.epochs.get(row), STAGE_GAZE, cur.frame(), row);
-                if *ctx.backends.get(row) == GazeBackend::Int8 {
-                    *ctx.routes.get(row) = Route::Int8;
-                    i8_group.push(row as u32);
-                } else {
-                    *ctx.routes.get(row) = Route::F32;
-                    f32_group.push(row as u32);
+                match *ctx.backends.get(row) {
+                    GazeBackend::Int8 => {
+                        *ctx.routes.get(row) = Route::Int8;
+                        i8_group.push(row as u32);
+                    }
+                    GazeBackend::Latent if !cur.due() => {
+                        *ctx.routes.get(row) = Route::Latent;
+                        lat_group.push(row as u32);
+                    }
+                    _ => {
+                        *ctx.routes.get(row) = Route::F32;
+                        f32_group.push(row as u32);
+                    }
                 }
             } else {
                 *ctx.routes.get(row) = Route::Fallback;
             }
         }
-        run_group(ctx, shard, f32_group, false);
-        run_group(ctx, shard, i8_group, true);
+        run_group(ctx, shard, f32_group, Route::F32);
+        run_group(ctx, shard, i8_group, Route::Int8);
+        run_group(ctx, shard, lat_group, Route::Latent);
         // scatter + complete + account, in shard-range order
         for w in start..end {
             let row = ctx.work[w as usize] as usize;
@@ -278,10 +306,10 @@ fn gaze_shard(ctx: &Ctx<'_>, shard: usize) {
             } else {
                 check_stage_row(ctx.epochs.get(row), STAGE_GAZE, frame, row);
                 let (p, j) = *ctx.batch_pos.get(row);
-                let slot = if route == Route::Int8 {
-                    &ctx.i8_slots
-                } else {
-                    &ctx.f32_slots
+                let slot = match route {
+                    Route::Int8 => &ctx.i8_slots,
+                    Route::Latent => &ctx.lat_slots,
+                    _ => &ctx.f32_slots,
                 }
                 .get(p as usize);
                 let mut src = [0.0f32; 3];
@@ -357,21 +385,25 @@ fn build_ctx<'a>(
     bounds: &'a [(u32, u32)],
     plan: &'a FaultPlan,
     gaze: &'a ProxyGazeNet,
+    latent: &'a LatentGazeNet,
     qnet: Option<&'a QuantizedGazeNet>,
     gaze_hw: (usize, usize),
     tracing: bool,
     store: &mut SessionStore,
     f32_groups: &mut [Vec<u32>],
     i8_groups: &mut [Vec<u32>],
+    lat_groups: &mut [Vec<u32>],
     traces: &mut [Vec<(SessionId, TrackedFrame)>],
     f32_slots: &mut [BatchWorkspace],
     i8_slots: &mut [BatchWorkspace],
+    lat_slots: &mut [BatchWorkspace],
 ) -> Ctx<'a> {
     Ctx {
         work,
         bounds,
         plan,
         gaze,
+        latent,
         qnet,
         gaze_hw,
         tracing,
@@ -393,9 +425,11 @@ fn build_ctx<'a>(
         spares: SendPtr(store.spares.as_mut_ptr()),
         f32_groups: SendPtr(f32_groups.as_mut_ptr()),
         i8_groups: SendPtr(i8_groups.as_mut_ptr()),
+        lat_groups: SendPtr(lat_groups.as_mut_ptr()),
         traces: SendPtr(traces.as_mut_ptr()),
         f32_slots: SendPtr(f32_slots.as_mut_ptr()),
         i8_slots: SendPtr(i8_slots.as_mut_ptr()),
+        lat_slots: SendPtr(lat_slots.as_mut_ptr()),
     }
 }
 
@@ -407,7 +441,7 @@ impl ServeRegistry {
     pub(crate) fn tick_scheduled(
         &mut self,
         trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
-    ) -> (usize, usize) {
+    ) -> (usize, usize, usize) {
         // steady-state proof: a warm scheduled tick (no ROI refresh due,
         // untraced) must not allocate
         let steady = trace.is_none()
@@ -441,7 +475,7 @@ impl ServeRegistry {
     fn tick_scheduled_barrier(
         &mut self,
         mut trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
-    ) -> (usize, usize) {
+    ) -> (usize, usize, usize) {
         let n = self.work.len();
         static_counter!("serve/sched_shards").add(n as u64);
         static_counter!("serve/sched_waves").add(STAGES as u64);
@@ -452,25 +486,34 @@ impl ServeRegistry {
         // contribute their calibration crops, deterministically
         self.f32_batch.clear();
         self.i8_batch.clear();
+        self.lat_batch.clear();
         for w in 0..n {
             let row = self.work[w] as usize;
             let cur = self.store.cursors[row].as_ref().expect("crop ran");
             let has = cur.has_gaze_input();
+            let due = cur.due();
             let frame = cur.frame();
             if has {
                 self.store.stamp_stage(row, STAGE_GAZE, frame);
             }
             let non_finite = has && self.store.gaze_ins[row].has_non_finite();
-            self.route_row(row, has, non_finite);
+            self.route_row(row, has, non_finite, due);
         }
-        let counts = (self.f32_batch.len(), self.i8_batch.len());
+        let counts = (
+            self.f32_batch.len(),
+            self.i8_batch.len(),
+            self.lat_batch.len(),
+        );
         static_histogram!("serve/stage_gaze_ns").time(|| {
             let group = std::mem::take(&mut self.f32_batch);
-            self.run_batch(&group, false);
+            self.run_batch(&group, Route::F32);
             self.f32_batch = group;
             let group = std::mem::take(&mut self.i8_batch);
-            self.run_batch(&group, true);
+            self.run_batch(&group, Route::Int8);
             self.i8_batch = group;
+            let group = std::mem::take(&mut self.lat_batch);
+            self.run_batch(&group, Route::Latent);
+            self.lat_batch = group;
         });
         // serial completion in work order
         for w in 0..n {
@@ -484,10 +527,10 @@ impl ServeRegistry {
             } else {
                 self.store.check_stage(row, STAGE_GAZE, frame);
                 let (p, j) = self.store.batch_pos[row];
-                let arena = if route == Route::Int8 {
-                    &self.i8_arena
-                } else {
-                    &self.f32_arena
+                let arena = match route {
+                    Route::Int8 => &self.i8_arena,
+                    Route::Latent => &self.lat_arena,
+                    _ => &self.f32_arena,
                 };
                 let out = arena.slot(p as usize).output.as_slice();
                 src.copy_from_slice(&out[j as usize * 3..j as usize * 3 + 3]);
@@ -518,6 +561,7 @@ impl ServeRegistry {
             work,
             f32_arena,
             i8_arena,
+            lat_arena,
             shared_qnet,
             sched,
             ..
@@ -527,6 +571,7 @@ impl ServeRegistry {
             bounds,
             f32_groups,
             i8_groups,
+            lat_groups,
             traces,
             ..
         } = sched;
@@ -537,15 +582,18 @@ impl ServeRegistry {
             bounds,
             faults,
             &models.gaze,
+            &models.latent,
             shared_qnet.as_ref(),
             config.tracker.gaze_input,
             false,
             store,
             f32_groups,
             i8_groups,
+            lat_groups,
             traces,
             f32_arena.slots_mut(),
             i8_arena.slots_mut(),
+            lat_arena.slots_mut(),
         );
         let failed_p = SendPtr(failed.as_mut_ptr());
         let pool = match pool {
@@ -584,7 +632,7 @@ impl ServeRegistry {
     fn tick_scheduled_pipelined(
         &mut self,
         trace: Option<&mut Vec<(SessionId, TrackedFrame)>>,
-    ) -> (usize, usize) {
+    ) -> (usize, usize, usize) {
         let n = self.work.len();
         let shards = self.pool().participants().min(n);
         // shard bounds + per-shard buffers
@@ -597,6 +645,7 @@ impl ServeRegistry {
         while self.sched.f32_groups.len() < shards {
             self.sched.f32_groups.push(Vec::new());
             self.sched.i8_groups.push(Vec::new());
+            self.sched.lat_groups.push(Vec::new());
             self.sched.traces.push(Vec::new());
         }
         for s in 0..shards {
@@ -609,6 +658,13 @@ impl ServeRegistry {
             .any(|&r| self.store.backends[r as usize] == GazeBackend::Int8)
         {
             self.i8_arena.ensure(shards);
+        }
+        if self
+            .work
+            .iter()
+            .any(|&r| self.store.backends[r as usize] == GazeBackend::Latent)
+        {
+            self.lat_arena.ensure(shards);
         }
         static_counter!("serve/sched_shards").add(shards as u64);
         let tracing = trace.is_some();
@@ -624,6 +680,7 @@ impl ServeRegistry {
                 work,
                 f32_arena,
                 i8_arena,
+                lat_arena,
                 shared_qnet,
                 sched,
                 ..
@@ -634,6 +691,7 @@ impl ServeRegistry {
                 bounds,
                 f32_groups,
                 i8_groups,
+                lat_groups,
                 traces,
             } = sched;
             let ctx = build_ctx(
@@ -641,15 +699,18 @@ impl ServeRegistry {
                 bounds,
                 faults,
                 &models.gaze,
+                &models.latent,
                 shared_qnet.as_ref(),
                 config.tracker.gaze_input,
                 tracing,
                 store,
                 f32_groups,
                 i8_groups,
+                lat_groups,
                 traces,
                 f32_arena.slots_mut(),
                 i8_arena.slots_mut(),
+                lat_arena.slots_mut(),
             );
             let pool = match pool {
                 crate::registry::PoolHandle::Global => eyecod_pool::global(),
@@ -709,15 +770,17 @@ impl ServeRegistry {
         // (= work order)
         let mut f32_forwards = 0;
         let mut int8_forwards = 0;
+        let mut latent_forwards = 0;
         for s in 0..shards {
             f32_forwards += self.sched.f32_groups[s].len();
             int8_forwards += self.sched.i8_groups[s].len();
+            latent_forwards += self.sched.lat_groups[s].len();
         }
         if let Some(tr) = trace {
             for s in 0..shards {
                 tr.append(&mut self.sched.traces[s]);
             }
         }
-        (f32_forwards, int8_forwards)
+        (f32_forwards, int8_forwards, latent_forwards)
     }
 }

@@ -42,11 +42,15 @@ pub(crate) enum Route {
     /// No gaze input (acquisition lost the frame): completion takes the
     /// tracker's missing-frame fallback, no forward runs.
     Fallback,
-    /// The f32 batch (f32 sessions, plus int8 sessions before the shared
-    /// calibration exists).
+    /// The f32 batch (f32 sessions, int8 sessions before the shared
+    /// calibration exists, and latent sessions on their ROI-refresh
+    /// frames, whose staged input is a recon-path crop).
     F32,
     /// The shared int8 batch.
     Int8,
+    /// The latent batch: recon-free sessions on steady-state frames, whose
+    /// staged input is a projected raw measurement.
+    Latent,
 }
 
 /// A frame waiting in a session's ingress queue. `scene` is an owned copy

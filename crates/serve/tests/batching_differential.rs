@@ -10,9 +10,12 @@
 //!   tolerance is the contract, not the observation);
 //! * int8 sessions must agree **bit-identically** — integer arithmetic has
 //!   no rounding latitude for an execution strategy to hide in;
-//! * both properties must hold across ragged fleet sizes (1, 2, 7, 32
-//!   sessions) and mixed f32/int8 populations, where batch partitioning
-//!   across arena slots exercises every uneven split.
+//! * latent sessions run f32 arithmetic through a *different* net (and an
+//!   f32 recon path on refresh frames), so they carry the same 1e-4
+//!   relative contract as the f32 backend;
+//! * all properties must hold across ragged fleet sizes (1, 2, 7, 32
+//!   sessions) and mixed f32/int8/latent populations, where batch
+//!   partitioning across arena slots exercises every uneven split.
 //!
 //! (Deeper scheduled-mode coverage — worker counts, churn, fault plans —
 //! lives in `stage_scheduler.rs`; this suite pins the three modes against
@@ -52,9 +55,17 @@ fn registry(mode: TickMode) -> ServeRegistry {
     ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none())
 }
 
-/// Runs `ticks` rounds of a `size`-session fleet (backends alternating
-/// f32/int8 from `first`) and returns, per completed frame, the session
-/// id, backend, frame index and raw gaze bits.
+/// The three-backend rotation every fleet cycles through, phase-shifted so
+/// `first` lands on session 0.
+fn rotation_from(first: GazeBackend) -> [GazeBackend; 3] {
+    const ORDER: [GazeBackend; 3] = [GazeBackend::F32, GazeBackend::Int8, GazeBackend::Latent];
+    let start = ORDER.iter().position(|b| *b == first).unwrap();
+    [ORDER[start], ORDER[(start + 1) % 3], ORDER[(start + 2) % 3]]
+}
+
+/// Runs `ticks` rounds of a `size`-session fleet (backends rotating
+/// f32/int8/latent from `first`) and returns, per completed frame, the
+/// session id, backend, frame index and raw gaze bits.
 fn run(
     mode: TickMode,
     size: usize,
@@ -63,13 +74,10 @@ fn run(
 ) -> Vec<(SessionId, GazeBackend, u64, [u32; 3])> {
     let (_, _, scenes) = shared();
     let mut reg = registry(mode);
+    let rotation = rotation_from(first);
     let mut ids = Vec::new();
     for s in 0..size {
-        let backend = match (s % 2 == 0, first) {
-            (true, f) => f,
-            (false, GazeBackend::F32) => GazeBackend::Int8,
-            (false, GazeBackend::Int8) => GazeBackend::F32,
-        };
+        let backend = rotation[s % rotation.len()];
         ids.push((reg.create_with_backend(backend).unwrap(), backend));
     }
     let mut out = Vec::new();
@@ -125,12 +133,15 @@ fn compare_fleet(mode: TickMode, size: usize, first: GazeBackend) {
                 bits_b, bits_s,
                 "{mode:?} size {size}: int8 session {id_b:?} frame {frame_b} not bit-identical"
             ),
-            GazeBackend::F32 => {
+            // f32 and latent: both pure f32 arithmetic (latent switches
+            // nets between steady and refresh frames, but every path is
+            // item-independent f32 GEMM) — the relative contract applies
+            GazeBackend::F32 | GazeBackend::Latent => {
                 for (xb, xs) in bits_b.iter().zip(bits_s) {
                     let (a, b) = (f32::from_bits(*xb), f32::from_bits(*xs));
                     assert!(
                         rel_close(a, b),
-                        "{mode:?} size {size}: f32 session {id_b:?} frame {frame_b}: {a} vs {b}"
+                        "{mode:?} size {size}: {backend:?} session {id_b:?} frame {frame_b}: {a} vs {b}"
                     );
                 }
             }
@@ -158,6 +169,18 @@ fn ragged_fleets_starting_int8_match() {
     }
 }
 
+#[test]
+fn ragged_fleets_starting_latent_match() {
+    // starting latent puts the recon-free rows first in the arena
+    // partitions, and a size-1 fleet runs a latent session entirely alone
+    // (its refresh frames still batch through the f32 route)
+    for mode in [TickMode::Batched, TickMode::Scheduled] {
+        for size in [1usize, 2, 7, 32] {
+            compare_fleet(mode, size, GazeBackend::Latent);
+        }
+    }
+}
+
 /// The strictest leg pulled out on its own: across every mixed fleet, the
 /// int8 sessions' full traces — warm-up frames included — must be
 /// bit-identical between the modes, not merely within tolerance.
@@ -176,6 +199,32 @@ fn int8_sessions_are_bit_identical_in_every_mixed_fleet() {
             assert_eq!(
                 candidate, sequential,
                 "{mode:?} size {size} int8 traces diverged"
+            );
+        }
+    }
+}
+
+/// Latent sessions in a mixed fleet must produce the same full trace —
+/// steady recon-free frames and f32-routed refresh frames alike — under
+/// every tick mode. The blocked f32 GEMM is item-independent, so the
+/// traces agree bit-for-bit in practice; this leg pins that the latent
+/// batch partition (a *third* arena next to f32 and int8) neither reorders
+/// nor perturbs rows.
+#[test]
+fn latent_sessions_trace_identically_in_every_mixed_fleet() {
+    let latent_only = |v: Vec<(SessionId, GazeBackend, u64, [u32; 3])>| {
+        v.into_iter()
+            .filter(|(_, b, _, _)| *b == GazeBackend::Latent)
+            .collect::<Vec<_>>()
+    };
+    for mode in [TickMode::Batched, TickMode::Scheduled] {
+        for size in [3usize, 7, 32] {
+            let candidate = latent_only(run(mode, size, GazeBackend::Latent, 12));
+            let sequential = latent_only(run(TickMode::Sequential, size, GazeBackend::Latent, 12));
+            assert!(!candidate.is_empty());
+            assert_eq!(
+                candidate, sequential,
+                "{mode:?} size {size} latent traces diverged"
             );
         }
     }

@@ -97,12 +97,13 @@ fn run_schedule(schedule: &Schedule, mode: TickMode, threads: usize) -> RunResul
     sc.mode = mode;
     sc.threads = Some(threads);
     let mut reg = ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none());
-    let backend = |s: usize| {
-        if s.is_multiple_of(2) {
-            GazeBackend::F32
-        } else {
-            GazeBackend::Int8
-        }
+    // three-backend rotation: the scheduled tick must hold its invariants
+    // with latent rows (a third gaze batch partition with its own arena)
+    // interleaved among f32 and int8 rows
+    let backend = |s: usize| match s % 3 {
+        0 => GazeBackend::F32,
+        1 => GazeBackend::Int8,
+        _ => GazeBackend::Latent,
     };
     let mut ids: Vec<_> = (0..schedule.size)
         .map(|s| reg.create_with_backend(backend(s)).unwrap())
@@ -132,8 +133,8 @@ fn run_schedule(schedule: &Schedule, mode: TickMode, threads: usize) -> RunResul
         for (id, f) in &trace {
             out.frames.push(digest(*id, f));
         }
-        // mid-run churn: evict a slot and refill it (same backend parity),
-        // exercising row recycling under a live scheduler
+        // mid-run churn: evict a slot and refill it (same backend
+        // rotation), exercising row recycling under a live scheduler
         for &(churn_step, slot) in &schedule.churn {
             if churn_step == step && !ids.is_empty() {
                 let slot = slot % ids.len();
@@ -234,10 +235,10 @@ fn stage_epochs_track_frame_indices_exactly() {
     let mut reg = ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none());
     let ids: Vec<_> = (0..4)
         .map(|s| {
-            let b = if s % 2 == 0 {
-                GazeBackend::F32
-            } else {
-                GazeBackend::Int8
+            let b = match s % 3 {
+                0 => GazeBackend::F32,
+                1 => GazeBackend::Int8,
+                _ => GazeBackend::Latent,
             };
             reg.create_with_backend(b).unwrap()
         })

@@ -11,9 +11,10 @@
 //! inputs, predictions, acquisition scratch) and the scheduler's job /
 //! flag / group buffers — all of which grow on session create or first
 //! use only, never in a warm sweep. Once the fleet is warm — ROI scratch
-//! built, int8 calibrated, every static counter materialised — feeding
-//! and ticking 16 sessions (8 f32 + 8 int8) performs **zero** transient
-//! heap allocations on non-refresh frames.
+//! built, int8 calibrated, the latent batch arena grown, every static
+//! counter materialised — feeding and ticking 16 sessions (mixed
+//! f32/int8/latent) performs **zero** transient heap allocations on
+//! non-refresh frames.
 //!
 //! Kept as a single `#[test]` so no concurrent test pollutes the process-
 //! wide allocation counter while a round is being measured.
@@ -39,10 +40,10 @@ fn prove_zero_alloc(mode: TickMode, cfg: &TrackerConfig, models: &TrackerModels,
     let mut reg = ServeRegistry::new(sc, models.clone_models()).with_faults(FaultPlan::none());
     let ids: Vec<_> = (0..16)
         .map(|s| {
-            let backend = if s % 2 == 0 {
-                GazeBackend::F32
-            } else {
-                GazeBackend::Int8
+            let backend = match s % 3 {
+                0 => GazeBackend::F32,
+                1 => GazeBackend::Int8,
+                _ => GazeBackend::Latent,
             };
             reg.create_with_backend(backend).unwrap()
         })

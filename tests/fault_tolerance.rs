@@ -22,7 +22,7 @@ fn shared_models() -> &'static (TrackerConfig, TrackerModels) {
     MODELS.get_or_init(|| {
         let mut config = TrackerConfig::small();
         // pin the backend so the golden trace is the same trace in every
-        // CI job; the chaos matrix sweeps both backends explicitly
+        // CI job; the chaos matrix sweeps all three backends explicitly
         config.gaze_backend = GazeBackend::F32;
         let models = train_tracker_models(&TrainingSetup::quick(), &config);
         (config, models)
@@ -129,7 +129,7 @@ fn chaos_plan(level: u32) -> FaultPlan {
 }
 
 #[test]
-fn chaos_matrix_degrades_gracefully_on_both_backends() {
+fn chaos_matrix_degrades_gracefully_on_all_backends() {
     const FRAMES: usize = 30;
     // adjacent severity levels draw different fault schedules, so a
     // 30-frame sample carries real variance; the trend across the whole
@@ -137,7 +137,7 @@ fn chaos_matrix_degrades_gracefully_on_both_backends() {
     const SLACK_DEG: f32 = 6.0;
     let (config, models) = shared_models();
 
-    for backend in [GazeBackend::F32, GazeBackend::Int8] {
+    for backend in [GazeBackend::F32, GazeBackend::Int8, GazeBackend::Latent] {
         let mut errors = Vec::new();
         for level in 0..4u32 {
             let mut cfg = config.clone();
@@ -174,6 +174,91 @@ fn chaos_matrix_degrades_gracefully_on_both_backends() {
         assert!(
             *errors.last().unwrap() > errors[0] + 1.0,
             "{backend:?}: heaviest chaos level does not degrade tracking: {errors:?}"
+        );
+    }
+}
+
+/// Latent staleness edge cases: under a drop-heavy plan the latent fast
+/// path falls back to its **last-good measurement** the way the recon path
+/// falls back to its last-good image — same recovery skeleton, same
+/// counters — so the per-frame fault accounting and the [`FrameQuality`]
+/// grades must be *identical* to the f32 recon path under the same plan
+/// and seed (the fault schedule is a function of the plan seed and frame
+/// index, never of the backend).
+#[test]
+fn latent_fallbacks_grade_identically_to_the_recon_path() {
+    const FRAMES: usize = 40;
+    let (config, models) = shared_models();
+    // drops + duplicates + dead pixels: exercises the Missing, Duplicate
+    // and retry arms of the latent sense stage (no gaze NaNs — the nets
+    // differ, so post-forward faults could legitimately grade differently)
+    let mut plan = FaultPlan::none();
+    plan.seed = 0x57A1E;
+    plan.sensor.frame_drop_ppm = 150_000;
+    plan.sensor.frame_duplicate_ppm = 80_000;
+    plan.sensor.dead_pixel_ppm = 60_000;
+
+    let run = |backend: GazeBackend| {
+        let mut cfg = config.clone();
+        cfg.gaze_backend = backend;
+        let mut tracker = EyeTracker::new(cfg, models.clone_models())
+            .with_faults(plan.clone())
+            .with_recovery(RecoveryPolicy::default());
+        tracker.run_sequence_traced(&mut EyeMotionGenerator::with_seed(23), FRAMES)
+    };
+    let (f32_stats, f32_trace) = run(GazeBackend::F32);
+    let (lat_stats, lat_trace) = run(GazeBackend::Latent);
+
+    // the plan must actually bite, and the last-good fallback must engage
+    assert!(f32_stats.faults.injected > 0, "plan injected nothing");
+    assert!(f32_stats.faults.recovered > 0, "fallbacks never engaged");
+    assert_eq!(
+        f32_stats.faults, lat_stats.faults,
+        "latent fault accounting diverged from the recon path"
+    );
+    assert_eq!(
+        quality_codes(&f32_trace),
+        quality_codes(&lat_trace),
+        "latent FrameQuality grades diverged from the recon path"
+    );
+    for (a, b) in f32_trace.iter().zip(&lat_trace) {
+        assert_eq!(
+            a.faults, b.faults,
+            "frame {}: per-frame accounting diverged",
+            a.frame
+        );
+    }
+}
+
+/// A degenerate (injected-NaN) gaze out of the latent net must be replaced
+/// by the last-good gaze and flagged — never emitted. Exercises the
+/// post-forward recovery arm on the fast path, where the gaze came from
+/// the latent net rather than the recon-path net.
+#[test]
+fn latent_degenerate_gaze_falls_back_to_last_good() {
+    const FRAMES: usize = 40;
+    let (config, models) = shared_models();
+    let mut cfg = config.clone();
+    cfg.gaze_backend = GazeBackend::Latent;
+    let mut plan = FaultPlan::none();
+    plan.seed = 0x1A7E;
+    plan.stage.gaze_nan_ppm = 200_000;
+    let mut tracker = EyeTracker::new(cfg, models.clone_models())
+        .with_faults(plan)
+        .with_recovery(RecoveryPolicy::default());
+    let (stats, trace) = tracker.run_sequence_traced(&mut EyeMotionGenerator::with_seed(5), FRAMES);
+    assert_eq!(stats.frames, FRAMES);
+    let degenerate = trace.iter().filter(|f| f.gaze_degenerate).count();
+    assert!(degenerate > 0, "the NaN plan never bit");
+    assert!(
+        degenerate < FRAMES,
+        "every frame degenerate — nothing left to fall back to"
+    );
+    for f in &trace {
+        assert!(
+            f.gaze.x.is_finite() && f.gaze.y.is_finite() && f.gaze.z.is_finite(),
+            "frame {}: a degenerate latent gaze leaked to the output",
+            f.frame
         );
     }
 }
