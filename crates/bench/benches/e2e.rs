@@ -12,6 +12,14 @@
 //!   emitted every PR so the repository accumulates an FPS trajectory
 //!   (see the "FPS trajectory" section of the README).
 //!
+//! The artifact also carries a **sparsity sweep**: for each motion mix
+//! (fixation / smooth-pursuit / saccadic, the [`MotionConfig`] presets)
+//! and each gaze backend, dense-mode FPS vs event-driven delta-mode FPS
+//! over the same prerendered sequence, with the gated/sparse frame split
+//! in the row's note. Fixation-heavy traffic is the acceptance point: the
+//! motion gate must buy ≥ 2× there, while the saccade-heavy mix documents
+//! the honest worst case (most frames move too many pixels to gate).
+//!
 //! "Steady state" means past int8 calibration and at least one ROI refresh:
 //! the tracker warms up for 30 frames before any timing starts, and the
 //! measured window spans several ROI refresh periods so the p99 captures
@@ -23,6 +31,7 @@ use criterion::{criterion_group, Criterion};
 use eyecod_core::tracker::{EyeTracker, GazeBackend, TrackerConfig};
 use eyecod_core::training::{train_tracker_models, TrackerModels, TrainingSetup};
 use eyecod_eyedata::render::{render_eye, EyeParams};
+use eyecod_eyedata::{EyeMotionGenerator, MotionConfig};
 use eyecod_faults::FaultPlan;
 use eyecod_serve::{ServeConfig, ServeRegistry};
 use eyecod_tensor::{simd, Tensor};
@@ -113,6 +122,28 @@ struct SimdInfo {
     note: String,
 }
 
+/// One cell of the sparsity sweep: dense vs delta mode on one motion mix
+/// under one gaze backend, over the identical prerendered sequence.
+#[derive(Serialize)]
+struct SparsityRow {
+    /// Motion mix ("fixation" / "smooth_pursuit" / "saccadic").
+    mix: &'static str,
+    backend: &'static str,
+    /// Frames in each measured window.
+    frames: usize,
+    /// Dense-mode throughput (every frame runs the full pipeline).
+    dense_fps: f64,
+    /// Delta-mode throughput (`EYECOD_DELTA` semantics: motion gate +
+    /// sparse column updates between scheduled refreshes).
+    delta_fps: f64,
+    /// `delta_fps / dense_fps`.
+    speedup: f64,
+    /// The gated / sparse / dense frame split behind the number — never
+    /// empty, so a sweep row can't silently claim a speedup without
+    /// documenting the traffic that produced it.
+    note: String,
+}
+
 #[derive(Serialize)]
 struct E2eReport {
     /// The standing FPS target this trajectory tracks.
@@ -124,6 +155,8 @@ struct E2eReport {
     fleet_sessions: usize,
     fleet_tick_ns: u64,
     fleet_fps: f64,
+    /// Dense-vs-delta sweep over the motion-mix presets.
+    sparsity: Vec<SparsityRow>,
 }
 
 /// Measures one backend's steady-state window.
@@ -181,6 +214,87 @@ fn measure_fleet() -> (u64, f64) {
     (tick_ns, FLEET as f64 * 1e9 / tick_ns as f64)
 }
 
+/// One motion mix of the sparsity sweep: label plus preset constructor.
+type MotionMix = (&'static str, fn() -> MotionConfig);
+
+/// The motion mixes of the sparsity sweep, in artifact row order.
+const MIXES: [MotionMix; 3] = [
+    ("fixation", MotionConfig::fixation),
+    ("smooth_pursuit", MotionConfig::smooth_pursuit),
+    ("saccadic", MotionConfig::saccadic),
+];
+
+/// Prerenders one motion mix's sequence (rendering is excluded from every
+/// timed window; both modes replay the identical frames).
+fn render_mix(config: MotionConfig, seed: u64, frames: usize) -> Vec<Tensor> {
+    let (cfg, _, _) = shared();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let mut motion = EyeMotionGenerator::new(EyeParams::random(&mut rng), config, seed);
+    (0..frames)
+        .map(|i| render_eye(&motion.next_frame(), cfg.scene_size, seed + i as u64).image)
+        .collect()
+}
+
+/// Times one (mix, backend, mode) cell: warm past calibration and the
+/// first refresh on the sequence's own frames, then measure a full window
+/// cycling the same frames. Returns (fps, gated frames, sparse frames).
+fn measure_sparsity_cell(
+    frames: &[Tensor],
+    backend: GazeBackend,
+    delta: bool,
+) -> (f64, usize, usize) {
+    let (cfg, models, _) = shared();
+    let mut cfg = cfg.clone();
+    cfg.gaze_backend = backend;
+    cfg.delta = delta;
+    cfg.delta_threshold = 16;
+    let mut tracker = EyeTracker::new(cfg, models.clone_models());
+    for f in 0..WARMUP_FRAMES {
+        tracker.process_frame(&frames[f as usize % frames.len()], f);
+    }
+    let (mut gated, mut sparse) = (0usize, 0usize);
+    let t0 = Instant::now();
+    for i in 0..MEASURED_FRAMES {
+        let out = std::hint::black_box(tracker.process_frame(
+            &frames[(WARMUP_FRAMES as usize + i) % frames.len()],
+            WARMUP_FRAMES + i as u64,
+        ));
+        if out.gaze_skipped {
+            gated += 1;
+        } else if !out.roi_refreshed {
+            sparse += 1;
+        }
+    }
+    let total = t0.elapsed().as_nanos() as u64;
+    (MEASURED_FRAMES as f64 * 1e9 / total as f64, gated, sparse)
+}
+
+/// The dense-vs-delta sweep across motion mixes and backends.
+fn measure_sparsity() -> Vec<SparsityRow> {
+    let mut rows = Vec::with_capacity(MIXES.len() * BACKENDS.len());
+    for (m, (mix, preset)) in MIXES.iter().enumerate() {
+        let frames = render_mix(preset(), 90 + m as u64, 60);
+        for backend in BACKENDS {
+            let (dense_fps, _, _) = measure_sparsity_cell(&frames, backend, false);
+            let (delta_fps, gated, sparse) = measure_sparsity_cell(&frames, backend, true);
+            let dense = MEASURED_FRAMES - gated - sparse;
+            rows.push(SparsityRow {
+                mix,
+                backend: backend_name(backend),
+                frames: MEASURED_FRAMES,
+                dense_fps,
+                delta_fps,
+                speedup: delta_fps / dense_fps,
+                note: format!(
+                    "{gated} motion-gated + {sparse} sparse-update + {dense} dense frames \
+                     of {MEASURED_FRAMES} (threshold 16 px)"
+                ),
+            });
+        }
+    }
+    rows
+}
+
 fn write_e2e_artifact() {
     let note = if !simd::avx2_supported() {
         "host has no AVX2: all numbers are from the scalar kernels".to_string()
@@ -191,6 +305,7 @@ fn write_e2e_artifact() {
     };
     let backends: Vec<BackendRow> = BACKENDS.into_iter().map(measure_backend).collect();
     let (fleet_tick_ns, fleet_fps) = measure_fleet();
+    let sparsity = measure_sparsity();
     let report = E2eReport {
         target_fps: TARGET_FPS,
         simd: SimdInfo {
@@ -203,6 +318,7 @@ fn write_e2e_artifact() {
         fleet_sessions: FLEET,
         fleet_tick_ns,
         fleet_fps,
+        sparsity,
     };
     let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
     eyecod_bench::reporting::write_json(root, "BENCH_e2e", &report);
@@ -216,6 +332,12 @@ fn write_e2e_artifact() {
         "e2e fleet: {} sessions, tick {} ns, {:.1} fps  {}",
         report.fleet_sessions, report.fleet_tick_ns, report.fleet_fps, report.simd.note
     );
+    for r in &report.sparsity {
+        println!(
+            "e2e sparsity {:>14}/{:>6}: dense {:>8.1} fps, delta {:>8.1} fps ({:.2}x)  [{}]",
+            r.mix, r.backend, r.dense_fps, r.delta_fps, r.speedup, r.note
+        );
+    }
 }
 
 criterion_group!(benches, bench);

@@ -5,7 +5,7 @@ use eyecod_optics::degrade::degrade_measurement;
 use eyecod_optics::imaging::FlatCam;
 use eyecod_optics::mask::SeparableMask;
 use eyecod_optics::mat::Mat;
-use eyecod_optics::recon::{ReconWorkspace, TikhonovReconstructor};
+use eyecod_optics::recon::{DeltaReconWorkspace, ReconWorkspace, TikhonovReconstructor};
 use eyecod_optics::sensor::SensorModel;
 use eyecod_tensor::{Shape, Tensor};
 
@@ -25,6 +25,8 @@ pub struct AcquireScratch {
     recon: Mat,
     /// Tikhonov reconstruction intermediates.
     ws: ReconWorkspace,
+    /// Event-driven delta-path caches and factor buffers.
+    delta: DeltaCache,
 }
 
 impl AcquireScratch {
@@ -36,13 +38,84 @@ impl AcquireScratch {
             y: Mat::zeros(1, 1),
             recon: Mat::zeros(1, 1),
             ws: ReconWorkspace::new(),
+            delta: DeltaCache::new(),
         }
+    }
+
+    /// Whether the delta caches hold a valid full capture to update
+    /// against (set by [`Acquisition::prime_delta`], cleared by
+    /// [`AcquireScratch::invalidate_delta`]).
+    pub fn delta_primed(&self) -> bool {
+        self.delta.primed
+    }
+
+    /// Invalidates the delta caches, forcing the next frame through the
+    /// dense path (used after a lost frame leaves the caches out of sync
+    /// with the scene stream).
+    pub fn invalidate_delta(&mut self) {
+        self.delta.primed = false;
     }
 }
 
 impl Default for AcquireScratch {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Per-session state of the event-driven sparse acquisition path: the last
+/// fully-sensed scene (the diff base), the cached measurement and cached
+/// reconstruction it produced, and the factor buffers a sparse-column
+/// update runs through. All buffers are pre-warmed at the maximum column
+/// count by the first [`Acquisition::prime_delta`], so steady-state delta
+/// frames allocate nothing.
+#[derive(Debug, Clone)]
+struct DeltaCache {
+    /// The caches below mirror a real full capture.
+    primed: bool,
+    /// Buffers already pre-sized at full width (first prime only).
+    warmed: bool,
+    /// The last fully-sensed scene — the base the change columns diff
+    /// against.
+    scene: Mat,
+    /// Cached transported signal: the FlatCam measurement (with its
+    /// refresh-frame sensor noise baked in), or the captured image for the
+    /// lens baseline. Delta frames add the *clean* measurement delta — the
+    /// event-readout semantics: events carry no fresh exposure noise.
+    y: Mat,
+    /// Cached reconstruction of `y`, updated incrementally.
+    x: Mat,
+    /// Changed-column scene deltas (`scene × k`).
+    dx: Mat,
+    /// Left measurement factor `A = Φ_L · ΔX[:,cols]`.
+    fa: Mat,
+    /// Right measurement factor `B = Φ_R[:,cols]`.
+    fb: Mat,
+    /// Dense measurement delta `A·Bᵀ` (accumulated into `y`).
+    dy: Mat,
+    /// Incremental-update intermediates.
+    dws: DeltaReconWorkspace,
+    /// Changed-column indices staged between change detection and the
+    /// sparse update (capacity reserved at prime, so the per-frame
+    /// detect → apply hand-off allocates nothing).
+    cols: Vec<usize>,
+}
+
+impl DeltaCache {
+    fn new() -> Self {
+        DeltaCache {
+            primed: false,
+            warmed: false,
+            scene: Mat::zeros(1, 1),
+            y: Mat::zeros(1, 1),
+            x: Mat::zeros(1, 1),
+            dx: Mat::zeros(1, 1),
+            fa: Mat::zeros(1, 1),
+            fb: Mat::zeros(1, 1),
+            dy: Mat::zeros(1, 1),
+            dws: DeltaReconWorkspace::new(),
+            cols: Vec::new(),
+        }
     }
 }
 
@@ -262,6 +335,286 @@ impl Acquisition {
         out
     }
 
+    /// Primes the delta caches from the dense capture currently staged in
+    /// `scratch`: `scene` becomes the diff base, and the staged transported
+    /// signal plus its reconstruction become the caches subsequent
+    /// [`Acquisition::sense_delta_into`] calls update incrementally. Must
+    /// run after a successful dense [`Acquisition::capture_faulted_into`] +
+    /// [`Acquisition::recon_into`] pair for this `scene`.
+    ///
+    /// The first prime pre-sizes every delta buffer at the maximum column
+    /// count, so every later delta frame (any column count) allocates
+    /// nothing.
+    pub fn prime_delta(&self, scene: &Tensor, scratch: &mut AcquireScratch) {
+        let s = scene.shape();
+        assert_eq!(s.h, s.w, "scenes must be square, got {s}");
+        let n = s.h;
+        let d = &mut scratch.delta;
+        d.scene.assign_tensor(scene);
+        match self {
+            Acquisition::Lens { .. } => {
+                d.y.copy_from(&scratch.m);
+                d.x.copy_from(&scratch.m);
+            }
+            Acquisition::FlatCam { .. } => {
+                d.y.copy_from(&scratch.y);
+                d.x.copy_from(&scratch.recon);
+            }
+        }
+        if !d.warmed {
+            let (mh, mw) = match self {
+                Acquisition::Lens { .. } => (n, n),
+                Acquisition::FlatCam { camera, .. } => {
+                    (camera.mask().phi_l().rows(), camera.mask().phi_r().rows())
+                }
+            };
+            d.dx.reset(n, n);
+            d.fa.reset(mh, n);
+            d.fb.reset(mw, n);
+            d.dy.reset(mh, mw);
+            d.dws.warm(n, n);
+            d.cols.reserve(n);
+            d.warmed = true;
+        }
+        d.primed = true;
+    }
+
+    /// Diffs `scene` against the primed diff base: columns whose largest
+    /// per-pixel magnitude change exceeds `threshold` are appended to
+    /// `cols` (cleared first, ascending order), and the total count of
+    /// super-threshold pixels is returned. Pure — neither the caches nor
+    /// the diff base move, so a motion-gated (skipped) frame keeps
+    /// accumulating change against the same base until it crosses the
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caches are not primed or `scene` changed geometry.
+    pub fn detect_changes(
+        &self,
+        scene: &Tensor,
+        scratch: &AcquireScratch,
+        threshold: f64,
+        cols: &mut Vec<usize>,
+    ) -> usize {
+        let d = &scratch.delta;
+        assert!(
+            d.primed,
+            "delta caches not primed — run a dense frame first"
+        );
+        let s = scene.shape();
+        assert_eq!(
+            (s.h, s.w),
+            (d.scene.rows(), d.scene.cols()),
+            "scene geometry changed under the delta caches"
+        );
+        cols.clear();
+        let n = s.h;
+        let mut changed_px = 0usize;
+        for c in 0..n {
+            let mut col_changed = false;
+            for r in 0..n {
+                if (scene.at(0, 0, r, c) as f64 - d.scene.at(r, c)).abs() > threshold {
+                    changed_px += 1;
+                    col_changed = true;
+                }
+            }
+            if col_changed {
+                cols.push(c);
+            }
+        }
+        changed_px
+    }
+
+    /// Applies the changed columns to the caches: updates the diff base,
+    /// accumulates the clean measurement delta into the cached transported
+    /// signal, and (when `update_recon`) applies the matching sparse-column
+    /// correction to the cached reconstruction.
+    fn apply_delta(
+        &self,
+        scene: &Tensor,
+        cols: &[usize],
+        scratch: &mut AcquireScratch,
+        update_recon: bool,
+    ) {
+        let d = &mut scratch.delta;
+        assert!(
+            d.primed,
+            "delta caches not primed — run a dense frame first"
+        );
+        let s = scene.shape();
+        let n = s.h;
+        assert_eq!(
+            (s.h, s.w),
+            (d.scene.rows(), d.scene.cols()),
+            "scene geometry changed under the delta caches"
+        );
+        let k = cols.len();
+        if k == 0 {
+            return;
+        }
+        match self {
+            Acquisition::Lens { .. } => {
+                // the lens "measurement" is the image itself: changed
+                // columns arrive clean (event readouts carry no fresh
+                // exposure noise), unchanged columns keep the primed
+                // exposure
+                for &c in cols {
+                    for r in 0..n {
+                        let v = scene.at(0, 0, r, c) as f64;
+                        *d.y.at_mut(r, c) = v;
+                        *d.scene.at_mut(r, c) = v;
+                    }
+                }
+                if update_recon {
+                    d.x.copy_from(&d.y);
+                }
+            }
+            Acquisition::FlatCam {
+                camera,
+                reconstructor,
+            } => {
+                // ΔX[:,cols] against the diff base, advancing the base
+                d.dx.reset(n, k);
+                for (j, &c) in cols.iter().enumerate() {
+                    for r in 0..n {
+                        let v = scene.at(0, 0, r, c) as f64;
+                        *d.dx.at_mut(r, j) = v - d.scene.at(r, c);
+                        *d.scene.at_mut(r, c) = v;
+                    }
+                }
+                // measurement-domain factors: A = Φ_L·ΔX[:,cols],
+                // B = Φ_R[:,cols] — ΔY = A·Bᵀ exactly (capture is linear)
+                let phi_l = camera.mask().phi_l();
+                let phi_r = camera.mask().phi_r();
+                phi_l.matmul_into(&d.dx, &mut d.fa);
+                d.fb.reset(phi_r.rows(), k);
+                for (j, &c) in cols.iter().enumerate() {
+                    for r in 0..phi_r.rows() {
+                        *d.fb.at_mut(r, j) = phi_r.at(r, c);
+                    }
+                }
+                // clean measurement delta accumulated into the cache
+                d.fa.matmul_transposed_b_into(&d.fb, &mut d.dy);
+                for (y, dy) in d.y.as_mut_slice().iter_mut().zip(d.dy.as_slice()) {
+                    *y += dy;
+                }
+                if update_recon {
+                    reconstructor.update_columns_into(&d.fa, &d.fb, &mut d.dws, &mut d.x);
+                }
+            }
+        }
+    }
+
+    /// The event-driven twin of [`Acquisition::acquire_faulted_into`]:
+    /// instead of re-sensing the full scene, folds the changed columns
+    /// (from [`Acquisition::detect_changes`]) into the cached measurement
+    /// and applies the matching sparse-column correction to the cached
+    /// reconstruction, writing the updated image into `out`. The cost is
+    /// `O(k)` capture columns plus an `O(n²·k)`-light spectral update —
+    /// not the full dense solve. Allocation-free once primed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caches are not primed or the geometry changed.
+    pub fn sense_delta_into(
+        &self,
+        scene: &Tensor,
+        cols: &[usize],
+        scratch: &mut AcquireScratch,
+        out: &mut Tensor,
+    ) {
+        self.apply_delta(scene, cols, scratch, true);
+        scratch.delta.x.write_tensor(out);
+    }
+
+    /// The measurement-domain delta twin of [`Acquisition::sense_into`]
+    /// (for the recon-free latent backend): folds the changed columns into
+    /// the cached transported signal only — no reconstruction update — and
+    /// writes the updated raw signal into `out`. Allocation-free once
+    /// primed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caches are not primed or the geometry changed.
+    pub fn sense_delta_meas_into(
+        &self,
+        scene: &Tensor,
+        cols: &[usize],
+        scratch: &mut AcquireScratch,
+        out: &mut Tensor,
+    ) {
+        self.apply_delta(scene, cols, scratch, false);
+        scratch.delta.y.write_tensor(out);
+    }
+
+    /// [`Acquisition::detect_changes`] staging the changed columns into the
+    /// scratch-internal column buffer instead of a caller-owned one — the
+    /// form a tracker frame uses so the detect → apply hand-off needs no
+    /// extra per-session state. Returns the super-threshold pixel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caches are not primed or `scene` changed geometry.
+    pub fn detect_changes_cached(
+        &self,
+        scene: &Tensor,
+        scratch: &mut AcquireScratch,
+        threshold: f64,
+    ) -> usize {
+        let mut cols = std::mem::take(&mut scratch.delta.cols);
+        let changed_px = self.detect_changes(scene, scratch, threshold, &mut cols);
+        scratch.delta.cols = cols;
+        changed_px
+    }
+
+    /// [`Acquisition::sense_delta_into`] over the columns staged by the
+    /// last [`Acquisition::detect_changes_cached`] call on this scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caches are not primed or the geometry changed.
+    pub fn sense_delta_cached_into(
+        &self,
+        scene: &Tensor,
+        scratch: &mut AcquireScratch,
+        out: &mut Tensor,
+    ) {
+        let cols = std::mem::take(&mut scratch.delta.cols);
+        self.sense_delta_into(scene, &cols, scratch, out);
+        scratch.delta.cols = cols;
+    }
+
+    /// [`Acquisition::sense_delta_meas_into`] over the columns staged by
+    /// the last [`Acquisition::detect_changes_cached`] call on this
+    /// scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caches are not primed or the geometry changed.
+    pub fn sense_delta_meas_cached_into(
+        &self,
+        scene: &Tensor,
+        scratch: &mut AcquireScratch,
+        out: &mut Tensor,
+    ) {
+        let cols = std::mem::take(&mut scratch.delta.cols);
+        self.sense_delta_meas_into(scene, &cols, scratch, out);
+        scratch.delta.cols = cols;
+    }
+
+    /// Allocating convenience form of [`Acquisition::sense_delta_into`].
+    pub fn sense_delta(
+        &self,
+        scene: &Tensor,
+        cols: &[usize],
+        scratch: &mut AcquireScratch,
+    ) -> Tensor {
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        self.sense_delta_into(scene, cols, scratch, &mut out);
+        out
+    }
+
     /// Side length of the square raw transported signal: the measurement
     /// size for a FlatCam, the scene size for the lens baseline.
     pub fn sense_size(&self, scene: usize) -> usize {
@@ -410,6 +763,101 @@ mod tests {
         // differs from the clean capture
         assert!(!faulted.has_non_finite());
         assert!(faulted.sub(&acq.acquire(&s.image, 5)).max_abs() > 0.0);
+    }
+
+    #[test]
+    fn delta_update_matches_full_solve_of_the_updated_measurement() {
+        let acq = Acquisition::flatcam(48, 64, 1e-4, 7);
+        let s0 = render_eye(&EyeParams::centered(48), 48, 0);
+        let mut scratch = AcquireScratch::new();
+        let mut img = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        let plan = FaultPlan::none();
+        acq.capture_faulted_into(&s0.image, 5, &plan, 0, 0, &mut scratch);
+        acq.recon_into(&mut scratch, &mut img);
+        assert!(!scratch.delta_primed());
+        acq.prime_delta(&s0.image, &mut scratch);
+        assert!(scratch.delta_primed());
+        // perturb three columns well above the detection threshold
+        let mut s1 = s0.image.clone();
+        for &c in &[5usize, 6, 20] {
+            for r in 0..48 {
+                s1.as_mut_slice()[r * 48 + c] += 0.3;
+            }
+        }
+        let mut cols = Vec::new();
+        let px = acq.detect_changes(&s1, &scratch, 0.05, &mut cols);
+        assert_eq!(cols, vec![5, 6, 20]);
+        assert_eq!(px, 3 * 48);
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        acq.sense_delta_into(&s1, &cols, &mut scratch, &mut out);
+        // the incrementally updated reconstruction must match a fresh full
+        // solve of the incrementally updated cached measurement
+        let Acquisition::FlatCam { reconstructor, .. } = &acq else {
+            unreachable!()
+        };
+        let mut ws = ReconWorkspace::new();
+        let mut full = Mat::zeros(1, 1);
+        reconstructor.reconstruct_into(&scratch.delta.y, &mut ws, &mut full);
+        let err = full.sub(&scratch.delta.x).max_abs();
+        assert!(err < 1e-9, "incremental recon diverged: {err:e}");
+        assert_eq!(out.as_slice(), scratch.delta.x.to_tensor().as_slice());
+        // the diff base advanced: re-diffing the same scene is now quiet
+        assert_eq!(acq.detect_changes(&s1, &scratch, 0.05, &mut cols), 0);
+        assert!(cols.is_empty());
+    }
+
+    #[test]
+    fn sub_threshold_changes_accumulate_against_the_same_base() {
+        let acq = Acquisition::flatcam(48, 64, 1e-4, 7);
+        let s0 = render_eye(&EyeParams::centered(48), 48, 0);
+        let mut scratch = AcquireScratch::new();
+        acq.capture_faulted_into(&s0.image, 5, &FaultPlan::none(), 0, 0, &mut scratch);
+        let mut img = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        acq.recon_into(&mut scratch, &mut img);
+        acq.prime_delta(&s0.image, &mut scratch);
+        let mut cols = Vec::new();
+        // one sub-threshold step: nothing detected, base does not move
+        let mut s1 = s0.image.clone();
+        s1.as_mut_slice()[3 * 48 + 7] += 0.03;
+        assert_eq!(acq.detect_changes(&s1, &scratch, 0.05, &mut cols), 0);
+        // a second sub-threshold step on top crosses the threshold because
+        // the diff base never advanced
+        s1.as_mut_slice()[3 * 48 + 7] += 0.03;
+        assert_eq!(acq.detect_changes(&s1, &scratch, 0.05, &mut cols), 1);
+        assert_eq!(cols, vec![7]);
+    }
+
+    #[test]
+    fn lens_delta_updates_changed_columns_cleanly() {
+        let acq = Acquisition::lens();
+        let s0 = render_eye(&EyeParams::centered(48), 48, 0);
+        let mut scratch = AcquireScratch::new();
+        acq.capture_faulted_into(&s0.image, 5, &FaultPlan::none(), 0, 0, &mut scratch);
+        let mut img = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        acq.recon_into(&mut scratch, &mut img);
+        acq.prime_delta(&s0.image, &mut scratch);
+        let mut s1 = s0.image.clone();
+        for r in 0..48 {
+            s1.as_mut_slice()[r * 48 + 9] = 0.25;
+        }
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        acq.sense_delta_into(&s1, &[9], &mut scratch, &mut out);
+        for r in 0..48 {
+            // changed column: the clean scene value (event readout)
+            assert_eq!(out.at(0, 0, r, 9), 0.25);
+            // untouched column: the primed noisy exposure
+            assert_eq!(out.at(0, 0, r, 3), img.at(0, 0, r, 3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta caches not primed")]
+    fn unprimed_delta_sense_panics() {
+        let acq = Acquisition::flatcam(48, 64, 1e-4, 7);
+        let s = render_eye(&EyeParams::centered(48), 48, 0);
+        let mut scratch = AcquireScratch::new();
+        let mut out = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        acq.sense_delta_into(&s.image, &[0], &mut scratch, &mut out);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Validated environment-knob parsing, shared by every `EYECOD_*` toggle.
+//!
+//! Every knob in the system goes through this module so that a garbled
+//! value **hard-panics with the variable name and the offending value**
+//! instead of silently falling back to a default — a silently ignored knob
+//! would make an operator believe a limit or mode is in force when it is
+//! not (the failure mode the `EYECOD_GAZE_BACKEND` parser fixed, now
+//! applied uniformly).
+//!
+//! An *unset* variable, or one set to the empty string / whitespace, is
+//! treated as absent and yields the caller's default; only a present,
+//! non-empty, unparseable value panics.
+//!
+//! The `parse_*` functions take the variable name purely for the error
+//! message, which keeps them testable without mutating the process
+//! environment (env mutation races across the parallel test harness).
+
+/// Reads `name`, treating unset / empty / whitespace-only values as
+/// absent.
+pub fn read(name: &str) -> Option<String> {
+    match std::env::var(name) {
+        Ok(v) if v.trim().is_empty() => None,
+        Ok(v) => Some(v),
+        Err(_) => None,
+    }
+}
+
+/// Parses a decimal unsigned integer knob value.
+///
+/// # Panics
+///
+/// Panics with the variable name on anything `usize::from_str` rejects.
+pub fn parse_usize(name: &str, value: &str) -> usize {
+    value
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {name} value {value:?} (want an unsigned integer)"))
+}
+
+/// Parses a boolean knob value: `1`/`on`/`true`/`yes` or
+/// `0`/`off`/`false`/`no`, case-insensitive.
+///
+/// # Panics
+///
+/// Panics with the variable name on any other spelling.
+pub fn parse_bool(name: &str, value: &str) -> bool {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" | "yes" => true,
+        "0" | "off" | "false" | "no" => false,
+        _ => panic!("bad {name} value {value:?} (want 1|on|true|yes or 0|off|false|no)"),
+    }
+}
+
+/// `name` as a `usize`, or `default` when absent.
+///
+/// # Panics
+///
+/// Panics on a present, unparseable value.
+pub fn usize_or(name: &str, default: usize) -> usize {
+    read(name).map_or(default, |v| parse_usize(name, &v))
+}
+
+/// `name` as a `usize`, or `None` when absent.
+///
+/// # Panics
+///
+/// Panics on a present, unparseable value.
+pub fn opt_usize(name: &str) -> Option<usize> {
+    read(name).map(|v| parse_usize(name, &v))
+}
+
+/// `name` as a boolean toggle, or `default` when absent.
+///
+/// # Panics
+///
+/// Panics on a present, unparseable value.
+pub fn bool_or(name: &str, default: bool) -> bool {
+    read(name).map_or(default, |v| parse_bool(name, &v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_parse_with_surrounding_whitespace() {
+        assert_eq!(parse_usize("EYECOD_TEST_INT", "42"), 42);
+        assert_eq!(parse_usize("EYECOD_TEST_INT", " 7 "), 7);
+        assert_eq!(parse_usize("EYECOD_TEST_INT", "0"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad EYECOD_TEST_INT value \"4k\"")]
+    fn garbage_integer_hard_panics_with_the_variable_name() {
+        parse_usize("EYECOD_TEST_INT", "4k");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad EYECOD_TEST_INT value \"-3\"")]
+    fn negative_integer_hard_panics() {
+        parse_usize("EYECOD_TEST_INT", "-3");
+    }
+
+    #[test]
+    fn booleans_accept_the_documented_spellings() {
+        for v in ["1", "on", "TRUE", "Yes"] {
+            assert!(parse_bool("EYECOD_TEST_BOOL", v), "{v}");
+        }
+        for v in ["0", "off", "False", "NO"] {
+            assert!(!parse_bool("EYECOD_TEST_BOOL", v), "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad EYECOD_TEST_BOOL value \"enable\"")]
+    fn garbage_boolean_hard_panics() {
+        parse_bool("EYECOD_TEST_BOOL", "enable");
+    }
+
+    #[test]
+    fn absent_and_blank_variables_yield_the_default() {
+        // unique names: never set anywhere, so no env races
+        assert_eq!(usize_or("EYECOD_TEST_NEVER_SET_U", 9), 9);
+        assert_eq!(opt_usize("EYECOD_TEST_NEVER_SET_U"), None);
+        assert!(bool_or("EYECOD_TEST_NEVER_SET_B", true));
+        std::env::set_var("EYECOD_TEST_BLANK_KNOB", "  ");
+        assert_eq!(usize_or("EYECOD_TEST_BLANK_KNOB", 3), 3);
+        assert_eq!(read("EYECOD_TEST_BLANK_KNOB"), None);
+    }
+
+    #[test]
+    fn set_variables_parse_through_the_env_helpers() {
+        std::env::set_var("EYECOD_TEST_SET_KNOB", "17");
+        assert_eq!(usize_or("EYECOD_TEST_SET_KNOB", 3), 17);
+        assert_eq!(opt_usize("EYECOD_TEST_SET_KNOB"), Some(17));
+        std::env::set_var("EYECOD_TEST_SET_FLAG", "on");
+        assert!(bool_or("EYECOD_TEST_SET_FLAG", false));
+    }
+}

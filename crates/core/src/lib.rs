@@ -35,6 +35,7 @@
 
 pub mod acquisition;
 pub mod alloc_counter;
+pub mod env;
 pub mod interface;
 pub mod metrics;
 pub mod parallel;

@@ -25,6 +25,9 @@ pub struct TrackingStats {
     /// Frames where the gaze network emitted a degenerate vector and the
     /// tracker fell back to the previous direction.
     pub degenerate_frames: usize,
+    /// Frames whose gaze forward was skipped by the motion gate (scene
+    /// static within the change threshold, last-good gaze served).
+    pub skipped_frames: usize,
     /// Frames graded [`FrameQuality::Ok`].
     pub frames_ok: usize,
     /// Frames graded [`FrameQuality::Degraded`].
@@ -50,6 +53,9 @@ impl TrackingStats {
             frame.roi_refreshed,
             frame.gaze_degenerate,
         );
+        if frame.gaze_skipped {
+            self.skipped_frames += 1;
+        }
         match frame.quality {
             FrameQuality::Ok => self.frames_ok += 1,
             FrameQuality::Degraded => self.frames_degraded += 1,
@@ -91,6 +97,9 @@ impl TrackingStats {
         if frame.gaze_degenerate {
             self.degenerate_frames += 1;
         }
+        if frame.gaze_skipped {
+            self.skipped_frames += 1;
+        }
         match frame.quality {
             FrameQuality::Ok => self.frames_ok += 1,
             FrameQuality::Degraded => self.frames_degraded += 1,
@@ -123,6 +132,7 @@ impl TrackingStats {
         self.max_error_deg = self.max_error_deg.max(other.max_error_deg);
         self.roi_refreshes += other.roi_refreshes;
         self.degenerate_frames += other.degenerate_frames;
+        self.skipped_frames += other.skipped_frames;
         self.frames_ok += other.frames_ok;
         self.frames_degraded += other.frames_degraded;
         self.frames_lost += other.frames_lost;
@@ -212,6 +222,7 @@ mod tests {
             roi_refreshed: false,
             frame: 0,
             gaze_degenerate: false,
+            gaze_skipped: false,
             quality,
             faults,
         };

@@ -133,6 +133,20 @@ pub struct TrackerConfig {
     /// f32 network while their gaze crops are collected as the calibration
     /// batch. Ignored by the f32 backend.
     pub calibration_frames: usize,
+    /// Event-driven sparse acquisition: steady-state frames diff the scene
+    /// against the last fully-sensed base and fold only the changed
+    /// columns into the cached measurement/reconstruction instead of
+    /// re-sensing the full scene; scheduled ROI-refresh frames still run
+    /// the dense path and re-prime the caches. (`EYECOD_DELTA`.)
+    pub delta: bool,
+    /// Motion gate for the delta path: when fewer than this many pixels
+    /// changed, the whole gaze forward is skipped and the frame is served
+    /// from the last-good gaze. `0` disables the gate (every changed frame
+    /// runs the sparse update). (`EYECOD_DELTA_THRESHOLD`.)
+    pub delta_threshold: usize,
+    /// Per-pixel magnitude a scene value must move by to count as changed
+    /// (≈4σ of the render's sensor noise, so pure noise rarely registers).
+    pub delta_epsilon: f64,
 }
 
 impl TrackerConfig {
@@ -153,6 +167,9 @@ impl TrackerConfig {
             roi_sizing: RoiSizing::Fixed,
             gaze_backend: GazeBackend::from_env(),
             calibration_frames: 8,
+            delta: crate::env::bool_or("EYECOD_DELTA", false),
+            delta_threshold: crate::env::usize_or("EYECOD_DELTA_THRESHOLD", 16),
+            delta_epsilon: 0.05,
         }
     }
 
@@ -215,6 +232,12 @@ impl TrackerConfig {
                 "sensor must cover the scene"
             );
         }
+        if self.delta {
+            assert!(
+                self.delta_epsilon > 0.0,
+                "delta change-detection epsilon must be positive"
+            );
+        }
     }
 }
 
@@ -233,6 +256,12 @@ pub struct TrackedFrame {
     /// is the previous frame's direction instead (straight ahead on frame
     /// 0). Downstream consumers can discount such frames.
     pub gaze_degenerate: bool,
+    /// True when the motion gate skipped the gaze forward for this frame:
+    /// change detection found fewer than
+    /// [`TrackerConfig::delta_threshold`] changed pixels, so `gaze` is the
+    /// last-good direction and no acquisition, reconstruction or network
+    /// work ran. Always false with the delta path disabled.
+    pub gaze_skipped: bool,
     /// How much this frame can be trusted: `Ok` when every stage ran on
     /// fresh data, `Degraded` when a retry or last-good fallback was used,
     /// `Lost` when the recovery budget or the policy's staleness limits
@@ -376,6 +405,12 @@ impl PreparedFrame {
     pub fn refresh_due(&self) -> bool {
         self.cur.due
     }
+
+    /// Whether the motion gate skipped this frame's gaze forward (no gaze
+    /// input is staged; completion serves the last-good direction).
+    pub fn gaze_skipped(&self) -> bool {
+        self.cur.skipped
+    }
 }
 
 /// What the capture stage staged for the reconstruction stage.
@@ -391,6 +426,14 @@ enum CaptureOutcome {
     Duplicate,
     /// A fresh attempt-0 capture is staged in the acquisition scratch.
     Fresh,
+    /// Event-driven sparse capture: the changed columns are staged in the
+    /// acquisition scratch's delta caches; the reconstruction stage folds
+    /// them in incrementally instead of running a dense solve.
+    Delta,
+    /// Motion-gated: change detection found too few changed pixels to
+    /// matter. No image is produced and completion serves the last-good
+    /// gaze.
+    Skipped,
 }
 
 /// Per-frame control state threaded through the per-stage entry points
@@ -416,6 +459,12 @@ pub struct StageCursor {
     has_image: bool,
     due: bool,
     refreshed: bool,
+    /// Motion gate verdict: the gaze forward is skipped and completion
+    /// serves the last-good direction.
+    skipped: bool,
+    /// Super-threshold changed pixels found by change detection (0 on
+    /// dense frames).
+    changed_px: usize,
     allocs_before: u64,
     started: std::time::Instant,
 }
@@ -442,6 +491,17 @@ impl StageCursor {
     /// Whether the segmentation model ran and re-anchored the ROI.
     pub fn roi_refreshed(&self) -> bool {
         self.refreshed
+    }
+
+    /// Whether the motion gate skipped this frame's gaze forward.
+    pub fn gaze_skipped(&self) -> bool {
+        self.skipped
+    }
+
+    /// Super-threshold changed pixels found by change detection (0 on
+    /// dense frames).
+    pub fn changed_px(&self) -> usize {
+        self.changed_px
     }
 }
 
@@ -702,6 +762,8 @@ impl EyeTracker {
             has_image: false,
             due: frame.is_multiple_of(self.config.roi_period as u64),
             refreshed: false,
+            skipped: false,
+            changed_px: 0,
             allocs_before,
             started,
         }
@@ -741,6 +803,40 @@ impl EyeTracker {
             cur.ff.injected += 1;
             static_counter!("tracker/frames_duplicated").inc();
             cur.capture = CaptureOutcome::Duplicate;
+            return;
+        }
+        // event-driven sparse path: a steady-state frame with primed delta
+        // caches diffs the scene against the last fully-sensed base
+        // instead of re-sensing. Scheduled refresh frames always run the
+        // dense path, which keeps them bit-identical to dense mode and
+        // re-primes the caches (bounding how long clean-event deltas can
+        // drift from a noisy dense re-capture).
+        if self.config.delta && !cur.due && acquire.delta_primed() {
+            let changed =
+                self.acquisition
+                    .detect_changes_cached(scene, acquire, self.config.delta_epsilon);
+            cur.changed_px = changed;
+            static_counter!("tracker/changed_px").add(changed as u64);
+            // the int8 backend collects its calibration batch from the
+            // frames that run the gaze crop — gating during warm-up would
+            // starve calibration on static scenes (a fixating user would
+            // never reach the quantised chain), so those frames take the
+            // sparse-update path instead of skipping
+            let calibrating =
+                self.config.gaze_backend == GazeBackend::Int8 && self.quantized_gaze.is_none();
+            if changed < self.config.delta_threshold && !calibrating {
+                // motion gate: too few pixels moved to shift the gaze —
+                // skip acquisition, reconstruction and the gaze forward
+                // entirely; completion serves the last-good direction.
+                // The diff base stays put, so sub-threshold drift keeps
+                // accumulating until it crosses the gate.
+                static_counter!("tracker/gaze_skipped").inc();
+                cur.skipped = true;
+                cur.capture = CaptureOutcome::Skipped;
+                return;
+            }
+            static_counter!("tracker/delta_frames").inc();
+            cur.capture = CaptureOutcome::Delta;
             return;
         }
         let injected = self
@@ -801,6 +897,26 @@ impl EyeTracker {
                 image.copy_from(prev);
                 cur.has_image = true;
             }
+            CaptureOutcome::Skipped => {
+                // motion-gated: nothing moved enough to matter, no image
+                // is produced; completion serves the last-good gaze (the
+                // cursor's skip flag routes it past the lost-frame path)
+            }
+            CaptureOutcome::Delta => {
+                // event-driven sparse update: fold the staged changed
+                // columns into the cached measurement and apply the
+                // matching sparse-column correction to the cached
+                // reconstruction — no dense capture, no dense solve
+                self.acquisition
+                    .sense_delta_cached_into(scene, acquire, image);
+                if let Some(buf) = self.last_image.as_mut() {
+                    buf.copy_from(image);
+                } else {
+                    self.last_image = Some(image.clone());
+                }
+                self.image_staleness = 0;
+                cur.has_image = true;
+            }
             CaptureOutcome::Fresh => {
                 // attempt 0 reconstructs the already-staged measurement;
                 // detected corruption is re-requested within budget (each
@@ -831,6 +947,12 @@ impl EyeTracker {
                             // raw measurement this reconstruction came
                             // from — keep it as the fast path's fallback
                             self.stash_measurement(acquire);
+                        }
+                        if self.config.delta {
+                            // a sane dense capture + solve is the new
+                            // delta base: re-prime, resetting any drift
+                            // the clean-event updates accumulated
+                            self.acquisition.prime_delta(scene, acquire);
                         }
                         self.image_staleness = 0;
                         cur.has_image = true;
@@ -930,6 +1052,24 @@ impl EyeTracker {
                     }
                 };
             }
+            CaptureOutcome::Skipped => {
+                // motion-gated: completion serves the last-good gaze
+            }
+            CaptureOutcome::Delta => {
+                // sparse update in the measurement domain only — the
+                // recon-free fast path never consumes a reconstruction,
+                // so the cached-reconstruction correction is skipped too
+                self.acquisition
+                    .sense_delta_meas_cached_into(scene, acquire, image);
+                // keep the fallback twin current (the updated measurement
+                // lives in the delta cache, not the dense capture scratch)
+                match self.last_meas.as_mut() {
+                    Some(buf) => buf.copy_from(image),
+                    None => self.last_meas = Some(image.clone()),
+                }
+                self.image_staleness = 0;
+                cur.has_image = true;
+            }
             CaptureOutcome::Fresh => {
                 let budget = self.recovery.max_stage_retries as u64;
                 for attempt in 0..=budget {
@@ -947,6 +1087,13 @@ impl EyeTracker {
                             static_counter!("tracker/acquire_retries").add(attempt);
                         }
                         self.stash_measurement(acquire);
+                        if self.config.delta {
+                            // re-prime the measurement-side caches; the
+                            // reconstruction cache goes stale but is never
+                            // read on the recon-free path and re-syncs at
+                            // the next scheduled dense refresh
+                            self.acquisition.prime_delta(scene, acquire);
+                        }
                         self.image_staleness = 0;
                         cur.has_image = true;
                         return;
@@ -1101,6 +1248,7 @@ impl EyeTracker {
             has_image,
             due,
             refreshed,
+            skipped,
             allocs_before,
             started,
             ..
@@ -1135,6 +1283,14 @@ impl EyeTracker {
                     (self.last_gaze, true, refreshed)
                 }
             }
+        } else if skipped {
+            // the motion gate verified the scene static within threshold:
+            // the last-good direction is *current*, not stale — serve it
+            // without accruing recovery staleness (as with shed frames,
+            // sustained fixation must keep serving good frames, not
+            // escalate to Lost; the scheduled dense refresh still bounds
+            // how long the gate can coast on its caches)
+            (self.last_gaze, false, false)
         } else {
             // the frame never reached the pipeline and nothing is
             // available to serve it from: repeat the last answer
@@ -1149,7 +1305,7 @@ impl EyeTracker {
         let over_stale = self.roi_staleness > self.recovery.max_roi_staleness
             || self.gaze_staleness > self.recovery.max_gaze_staleness
             || self.image_staleness > self.recovery.max_image_staleness;
-        let quality = if !has_image || ff.unrecovered > 0 || over_stale {
+        let quality = if (!has_image && !skipped) || ff.unrecovered > 0 || over_stale {
             FrameQuality::Lost
         } else if degraded {
             FrameQuality::Degraded
@@ -1182,6 +1338,7 @@ impl EyeTracker {
             roi_refreshed,
             frame,
             gaze_degenerate,
+            gaze_skipped: skipped,
             quality,
             faults: ff,
         }
@@ -1235,6 +1392,7 @@ impl EyeTracker {
             roi_refreshed: false,
             frame,
             gaze_degenerate: false,
+            gaze_skipped: false,
             quality,
             faults: FrameFaults::default(),
         }
@@ -1678,6 +1836,9 @@ mod tests {
     #[test]
     fn degenerate_gaze_falls_back_instead_of_panicking() {
         let mut t = tracker();
+        // every frame must reach the gaze forward for the degenerate flag
+        // to be observable — run dense even under ambient EYECOD_DELTA=1
+        t.config.delta = false;
         // zero every gaze parameter: the network now emits an exact zero
         // vector for any input
         for p in t.models.gaze.params_mut() {
@@ -1695,6 +1856,75 @@ mod tests {
         assert_eq!(stats.frames, 12);
         assert_eq!(stats.degenerate_frames, 12);
         assert_eq!(t.frame_counter, 13);
+    }
+
+    #[test]
+    fn motion_gate_skips_static_scenes_and_serves_the_last_gaze() {
+        let mut t = tracker();
+        t.config.delta = true;
+        t.config.delta_threshold = 16;
+        let s = render_eye(&EyeParams::centered(48), 48, 3);
+        // frame 0 (due) runs the dense path and primes the delta caches
+        let first = t.process_frame(&s.image, 4);
+        assert!(!first.gaze_skipped);
+        assert!(first.roi_refreshed);
+        // an identical scene diffs to zero changed pixels: every steady
+        // frame until the next refresh is motion-gated and serves the
+        // frame-0 gaze bit-for-bit, graded Ok
+        for i in 1..10u64 {
+            let out = t.process_frame(&s.image, 4 + i);
+            assert!(out.gaze_skipped, "frame {i} should be gated");
+            assert_eq!(out.quality, FrameQuality::Ok);
+            assert!(!out.roi_refreshed);
+            assert_eq!(out.gaze.x.to_bits(), first.gaze.x.to_bits());
+            assert_eq!(out.gaze.y.to_bits(), first.gaze.y.to_bits());
+            assert_eq!(out.gaze.z.to_bits(), first.gaze.z.to_bits());
+        }
+        // the scheduled refresh frame always runs dense and re-anchors
+        let refresh = t.process_frame(&s.image, 14);
+        assert!(!refresh.gaze_skipped);
+        assert!(refresh.roi_refreshed);
+    }
+
+    #[test]
+    fn delta_frames_track_a_moving_eye_without_dense_solves() {
+        let mut t = tracker();
+        t.config.delta = true;
+        t.config.delta_threshold = 0; // gate off: every change runs sparse
+        let mut gen = EyeMotionGenerator::with_seed(31);
+        let stats = t.run_sequence(&mut gen, 25);
+        assert_eq!(stats.frames, 25);
+        assert!(
+            stats.mean_error_deg() < 20.0,
+            "delta tracking off the rails: {} deg",
+            stats.mean_error_deg()
+        );
+        // a dense-mode twin of the same sequence agrees on refresh frames
+        let mut td = tracker();
+        let (_, dense) = td.run_sequence_traced(&mut EyeMotionGenerator::with_seed(31), 25);
+        let mut te = tracker();
+        te.config.delta = true;
+        te.config.delta_threshold = 0;
+        let (_, delta) = te.run_sequence_traced(&mut EyeMotionGenerator::with_seed(31), 25);
+        for (d, e) in dense.iter().zip(&delta) {
+            if d.frame.is_multiple_of(10) {
+                assert_eq!(
+                    d.gaze.x.to_bits(),
+                    e.gaze.x.to_bits(),
+                    "refresh frame {} diverged",
+                    d.frame
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta change-detection epsilon must be positive")]
+    fn config_validation_catches_non_positive_delta_epsilon() {
+        let mut cfg = TrackerConfig::small();
+        cfg.delta = true;
+        cfg.delta_epsilon = 0.0;
+        cfg.validate();
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! allocation either); one stray per-frame `clone()` anywhere in the
 //! frame path fails it.
 //!
+//! The event-driven delta path carries the same contract: once the delta
+//! caches are primed (first dense refresh) every steady frame — whether it
+//! applies a sparse column update or is skipped outright by the motion
+//! gate — must also be allocation-free, for all three backends. And the
+//! truncated-rank workspace solve (`reconstruct_truncated_into`) is pinned
+//! directly: after one warming call, re-solving at any admissible rank
+//! touches no heap.
+//!
 //! Kept as a single `#[test]` so no concurrent test pollutes the process-
 //! wide allocation counter while a frame is being measured.
 
@@ -21,6 +29,9 @@ use eyecod_core::tracker::{EyeTracker, GazeBackend, TrackerConfig};
 use eyecod_core::training::{train_tracker_models, TrainingSetup};
 use eyecod_eyedata::render::{render_eye, EyeParams};
 use eyecod_faults::FaultPlan;
+use eyecod_optics::mat::Mat;
+use eyecod_optics::recon::ReconWorkspace;
+use eyecod_optics::{FlatCam, SensorModel, SeparableMask, TikhonovReconstructor};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -73,6 +84,84 @@ fn steady_state_frames_do_not_allocate_on_any_backend() {
                 .snapshot()
                 .counter("tracker/steady_state_allocs"),
             "{backend:?} backend: tracker/steady_state_allocs grew during steady state"
+        );
+    }
+
+    // ---- event-driven delta path: gated AND sparse-update frames are
+    // allocation-free once primed ----
+    //
+    // Two scenes, fed as A A B B A A …: repeating a scene gates the frame
+    // (zero changed pixels), switching scenes exceeds the gate threshold
+    // and runs the sparse column update. Warm-up runs through two ROI
+    // refreshes (delta caches prime on each dense refresh, buffers sized
+    // to the full column count) and, for int8, past calibration; the
+    // measured window then alternates both steady-state frame kinds.
+    let scene_b = {
+        let mut p = EyeParams::centered(base.scene_size);
+        p.yaw = 0.25;
+        render_eye(&p, base.scene_size, 1).image
+    };
+    let scenes = [&scene, &scene_b];
+    for backend in [GazeBackend::F32, GazeBackend::Int8, GazeBackend::Latent] {
+        let config = TrackerConfig {
+            gaze_backend: backend,
+            delta: true,
+            delta_threshold: 16,
+            ..base.clone()
+        };
+        let mut tracker =
+            EyeTracker::new(config, models.clone_models()).with_faults(FaultPlan::none());
+        for frame in 0..22u64 {
+            tracker.process_frame(scenes[(frame as usize / 2) % 2], frame);
+        }
+
+        let mut gated = 0usize;
+        let mut sparse = 0usize;
+        for frame in 22..30u64 {
+            let input = scenes[(frame as usize / 2) % 2];
+            let before = allocations();
+            let out = tracker.process_frame(input, frame);
+            let delta = allocations() - before;
+            assert!(!out.roi_refreshed, "frame {frame} unexpectedly refreshed");
+            assert_eq!(
+                delta, 0,
+                "{backend:?} backend: delta-mode steady frame {frame} (skipped={}) made {delta} heap allocations",
+                out.gaze_skipped
+            );
+            if out.gaze_skipped {
+                gated += 1;
+            } else {
+                sparse += 1;
+            }
+        }
+        assert!(
+            gated > 0 && sparse > 0,
+            "{backend:?} backend: measured window must cover both gated ({gated}) and sparse ({sparse}) frames"
+        );
+    }
+
+    // ---- truncated-rank workspace solve: warm once, then re-solving at
+    // any admissible rank reuses the workspace without touching the heap
+    // (ranks shrink below the warming rank; `Mat::reset` keeps capacity) ----
+    let mask = SeparableMask::mls(2 * base.scene_size, base.scene_size, 9);
+    let cam = FlatCam::new(mask.clone(), SensorModel::low_light());
+    let recon = TikhonovReconstructor::new(&mask, 1e-4);
+    let y = cam.capture(
+        &Mat::from_fn(base.scene_size, base.scene_size, |r, c| {
+            ((r * 7 + c * 3) % 11) as f64 / 11.0
+        }),
+        42,
+    );
+    let mut ws = ReconWorkspace::new();
+    let mut out = Mat::zeros(1, 1);
+    recon.reconstruct_truncated_into(&y, base.scene_size, &mut ws, &mut out);
+    for rank in [base.scene_size, base.scene_size / 2, 4] {
+        let before = allocations();
+        recon.reconstruct_truncated_into(&y, rank, &mut ws, &mut out);
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "warm reconstruct_truncated_into at rank {rank} made {delta} heap allocations"
         );
     }
 }

@@ -39,4 +39,4 @@ pub use dataset::{Dataset, Sample};
 pub use gaze::GazeVector;
 pub use labels::SegClass;
 pub use render::{render_eye, EyeParams};
-pub use sequence::EyeMotionGenerator;
+pub use sequence::{ChangeMap, EyeMotionGenerator, MotionConfig, MotionPhase};

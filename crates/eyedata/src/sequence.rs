@@ -7,6 +7,7 @@
 //! ablation (Table 5) can be run faithfully.
 
 use crate::render::EyeParams;
+use eyecod_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,6 +48,166 @@ impl Default for MotionConfig {
     }
 }
 
+impl MotionConfig {
+    /// A fixation-heavy traffic mix: no saccades, no blinks, only drift
+    /// and sub-pixel fixation jitter — the regime where an event-driven
+    /// frontend pays off most (almost every frame is a near-duplicate).
+    pub fn fixation() -> Self {
+        MotionConfig {
+            saccade_prob: 0.0,
+            blink_prob: 0.0,
+            fixation_jitter: 5e-4,
+            ..MotionConfig::default()
+        }
+    }
+
+    /// A smooth-pursuit mix: frequent low-amplitude, long-duration gaze
+    /// movements (tracking a slowly moving target) with rare blinks — a
+    /// moderate per-frame pixel-change rate.
+    pub fn smooth_pursuit() -> Self {
+        MotionConfig {
+            saccade_prob: 0.25,
+            saccade_amplitude: (0.01, 0.06),
+            saccade_frames: 8,
+            blink_prob: 0.002,
+            ..MotionConfig::default()
+        }
+    }
+
+    /// A saccade-heavy mix: frequent large ballistic jumps plus blinks —
+    /// the worst case for a delta frontend, where most frames move many
+    /// pixels and the dense path must run anyway.
+    pub fn saccadic() -> Self {
+        MotionConfig {
+            saccade_prob: 0.25,
+            saccade_amplitude: (0.10, 0.35),
+            saccade_frames: 3,
+            blink_prob: 0.02,
+            ..MotionConfig::default()
+        }
+    }
+}
+
+/// The motion phase a generator frame was produced in. Blink dominates
+/// (the lid sweep moves the most pixels), then saccade, then fixation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MotionPhase {
+    /// Fixation/drift: sub-pixel jitter only.
+    Fixation,
+    /// Mid-saccade: the gaze is stepping towards a target.
+    Saccade,
+    /// Mid-blink: the lid is closing or reopening.
+    Blink,
+}
+
+/// A per-frame change map: which scene pixels (and which scene columns)
+/// moved beyond a magnitude threshold between two rendered frames. This is
+/// the software form of an event-sensor readout — the dense frame carries
+/// the full scene, the change map carries *where it actually changed* — and
+/// what the delta acquisition path consumes instead of re-sensing
+/// everything.
+///
+/// Buffers are reused across [`ChangeMap::compute_into`] calls, so a warm
+/// change map re-diffs with zero heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeMap {
+    rows: usize,
+    cols: usize,
+    /// Row-major per-pixel changed mask.
+    mask: Vec<bool>,
+    /// Ascending indices of columns with at least one changed pixel.
+    changed_cols: Vec<usize>,
+    /// Total count of super-threshold pixels.
+    changed_px: usize,
+}
+
+impl ChangeMap {
+    /// An empty change map (buffers grow on first use).
+    pub fn new() -> Self {
+        ChangeMap::default()
+    }
+
+    /// Diffs `next` against `prev` with magnitude threshold `threshold`,
+    /// allocating the map. Both tensors must be single-item single-channel
+    /// images of identical shape.
+    pub fn compute(prev: &Tensor, next: &Tensor, threshold: f32) -> Self {
+        let mut m = ChangeMap::new();
+        m.compute_into(prev, next, threshold);
+        m
+    }
+
+    /// [`ChangeMap::compute`] into this map's reused buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two images differ in shape or are not `1×1×h×w`.
+    pub fn compute_into(&mut self, prev: &Tensor, next: &Tensor, threshold: f32) {
+        let shape = prev.shape();
+        assert_eq!(shape, next.shape(), "change map needs matching shapes");
+        assert_eq!(
+            (shape.n, shape.c),
+            (1, 1),
+            "change map expects a 1x1xHxW image"
+        );
+        let (h, w) = (shape.h, shape.w);
+        self.rows = h;
+        self.cols = w;
+        self.mask.clear();
+        self.mask.resize(h * w, false);
+        self.changed_cols.clear();
+        self.changed_px = 0;
+        let (p, n) = (prev.as_slice(), next.as_slice());
+        for c in 0..w {
+            let mut col_changed = false;
+            for r in 0..h {
+                let i = r * w + c;
+                if (n[i] - p[i]).abs() > threshold {
+                    self.mask[i] = true;
+                    self.changed_px += 1;
+                    col_changed = true;
+                }
+            }
+            if col_changed {
+                self.changed_cols.push(c);
+            }
+        }
+    }
+
+    /// Image height the map was computed over.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Image width the map was computed over.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Ascending indices of columns containing at least one changed pixel.
+    pub fn changed_cols(&self) -> &[usize] {
+        &self.changed_cols
+    }
+
+    /// Count of super-threshold pixels.
+    pub fn changed_px(&self) -> usize {
+        self.changed_px
+    }
+
+    /// Whether pixel `(r, c)` changed.
+    pub fn is_changed(&self, r: usize, c: usize) -> bool {
+        self.mask[r * self.cols + c]
+    }
+
+    /// Fraction of pixels that changed, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.mask.is_empty() {
+            0.0
+        } else {
+            self.changed_px as f64 / self.mask.len() as f64
+        }
+    }
+}
+
 /// Generates an endless stream of [`EyeParams`] frames.
 #[derive(Debug)]
 pub struct EyeMotionGenerator {
@@ -58,6 +219,7 @@ pub struct EyeMotionGenerator {
     blink_remaining: usize,
     base_openness: f32,
     frame: u64,
+    phase: MotionPhase,
 }
 
 impl EyeMotionGenerator {
@@ -74,6 +236,7 @@ impl EyeMotionGenerator {
             blink_remaining: 0,
             base_openness,
             frame: 0,
+            phase: MotionPhase::Fixation,
         }
     }
 
@@ -104,7 +267,9 @@ impl EyeMotionGenerator {
             (self.current.center_x + gauss(&mut self.rng, c.drift_std)).clamp(0.35, 0.65);
 
         // fast gaze dynamics: saccades towards random targets, else fixation jitter
+        let mut phase = MotionPhase::Fixation;
         if self.saccade_remaining > 0 {
+            phase = MotionPhase::Saccade;
             if let Some((ty, tx)) = self.saccade_target {
                 let step = 1.0 / self.saccade_remaining as f32;
                 self.current.pitch += (ty - self.current.pitch) * step;
@@ -133,6 +298,9 @@ impl EyeMotionGenerator {
         // blinks: the lid closes and reopens over blink_frames; gaze keeps
         // moving underneath (as in real saccadic blinks)
         if self.blink_remaining > 0 {
+            // blink dominates the phase label: the lid sweep moves far more
+            // pixels than any gaze step underneath it
+            phase = MotionPhase::Blink;
             self.blink_remaining -= 1;
             let t = self.blink_remaining as f32 / c.blink_frames.max(1) as f32;
             // triangular profile: fully closed at the midpoint
@@ -144,8 +312,14 @@ impl EyeMotionGenerator {
             self.current.openness = self.base_openness;
         }
 
+        self.phase = phase;
         self.frame += 1;
         self.current.clone()
+    }
+
+    /// The motion phase of the most recently produced frame.
+    pub fn phase(&self) -> MotionPhase {
+        self.phase
     }
 
     /// Whether the eye is currently mid-blink.
@@ -259,5 +433,82 @@ mod tests {
         assert_eq!(gen.frame(), 0);
         gen.take_frames(17);
         assert_eq!(gen.frame(), 17);
+    }
+
+    #[test]
+    fn change_map_reports_exact_pixels_and_columns() {
+        use eyecod_tensor::{Shape, Tensor};
+        let prev = Tensor::zeros(Shape::new(1, 1, 4, 5));
+        let mut next = Tensor::zeros(Shape::new(1, 1, 4, 5));
+        // (1,2) and (3,2) change in column 2; (0,4) changes in column 4;
+        // (2,0) moves below threshold and must not register
+        next.as_mut_slice()[7] = 0.5; // (1,2)
+        next.as_mut_slice()[17] = -0.5; // (3,2)
+        next.as_mut_slice()[4] = 0.2; // (0,4)
+        next.as_mut_slice()[10] = 0.04; // (2,0), sub-threshold
+        let map = ChangeMap::compute(&prev, &next, 0.05);
+        assert_eq!(map.changed_px(), 3);
+        assert_eq!(map.changed_cols(), &[2, 4]);
+        assert!(map.is_changed(1, 2) && map.is_changed(3, 2) && map.is_changed(0, 4));
+        assert!(!map.is_changed(2, 0));
+        assert!((map.density() - 3.0 / 20.0).abs() < 1e-12);
+        // compute_into through warm buffers matches the allocating form
+        let mut reused = ChangeMap::new();
+        reused.compute_into(&prev, &next, 0.05);
+        reused.compute_into(&prev, &next, 0.05);
+        assert_eq!(reused.changed_px(), map.changed_px());
+        assert_eq!(reused.changed_cols(), map.changed_cols());
+    }
+
+    #[test]
+    fn fixation_change_maps_are_sparse_and_saccadic_ones_dense() {
+        use crate::render::render_eye;
+        // threshold well above the renderer's per-pixel noise (std 0.012)
+        const THRESHOLD: f32 = 0.05;
+        let density = |config: MotionConfig, seed: u64| -> f64 {
+            let mut gen = EyeMotionGenerator::new(EyeParams::centered(48), config, seed);
+            let mut prev = render_eye(&gen.next_frame(), 48, 1000).image;
+            let mut map = ChangeMap::new();
+            let mut total = 0.0;
+            for i in 1..40u64 {
+                let next = render_eye(&gen.next_frame(), 48, 1000 + i).image;
+                map.compute_into(&prev, &next, THRESHOLD);
+                total += map.density();
+                prev = next;
+            }
+            total / 39.0
+        };
+        let fix = density(MotionConfig::fixation(), 21);
+        let sac = density(MotionConfig::saccadic(), 21);
+        assert!(
+            fix < 0.10,
+            "fixation traffic should barely move pixels: density {fix:.3}"
+        );
+        assert!(
+            sac > 2.0 * fix,
+            "saccadic traffic should move far more pixels: {sac:.3} vs {fix:.3}"
+        );
+    }
+
+    #[test]
+    fn phases_track_the_generator_state() {
+        // fixation preset: never anything but Fixation
+        let mut gen = EyeMotionGenerator::new(EyeParams::centered(48), MotionConfig::fixation(), 3);
+        for _ in 0..100 {
+            gen.next_frame();
+            assert_eq!(gen.phase(), MotionPhase::Fixation);
+        }
+        // saccadic preset: all three phases appear over a long run
+        let mut gen = EyeMotionGenerator::new(EyeParams::centered(48), MotionConfig::saccadic(), 3);
+        let mut seen = [false; 3];
+        for _ in 0..400 {
+            gen.next_frame();
+            seen[match gen.phase() {
+                MotionPhase::Fixation => 0,
+                MotionPhase::Saccade => 1,
+                MotionPhase::Blink => 2,
+            }] = true;
+        }
+        assert_eq!(seen, [true; 3], "expected all phases in saccadic traffic");
     }
 }

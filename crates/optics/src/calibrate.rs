@@ -118,6 +118,19 @@ impl TruncatedReconstructor {
         self.inner.reconstruct_truncated(measurement, self.rank)
     }
 
+    /// [`TruncatedReconstructor::reconstruct`] through caller-owned
+    /// buffers — allocation-free once the workspace is warm, bit-identical
+    /// to the allocating form.
+    pub fn reconstruct_into(
+        &self,
+        measurement: &Mat,
+        ws: &mut crate::recon::ReconWorkspace,
+        out: &mut Mat,
+    ) {
+        self.inner
+            .reconstruct_truncated_into(measurement, self.rank, ws, out);
+    }
+
     /// Multiply–accumulate count of one truncated reconstruction versus the
     /// full-rank count — the accelerator-side saving.
     pub fn macs(&self) -> (u64, u64) {

@@ -1,5 +1,6 @@
 //! Serving-layer configuration and its `EYECOD_SERVE_*` environment knobs.
 
+use eyecod_core::env;
 use eyecod_core::tracker::TrackerConfig;
 
 /// How a serve tick executes its staged frames.
@@ -101,32 +102,19 @@ impl ServeConfig {
     /// would make an operator believe a limit is in force when it is not.
     pub fn from_env(tracker: TrackerConfig) -> Self {
         let mut cfg = Self::new(tracker);
-        if let Some(v) = read_env("EYECOD_SERVE_MAX_SESSIONS") {
-            cfg.max_sessions = v
-                .parse()
-                .unwrap_or_else(|_| panic!("bad EYECOD_SERVE_MAX_SESSIONS value: {v:?}"));
-        }
-        if let Some(v) = read_env("EYECOD_SERVE_QUEUE") {
-            cfg.queue_capacity = v
-                .parse()
-                .unwrap_or_else(|_| panic!("bad EYECOD_SERVE_QUEUE value: {v:?}"));
-        }
-        if let Some(v) = read_env("EYECOD_SERVE_BATCH") {
-            cfg.mode = match v.to_ascii_lowercase().as_str() {
-                "0" | "off" | "false" | "no" => TickMode::Sequential,
-                "1" | "on" | "true" | "yes" => TickMode::Batched,
-                other => panic!("bad EYECOD_SERVE_BATCH value: {other:?}"),
+        cfg.max_sessions = env::usize_or("EYECOD_SERVE_MAX_SESSIONS", cfg.max_sessions);
+        cfg.queue_capacity = env::usize_or("EYECOD_SERVE_QUEUE", cfg.queue_capacity);
+        if let Some(v) = env::read("EYECOD_SERVE_BATCH") {
+            cfg.mode = if env::parse_bool("EYECOD_SERVE_BATCH", &v) {
+                TickMode::Batched
+            } else {
+                TickMode::Sequential
             };
         }
-        if let Some(v) = read_env("EYECOD_SERVE_MODE") {
+        if let Some(v) = env::read("EYECOD_SERVE_MODE") {
             cfg.mode = TickMode::parse(&v);
         }
-        if let Some(v) = read_env("EYECOD_SERVE_THREADS") {
-            cfg.threads = Some(
-                v.parse()
-                    .unwrap_or_else(|_| panic!("bad EYECOD_SERVE_THREADS value: {v:?}")),
-            );
-        }
+        cfg.threads = env::opt_usize("EYECOD_SERVE_THREADS").or(cfg.threads);
         cfg
     }
 
@@ -140,14 +128,6 @@ impl ServeConfig {
         self.tracker.validate();
         assert!(self.max_sessions > 0, "max_sessions must be non-zero");
         assert!(self.queue_capacity > 0, "queue_capacity must be non-zero");
-    }
-}
-
-fn read_env(name: &str) -> Option<String> {
-    match std::env::var(name) {
-        Ok(v) if v.trim().is_empty() => None,
-        Ok(v) => Some(v),
-        Err(_) => None,
     }
 }
 

@@ -761,7 +761,12 @@ mod tests {
     fn registry(mut mutate: impl FnMut(&mut ServeConfig)) -> ServeRegistry {
         static MODELS: OnceLock<(TrackerConfig, TrackerModels)> = OnceLock::new();
         let (cfg, models) = MODELS.get_or_init(|| {
-            let cfg = TrackerConfig::small();
+            let mut cfg = TrackerConfig::small();
+            // these unit tests pin exact per-tick forward counts, which
+            // assume every staged frame reaches its gaze batch — run the
+            // dense path even under ambient EYECOD_DELTA=1 (the delta
+            // serve semantics have their own differential suite)
+            cfg.delta = false;
             let models = train_tracker_models(&TrainingSetup::quick(), &cfg);
             (cfg, models)
         });

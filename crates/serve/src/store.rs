@@ -181,6 +181,12 @@ impl SessionStore {
                 self.backends[r] = backend;
                 self.queues[r].clear();
                 self.spares[r].clear();
+                // the previous occupant's delta caches must not leak into
+                // the new session: unprime them (the warmed buffers stay,
+                // like every other column allocation) so the first frames
+                // run dense until a refresh re-primes — exactly as a fresh
+                // tracker's own scratch would in the AoS modes
+                self.acquires[r].invalidate_delta();
                 self.frames_ingested[r] = 0;
                 self.staged[r] = None;
                 self.preps[r] = None;
